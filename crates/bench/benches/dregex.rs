@@ -1,0 +1,72 @@
+//! Regex-engine benchmarks — DESIGN.md ablation #2.
+//!
+//! The pipeline matches every provider pattern against every passive-DNS
+//! owner name; matching must be linear-time. This bench compares the Pike
+//! VM against the naive backtracker on (a) a realistic domain corpus and
+//! (b) a pathological input that blows the backtracker up.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iotmap_dregex::backtrack::BacktrackRegex;
+use iotmap_dregex::Regex;
+use iotmap_nettypes::SimRng;
+
+const AMAZON_PATTERN: &str = r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)(\.amazonaws\.com\.$)";
+
+fn corpus(n: usize) -> Vec<String> {
+    let mut rng = SimRng::new(7);
+    let regions = ["us-east-1", "eu-west-1", "ap-southeast-2", "cn-north-4"];
+    let slds = ["amazonaws.com", "azure-devices.net", "example.org", "iot.sap"];
+    (0..n)
+        .map(|i| {
+            let region = regions[(rng.next_u64() % 4) as usize];
+            let sld = slds[(rng.next_u64() % 4) as usize];
+            match i % 3 {
+                0 => format!("t{:08x}.iot.{region}.{sld}.", rng.next_u32()),
+                1 => format!("www.site{:05}.{sld}.", rng.next_u64() % 100_000),
+                _ => format!("hub-{:06x}.{sld}.", rng.next_u32() & 0xFFFFFF),
+            }
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let names = corpus(10_000);
+    let pike = Regex::with_options(AMAZON_PATTERN, true).unwrap();
+    let bt = BacktrackRegex::new(AMAZON_PATTERN).unwrap();
+
+    let mut group = c.benchmark_group("domain-corpus-10k");
+    group.throughput(Throughput::Elements(names.len() as u64));
+    group.bench_function("pike-vm", |b| {
+        b.iter(|| names.iter().filter(|n| pike.is_match(n)).count())
+    });
+    group.bench_function("backtracking", |b| {
+        b.iter(|| names.iter().filter(|n| bt.is_match(n)).count())
+    });
+    group.finish();
+
+    // Pathological input: (a+)+b against a^n. The Pike VM stays linear;
+    // the backtracker is exponential, so keep n small enough to finish.
+    let mut group = c.benchmark_group("pathological");
+    let evil_pike = Regex::new("(a+)+b").unwrap();
+    let evil_bt = BacktrackRegex::new("(a+)+b").unwrap();
+    let long_input = "a".repeat(2_000);
+    let short_input = "a".repeat(18);
+    group.bench_function("pike-vm-2000a", |b| {
+        b.iter(|| evil_pike.is_match(&long_input))
+    });
+    group.bench_function("backtracking-18a", |b| {
+        b.iter(|| evil_bt.is_match(&short_input))
+    });
+    group.finish();
+
+    c.bench_function("compile-paper-registry", |b| {
+        b.iter_batched(
+            || (),
+            |_| iotmap_core::PatternRegistry::paper_defaults(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Discovery-pipeline benchmarks: the §3 instruments on a small world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotmap_core::{DataSources, DiscoveryPipeline, PatternRegistry, Source};
+use iotmap_dregex::query::DnsdbQuery;
+use iotmap_scan::CensysService;
+use iotmap_world::{World, WorldConfig};
+use std::sync::OnceLock;
+
+fn world() -> &'static (World, iotmap_world::CollectedScans) {
+    static W: OnceLock<(World, iotmap_world::CollectedScans)> = OnceLock::new();
+    W.get_or_init(|| {
+        let world = World::generate(&WorldConfig::small(42));
+        let scans = world.collect_scan_data(world.config.study_period);
+        (world, scans)
+    })
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (world, scans) = world();
+    let period = world.config.study_period;
+
+    c.bench_function("world-generate-small", |b| {
+        b.iter(|| World::generate(&WorldConfig::small(7)).servers.len())
+    });
+
+    c.bench_function("censys-daily-sweep", |b| {
+        let svc = CensysService::new();
+        let date = iotmap_nettypes::Date::new(2022, 2, 28);
+        b.iter(|| svc.daily_sweep(&world.view_on(date), date).records.len())
+    });
+
+    c.bench_function("passive-dns-flexible-search", |b| {
+        let q = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A").unwrap();
+        b.iter(|| world.passive_dns.search(&q, period).count())
+    });
+
+    c.bench_function("discovery-full-run", |b| {
+        b.iter(|| {
+            let sources = DataSources {
+                censys: &scans.censys,
+                zgrab_v6: &scans.zgrab_v6,
+                passive_dns: &world.passive_dns,
+                zones: &world.zones,
+                routeviews: &world.bgp,
+                latency: None,
+            };
+            DiscoveryPipeline::new(PatternRegistry::paper_defaults())
+                .run(&sources, period)
+                .all_ips()
+                .len()
+        })
+    });
+
+    c.bench_function("discovery-certificates-only", |b| {
+        b.iter(|| {
+            let sources = DataSources {
+                censys: &scans.censys,
+                zgrab_v6: &scans.zgrab_v6,
+                passive_dns: &world.passive_dns,
+                zones: &world.zones,
+                routeviews: &world.bgp,
+                latency: None,
+            };
+            DiscoveryPipeline::new(PatternRegistry::paper_defaults())
+                .run_channels(&sources, period, &[Source::Certificate])
+                .all_ips()
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Traffic-simulation and flow-sink benchmarks — DESIGN.md ablation #4:
+//! streaming sinks vs materializing the flow table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotmap_bench::Experiment;
+use iotmap_netflow::{CountingSink, StoringSink};
+use iotmap_traffic::{AnalysisSink, ContactSink};
+use iotmap_world::{TrafficSimulator, WorldConfig};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+fn experiment() -> &'static Experiment {
+    static E: OnceLock<Experiment> = OnceLock::new();
+    E.get_or_init(|| Experiment::prepare(&WorldConfig::small(42)))
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let exp = experiment();
+    let period = exp.world.config.study_period;
+    let sim = TrafficSimulator::new(&exp.world);
+
+    c.bench_function("week-simulation-counting-sink", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            sim.run(period, &mut sink);
+            sink.records
+        })
+    });
+
+    // Ablation: materialize everything (what the streaming design avoids).
+    c.bench_function("week-simulation-storing-sink", |b| {
+        b.iter(|| {
+            let mut sink = StoringSink::new();
+            sim.run(period, &mut sink);
+            sink.records.len()
+        })
+    });
+
+    c.bench_function("week-simulation-analysis-sink", |b| {
+        let excluded = HashSet::new();
+        b.iter(|| {
+            let mut sink = AnalysisSink::new(&exp.index, &excluded, period);
+            sim.run(period, &mut sink);
+            sink.into_report().total_lines()
+        })
+    });
+
+    c.bench_function("week-simulation-contact-sink", |b| {
+        b.iter(|| {
+            let mut sink = ContactSink::new(&exp.index);
+            sim.run(period, &mut sink);
+            sink.per_line.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_traffic
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Prefix-trie benchmarks — DESIGN.md ablation #3.
+//!
+//! Every discovered IP is mapped to its covering BGP announcement (§4.3);
+//! with tens of thousands of lookups against a RouteViews-scale table, the
+//! binary trie's `O(32)` longest-prefix match matters. The baseline is the
+//! obvious linear scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iotmap_nettypes::{Ipv4Prefix, PrefixMap, SimRng};
+use std::net::Ipv4Addr;
+
+fn table(n: usize) -> Vec<(Ipv4Prefix, u32)> {
+    let mut rng = SimRng::new(99);
+    (0..n)
+        .map(|i| {
+            let addr = Ipv4Addr::from(rng.next_u32());
+            let len = 8 + (rng.next_u64() % 17) as u8; // /8../24
+            (Ipv4Prefix::new(addr, len), i as u32)
+        })
+        .collect()
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let entries = table(20_000);
+    let mut map = PrefixMap::new();
+    for (p, v) in &entries {
+        map.insert_v4(*p, *v);
+    }
+    let mut rng = SimRng::new(123);
+    let probes: Vec<Ipv4Addr> = (0..10_000).map(|_| Ipv4Addr::from(rng.next_u32())).collect();
+
+    let mut group = c.benchmark_group("longest-prefix-match-20k-table");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("binary-trie", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|a| map.lookup_v4(**a).is_some())
+                .count()
+        })
+    });
+    group.bench_function("linear-scan", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|a| {
+                    entries
+                        .iter()
+                        .filter(|(p, _)| p.contains(**a))
+                        .max_by_key(|(p, _)| p.len())
+                        .is_some()
+                })
+                .count()
+        })
+    });
+    group.finish();
+
+    c.bench_function("trie-build-20k", |b| {
+        b.iter(|| {
+            let mut m = PrefixMap::new();
+            for (p, v) in &entries {
+                m.insert_v4(*p, *v);
+            }
+            m.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_lpm);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! # iotmap-bench — the experiment harness
+//!
+//! Shared plumbing for regenerating every table and figure of the paper:
+//! build a world, run the measurement instruments and the discovery
+//! pipeline, assemble the traffic analyses, and hand each experiment
+//! binary exactly the inputs it needs. See `src/bin/exp.rs` for the
+//! experiment entry point and `benches/` for the Criterion
+//! micro-benchmarks.
+
+use iotmap_core::{
+    DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, FootprintInference,
+    PatternRegistry, SharedIpClassifier,
+};
+use iotmap_netflow::{FlowSink, LineId};
+use iotmap_nettypes::StudyPeriod;
+use iotmap_traffic::{
+    AnalysisReport, AnalysisSink, Anonymization, ContactSink, IpIndex, ScannerAnalysis,
+};
+use iotmap_world::{CollectedScans, TrafficSimulator, World, WorldConfig};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// The scanner-exclusion threshold the paper settles on (§5.2).
+pub const SCANNER_THRESHOLD: usize = 100;
+
+/// A fully prepared experiment: world + collected data + pipeline output.
+pub struct Experiment {
+    pub world: World,
+    pub scans: CollectedScans,
+    pub discovery: DiscoveryResult,
+    pub footprints: HashMap<String, Footprint>,
+    pub shared_ips: HashSet<IpAddr>,
+    pub index: IpIndex,
+    pub anonymization: Anonymization,
+}
+
+impl Experiment {
+    /// Build everything for a configuration. This is the §3 + §4 part of
+    /// the study (discovery, validation, footprints); traffic passes are
+    /// separate because different experiments need different sinks.
+    pub fn prepare(config: &WorldConfig) -> Experiment {
+        let world = World::generate(config);
+        let period = config.study_period;
+        let scans = world.collect_scan_data(period);
+        let prober = iotmap_world::view::WorldLatencyProber { world: &world };
+        let discovery = {
+            let sources = DataSources {
+                censys: &scans.censys,
+                zgrab_v6: &scans.zgrab_v6,
+                passive_dns: &world.passive_dns,
+                zones: &world.zones,
+                routeviews: &world.bgp,
+                latency: Some(&prober),
+            };
+            let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
+            pipeline.run(&sources, period)
+        };
+
+        // Footprints and shared-IP classification.
+        let registry = PatternRegistry::paper_defaults();
+        let classifier = SharedIpClassifier::new(&registry);
+        let mut footprints = HashMap::new();
+        let mut shared_ips = HashSet::new();
+        {
+            let sources = DataSources {
+                censys: &scans.censys,
+                zgrab_v6: &scans.zgrab_v6,
+                passive_dns: &world.passive_dns,
+                zones: &world.zones,
+                routeviews: &world.bgp,
+                latency: Some(&prober),
+            };
+            for (name, disc) in discovery.per_provider() {
+                footprints.insert(name.to_string(), FootprintInference::infer(disc, &sources));
+                let (_, shared) = classifier.split_provider(disc, &world.passive_dns, period);
+                shared_ips.extend(shared.keys().copied());
+            }
+        }
+
+        let index = IpIndex::build(&discovery, &footprints, &shared_ips);
+        Experiment {
+            world,
+            scans,
+            discovery,
+            footprints,
+            shared_ips,
+            index,
+            anonymization: Anonymization::paper(),
+        }
+    }
+
+    /// Borrow fresh data sources (for analyses that need them later).
+    pub fn sources(&self) -> DataSources<'_> {
+        DataSources {
+            censys: &self.scans.censys,
+            zgrab_v6: &self.scans.zgrab_v6,
+            passive_dns: &self.world.passive_dns,
+            zones: &self.world.zones,
+            routeviews: &self.world.bgp,
+            latency: None,
+        }
+    }
+
+    /// First traffic pass: per-line backend contact sets over a period.
+    pub fn contact_pass(&self, period: StudyPeriod) -> ContactSink<'_> {
+        let sim = TrafficSimulator::new(&self.world);
+        let mut sink = ContactSink::new(&self.index);
+        sim.run(period, &mut sink);
+        sink
+    }
+
+    /// Scanner exclusion at the paper's threshold.
+    pub fn excluded_lines(&self, contacts: &ContactSink<'_>) -> HashSet<LineId> {
+        let analysis = ScannerAnalysis::new(&self.index, contacts);
+        analysis.flagged_lines(SCANNER_THRESHOLD)
+    }
+
+    /// Second traffic pass: the full analysis report with scanners
+    /// excluded.
+    pub fn analysis_pass(
+        &self,
+        period: StudyPeriod,
+        excluded: &HashSet<LineId>,
+    ) -> AnalysisReport {
+        let sim = TrafficSimulator::new(&self.world);
+        let mut sink = AnalysisSink::new(&self.index, excluded, period);
+        sim.run(period, &mut sink);
+        sink.into_report()
+    }
+
+    /// Convenience: contact pass → exclusion → analysis pass.
+    pub fn full_traffic_analysis(&self, period: StudyPeriod) -> (AnalysisReport, HashSet<LineId>) {
+        let contacts = self.contact_pass(period);
+        let excluded = self.excluded_lines(&contacts);
+        (self.analysis_pass(period, &excluded), excluded)
+    }
+
+    /// Anonymized label for a provider name.
+    pub fn label(&self, provider: &str) -> &'static str {
+        self.anonymization.label(provider)
+    }
+}
+
+/// A sink adapter so `TrafficSimulator` can feed any `FlowSink` from this
+/// crate's experiments without exposing world internals.
+pub struct NullSink;
+
+impl FlowSink for NullSink {
+    fn accept(&mut self, _record: &iotmap_netflow::FlowRecord) {}
+}
+
+/// Parse `--seed`, `--scale` style CLI options (tiny, dependency-free).
+pub struct CliOptions {
+    pub seed: u64,
+    pub preset: String,
+    pub experiment: String,
+    /// Directory to persist CSV artifacts into (`--out DIR`).
+    pub out_dir: Option<String>,
+}
+
+impl CliOptions {
+    /// Parse from `std::env::args`. Usage:
+    /// `exp <experiment|all> [--seed N] [--preset small|medium|paper]`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
+        let mut seed = 42u64;
+        let mut preset = "paper".to_string();
+        let mut experiment = None;
+        let mut out_dir = None;
+        let mut it = args.skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?;
+                }
+                "--preset" => {
+                    preset = it.next().ok_or("--preset needs a value")?;
+                }
+                "--out" => {
+                    out_dir = Some(it.next().ok_or("--out needs a directory")?);
+                }
+                "--help" | "-h" => return Err(usage()),
+                other if experiment.is_none() && !other.starts_with('-') => {
+                    experiment = Some(other.to_string());
+                }
+                other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+            }
+        }
+        Ok(CliOptions {
+            seed,
+            preset,
+            experiment: experiment.ok_or_else(usage)?,
+            out_dir,
+        })
+    }
+
+    /// The world configuration the options select.
+    pub fn config(&self) -> Result<WorldConfig, String> {
+        match self.preset.as_str() {
+            "small" => Ok(WorldConfig::small(self.seed)),
+            "medium" => Ok(WorldConfig::medium(self.seed)),
+            "paper" => Ok(WorldConfig::paper(self.seed)),
+            other => Err(format!("unknown preset {other:?} (small|medium|paper)")),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
+     experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
+     diversity ports-observed consistency sec62-bgp sec62-blocklist \
+     outage-deps cascade monitor ablation-coverage ablation-hitlist"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parsing() {
+        let opts = CliOptions::parse(
+            ["exp", "table1", "--seed", "7", "--preset", "small"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.experiment, "table1");
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.preset, "small");
+        assert!(opts.config().is_ok());
+    }
+
+    #[test]
+    fn cli_rejects_bad_input() {
+        assert!(CliOptions::parse(["exp"].iter().map(|s| s.to_string())).is_err());
+        assert!(
+            CliOptions::parse(["exp", "x", "--bogus"].iter().map(|s| s.to_string())).is_err()
+        );
+        let opts =
+            CliOptions::parse(["exp", "x", "--preset", "huge"].iter().map(|s| s.to_string()))
+                .unwrap();
+        assert!(opts.config().is_err());
+    }
+
+    #[test]
+    fn experiment_prepare_small_world() {
+        let exp = Experiment::prepare(&WorldConfig::small(42));
+        assert_eq!(exp.discovery.per_provider().count(), 16);
+        assert!(exp.index.len() > 100);
+        // Google's shared HTTPS set must have been pruned from the index.
+        let g = exp.index.provider_index("google").unwrap();
+        let google_indexed = exp.index.ips_of(g).len();
+        let google_discovered = exp.discovery.get("google").unwrap().ips.len();
+        assert!(google_indexed < google_discovered);
+        assert!(!exp.shared_ips.is_empty());
+    }
+}

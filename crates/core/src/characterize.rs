@@ -1,0 +1,295 @@
+//! Table 1 characterization: ASes, address-space size, footprint,
+//! protocols, and deployment strategy.
+//!
+//! §4.2's DI/PR call: "We say that an IoT backend uses DI if all its
+//! identified IP addresses are announced by an Autonomous System that is
+//! managed by the backend. If the IP addresses are announced by a cloud
+//! provider or CDN, we refer to it as PR."
+
+use crate::discovery::ProviderDiscovery;
+use crate::footprint::Footprint;
+use crate::patterns::ProviderPatterns;
+use crate::sources::DataSources;
+use iotmap_nettypes::{Asn, Ipv4Prefix, Ipv6Prefix};
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+
+/// Known public cloud / CDN organizations (public knowledge a measurement
+/// study brings to the table — WHOIS-level information).
+const CLOUD_ORGS: [&str; 4] = [
+    "Amazon Web Services",
+    "Microsoft Azure",
+    "Alibaba Cloud",
+    "Akamai Technologies",
+];
+
+/// The inferred deployment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyCall {
+    Dedicated,
+    PublicCloud,
+    Mixed,
+    /// No announcements found (discovery was empty).
+    Unknown,
+}
+
+impl StrategyCall {
+    /// Table 1 label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyCall::Dedicated => "DI",
+            StrategyCall::PublicCloud => "PR",
+            StrategyCall::Mixed => "DI+PR",
+            StrategyCall::Unknown => "?",
+        }
+    }
+}
+
+/// One Table 1 row, as measured.
+#[derive(Debug, Clone)]
+pub struct CharacterizationRow {
+    pub provider: String,
+    pub display: String,
+    pub asns: BTreeSet<Asn>,
+    pub v4_slash24: usize,
+    pub v6_slash56: usize,
+    pub v4_ips: usize,
+    pub v6_ips: usize,
+    pub locations: usize,
+    pub countries: usize,
+    pub ports: String,
+    pub strategy: StrategyCall,
+    pub anycast: bool,
+}
+
+/// The characterizer.
+pub struct Characterizer;
+
+impl Characterizer {
+    /// Build one provider's Table 1 row.
+    pub fn row(
+        patterns: &ProviderPatterns,
+        discovery: &ProviderDiscovery,
+        footprint: &Footprint,
+        sources: &DataSources<'_>,
+    ) -> CharacterizationRow {
+        let mut asns = BTreeSet::new();
+        let mut s24 = BTreeSet::new();
+        let mut s56 = BTreeSet::new();
+        let mut v4 = 0usize;
+        let mut v6 = 0usize;
+        let mut cloud_announced = 0usize;
+        let mut own_announced = 0usize;
+
+        // Special case the provider that *is* a cloud: Amazon IoT announced
+        // by Amazon's ASes is dedicated infrastructure.
+        let self_cloud = patterns.display.split_whitespace().next().unwrap_or("");
+
+        for &ip in discovery.ips.keys() {
+            match ip {
+                IpAddr::V4(a) => {
+                    v4 += 1;
+                    s24.insert(Ipv4Prefix::slash24_of(a));
+                }
+                IpAddr::V6(a) => {
+                    v6 += 1;
+                    s56.insert(Ipv6Prefix::slash56_of(a));
+                }
+            }
+            if let Some(origin) = sources.routeviews.origin(ip) {
+                asns.insert(origin.asn);
+                let is_cloud_org = CLOUD_ORGS.iter().any(|o| origin.org == *o)
+                    && !origin.org.contains(self_cloud);
+                if is_cloud_org {
+                    cloud_announced += 1;
+                } else {
+                    own_announced += 1;
+                }
+            }
+        }
+
+        let strategy = match (own_announced, cloud_announced) {
+            (0, 0) => StrategyCall::Unknown,
+            (_, 0) => StrategyCall::Dedicated,
+            (0, _) => StrategyCall::PublicCloud,
+            (own, cloud) => {
+                // Tolerate small stray shares (below 5%): a handful of
+                // vanity or transition addresses does not change the
+                // deployment strategy.
+                let total = (own + cloud) as f64;
+                if own as f64 / total < 0.05 {
+                    StrategyCall::PublicCloud
+                } else if cloud as f64 / total < 0.05 {
+                    StrategyCall::Dedicated
+                } else {
+                    StrategyCall::Mixed
+                }
+            }
+        };
+
+        let ports = patterns
+            .ports
+            .iter()
+            .map(|d| format!("{}({})", d.protocol, d.port.port))
+            .collect::<Vec<_>>()
+            .join(", ");
+
+        CharacterizationRow {
+            provider: patterns.name.to_string(),
+            display: patterns.display.to_string(),
+            asns,
+            v4_slash24: s24.len(),
+            v6_slash56: s56.len(),
+            v4_ips: v4,
+            v6_ips: v6,
+            locations: footprint.location_count(),
+            countries: footprint.countries().len(),
+            ports,
+            strategy,
+            anycast: patterns.documented_anycast,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::IpEvidence;
+    use crate::patterns::PatternRegistry;
+    use iotmap_dns::{PassiveDnsDb, ZoneDb};
+    use iotmap_nettypes::{BgpOrigin, BgpTable, Continent, Location};
+
+    fn origin(asn: u32, org: &str) -> BgpOrigin {
+        BgpOrigin {
+            asn: Asn(asn),
+            org: org.to_string(),
+            location_label: "x".into(),
+            location: Some(Location::new("Frankfurt", "DE", Continent::Europe, 50.1, 8.7)),
+        }
+    }
+
+    fn run(
+        ips: &[&str],
+        announcements: &[(&str, u32, &str)],
+        provider: &str,
+    ) -> CharacterizationRow {
+        let registry = PatternRegistry::paper_defaults();
+        let patterns = registry.get(provider).unwrap();
+        let mut bgp = BgpTable::new();
+        for (pfx, asn, org) in announcements {
+            bgp.announce_v4(pfx.parse().unwrap(), origin(*asn, org));
+        }
+        let pdns = PassiveDnsDb::new();
+        let zones = ZoneDb::new();
+        let sources = DataSources {
+            censys: &[],
+            zgrab_v6: &[],
+            passive_dns: &pdns,
+            zones: &zones,
+            routeviews: &bgp,
+            latency: None,
+        };
+        let mut disc = ProviderDiscovery {
+            name: provider.to_string(),
+            ..Default::default()
+        };
+        for ip in ips {
+            disc.ips.insert(ip.parse().unwrap(), IpEvidence::default());
+        }
+        let footprint = crate::footprint::FootprintInference::infer(&disc, &sources);
+        Characterizer::row(patterns, &disc, &footprint, &sources)
+    }
+
+    #[test]
+    fn dedicated_call_for_own_asn() {
+        let row = run(
+            &["60.0.0.1", "60.0.1.1"],
+            &[("60.0.0.0/16", 8068, "Microsoft Azure IoT Hub")],
+            "microsoft",
+        );
+        assert_eq!(row.strategy, StrategyCall::Dedicated);
+        assert_eq!(row.v4_slash24, 2);
+        assert_eq!(row.asns.len(), 1);
+        assert_eq!(row.locations, 1);
+        assert_eq!(row.countries, 1);
+    }
+
+    #[test]
+    fn public_cloud_call_for_cloud_org() {
+        let row = run(
+            &["52.0.0.1"],
+            &[("52.0.0.0/13", 14618, "Amazon Web Services")],
+            "bosch",
+        );
+        assert_eq!(row.strategy, StrategyCall::PublicCloud);
+    }
+
+    #[test]
+    fn amazon_on_aws_is_dedicated() {
+        // Amazon IoT announced by "Amazon Web Services" must not be
+        // classified as leasing from a third party.
+        let row = run(
+            &["52.0.0.1"],
+            &[("52.0.0.0/13", 14618, "Amazon Web Services")],
+            "amazon",
+        );
+        assert_eq!(row.strategy, StrategyCall::Dedicated);
+        assert!(row.anycast);
+    }
+
+    #[test]
+    fn mixed_call_for_di_plus_cdn() {
+        let row = run(
+            &["60.0.0.1", "23.0.0.1"],
+            &[
+                ("60.0.0.0/16", 31898, "Oracle IoT"),
+                ("23.0.0.0/16", 20940, "Akamai Technologies"),
+            ],
+            "oracle",
+        );
+        assert_eq!(row.strategy, StrategyCall::Mixed);
+        assert_eq!(row.asns.len(), 2);
+    }
+
+    #[test]
+    fn unknown_when_nothing_discovered() {
+        let row = run(&[], &[], "fujitsu");
+        assert_eq!(row.strategy, StrategyCall::Unknown);
+        assert_eq!(row.v4_slash24, 0);
+    }
+
+    #[test]
+    fn v6_slash56_counting() {
+        let registry = PatternRegistry::paper_defaults();
+        let patterns = registry.get("tencent").unwrap();
+        let bgp = BgpTable::new();
+        let pdns = PassiveDnsDb::new();
+        let zones = ZoneDb::new();
+        let sources = DataSources {
+            censys: &[],
+            zgrab_v6: &[],
+            passive_dns: &pdns,
+            zones: &zones,
+            routeviews: &bgp,
+            latency: None,
+        };
+        let mut disc = ProviderDiscovery {
+            name: "tencent".to_string(),
+            ..Default::default()
+        };
+        for ip in ["2a09::1", "2a09::2", "2a09:0:0:100::1"] {
+            disc.ips.insert(ip.parse().unwrap(), IpEvidence::default());
+        }
+        let footprint = crate::footprint::FootprintInference::infer(&disc, &sources);
+        let row = Characterizer::row(patterns, &disc, &footprint, &sources);
+        assert_eq!(row.v6_ips, 3);
+        assert_eq!(row.v6_slash56, 2);
+    }
+
+    #[test]
+    fn ports_column_renders_documentation() {
+        let row = run(&[], &[], "baidu");
+        assert!(row.ports.contains("MQTT(1884)"), "{}", row.ports);
+        assert!(row.ports.contains("CoAP(5683)"));
+    }
+}

@@ -1,0 +1,535 @@
+//! The multi-source discovery pipeline (§3.3).
+//!
+//! For each provider pattern, four instruments contribute candidate
+//! backend IPs, each tagged with its source so Figure 3's per-source
+//! breakdown and Figure 7's TLS-only ablation fall out directly:
+//!
+//! * **TLS certificates** from daily IPv4 snapshots (`Certificate`),
+//! * **IPv6 hitlist banner grabs** (`Ipv6Scan`),
+//! * **passive DNS** regex searches, including two-step CNAME chasing
+//!   (`PassiveDns`),
+//! * **active DNS** — daily resolution of every passive-DNS-discovered
+//!   domain from three vantage points (`ActiveDns`).
+
+use crate::patterns::PatternRegistry;
+use crate::sources::DataSources;
+use iotmap_dns::{ActiveCampaign, RData};
+use iotmap_nettypes::{DomainName, Location, StudyPeriod};
+use iotmap_scan::zgrab::filter_records;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::net::IpAddr;
+
+/// One discovery channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Source {
+    Certificate,
+    Ipv6Scan,
+    PassiveDns,
+    ActiveDns,
+}
+
+impl Source {
+    /// All channels, in report order.
+    pub const ALL: [Source; 4] = [
+        Source::Certificate,
+        Source::Ipv6Scan,
+        Source::PassiveDns,
+        Source::ActiveDns,
+    ];
+
+    /// Report label (Fig. 3 legend).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Source::Certificate => "TLS Certificates",
+            Source::Ipv6Scan => "IPv6 Scans",
+            Source::PassiveDns => "Passive DNS",
+            Source::ActiveDns => "Active DNS",
+        }
+    }
+
+    fn bit(&self) -> u8 {
+        match self {
+            Source::Certificate => 1,
+            Source::Ipv6Scan => 2,
+            Source::PassiveDns => 4,
+            Source::ActiveDns => 8,
+        }
+    }
+}
+
+/// A set of discovery channels (bitset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceSet(u8);
+
+impl SourceSet {
+    /// Empty set.
+    pub fn empty() -> Self {
+        SourceSet(0)
+    }
+
+    /// Add a channel.
+    pub fn insert(&mut self, s: Source) {
+        self.0 |= s.bit();
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: Source) -> bool {
+        self.0 & s.bit() != 0
+    }
+
+    /// Number of channels that contributed.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The single contributing channel, if exactly one.
+    pub fn sole_source(&self) -> Option<Source> {
+        if self.count() != 1 {
+            return None;
+        }
+        Source::ALL.into_iter().find(|s| self.contains(*s))
+    }
+}
+
+/// Evidence accumulated for one discovered IP.
+#[derive(Debug, Clone, Default)]
+pub struct IpEvidence {
+    pub sources: SourceSet,
+    /// Epoch days on which the IP was (re-)discovered — drives Fig. 4.
+    pub days: BTreeSet<i64>,
+    /// Region code extracted from a matching domain, if the scheme has one.
+    pub domain_hint: Option<String>,
+    /// Scanner-metadata geolocation (Censys).
+    pub censys_location: Option<Location>,
+    /// A few of the matching names (diagnostics; capped).
+    pub matched_names: BTreeSet<String>,
+}
+
+const MAX_MATCHED_NAMES: usize = 12;
+
+impl IpEvidence {
+    fn note_name(&mut self, name: &str) {
+        if self.matched_names.len() < MAX_MATCHED_NAMES {
+            self.matched_names.insert(name.to_string());
+        }
+    }
+}
+
+/// Everything discovered for one provider.
+#[derive(Debug, Default)]
+pub struct ProviderDiscovery {
+    pub name: String,
+    pub ips: HashMap<IpAddr, IpEvidence>,
+    /// Domains that matched the provider's patterns (used to seed active
+    /// resolution and the shared-IP analysis).
+    pub domains: BTreeSet<DomainName>,
+}
+
+impl ProviderDiscovery {
+    /// Discovered IPv4 addresses.
+    pub fn v4_ips(&self) -> impl Iterator<Item = IpAddr> + '_ {
+        self.ips.keys().copied().filter(|ip| ip.is_ipv4())
+    }
+
+    /// Discovered IPv6 addresses.
+    pub fn v6_ips(&self) -> impl Iterator<Item = IpAddr> + '_ {
+        self.ips.keys().copied().filter(|ip| ip.is_ipv6())
+    }
+
+    /// IPs discoverable from a subset of channels only (Fig. 7 ablation).
+    pub fn ips_from_sources(&self, allowed: &[Source]) -> HashSet<IpAddr> {
+        self.ips
+            .iter()
+            .filter(|(_, ev)| allowed.iter().any(|s| ev.sources.contains(*s)))
+            .map(|(ip, _)| *ip)
+            .collect()
+    }
+
+    /// The set discovered on one specific day (Fig. 4 stability input).
+    pub fn daily_set(&self, epoch_day: i64) -> HashSet<IpAddr> {
+        self.ips
+            .iter()
+            .filter(|(_, ev)| ev.days.contains(&epoch_day))
+            .map(|(ip, _)| *ip)
+            .collect()
+    }
+
+    /// Per-source exclusive/multi breakdown (Fig. 3): returns
+    /// `(per-source-exclusive counts, multi-source count)` for one address
+    /// family.
+    pub fn source_breakdown(&self, v6: bool) -> (BTreeMap<Source, usize>, usize) {
+        let mut exclusive: BTreeMap<Source, usize> = BTreeMap::new();
+        let mut multi = 0usize;
+        for (ip, ev) in &self.ips {
+            if ip.is_ipv6() != v6 {
+                continue;
+            }
+            match ev.sources.sole_source() {
+                Some(s) => *exclusive.entry(s).or_default() += 1,
+                None => multi += 1,
+            }
+        }
+        (exclusive, multi)
+    }
+}
+
+/// Pipeline output: all providers.
+#[derive(Debug, Default)]
+pub struct DiscoveryResult {
+    providers: Vec<ProviderDiscovery>,
+}
+
+impl DiscoveryResult {
+    /// Assemble from pre-built provider discoveries (harness and test
+    /// use; the pipeline builds its own).
+    pub fn from_providers(providers: Vec<ProviderDiscovery>) -> Self {
+        DiscoveryResult { providers }
+    }
+
+    /// Per-provider view, in registry order.
+    pub fn per_provider(&self) -> impl Iterator<Item = (&str, &ProviderDiscovery)> {
+        self.providers.iter().map(|p| (p.name.as_str(), p))
+    }
+
+    /// Lookup one provider's discovery.
+    pub fn get(&self, name: &str) -> Option<&ProviderDiscovery> {
+        self.providers.iter().find(|p| p.name == name)
+    }
+
+    /// All discovered IPs across providers.
+    pub fn all_ips(&self) -> HashSet<IpAddr> {
+        self.providers
+            .iter()
+            .flat_map(|p| p.ips.keys().copied())
+            .collect()
+    }
+
+    /// All discovered IPv4 addresses.
+    pub fn all_v4(&self) -> HashSet<IpAddr> {
+        self.all_ips().into_iter().filter(|ip| ip.is_ipv4()).collect()
+    }
+
+    /// All discovered IPv6 addresses.
+    pub fn all_v6(&self) -> HashSet<IpAddr> {
+        self.all_ips().into_iter().filter(|ip| ip.is_ipv6()).collect()
+    }
+}
+
+/// The discovery pipeline.
+pub struct DiscoveryPipeline {
+    registry: PatternRegistry,
+    campaign: ActiveCampaign,
+}
+
+impl DiscoveryPipeline {
+    /// Pipeline with the paper's three active-DNS vantage points.
+    pub fn new(registry: PatternRegistry) -> Self {
+        DiscoveryPipeline {
+            registry,
+            campaign: ActiveCampaign::paper_defaults(),
+        }
+    }
+
+    /// Pipeline with a custom campaign (e.g. single-vantage ablation).
+    pub fn with_campaign(registry: PatternRegistry, campaign: ActiveCampaign) -> Self {
+        DiscoveryPipeline { registry, campaign }
+    }
+
+    /// The registry in use.
+    pub fn registry(&self) -> &PatternRegistry {
+        &self.registry
+    }
+
+    /// Run all four instruments over a study period.
+    pub fn run(&self, sources: &DataSources<'_>, period: StudyPeriod) -> DiscoveryResult {
+        let mut result = DiscoveryResult {
+            providers: self
+                .registry
+                .providers()
+                .iter()
+                .map(|p| ProviderDiscovery {
+                    name: p.name.to_string(),
+                    ..Default::default()
+                })
+                .collect(),
+        };
+
+        self.harvest_certificates(sources, period, &mut result);
+        self.harvest_v6_scans(sources, period, &mut result);
+        self.harvest_passive_dns(sources, period, &mut result);
+        self.harvest_active_dns(sources, period, &mut result);
+        result
+    }
+
+    /// Run with a restricted channel set (ablations; Fig. 7 uses
+    /// certificates only).
+    pub fn run_channels(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        channels: &[Source],
+    ) -> DiscoveryResult {
+        let mut result = DiscoveryResult {
+            providers: self
+                .registry
+                .providers()
+                .iter()
+                .map(|p| ProviderDiscovery {
+                    name: p.name.to_string(),
+                    ..Default::default()
+                })
+                .collect(),
+        };
+        if channels.contains(&Source::Certificate) {
+            self.harvest_certificates(sources, period, &mut result);
+        }
+        if channels.contains(&Source::Ipv6Scan) {
+            self.harvest_v6_scans(sources, period, &mut result);
+        }
+        if channels.contains(&Source::PassiveDns) {
+            self.harvest_passive_dns(sources, period, &mut result);
+        }
+        if channels.contains(&Source::ActiveDns) {
+            self.harvest_active_dns(sources, period, &mut result);
+        }
+        result
+    }
+
+    fn harvest_certificates(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        for snapshot in sources.censys {
+            let day = snapshot.date.epoch_days();
+            let midnight = snapshot.date.midnight();
+            if !period.contains(midnight) {
+                continue;
+            }
+            for (pi, patterns) in self.registry.providers().iter().enumerate() {
+                for record in snapshot.search_regex(&patterns.san_regex, period) {
+                    let entry = result.providers[pi]
+                        .ips
+                        .entry(record.ip)
+                        .or_default();
+                    entry.sources.insert(Source::Certificate);
+                    entry.days.insert(day);
+                    if entry.censys_location.is_none() {
+                        entry.censys_location = record.location.clone();
+                    }
+                    for name in record.certificate.all_names() {
+                        if patterns.matches_san(&name) {
+                            if entry.domain_hint.is_none() {
+                                entry.domain_hint = patterns.region_hint.extract(&name);
+                            }
+                            entry.note_name(&name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn harvest_v6_scans(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        let first_day = period.start.epoch_days();
+        for (pi, patterns) in self.registry.providers().iter().enumerate() {
+            for record in filter_records(sources.zgrab_v6, &patterns.san_regex, period) {
+                let entry = result.providers[pi]
+                    .ips
+                    .entry(IpAddr::V6(record.ip))
+                    .or_default();
+                entry.sources.insert(Source::Ipv6Scan);
+                entry.days.insert(first_day);
+                for name in record.certificate.all_names() {
+                    if patterns.matches_san(&name) {
+                        if entry.domain_hint.is_none() {
+                            entry.domain_hint = patterns.region_hint.extract(&name);
+                        }
+                        entry.note_name(&name);
+                    }
+                }
+            }
+        }
+    }
+
+    fn harvest_passive_dns(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        let pdns = sources.passive_dns;
+        for (pi, patterns) in self.registry.providers().iter().enumerate() {
+            // Direct search: every entry whose owner matches the pattern.
+            // (One linear scan per provider — DNSDB's flexible search.)
+            let mut cname_targets: Vec<(DomainName, DomainName)> = Vec::new();
+            for entry in pdns.entries() {
+                if !entry.observed_in(&period) || !patterns.matches_owner(&entry.owner) {
+                    continue;
+                }
+                result.providers[pi].domains.insert(entry.owner.clone());
+                match &entry.rdata {
+                    RData::Cname(target) => {
+                        cname_targets.push((entry.owner.clone(), target.clone()));
+                    }
+                    rdata => {
+                        if let Some(ip) = rdata.ip() {
+                            Self::note_pdns_ip(
+                                &mut result.providers[pi],
+                                patterns,
+                                ip,
+                                &entry.owner,
+                                entry.time_first.epoch_days().max(period.start.epoch_days()),
+                                entry.time_last.epoch_days().min(period.end.epoch_days() - 1),
+                            );
+                        }
+                    }
+                }
+            }
+            // CNAME chasing: A/AAAA records live under the alias target's
+            // owner name (cloud load balancers).
+            for (owner, target) in cname_targets {
+                for entry in pdns.entries_for_owner(&target, period) {
+                    if let Some(ip) = entry.rdata.ip() {
+                        Self::note_pdns_ip(
+                            &mut result.providers[pi],
+                            patterns,
+                            ip,
+                            &owner,
+                            entry.time_first.epoch_days().max(period.start.epoch_days()),
+                            entry.time_last.epoch_days().min(period.end.epoch_days() - 1),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_pdns_ip(
+        provider: &mut ProviderDiscovery,
+        patterns: &crate::patterns::ProviderPatterns,
+        ip: IpAddr,
+        owner: &DomainName,
+        first_day: i64,
+        last_day: i64,
+    ) {
+        let entry = provider.ips.entry(ip).or_default();
+        entry.sources.insert(Source::PassiveDns);
+        for d in first_day..=last_day {
+            entry.days.insert(d);
+        }
+        if entry.domain_hint.is_none() {
+            entry.domain_hint = patterns.region_hint.extract(owner.as_str());
+        }
+        entry.note_name(owner.as_str());
+    }
+
+    fn harvest_active_dns(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        // Seed: every matching domain seen in passive DNS during the
+        // period (the paper resolves "all domains identified via DNSDB").
+        for (pi, patterns) in self.registry.providers().iter().enumerate() {
+            let mut seeds: BTreeSet<DomainName> = result.providers[pi].domains.clone();
+            for owner in sources.passive_dns.owners_in(period) {
+                if patterns.matches_owner(&owner) {
+                    seeds.insert(owner);
+                }
+            }
+            if seeds.is_empty() {
+                continue;
+            }
+            let domains: Vec<DomainName> = seeds.iter().cloned().collect();
+            let campaign_result = self.campaign.run(sources.zones, &domains, &period);
+            for obs in &campaign_result.observations {
+                let entry = result.providers[pi].ips.entry(obs.ip).or_default();
+                entry.sources.insert(Source::ActiveDns);
+                entry.days.insert(obs.day);
+                if entry.domain_hint.is_none() {
+                    entry.domain_hint = patterns.region_hint.extract(obs.domain.as_str());
+                }
+                entry.note_name(obs.domain.as_str());
+            }
+            result.providers[pi].domains = seeds;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_set_operations() {
+        let mut s = SourceSet::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.sole_source(), None);
+        s.insert(Source::PassiveDns);
+        assert!(s.contains(Source::PassiveDns));
+        assert!(!s.contains(Source::Certificate));
+        assert_eq!(s.sole_source(), Some(Source::PassiveDns));
+        s.insert(Source::ActiveDns);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sole_source(), None);
+        s.insert(Source::ActiveDns); // idempotent
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn evidence_name_cap() {
+        let mut ev = IpEvidence::default();
+        for i in 0..50 {
+            ev.note_name(&format!("n{i}.example.com"));
+        }
+        assert_eq!(ev.matched_names.len(), MAX_MATCHED_NAMES);
+    }
+
+    #[test]
+    fn provider_discovery_breakdowns() {
+        let mut p = ProviderDiscovery {
+            name: "x".to_string(),
+            ..Default::default()
+        };
+        let mut cert_only = IpEvidence::default();
+        cert_only.sources.insert(Source::Certificate);
+        cert_only.days.insert(10);
+        p.ips.insert("192.0.2.1".parse().unwrap(), cert_only);
+
+        let mut both = IpEvidence::default();
+        both.sources.insert(Source::Certificate);
+        both.sources.insert(Source::PassiveDns);
+        both.days.insert(11);
+        p.ips.insert("192.0.2.2".parse().unwrap(), both);
+
+        let mut v6 = IpEvidence::default();
+        v6.sources.insert(Source::Ipv6Scan);
+        v6.days.insert(10);
+        p.ips.insert("2001:db8::1".parse().unwrap(), v6);
+
+        let (excl, multi) = p.source_breakdown(false);
+        assert_eq!(excl.get(&Source::Certificate), Some(&1));
+        assert_eq!(multi, 1);
+        let (excl6, multi6) = p.source_breakdown(true);
+        assert_eq!(excl6.get(&Source::Ipv6Scan), Some(&1));
+        assert_eq!(multi6, 0);
+
+        assert_eq!(p.daily_set(10).len(), 2);
+        assert_eq!(p.daily_set(11).len(), 1);
+        assert_eq!(p.v4_ips().count(), 2);
+        assert_eq!(p.v6_ips().count(), 1);
+
+        let cert_view = p.ips_from_sources(&[Source::Certificate]);
+        assert_eq!(cert_view.len(), 2);
+        let pdns_view = p.ips_from_sources(&[Source::PassiveDns]);
+        assert_eq!(pdns_view.len(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Potential-disruption audits (§6.2): BGP incidents and blocklists.
+
+use crate::discovery::DiscoveryResult;
+use crate::sources::DataSources;
+use iotmap_nettypes::interval::IntervalSet;
+use iotmap_nettypes::{Asn, Ipv4Prefix};
+use std::collections::{BTreeMap, HashSet};
+use std::net::IpAddr;
+
+/// Kind of a routing incident, as reported by a BGPStream-like service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    Leak,
+    PossibleHijack,
+    AsOutage,
+}
+
+/// One routing incident record (the shape BGPStream exports).
+#[derive(Debug, Clone)]
+pub struct RouteIncident {
+    pub kind: IncidentKind,
+    pub prefix: Option<Ipv4Prefix>,
+    pub asn: Asn,
+}
+
+/// Result of checking incidents against the discovered backends.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentAudit {
+    pub total_incidents: usize,
+    /// Incidents whose prefix covers (or is covered by) a backend IP.
+    pub prefix_hits: usize,
+    /// Incidents whose AS hosts backend IPs.
+    pub asn_hits: usize,
+}
+
+impl IncidentAudit {
+    /// Check all incidents against all discovered IPs and their origin
+    /// ASes. The paper found zero hits across 10 leaks, 40 hijacks and
+    /// 166 AS outages.
+    pub fn run(
+        incidents: &[RouteIncident],
+        discovery: &DiscoveryResult,
+        sources: &DataSources<'_>,
+    ) -> IncidentAudit {
+        let all_ips: Vec<IpAddr> = discovery.all_ips().into_iter().collect();
+        let backend_asns: HashSet<Asn> = all_ips
+            .iter()
+            .filter_map(|&ip| sources.routeviews.origin(ip).map(|o| o.asn))
+            .collect();
+
+        let mut audit = IncidentAudit {
+            total_incidents: incidents.len(),
+            ..Default::default()
+        };
+        for incident in incidents {
+            if let Some(prefix) = &incident.prefix {
+                let hit = all_ips.iter().any(|ip| match ip {
+                    IpAddr::V4(a) => prefix.contains(*a),
+                    IpAddr::V6(_) => false,
+                });
+                if hit {
+                    audit.prefix_hits += 1;
+                }
+            }
+            if backend_asns.contains(&incident.asn) {
+                audit.asn_hits += 1;
+            }
+        }
+        audit
+    }
+
+    /// No backend was affected.
+    pub fn all_clear(&self) -> bool {
+        self.prefix_hits == 0 && self.asn_hits == 0
+    }
+}
+
+/// One blocklisted backend IP.
+#[derive(Debug, Clone)]
+pub struct BlocklistFinding {
+    pub provider: String,
+    pub ip: IpAddr,
+    /// Source-list categories, when the aggregate publishes them.
+    pub categories: Vec<String>,
+}
+
+/// Result of intersecting discovered backends with a FireHOL-style
+/// aggregate blocklist.
+#[derive(Debug, Clone, Default)]
+pub struct BlocklistAudit {
+    pub findings: Vec<BlocklistFinding>,
+}
+
+impl BlocklistAudit {
+    /// Intersect every discovered IPv4 backend with the aggregate.
+    /// `categories` maps listed IPs to their source-list labels (public
+    /// information from the individual lists).
+    pub fn run(
+        discovery: &DiscoveryResult,
+        aggregate: &IntervalSet,
+        categories: &BTreeMap<IpAddr, Vec<String>>,
+    ) -> BlocklistAudit {
+        let mut findings = Vec::new();
+        for (provider, disc) in discovery.per_provider() {
+            for &ip in disc.ips.keys() {
+                if let IpAddr::V4(a) = ip {
+                    if aggregate.contains_v4(a) {
+                        findings.push(BlocklistFinding {
+                            provider: provider.to_string(),
+                            ip,
+                            categories: categories.get(&ip).cloned().unwrap_or_default(),
+                        });
+                    }
+                }
+            }
+        }
+        findings.sort_by(|a, b| (&a.provider, a.ip).cmp(&(&b.provider, b.ip)));
+        BlocklistAudit { findings }
+    }
+
+    /// Listed-IP count per provider (the §6.2 tally).
+    pub fn per_provider(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for f in &self.findings {
+            *out.entry(f.provider.clone()).or_default() += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{IpEvidence, ProviderDiscovery};
+    use iotmap_dns::{PassiveDnsDb, ZoneDb};
+    use iotmap_nettypes::{BgpOrigin, BgpTable};
+
+    fn discovery(ips: &[(&str, &str)]) -> DiscoveryResult {
+        // Build through the public-ish surface: construct providers and
+        // plant evidence.
+        let mut result = DiscoveryResult::default();
+        let mut providers: BTreeMap<&str, ProviderDiscovery> = BTreeMap::new();
+        for (prov, ip) in ips {
+            providers
+                .entry(prov)
+                .or_insert_with(|| ProviderDiscovery {
+                    name: prov.to_string(),
+                    ..Default::default()
+                })
+                .ips
+                .insert(ip.parse().unwrap(), IpEvidence::default());
+        }
+        for (_, p) in providers {
+            result_push(&mut result, p);
+        }
+        result
+    }
+
+    // DiscoveryResult's fields are private; tests use a helper in this
+    // crate via the testing-only constructor below.
+    fn result_push(result: &mut DiscoveryResult, p: ProviderDiscovery) {
+        *result = DiscoveryResult::from_providers(
+            result
+                .per_provider()
+                .map(|(_, d)| clone_provider(d))
+                .chain(std::iter::once(p))
+                .collect(),
+        );
+    }
+
+    fn clone_provider(d: &ProviderDiscovery) -> ProviderDiscovery {
+        ProviderDiscovery {
+            name: d.name.clone(),
+            ips: d.ips.clone(),
+            domains: d.domains.clone(),
+        }
+    }
+
+    fn sources<'a>(
+        bgp: &'a BgpTable,
+        pdns: &'a PassiveDnsDb,
+        zones: &'a ZoneDb,
+    ) -> DataSources<'a> {
+        DataSources {
+            censys: &[],
+            zgrab_v6: &[],
+            passive_dns: pdns,
+            zones,
+            routeviews: bgp,
+            latency: None,
+        }
+    }
+
+    #[test]
+    fn incident_audit_all_clear() {
+        let disc = discovery(&[("amazon", "52.0.0.1")]);
+        let mut bgp = BgpTable::new();
+        bgp.announce_v4(
+            "52.0.0.0/13".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(14618),
+                org: "Amazon Web Services".into(),
+                location_label: String::new(),
+                location: None,
+            },
+        );
+        let pdns = PassiveDnsDb::new();
+        let zones = ZoneDb::new();
+        let s = sources(&bgp, &pdns, &zones);
+        let incidents = vec![
+            RouteIncident {
+                kind: IncidentKind::Leak,
+                prefix: Some("130.0.0.0/16".parse().unwrap()),
+                asn: Asn(55555),
+            },
+            RouteIncident {
+                kind: IncidentKind::AsOutage,
+                prefix: None,
+                asn: Asn(55556),
+            },
+        ];
+        let audit = IncidentAudit::run(&incidents, &disc, &s);
+        assert_eq!(audit.total_incidents, 2);
+        assert!(audit.all_clear());
+    }
+
+    #[test]
+    fn incident_audit_detects_hits() {
+        let disc = discovery(&[("amazon", "52.0.0.1")]);
+        let mut bgp = BgpTable::new();
+        bgp.announce_v4(
+            "52.0.0.0/13".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(14618),
+                org: "Amazon Web Services".into(),
+                location_label: String::new(),
+                location: None,
+            },
+        );
+        let pdns = PassiveDnsDb::new();
+        let zones = ZoneDb::new();
+        let s = sources(&bgp, &pdns, &zones);
+        let incidents = vec![
+            RouteIncident {
+                kind: IncidentKind::PossibleHijack,
+                prefix: Some("52.0.0.0/24".parse().unwrap()),
+                asn: Asn(666),
+            },
+            RouteIncident {
+                kind: IncidentKind::AsOutage,
+                prefix: None,
+                asn: Asn(14618),
+            },
+        ];
+        let audit = IncidentAudit::run(&incidents, &disc, &s);
+        assert_eq!(audit.prefix_hits, 1);
+        assert_eq!(audit.asn_hits, 1);
+        assert!(!audit.all_clear());
+    }
+
+    #[test]
+    fn blocklist_audit_finds_planted_ips() {
+        let disc = discovery(&[("baidu", "60.1.0.5"), ("baidu", "60.1.0.6"), ("sap", "40.0.0.9")]);
+        let mut agg = IntervalSet::new();
+        agg.insert(u32::from("60.1.0.5".parse::<std::net::Ipv4Addr>().unwrap()) as u64);
+        agg.insert(u32::from("40.0.0.9".parse::<std::net::Ipv4Addr>().unwrap()) as u64);
+        let mut cats = BTreeMap::new();
+        cats.insert(
+            "60.1.0.5".parse().unwrap(),
+            vec!["open-proxy".to_string()],
+        );
+        let audit = BlocklistAudit::run(&disc, &agg, &cats);
+        assert_eq!(audit.findings.len(), 2);
+        let per = audit.per_provider();
+        assert_eq!(per["baidu"], 1);
+        assert_eq!(per["sap"], 1);
+        assert_eq!(audit.findings[0].categories, vec!["open-proxy"]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Footprint inference (§4.2).
+//!
+//! Per discovered IP, up to four location sources are consulted:
+//!
+//! 1. the **domain hint** (region code in the matched name, mapped via
+//!    provider documentation),
+//! 2. the **announcement location** of the covering prefix
+//!    (Hurricane-Electric-style),
+//! 3. **scanner geolocation** metadata (Censys),
+//! 4. **looking-glass pings** (RTT triangulation against the candidate
+//!    cities), used when the other sources disagree.
+//!
+//! "Typically, all alternatives point to the same location. In less than
+//! 7% of cases, these sources report different locations, in which case we
+//! use the majority vote."
+
+use crate::discovery::ProviderDiscovery;
+use crate::sources::DataSources;
+use iotmap_nettypes::{Continent, Location};
+use iotmap_scan::{estimate_location, lookingglass::default_sites};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
+
+/// The inferred location of one backend IP.
+#[derive(Debug, Clone)]
+pub struct IpLocation {
+    /// Site label: the domain/announcement region code when available,
+    /// else the voted city name.
+    pub label: String,
+    /// The voted geography.
+    pub location: Location,
+    /// Sources disagreed and majority vote / ping arbitration was needed.
+    pub contested: bool,
+}
+
+/// A provider's inferred footprint.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Per-IP inferences.
+    pub per_ip: BTreeMap<IpAddr, IpLocation>,
+    /// IPs with no locatable evidence.
+    pub unlocated: u64,
+}
+
+impl Footprint {
+    /// Distinct location labels (the Table 1 "# Locations" column).
+    pub fn location_count(&self) -> usize {
+        self.per_ip
+            .values()
+            .map(|l| l.label.as_str())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Distinct countries.
+    pub fn countries(&self) -> BTreeSet<String> {
+        self.per_ip
+            .values()
+            .map(|l| l.location.country.as_str().to_string())
+            .collect()
+    }
+
+    /// IP count per continent.
+    pub fn per_continent(&self) -> BTreeMap<Continent, usize> {
+        let mut out = BTreeMap::new();
+        for l in self.per_ip.values() {
+            *out.entry(l.location.continent).or_default() += 1;
+        }
+        out
+    }
+
+    /// Fraction of IPs whose sources disagreed.
+    pub fn contested_fraction(&self) -> f64 {
+        if self.per_ip.is_empty() {
+            return 0.0;
+        }
+        self.per_ip.values().filter(|l| l.contested).count() as f64 / self.per_ip.len() as f64
+    }
+}
+
+/// The inference engine.
+pub struct FootprintInference;
+
+impl FootprintInference {
+    /// Infer the footprint of one provider's discovery.
+    pub fn infer(discovery: &ProviderDiscovery, sources: &DataSources<'_>) -> Footprint {
+        let lg_sites = default_sites();
+        let mut footprint = Footprint::default();
+
+        for (&ip, evidence) in &discovery.ips {
+            // Collect candidate locations.
+            let announcement = sources.routeviews.origin(ip);
+            let ann_loc = announcement.and_then(|o| o.location.clone());
+            let ann_label = announcement
+                .map(|o| o.location_label.clone())
+                .filter(|l| !l.is_empty());
+            let censys_loc = evidence.censys_location.clone();
+
+            let mut candidates: Vec<Location> = Vec::new();
+            if let Some(l) = &ann_loc {
+                candidates.push(l.clone());
+            }
+            if let Some(l) = &censys_loc {
+                candidates.push(l.clone());
+            }
+
+            let (voted, contested) = match (&ann_loc, &censys_loc) {
+                (Some(a), Some(c)) if a.city == c.city => (Some(a.clone()), false),
+                (Some(_), Some(_)) => {
+                    // Disagreement: let the looking glasses arbitrate; fall
+                    // back to the announcement (operator geofeeds beat
+                    // commercial geo databases).
+                    let pick = sources
+                        .latency
+                        .and_then(|prober| {
+                            estimate_location(prober, &lg_sites, ip, &candidates).cloned()
+                        })
+                        .or_else(|| ann_loc.clone());
+                    (pick, true)
+                }
+                (Some(a), None) => (Some(a.clone()), false),
+                (None, Some(c)) => (Some(c.clone()), false),
+                (None, None) => (None, false),
+            };
+
+            match voted {
+                Some(location) => {
+                    let label = evidence
+                        .domain_hint
+                        .clone()
+                        .or(ann_label)
+                        .unwrap_or_else(|| location.city.clone());
+                    footprint.per_ip.insert(
+                        ip,
+                        IpLocation {
+                            label,
+                            location,
+                            contested,
+                        },
+                    );
+                }
+                None => footprint.unlocated += 1,
+            }
+        }
+        footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::IpEvidence;
+    use iotmap_dns::{PassiveDnsDb, ZoneDb};
+    use iotmap_nettypes::{Asn, BgpOrigin, BgpTable};
+
+    fn loc(city: &str, cc: &str, cont: Continent) -> Location {
+        Location::new(city, cc, cont, 0.0, 0.0)
+    }
+
+    fn sources_with_bgp(bgp: &BgpTable) -> (PassiveDnsDb, ZoneDb) {
+        let _ = bgp;
+        (PassiveDnsDb::new(), ZoneDb::new())
+    }
+
+    fn make_sources<'a>(
+        bgp: &'a BgpTable,
+        pdns: &'a PassiveDnsDb,
+        zones: &'a ZoneDb,
+    ) -> DataSources<'a> {
+        DataSources {
+            censys: &[],
+            zgrab_v6: &[],
+            passive_dns: pdns,
+            zones,
+            routeviews: bgp,
+            latency: None,
+        }
+    }
+
+    #[test]
+    fn agreement_is_uncontested() {
+        let mut bgp = BgpTable::new();
+        bgp.announce_v4(
+            "10.0.0.0/16".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(1),
+                org: "X".into(),
+                location_label: "eu-west-1".into(),
+                location: Some(loc("Dublin", "IE", Continent::Europe)),
+            },
+        );
+        let (pdns, zones) = sources_with_bgp(&bgp);
+        let sources = make_sources(&bgp, &pdns, &zones);
+
+        let mut disc = ProviderDiscovery {
+            name: "x".into(),
+            ..Default::default()
+        };
+        let ev = IpEvidence {
+            censys_location: Some(loc("Dublin", "IE", Continent::Europe)),
+            ..Default::default()
+        };
+        disc.ips.insert("10.0.0.1".parse().unwrap(), ev);
+
+        let fp = FootprintInference::infer(&disc, &sources);
+        let l = &fp.per_ip[&"10.0.0.1".parse::<IpAddr>().unwrap()];
+        assert!(!l.contested);
+        assert_eq!(l.location.city, "Dublin");
+        assert_eq!(l.label, "eu-west-1"); // announcement label preferred
+        assert_eq!(fp.location_count(), 1);
+        assert!(fp.countries().contains("IE"));
+    }
+
+    #[test]
+    fn domain_hint_wins_label() {
+        let mut bgp = BgpTable::new();
+        bgp.announce_v4(
+            "10.0.0.0/16".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(1),
+                org: "X".into(),
+                location_label: "pop-fra".into(),
+                location: Some(loc("Frankfurt", "DE", Continent::Europe)),
+            },
+        );
+        let (pdns, zones) = sources_with_bgp(&bgp);
+        let sources = make_sources(&bgp, &pdns, &zones);
+
+        let mut disc = ProviderDiscovery {
+            name: "x".into(),
+            ..Default::default()
+        };
+        let ev = IpEvidence {
+            domain_hint: Some("eu-central-1".into()),
+            ..Default::default()
+        };
+        disc.ips.insert("10.0.0.2".parse().unwrap(), ev);
+
+        let fp = FootprintInference::infer(&disc, &sources);
+        assert_eq!(
+            fp.per_ip[&"10.0.0.2".parse::<IpAddr>().unwrap()].label,
+            "eu-central-1"
+        );
+    }
+
+    #[test]
+    fn disagreement_marks_contested_and_falls_back_to_announcement() {
+        let mut bgp = BgpTable::new();
+        bgp.announce_v4(
+            "10.0.0.0/16".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(1),
+                org: "X".into(),
+                location_label: "ams".into(),
+                location: Some(loc("Amsterdam", "NL", Continent::Europe)),
+            },
+        );
+        let (pdns, zones) = sources_with_bgp(&bgp);
+        let sources = make_sources(&bgp, &pdns, &zones);
+
+        let mut disc = ProviderDiscovery {
+            name: "x".into(),
+            ..Default::default()
+        };
+        let ev = IpEvidence {
+            censys_location: Some(loc("Tokyo", "JP", Continent::Asia)),
+            ..Default::default()
+        };
+        disc.ips.insert("10.0.0.3".parse().unwrap(), ev);
+
+        let fp = FootprintInference::infer(&disc, &sources);
+        let l = &fp.per_ip[&"10.0.0.3".parse::<IpAddr>().unwrap()];
+        assert!(l.contested);
+        assert_eq!(l.location.city, "Amsterdam");
+        assert_eq!(fp.contested_fraction(), 1.0);
+    }
+
+    #[test]
+    fn unlocatable_ips_counted() {
+        let bgp = BgpTable::new();
+        let (pdns, zones) = sources_with_bgp(&bgp);
+        let sources = make_sources(&bgp, &pdns, &zones);
+        let mut disc = ProviderDiscovery {
+            name: "x".into(),
+            ..Default::default()
+        };
+        disc.ips
+            .insert("10.9.9.9".parse().unwrap(), IpEvidence::default());
+        let fp = FootprintInference::infer(&disc, &sources);
+        assert_eq!(fp.unlocated, 1);
+        assert!(fp.per_ip.is_empty());
+    }
+
+    #[test]
+    fn per_continent_counts() {
+        let mut bgp = BgpTable::new();
+        bgp.announce_v4(
+            "10.0.0.0/16".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(1),
+                org: "X".into(),
+                location_label: "eu".into(),
+                location: Some(loc("Paris", "FR", Continent::Europe)),
+            },
+        );
+        bgp.announce_v4(
+            "10.1.0.0/16".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(1),
+                org: "X".into(),
+                location_label: "us".into(),
+                location: Some(loc("Dallas", "US", Continent::NorthAmerica)),
+            },
+        );
+        let (pdns, zones) = sources_with_bgp(&bgp);
+        let sources = make_sources(&bgp, &pdns, &zones);
+        let mut disc = ProviderDiscovery {
+            name: "x".into(),
+            ..Default::default()
+        };
+        disc.ips.insert("10.0.0.1".parse().unwrap(), IpEvidence::default());
+        disc.ips.insert("10.0.0.2".parse().unwrap(), IpEvidence::default());
+        disc.ips.insert("10.1.0.1".parse().unwrap(), IpEvidence::default());
+        let fp = FootprintInference::infer(&disc, &sources);
+        let by_cont = fp.per_continent();
+        assert_eq!(by_cont[&Continent::Europe], 2);
+        assert_eq!(by_cont[&Continent::NorthAmerica], 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # iotmap-core — the paper's methodology
+//!
+//! This crate is the primary contribution of *"Deep Dive into the IoT
+//! Backend Ecosystem"* (IMC 2022), reimplemented: a pipeline that fuses
+//!
+//! 1. **provider documentation** → domain patterns ([`patterns`]),
+//! 2. **TLS certificates** from Internet-wide scans,
+//! 3. **IPv6 hitlist banner grabs**,
+//! 4. **passive DNS** (DNSDB-style regex + time-range queries), and
+//! 5. **active DNS** from three vantage points
+//!
+//! into per-provider backend IP sets with per-source attribution
+//! ([`discovery`]); validates them (shared-vs-dedicated classification and
+//! published ground truth, [`validate`]); infers physical footprints by
+//! majority vote over location sources ([`footprint`]); characterizes
+//! deployments Table-1-style ([`characterize`]); measures set stability
+//! over days ([`stability`]); and audits exposure to routing incidents and
+//! blocklists ([`disruptions`]).
+//!
+//! The pipeline consumes only *measurement artifacts* ([`sources`]): it
+//! has no access to — and no dependency on — the synthetic world's ground
+//! truth. Run it against `iotmap-world`'s collected datasets, or adapt the
+//! same structs to real Censys/DNSDB exports.
+
+pub mod characterize;
+pub mod discovery;
+pub mod disruptions;
+pub mod footprint;
+pub mod monitor;
+pub mod patterns;
+pub mod ports;
+pub mod report;
+pub mod sources;
+pub mod stability;
+pub mod validate;
+
+pub use characterize::{CharacterizationRow, Characterizer, StrategyCall};
+pub use discovery::{DiscoveryPipeline, DiscoveryResult, IpEvidence, ProviderDiscovery, Source, SourceSet};
+pub use footprint::{Footprint, FootprintInference};
+pub use monitor::{Monitor, MonitoringWindow, TrendFinding, TrendKind};
+pub use patterns::{PatternRegistry, ProviderPatterns};
+pub use ports::ObservedPorts;
+pub use sources::DataSources;
+pub use stability::{DailyDiff, StabilityAnalysis};
+pub use validate::{GroundTruthReport, SharedIpClassifier, SharedVerdict};

@@ -1,0 +1,270 @@
+//! Continuous monitoring (§7's closing direction).
+//!
+//! "Looking ahead … continuous monitoring of their footprint and related
+//! traffic flows is crucial not just for compliance reasons but also to
+//! understand how IoT is changing the Internet." This module turns the
+//! one-shot discovery pipeline into a longitudinal monitor: successive
+//! study windows are compared per provider, producing churn rates, growth
+//! trends, and alerts when a backend's regional footprint changes (a new
+//! country appearing — or one disappearing — is exactly what a GDPR
+//! compliance monitor needs to notice).
+
+use crate::discovery::DiscoveryResult;
+use crate::footprint::Footprint;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::net::IpAddr;
+
+/// One provider's state captured at one monitoring window.
+#[derive(Debug, Clone)]
+pub struct ProviderSnapshot {
+    pub ips: HashSet<IpAddr>,
+    pub countries: BTreeSet<String>,
+    pub locations: usize,
+}
+
+/// A labelled monitoring window (e.g. `"2021-12"`, `"2022-02"`).
+#[derive(Debug, Clone)]
+pub struct MonitoringWindow {
+    pub label: String,
+    pub per_provider: BTreeMap<String, ProviderSnapshot>,
+}
+
+impl MonitoringWindow {
+    /// Capture a window from a discovery result and its footprints.
+    pub fn capture(
+        label: &str,
+        discovery: &DiscoveryResult,
+        footprints: &BTreeMap<String, Footprint>,
+    ) -> MonitoringWindow {
+        let mut per_provider = BTreeMap::new();
+        for (name, disc) in discovery.per_provider() {
+            let fp = footprints.get(name);
+            per_provider.insert(
+                name.to_string(),
+                ProviderSnapshot {
+                    ips: disc.ips.keys().copied().collect(),
+                    countries: fp.map(|f| f.countries()).unwrap_or_default(),
+                    locations: fp.map(|f| f.location_count()).unwrap_or(0),
+                },
+            );
+        }
+        MonitoringWindow {
+            label: label.to_string(),
+            per_provider,
+        }
+    }
+}
+
+/// Severity-ordered finding kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrendKind {
+    /// The backend now has gateways in a country it did not before —
+    /// relevant to data-sovereignty compliance.
+    CountryAdded,
+    /// A country disappeared from the footprint.
+    CountryRemoved,
+    /// The IP set grew or shrank beyond the threshold.
+    SizeShift,
+    /// Routine churn below the alert threshold.
+    Churn,
+}
+
+/// One monitoring finding.
+#[derive(Debug, Clone)]
+pub struct TrendFinding {
+    pub provider: String,
+    pub kind: TrendKind,
+    pub detail: String,
+}
+
+/// The longitudinal monitor.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    windows: Vec<MonitoringWindow>,
+    /// Relative IP-set size change that triggers a `SizeShift` finding.
+    pub size_shift_threshold: f64,
+}
+
+impl Monitor {
+    /// Monitor with a 20% size-shift alert threshold.
+    pub fn new() -> Self {
+        Monitor {
+            windows: Vec::new(),
+            size_shift_threshold: 0.2,
+        }
+    }
+
+    /// Append a window (windows are compared in insertion order).
+    pub fn push(&mut self, window: MonitoringWindow) {
+        self.windows.push(window);
+    }
+
+    /// Number of captured windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no windows have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Compare the two most recent windows and report findings, sorted by
+    /// severity.
+    pub fn latest_findings(&self) -> Vec<TrendFinding> {
+        let n = self.windows.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        self.compare(&self.windows[n - 2], &self.windows[n - 1])
+    }
+
+    fn compare(&self, prev: &MonitoringWindow, curr: &MonitoringWindow) -> Vec<TrendFinding> {
+        let mut findings = Vec::new();
+        for (name, now) in &curr.per_provider {
+            let Some(before) = prev.per_provider.get(name) else {
+                continue;
+            };
+            // Country-level footprint changes.
+            for added in now.countries.difference(&before.countries) {
+                findings.push(TrendFinding {
+                    provider: name.clone(),
+                    kind: TrendKind::CountryAdded,
+                    detail: format!(
+                        "gateways now present in {added} ({} → {})",
+                        prev.label, curr.label
+                    ),
+                });
+            }
+            for removed in before.countries.difference(&now.countries) {
+                findings.push(TrendFinding {
+                    provider: name.clone(),
+                    kind: TrendKind::CountryRemoved,
+                    detail: format!(
+                        "no gateways left in {removed} ({} → {})",
+                        prev.label, curr.label
+                    ),
+                });
+            }
+            // Size trends.
+            let b = before.ips.len().max(1) as f64;
+            let shift = now.ips.len() as f64 / b - 1.0;
+            let stable = before.ips.intersection(&now.ips).count();
+            let churn = 1.0
+                - stable as f64 / before.ips.union(&now.ips).count().max(1) as f64;
+            if shift.abs() > self.size_shift_threshold {
+                findings.push(TrendFinding {
+                    provider: name.clone(),
+                    kind: TrendKind::SizeShift,
+                    detail: format!(
+                        "IP set {} by {:.0}% ({} → {})",
+                        if shift > 0.0 { "grew" } else { "shrank" },
+                        shift.abs() * 100.0,
+                        before.ips.len(),
+                        now.ips.len()
+                    ),
+                });
+            } else if churn > 0.0 {
+                findings.push(TrendFinding {
+                    provider: name.clone(),
+                    kind: TrendKind::Churn,
+                    detail: format!("{:.1}% membership churn", churn * 100.0),
+                });
+            }
+        }
+        findings.sort_by(|a, b| a.kind.cmp(&b.kind).then(a.provider.cmp(&b.provider)));
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(ips: &[&str], countries: &[&str]) -> ProviderSnapshot {
+        ProviderSnapshot {
+            ips: ips.iter().map(|s| s.parse().unwrap()).collect(),
+            countries: countries.iter().map(|s| s.to_string()).collect(),
+            locations: countries.len(),
+        }
+    }
+
+    fn window(label: &str, providers: &[(&str, ProviderSnapshot)]) -> MonitoringWindow {
+        MonitoringWindow {
+            label: label.to_string(),
+            per_provider: providers
+                .iter()
+                .map(|(n, s)| (n.to_string(), s.clone()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn no_findings_with_fewer_than_two_windows() {
+        let mut m = Monitor::new();
+        assert!(m.latest_findings().is_empty());
+        m.push(window("w1", &[("x", snapshot(&["10.0.0.1"], &["DE"]))]));
+        assert!(m.latest_findings().is_empty());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn country_changes_are_flagged_first() {
+        let mut m = Monitor::new();
+        m.push(window("dec", &[("x", snapshot(&["10.0.0.1"], &["DE"]))]));
+        m.push(window(
+            "feb",
+            &[("x", snapshot(&["10.0.0.1", "10.0.0.2"], &["DE", "CN"]))],
+        ));
+        let findings = m.latest_findings();
+        assert!(!findings.is_empty());
+        assert_eq!(findings[0].kind, TrendKind::CountryAdded);
+        assert!(findings[0].detail.contains("CN"));
+        // The 2x size growth is also flagged.
+        assert!(findings.iter().any(|f| f.kind == TrendKind::SizeShift));
+    }
+
+    #[test]
+    fn country_removal_flagged() {
+        let mut m = Monitor::new();
+        m.push(window("w1", &[("x", snapshot(&["10.0.0.1"], &["DE", "US"]))]));
+        m.push(window("w2", &[("x", snapshot(&["10.0.0.1"], &["DE"]))]));
+        let findings = m.latest_findings();
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == TrendKind::CountryRemoved && f.detail.contains("US")));
+    }
+
+    #[test]
+    fn small_churn_reported_quietly() {
+        let mut m = Monitor::new();
+        m.push(window(
+            "w1",
+            &[("x", snapshot(&["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.5"], &["DE"]))],
+        ));
+        m.push(window(
+            "w2",
+            &[("x", snapshot(&["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.6"], &["DE"]))],
+        ));
+        let findings = m.latest_findings();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, TrendKind::Churn);
+    }
+
+    #[test]
+    fn stable_provider_with_identical_sets_yields_nothing() {
+        let mut m = Monitor::new();
+        let snap = snapshot(&["10.0.0.1"], &["DE"]);
+        m.push(window("w1", &[("x", snap.clone())]));
+        m.push(window("w2", &[("x", snap)]));
+        assert!(m.latest_findings().is_empty());
+    }
+
+    #[test]
+    fn providers_missing_from_previous_window_are_skipped() {
+        let mut m = Monitor::new();
+        m.push(window("w1", &[]));
+        m.push(window("w2", &[("new", snapshot(&["10.0.0.1"], &["DE"]))]));
+        assert!(m.latest_findings().is_empty());
+    }
+}

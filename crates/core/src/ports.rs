@@ -1,0 +1,198 @@
+//! Observed service ports (§4.4, measured).
+//!
+//! Table 1's port column comes from documentation; this module checks it
+//! against the *measured* port-scan view: which ports do the discovered
+//! gateways actually listen on, how would IANA conventions label them, and
+//! which listening ports a pure certificate scan can never see (plaintext
+//! MQTT, custom TCP) — the paper's "purely probing the expected ports can
+//! be misleading" finding.
+
+use crate::discovery::ProviderDiscovery;
+use crate::patterns::ProviderPatterns;
+use iotmap_nettypes::{AppProtocol, PortProto};
+use iotmap_scan::CensysSnapshot;
+use std::collections::{BTreeMap, HashSet};
+use std::net::IpAddr;
+
+/// Per-provider observed-port report.
+#[derive(Debug, Clone)]
+pub struct ObservedPorts {
+    pub provider: String,
+    /// Open port → number of discovered gateways listening on it.
+    pub listeners: BTreeMap<PortProto, usize>,
+    /// Ports that are open but absent from the provider's documentation.
+    pub undocumented: Vec<PortProto>,
+    /// Documented ports never observed open on any discovered gateway.
+    pub unobserved_documented: Vec<PortProto>,
+    /// Open ports on which a TLS certificate was actually harvested.
+    pub cert_bearing: HashSet<PortProto>,
+}
+
+impl ObservedPorts {
+    /// Analyze one provider against the port-scan view of the snapshots.
+    pub fn analyze(
+        patterns: &ProviderPatterns,
+        discovery: &ProviderDiscovery,
+        snapshots: &[CensysSnapshot],
+    ) -> ObservedPorts {
+        let mut listeners: BTreeMap<PortProto, HashSet<IpAddr>> = BTreeMap::new();
+        let mut cert_bearing = HashSet::new();
+        for snapshot in snapshots {
+            for (addr, ports) in &snapshot.host_ports {
+                let ip = IpAddr::V4(*addr);
+                if !discovery.ips.contains_key(&ip) {
+                    continue;
+                }
+                for p in ports {
+                    listeners.entry(*p).or_default().insert(ip);
+                }
+            }
+            for record in &snapshot.records {
+                if discovery.ips.contains_key(&record.ip) {
+                    cert_bearing.insert(record.port);
+                }
+            }
+        }
+        let documented: HashSet<PortProto> = patterns.ports.iter().map(|d| d.port).collect();
+        let observed: HashSet<PortProto> = listeners.keys().copied().collect();
+        let mut undocumented: Vec<PortProto> =
+            observed.difference(&documented).copied().collect();
+        undocumented.sort();
+        let mut unobserved_documented: Vec<PortProto> =
+            documented.difference(&observed).copied().collect();
+        unobserved_documented.sort();
+        ObservedPorts {
+            provider: patterns.name.to_string(),
+            listeners: listeners
+                .into_iter()
+                .map(|(p, ips)| (p, ips.len()))
+                .collect(),
+            undocumented,
+            unobserved_documented,
+            cert_bearing,
+        }
+    }
+
+    /// Open ports that can never yield a certificate (the blind spot of a
+    /// TLS-only scan).
+    pub fn cert_blind_ports(&self) -> Vec<PortProto> {
+        self.listeners
+            .keys()
+            .filter(|p| !self.cert_bearing.contains(p))
+            .copied()
+            .collect()
+    }
+
+    /// IANA-convention labelling of the observed ports — what a
+    /// port-number-based classifier would conclude (Fig. 11's axis).
+    pub fn iana_labels(&self) -> BTreeMap<AppProtocol, usize> {
+        let mut out: BTreeMap<AppProtocol, usize> = BTreeMap::new();
+        for (port, n) in &self.listeners {
+            *out.entry(AppProtocol::classify(*port)).or_default() += n;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::IpEvidence;
+    use crate::patterns::PatternRegistry;
+    use iotmap_nettypes::Date;
+    use iotmap_scan::CensysRecord;
+    use iotmap_tls::{Certificate, SanName};
+    use std::net::Ipv4Addr;
+
+    fn snapshot(hosts: &[(&str, &[u16])], cert_on: &[(&str, u16)]) -> CensysSnapshot {
+        let validity = iotmap_nettypes::StudyPeriod::from_dates(
+            Date::new(2022, 1, 1),
+            Date::new(2023, 1, 1),
+        );
+        CensysSnapshot {
+            date: Date::new(2022, 2, 28),
+            records: cert_on
+                .iter()
+                .map(|(ip, port)| CensysRecord {
+                    ip: ip.parse().unwrap(),
+                    port: PortProto::tcp(*port),
+                    certificate: Certificate::new(
+                        "c",
+                        vec![SanName::parse("*.iot.example").unwrap()],
+                        validity,
+                    ),
+                    location: None,
+                })
+                .collect(),
+            host_ports: hosts
+                .iter()
+                .map(|(ip, ports)| {
+                    (
+                        ip.parse::<Ipv4Addr>().unwrap(),
+                        ports.iter().map(|p| PortProto::tcp(*p)).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn discovery(ips: &[&str]) -> ProviderDiscovery {
+        let mut d = ProviderDiscovery {
+            name: "alibaba".to_string(),
+            ..Default::default()
+        };
+        for ip in ips {
+            d.ips.insert(ip.parse().unwrap(), IpEvidence::default());
+        }
+        d
+    }
+
+    #[test]
+    fn observed_vs_documented() {
+        let registry = PatternRegistry::paper_defaults();
+        let patterns = registry.get("alibaba").unwrap();
+        // Alibaba documents MQTT 1883, HTTPS 443, CoAP 5682 (UDP).
+        let snap = snapshot(
+            &[("10.0.0.1", &[1883, 443, 61616])], // 61616 is undocumented
+            &[("10.0.0.1", 443)],
+        );
+        let disc = discovery(&["10.0.0.1"]);
+        let obs = ObservedPorts::analyze(patterns, &disc, &[snap]);
+        assert_eq!(obs.listeners.len(), 3);
+        assert_eq!(obs.undocumented, vec![PortProto::tcp(61616)]);
+        // The documented UDP CoAP port was never seen by this TCP scan.
+        assert!(obs
+            .unobserved_documented
+            .contains(&iotmap_nettypes::PortProto::udp(5682)));
+        // Plaintext MQTT listens but bears no certificate.
+        let blind = obs.cert_blind_ports();
+        assert!(blind.contains(&PortProto::tcp(1883)));
+        assert!(!blind.contains(&PortProto::tcp(443)));
+    }
+
+    #[test]
+    fn undiscovered_hosts_ignored() {
+        let registry = PatternRegistry::paper_defaults();
+        let patterns = registry.get("alibaba").unwrap();
+        let snap = snapshot(&[("10.0.0.9", &[443])], &[]);
+        let disc = discovery(&["10.0.0.1"]);
+        let obs = ObservedPorts::analyze(patterns, &disc, &[snap]);
+        assert!(obs.listeners.is_empty());
+    }
+
+    #[test]
+    fn iana_labels_cannot_see_mqtt_over_443() {
+        let registry = PatternRegistry::paper_defaults();
+        let patterns = registry.get("amazon").unwrap();
+        let snap = snapshot(&[("10.0.0.1", &[443, 8883])], &[]);
+        let mut disc = discovery(&["10.0.0.1"]);
+        disc.name = "amazon".to_string();
+        let obs = ObservedPorts::analyze(patterns, &disc, &[snap]);
+        let labels = obs.iana_labels();
+        // Port-number classification calls 443 "HTTPS" even though Amazon
+        // documents MQTT on it — the §4.4/§5.5 methodological gap.
+        assert_eq!(labels.get(&AppProtocol::Https), Some(&1));
+        assert_eq!(labels.get(&AppProtocol::MqttTls), Some(&1));
+        assert!(!labels.contains_key(&AppProtocol::Mqtt));
+    }
+}

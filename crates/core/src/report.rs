@@ -1,0 +1,195 @@
+//! Plain-text / markdown / CSV rendering of analysis outputs.
+//!
+//! The experiment harness prints the same rows and series the paper's
+//! tables and figures report; these helpers keep the formatting in one
+//! place (and dependency-free).
+
+use crate::characterize::CharacterizationRow;
+
+/// A simple aligned text table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render the full Table 1 from characterization rows.
+pub fn table1(rows: &[CharacterizationRow]) -> TextTable {
+    let mut t = TextTable::new(&[
+        "Provider",
+        "#AS",
+        "#IPv4 /24",
+        "(IPv6 /56)",
+        "#Loc",
+        "#Ctry",
+        "Strategy",
+        "Protocols (Ports)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.display.clone(),
+            r.asns.len().to_string(),
+            r.v4_slash24.to_string(),
+            r.v6_slash56.to_string(),
+            r.locations.to_string(),
+            format!(
+                "{}{}",
+                r.countries,
+                if r.anycast { " +Anycast" } else { "" }
+            ),
+            r.strategy.label().to_string(),
+            r.ports.clone(),
+        ]);
+    }
+    t
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a byte count in human units.
+pub fn bytes_h(b: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b;
+    let mut u = 0;
+    while v >= 1000.0 && u < UNITS.len() - 1 {
+        v /= 1000.0;
+        u += 1;
+    }
+    format!("{v:.1} {}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_counts() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(vec!["x".into(), "y".into()]);
+        t.row(vec!["longer".into(), "z".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("x"));
+        // Columns aligned: 'y' and 'z' start at the same offset.
+        let off_y = lines[2].find('y').unwrap();
+        let off_z = lines[3].find('z').unwrap();
+        assert_eq!(off_y, off_z);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.3456), "34.6%");
+        assert_eq!(bytes_h(1234.0), "1.2 KB");
+        assert_eq!(bytes_h(5.0e9), "5.0 GB");
+        assert_eq!(bytes_h(12.0), "12.0 B");
+    }
+}

@@ -1,0 +1,28 @@
+//! The measurement artifacts the pipeline consumes (Figure 2 of the
+//! paper).
+//!
+//! Nothing in here is ground truth: these are the datasets a real
+//! measurement study buys, collects, or downloads — daily certificate
+//! snapshots, IPv6 banner grabs, a passive-DNS database, the live DNS it
+//! can query, the RouteViews table, and (optionally) looking glasses.
+
+use iotmap_dns::{PassiveDnsDb, ZoneDb};
+use iotmap_nettypes::BgpTable;
+use iotmap_scan::{CensysSnapshot, LatencyProber, ZgrabRecord};
+
+/// Everything the discovery pipeline and downstream analyses may read.
+pub struct DataSources<'a> {
+    /// Daily Censys-style IPv4 snapshots covering the study period.
+    pub censys: &'a [CensysSnapshot],
+    /// ZGrab2 results from the IPv6 hitlist campaign.
+    pub zgrab_v6: &'a [ZgrabRecord],
+    /// The passive-DNS database (DNSDB stand-in).
+    pub passive_dns: &'a PassiveDnsDb,
+    /// The live DNS, queried by the active resolution campaign.
+    pub zones: &'a ZoneDb,
+    /// RouteViews/CAIDA prefix→AS table with Hurricane-Electric-style
+    /// announcement locations.
+    pub routeviews: &'a BgpTable,
+    /// Looking glasses for RTT-based location estimation (§4.2 fallback).
+    pub latency: Option<&'a dyn LatencyProber>,
+}

@@ -1,0 +1,133 @@
+//! Stability of the discovered IP sets across days (§4.1, Figure 4).
+//!
+//! "Our reference date is the first day… We distinguish between IPs that
+//! are in both sets (green bar), that are newly discovered (red), and
+//! those that are only in the first set (blue)."
+
+use crate::discovery::ProviderDiscovery;
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+/// The three-way diff between a reference day and a comparison day.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DailyDiff {
+    pub reference_day: i64,
+    pub compare_day: i64,
+    /// IPs present on both days.
+    pub both: usize,
+    /// IPs only on the comparison day (newly discovered).
+    pub added: usize,
+    /// IPs only on the reference day (gone).
+    pub removed: usize,
+}
+
+impl DailyDiff {
+    /// Fraction of the union that is stable.
+    pub fn stability(&self) -> f64 {
+        let total = self.both + self.added + self.removed;
+        if total == 0 {
+            return 1.0;
+        }
+        self.both as f64 / total as f64
+    }
+
+    /// Churn = 1 − stability.
+    pub fn churn(&self) -> f64 {
+        1.0 - self.stability()
+    }
+}
+
+/// Stability analysis over a discovery.
+pub struct StabilityAnalysis;
+
+impl StabilityAnalysis {
+    /// Diff the sets discovered on two days.
+    pub fn diff(discovery: &ProviderDiscovery, reference_day: i64, compare_day: i64) -> DailyDiff {
+        let a: HashSet<IpAddr> = discovery.daily_set(reference_day);
+        let b: HashSet<IpAddr> = discovery.daily_set(compare_day);
+        DailyDiff {
+            reference_day,
+            compare_day,
+            both: a.intersection(&b).count(),
+            added: b.difference(&a).count(),
+            removed: a.difference(&b).count(),
+        }
+    }
+
+    /// Figure 4's bar set: reference day against each of `compare_days`.
+    pub fn figure4(
+        discovery: &ProviderDiscovery,
+        reference_day: i64,
+        compare_days: &[i64],
+    ) -> Vec<DailyDiff> {
+        compare_days
+            .iter()
+            .map(|&d| Self::diff(discovery, reference_day, d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::IpEvidence;
+
+    fn discovery(entries: &[(&str, &[i64])]) -> ProviderDiscovery {
+        let mut p = ProviderDiscovery {
+            name: "x".to_string(),
+            ..Default::default()
+        };
+        for (ip, days) in entries {
+            let mut ev = IpEvidence::default();
+            for d in *days {
+                ev.days.insert(*d);
+            }
+            p.ips.insert(ip.parse().unwrap(), ev);
+        }
+        p
+    }
+
+    #[test]
+    fn stable_set_has_no_churn() {
+        let d = discovery(&[
+            ("10.0.0.1", &[100, 101, 102]),
+            ("10.0.0.2", &[100, 101, 102]),
+        ]);
+        let diff = StabilityAnalysis::diff(&d, 100, 102);
+        assert_eq!(diff.both, 2);
+        assert_eq!(diff.added, 0);
+        assert_eq!(diff.removed, 0);
+        assert_eq!(diff.stability(), 1.0);
+    }
+
+    #[test]
+    fn churny_set_diffs() {
+        let d = discovery(&[
+            ("10.0.0.1", &[100, 101]), // stays
+            ("10.0.0.2", &[100]),      // gone on 101
+            ("10.0.0.3", &[101]),      // new on 101
+        ]);
+        let diff = StabilityAnalysis::diff(&d, 100, 101);
+        assert_eq!(diff.both, 1);
+        assert_eq!(diff.added, 1);
+        assert_eq!(diff.removed, 1);
+        assert!((diff.stability() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((diff.churn() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure4_multiple_comparisons() {
+        let d = discovery(&[("10.0.0.1", &[100, 101, 103, 106])]);
+        let bars = StabilityAnalysis::figure4(&d, 100, &[101, 103, 106]);
+        assert_eq!(bars.len(), 3);
+        assert!(bars.iter().all(|b| b.both == 1));
+        assert_eq!(bars[0].compare_day, 101);
+    }
+
+    #[test]
+    fn empty_days_are_fully_stable() {
+        let d = discovery(&[]);
+        let diff = StabilityAnalysis::diff(&d, 100, 101);
+        assert_eq!(diff.stability(), 1.0);
+    }
+}

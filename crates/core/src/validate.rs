@@ -1,0 +1,319 @@
+//! Validation of discovered IPs (§3.4).
+//!
+//! Two checks:
+//!
+//! 1. **Shared vs. dedicated** — an IP also carrying many domains that do
+//!    *not* match any IoT pattern is not exclusively an IoT gateway
+//!    (CDN-fronted or co-hosted infrastructure). The paper discovered
+//!    Google's MQTT/HTTPS split this way and excludes shared IPs from the
+//!    traffic analysis.
+//! 2. **Ground truth** — compare against the IP lists / prefixes that
+//!    Cisco, Siemens and Microsoft publish.
+
+use crate::discovery::ProviderDiscovery;
+use crate::patterns::PatternRegistry;
+use iotmap_dns::PassiveDnsDb;
+use iotmap_nettypes::{Ipv4Prefix, StudyPeriod};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// Verdict for one IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedVerdict {
+    /// Exclusively IoT: few or no unrelated domains point here.
+    Dedicated,
+    /// Also serves non-IoT content (`count` unrelated domains observed).
+    Shared { non_iot_domains: u32 },
+}
+
+impl SharedVerdict {
+    /// Is the IP shared?
+    pub fn is_shared(&self) -> bool {
+        matches!(self, SharedVerdict::Shared { .. })
+    }
+}
+
+/// The shared-vs-dedicated classifier.
+pub struct SharedIpClassifier<'a> {
+    registry: &'a PatternRegistry,
+    /// Maximum number of unrelated domains an exclusive IoT gateway may
+    /// carry (stray vanity records exist; the paper chose the threshold by
+    /// inspection).
+    pub threshold: u32,
+}
+
+impl<'a> SharedIpClassifier<'a> {
+    /// Classifier with the default threshold of 3 unrelated domains.
+    pub fn new(registry: &'a PatternRegistry) -> Self {
+        SharedIpClassifier {
+            registry,
+            threshold: 3,
+        }
+    }
+
+    /// Classify one IP by inverse passive-DNS lookup.
+    pub fn classify(
+        &self,
+        ip: IpAddr,
+        pdns: &PassiveDnsDb,
+        period: StudyPeriod,
+    ) -> SharedVerdict {
+        let mut non_iot = 0u32;
+        let mut seen: HashSet<&str> = HashSet::new();
+        for entry in pdns.domains_for_ip(ip, period) {
+            if !seen.insert(entry.owner.as_str()) {
+                continue;
+            }
+            if self.registry.classify_owner(&entry.owner).is_none() {
+                non_iot += 1;
+            }
+        }
+        if non_iot > self.threshold {
+            SharedVerdict::Shared {
+                non_iot_domains: non_iot,
+            }
+        } else {
+            SharedVerdict::Dedicated
+        }
+    }
+
+    /// Classify a whole provider: returns `(dedicated, shared)` IP sets.
+    pub fn split_provider(
+        &self,
+        discovery: &ProviderDiscovery,
+        pdns: &PassiveDnsDb,
+        period: StudyPeriod,
+    ) -> (HashSet<IpAddr>, HashMap<IpAddr, u32>) {
+        let mut dedicated = HashSet::new();
+        let mut shared = HashMap::new();
+        for &ip in discovery.ips.keys() {
+            match self.classify(ip, pdns, period) {
+                SharedVerdict::Dedicated => {
+                    dedicated.insert(ip);
+                }
+                SharedVerdict::Shared { non_iot_domains } => {
+                    shared.insert(ip, non_iot_domains);
+                }
+            }
+        }
+        (dedicated, shared)
+    }
+}
+
+/// §3.4's comparison against published ground truth.
+#[derive(Debug, Clone)]
+pub struct GroundTruthReport {
+    pub provider: String,
+    /// IPs the provider publishes (expanded from prefixes when needed).
+    pub published_total: u64,
+    /// Discovered IPs that fall inside the published space.
+    pub discovered_inside: u64,
+    /// Discovered IPs outside the published space (not an error —
+    /// publication can be partial).
+    pub discovered_outside: u64,
+}
+
+impl GroundTruthReport {
+    /// Compare a discovery against a published full IP list (Cisco,
+    /// Siemens).
+    pub fn against_ip_list(
+        provider: &str,
+        discovery: &ProviderDiscovery,
+        published: &[IpAddr],
+    ) -> Self {
+        let published_set: HashSet<&IpAddr> = published.iter().collect();
+        let discovered: HashSet<IpAddr> = discovery.ips.keys().copied().collect();
+        let inside = discovered.iter().filter(|ip| published_set.contains(ip)).count() as u64;
+        GroundTruthReport {
+            provider: provider.to_string(),
+            published_total: published.len() as u64,
+            discovered_inside: inside,
+            discovered_outside: discovered.len() as u64 - inside,
+        }
+    }
+
+    /// Compare against published prefixes (Microsoft).
+    pub fn against_prefixes(
+        provider: &str,
+        discovery: &ProviderDiscovery,
+        published: &[Ipv4Prefix],
+    ) -> Self {
+        let published_total: u64 = published.iter().map(|p| p.size()).sum();
+        let mut inside = 0u64;
+        let mut outside = 0u64;
+        for ip in discovery.ips.keys() {
+            match ip {
+                IpAddr::V4(a) if published.iter().any(|p| p.contains(*a)) => inside += 1,
+                _ => outside += 1,
+            }
+        }
+        GroundTruthReport {
+            provider: provider.to_string(),
+            published_total,
+            discovered_inside: inside,
+            discovered_outside: outside,
+        }
+    }
+
+    /// Of the published IPs, how many did we find? (Only meaningful for
+    /// full-list publication.)
+    pub fn recall_of_published(&self, discovery: &ProviderDiscovery, published: &[IpAddr]) -> f64 {
+        if published.is_empty() {
+            return 1.0;
+        }
+        let found = published
+            .iter()
+            .filter(|ip| discovery.ips.contains_key(ip))
+            .count();
+        found as f64 / published.len() as f64
+    }
+}
+
+/// The §3.4 traffic cross-check: of the published addresses that are
+/// *actually active* (appear as flow remotes), how many did discovery
+/// miss, and what traffic share do the misses carry?
+#[derive(Debug, Clone, Default)]
+pub struct ActiveCoverage {
+    pub active_published: u64,
+    pub missed: u64,
+    pub missed_traffic_fraction: f64,
+}
+
+impl ActiveCoverage {
+    /// `active` maps published-space IPs seen in traffic to their byte
+    /// volume.
+    pub fn compute(discovery: &ProviderDiscovery, active: &HashMap<IpAddr, u64>) -> Self {
+        let mut missed = 0u64;
+        let mut missed_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        for (ip, bytes) in active {
+            total_bytes += bytes;
+            if !discovery.ips.contains_key(ip) {
+                missed += 1;
+                missed_bytes += bytes;
+            }
+        }
+        ActiveCoverage {
+            active_published: active.len() as u64,
+            missed,
+            missed_traffic_fraction: if total_bytes == 0 {
+                0.0
+            } else {
+                missed_bytes as f64 / total_bytes as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::IpEvidence;
+    use iotmap_dns::RData;
+    use iotmap_nettypes::{Date, DomainName};
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn week() -> StudyPeriod {
+        StudyPeriod::main_week()
+    }
+
+    fn t() -> iotmap_nettypes::SimTime {
+        Date::new(2022, 3, 1).midnight()
+    }
+
+    #[test]
+    fn dedicated_ip_with_only_iot_domains() {
+        let registry = PatternRegistry::paper_defaults();
+        let mut pdns = PassiveDnsDb::new();
+        let ip: IpAddr = "192.0.2.1".parse().unwrap();
+        pdns.observe(d("hub-1.azure-devices.net"), RData::A("192.0.2.1".parse().unwrap()), t());
+        pdns.observe(d("hub-2.azure-devices.net"), RData::A("192.0.2.1".parse().unwrap()), t());
+        let c = SharedIpClassifier::new(&registry);
+        assert_eq!(c.classify(ip, &pdns, week()), SharedVerdict::Dedicated);
+    }
+
+    #[test]
+    fn shared_ip_with_many_web_domains() {
+        let registry = PatternRegistry::paper_defaults();
+        let mut pdns = PassiveDnsDb::new();
+        let ip: IpAddr = "192.0.2.2".parse().unwrap();
+        pdns.observe(d("mqtt.googleapis.com"), RData::A("192.0.2.2".parse().unwrap()), t());
+        for i in 0..6 {
+            pdns.observe(
+                d(&format!("svc{i}.google-web.example")),
+                RData::A("192.0.2.2".parse().unwrap()),
+                t(),
+            );
+        }
+        let c = SharedIpClassifier::new(&registry);
+        assert!(c.classify(ip, &pdns, week()).is_shared());
+    }
+
+    #[test]
+    fn threshold_tolerates_stray_records() {
+        let registry = PatternRegistry::paper_defaults();
+        let mut pdns = PassiveDnsDb::new();
+        let ip: IpAddr = "192.0.2.3".parse().unwrap();
+        pdns.observe(d("hub-9.iot.sap"), RData::A("192.0.2.3".parse().unwrap()), t());
+        for i in 0..3 {
+            pdns.observe(
+                d(&format!("stray{i}.example.org")),
+                RData::A("192.0.2.3".parse().unwrap()),
+                t(),
+            );
+        }
+        let c = SharedIpClassifier::new(&registry);
+        assert_eq!(c.classify(ip, &pdns, week()), SharedVerdict::Dedicated);
+    }
+
+    fn discovery_with(ips: &[&str]) -> ProviderDiscovery {
+        let mut p = ProviderDiscovery {
+            name: "x".to_string(),
+            ..Default::default()
+        };
+        for ip in ips {
+            p.ips.insert(ip.parse().unwrap(), IpEvidence::default());
+        }
+        p
+    }
+
+    #[test]
+    fn ground_truth_ip_list_comparison() {
+        let disc = discovery_with(&["10.0.0.1", "10.0.0.2", "10.0.0.9"]);
+        let published: Vec<IpAddr> = ["10.0.0.1", "10.0.0.2", "10.0.0.3"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let r = GroundTruthReport::against_ip_list("cisco", &disc, &published);
+        assert_eq!(r.published_total, 3);
+        assert_eq!(r.discovered_inside, 2);
+        assert_eq!(r.discovered_outside, 1);
+        let recall = r.recall_of_published(&disc, &published);
+        assert!((recall - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_truth_prefix_comparison() {
+        let disc = discovery_with(&["10.1.0.5", "10.2.0.5"]);
+        let published = vec!["10.1.0.0/24".parse().unwrap()];
+        let r = GroundTruthReport::against_prefixes("microsoft", &disc, &published);
+        assert_eq!(r.published_total, 256);
+        assert_eq!(r.discovered_inside, 1);
+        assert_eq!(r.discovered_outside, 1);
+    }
+
+    #[test]
+    fn active_coverage_misses() {
+        let disc = discovery_with(&["10.1.0.5"]);
+        let mut active = HashMap::new();
+        active.insert("10.1.0.5".parse().unwrap(), 900u64);
+        active.insert("10.1.0.6".parse().unwrap(), 100u64);
+        let c = ActiveCoverage::compute(&disc, &active);
+        assert_eq!(c.active_published, 2);
+        assert_eq!(c.missed, 1);
+        assert!((c.missed_traffic_fraction - 0.1).abs() < 1e-9);
+    }
+}

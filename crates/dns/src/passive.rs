@@ -1,0 +1,277 @@
+//! Passive DNS database — the DNSDB stand-in.
+//!
+//! DNSDB aggregates DNS answers observed at sensors co-located with
+//! recursive resolvers world-wide, storing for each unique `(owner, rdata)`
+//! pair the first-seen time, last-seen time, and observation count. The
+//! paper queries it two ways (§3.3, Appendix A): *Flexible Search* (regex
+//! over owner names, time-bounded) and *Basic Search* (wildcard owner
+//! queries), and additionally inverts it (*rdata* lookups: "which domains
+//! resolve to this IP?") for the shared-vs-dedicated classification of
+//! §3.4.
+//!
+//! Coverage is inherently partial — "it does not have full coverage of all
+//! DNS requests" (§3.6) — which the world model reproduces by only feeding
+//! the database a sampled subset of simulated resolutions.
+
+use crate::record::{RData, RrType};
+use iotmap_dregex::query::{DnsdbQuery, DnsdbRdataQuery, RrTypeFilter};
+use iotmap_nettypes::{DomainName, SimTime, StudyPeriod};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// One aggregated RRset observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RrsetEntry {
+    pub owner: DomainName,
+    pub rdata: RData,
+    pub time_first: SimTime,
+    pub time_last: SimTime,
+    pub count: u64,
+}
+
+impl RrsetEntry {
+    /// Was this entry observed within the window (overlap semantics, like
+    /// DNSDB's `time_first_before` / `time_last_after` filters)?
+    pub fn observed_in(&self, window: &StudyPeriod) -> bool {
+        self.time_first < window.end && self.time_last >= window.start
+    }
+}
+
+/// The passive DNS store.
+#[derive(Debug, Default)]
+pub struct PassiveDnsDb {
+    entries: Vec<RrsetEntry>,
+    by_pair: HashMap<(DomainName, RData), usize>,
+    by_ip: HashMap<IpAddr, Vec<usize>>,
+    by_owner: HashMap<DomainName, Vec<usize>>,
+}
+
+impl PassiveDnsDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `(owner, rdata)` at `time`.
+    pub fn observe(&mut self, owner: DomainName, rdata: RData, time: SimTime) {
+        let key = (owner.clone(), rdata.clone());
+        match self.by_pair.get(&key) {
+            Some(&idx) => {
+                let e = &mut self.entries[idx];
+                e.time_first = e.time_first.min(time);
+                e.time_last = e.time_last.max(time);
+                e.count += 1;
+            }
+            None => {
+                let idx = self.entries.len();
+                if let Some(ip) = rdata.ip() {
+                    self.by_ip.entry(ip).or_default().push(idx);
+                }
+                self.by_owner.entry(owner.clone()).or_default().push(idx);
+                self.entries.push(RrsetEntry {
+                    owner,
+                    rdata,
+                    time_first: time,
+                    time_last: time,
+                    count: 1,
+                });
+                self.by_pair.insert(key, idx);
+            }
+        }
+    }
+
+    /// Number of unique `(owner, rdata)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Run a DNSDB query (either API type) bounded to a time window.
+    pub fn search<'a>(
+        &'a self,
+        query: &'a DnsdbQuery,
+        window: StudyPeriod,
+    ) -> impl Iterator<Item = &'a RrsetEntry> {
+        self.entries.iter().filter(move |e| {
+            e.observed_in(&window) && query.matches(&e.owner.fqdn(), rrtype_filter_of(&e.rdata))
+        })
+    }
+
+    /// Run a typed DNSDB rdata query (`rdata/ip/<addr>`).
+    pub fn search_rdata(
+        &self,
+        query: &DnsdbRdataQuery,
+        window: StudyPeriod,
+    ) -> impl Iterator<Item = &RrsetEntry> {
+        self.domains_for_ip(query.ip, window)
+    }
+
+    /// Inverse (rdata) lookup: all entries whose answer is `ip`, observed
+    /// in the window. This powers the shared-vs-dedicated check of §3.4.
+    pub fn domains_for_ip(
+        &self,
+        ip: IpAddr,
+        window: StudyPeriod,
+    ) -> impl Iterator<Item = &RrsetEntry> {
+        self.by_ip
+            .get(&ip)
+            .into_iter()
+            .flatten()
+            .map(move |&idx| &self.entries[idx])
+            .filter(move |e| e.observed_in(&window))
+    }
+
+    /// All entries under one owner name, observed in the window — used by
+    /// the pipeline's CNAME-chain chasing (a PR backend's tenant domain
+    /// aliases a cloud load-balancer name; the A records live under the
+    /// LB owner).
+    pub fn entries_for_owner(
+        &self,
+        owner: &DomainName,
+        window: StudyPeriod,
+    ) -> impl Iterator<Item = &RrsetEntry> {
+        self.by_owner
+            .get(owner)
+            .into_iter()
+            .flatten()
+            .map(move |&idx| &self.entries[idx])
+            .filter(move |e| e.observed_in(&window))
+    }
+
+    /// All distinct owner names observed in a window (for active-campaign
+    /// seeding).
+    pub fn owners_in(&self, window: StudyPeriod) -> Vec<DomainName> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if e.observed_in(&window) && seen.insert(&e.owner) {
+                out.push(e.owner.clone());
+            }
+        }
+        out
+    }
+
+    /// Iterate over every entry (for diagnostics / exports).
+    pub fn entries(&self) -> impl Iterator<Item = &RrsetEntry> {
+        self.entries.iter()
+    }
+}
+
+fn rrtype_filter_of(rdata: &RData) -> RrTypeFilter {
+    match rdata.rrtype() {
+        RrType::A => RrTypeFilter::A,
+        RrType::Aaaa => RrTypeFilter::Aaaa,
+        RrType::Cname => RrTypeFilter::Cname,
+        RrType::Ptr => RrTypeFilter::Any,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotmap_nettypes::Date;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn t(day: u32) -> SimTime {
+        Date::new(2022, 3, day).midnight()
+    }
+
+    fn a(last: u8) -> RData {
+        RData::A(format!("192.0.2.{last}").parse::<std::net::Ipv4Addr>().unwrap())
+    }
+
+    fn week() -> StudyPeriod {
+        StudyPeriod::from_dates(Date::new(2022, 3, 1), Date::new(2022, 3, 8))
+    }
+
+    #[test]
+    fn observe_aggregates_counts_and_times() {
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("x.iot.sap"), a(1), t(3));
+        db.observe(d("x.iot.sap"), a(1), t(5));
+        db.observe(d("x.iot.sap"), a(1), t(2));
+        assert_eq!(db.len(), 1);
+        let e = db.entries().next().unwrap();
+        assert_eq!(e.count, 3);
+        assert_eq!(e.time_first, t(2));
+        assert_eq!(e.time_last, t(5));
+    }
+
+    #[test]
+    fn flexible_search_matches_pattern_and_window() {
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("hub1.azure-devices.net"), a(1), t(2));
+        db.observe(d("hub2.azure-devices.net"), a(2), t(3));
+        db.observe(d("unrelated.example.com"), a(3), t(3));
+        let q = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A").unwrap();
+        let hits: Vec<_> = db.search(&q, week()).collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn search_respects_time_window() {
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("old.azure-devices.net"), a(1), Date::new(2021, 6, 1).midnight());
+        let q = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A").unwrap();
+        assert_eq!(db.search(&q, week()).count(), 0);
+        // Overlap: first seen before the window, last seen inside.
+        db.observe(d("old.azure-devices.net"), a(1), t(4));
+        assert_eq!(db.search(&q, week()).count(), 1);
+    }
+
+    #[test]
+    fn rrtype_filter_applies() {
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("h.azure-devices.net"), a(1), t(2));
+        db.observe(
+            d("h.azure-devices.net"),
+            RData::Aaaa("2001:db8::1".parse().unwrap()),
+            t(2),
+        );
+        let qa = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A").unwrap();
+        let q6 = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/AAAA").unwrap();
+        assert_eq!(db.search(&qa, week()).count(), 1);
+        assert_eq!(db.search(&q6, week()).count(), 1);
+    }
+
+    #[test]
+    fn domains_for_ip_inverse_lookup() {
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("iot.example.com"), a(7), t(2));
+        db.observe(d("www.shop.com"), a(7), t(3));
+        db.observe(d("other.example.com"), a(8), t(3));
+        let hits: Vec<_> = db
+            .domains_for_ip("192.0.2.7".parse().unwrap(), week())
+            .map(|e| e.owner.as_str().to_string())
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&"iot.example.com".to_string()));
+        assert!(hits.contains(&"www.shop.com".to_string()));
+    }
+
+    #[test]
+    fn rdata_query_round_trip() {
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("iot.example.com"), a(9), t(2));
+        let q = DnsdbRdataQuery::parse("rdata/ip/192.0.2.9").unwrap();
+        assert_eq!(db.search_rdata(&q, week()).count(), 1);
+        let none = DnsdbRdataQuery::parse("rdata/ip/192.0.2.200").unwrap();
+        assert_eq!(db.search_rdata(&none, week()).count(), 0);
+    }
+
+    #[test]
+    fn owners_in_dedupes() {
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("a.example.com"), a(1), t(2));
+        db.observe(d("a.example.com"), a(2), t(2));
+        db.observe(d("b.example.com"), a(3), t(2));
+        assert_eq!(db.owners_in(week()).len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Reverse DNS (PTR records).
+//!
+//! §3.7: "we use best current practices to ensure that our prober IP
+//! address has a meaningful DNS PTR record. We run a Web server with
+//! experiment and opt-out information that responds to DNS resolution of
+//! the DNS PTR domain." Scanned networks routinely look up who probed them;
+//! this registry is that lookup surface.
+
+use crate::record::RData;
+use iotmap_nettypes::DomainName;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// The reverse-DNS registry: address → PTR target.
+#[derive(Debug, Default)]
+pub struct PtrRegistry {
+    entries: HashMap<IpAddr, DomainName>,
+}
+
+impl PtrRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the PTR record for an address.
+    pub fn set(&mut self, addr: IpAddr, target: DomainName) {
+        self.entries.insert(addr, target);
+    }
+
+    /// Look up the PTR target for an address.
+    pub fn lookup(&self, addr: IpAddr) -> Option<&DomainName> {
+        self.entries.get(&addr)
+    }
+
+    /// Answer a query for the `in-addr.arpa` / `ip6.arpa` owner name, as a
+    /// resolver would present it.
+    pub fn query_arpa(&self, owner: &DomainName) -> Option<RData> {
+        let addr = parse_arpa(owner)?;
+        self.lookup(addr).cloned().map(RData::Ptr)
+    }
+
+    /// Number of registered records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no PTR records exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The `in-addr.arpa` owner name for an IPv4 address.
+pub fn v4_arpa_name(addr: Ipv4Addr) -> DomainName {
+    let o = addr.octets();
+    format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0])
+        .parse()
+        .expect("arpa names are valid")
+}
+
+/// The `ip6.arpa` owner name for an IPv6 address (nibble-reversed).
+pub fn v6_arpa_name(addr: Ipv6Addr) -> DomainName {
+    let value = u128::from(addr);
+    let mut labels = Vec::with_capacity(32);
+    for i in 0..32 {
+        let nibble = (value >> (i * 4)) & 0xF;
+        labels.push(format!("{nibble:x}"));
+    }
+    format!("{}.ip6.arpa", labels.join("."))
+        .parse()
+        .expect("arpa names are valid")
+}
+
+/// Parse an arpa owner name back to an address.
+pub fn parse_arpa(owner: &DomainName) -> Option<IpAddr> {
+    let s = owner.as_str();
+    if let Some(prefix) = s.strip_suffix(".in-addr.arpa") {
+        let octets: Vec<u8> = prefix
+            .split('.')
+            .map(|l| l.parse().ok())
+            .collect::<Option<Vec<u8>>>()?;
+        if octets.len() != 4 {
+            return None;
+        }
+        return Some(IpAddr::V4(Ipv4Addr::new(
+            octets[3], octets[2], octets[1], octets[0],
+        )));
+    }
+    if let Some(prefix) = s.strip_suffix(".ip6.arpa") {
+        let nibbles: Vec<u128> = prefix
+            .split('.')
+            .map(|l| u128::from_str_radix(l, 16).ok().filter(|_| l.len() == 1))
+            .collect::<Option<Vec<u128>>>()?;
+        if nibbles.len() != 32 {
+            return None;
+        }
+        let mut value = 0u128;
+        for (i, n) in nibbles.iter().enumerate() {
+            value |= n << (i * 4);
+        }
+        return Some(IpAddr::V6(Ipv6Addr::from(value)));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_arpa_roundtrip() {
+        let addr: Ipv4Addr = "203.0.113.7".parse().unwrap();
+        let name = v4_arpa_name(addr);
+        assert_eq!(name.as_str(), "7.113.0.203.in-addr.arpa");
+        assert_eq!(parse_arpa(&name), Some(IpAddr::V4(addr)));
+    }
+
+    #[test]
+    fn v6_arpa_roundtrip() {
+        let addr: Ipv6Addr = "2001:db8::42".parse().unwrap();
+        let name = v6_arpa_name(addr);
+        assert!(name.as_str().ends_with(".ip6.arpa"));
+        assert_eq!(name.label_count(), 34);
+        assert_eq!(parse_arpa(&name), Some(IpAddr::V6(addr)));
+    }
+
+    #[test]
+    fn registry_set_and_query() {
+        let mut r = PtrRegistry::new();
+        let prober: IpAddr = "198.51.100.77".parse().unwrap();
+        r.set(prober, "research-scanner.iotmap-experiment.example".parse().unwrap());
+        assert_eq!(
+            r.lookup(prober).unwrap().as_str(),
+            "research-scanner.iotmap-experiment.example"
+        );
+        // A scanned party resolves the arpa name and finds the experiment.
+        let owner = v4_arpa_name("198.51.100.77".parse().unwrap());
+        match r.query_arpa(&owner) {
+            Some(RData::Ptr(target)) => {
+                assert!(target.as_str().contains("experiment"));
+            }
+            other => panic!("expected PTR, got {other:?}"),
+        }
+        assert!(r.query_arpa(&v4_arpa_name("8.8.8.8".parse().unwrap())).is_none());
+    }
+
+    #[test]
+    fn malformed_arpa_names_rejected() {
+        for bad in [
+            "1.2.3.in-addr.arpa",            // too few labels
+            "300.2.3.4.in-addr.arpa",        // octet overflow
+            "x.2.3.4.in-addr.arpa",          // not a number
+            "1.2.3.4.example.com",           // wrong suffix
+            "ff.0.0.0.ip6.arpa",             // multi-char nibble
+        ] {
+            let owner: DomainName = bad.parse().unwrap();
+            assert_eq!(parse_arpa(&owner), None, "{bad}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Abstract syntax tree for the supported regex dialect.
+
+use crate::classes::ByteSet;
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single byte from a set (`a`, `.`, `[a-z]`, `[[:alnum:]]`, …).
+    Class(ByteSet),
+    /// Start-of-input anchor `^`.
+    AnchorStart,
+    /// End-of-input anchor `$`.
+    AnchorEnd,
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// Repetition with inclusive bounds; `max == None` means unbounded.
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+    /// A parenthesized group. Groups are non-capturing for matching
+    /// purposes but preserved in the AST for fidelity with the paper's
+    /// published patterns.
+    Group(Box<Ast>),
+}
+
+impl Ast {
+    /// Can this expression match the empty string?
+    pub fn matches_empty(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::AnchorStart | Ast::AnchorEnd => true,
+            Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(|p| p.matches_empty()),
+            Ast::Alternate(parts) => parts.iter().any(|p| p.matches_empty()),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.matches_empty(),
+            Ast::Group(inner) => inner.matches_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_empty_logic() {
+        let a = Ast::Class(ByteSet::single(b'a'));
+        assert!(!a.matches_empty());
+        assert!(Ast::Empty.matches_empty());
+        assert!(Ast::Repeat {
+            node: Box::new(a.clone()),
+            min: 0,
+            max: None
+        }
+        .matches_empty());
+        assert!(!Ast::Repeat {
+            node: Box::new(a.clone()),
+            min: 1,
+            max: None
+        }
+        .matches_empty());
+        assert!(Ast::Alternate(vec![a.clone(), Ast::Empty]).matches_empty());
+        assert!(!Ast::Concat(vec![a.clone(), Ast::Empty]).matches_empty());
+        assert!(Ast::Group(Box::new(Ast::Empty)).matches_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! A deliberately naive backtracking matcher.
+//!
+//! This exists for two reasons only: (1) differential testing of the Pike
+//! VM (both engines must agree on every input), and (2) the ablation bench
+//! in DESIGN.md that quantifies why a linear-time engine matters when
+//! patterns run over millions of passive-DNS names. Do **not** use it in the
+//! pipeline: it is exponential on pathological patterns.
+
+use crate::ast::Ast;
+use crate::parser::{parse, ParseErr};
+
+/// A regex matcher that interprets the AST directly with backtracking.
+#[derive(Debug, Clone)]
+pub struct BacktrackRegex {
+    ast: Ast,
+}
+
+impl BacktrackRegex {
+    /// Compile (parse) a pattern.
+    pub fn new(pattern: &str) -> Result<Self, ParseErr> {
+        Ok(BacktrackRegex {
+            ast: parse(pattern)?,
+        })
+    }
+
+    /// Unanchored search.
+    pub fn is_match(&self, input: &str) -> bool {
+        let bytes = input.as_bytes();
+        for start in 0..=bytes.len() {
+            if match_node(&self.ast, bytes, start, &mut |_| true) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Anchored full match.
+    pub fn is_full_match(&self, input: &str) -> bool {
+        let bytes = input.as_bytes();
+        match_node(&self.ast, bytes, 0, &mut |end| end == bytes.len())
+    }
+}
+
+/// Continuation-passing matcher: `k(pos)` decides whether the rest of the
+/// pattern (outside `node`) accepts from `pos`.
+fn match_node(node: &Ast, input: &[u8], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match node {
+        Ast::Empty => k(pos),
+        Ast::Class(set) => {
+            pos < input.len() && set.contains(input[pos]) && k(pos + 1)
+        }
+        Ast::AnchorStart => pos == 0 && k(pos),
+        Ast::AnchorEnd => pos == input.len() && k(pos),
+        Ast::Group(inner) => match_node(inner, input, pos, k),
+        Ast::Concat(parts) => match_concat(parts, input, pos, k),
+        Ast::Alternate(branches) => branches
+            .iter()
+            .any(|b| match_node(b, input, pos, k)),
+        Ast::Repeat { node, min, max } => match_repeat(node, *min, *max, input, pos, k),
+    }
+}
+
+fn match_concat(
+    parts: &[Ast],
+    input: &[u8],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match parts.split_first() {
+        None => k(pos),
+        Some((head, tail)) => {
+            match_node(head, input, pos, &mut |p| match_concat(tail, input, p, k))
+        }
+    }
+}
+
+fn match_repeat(
+    node: &Ast,
+    min: u32,
+    max: Option<u32>,
+    input: &[u8],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if min > 0 {
+        return match_node(node, input, pos, &mut |p| {
+            match_repeat(node, min - 1, max.map(|m| m - 1), input, p, k)
+        });
+    }
+    match max {
+        Some(0) => k(pos),
+        _ => {
+            // Greedy: try one more iteration first, but guard against
+            // zero-width loops (e.g. `(a?)*`) by requiring progress.
+            let more = match_node(node, input, pos, &mut |p| {
+                p > pos && match_repeat(node, 0, max.map(|m| m - 1), input, p, k)
+            });
+            more || k(pos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+
+    /// Both engines must agree on a corpus of (pattern, input) pairs.
+    #[test]
+    fn differential_against_pike_vm() {
+        let patterns = [
+            "abc",
+            "^abc$",
+            "a*b+c?",
+            "(ab|cd)+",
+            "[a-z0-9-]+",
+            r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)?(\.amazonaws\.com\.$)",
+            r"(.+\.|^)(azure-devices\.net\.$)",
+            "a{2,4}",
+            "(a?)*b",
+            "[^.]+",
+        ];
+        let inputs = [
+            "",
+            "abc",
+            "xabcy",
+            "aaabbbc",
+            "ababcd",
+            "device.iot.us-east-1.amazonaws.com.",
+            "iot.amazonaws.com.",
+            "myhub.azure-devices.net.",
+            "azure-devices.net.",
+            "aaaa",
+            "aa",
+            "b",
+            "x.y",
+        ];
+        for pat in patterns {
+            let pike = Regex::new(pat).unwrap();
+            let bt = BacktrackRegex::new(pat).unwrap();
+            for input in inputs {
+                assert_eq!(
+                    pike.is_match(input),
+                    bt.is_match(input),
+                    "search disagreement: pattern {pat:?} input {input:?}"
+                );
+                assert_eq!(
+                    pike.is_full_match(input),
+                    bt.is_full_match(input),
+                    "full-match disagreement: pattern {pat:?} input {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_loop_terminates() {
+        let bt = BacktrackRegex::new("(a?)*b").unwrap();
+        assert!(bt.is_match("b"));
+        assert!(bt.is_match("aab"));
+        assert!(!bt.is_match("aa"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Byte sets: 256-bit bitmaps representing character classes.
+
+use std::fmt;
+
+/// A set of bytes, stored as a 256-bit bitmap.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    /// Empty set.
+    pub const fn empty() -> Self {
+        ByteSet { bits: [0; 4] }
+    }
+
+    /// Set containing every byte.
+    pub const fn full() -> Self {
+        ByteSet {
+            bits: [u64::MAX; 4],
+        }
+    }
+
+    /// Singleton set.
+    pub fn single(b: u8) -> Self {
+        let mut s = Self::empty();
+        s.insert(b);
+        s
+    }
+
+    /// Insert one byte.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Insert an inclusive byte range.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Complement (in place).
+    pub fn negate(&mut self) {
+        for w in &mut self.bits {
+            *w = !*w;
+        }
+    }
+
+    /// Union with another set.
+    pub fn union_with(&mut self, other: &ByteSet) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of contained bytes.
+    pub fn len(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no byte is contained.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Close the set under ASCII case folding: for every letter present,
+    /// add the other case.
+    pub fn case_fold(&mut self) {
+        let mut folded = *self;
+        for b in b'a'..=b'z' {
+            if self.contains(b) {
+                folded.insert(b - 32);
+            }
+        }
+        for b in b'A'..=b'Z' {
+            if self.contains(b) {
+                folded.insert(b + 32);
+            }
+        }
+        *self = folded;
+    }
+}
+
+impl fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSet(")?;
+        let mut first = true;
+        let mut b = 0usize;
+        while b < 256 {
+            if self.contains(b as u8) {
+                let start = b;
+                while b + 1 < 256 && self.contains((b + 1) as u8) {
+                    b += 1;
+                }
+                if !first {
+                    write!(f, ",")?;
+                }
+                first = false;
+                if start == b {
+                    write!(f, "{:#04x}", start)?;
+                } else {
+                    write!(f, "{:#04x}-{:#04x}", start, b)?;
+                }
+            }
+            b += 1;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A named POSIX character class such as `[:alnum:]`.
+pub fn posix_class(name: &str) -> Option<ByteSet> {
+    let mut s = ByteSet::empty();
+    match name {
+        "alnum" => {
+            s.insert_range(b'0', b'9');
+            s.insert_range(b'a', b'z');
+            s.insert_range(b'A', b'Z');
+        }
+        "alpha" => {
+            s.insert_range(b'a', b'z');
+            s.insert_range(b'A', b'Z');
+        }
+        "digit" => s.insert_range(b'0', b'9'),
+        "xdigit" => {
+            s.insert_range(b'0', b'9');
+            s.insert_range(b'a', b'f');
+            s.insert_range(b'A', b'F');
+        }
+        "lower" => s.insert_range(b'a', b'z'),
+        "upper" => s.insert_range(b'A', b'Z'),
+        "space" => {
+            for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+                s.insert(b);
+            }
+        }
+        "punct" => {
+            s.insert_range(b'!', b'/');
+            s.insert_range(b':', b'@');
+            s.insert_range(b'[', b'`');
+            s.insert_range(b'{', b'~');
+        }
+        "word" => {
+            // GNU extension, handy for \w-style classes.
+            s.insert_range(b'0', b'9');
+            s.insert_range(b'a', b'z');
+            s.insert_range(b'A', b'Z');
+            s.insert(b'_');
+        }
+        _ => return None,
+    }
+    Some(s)
+}
+
+/// Perl-style escape-class shorthand (`\d`, `\w`, `\s` and negations).
+pub fn escape_class(c: u8) -> Option<ByteSet> {
+    let (base, negate) = match c {
+        b'd' => (posix_class("digit")?, false),
+        b'D' => (posix_class("digit")?, true),
+        b'w' => (posix_class("word")?, false),
+        b'W' => (posix_class("word")?, true),
+        b's' => (posix_class("space")?, false),
+        b'S' => (posix_class("space")?, true),
+        _ => return None,
+    };
+    let mut s = base;
+    if negate {
+        s.negate();
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = ByteSet::empty();
+        s.insert(b'a');
+        s.insert(0);
+        s.insert(255);
+        assert!(s.contains(b'a'));
+        assert!(s.contains(0));
+        assert!(s.contains(255));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn range_and_negate() {
+        let mut s = ByteSet::empty();
+        s.insert_range(b'0', b'9');
+        assert_eq!(s.len(), 10);
+        s.negate();
+        assert!(!s.contains(b'5'));
+        assert!(s.contains(b'a'));
+        assert_eq!(s.len(), 246);
+    }
+
+    #[test]
+    fn posix_classes() {
+        let alnum = posix_class("alnum").unwrap();
+        assert!(alnum.contains(b'a') && alnum.contains(b'Z') && alnum.contains(b'0'));
+        assert!(!alnum.contains(b'-'));
+        assert_eq!(alnum.len(), 62);
+        assert!(posix_class("bogus").is_none());
+    }
+
+    #[test]
+    fn escape_classes() {
+        let d = escape_class(b'd').unwrap();
+        assert!(d.contains(b'7') && !d.contains(b'x'));
+        let nd = escape_class(b'D').unwrap();
+        assert!(!nd.contains(b'7') && nd.contains(b'x'));
+        let w = escape_class(b'w').unwrap();
+        assert!(w.contains(b'_'));
+        assert!(escape_class(b'q').is_none());
+    }
+
+    #[test]
+    fn case_folding() {
+        let mut s = ByteSet::single(b'a');
+        s.insert(b'Z');
+        s.case_fold();
+        assert!(s.contains(b'A') && s.contains(b'z'));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = ByteSet::single(b'x');
+        a.union_with(&ByteSet::single(b'y'));
+        assert!(a.contains(b'x') && a.contains(b'y'));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(ByteSet::full().len(), 256);
+        assert!(ByteSet::empty().is_empty());
+        assert!(!ByteSet::full().is_empty());
+    }
+
+    #[test]
+    fn debug_format_shows_ranges() {
+        let mut s = ByteSet::empty();
+        s.insert_range(b'a', b'c');
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("0x61-0x63"), "{dbg}");
+    }
+}

@@ -1,0 +1,215 @@
+//! AST → NFA program compiler (Thompson construction).
+
+use crate::ast::Ast;
+use crate::prog::{Inst, Program};
+
+/// Compile an AST into an NFA program, optionally case-folding all classes.
+pub fn compile(ast: &Ast, case_insensitive: bool) -> Program {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        case_insensitive,
+    };
+    c.emit_node(ast);
+    c.insts.push(Inst::Match);
+    let anchored_start = starts_anchored(ast);
+    Program {
+        insts: c.insts,
+        anchored_start,
+    }
+}
+
+/// Conservatively determine whether every match must begin with `^`.
+fn starts_anchored(ast: &Ast) -> bool {
+    match ast {
+        Ast::AnchorStart => true,
+        Ast::Group(inner) => starts_anchored(inner),
+        Ast::Concat(parts) => parts.first().is_some_and(starts_anchored),
+        Ast::Alternate(parts) => !parts.is_empty() && parts.iter().all(starts_anchored),
+        _ => false,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    case_insensitive: bool,
+}
+
+impl Compiler {
+    fn pc(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Emit a placeholder instruction to patch later.
+    fn placeholder(&mut self) -> usize {
+        let at = self.insts.len();
+        self.insts.push(Inst::Jmp(u32::MAX));
+        at
+    }
+
+    fn emit_node(&mut self, node: &Ast) {
+        match node {
+            Ast::Empty => {}
+            Ast::Class(set) => {
+                let mut set = *set;
+                if self.case_insensitive {
+                    set.case_fold();
+                }
+                self.insts.push(Inst::Class(set));
+            }
+            Ast::AnchorStart => self.insts.push(Inst::AssertStart),
+            Ast::AnchorEnd => self.insts.push(Inst::AssertEnd),
+            Ast::Group(inner) => self.emit_node(inner),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit_node(p);
+                }
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) {
+        // Chain of Splits: split(b1, rest); b1; jmp end; split(b2, rest)...
+        let mut jump_ends = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split_at = self.placeholder();
+                let b_start = self.pc();
+                self.emit_node(branch);
+                jump_ends.push(self.placeholder());
+                let next = self.pc();
+                self.insts[split_at] = Inst::Split(b_start, next);
+            } else {
+                self.emit_node(branch);
+            }
+        }
+        let end = self.pc();
+        for j in jump_ends {
+            self.insts[j] = Inst::Jmp(end);
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) {
+        // Mandatory prefix: `min` copies.
+        for _ in 0..min {
+            self.emit_node(node);
+        }
+        match max {
+            None => {
+                if min == 0 {
+                    // `e*`: split(loop, end); loop: e; jmp split
+                    let split_at = self.placeholder();
+                    let body = self.pc();
+                    self.emit_node(node);
+                    self.insts.push(Inst::Jmp(split_at as u32));
+                    let end = self.pc();
+                    self.insts[split_at] = Inst::Split(body, end);
+                } else {
+                    // `e{min,}`: after the mandatory copies, loop on the last.
+                    // split(body, end); body: e; jmp split
+                    let split_at = self.placeholder();
+                    let body = self.pc();
+                    self.emit_node(node);
+                    self.insts.push(Inst::Jmp(split_at as u32));
+                    let end = self.pc();
+                    self.insts[split_at] = Inst::Split(body, end);
+                }
+            }
+            Some(max) => {
+                // `max - min` optional copies: each is split(e, skip-to-end).
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let split_at = self.placeholder();
+                    splits.push(split_at);
+                    let body = self.pc();
+                    self.emit_node(node);
+                    // Patch split target lazily: first arm is body.
+                    self.insts[split_at] = Inst::Split(body, u32::MAX);
+                }
+                let end = self.pc();
+                for s in splits {
+                    if let Inst::Split(body, _) = self.insts[s] {
+                        self.insts[s] = Inst::Split(body, end);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::vm;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat).unwrap(), false)
+    }
+
+    fn matches(pat: &str, input: &str) -> bool {
+        vm::search(&prog(pat), input.as_bytes())
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(matches("^ab*c$", "ac"));
+        assert!(matches("^ab*c$", "abbbc"));
+        assert!(!matches("^ab+c$", "ac"));
+        assert!(matches("^ab+c$", "abc"));
+        assert!(matches("^ab?c$", "ac"));
+        assert!(matches("^ab?c$", "abc"));
+        assert!(!matches("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        assert!(matches("^a{3}$", "aaa"));
+        assert!(!matches("^a{3}$", "aa"));
+        assert!(!matches("^a{3}$", "aaaa"));
+        assert!(matches("^a{2,4}$", "aa"));
+        assert!(matches("^a{2,4}$", "aaaa"));
+        assert!(!matches("^a{2,4}$", "aaaaa"));
+        assert!(matches("^a{2,}$", "aaaaaaa"));
+        assert!(!matches("^a{2,}$", "a"));
+    }
+
+    #[test]
+    fn alternation_priorities() {
+        assert!(matches("^(cat|dog|bird)$", "dog"));
+        assert!(matches("^(cat|dog|bird)$", "bird"));
+        assert!(!matches("^(cat|dog|bird)$", "fish"));
+    }
+
+    #[test]
+    fn nested_groups() {
+        assert!(matches("^(a(b|c))+$", "abacab"));
+        assert!(!matches("^(a(b|c))+$", "abd"));
+    }
+
+    #[test]
+    fn anchored_start_detection() {
+        assert!(prog("^abc").anchored_start);
+        assert!(prog("(^a|^b)").anchored_start);
+        assert!(!prog("abc").anchored_start);
+        assert!(!prog("(^a|b)").anchored_start);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(matches("", ""));
+        assert!(matches("", "anything"));
+    }
+
+    #[test]
+    fn repeat_of_group_with_alternation() {
+        // ([[:alnum:]]+(-[[:alnum:]]+)*)? — region codes like "us-east-1".
+        let pat = r"^([[:alnum:]]+(-[[:alnum:]]+)*)?$";
+        assert!(matches(pat, ""));
+        assert!(matches(pat, "useast1"));
+        assert!(matches(pat, "us-east-1"));
+        assert!(!matches(pat, "us--east")); // empty middle label
+        assert!(!matches(pat, "-east"));
+    }
+}

@@ -1,0 +1,202 @@
+//! # iotmap-dregex — the domain-pattern regex engine
+//!
+//! §3.2 of the paper generates regular expressions for each IoT backend's
+//! domain naming scheme (see the paper's Appendix A for examples such as
+//! `(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)?(\.amazonaws\.com\.$)`)
+//! and evaluates them against millions of passive-DNS names and TLS
+//! certificate SANs. This crate implements the required subset of POSIX
+//! extended regular expressions from scratch:
+//!
+//! * literals and escapes, `.` (any byte), anchors `^` / `$`
+//! * character classes `[a-z0-9-]`, negation `[^...]`, POSIX classes
+//!   `[[:alnum:]]`, `[[:alpha:]]`, `[[:digit:]]`, …
+//! * grouping `(...)`, alternation `|`
+//! * quantifiers `*`, `+`, `?`, `{m}`, `{m,}`, `{m,n}`
+//! * a case-insensitive mode (DNS names are case-insensitive)
+//!
+//! Matching uses a Pike-style virtual machine over a compiled NFA program —
+//! **linear time** in the input, no backtracking — because the discovery
+//! pipeline evaluates every pattern against every observed domain name and
+//! an exponential-time engine would be a correctness hazard on adversarial
+//! names. An intentionally naive backtracking matcher is included (module
+//! [`backtrack`]) solely as a differential-testing and benchmarking
+//! baseline.
+//!
+//! The [`query`] module layers the paper's concrete query front-ends on
+//! top: DNSDB *Flexible Search* (regex) and *Basic Search* (wildcard
+//! RRset queries like `*.tencentdevices.com.`), and Censys certificate
+//! string searches (`*.iot.us-east-1.amazonaws.com`).
+
+pub mod ast;
+pub mod backtrack;
+pub mod classes;
+pub mod compile;
+pub mod parser;
+pub mod prog;
+pub mod query;
+pub mod vm;
+
+pub use ast::Ast;
+pub use classes::ByteSet;
+pub use parser::ParseErr;
+pub use prog::Program;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+}
+
+impl Regex {
+    /// Compile a pattern (case-sensitive).
+    pub fn new(pattern: &str) -> Result<Self, ParseErr> {
+        Self::with_options(pattern, false)
+    }
+
+    /// Compile a pattern, case-insensitively if requested. DNS matching
+    /// should use `case_insensitive = true` (or pre-lowercase inputs).
+    pub fn with_options(pattern: &str, case_insensitive: bool) -> Result<Self, ParseErr> {
+        let ast = parser::parse(pattern)?;
+        let program = compile::compile(&ast, case_insensitive);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program,
+        })
+    }
+
+    /// Does the pattern match anywhere in `input` (unanchored search, like
+    /// POSIX `grep`)? Anchors inside the pattern still bind to the input
+    /// boundaries.
+    pub fn is_match(&self, input: &str) -> bool {
+        vm::search(&self.program, input.as_bytes())
+    }
+
+    /// Does the pattern match the *entire* input?
+    pub fn is_full_match(&self, input: &str) -> bool {
+        vm::match_anchored(&self.program, input.as_bytes())
+    }
+
+    /// Leftmost match range, if any. The end is the *earliest* accepting
+    /// position (shortest match) — sufficient for the pipeline, which only
+    /// needs boolean hits and hit locations.
+    pub fn find(&self, input: &str) -> Option<(usize, usize)> {
+        vm::find(&self.program, input.as_bytes())
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of compiled instructions (for diagnostics and benches).
+    pub fn program_len(&self) -> usize {
+        self.program.insts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, input: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(input)
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn paper_amazon_pattern() {
+        // From the paper's Appendix A (trailing-dot form as used by DNSDB).
+        let re = Regex::new(
+            r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)?(\.amazonaws\.com\.$)",
+        )
+        .unwrap();
+        assert!(re.is_match("a3k7examplehash.iot.us-east-1.amazonaws.com."));
+        assert!(re.is_match("device.iot.eu-west-1.amazonaws.com."));
+        assert!(!re.is_match("a3k7examplehash.iot.us-east-1.amazonaws.com.evil.org."));
+    }
+
+    #[test]
+    fn paper_microsoft_pattern() {
+        let re = Regex::new(r"(.+\.|^)(azure-devices\.net\.$)").unwrap();
+        assert!(re.is_match("myhub.azure-devices.net."));
+        assert!(re.is_match("azure-devices.net."));
+        assert!(!re.is_match("azure-devices.net.example.com."));
+    }
+
+    #[test]
+    fn paper_siemens_pattern() {
+        let re = Regex::new(r".(\.eu1\.mindsphere\.io\.$)").unwrap();
+        assert!(re.is_match("gateway.eu1.mindsphere.io."));
+        assert!(!re.is_match(".eu1.mindsphere.io.")); // a real label char is required
+    }
+
+    #[test]
+    fn case_insensitive_mode() {
+        let re = Regex::with_options(r"mqtt\.googleapis\.com", true).unwrap();
+        assert!(re.is_match("MQTT.GoogleAPIs.COM"));
+        let cs = Regex::new(r"mqtt\.googleapis\.com").unwrap();
+        assert!(!cs.is_match("MQTT.GoogleAPIs.COM"));
+    }
+
+    #[test]
+    fn full_match_vs_search() {
+        let re = Regex::new("ab+").unwrap();
+        assert!(re.is_full_match("abbb"));
+        assert!(!re.is_full_match("xabbb"));
+        assert!(re.is_match("xabbb"));
+    }
+
+    #[test]
+    fn find_leftmost() {
+        let re = Regex::new("b+").unwrap();
+        assert_eq!(re.find("aabbbcbb"), Some((2, 3))); // shortest-match end
+        assert_eq!(re.find("zzz"), None);
+    }
+
+    #[test]
+    fn pathological_pattern_is_linear() {
+        // (a+)+b against a^n — classic catastrophic-backtracking case; the
+        // Pike VM must handle it instantly.
+        let re = Regex::new("(a+)+b").unwrap();
+        let input = "a".repeat(10_000);
+        assert!(!re.is_match(&input));
+        assert!(re.is_match(&format!("{input}b")));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser returns Ok/Err but never panics, and anything that
+        /// compiles can be executed against arbitrary inputs.
+        #[test]
+        fn parse_and_match_never_panic(pattern in "[a-z0-9.+*?()\\[\\]|^$\\\\{},:-]{0,24}", input in "[a-z0-9.-]{0,32}") {
+            if let Ok(re) = Regex::new(&pattern) {
+                let _ = re.is_match(&input);
+                let _ = re.is_full_match(&input);
+                let _ = re.find(&input);
+            }
+        }
+
+        /// A full match implies a search match; a find implies a search hit.
+        #[test]
+        fn match_relations(input in "[a-z0-9.-]{0,32}") {
+            for pattern in ["[a-z]+", r"^[a-z0-9]+\.", "a.*z", "x|y|z"] {
+                let re = Regex::new(pattern).unwrap();
+                if re.is_full_match(&input) {
+                    prop_assert!(re.is_match(&input), "{pattern} vs {input:?}");
+                }
+                prop_assert_eq!(re.find(&input).is_some(), re.is_match(&input));
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Compiled NFA programs.
+
+use crate::classes::ByteSet;
+
+/// One NFA instruction. Program counters are indices into
+/// [`Program::insts`].
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Consume one byte if it is in the set, then continue at `pc + 1`.
+    Class(ByteSet),
+    /// Try `a` first, then `b` (priority is irrelevant for boolean
+    /// matching but kept for leftmost `find`).
+    Split(u32, u32),
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Zero-width assertion: start of input.
+    AssertStart,
+    /// Zero-width assertion: end of input.
+    AssertEnd,
+    /// Accept.
+    Match,
+}
+
+/// A compiled regex program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub insts: Vec<Inst>,
+    /// True when the pattern begins with `^` on every path — used to skip
+    /// the unanchored-search start loop.
+    pub anchored_start: bool,
+}
+
+impl Program {
+    /// Rough memory footprint, for diagnostics.
+    pub fn size_bytes(&self) -> usize {
+        self.insts.len() * std::mem::size_of::<Inst>()
+    }
+}

@@ -1,0 +1,286 @@
+//! Query front-ends mirroring the APIs the paper used (Appendix A).
+//!
+//! * **DNSDB Flexible Search** — a regex over RRset owner names, with an
+//!   rrtype filter (the paper's `/A` suffix).
+//! * **DNSDB Basic Search** — RRset wildcard queries such as
+//!   `rrset/name/*.tencentdevices.com./A`.
+//! * **Censys string search** — certificate-name wildcards such as
+//!   `*.iot.us-east-2.amazonaws.com`.
+//!
+//! All three compile down to [`Regex`] so the passive-DNS store and the
+//! certificate store need only one matching code path.
+
+use crate::{ParseErr, Regex};
+
+/// DNS record types the study cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RrTypeFilter {
+    /// IPv4 address records.
+    A,
+    /// IPv6 address records.
+    Aaaa,
+    /// CNAME records (followed during resolution).
+    Cname,
+    /// No filter.
+    Any,
+}
+
+impl RrTypeFilter {
+    fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Some(RrTypeFilter::A),
+            "AAAA" => Some(RrTypeFilter::Aaaa),
+            "CNAME" => Some(RrTypeFilter::Cname),
+            "ANY" | "" => Some(RrTypeFilter::Any),
+            _ => None,
+        }
+    }
+}
+
+/// A compiled DNSDB query of either API type.
+#[derive(Debug, Clone)]
+pub struct DnsdbQuery {
+    regex: Regex,
+    pub rrtype: RrTypeFilter,
+    pub source: QuerySource,
+}
+
+/// Which API form produced the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySource {
+    FlexibleSearch,
+    BasicSearch,
+}
+
+impl DnsdbQuery {
+    /// Flexible Search: `"<regex>/<rrtype>"`, e.g.
+    /// `(.+\.|^)(tencentdevices\.com\.$)/A`. The rrtype suffix is optional.
+    pub fn flexible(query: &str) -> Result<Self, ParseErr> {
+        let (pattern, rrtype) = split_rrtype(query);
+        Ok(DnsdbQuery {
+            regex: Regex::with_options(pattern, true)?,
+            rrtype,
+            source: QuerySource::FlexibleSearch,
+        })
+    }
+
+    /// Basic Search: `rrset/name/<owner>/<rrtype>`, where `<owner>` may use
+    /// a single leading `*.` wildcard, e.g. `rrset/name/*.ciscokinetic.io./A`.
+    pub fn basic(query: &str) -> Result<Self, ParseErr> {
+        let rest = query
+            .strip_prefix("rrset/name/")
+            .ok_or(ParseErr {
+                pos: 0,
+                message: "basic query must start with rrset/name/".to_string(),
+            })?;
+        let (owner, rrtype) = split_rrtype(rest);
+        let pattern = wildcard_owner_to_regex(owner);
+        Ok(DnsdbQuery {
+            regex: Regex::with_options(&pattern, true)?,
+            rrtype,
+            source: QuerySource::BasicSearch,
+        })
+    }
+
+    /// Does the query match an RRset owner name (DNSDB presentation form,
+    /// i.e. with trailing dot) of a given record type?
+    pub fn matches(&self, owner_fqdn: &str, rrtype: RrTypeFilter) -> bool {
+        let type_ok = match self.rrtype {
+            RrTypeFilter::Any => true,
+            t => t == rrtype,
+        };
+        type_ok && self.regex.is_match(owner_fqdn)
+    }
+
+    /// The compiled regex (for diagnostics).
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+}
+
+/// Split a trailing `/RRTYPE` suffix off a query string.
+fn split_rrtype(query: &str) -> (&str, RrTypeFilter) {
+    if let Some((head, tail)) = query.rsplit_once('/') {
+        if let Some(t) = RrTypeFilter::parse(tail) {
+            return (head, t);
+        }
+    }
+    (query, RrTypeFilter::Any)
+}
+
+/// Convert a DNS owner wildcard (`*.example.com.`) to an anchored regex.
+fn wildcard_owner_to_regex(owner: &str) -> String {
+    let mut out = String::from("^");
+    if let Some(rest) = owner.strip_prefix("*.") {
+        // `*` matches one or more whole labels.
+        out.push_str(r"([^.]+\.)+");
+        push_literal(&mut out, rest);
+    } else {
+        push_literal(&mut out, owner);
+    }
+    if !owner.ends_with('.') {
+        out.push_str(r"\.");
+    }
+    out.push('$');
+    out
+}
+
+/// A DNSDB *rdata* (inverse) query: `rdata/ip/192.0.2.1` — "which owner
+/// names resolve to this address?" The paper's shared-vs-dedicated
+/// classification (§3.4) is built on exactly this API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsdbRdataQuery {
+    pub ip: std::net::IpAddr,
+}
+
+impl DnsdbRdataQuery {
+    /// Parse `rdata/ip/<address>`.
+    pub fn parse(query: &str) -> Result<Self, ParseErr> {
+        let rest = query.strip_prefix("rdata/ip/").ok_or(ParseErr {
+            pos: 0,
+            message: "rdata query must start with rdata/ip/".to_string(),
+        })?;
+        let ip = rest.parse().map_err(|_| ParseErr {
+            pos: 9,
+            message: format!("bad IP address {rest:?}"),
+        })?;
+        Ok(DnsdbRdataQuery { ip })
+    }
+}
+
+/// A Censys-style certificate-name string search, e.g.
+/// `*.iot.us-east-2.amazonaws.com` (no trailing dot: certificate names).
+#[derive(Debug, Clone)]
+pub struct CensysNameQuery {
+    regex: Regex,
+    raw: String,
+}
+
+impl CensysNameQuery {
+    /// Compile a name query. A leading `*.` matches one or more labels;
+    /// the rest is literal.
+    pub fn new(query: &str) -> Result<Self, ParseErr> {
+        let mut pattern = String::from("^");
+        if let Some(rest) = query.strip_prefix("*.") {
+            pattern.push_str(r"([^.]+\.)+");
+            push_literal(&mut pattern, rest);
+        } else {
+            push_literal(&mut pattern, query);
+        }
+        pattern.push('$');
+        Ok(CensysNameQuery {
+            regex: Regex::with_options(&pattern, true)?,
+            raw: query.to_string(),
+        })
+    }
+
+    /// Does a certificate name (CN or SAN entry) match? A certificate's own
+    /// wildcard (`*.iot.sap`) matches the query when the query's concrete
+    /// part falls under it.
+    pub fn matches_name(&self, cert_name: &str) -> bool {
+        if let Some(suffix) = cert_name.strip_prefix("*.") {
+            // Wildcard cert: matches if our query targets names under it.
+            let q = self.raw.strip_prefix("*.").unwrap_or(&self.raw);
+            q == suffix || q.ends_with(&format!(".{suffix}")) || suffix.ends_with(q)
+        } else {
+            self.regex.is_match(cert_name)
+        }
+    }
+
+    /// The raw query string.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+}
+
+/// Escape regex metacharacters and append.
+fn push_literal(out: &mut String, literal: &str) {
+    for c in literal.chars() {
+        if "\\.+*?()|[]{}^$".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexible_search_with_rrtype() {
+        let q = DnsdbQuery::flexible(r"(.+\.|^)(tencentdevices\.com\.$)/A").unwrap();
+        assert_eq!(q.rrtype, RrTypeFilter::A);
+        assert!(q.matches("device1.tencentdevices.com.", RrTypeFilter::A));
+        assert!(!q.matches("device1.tencentdevices.com.", RrTypeFilter::Aaaa));
+        assert!(!q.matches("tencentdevices.com.cn.", RrTypeFilter::A));
+    }
+
+    #[test]
+    fn flexible_search_without_rrtype_matches_any() {
+        let q = DnsdbQuery::flexible(r"mqtt\.googleapis\.com\.$").unwrap();
+        assert!(q.matches("mqtt.googleapis.com.", RrTypeFilter::A));
+        assert!(q.matches("mqtt.googleapis.com.", RrTypeFilter::Aaaa));
+    }
+
+    #[test]
+    fn basic_search_wildcard() {
+        let q = DnsdbQuery::basic("rrset/name/*.ciscokinetic.io./A").unwrap();
+        assert!(q.matches("gw.ciscokinetic.io.", RrTypeFilter::A));
+        assert!(q.matches("a.b.ciscokinetic.io.", RrTypeFilter::A));
+        assert!(!q.matches("ciscokinetic.io.", RrTypeFilter::A)); // needs a label
+        assert!(!q.matches("ciscokinetic.io.evil.com.", RrTypeFilter::A));
+    }
+
+    #[test]
+    fn basic_search_exact_name() {
+        let q = DnsdbQuery::basic("rrset/name/mqtt.googleapis.com./A").unwrap();
+        assert!(q.matches("mqtt.googleapis.com.", RrTypeFilter::A));
+        assert!(!q.matches("x.mqtt.googleapis.com.", RrTypeFilter::A));
+    }
+
+    #[test]
+    fn basic_search_rejects_other_paths() {
+        assert!(DnsdbQuery::basic("rdata/ip/1.2.3.4").is_err());
+    }
+
+    #[test]
+    fn rdata_query_parses_both_families() {
+        let q = DnsdbRdataQuery::parse("rdata/ip/192.0.2.7").unwrap();
+        assert_eq!(q.ip, "192.0.2.7".parse::<std::net::IpAddr>().unwrap());
+        let q6 = DnsdbRdataQuery::parse("rdata/ip/2001:db8::1").unwrap();
+        assert!(q6.ip.is_ipv6());
+        assert!(DnsdbRdataQuery::parse("rrset/name/x./A").is_err());
+        assert!(DnsdbRdataQuery::parse("rdata/ip/not-an-ip").is_err());
+    }
+
+    #[test]
+    fn censys_query_concrete_cert() {
+        let q = CensysNameQuery::new("*.iot.us-east-2.amazonaws.com").unwrap();
+        assert!(q.matches_name("a1b2c3.iot.us-east-2.amazonaws.com"));
+        assert!(!q.matches_name("iot.us-east-2.amazonaws.com"));
+        assert!(!q.matches_name("a.iot.us-west-1.amazonaws.com"));
+    }
+
+    #[test]
+    fn censys_query_wildcard_cert() {
+        let q = CensysNameQuery::new("*.iot.us-east-2.amazonaws.com").unwrap();
+        // The server presents a wildcard certificate covering the zone.
+        assert!(q.matches_name("*.iot.us-east-2.amazonaws.com"));
+        assert!(!q.matches_name("*.iot.eu-west-1.amazonaws.com"));
+    }
+
+    #[test]
+    fn censys_exact_query() {
+        let q = CensysNameQuery::new("mqtt.googleapis.com").unwrap();
+        assert!(q.matches_name("mqtt.googleapis.com"));
+        assert!(q.matches_name("*.googleapis.com")); // wildcard cert covers it
+        assert!(!q.matches_name("mqtt.google.com"));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let q = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A").unwrap();
+        assert!(q.matches("MyHub.Azure-Devices.NET.", RrTypeFilter::A));
+    }
+}

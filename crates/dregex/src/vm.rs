@@ -1,0 +1,234 @@
+//! Pike-style NFA virtual machine: linear-time matching.
+//!
+//! The VM advances a set of threads (program counters) in lock-step over the
+//! input. Each input byte is examined once per live thread, and thread sets
+//! are deduplicated per step, giving `O(input × program)` worst-case time —
+//! immune to the catastrophic backtracking that patterns like `(a+)+b`
+//! trigger in naive engines.
+
+use crate::prog::{Inst, Program};
+
+/// A deduplicated list of thread program counters.
+struct ThreadList {
+    dense: Vec<u32>,
+    /// Generation-stamped sparse membership to avoid clearing per step.
+    sparse: Vec<u32>,
+    generation: u32,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList {
+            dense: Vec::with_capacity(n),
+            sparse: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.generation += 1;
+    }
+
+    fn contains(&self, pc: u32) -> bool {
+        self.sparse[pc as usize] == self.generation
+    }
+
+    fn insert(&mut self, pc: u32) {
+        self.sparse[pc as usize] = self.generation;
+        self.dense.push(pc);
+    }
+}
+
+/// Add a thread and transitively follow zero-width instructions.
+/// `at_start` / `at_end` describe the position for anchor assertions.
+fn add_thread(
+    prog: &Program,
+    list: &mut ThreadList,
+    pc: u32,
+    at_start: bool,
+    at_end: bool,
+) {
+    if list.contains(pc) {
+        return;
+    }
+    list.insert(pc);
+    match prog.insts[pc as usize] {
+        Inst::Jmp(t) => add_thread(prog, list, t, at_start, at_end),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, a, at_start, at_end);
+            add_thread(prog, list, b, at_start, at_end);
+        }
+        Inst::AssertStart => {
+            if at_start {
+                add_thread(prog, list, pc + 1, at_start, at_end);
+            }
+        }
+        Inst::AssertEnd => {
+            if at_end {
+                add_thread(prog, list, pc + 1, at_start, at_end);
+            }
+        }
+        Inst::Class(_) | Inst::Match => {}
+    }
+}
+
+/// Run the VM. `start_anywhere` injects a fresh thread at every input
+/// position (unanchored search). Returns the end position of the first
+/// discovered match (earliest end), or `None`.
+fn run(prog: &Program, input: &[u8], start_pos: usize, start_anywhere: bool) -> Option<usize> {
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    clist.clear();
+    nlist.clear();
+
+    let mut pos = start_pos;
+    add_thread(prog, &mut clist, 0, pos == 0, pos == input.len());
+
+    loop {
+        let at_end = pos == input.len();
+        // Check for accepting threads at this position.
+        for &pc in &clist.dense {
+            if matches!(prog.insts[pc as usize], Inst::Match) {
+                return Some(pos);
+            }
+        }
+        if at_end {
+            return None;
+        }
+        let byte = input[pos];
+        nlist.clear();
+        let next_at_start = false;
+        let next_at_end = pos + 1 == input.len();
+        for i in 0..clist.dense.len() {
+            let pc = clist.dense[i];
+            if let Inst::Class(ref set) = prog.insts[pc as usize] {
+                if set.contains(byte) {
+                    add_thread(prog, &mut nlist, pc + 1, next_at_start, next_at_end);
+                }
+            }
+        }
+        pos += 1;
+        std::mem::swap(&mut clist, &mut nlist);
+        if start_anywhere && !prog.anchored_start {
+            // Inject a new starting thread at this position.
+            add_thread(prog, &mut clist, 0, pos == 0, pos == input.len());
+        }
+        if clist.dense.is_empty() {
+            return None;
+        }
+    }
+}
+
+/// Unanchored search: does the pattern match anywhere?
+pub fn search(prog: &Program, input: &[u8]) -> bool {
+    run(prog, input, 0, true).is_some()
+}
+
+/// Anchored match: does the pattern match the entire input?
+pub fn match_anchored(prog: &Program, input: &[u8]) -> bool {
+    // Full match = a match starting at 0 that ends exactly at input end.
+    // Scan match ends from position 0 only.
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    clist.clear();
+    nlist.clear();
+    add_thread(prog, &mut clist, 0, true, input.is_empty());
+    for pos in 0..=input.len() {
+        let at_end = pos == input.len();
+        if at_end {
+            return clist
+                .dense
+                .iter()
+                .any(|&pc| matches!(prog.insts[pc as usize], Inst::Match));
+        }
+        let byte = input[pos];
+        nlist.clear();
+        let next_at_end = pos + 1 == input.len();
+        for i in 0..clist.dense.len() {
+            let pc = clist.dense[i];
+            if let Inst::Class(ref set) = prog.insts[pc as usize] {
+                if set.contains(byte) {
+                    add_thread(prog, &mut nlist, pc + 1, false, next_at_end);
+                }
+            }
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        if clist.dense.is_empty() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Leftmost match: `(start, end)` of the first match, shortest end for the
+/// leftmost start.
+pub fn find(prog: &Program, input: &[u8]) -> Option<(usize, usize)> {
+    for start in 0..=input.len() {
+        if let Some(end) = run(prog, input, start, false) {
+            return Some((start, end));
+        }
+        if prog.anchored_start {
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn search_finds_interior_matches() {
+        let re = Regex::new("iot").unwrap();
+        assert!(re.is_match("device.iot.example"));
+        assert!(!re.is_match("device.example"));
+    }
+
+    #[test]
+    fn anchors_bind_input_boundaries() {
+        let re = Regex::new("^abc$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("xabc"));
+        assert!(!re.is_match("abcx"));
+    }
+
+    #[test]
+    fn dollar_mid_pattern_only_matches_at_end() {
+        let re = Regex::new(r"com\.$").unwrap();
+        assert!(re.is_match("example.com."));
+        assert!(!re.is_match("example.com.evil"));
+    }
+
+    #[test]
+    fn find_reports_shortest_leftmost() {
+        let re = Regex::new("a+").unwrap();
+        // Leftmost start 1; shortest end there is 2 (thread set reports
+        // earliest accepting position).
+        assert_eq!(re.find("baaa"), Some((1, 2)));
+    }
+
+    #[test]
+    fn full_match_empty_input() {
+        assert!(Regex::new("a*").unwrap().is_full_match(""));
+        assert!(!Regex::new("a+").unwrap().is_full_match(""));
+        assert!(Regex::new("").unwrap().is_full_match(""));
+    }
+
+    #[test]
+    fn anchored_start_optimization_still_correct() {
+        let re = Regex::new("^b").unwrap();
+        assert!(!re.is_match("ab"));
+        assert!(re.is_match("ba"));
+    }
+
+    #[test]
+    fn byte_level_matching_handles_dots_in_domains() {
+        let re = Regex::new(r"^[^.]+\.iot\.sap\.$").unwrap();
+        assert!(re.is_match("tenant42.iot.sap."));
+        assert!(!re.is_match("a.b.iot.sap."));
+    }
+}

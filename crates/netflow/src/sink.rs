@@ -1,0 +1,132 @@
+//! Streaming flow sinks.
+//!
+//! A week of ISP traffic at realistic scale is tens of millions of flow
+//! records; the analyses never need them all in memory at once. Generators
+//! push records into a [`FlowSink`]; analyses implement the trait and
+//! accumulate exactly what they need (DESIGN.md decision #4).
+
+use crate::record::FlowRecord;
+
+/// A consumer of flow records.
+pub trait FlowSink {
+    /// Consume one record.
+    fn accept(&mut self, record: &FlowRecord);
+
+    /// Called once when the generating pass is complete.
+    fn finish(&mut self) {}
+}
+
+/// Stores every record — for tests and small scales only.
+#[derive(Debug, Default)]
+pub struct StoringSink {
+    pub records: Vec<FlowRecord>,
+}
+
+impl StoringSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FlowSink for StoringSink {
+    fn accept(&mut self, record: &FlowRecord) {
+        self.records.push(*record);
+    }
+}
+
+/// Counts records and bytes — the cheapest possible sink.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    pub records: u64,
+    pub bytes: u64,
+}
+
+impl CountingSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FlowSink for CountingSink {
+    fn accept(&mut self, record: &FlowRecord) {
+        self.records += 1;
+        self.bytes += record.bytes;
+    }
+}
+
+/// Broadcasts records to several sinks in one pass.
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a mut dyn FlowSink>,
+}
+
+impl<'a> MultiSink<'a> {
+    /// Bundle sinks together.
+    pub fn new(sinks: Vec<&'a mut dyn FlowSink>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl FlowSink for MultiSink<'_> {
+    fn accept(&mut self, record: &FlowRecord) {
+        for s in &mut self.sinks {
+            s.accept(record);
+        }
+    }
+
+    fn finish(&mut self) {
+        for s in &mut self.sinks {
+            s.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Direction, LineId};
+    use iotmap_nettypes::{Date, PortProto};
+
+    fn flow(bytes: u64) -> FlowRecord {
+        FlowRecord {
+            time: Date::new(2022, 3, 1).midnight(),
+            line: LineId(1),
+            remote: "192.0.2.1".parse().unwrap(),
+            port: PortProto::tcp(443),
+            direction: Direction::Downstream,
+            bytes,
+            packets: 1,
+        }
+    }
+
+    #[test]
+    fn storing_sink_keeps_everything() {
+        let mut s = StoringSink::new();
+        s.accept(&flow(10));
+        s.accept(&flow(20));
+        assert_eq!(s.records.len(), 2);
+    }
+
+    #[test]
+    fn counting_sink_totals() {
+        let mut s = CountingSink::new();
+        s.accept(&flow(10));
+        s.accept(&flow(20));
+        assert_eq!(s.records, 2);
+        assert_eq!(s.bytes, 30);
+    }
+
+    #[test]
+    fn multi_sink_broadcasts() {
+        let mut a = CountingSink::new();
+        let mut b = StoringSink::new();
+        {
+            let mut m = MultiSink::new(vec![&mut a, &mut b]);
+            m.accept(&flow(5));
+            m.finish();
+        }
+        assert_eq!(a.records, 1);
+        assert_eq!(b.records.len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Autonomous System numbers.
+
+use crate::error::ParseError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A BGP Autonomous System number.
+///
+/// The paper classifies a backend as *Dedicated Infrastructure* when all its
+/// addresses are announced by ASes managed by the backend operator, and as
+/// *Public Cloud Resources* when they are announced by cloud/CDN ASes (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Numeric value.
+    pub fn value(&self) -> u32 {
+        self.0
+    }
+
+    /// Is this a private-use ASN (RFC 6996)?
+    pub fn is_private(&self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| ParseError::new("asn", s, "expected AS<number>"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = Asn(15169);
+        assert_eq!(a.to_string(), "AS15169");
+        assert_eq!("AS15169".parse::<Asn>().unwrap(), a);
+        assert_eq!("15169".parse::<Asn>().unwrap(), a);
+        assert_eq!("as15169".parse::<Asn>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ASfoo".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(64511).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(!Asn(16509).is_private());
+    }
+}

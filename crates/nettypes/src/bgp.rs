@@ -1,0 +1,115 @@
+//! BGP routing-table data — the RouteViews / Hurricane Electric stand-in.
+//!
+//! §4.3 of the paper: "We use the RouteViews Prefix to AS mapping dataset
+//! from CAIDA to map IP addresses to prefixes and AS numbers", and §4.2
+//! uses "the location of prefix announcements from Hurricane Electric" as
+//! one of the location sources. One table serves both: each announcement
+//! carries its origin AS, the announcing organization, and an optional
+//! location (label + geography).
+
+use crate::asn::Asn;
+use crate::geo::Location;
+use crate::prefix::{Ipv4Prefix, Ipv6Prefix};
+use crate::trie::PrefixMap;
+use std::net::IpAddr;
+
+/// Metadata of one announcement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgpOrigin {
+    pub asn: Asn,
+    /// Organization name (WHOIS-style).
+    pub org: String,
+    /// Site/location label of the announcement (Hurricane-Electric-style
+    /// geofeed), e.g. `"us-east-1"` or a metro name. Empty when unknown.
+    pub location_label: String,
+    /// Geography of the announcement, when the geofeed provides one.
+    pub location: Option<Location>,
+}
+
+/// The global routing table.
+#[derive(Debug, Default)]
+pub struct BgpTable {
+    map: PrefixMap<BgpOrigin>,
+    count: usize,
+}
+
+impl BgpTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announce an IPv4 prefix.
+    pub fn announce_v4(&mut self, prefix: Ipv4Prefix, origin: BgpOrigin) {
+        if self.map.insert_v4(prefix, origin).is_none() {
+            self.count += 1;
+        }
+    }
+
+    /// Announce an IPv6 prefix.
+    pub fn announce_v6(&mut self, prefix: Ipv6Prefix, origin: BgpOrigin) {
+        if self.map.insert_v6(prefix, origin).is_none() {
+            self.count += 1;
+        }
+    }
+
+    /// Longest-prefix match: the announcement covering an address.
+    pub fn origin(&self, addr: IpAddr) -> Option<&BgpOrigin> {
+        self.map.lookup(addr)
+    }
+
+    /// The covering prefix and origin for an IPv4 address.
+    pub fn lookup_v4(&self, addr: std::net::Ipv4Addr) -> Option<(Ipv4Prefix, &BgpOrigin)> {
+        self.map.lookup_v4(addr)
+    }
+
+    /// The covering prefix and origin for an IPv6 address.
+    pub fn lookup_v6(&self, addr: std::net::Ipv6Addr) -> Option<(Ipv6Prefix, &BgpOrigin)> {
+        self.map.lookup_v6(addr)
+    }
+
+    /// Number of announcements.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin(asn: u32, label: &str) -> BgpOrigin {
+        BgpOrigin {
+            asn: Asn(asn),
+            org: format!("org-{asn}"),
+            location_label: label.to_string(),
+            location: None,
+        }
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = BgpTable::new();
+        t.announce_v4("52.0.0.0/13".parse().unwrap(), origin(14618, "us-east-1"));
+        t.announce_v4("52.0.16.0/20".parse().unwrap(), origin(14618, "us-east-1-zoneB"));
+        let o = t.origin("52.0.17.1".parse().unwrap()).unwrap();
+        assert_eq!(o.location_label, "us-east-1-zoneB");
+        let o = t.origin("52.1.0.1".parse().unwrap()).unwrap();
+        assert_eq!(o.location_label, "us-east-1");
+        assert!(t.origin("53.0.0.1".parse().unwrap()).is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn v6_announcements() {
+        let mut t = BgpTable::new();
+        t.announce_v6("2a05::/32".parse().unwrap(), origin(16509, "aws-v6"));
+        assert!(t.origin("2a05::1".parse().unwrap()).is_some());
+        assert!(t.origin("2a06::1".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for parsing the textual forms used throughout the workspace.
+
+use std::fmt;
+
+/// Error produced when parsing prefixes, domain names, dates, or other
+/// textual representations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: &'static str,
+    input: String,
+    detail: String,
+}
+
+impl ParseError {
+    /// Build a parse error for `kind` (e.g. `"prefix"`) over `input`.
+    pub fn new(kind: &'static str, input: impl Into<String>, detail: impl Into<String>) -> Self {
+        ParseError {
+            kind,
+            input: input.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// What category of value failed to parse.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The offending input.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Human-readable description of the failure.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} {:?}: {}",
+            self.kind, self.input, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_and_input() {
+        let e = ParseError::new("prefix", "10.0.0.0/99", "length out of range");
+        let s = e.to_string();
+        assert!(s.contains("prefix"));
+        assert!(s.contains("10.0.0.0/99"));
+        assert!(s.contains("length out of range"));
+    }
+
+    #[test]
+    fn accessors() {
+        let e = ParseError::new("date", "2022-13-01", "month");
+        assert_eq!(e.kind(), "date");
+        assert_eq!(e.input(), "2022-13-01");
+        assert_eq!(e.detail(), "month");
+    }
+}

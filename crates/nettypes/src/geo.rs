@@ -1,0 +1,222 @@
+//! Geographic model: continents, countries, and server locations.
+//!
+//! The paper's footprint analysis (§4.2) locates every backend server at
+//! city granularity and aggregates to countries and continents; the traffic
+//! analysis (§5.7) buckets traffic into Europe / US / Asia / Other. We keep
+//! the same three levels.
+
+use crate::error::ParseError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Continent, at the granularity used by the paper's region-crossing
+/// analysis. The paper reports Europe, the US (we use North America), Asia,
+/// and "other".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Continent {
+    Europe,
+    NorthAmerica,
+    SouthAmerica,
+    Asia,
+    Africa,
+    Oceania,
+}
+
+impl Continent {
+    /// All continents, in a fixed order.
+    pub const ALL: [Continent; 6] = [
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::SouthAmerica,
+        Continent::Asia,
+        Continent::Africa,
+        Continent::Oceania,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Continent::Europe => "EU",
+            Continent::NorthAmerica => "US",
+            Continent::SouthAmerica => "SA",
+            Continent::Asia => "AS",
+            Continent::Africa => "AF",
+            Continent::Oceania => "OC",
+        }
+    }
+
+    /// The paper's four-way bucket: EU / US / Asia / Other.
+    pub fn paper_bucket(&self) -> &'static str {
+        match self {
+            Continent::Europe => "EU",
+            Continent::NorthAmerica => "US",
+            Continent::Asia => "Asia",
+            _ => "Other",
+        }
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// ISO-3166-alpha-2-style country code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Build from a two-letter code; normalized to upper case.
+    pub fn new(code: &str) -> Result<Self, ParseError> {
+        let bytes = code.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            return Err(ParseError::new("country", code, "expected two letters"));
+        }
+        Ok(CountryCode([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+        ]))
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        // Invariant: constructed from ASCII letters only.
+        std::str::from_utf8(&self.0).expect("country codes are ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CountryCode::new(s)
+    }
+}
+
+/// A physical location: city, country, continent, and coordinates.
+///
+/// Coordinates feed the haversine distance used by anycast catchment
+/// selection and the looking-glass latency heuristics of §4.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Location {
+    /// City name (or datacenter metro), e.g. `"Frankfurt"`.
+    pub city: String,
+    /// Country the city is in.
+    pub country: CountryCode,
+    /// Continent the country is on.
+    pub continent: Continent,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl Location {
+    /// Construct a location. `country` must be a two-letter code.
+    pub fn new(city: &str, country: &str, continent: Continent, lat: f64, lon: f64) -> Self {
+        Location {
+            city: city.to_string(),
+            country: CountryCode::new(country).expect("valid country code"),
+            continent,
+            lat,
+            lon,
+        }
+    }
+
+    /// Great-circle distance to another location, in kilometres.
+    pub fn distance_km(&self, other: &Location) -> f64 {
+        haversine_km(self.lat, self.lon, other.lat, other.lon)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {} ({})", self.city, self.country, self.continent)
+    }
+}
+
+/// Great-circle distance between two coordinates, in kilometres.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    const EARTH_RADIUS_KM: f64 = 6371.0;
+    let (la1, lo1, la2, lo2) = (
+        lat1.to_radians(),
+        lon1.to_radians(),
+        lat2.to_radians(),
+        lon2.to_radians(),
+    );
+    let dlat = la2 - la1;
+    let dlon = lo2 - lo1;
+    let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+}
+
+/// Rough RTT (in ms) for a one-way great-circle distance: speed of light in
+/// fibre plus a fixed processing overhead. Used by the looking-glass model.
+pub fn rtt_ms_for_distance(km: f64) -> f64 {
+    // ~200,000 km/s in fibre, round trip, plus 2 ms overhead; real paths
+    // are not great circles, so inflate by a path-stretch factor of 1.4.
+    2.0 + 2.0 * km * 1.4 / 200_000.0 * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn berlin() -> Location {
+        Location::new("Berlin", "DE", Continent::Europe, 52.52, 13.405)
+    }
+
+    fn nyc() -> Location {
+        Location::new("New York", "US", Continent::NorthAmerica, 40.7128, -74.006)
+    }
+
+    #[test]
+    fn country_code_normalizes_case() {
+        assert_eq!(CountryCode::new("de").unwrap().as_str(), "DE");
+        assert!(CountryCode::new("DEU").is_err());
+        assert!(CountryCode::new("d1").is_err());
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Berlin to New York is roughly 6,385 km.
+        let d = berlin().distance_km(&nyc());
+        assert!((6200.0..6600.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_distance() {
+        let b = berlin();
+        assert!(b.distance_km(&b) < 1e-9);
+    }
+
+    #[test]
+    fn rtt_increases_with_distance() {
+        assert!(rtt_ms_for_distance(6000.0) > rtt_ms_for_distance(500.0));
+        // Transatlantic should be tens of milliseconds.
+        let rtt = rtt_ms_for_distance(6385.0);
+        assert!((60.0..120.0).contains(&rtt), "got {rtt}");
+    }
+
+    #[test]
+    fn paper_buckets() {
+        assert_eq!(Continent::Europe.paper_bucket(), "EU");
+        assert_eq!(Continent::NorthAmerica.paper_bucket(), "US");
+        assert_eq!(Continent::Asia.paper_bucket(), "Asia");
+        assert_eq!(Continent::Africa.paper_bucket(), "Other");
+        assert_eq!(Continent::Oceania.paper_bucket(), "Other");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(berlin().to_string(), "Berlin, DE (EU)");
+        assert_eq!(Continent::Asia.to_string(), "AS");
+    }
+}

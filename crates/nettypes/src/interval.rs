@@ -1,0 +1,237 @@
+//! Interval sets over the IPv4 number line.
+//!
+//! §6.2 of the paper intersects the discovered backend addresses with the
+//! FireHOL aggregate blocklist — more than 610 **million** IPv4 addresses
+//! drawn from 67 source lists. A set that size cannot be enumerated; it must
+//! be represented as merged address ranges, which is what [`IntervalSet`]
+//! provides (half-open `[start, end)` ranges over `u64` so the full IPv4
+//! space `[0, 2^32)` is representable).
+
+use crate::prefix::Ipv4Prefix;
+use std::net::Ipv4Addr;
+
+/// A set of `u64` values stored as sorted, disjoint, half-open ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Sorted, non-overlapping, non-adjacent `[start, end)` ranges.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        IntervalSet { ranges: Vec::new() }
+    }
+
+    /// Number of stored (merged) ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total number of contained values.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// True if the set contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Insert the half-open range `[start, end)`, merging as needed.
+    pub fn insert_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find the insertion window: all ranges overlapping or adjacent to
+        // [start, end) get merged into one.
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let hi = self.ranges.partition_point(|&(s, _)| s <= end);
+        let mut new_start = start;
+        let mut new_end = end;
+        if lo < hi {
+            new_start = new_start.min(self.ranges[lo].0);
+            new_end = new_end.max(self.ranges[hi - 1].1);
+        }
+        self.ranges.splice(lo..hi, std::iter::once((new_start, new_end)));
+    }
+
+    /// Insert a single value.
+    pub fn insert(&mut self, value: u64) {
+        self.insert_range(value, value + 1);
+    }
+
+    /// Insert every address of an IPv4 prefix.
+    pub fn insert_prefix(&mut self, prefix: Ipv4Prefix) {
+        let start = prefix.network_u32() as u64;
+        self.insert_range(start, start + prefix.size());
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: u64) -> bool {
+        let idx = self.ranges.partition_point(|&(_, e)| e <= value);
+        self.ranges
+            .get(idx)
+            .is_some_and(|&(s, _)| s <= value)
+    }
+
+    /// Membership test for an IPv4 address.
+    pub fn contains_v4(&self, addr: Ipv4Addr) -> bool {
+        self.contains(u32::from(addr) as u64)
+    }
+
+    /// Does any value of `[start, end)` belong to the set?
+    pub fn overlaps_range(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let idx = self.ranges.partition_point(|&(_, e)| e <= start);
+        self.ranges.get(idx).is_some_and(|&(s, _)| s < end)
+    }
+
+    /// Does the set intersect an IPv4 prefix?
+    pub fn overlaps_prefix(&self, prefix: &Ipv4Prefix) -> bool {
+        let start = prefix.network_u32() as u64;
+        self.overlaps_range(start, start + prefix.size())
+    }
+
+    /// Iterate over the merged ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// Union with another set.
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        for &(s, e) in &other.ranges {
+            self.insert_range(s, e);
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for w in self.ranges.windows(2) {
+            assert!(w[0].1 < w[1].0, "ranges must be disjoint and non-adjacent");
+        }
+        for &(s, e) in &self.ranges {
+            assert!(s < e, "ranges must be non-empty");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = IntervalSet::new();
+        s.insert_range(10, 20);
+        s.check_invariants();
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(!s.contains(9));
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn merging_overlapping_ranges() {
+        let mut s = IntervalSet::new();
+        s.insert_range(10, 20);
+        s.insert_range(15, 30);
+        s.check_invariants();
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    fn merging_adjacent_ranges() {
+        let mut s = IntervalSet::new();
+        s.insert_range(10, 20);
+        s.insert_range(20, 25);
+        s.check_invariants();
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len(), 15);
+    }
+
+    #[test]
+    fn disjoint_ranges_stay_separate() {
+        let mut s = IntervalSet::new();
+        s.insert_range(10, 20);
+        s.insert_range(30, 40);
+        s.check_invariants();
+        assert_eq!(s.range_count(), 2);
+        assert!(!s.contains(25));
+    }
+
+    #[test]
+    fn bridge_merges_three_ranges() {
+        let mut s = IntervalSet::new();
+        s.insert_range(10, 20);
+        s.insert_range(30, 40);
+        s.insert_range(15, 35);
+        s.check_invariants();
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let mut s = IntervalSet::new();
+        s.insert_range(5, 5);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_value_insert() {
+        let mut s = IntervalSet::new();
+        s.insert(42);
+        s.insert(43);
+        s.check_invariants();
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn prefix_insert_and_overlap() {
+        let mut s = IntervalSet::new();
+        s.insert_prefix("192.0.2.0/24".parse().unwrap());
+        assert!(s.contains_v4("192.0.2.200".parse().unwrap()));
+        assert!(!s.contains_v4("192.0.3.0".parse().unwrap()));
+        assert!(s.overlaps_prefix(&"192.0.0.0/16".parse().unwrap()));
+        assert!(!s.overlaps_prefix(&"10.0.0.0/8".parse().unwrap()));
+        assert_eq!(s.len(), 256);
+    }
+
+    #[test]
+    fn whole_ipv4_space_fits() {
+        let mut s = IntervalSet::new();
+        s.insert_prefix("0.0.0.0/0".parse().unwrap());
+        assert_eq!(s.len(), 1 << 32);
+        assert!(s.contains_v4("255.255.255.255".parse().unwrap()));
+    }
+
+    #[test]
+    fn union() {
+        let mut a = IntervalSet::new();
+        a.insert_range(0, 10);
+        let mut b = IntervalSet::new();
+        b.insert_range(5, 15);
+        b.insert_range(100, 110);
+        a.union_with(&b);
+        a.check_invariants();
+        assert_eq!(a.len(), 25);
+        assert_eq!(a.range_count(), 2);
+    }
+
+    #[test]
+    fn overlaps_range_edges() {
+        let mut s = IntervalSet::new();
+        s.insert_range(10, 20);
+        assert!(s.overlaps_range(19, 25));
+        assert!(!s.overlaps_range(20, 25));
+        assert!(s.overlaps_range(0, 11));
+        assert!(!s.overlaps_range(0, 10));
+        assert!(!s.overlaps_range(15, 15));
+    }
+}

@@ -1,0 +1,178 @@
+//! DNS domain names.
+//!
+//! §3.2 of the paper is built around the structure
+//! `<subdomain>.<region>.<second-level-domain>`; the discovery pipeline
+//! matches regular expressions against fully-qualified names. We store names
+//! lowercased and without the trailing root dot, and compare
+//! case-insensitively (DNS is case-insensitive by RFC 1035).
+
+use crate::error::ParseError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A normalized DNS domain name (lowercase, no trailing dot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    name: String,
+}
+
+impl DomainName {
+    /// Parse and normalize a domain name.
+    ///
+    /// Accepts an optional trailing dot; labels must be 1–63 characters of
+    /// ASCII letters, digits, `-` or `_` (underscores occur in service
+    /// labels such as `_mqtt._tcp`), must not start or end with `-`, and the
+    /// whole name must be at most 253 characters.
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Err(ParseError::new("domain", input, "empty name"));
+        }
+        if trimmed.len() > 253 {
+            return Err(ParseError::new("domain", input, "name too long"));
+        }
+        for label in trimmed.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(ParseError::new("domain", input, "bad label length"));
+            }
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
+                return Err(ParseError::new("domain", input, "bad label character"));
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(ParseError::new("domain", input, "label starts/ends with '-'"));
+            }
+        }
+        Ok(DomainName {
+            name: trimmed.to_ascii_lowercase(),
+        })
+    }
+
+    /// The normalized name.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// The name in DNSDB presentation form, with a trailing root dot.
+    pub fn fqdn(&self) -> String {
+        format!("{}.", self.name)
+    }
+
+    /// Labels, left to right.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// Is this name equal to, or a subdomain of, `suffix`?
+    pub fn is_subdomain_of(&self, suffix: &DomainName) -> bool {
+        if self.name == suffix.name {
+            return true;
+        }
+        self.name.len() > suffix.name.len()
+            && self.name.ends_with(&suffix.name)
+            && self.name.as_bytes()[self.name.len() - suffix.name.len() - 1] == b'.'
+    }
+
+    /// The parent domain (one label stripped), if any.
+    pub fn parent(&self) -> Option<DomainName> {
+        self.name.split_once('.').map(|(_, rest)| DomainName {
+            name: rest.to_string(),
+        })
+    }
+
+    /// The registrable-ish second-level domain: the last two labels. (A real
+    /// implementation would consult the public-suffix list; two labels is
+    /// sufficient for the synthetic namespace.)
+    pub fn second_level(&self) -> DomainName {
+        let labels: Vec<&str> = self.name.split('.').collect();
+        let n = labels.len();
+        let start = n.saturating_sub(2);
+        DomainName {
+            name: labels[start..].join("."),
+        }
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_normalizes_case_and_trailing_dot() {
+        assert_eq!(d("MQTT.GoogleApis.COM.").as_str(), "mqtt.googleapis.com");
+        assert_eq!(d("example.com").fqdn(), "example.com.");
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert!(DomainName::parse("").is_err());
+        assert!(DomainName::parse(".").is_err());
+        assert!(DomainName::parse("a..b").is_err());
+        assert!(DomainName::parse("-foo.com").is_err());
+        assert!(DomainName::parse("foo-.com").is_err());
+        assert!(DomainName::parse("exa mple.com").is_err());
+        assert!(DomainName::parse(&"a".repeat(64)).is_err());
+        assert!(DomainName::parse(&format!("{}.com", "a.".repeat(127))).is_err());
+    }
+
+    #[test]
+    fn underscores_allowed_in_service_labels() {
+        assert_eq!(d("_mqtt._tcp.example.com").label_count(), 4);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let base = d("iot.us-east-1.amazonaws.com");
+        assert!(d("abc123.iot.us-east-1.amazonaws.com").is_subdomain_of(&base));
+        assert!(base.is_subdomain_of(&base));
+        assert!(!d("xiot.us-east-1.amazonaws.com").is_subdomain_of(&base));
+        assert!(!d("amazonaws.com").is_subdomain_of(&base));
+    }
+
+    #[test]
+    fn parent_and_second_level() {
+        let n = d("a.b.example.com");
+        assert_eq!(n.parent().unwrap().as_str(), "b.example.com");
+        assert_eq!(n.second_level().as_str(), "example.com");
+        assert_eq!(d("com").parent(), None);
+        assert_eq!(d("com").second_level().as_str(), "com");
+    }
+
+    #[test]
+    fn labels_iteration() {
+        let n = d("device42.iot.eu-west-1.amazonaws.com");
+        let labels: Vec<_> = n.labels().collect();
+        assert_eq!(labels, vec!["device42", "iot", "eu-west-1", "amazonaws", "com"]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Transport ports and the application protocols the paper tracks.
+//!
+//! §4.4 ("Protocol Support") and §5.5 ("Port Usage") revolve around the
+//! observation that IoT backends serve IoT protocols on *unexpected* ports:
+//! MQTT on 443 or 1884, CoAP on 5682/5686, ActiveMQ on 61616. The
+//! [`AppProtocol::classify`] function implements the IANA-based labelling the
+//! paper uses for Figure 11, which by design cannot see through port reuse —
+//! that gap is one of the paper's findings.
+
+use std::fmt;
+
+/// Transport-layer protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Transport {
+    Tcp,
+    Udp,
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Transport::Tcp => "TCP",
+            Transport::Udp => "UDP",
+        })
+    }
+}
+
+/// A (transport, port) pair — the granularity of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortProto {
+    pub transport: Transport,
+    pub port: u16,
+}
+
+impl PortProto {
+    /// TCP port shorthand.
+    pub const fn tcp(port: u16) -> Self {
+        PortProto {
+            transport: Transport::Tcp,
+            port,
+        }
+    }
+
+    /// UDP port shorthand.
+    pub const fn udp(port: u16) -> Self {
+        PortProto {
+            transport: Transport::Udp,
+            port,
+        }
+    }
+}
+
+impl fmt::Display for PortProto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.transport, self.port)
+    }
+}
+
+/// Well-known ports used across the study.
+pub mod well_known {
+    use super::PortProto;
+
+    pub const HTTP: PortProto = PortProto::tcp(80);
+    pub const HTTPS: PortProto = PortProto::tcp(443);
+    pub const HTTPS_ALT: PortProto = PortProto::tcp(8443);
+    /// Huawei's HTTPS application port.
+    pub const HTTPS_HUAWEI: PortProto = PortProto::tcp(8943);
+    pub const MQTT: PortProto = PortProto::tcp(1883);
+    /// Baidu's non-standard MQTT port.
+    pub const MQTT_ALT: PortProto = PortProto::tcp(1884);
+    pub const MQTT_TLS: PortProto = PortProto::tcp(8883);
+    pub const AMQP_TLS: PortProto = PortProto::tcp(5671);
+    pub const COAP: PortProto = PortProto::udp(5683);
+    pub const COAPS: PortProto = PortProto::udp(5684);
+    /// Non-standard CoAP ports observed in provider documentation.
+    pub const COAP_ALT: PortProto = PortProto::udp(5682);
+    pub const COAP_ALT2: PortProto = PortProto::udp(5686);
+    /// Apache ActiveMQ default port (the paper's D4 finding, §5.5).
+    pub const ACTIVEMQ: PortProto = PortProto::tcp(61616);
+    /// OPC-UA binary protocol (Siemens Mindsphere).
+    pub const OPC_UA: PortProto = PortProto::tcp(4840);
+    /// Cisco Kinetic's custom TCP ports.
+    pub const KINETIC_A: PortProto = PortProto::tcp(9123);
+    pub const KINETIC_B: PortProto = PortProto::tcp(9124);
+}
+
+/// Application protocols at the granularity the paper discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppProtocol {
+    Http,
+    Https,
+    Mqtt,
+    MqttTls,
+    Coap,
+    CoapTls,
+    Amqp,
+    OpcUa,
+    ActiveMq,
+    /// Anything not mapped by IANA conventions.
+    Other,
+}
+
+impl AppProtocol {
+    /// The IANA-convention classification of a port, as used to label
+    /// Figure 11. Deliberately *cannot* detect MQTT-over-443 — that is the
+    /// methodological gap the paper highlights.
+    pub fn classify(pp: PortProto) -> AppProtocol {
+        use well_known::*;
+        match pp {
+            p if p == HTTP => AppProtocol::Http,
+            p if p == HTTPS || p == HTTPS_ALT || p == HTTPS_HUAWEI => AppProtocol::Https,
+            p if p == MQTT || p == MQTT_ALT => AppProtocol::Mqtt,
+            p if p == MQTT_TLS => AppProtocol::MqttTls,
+            p if p == COAP || p == COAPS || p == COAP_ALT || p == COAP_ALT2 => AppProtocol::Coap,
+            p if p == AMQP_TLS => AppProtocol::Amqp,
+            p if p == OPC_UA => AppProtocol::OpcUa,
+            p if p == ACTIVEMQ => AppProtocol::ActiveMq,
+            _ => AppProtocol::Other,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppProtocol::Http => "HTTP",
+            AppProtocol::Https => "HTTPS",
+            AppProtocol::Mqtt => "MQTT",
+            AppProtocol::MqttTls => "MQTT/TLS",
+            AppProtocol::Coap => "CoAP",
+            AppProtocol::CoapTls => "CoAPs",
+            AppProtocol::Amqp => "AMQP",
+            AppProtocol::OpcUa => "OPC-UA",
+            AppProtocol::ActiveMq => "ActiveMQ",
+            AppProtocol::Other => "Other",
+        }
+    }
+
+    /// Is this one of the IoT-specific protocols (vs generic Web)?
+    pub fn is_iot_specific(&self) -> bool {
+        matches!(
+            self,
+            AppProtocol::Mqtt
+                | AppProtocol::MqttTls
+                | AppProtocol::Coap
+                | AppProtocol::CoapTls
+                | AppProtocol::Amqp
+                | AppProtocol::OpcUa
+                | AppProtocol::ActiveMq
+        )
+    }
+}
+
+impl fmt::Display for AppProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::well_known::*;
+    use super::*;
+
+    #[test]
+    fn classify_standard_ports() {
+        assert_eq!(AppProtocol::classify(HTTPS), AppProtocol::Https);
+        assert_eq!(AppProtocol::classify(MQTT), AppProtocol::Mqtt);
+        assert_eq!(AppProtocol::classify(MQTT_TLS), AppProtocol::MqttTls);
+        assert_eq!(AppProtocol::classify(AMQP_TLS), AppProtocol::Amqp);
+        assert_eq!(AppProtocol::classify(COAP_ALT2), AppProtocol::Coap);
+        assert_eq!(AppProtocol::classify(ACTIVEMQ), AppProtocol::ActiveMq);
+    }
+
+    #[test]
+    fn classify_nonstandard_mqtt_ports() {
+        // Baidu's 1884 still looks like MQTT by neighbourhood convention...
+        assert_eq!(AppProtocol::classify(MQTT_ALT), AppProtocol::Mqtt);
+        // ...but MQTT tunnelled over 443 is invisible: classified as HTTPS.
+        assert_eq!(AppProtocol::classify(PortProto::tcp(443)), AppProtocol::Https);
+    }
+
+    #[test]
+    fn classify_unknown_is_other() {
+        assert_eq!(AppProtocol::classify(PortProto::udp(12345)), AppProtocol::Other);
+        // CoAP is UDP; TCP/5683 is not CoAP.
+        assert_eq!(AppProtocol::classify(PortProto::tcp(5683)), AppProtocol::Other);
+    }
+
+    #[test]
+    fn iot_specific_split() {
+        assert!(AppProtocol::MqttTls.is_iot_specific());
+        assert!(AppProtocol::Amqp.is_iot_specific());
+        assert!(!AppProtocol::Https.is_iot_specific());
+        assert!(!AppProtocol::Other.is_iot_specific());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PortProto::tcp(8883).to_string(), "TCP/8883");
+        assert_eq!(PortProto::udp(5683).to_string(), "UDP/5683");
+        assert_eq!(AppProtocol::MqttTls.to_string(), "MQTT/TLS");
+    }
+}

@@ -1,0 +1,395 @@
+//! IP prefixes (CIDR blocks) for both address families.
+//!
+//! Prefixes are the unit the paper counts backends in: Table 1 reports the
+//! number of distinct IPv4 /24s and IPv6 /56s covered by each provider's
+//! discovered gateway addresses, and §4.3 maps addresses to their covering
+//! BGP announcements.
+
+use crate::error::ParseError;
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix, stored in canonical (masked) form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length in bits
+impl Ipv4Prefix {
+    /// Create a prefix; host bits of `addr` are zeroed. Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "IPv4 prefix length must be <= 32");
+        let raw = u32::from(addr);
+        Ipv4Prefix {
+            addr: raw & Self::mask(len),
+            len,
+        }
+    }
+
+    /// Netmask for a given prefix length.
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Numeric network address.
+    pub fn network_u32(&self) -> u32 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered by this prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// First address of the prefix.
+    pub fn first(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Last address of the prefix.
+    pub fn last(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr | !Self::mask(self.len))
+    }
+
+    /// Does this prefix contain the address?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.len)) == self.addr
+    }
+
+    /// Does this prefix fully contain another prefix?
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// The /24 block containing an address — the aggregation unit of Table 1.
+    pub fn slash24_of(addr: Ipv4Addr) -> Ipv4Prefix {
+        Ipv4Prefix::new(addr, 24)
+    }
+
+    /// The `index`-th address inside the prefix. Panics if out of range.
+    pub fn nth(&self, index: u64) -> Ipv4Addr {
+        assert!(index < self.size(), "address index out of prefix range");
+        Ipv4Addr::from(self.addr + index as u32)
+    }
+
+    /// Iterate over the addresses of the prefix (use only on small prefixes).
+    pub fn addresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.size()).map(move |i| self.nth(i))
+    }
+
+    /// Split into sub-prefixes of `sublen` bits. Panics if `sublen < len`.
+    pub fn subnets(&self, sublen: u8) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        assert!(sublen >= self.len && sublen <= 32);
+        let count = 1u64 << (sublen - self.len);
+        let step = 1u64 << (32 - sublen);
+        let base = self.addr;
+        (0..count).map(move |i| Ipv4Prefix {
+            addr: base + (i * step) as u32,
+            len: sublen,
+        })
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_s, len_s) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::new("prefix", s, "missing '/'"))?;
+        let addr: Ipv4Addr = addr_s
+            .parse()
+            .map_err(|_| ParseError::new("prefix", s, "bad IPv4 address"))?;
+        let len: u8 = len_s
+            .parse()
+            .map_err(|_| ParseError::new("prefix", s, "bad length"))?;
+        if len > 32 {
+            return Err(ParseError::new("prefix", s, "length out of range"));
+        }
+        Ok(Ipv4Prefix::new(addr, len))
+    }
+}
+
+/// An IPv6 CIDR prefix, stored in canonical (masked) form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv6Prefix {
+    addr: u128,
+    len: u8,
+}
+
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length in bits
+impl Ipv6Prefix {
+    /// Create a prefix; host bits of `addr` are zeroed. Panics if `len > 128`.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Self {
+        assert!(len <= 128, "IPv6 prefix length must be <= 128");
+        let raw = u128::from(addr);
+        Ipv6Prefix {
+            addr: raw & Self::mask(len),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len)
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.addr)
+    }
+
+    /// Numeric network address.
+    pub fn network_u128(&self) -> u128 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Does this prefix contain the address?
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        (u128::from(addr) & Self::mask(self.len)) == self.addr
+    }
+
+    /// Does this prefix fully contain another prefix?
+    pub fn covers(&self, other: &Ipv6Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// The /56 block containing an address — the aggregation unit of Table 1.
+    pub fn slash56_of(addr: Ipv6Addr) -> Ipv6Prefix {
+        Ipv6Prefix::new(addr, 56)
+    }
+
+    /// The `index`-th address inside the prefix (low 64 bits only).
+    pub fn nth(&self, index: u64) -> Ipv6Addr {
+        Ipv6Addr::from(self.addr + index as u128)
+    }
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Ipv6Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_s, len_s) = s
+            .split_once('/')
+            .ok_or_else(|| ParseError::new("prefix", s, "missing '/'"))?;
+        let addr: Ipv6Addr = addr_s
+            .parse()
+            .map_err(|_| ParseError::new("prefix", s, "bad IPv6 address"))?;
+        let len: u8 = len_s
+            .parse()
+            .map_err(|_| ParseError::new("prefix", s, "bad length"))?;
+        if len > 128 {
+            return Err(ParseError::new("prefix", s, "length out of range"));
+        }
+        Ok(Ipv6Prefix::new(addr, len))
+    }
+}
+
+/// A prefix of either family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prefix {
+    V4(Ipv4Prefix),
+    V6(Ipv6Prefix),
+}
+
+#[allow(clippy::len_without_is_empty)] // `len` is the prefix length in bits
+impl Prefix {
+    /// Does this prefix contain the address (families must match)?
+    pub fn contains(&self, addr: IpAddr) -> bool {
+        match (self, addr) {
+            (Prefix::V4(p), IpAddr::V4(a)) => p.contains(a),
+            (Prefix::V6(p), IpAddr::V6(a)) => p.contains(a),
+            _ => false,
+        }
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        match self {
+            Prefix::V4(p) => p.len(),
+            Prefix::V6(p) => p.len(),
+        }
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4(p) => p.fmt(f),
+            Prefix::V6(p) => p.fmt(f),
+        }
+    }
+}
+
+impl From<Ipv4Prefix> for Prefix {
+    fn from(p: Ipv4Prefix) -> Self {
+        Prefix::V4(p)
+    }
+}
+
+impl From<Ipv6Prefix> for Prefix {
+    fn from(p: Ipv6Prefix) -> Self {
+        Prefix::V6(p)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains(':') {
+            s.parse::<Ipv6Prefix>().map(Prefix::V6)
+        } else {
+            s.parse::<Ipv4Prefix>().map(Prefix::V4)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_canonicalizes_host_bits() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn v4_contains() {
+        let p: Ipv4Prefix = "192.0.2.0/24".parse().unwrap();
+        assert!(p.contains(Ipv4Addr::new(192, 0, 2, 255)));
+        assert!(!p.contains(Ipv4Addr::new(192, 0, 3, 0)));
+    }
+
+    #[test]
+    fn v4_zero_length_contains_everything() {
+        let p: Ipv4Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(p.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(p.size(), 1 << 32);
+    }
+
+    #[test]
+    fn v4_covers() {
+        let big: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let small: Ipv4Prefix = "10.3.0.0/16".parse().unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&big));
+    }
+
+    #[test]
+    fn v4_first_last() {
+        let p: Ipv4Prefix = "198.51.100.0/25".parse().unwrap();
+        assert_eq!(p.first(), Ipv4Addr::new(198, 51, 100, 0));
+        assert_eq!(p.last(), Ipv4Addr::new(198, 51, 100, 127));
+    }
+
+    #[test]
+    fn v4_subnets() {
+        let p: Ipv4Prefix = "10.0.0.0/22".parse().unwrap();
+        let subs: Vec<_> = p.subnets(24).collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/24");
+        assert_eq!(subs[3].to_string(), "10.0.3.0/24");
+    }
+
+    #[test]
+    fn v4_slash24_of() {
+        let b = Ipv4Prefix::slash24_of(Ipv4Addr::new(203, 0, 113, 200));
+        assert_eq!(b.to_string(), "203.0.113.0/24");
+    }
+
+    #[test]
+    fn v4_nth_and_addresses() {
+        let p: Ipv4Prefix = "192.0.2.0/30".parse().unwrap();
+        let all: Vec<_> = p.addresses().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], Ipv4Addr::new(192, 0, 2, 3));
+        assert_eq!(p.nth(1), Ipv4Addr::new(192, 0, 2, 1));
+    }
+
+    #[test]
+    fn v4_parse_rejects_bad_inputs() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn v6_basic() {
+        let p: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(p.contains("2001:db8:ffff::1".parse().unwrap()));
+        assert!(!p.contains("2001:db9::1".parse().unwrap()));
+        assert_eq!(p.len(), 32);
+    }
+
+    #[test]
+    fn v6_slash56() {
+        let a: Ipv6Addr = "2001:db8:0:1234:5678::1".parse().unwrap();
+        let b = Ipv6Prefix::slash56_of(a);
+        assert_eq!(b.to_string(), "2001:db8:0:1200::/56");
+    }
+
+    #[test]
+    fn v6_covers() {
+        let big: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        let small: Ipv6Prefix = "2001:db8:1::/48".parse().unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+    }
+
+    #[test]
+    fn mixed_prefix_contains_requires_matching_family() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains("10.1.1.1".parse().unwrap()));
+        assert!(!p.contains("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn prefix_parse_dispatches_on_family() {
+        assert!(matches!("10.0.0.0/8".parse::<Prefix>().unwrap(), Prefix::V4(_)));
+        assert!(matches!(
+            "2001:db8::/32".parse::<Prefix>().unwrap(),
+            Prefix::V6(_)
+        ));
+    }
+}

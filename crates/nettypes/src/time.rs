@@ -1,0 +1,415 @@
+//! Simulated time: Unix-epoch seconds plus civil-date conversions.
+//!
+//! The study runs over two fixed windows (§3.1): the main week
+//! **2022-02-28 .. 2022-03-07** and the preliminary/outage week
+//! **2021-12-03 .. 2021-12-10** containing the AWS us-east-1 outage of
+//! December 7, 2021. All conversions use proleptic-Gregorian civil-date
+//! arithmetic (Howard Hinnant's algorithm) so the simulation never consults
+//! the wall clock.
+
+use crate::error::ParseError;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::str::FromStr;
+
+/// Seconds, as a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const fn seconds(s: u64) -> Self {
+        SimDuration(s)
+    }
+    pub const fn minutes(m: u64) -> Self {
+        SimDuration(m * 60)
+    }
+    pub const fn hours(h: u64) -> Self {
+        SimDuration(h * 3600)
+    }
+    pub const fn days(d: u64) -> Self {
+        SimDuration(d * 86_400)
+    }
+    pub fn as_secs(&self) -> u64 {
+        self.0
+    }
+    pub fn as_hours_f64(&self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+}
+
+/// An instant, in seconds since the Unix epoch (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Construct from epoch seconds.
+    pub const fn from_unix(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Epoch seconds.
+    pub fn unix(&self) -> u64 {
+        self.0
+    }
+
+    /// The civil date of this instant (UTC).
+    pub fn date(&self) -> Date {
+        Date::from_epoch_days((self.0 / 86_400) as i64)
+    }
+
+    /// Hour of day, 0..24 (UTC).
+    pub fn hour_of_day(&self) -> u32 {
+        ((self.0 % 86_400) / 3600) as u32
+    }
+
+    /// Seconds since local midnight (UTC).
+    pub fn seconds_of_day(&self) -> u64 {
+        self.0 % 86_400
+    }
+
+    /// Whole days since the Unix epoch.
+    pub fn epoch_days(&self) -> i64 {
+        (self.0 / 86_400) as i64
+    }
+
+    /// Midnight of this instant's day.
+    pub fn midnight(&self) -> SimTime {
+        SimTime(self.0 - self.0 % 86_400)
+    }
+
+    /// Whole hours since the Unix epoch — the bucketing unit of Figures 8/9.
+    pub fn epoch_hours(&self) -> u64 {
+        self.0 / 3600
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.date();
+        let rem = self.0 % 86_400;
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}Z",
+            d,
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A civil (calendar) date in the proleptic Gregorian calendar, UTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Date {
+    pub year: i32,
+    pub month: u32,
+    pub day: u32,
+}
+
+impl Date {
+    /// Construct, panicking on out-of-range components.
+    pub fn new(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!(day >= 1 && day <= days_in_month(year, month), "day out of range");
+        Date { year, month, day }
+    }
+
+    /// Days since 1970-01-01 (Howard Hinnant's `days_from_civil`).
+    pub fn epoch_days(&self) -> i64 {
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (self.month as i64 + 9) % 12; // [0, 11], Mar=0
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Date::epoch_days`] (`civil_from_days`).
+    pub fn from_epoch_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+        Date {
+            year: (if m <= 2 { y + 1 } else { y }) as i32,
+            month: m,
+            day: d,
+        }
+    }
+
+    /// Midnight (UTC) of this date. Panics for dates before 1970.
+    pub fn midnight(&self) -> SimTime {
+        let days = self.epoch_days();
+        assert!(days >= 0, "SimTime cannot represent pre-epoch dates");
+        SimTime(days as u64 * 86_400)
+    }
+
+    /// Day of week; 0 = Monday .. 6 = Sunday.
+    pub fn weekday(&self) -> u32 {
+        // 1970-01-01 was a Thursday (index 3).
+        (self.epoch_days().rem_euclid(7) as u32 + 3) % 7
+    }
+
+    /// The next calendar day.
+    pub fn succ(&self) -> Date {
+        Date::from_epoch_days(self.epoch_days() + 1)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for Date {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split('-');
+        let (y, m, d) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(y), Some(m), Some(d), None) => (y, m, d),
+            _ => return Err(ParseError::new("date", s, "expected YYYY-MM-DD")),
+        };
+        let year: i32 = y
+            .parse()
+            .map_err(|_| ParseError::new("date", s, "bad year"))?;
+        let month: u32 = m
+            .parse()
+            .map_err(|_| ParseError::new("date", s, "bad month"))?;
+        let day: u32 = d
+            .parse()
+            .map_err(|_| ParseError::new("date", s, "bad day"))?;
+        if !(1..=12).contains(&month) {
+            return Err(ParseError::new("date", s, "month out of range"));
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return Err(ParseError::new("date", s, "day out of range"));
+        }
+        Ok(Date { year, month, day })
+    }
+}
+
+/// Is `year` a leap year (proleptic Gregorian)?
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in a month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month"),
+    }
+}
+
+/// A half-open time window `[start, end)` — a study period (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyPeriod {
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl StudyPeriod {
+    /// Construct; panics if `end <= start`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "study period must be non-empty");
+        StudyPeriod { start, end }
+    }
+
+    /// From two dates: `[start 00:00, end 00:00)`.
+    pub fn from_dates(start: Date, end: Date) -> Self {
+        Self::new(start.midnight(), end.midnight())
+    }
+
+    /// The paper's main study week: Feb 28 – Mar 7, 2022 (§3.1).
+    pub fn main_week() -> Self {
+        Self::from_dates(Date::new(2022, 2, 28), Date::new(2022, 3, 7))
+    }
+
+    /// The preliminary / AWS-outage week: Dec 3 – Dec 10, 2021 (§6.1).
+    pub fn outage_week() -> Self {
+        Self::from_dates(Date::new(2021, 12, 3), Date::new(2021, 12, 10))
+    }
+
+    /// The AWS us-east-1 outage window on Dec 7, 2021 (~15:30–22:30 UTC).
+    pub fn aws_outage_window() -> Self {
+        let day = Date::new(2021, 12, 7).midnight();
+        Self::new(
+            day + SimDuration::minutes(15 * 60 + 30),
+            day + SimDuration::minutes(22 * 60 + 30),
+        )
+    }
+
+    /// Does the window contain the instant?
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Do two windows overlap?
+    pub fn overlaps(&self, other: &StudyPeriod) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Duration of the window.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Number of whole days in the window (rounded up).
+    pub fn num_days(&self) -> u64 {
+        self.duration().as_secs().div_ceil(86_400)
+    }
+
+    /// Iterate over the civil dates whose midnights fall in the window.
+    pub fn days(&self) -> impl Iterator<Item = Date> + '_ {
+        let first = self.start.epoch_days();
+        let last = self.end.unix().div_ceil(86_400); // exclusive
+        (first..last as i64).map(Date::from_epoch_days)
+    }
+
+    /// Iterate over hour buckets `[t, t+1h)` covering the window.
+    pub fn hours(&self) -> impl Iterator<Item = SimTime> + '_ {
+        let first = self.start.unix() / 3600;
+        let last = self.end.unix().div_ceil(3600);
+        (first..last).map(|h| SimTime(h * 3600))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_days_known_values() {
+        assert_eq!(Date::new(1970, 1, 1).epoch_days(), 0);
+        assert_eq!(Date::new(1970, 1, 2).epoch_days(), 1);
+        assert_eq!(Date::new(2000, 3, 1).epoch_days(), 11017);
+        assert_eq!(Date::new(2022, 2, 28).epoch_days(), 19051);
+    }
+
+    #[test]
+    fn civil_roundtrip_over_leap_years() {
+        for days in (-800_000..800_000).step_by(97) {
+            let d = Date::from_epoch_days(days);
+            assert_eq!(d.epoch_days(), days, "roundtrip failed at {d}");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2022));
+        assert_eq!(days_in_month(2024, 2), 29);
+        assert_eq!(days_in_month(2022, 2), 28);
+    }
+
+    #[test]
+    fn weekday_known_values() {
+        // 2022-02-28 was a Monday.
+        assert_eq!(Date::new(2022, 2, 28).weekday(), 0);
+        // 2021-12-07 was a Tuesday.
+        assert_eq!(Date::new(2021, 12, 7).weekday(), 1);
+        // 1970-01-01 was a Thursday.
+        assert_eq!(Date::new(1970, 1, 1).weekday(), 3);
+    }
+
+    #[test]
+    fn date_parse_and_display() {
+        let d: Date = "2022-02-28".parse().unwrap();
+        assert_eq!(d, Date::new(2022, 2, 28));
+        assert_eq!(d.to_string(), "2022-02-28");
+        assert!("2022-13-01".parse::<Date>().is_err());
+        assert!("2022-02-29".parse::<Date>().is_err());
+        assert!("2022/02/28".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn simtime_components() {
+        let t = Date::new(2022, 3, 1).midnight() + SimDuration::hours(13) + SimDuration::minutes(5);
+        assert_eq!(t.hour_of_day(), 13);
+        assert_eq!(t.date(), Date::new(2022, 3, 1));
+        assert_eq!(t.to_string(), "2022-03-01T13:05:00Z");
+        assert_eq!(t.midnight().hour_of_day(), 0);
+    }
+
+    #[test]
+    fn main_week_has_seven_days_crossing_month_boundary() {
+        let w = StudyPeriod::main_week();
+        let days: Vec<_> = w.days().collect();
+        assert_eq!(days.len(), 7);
+        assert_eq!(days[0], Date::new(2022, 2, 28));
+        assert_eq!(days[1], Date::new(2022, 3, 1));
+        assert_eq!(days[6], Date::new(2022, 3, 6));
+        assert_eq!(w.num_days(), 7);
+    }
+
+    #[test]
+    fn hours_iterator_counts() {
+        let w = StudyPeriod::main_week();
+        assert_eq!(w.hours().count(), 7 * 24);
+    }
+
+    #[test]
+    fn outage_window_inside_outage_week() {
+        let week = StudyPeriod::outage_week();
+        let win = StudyPeriod::aws_outage_window();
+        assert!(week.contains(win.start));
+        assert!(week.contains(win.end));
+        assert!(week.overlaps(&win));
+        assert_eq!(win.duration(), SimDuration::hours(7));
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let w = StudyPeriod::main_week();
+        assert!(w.contains(w.start));
+        assert!(!w.contains(w.end));
+    }
+
+    #[test]
+    fn date_succ_rolls_over_months() {
+        assert_eq!(Date::new(2022, 2, 28).succ(), Date::new(2022, 3, 1));
+        assert_eq!(Date::new(2021, 12, 31).succ(), Date::new(2022, 1, 1));
+    }
+}

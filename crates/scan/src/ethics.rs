@@ -1,0 +1,123 @@
+//! Scanning ethics controls (§3.7).
+//!
+//! "First, the load measurement is very low, i.e., a single packet per
+//! destination. We also performed a randomized spread of load at each
+//! target… We run a Web server with experiment and opt-out information that
+//! responds to DNS resolution of the DNS PTR domain."
+
+use iotmap_nettypes::{Ipv4Prefix, SimRng};
+use std::net::{IpAddr, Ipv4Addr};
+
+/// Probe policy enforced by every scanner in this crate.
+#[derive(Debug, Clone)]
+pub struct ProbePolicy {
+    /// PTR name published for the prober's source address, pointing at the
+    /// experiment/opt-out page.
+    pub prober_ptr: String,
+    /// Networks that asked to be excluded.
+    opt_out: Vec<Ipv4Prefix>,
+    /// Maximum probes per destination per scan run.
+    pub max_probes_per_destination: u32,
+    probes_sent: u64,
+}
+
+impl ProbePolicy {
+    /// The defaults the paper describes.
+    pub fn paper_defaults() -> Self {
+        ProbePolicy {
+            prober_ptr: "research-scanner.iotmap-experiment.example".to_string(),
+            opt_out: Vec::new(),
+            max_probes_per_destination: 1,
+            probes_sent: 0,
+        }
+    }
+
+    /// Register an opt-out request for a network.
+    pub fn add_opt_out(&mut self, prefix: Ipv4Prefix) {
+        self.opt_out.push(prefix);
+    }
+
+    /// May this destination be probed?
+    pub fn allows(&self, addr: IpAddr) -> bool {
+        match addr {
+            IpAddr::V4(a) => !self.opt_out.iter().any(|p| p.contains(a)),
+            IpAddr::V6(_) => true, // opt-outs tracked for v4 sweeps
+        }
+    }
+
+    /// Account for one probe.
+    pub fn record_probe(&mut self) {
+        self.probes_sent += 1;
+    }
+
+    /// Total probes sent under this policy.
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
+    /// Randomize target order ("randomized spread of load"): probes to the
+    /// same network are spread out in time instead of arriving in a burst.
+    pub fn randomize_order<T>(&self, rng: &mut SimRng, targets: &mut [T]) {
+        rng.shuffle(targets);
+    }
+}
+
+/// A convenience predicate: does a destination fall in special-use space a
+/// responsible scanner must never probe (loopback, RFC 1918, multicast…)?
+pub fn is_unscannable(addr: Ipv4Addr) -> bool {
+    addr.is_loopback()
+        || addr.is_private()
+        || addr.is_link_local()
+        || addr.is_multicast()
+        || addr.is_broadcast()
+        || addr.is_unspecified()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_out_respected() {
+        let mut p = ProbePolicy::paper_defaults();
+        p.add_opt_out("203.0.113.0/24".parse().unwrap());
+        assert!(!p.allows("203.0.113.7".parse().unwrap()));
+        assert!(p.allows("198.51.100.1".parse().unwrap()));
+        assert!(p.allows("2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn probe_accounting() {
+        let mut p = ProbePolicy::paper_defaults();
+        p.record_probe();
+        p.record_probe();
+        assert_eq!(p.probes_sent(), 2);
+        assert_eq!(p.max_probes_per_destination, 1);
+    }
+
+    #[test]
+    fn randomize_order_permutes() {
+        let p = ProbePolicy::paper_defaults();
+        let mut rng = SimRng::new(5);
+        let mut targets: Vec<u32> = (0..100).collect();
+        p.randomize_order(&mut rng, &mut targets);
+        let mut sorted = targets.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(targets, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unscannable_space() {
+        assert!(is_unscannable("127.0.0.1".parse().unwrap()));
+        assert!(is_unscannable("10.1.2.3".parse().unwrap()));
+        assert!(is_unscannable("224.0.0.1".parse().unwrap()));
+        assert!(!is_unscannable("8.8.8.8".parse().unwrap()));
+    }
+
+    #[test]
+    fn ptr_identifies_experiment() {
+        let p = ProbePolicy::paper_defaults();
+        assert!(p.prober_ptr.contains("experiment"));
+    }
+}

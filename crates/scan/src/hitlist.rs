@@ -1,0 +1,123 @@
+//! IPv6 hitlists.
+//!
+//! The IPv6 space cannot be swept; scanners need candidate lists. The paper
+//! uses the IPv6 Hitlist service (§3.3) restricted to "addresses that
+//! showed activity for popular IoT ports", and notes that "our ability to
+//! discover IPv6 addresses is directly influenced by the coverage of the
+//! chosen IPv6 hitlists" (§3.6).
+
+use iotmap_nettypes::{Ipv6Prefix, PortProto};
+use std::collections::BTreeSet;
+use std::net::Ipv6Addr;
+
+/// A list of candidate IPv6 addresses.
+#[derive(Debug, Clone, Default)]
+pub struct Ipv6Hitlist {
+    addrs: BTreeSet<Ipv6Addr>,
+}
+
+impl Ipv6Hitlist {
+    /// Empty hitlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a candidate address.
+    pub fn add(&mut self, addr: Ipv6Addr) {
+        self.addrs.insert(addr);
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        self.addrs.contains(&addr)
+    }
+
+    /// Iterate in address order (deterministic scans).
+    pub fn iter(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.addrs.iter().copied()
+    }
+
+    /// Candidates within a prefix (e.g. one provider's announcement).
+    pub fn in_prefix<'a>(&'a self, prefix: &'a Ipv6Prefix) -> impl Iterator<Item = Ipv6Addr> + 'a {
+        self.addrs.iter().copied().filter(move |a| prefix.contains(*a))
+    }
+
+    /// Number of distinct /56 blocks covered — the Table 1 unit.
+    pub fn slash56_count(&self) -> usize {
+        self.addrs
+            .iter()
+            .map(|a| Ipv6Prefix::slash56_of(*a))
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+}
+
+/// The default IoT port set the paper probes on IPv6 candidates.
+pub fn iot_probe_ports() -> Vec<PortProto> {
+    use iotmap_nettypes::ports::well_known as wk;
+    vec![wk::HTTPS, wk::MQTT_TLS, wk::MQTT, wk::AMQP_TLS]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut h = Ipv6Hitlist::new();
+        h.add(a("2001:db8::1"));
+        h.add(a("2001:db8::1")); // duplicate ignored
+        h.add(a("2001:db8:0:100::1"));
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(a("2001:db8::1")));
+        assert!(!h.contains(a("2001:db8::2")));
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let mut h = Ipv6Hitlist::new();
+        h.add(a("2001:db8::1"));
+        h.add(a("2001:db9::1"));
+        let p: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+        assert_eq!(h.in_prefix(&p).count(), 1);
+    }
+
+    #[test]
+    fn slash56_counting() {
+        let mut h = Ipv6Hitlist::new();
+        h.add(a("2001:db8::1"));
+        h.add(a("2001:db8::2")); // same /56
+        h.add(a("2001:db8:0:100::1")); // different /56
+        assert_eq!(h.slash56_count(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut h = Ipv6Hitlist::new();
+        h.add(a("2001:db9::1"));
+        h.add(a("2001:db8::1"));
+        let v: Vec<_> = h.iter().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn probe_ports_match_paper() {
+        let ports = iot_probe_ports();
+        let nums: Vec<u16> = ports.iter().map(|p| p.port).collect();
+        assert_eq!(nums, vec![443, 8883, 1883, 5671]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Looking-glass latency probes for location inference.
+//!
+//! §4.2: for providers whose domains carry no location hints (Oracle, and a
+//! small subset of IPs), the paper triangulates with "pings from traceroute
+//! looking glasses". Latency from several known sites bounds where a host
+//! can physically be; the nearest-site heuristic picks the candidate
+//! location most consistent with the observed RTTs.
+
+use iotmap_nettypes::geo::rtt_ms_for_distance;
+use iotmap_nettypes::Location;
+use std::net::IpAddr;
+
+/// A looking-glass vantage site.
+#[derive(Debug, Clone)]
+pub struct LookingGlassSite {
+    pub name: String,
+    pub location: Location,
+}
+
+/// Something that can measure RTTs from looking-glass sites to hosts — the
+/// world implements this with geometry + noise; a real implementation would
+/// drive actual looking-glass APIs.
+pub trait LatencyProber {
+    /// RTT in ms from `site` to `target`, or `None` if unreachable.
+    fn rtt_ms(&self, site: &LookingGlassSite, target: IpAddr) -> Option<f64>;
+}
+
+/// Estimate which of `candidates` a target most plausibly sits in, given
+/// RTT measurements from `sites`.
+///
+/// Scoring: for each candidate location, compute the expected RTT from
+/// every site (speed-of-light-in-fibre model) and take the mean squared
+/// error against measurements. Smallest error wins. Returns `None` when no
+/// site can reach the target.
+pub fn estimate_location<'a>(
+    prober: &dyn LatencyProber,
+    sites: &[LookingGlassSite],
+    target: IpAddr,
+    candidates: &'a [Location],
+) -> Option<&'a Location> {
+    let measured: Vec<(usize, f64)> = sites
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| prober.rtt_ms(s, target).map(|rtt| (i, rtt)))
+        .collect();
+    if measured.is_empty() || candidates.is_empty() {
+        return None;
+    }
+    let mut best: Option<(&Location, f64)> = None;
+    for cand in candidates {
+        let mut err = 0.0;
+        for (i, rtt) in &measured {
+            let expected = rtt_ms_for_distance(sites[*i].location.distance_km(cand));
+            err += (expected - rtt) * (expected - rtt);
+        }
+        err /= measured.len() as f64;
+        if best.is_none_or(|(_, e)| err < e) {
+            best = Some((cand, err));
+        }
+    }
+    best.map(|(l, _)| l)
+}
+
+/// The default looking-glass deployment used by the experiments: one site
+/// per major region.
+pub fn default_sites() -> Vec<LookingGlassSite> {
+    use iotmap_nettypes::Continent::*;
+    vec![
+        LookingGlassSite {
+            name: "lg-frankfurt".to_string(),
+            location: Location::new("Frankfurt", "DE", Europe, 50.11, 8.68),
+        },
+        LookingGlassSite {
+            name: "lg-ashburn".to_string(),
+            location: Location::new("Ashburn", "US", NorthAmerica, 39.04, -77.49),
+        },
+        LookingGlassSite {
+            name: "lg-singapore".to_string(),
+            location: Location::new("Singapore", "SG", Asia, 1.35, 103.82),
+        },
+        LookingGlassSite {
+            name: "lg-saopaulo".to_string(),
+            location: Location::new("Sao Paulo", "BR", SouthAmerica, -23.55, -46.63),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotmap_nettypes::Continent;
+
+    /// Ideal prober: RTT is exactly the fibre model to a hidden true
+    /// location.
+    struct IdealProber {
+        truth: Location,
+    }
+
+    impl LatencyProber for IdealProber {
+        fn rtt_ms(&self, site: &LookingGlassSite, _target: IpAddr) -> Option<f64> {
+            Some(rtt_ms_for_distance(site.location.distance_km(&self.truth)))
+        }
+    }
+
+    struct DeadProber;
+
+    impl LatencyProber for DeadProber {
+        fn rtt_ms(&self, _site: &LookingGlassSite, _target: IpAddr) -> Option<f64> {
+            None
+        }
+    }
+
+    fn candidates() -> Vec<Location> {
+        vec![
+            Location::new("Amsterdam", "NL", Continent::Europe, 52.37, 4.9),
+            Location::new("Portland", "US", Continent::NorthAmerica, 45.52, -122.68),
+            Location::new("Tokyo", "JP", Continent::Asia, 35.68, 139.69),
+        ]
+    }
+
+    #[test]
+    fn triangulation_picks_nearest_candidate() {
+        let sites = default_sites();
+        let cands = candidates();
+        for truth_idx in 0..cands.len() {
+            let prober = IdealProber {
+                truth: cands[truth_idx].clone(),
+            };
+            let est = estimate_location(&prober, &sites, "192.0.2.1".parse().unwrap(), &cands)
+                .expect("estimate");
+            assert_eq!(est.city, cands[truth_idx].city);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_gives_none() {
+        let sites = default_sites();
+        let cands = candidates();
+        assert!(
+            estimate_location(&DeadProber, &sites, "192.0.2.1".parse().unwrap(), &cands).is_none()
+        );
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        let sites = default_sites();
+        let prober = IdealProber {
+            truth: candidates()[0].clone(),
+        };
+        assert!(estimate_location(&prober, &sites, "192.0.2.1".parse().unwrap(), &[]).is_none());
+    }
+
+    #[test]
+    fn works_with_a_single_site() {
+        let sites = vec![default_sites().remove(0)]; // Frankfurt only
+        let cands = candidates();
+        let prober = IdealProber {
+            truth: cands[0].clone(), // Amsterdam
+        };
+        let est = estimate_location(&prober, &sites, "192.0.2.1".parse().unwrap(), &cands).unwrap();
+        // One European site cannot confuse Amsterdam with Tokyo.
+        assert_eq!(est.city, "Amsterdam");
+    }
+}

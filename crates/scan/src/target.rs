@@ -1,0 +1,102 @@
+//! The scanner's view of the Internet.
+//!
+//! Scanners cannot see ground truth; they can only (a) enumerate responsive
+//! hosts, (b) attempt handshakes, and (c) consult their own (imperfect)
+//! geolocation database. [`ScanView`] is that interface; the synthetic
+//! world implements it, and a future adapter over real scan data could too.
+
+use iotmap_nettypes::{Location, PortProto};
+use iotmap_tls::TlsEndpoint;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// What scanning instruments can observe about the network.
+pub trait ScanView {
+    /// All responsive IPv4 hosts and the TCP/UDP ports each listens on.
+    /// (A real zmap sweep discovers exactly this, one SYN at a time.)
+    fn ipv4_hosts(&self) -> Vec<(Ipv4Addr, Vec<PortProto>)>;
+
+    /// Open ports of a specific IPv6 host, if it is responsive at all.
+    /// IPv6 cannot be swept; callers must bring a hitlist.
+    fn ipv6_ports(&self, addr: Ipv6Addr) -> Vec<PortProto>;
+
+    /// The TLS endpoint behind `(addr, port)`, if that port speaks TLS.
+    fn tls_endpoint(&self, addr: IpAddr, port: PortProto) -> Option<TlsEndpoint>;
+
+    /// The scanner's geolocation database entry for an address. Commercial
+    /// geo databases are imperfect; implementations should reflect that
+    /// (the paper reconciles disagreeing sources by majority vote, §4.2).
+    fn geolocate(&self, addr: IpAddr) -> Option<Location>;
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    //! A tiny hand-built `ScanView` shared by the scanner tests.
+
+    use super::*;
+    use iotmap_nettypes::{Continent, Date, StudyPeriod};
+    use iotmap_tls::{Certificate, SanName};
+    use std::collections::HashMap;
+
+    pub struct FakeInternet {
+        pub v4: Vec<(Ipv4Addr, Vec<PortProto>)>,
+        pub v6: HashMap<Ipv6Addr, Vec<PortProto>>,
+        pub endpoints: HashMap<(IpAddr, PortProto), TlsEndpoint>,
+        pub locations: HashMap<IpAddr, Location>,
+    }
+
+    pub fn cert(names: &[&str]) -> Certificate {
+        Certificate::new(
+            names[0],
+            names.iter().map(|n| SanName::parse(n).unwrap()).collect(),
+            StudyPeriod::from_dates(Date::new(2022, 1, 1), Date::new(2023, 1, 1)),
+        )
+    }
+
+    impl FakeInternet {
+        pub fn new() -> Self {
+            FakeInternet {
+                v4: Vec::new(),
+                v6: HashMap::new(),
+                endpoints: HashMap::new(),
+                locations: HashMap::new(),
+            }
+        }
+
+        /// Add an IPv4 host serving `cert_names` on `port`.
+        pub fn add_v4(&mut self, addr: &str, port: PortProto, endpoint: TlsEndpoint) {
+            let a: Ipv4Addr = addr.parse().unwrap();
+            self.v4.push((a, vec![port]));
+            self.endpoints.insert((IpAddr::V4(a), port), endpoint);
+            self.locations.insert(
+                IpAddr::V4(a),
+                Location::new("Frankfurt", "DE", Continent::Europe, 50.1, 8.68),
+            );
+        }
+
+        /// Add an IPv6 host.
+        pub fn add_v6(&mut self, addr: &str, port: PortProto, endpoint: TlsEndpoint) {
+            let a: Ipv6Addr = addr.parse().unwrap();
+            self.v6.entry(a).or_default().push(port);
+            self.endpoints.insert((IpAddr::V6(a), port), endpoint);
+        }
+    }
+
+    impl ScanView for FakeInternet {
+        fn ipv4_hosts(&self) -> Vec<(Ipv4Addr, Vec<PortProto>)> {
+            self.v4.clone()
+        }
+
+        fn ipv6_ports(&self, addr: Ipv6Addr) -> Vec<PortProto> {
+            self.v6.get(&addr).cloned().unwrap_or_default()
+        }
+
+        fn tls_endpoint(&self, addr: IpAddr, port: PortProto) -> Option<TlsEndpoint> {
+            self.endpoints.get(&(addr, port)).cloned()
+        }
+
+        fn geolocate(&self, addr: IpAddr) -> Option<Location> {
+            self.locations.get(&addr).cloned()
+        }
+    }
+
+}

@@ -1,0 +1,171 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 12a–c of the paper plot ECDFs of per-subscriber-line daily
+//! traffic. The key read-offs are of the form "more than 99% of the lines
+//! exchange less than 10 MB per day" — i.e. evaluating the ECDF at a value —
+//! and "18% of lines exchange between 100 MB and 1 GB" — i.e. mass of an
+//! interval.
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are rejected).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(lo < X <= hi)`.
+    pub fn fraction_in(&self, lo: f64, hi: f64) -> f64 {
+        (self.fraction_at_or_below(hi) - self.fraction_at_or_below(lo)).max(0.0)
+    }
+
+    /// Quantile `q` in `[0, 1]` (nearest-rank). Panics on empty ECDF.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum and maximum.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        match (self.sorted.first(), self.sorted.last()) {
+            (Some(&lo), Some(&hi)) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the ECDF at a ladder of points — the series a plot would
+    /// show. Returns `(x, P(X<=x))` pairs.
+    pub fn curve(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+
+    /// A logarithmic ladder of evaluation points covering the data range,
+    /// convenient for traffic-volume ECDF plots (log x-axis).
+    pub fn log_ladder(&self, per_decade: usize) -> Vec<f64> {
+        let Some((lo, hi)) = self.range() else {
+            return Vec::new();
+        };
+        let lo = lo.max(1e-9);
+        let hi = hi.max(lo * 1.0001);
+        let start = lo.log10().floor();
+        let end = hi.log10().ceil();
+        let steps = ((end - start) * per_decade as f64).ceil() as usize;
+        (0..=steps)
+            .map(|i| 10f64.powf(start + i as f64 / per_decade as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_at_or_below_basics() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(e.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_in_interval() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let f = e.fraction_in(10.0, 20.0);
+        assert!((f - 0.10).abs() < 1e-9);
+        assert_eq!(e.fraction_in(200.0, 300.0), 0.0);
+        assert_eq!(e.fraction_in(20.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.median(), 50.0);
+        assert_eq!(e.quantile(0.99), 99.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.range(), Some((1.0, 3.0)));
+        assert_eq!(e.median(), 2.0);
+    }
+
+    #[test]
+    fn empty_ecdf() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(e.range(), None);
+        assert!(e.log_ladder(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn curve_evaluation() {
+        let e = Ecdf::new(vec![1.0, 10.0, 100.0]);
+        let c = e.curve(&[0.5, 5.0, 50.0, 500.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].1, 0.0);
+        assert!((c[1].1 - 1.0 / 3.0).abs() < 1e-9);
+        assert!((c[2].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c[3].1, 1.0);
+    }
+
+    #[test]
+    fn log_ladder_spans_range() {
+        let e = Ecdf::new(vec![2.0, 20_000.0]);
+        let ladder = e.log_ladder(2);
+        assert!(*ladder.first().unwrap() <= 2.0);
+        assert!(*ladder.last().unwrap() >= 20_000.0);
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,192 @@
+//! Histograms: linear and logarithmic bucketing.
+
+/// A fixed-width histogram over `[lo, hi)` with under/overflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create with `n` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0);
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket counts (excluding under/overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Under/overflow counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// The `(lo, hi)` bounds of bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+}
+
+/// A base-10 logarithmic histogram: bucket `i` covers
+/// `[10^(min_exp+i), 10^(min_exp+i+1))`. Natural for traffic volumes that
+/// span six orders of magnitude (bytes … gigabytes).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    min_exp: i32,
+    buckets: Vec<u64>,
+    zero_or_negative: u64,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Buckets covering `10^min_exp … 10^(min_exp + n)`.
+    pub fn new(min_exp: i32, n: usize) -> Self {
+        assert!(n > 0);
+        LogHistogram {
+            min_exp,
+            buckets: vec![0; n],
+            zero_or_negative: 0,
+            count: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x <= 0.0 {
+            self.zero_or_negative += 1;
+            return;
+        }
+        let exp = x.log10().floor() as i32;
+        let idx = exp - self.min_exp;
+        let idx = idx.clamp(0, self.buckets.len() as i32 - 1) as usize;
+        self.buckets[idx] += 1;
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Count of non-positive samples (parked outside the log scale).
+    pub fn zero_count(&self) -> u64 {
+        self.zero_or_negative
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Lower bound of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        10f64.powi(self.min_exp + i as i32)
+    }
+
+    /// Fraction of samples in bucket `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.buckets[i] as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.record(x);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.outliers(), (0, 0));
+    }
+
+    #[test]
+    fn linear_histogram_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-1.0);
+        h.record(10.0);
+        h.record(1e9);
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.buckets(), &[0, 0]);
+    }
+
+    #[test]
+    fn bucket_bounds() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bucket_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bucket_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn log_histogram_decades() {
+        // Buckets: [1,10), [10,100), [100,1000).
+        let mut h = LogHistogram::new(0, 3);
+        for x in [1.0, 5.0, 50.0, 500.0, 999.0] {
+            h.record(x);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 2]);
+        assert_eq!(h.bucket_lo(1), 10.0);
+    }
+
+    #[test]
+    fn log_histogram_clamps_and_zeroes() {
+        let mut h = LogHistogram::new(0, 2);
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(0.001); // below min_exp → clamped into bucket 0
+        h.record(1e9); // above → clamped into last bucket
+        assert_eq!(h.zero_count(), 2);
+        assert_eq!(h.buckets(), &[1, 1]);
+    }
+
+    #[test]
+    fn log_histogram_fraction() {
+        let mut h = LogHistogram::new(0, 2);
+        h.record(1.0);
+        h.record(2.0);
+        h.record(20.0);
+        assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,16 @@
+//! # iotmap-stats — the statistics toolkit
+//!
+//! Small, dependency-free statistical machinery used by the traffic
+//! analyses: empirical CDFs (Figures 12a–c), histograms and log-scale
+//! bucketing, hourly time series (Figures 8, 9, 15, 16), and summary
+//! statistics.
+
+pub mod ecdf;
+pub mod hist;
+pub mod series;
+pub mod summary;
+
+pub use ecdf::Ecdf;
+pub use hist::{Histogram, LogHistogram};
+pub use series::HourlySeries;
+pub use summary::Summary;

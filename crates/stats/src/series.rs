@@ -1,0 +1,272 @@
+//! Hourly time series over a study period.
+//!
+//! Figures 8, 9, 15 and 16 of the paper are hourly series across a week:
+//! subscriber-line counts and normalized traffic volumes, with day/night
+//! shading and min-of-previous-week reference lines. [`HourlySeries`] is
+//! the accumulator those figures are produced from.
+
+/// A series of per-hour values, indexed by epoch-hour offsets from a fixed
+/// start hour.
+#[derive(Debug, Clone)]
+pub struct HourlySeries {
+    start_hour: u64,
+    values: Vec<f64>,
+}
+
+impl HourlySeries {
+    /// A zeroed series covering `hours` hourly buckets from `start_hour`
+    /// (epoch hours, i.e. `unix_seconds / 3600`).
+    pub fn new(start_hour: u64, hours: usize) -> Self {
+        HourlySeries {
+            start_hour,
+            values: vec![0.0; hours],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the series has no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// First bucket's epoch hour.
+    pub fn start_hour(&self) -> u64 {
+        self.start_hour
+    }
+
+    /// Add `value` to the bucket containing `epoch_hour`; out-of-range
+    /// hours are ignored (flows straddling the window edges).
+    pub fn add(&mut self, epoch_hour: u64, value: f64) {
+        if epoch_hour < self.start_hour {
+            return;
+        }
+        let idx = (epoch_hour - self.start_hour) as usize;
+        if let Some(v) = self.values.get_mut(idx) {
+            *v += value;
+        }
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value at bucket index.
+    pub fn get(&self, idx: usize) -> f64 {
+        self.values[idx]
+    }
+
+    /// Maximum value (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.values.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Minimum value (0 for an empty series).
+    pub fn min(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    }
+
+    /// Sum of all buckets.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Normalize so the maximum is 1 (the paper's "normalized volume"
+    /// y-axes). A zero series stays zero.
+    pub fn normalized(&self) -> HourlySeries {
+        let max = self.max();
+        let values = if max > 0.0 {
+            self.values.iter().map(|v| v / max).collect()
+        } else {
+            self.values.clone()
+        };
+        HourlySeries {
+            start_hour: self.start_hour,
+            values,
+        }
+    }
+
+    /// Mean over a sub-range of buckets `[from, to)`.
+    pub fn mean_over(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.values.len());
+        if from >= to {
+            return 0.0;
+        }
+        self.values[from..to].iter().sum::<f64>() / (to - from) as f64
+    }
+
+    /// Minimum over a sub-range of buckets `[from, to)` — used for the
+    /// "minimum of the previous week" reference line in Figures 15/16.
+    pub fn min_over(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.values.len());
+        self.values[from..to]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Peak-hour index within each 24-hour day; returns one index per
+    /// complete day. Used to classify diurnal vs constant activity.
+    pub fn daily_peak_hours(&self) -> Vec<usize> {
+        self.values
+            .chunks_exact(24)
+            .map(|day| {
+                day.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Pearson correlation with another series of the same length.
+    /// Returns `None` when lengths differ or either series is constant.
+    pub fn correlation(&self, other: &HourlySeries) -> Option<f64> {
+        if self.values.len() != other.values.len() || self.values.is_empty() {
+            return None;
+        }
+        let n = self.values.len() as f64;
+        let mean_a = self.total() / n;
+        let mean_b = other.total() / n;
+        let mut cov = 0.0;
+        let mut var_a = 0.0;
+        let mut var_b = 0.0;
+        for (a, b) in self.values.iter().zip(other.values.iter()) {
+            let da = a - mean_a;
+            let db = b - mean_b;
+            cov += da * db;
+            var_a += da * da;
+            var_b += db * db;
+        }
+        if var_a <= 0.0 || var_b <= 0.0 {
+            return None;
+        }
+        Some(cov / (var_a.sqrt() * var_b.sqrt()))
+    }
+
+    /// Ratio of the mean value in the top-activity 6 hours of the day to
+    /// the bottom 6, averaged across days — a simple diurnality score.
+    /// ≈1 means flat, larger means strongly diurnal.
+    pub fn diurnality(&self) -> f64 {
+        let mut by_hour = [0.0f64; 24];
+        let mut days = 0usize;
+        for day in self.values.chunks_exact(24) {
+            for (h, v) in day.iter().enumerate() {
+                by_hour[h] += v;
+            }
+            days += 1;
+        }
+        if days == 0 {
+            return 1.0;
+        }
+        let mut sorted = by_hour;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let bottom: f64 = sorted[..6].iter().sum();
+        let top: f64 = sorted[18..].iter().sum();
+        if bottom <= 0.0 {
+            if top > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        } else {
+            top / bottom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_totals() {
+        let mut s = HourlySeries::new(100, 48);
+        s.add(100, 1.0);
+        s.add(100, 2.0);
+        s.add(147, 5.0);
+        s.add(99, 100.0); // before window: ignored
+        s.add(148, 100.0); // after window: ignored
+        assert_eq!(s.get(0), 3.0);
+        assert_eq!(s.get(47), 5.0);
+        assert_eq!(s.total(), 8.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut s = HourlySeries::new(0, 3);
+        s.add(0, 2.0);
+        s.add(1, 4.0);
+        let n = s.normalized();
+        assert_eq!(n.values(), &[0.5, 1.0, 0.0]);
+        // Zero series normalizes to itself.
+        let z = HourlySeries::new(0, 2).normalized();
+        assert_eq!(z.values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_over_range() {
+        let mut s = HourlySeries::new(0, 5);
+        for (i, v) in [5.0, 3.0, 8.0, 1.0, 9.0].iter().enumerate() {
+            s.add(i as u64, *v);
+        }
+        assert_eq!(s.min_over(0, 3), 3.0);
+        assert_eq!(s.min_over(2, 5), 1.0);
+    }
+
+    #[test]
+    fn daily_peaks() {
+        let mut s = HourlySeries::new(0, 48);
+        s.add(20, 10.0); // day 0 peak at hour 20
+        s.add(24 + 9, 7.0); // day 1 peak at hour 9
+        assert_eq!(s.daily_peak_hours(), vec![20, 9]);
+    }
+
+    #[test]
+    fn diurnality_flat_vs_peaky() {
+        let mut flat = HourlySeries::new(0, 24 * 7);
+        let mut peaky = HourlySeries::new(0, 24 * 7);
+        for h in 0..24 * 7 {
+            flat.add(h as u64, 1.0);
+            let hod = h % 24;
+            peaky.add(h as u64, if (18..22).contains(&hod) { 10.0 } else { 0.5 });
+        }
+        assert!((flat.diurnality() - 1.0).abs() < 1e-9);
+        assert!(peaky.diurnality() > 3.0);
+    }
+
+    #[test]
+    fn correlation_behaviour() {
+        let mut a = HourlySeries::new(0, 24);
+        let mut b = HourlySeries::new(0, 24);
+        let mut inv = HourlySeries::new(0, 24);
+        let mut flat = HourlySeries::new(0, 24);
+        for h in 0..24u64 {
+            a.add(h, h as f64);
+            b.add(h, 2.0 * h as f64 + 5.0);
+            inv.add(h, 24.0 - h as f64);
+            flat.add(h, 3.0);
+        }
+        assert!((a.correlation(&b).unwrap() - 1.0).abs() < 1e-9);
+        assert!((a.correlation(&inv).unwrap() + 1.0).abs() < 1e-9);
+        assert_eq!(a.correlation(&flat), None, "constant series");
+        let short = HourlySeries::new(0, 10);
+        assert_eq!(a.correlation(&short), None, "length mismatch");
+    }
+
+    #[test]
+    fn mean_over_subrange() {
+        let mut s = HourlySeries::new(0, 4);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            s.add(i as u64, *v);
+        }
+        assert_eq!(s.mean_over(1, 3), 2.5);
+        assert_eq!(s.mean_over(3, 3), 0.0);
+    }
+}

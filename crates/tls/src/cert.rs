@@ -1,0 +1,170 @@
+//! X.509-lite certificates.
+
+use iotmap_nettypes::{DomainName, SimTime, StudyPeriod};
+use std::fmt;
+
+/// A subject-alternative-name entry: either an exact DNS name or a
+/// single-label wildcard (`*.iot.us-east-1.amazonaws.com`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SanName {
+    Exact(DomainName),
+    /// Wildcard covering exactly one additional left-most label
+    /// (RFC 6125 semantics).
+    Wildcard(DomainName),
+}
+
+impl SanName {
+    /// Parse from presentation form; a leading `*.` denotes a wildcard.
+    pub fn parse(s: &str) -> Result<Self, iotmap_nettypes::ParseError> {
+        if let Some(rest) = s.strip_prefix("*.") {
+            Ok(SanName::Wildcard(rest.parse()?))
+        } else {
+            Ok(SanName::Exact(s.parse()?))
+        }
+    }
+
+    /// Does this SAN cover `name` (RFC 6125: wildcard matches exactly one
+    /// label)?
+    pub fn covers(&self, name: &DomainName) -> bool {
+        match self {
+            SanName::Exact(e) => e == name,
+            SanName::Wildcard(base) => {
+                let n = name.as_str();
+                let b = base.as_str();
+                n.len() > b.len()
+                    && n.ends_with(b)
+                    && n.as_bytes()[n.len() - b.len() - 1] == b'.'
+                    && !n[..n.len() - b.len() - 1].contains('.')
+            }
+        }
+    }
+
+    /// Presentation form (`*.example.com` for wildcards).
+    pub fn presentation(&self) -> String {
+        match self {
+            SanName::Exact(n) => n.as_str().to_string(),
+            SanName::Wildcard(n) => format!("*.{}", n.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for SanName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.presentation())
+    }
+}
+
+/// An X.509-lite certificate: just the fields the discovery methodology
+/// reads. The paper "only use\[s\] certificates that are valid during the
+/// study period" (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Subject common name.
+    pub subject: String,
+    /// Subject alternative names.
+    pub sans: Vec<SanName>,
+    /// Issuer common name (e.g. a public CA, or `"self-signed"`).
+    pub issuer: String,
+    /// Validity window `[not_before, not_after)`.
+    pub not_before: SimTime,
+    pub not_after: SimTime,
+}
+
+impl Certificate {
+    /// A leaf certificate valid over `validity` with the given SANs.
+    pub fn new(subject: &str, sans: Vec<SanName>, validity: StudyPeriod) -> Self {
+        Certificate {
+            subject: subject.to_string(),
+            sans,
+            issuer: "SimTrust Public CA".to_string(),
+            not_before: validity.start,
+            not_after: validity.end,
+        }
+    }
+
+    /// Is the certificate valid at `t`?
+    pub fn valid_at(&self, t: SimTime) -> bool {
+        t >= self.not_before && t < self.not_after
+    }
+
+    /// Is the certificate valid during the entire window?
+    pub fn valid_during(&self, window: &StudyPeriod) -> bool {
+        self.not_before <= window.start && self.not_after >= window.end
+    }
+
+    /// Does the certificate cover a host name (any SAN)?
+    pub fn covers(&self, name: &DomainName) -> bool {
+        self.sans.iter().any(|s| s.covers(name))
+    }
+
+    /// All names in presentation form (for Censys-style string searches).
+    pub fn all_names(&self) -> impl Iterator<Item = String> + '_ {
+        self.sans.iter().map(|s| s.presentation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotmap_nettypes::Date;
+
+    fn d(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn validity() -> StudyPeriod {
+        StudyPeriod::from_dates(Date::new(2022, 1, 1), Date::new(2023, 1, 1))
+    }
+
+    #[test]
+    fn exact_san_covers_only_itself() {
+        let san = SanName::parse("mqtt.googleapis.com").unwrap();
+        assert!(san.covers(&d("mqtt.googleapis.com")));
+        assert!(!san.covers(&d("x.mqtt.googleapis.com")));
+        assert!(!san.covers(&d("googleapis.com")));
+    }
+
+    #[test]
+    fn wildcard_san_matches_exactly_one_label() {
+        let san = SanName::parse("*.iot.us-east-1.amazonaws.com").unwrap();
+        assert!(san.covers(&d("a1b2.iot.us-east-1.amazonaws.com")));
+        assert!(!san.covers(&d("iot.us-east-1.amazonaws.com")));
+        assert!(!san.covers(&d("x.y.iot.us-east-1.amazonaws.com")));
+        assert!(!san.covers(&d("xiot.us-east-1.amazonaws.com")));
+    }
+
+    #[test]
+    fn certificate_validity_windows() {
+        let c = Certificate::new("gw", vec![], validity());
+        assert!(c.valid_at(Date::new(2022, 3, 1).midnight()));
+        assert!(!c.valid_at(Date::new(2023, 3, 1).midnight()));
+        assert!(c.valid_during(&StudyPeriod::main_week()));
+        let expired = Certificate {
+            not_after: Date::new(2022, 3, 2).midnight(),
+            ..c.clone()
+        };
+        assert!(!expired.valid_during(&StudyPeriod::main_week()));
+    }
+
+    #[test]
+    fn certificate_covers_via_any_san() {
+        let c = Certificate::new(
+            "azure",
+            vec![
+                SanName::parse("*.azure-devices.net").unwrap(),
+                SanName::parse("management.azure.com").unwrap(),
+            ],
+            validity(),
+        );
+        assert!(c.covers(&d("myhub.azure-devices.net")));
+        assert!(c.covers(&d("management.azure.com")));
+        assert!(!c.covers(&d("deep.sub.azure-devices.net")));
+    }
+
+    #[test]
+    fn presentation_roundtrip() {
+        for s in ["*.iot.sap", "mqtt.googleapis.com"] {
+            assert_eq!(SanName::parse(s).unwrap().presentation(), s);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Server-side TLS endpoint configuration.
+
+use crate::cert::Certificate;
+use iotmap_nettypes::DomainName;
+
+/// How the endpoint reacts to the SNI extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SniPolicy {
+    /// SNI ignored: the default certificate is served to everyone. This is
+    /// what makes Censys-style scans productive.
+    Ignore,
+    /// Without SNI (or with an unknown name), a generic front-end
+    /// certificate is served instead of the IoT one — Google's behaviour,
+    /// which hides ~98% of its IoT IPs from certificate scans (§3.5).
+    RequireSni {
+        /// Certificate served when no/unknown SNI is presented.
+        fallback: Certificate,
+    },
+    /// Without SNI the handshake is rejected outright.
+    RejectWithoutSni,
+}
+
+/// Client-authentication requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientAuth {
+    None,
+    /// Mutual TLS: "other IoT backend providers, such as Amazon, require
+    /// the installation of a client certificate … In the absence of this
+    /// certificate, the TLS handshake will fail." (§3.3)
+    RequireClientCert,
+}
+
+/// A TLS endpoint: one `(ip, port)` service with certificates and policy.
+#[derive(Debug, Clone)]
+pub struct TlsEndpoint {
+    /// The default (IoT) certificate.
+    pub certificate: Certificate,
+    /// SNI behaviour.
+    pub sni: SniPolicy,
+    /// Client-certificate requirement.
+    pub client_auth: ClientAuth,
+}
+
+impl TlsEndpoint {
+    /// A plain endpoint: default certificate, no SNI games, no client auth.
+    pub fn plain(certificate: Certificate) -> Self {
+        TlsEndpoint {
+            certificate,
+            sni: SniPolicy::Ignore,
+            client_auth: ClientAuth::None,
+        }
+    }
+
+    /// Google-style: the IoT certificate only with correct SNI.
+    pub fn sni_gated(certificate: Certificate, fallback: Certificate) -> Self {
+        TlsEndpoint {
+            certificate,
+            sni: SniPolicy::RequireSni { fallback },
+            client_auth: ClientAuth::None,
+        }
+    }
+
+    /// Amazon-MQTT-style: handshake fails without a client certificate.
+    pub fn mutual_tls(certificate: Certificate) -> Self {
+        TlsEndpoint {
+            certificate,
+            sni: SniPolicy::Ignore,
+            client_auth: ClientAuth::RequireClientCert,
+        }
+    }
+
+    /// Does the default certificate cover the name (i.e. is `name` a
+    /// correct SNI value for this endpoint)?
+    pub fn serves_name(&self, name: &DomainName) -> bool {
+        self.certificate.covers(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::SanName;
+    use iotmap_nettypes::{Date, StudyPeriod};
+
+    fn cert(names: &[&str]) -> Certificate {
+        Certificate::new(
+            "test",
+            names.iter().map(|n| SanName::parse(n).unwrap()).collect(),
+            StudyPeriod::from_dates(Date::new(2022, 1, 1), Date::new(2023, 1, 1)),
+        )
+    }
+
+    #[test]
+    fn constructors_set_policies() {
+        let e = TlsEndpoint::plain(cert(&["*.iot.sap"]));
+        assert_eq!(e.sni, SniPolicy::Ignore);
+        assert_eq!(e.client_auth, ClientAuth::None);
+
+        let g = TlsEndpoint::sni_gated(cert(&["mqtt.googleapis.com"]), cert(&["*.google.com"]));
+        assert!(matches!(g.sni, SniPolicy::RequireSni { .. }));
+
+        let a = TlsEndpoint::mutual_tls(cert(&["*.iot.us-east-1.amazonaws.com"]));
+        assert_eq!(a.client_auth, ClientAuth::RequireClientCert);
+    }
+
+    #[test]
+    fn serves_name_checks_sans() {
+        let e = TlsEndpoint::plain(cert(&["*.iot.sap"]));
+        assert!(e.serves_name(&"tenant.iot.sap".parse().unwrap()));
+        assert!(!e.serves_name(&"iot.sap".parse().unwrap()));
+    }
+}

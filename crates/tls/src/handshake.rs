@@ -1,0 +1,230 @@
+//! TLS handshake simulation.
+//!
+//! A handshake is a pure function of the endpoint configuration and the
+//! client hello — no sockets, no crypto, just the decision tree that
+//! determines what a scanner harvests.
+
+use crate::cert::Certificate;
+use crate::endpoint::{ClientAuth, SniPolicy, TlsEndpoint};
+use iotmap_nettypes::{DomainName, SimTime};
+
+/// What the client presents.
+#[derive(Debug, Clone, Default)]
+pub struct ClientHello {
+    /// SNI server name, if any. Internet-wide scanners typically send none
+    /// (they do not know which name to ask for — that is the point).
+    pub sni: Option<DomainName>,
+    /// Whether the client can complete mutual TLS.
+    pub has_client_cert: bool,
+}
+
+impl ClientHello {
+    /// A scanner's hello: no SNI, no client certificate.
+    pub fn anonymous() -> Self {
+        ClientHello::default()
+    }
+
+    /// A hello with a server name (e.g. a device that knows its endpoint).
+    pub fn with_sni(name: DomainName) -> Self {
+        ClientHello {
+            sni: Some(name),
+            has_client_cert: false,
+        }
+    }
+}
+
+/// Handshake result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeOutcome {
+    /// Completed; the server presented this certificate.
+    Complete(Certificate),
+    /// The server presented a certificate but then required client
+    /// authentication the client could not provide. The certificate **was
+    /// observed** before the failure (TLS ≤1.2 sends Certificate before
+    /// CertificateRequest completes), but the session is unusable. For the
+    /// paper's purposes, scanners like Censys record such certificates when
+    /// the server sends them; strict-mTLS deployments that abort earlier
+    /// are modelled with [`HandshakeOutcome::Failed`].
+    ClientAuthRequired(Certificate),
+    /// Aborted without any certificate.
+    Failed(HandshakeFailure),
+}
+
+/// Why a handshake failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeFailure {
+    /// Endpoint rejects clients that send no SNI.
+    SniRequired,
+    /// Server certificate expired / not yet valid at connect time.
+    CertificateExpired,
+    /// Mutual TLS strictly enforced before certificate exposure (TLS 1.3
+    /// encrypts the server certificate; without a client cert nothing
+    /// useful is observed).
+    ClientCertRequired,
+}
+
+impl HandshakeOutcome {
+    /// The certificate a *scanner* would record from this outcome, if any.
+    pub fn observed_certificate(&self) -> Option<&Certificate> {
+        match self {
+            HandshakeOutcome::Complete(c) => Some(c),
+            HandshakeOutcome::ClientAuthRequired(_) => None,
+            HandshakeOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// Simulate a handshake against an endpoint at time `now`.
+///
+/// `strict_mtls` controls whether client-cert-gated endpoints abort before
+/// exposing their certificate (TLS 1.3 behaviour — what Amazon's MQTT
+/// endpoints do in practice, per §3.3 "the TLS handshake will fail").
+pub fn handshake(endpoint: &TlsEndpoint, hello: &ClientHello, now: SimTime) -> HandshakeOutcome {
+    // 1. Pick the certificate according to SNI policy.
+    let cert = match (&endpoint.sni, &hello.sni) {
+        (SniPolicy::Ignore, _) => endpoint.certificate.clone(),
+        (SniPolicy::RequireSni { fallback }, None) => fallback.clone(),
+        (SniPolicy::RequireSni { fallback }, Some(name)) => {
+            if endpoint.serves_name(name) {
+                endpoint.certificate.clone()
+            } else {
+                fallback.clone()
+            }
+        }
+        (SniPolicy::RejectWithoutSni, None) => {
+            return HandshakeOutcome::Failed(HandshakeFailure::SniRequired)
+        }
+        (SniPolicy::RejectWithoutSni, Some(name)) => {
+            if endpoint.serves_name(name) {
+                endpoint.certificate.clone()
+            } else {
+                return HandshakeOutcome::Failed(HandshakeFailure::SniRequired);
+            }
+        }
+    };
+
+    // 2. Validity check.
+    if !cert.valid_at(now) {
+        return HandshakeOutcome::Failed(HandshakeFailure::CertificateExpired);
+    }
+
+    // 3. Client authentication. Modelled as TLS 1.3: the server certificate
+    // is encrypted, so an anonymous client learns nothing.
+    match endpoint.client_auth {
+        ClientAuth::None => HandshakeOutcome::Complete(cert),
+        ClientAuth::RequireClientCert => {
+            if hello.has_client_cert {
+                HandshakeOutcome::Complete(cert)
+            } else {
+                HandshakeOutcome::Failed(HandshakeFailure::ClientCertRequired)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::SanName;
+    use iotmap_nettypes::{Date, StudyPeriod};
+
+    fn cert(names: &[&str]) -> Certificate {
+        Certificate::new(
+            "test",
+            names.iter().map(|n| SanName::parse(n).unwrap()).collect(),
+            StudyPeriod::from_dates(Date::new(2022, 1, 1), Date::new(2023, 1, 1)),
+        )
+    }
+
+    fn now() -> SimTime {
+        Date::new(2022, 3, 1).midnight()
+    }
+
+    #[test]
+    fn plain_endpoint_reveals_cert_to_scanners() {
+        let e = TlsEndpoint::plain(cert(&["*.azure-devices.net"]));
+        let out = handshake(&e, &ClientHello::anonymous(), now());
+        let c = out.observed_certificate().expect("certificate observed");
+        assert!(c.covers(&"hub.azure-devices.net".parse().unwrap()));
+    }
+
+    #[test]
+    fn sni_gated_endpoint_hides_iot_cert_from_scanners() {
+        let e = TlsEndpoint::sni_gated(cert(&["mqtt.googleapis.com"]), cert(&["*.google.com"]));
+        // Scanner without SNI sees only the generic certificate.
+        let out = handshake(&e, &ClientHello::anonymous(), now());
+        let c = out.observed_certificate().unwrap();
+        assert!(!c.covers(&"mqtt.googleapis.com".parse().unwrap()));
+        // A client with correct SNI gets the IoT certificate.
+        let out = handshake(
+            &e,
+            &ClientHello::with_sni("mqtt.googleapis.com".parse().unwrap()),
+            now(),
+        );
+        assert!(out
+            .observed_certificate()
+            .unwrap()
+            .covers(&"mqtt.googleapis.com".parse().unwrap()));
+    }
+
+    #[test]
+    fn sni_gated_with_wrong_name_gets_fallback() {
+        let e = TlsEndpoint::sni_gated(cert(&["mqtt.googleapis.com"]), cert(&["*.google.com"]));
+        let out = handshake(
+            &e,
+            &ClientHello::with_sni("evil.example.com".parse().unwrap()),
+            now(),
+        );
+        assert!(!out
+            .observed_certificate()
+            .unwrap()
+            .covers(&"mqtt.googleapis.com".parse().unwrap()));
+    }
+
+    #[test]
+    fn mutual_tls_fails_for_scanners_but_works_for_devices() {
+        let e = TlsEndpoint::mutual_tls(cert(&["*.iot.us-east-1.amazonaws.com"]));
+        let out = handshake(&e, &ClientHello::anonymous(), now());
+        assert_eq!(
+            out,
+            HandshakeOutcome::Failed(HandshakeFailure::ClientCertRequired)
+        );
+        assert!(out.observed_certificate().is_none());
+
+        let device = ClientHello {
+            sni: None,
+            has_client_cert: true,
+        };
+        assert!(handshake(&e, &device, now()).observed_certificate().is_some());
+    }
+
+    #[test]
+    fn expired_certificate_fails() {
+        let mut c = cert(&["*.iot.sap"]);
+        c.not_after = Date::new(2022, 2, 1).midnight();
+        let e = TlsEndpoint::plain(c);
+        assert_eq!(
+            handshake(&e, &ClientHello::anonymous(), now()),
+            HandshakeOutcome::Failed(HandshakeFailure::CertificateExpired)
+        );
+    }
+
+    #[test]
+    fn reject_without_sni_policy() {
+        let e = TlsEndpoint {
+            certificate: cert(&["gw.iot.example"]),
+            sni: SniPolicy::RejectWithoutSni,
+            client_auth: ClientAuth::None,
+        };
+        assert_eq!(
+            handshake(&e, &ClientHello::anonymous(), now()),
+            HandshakeOutcome::Failed(HandshakeFailure::SniRequired)
+        );
+        let ok = handshake(
+            &e,
+            &ClientHello::with_sni("gw.iot.example".parse().unwrap()),
+            now(),
+        );
+        assert!(ok.observed_certificate().is_some());
+    }
+}

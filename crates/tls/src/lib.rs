@@ -1,0 +1,24 @@
+//! # iotmap-tls — certificates and handshake behaviour
+//!
+//! The paper's first discovery channel is TLS certificates collected by
+//! Internet-wide scans (§3.3). Whether that channel works at all depends on
+//! server-side TLS behaviour that this crate models explicitly:
+//!
+//! * Most backends present a **default certificate** whose SANs reveal the
+//!   IoT domain (Censys finds 100% of Microsoft/SAP/Tencent IPs this way).
+//! * Google **requires SNI**: a scanner that connects without a server name
+//!   receives a generic certificate, so "we identify less than 2% of the
+//!   Google IPs" via certificates.
+//! * Amazon's MQTT endpoints **require a client certificate**; without one
+//!   "the TLS handshake will fail" and no certificate is harvested.
+//!
+//! Certificates here are "X.509-lite": subject, SAN list (with wildcard
+//! support), validity window, issuer — the fields the methodology consumes.
+
+pub mod cert;
+pub mod endpoint;
+pub mod handshake;
+
+pub use cert::{Certificate, SanName};
+pub use endpoint::{ClientAuth, SniPolicy, TlsEndpoint};
+pub use handshake::{handshake, ClientHello, HandshakeOutcome};

@@ -1,0 +1,126 @@
+//! Provider-name anonymization for ISP analyses (§3.7).
+//!
+//! "To avoid IoT backend provider blocklisting and any leakage of
+//! information…, we anonymize the names of all IoT backend providers when
+//! discussing ISP traffic." The paper's label families: `T1–T4` for the
+//! top-4 providers by revenue, `D1–D6` for the cloud-dependent providers,
+//! `O1–O6` for the rest. The concrete assignment below satisfies every
+//! constraint the paper's prose implies (T1 is the AWS-outage-affected
+//! platform, O3/O5 are the China-only backends with no EU residential
+//! activity, D4 runs ActiveMQ on TCP/61616, …) and is documented in
+//! EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+
+/// The anonymization table.
+#[derive(Debug, Clone)]
+pub struct Anonymization {
+    forward: BTreeMap<&'static str, &'static str>,
+}
+
+impl Anonymization {
+    /// The fixed assignment used throughout the experiments.
+    pub fn paper() -> Self {
+        let pairs: [(&'static str, &'static str); 16] = [
+            // Top-4 by revenue.
+            ("amazon", "T1"),
+            ("google", "T2"),
+            ("microsoft", "T3"),
+            ("alibaba", "T4"),
+            // Cloud-dependent.
+            ("bosch", "D1"),
+            ("sap", "D2"),
+            ("cisco", "D3"),
+            ("siemens", "D4"),
+            ("ptc", "D5"),
+            ("sierra", "D6"),
+            // The rest.
+            ("ibm", "O1"),
+            ("tencent", "O2"),
+            ("huawei", "O3"),
+            ("oracle", "O4"),
+            ("baidu", "O5"),
+            ("fujitsu", "O6"),
+        ];
+        Anonymization {
+            forward: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Anonymized label of a provider.
+    pub fn label(&self, provider: &str) -> &'static str {
+        self.forward.get(provider).copied().unwrap_or("??")
+    }
+
+    /// Provider behind a label (experiment-harness use only — the real
+    /// analysts could not invert this).
+    pub fn deanonymize(&self, label: &str) -> Option<&'static str> {
+        self.forward
+            .iter()
+            .find(|(_, l)| **l == label)
+            .map(|(p, _)| *p)
+    }
+
+    /// All `(provider, label)` pairs, label-sorted.
+    pub fn pairs(&self) -> Vec<(&'static str, &'static str)> {
+        let mut v: Vec<_> = self.forward.iter().map(|(p, l)| (*p, *l)).collect();
+        v.sort_by_key(|(_, l)| *l);
+        v
+    }
+
+    /// Labels of the top-4 group.
+    pub fn top4(&self) -> Vec<&'static str> {
+        vec!["T1", "T2", "T3", "T4"]
+    }
+
+    /// Labels of the cloud-dependent group.
+    pub fn cloud_dependent(&self) -> Vec<&'static str> {
+        vec!["D1", "D2", "D3", "D4", "D5", "D6"]
+    }
+
+    /// Labels of the remaining providers.
+    pub fn others(&self) -> Vec<&'static str> {
+        vec!["O1", "O2", "O3", "O4", "O5", "O6"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_from_the_paper_hold() {
+        let a = Anonymization::paper();
+        // T1 is the platform directly hit by the AWS us-east-1 outage.
+        assert_eq!(a.label("amazon"), "T1");
+        // O3 and O5 are the China-only providers excluded from §5.
+        assert_eq!(a.label("huawei"), "O3");
+        assert_eq!(a.label("baidu"), "O5");
+        // D4 is the ActiveMQ (TCP/61616) platform.
+        assert_eq!(a.label("siemens"), "D4");
+        // D-group is exactly the six cloud-dependent providers.
+        for p in ["bosch", "sap", "cisco", "siemens", "ptc", "sierra"] {
+            assert!(a.label(p).starts_with('D'), "{p}");
+        }
+    }
+
+    #[test]
+    fn bijection() {
+        let a = Anonymization::paper();
+        assert_eq!(a.pairs().len(), 16);
+        let labels: std::collections::BTreeSet<_> = a.pairs().iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels.len(), 16);
+        assert_eq!(a.deanonymize("T2"), Some("google"));
+        assert_eq!(a.deanonymize("ZZ"), None);
+        assert_eq!(a.label("unknown-provider"), "??");
+    }
+
+    #[test]
+    fn groups_cover_everything() {
+        let a = Anonymization::paper();
+        let mut all = a.top4();
+        all.extend(a.cloud_dependent());
+        all.extend(a.others());
+        assert_eq!(all.len(), 16);
+    }
+}

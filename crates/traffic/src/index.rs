@@ -1,0 +1,159 @@
+//! The backend-IP index: discovered map → per-flow lookup table.
+//!
+//! §3.4: the traffic analysis uses only infrastructure "exclusively used
+//! for IoT" — shared IPs (Google's HTTPS set, Akamai edges) are excluded
+//! before any flow is attributed.
+
+use iotmap_core::{DiscoveryResult, Footprint};
+use iotmap_nettypes::Continent;
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// Per-IP metadata carried into the flow analyses.
+#[derive(Debug, Clone)]
+pub struct IpMeta {
+    /// Index into [`IpIndex::providers`].
+    pub provider: usize,
+    /// Continent of the backend server (from footprint inference).
+    pub continent: Option<Continent>,
+    /// Site/region label (e.g. `us-east-1`) from footprint inference.
+    pub region: String,
+}
+
+/// The lookup table from remote address to backend metadata.
+#[derive(Debug, Default)]
+pub struct IpIndex {
+    providers: Vec<String>,
+    map: HashMap<IpAddr, IpMeta>,
+}
+
+impl IpIndex {
+    /// Build from a discovery result and per-provider footprints,
+    /// excluding `shared` IPs.
+    ///
+    /// `footprints` maps provider name → footprint; providers without an
+    /// entry get IPs with unknown location.
+    pub fn build(
+        discovery: &DiscoveryResult,
+        footprints: &HashMap<String, Footprint>,
+        shared: &HashSet<IpAddr>,
+    ) -> IpIndex {
+        let mut index = IpIndex::default();
+        for (name, disc) in discovery.per_provider() {
+            let pidx = index.providers.len();
+            index.providers.push(name.to_string());
+            let fp = footprints.get(name);
+            for &ip in disc.ips.keys() {
+                if shared.contains(&ip) {
+                    continue;
+                }
+                let (continent, region) = fp
+                    .and_then(|f| f.per_ip.get(&ip))
+                    .map(|l| (Some(l.location.continent), l.label.clone()))
+                    .unwrap_or((None, String::new()));
+                index.map.insert(
+                    ip,
+                    IpMeta {
+                        provider: pidx,
+                        continent,
+                        region,
+                    },
+                );
+            }
+        }
+        index
+    }
+
+    /// Provider names, in index order.
+    pub fn providers(&self) -> &[String] {
+        &self.providers
+    }
+
+    /// Look up a remote address.
+    pub fn get(&self, ip: IpAddr) -> Option<&IpMeta> {
+        self.map.get(&ip)
+    }
+
+    /// Number of indexed backend IPs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Indexed IPv4 count.
+    pub fn v4_count(&self) -> usize {
+        self.map.keys().filter(|ip| ip.is_ipv4()).count()
+    }
+
+    /// Indexed IPv6 count.
+    pub fn v6_count(&self) -> usize {
+        self.map.keys().filter(|ip| ip.is_ipv6()).count()
+    }
+
+    /// All indexed IPs of one provider (by index).
+    pub fn ips_of(&self, provider: usize) -> HashSet<IpAddr> {
+        self.map
+            .iter()
+            .filter(|(_, m)| m.provider == provider)
+            .map(|(ip, _)| *ip)
+            .collect()
+    }
+
+    /// Index of a provider by name.
+    pub fn provider_index(&self, name: &str) -> Option<usize> {
+        self.providers.iter().position(|p| p == name)
+    }
+
+    /// Iterate over all `(ip, meta)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&IpAddr, &IpMeta)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotmap_core::{IpEvidence, ProviderDiscovery};
+
+    fn discovery() -> DiscoveryResult {
+        let mut a = ProviderDiscovery {
+            name: "amazon".to_string(),
+            ..Default::default()
+        };
+        a.ips.insert("52.0.0.1".parse().unwrap(), IpEvidence::default());
+        a.ips.insert("52.0.0.2".parse().unwrap(), IpEvidence::default());
+        let mut g = ProviderDiscovery {
+            name: "google".to_string(),
+            ..Default::default()
+        };
+        g.ips.insert("60.0.0.1".parse().unwrap(), IpEvidence::default());
+        g.ips.insert("2a09::1".parse().unwrap(), IpEvidence::default());
+        DiscoveryResult::from_providers(vec![a, g])
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let disc = discovery();
+        let idx = IpIndex::build(&disc, &HashMap::new(), &HashSet::new());
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.v4_count(), 3);
+        assert_eq!(idx.v6_count(), 1);
+        let meta = idx.get("52.0.0.1".parse().unwrap()).unwrap();
+        assert_eq!(idx.providers()[meta.provider], "amazon");
+        assert!(idx.get("9.9.9.9".parse().unwrap()).is_none());
+        assert_eq!(idx.ips_of(idx.provider_index("google").unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn shared_ips_excluded() {
+        let disc = discovery();
+        let shared: HashSet<IpAddr> = ["60.0.0.1".parse().unwrap()].into_iter().collect();
+        let idx = IpIndex::build(&disc, &HashMap::new(), &shared);
+        assert_eq!(idx.len(), 3);
+        assert!(idx.get("60.0.0.1".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! Scanner exclusion (§5.2, Figure 5).
+//!
+//! "To identify scanners, we follow the method proposed by Richter et al.
+//! For each day…, we compute the fraction of IoT backend server IPs that a
+//! subscriber line contacts. A subscriber line is said to host a scanner
+//! if it contacts more than a threshold of the server IPs."
+
+use crate::index::IpIndex;
+use iotmap_netflow::{FlowRecord, FlowSink, LineId};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// First pass over the flows: per-line backend contact sets.
+pub struct ContactSink<'a> {
+    index: &'a IpIndex,
+    /// Per line: distinct backend IPs contacted (both families).
+    pub per_line: HashMap<LineId, HashSet<IpAddr>>,
+}
+
+impl<'a> ContactSink<'a> {
+    /// New sink over an index.
+    pub fn new(index: &'a IpIndex) -> Self {
+        ContactSink {
+            index,
+            per_line: HashMap::new(),
+        }
+    }
+}
+
+impl FlowSink for ContactSink<'_> {
+    fn accept(&mut self, record: &FlowRecord) {
+        if self.index.get(record.remote).is_some() {
+            self.per_line
+                .entry(record.line)
+                .or_default()
+                .insert(record.remote);
+        }
+    }
+}
+
+/// One point of the Figure 5 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScannerCurvePoint {
+    /// Scanner threshold (backend IPs contacted).
+    pub threshold: usize,
+    /// Lines flagged (and excluded) at this threshold.
+    pub lines_excluded: usize,
+    /// Fraction of all IPv4 backend IPs still visible from the remaining
+    /// lines.
+    pub v4_visibility: f64,
+}
+
+/// The scanner analysis over contact sets.
+pub struct ScannerAnalysis<'a> {
+    index: &'a IpIndex,
+    contacts: &'a ContactSink<'a>,
+}
+
+impl<'a> ScannerAnalysis<'a> {
+    /// Analyse a completed contact pass.
+    pub fn new(index: &'a IpIndex, contacts: &'a ContactSink<'a>) -> Self {
+        ScannerAnalysis { index, contacts }
+    }
+
+    /// Lines contacting at least `threshold` distinct backend IPs.
+    pub fn flagged_lines(&self, threshold: usize) -> HashSet<LineId> {
+        self.contacts
+            .per_line
+            .iter()
+            .filter(|(_, s)| s.len() >= threshold)
+            .map(|(l, _)| *l)
+            .collect()
+    }
+
+    /// Visibility of the IPv4 backend space from lines *below* the
+    /// threshold.
+    pub fn v4_visibility(&self, threshold: usize) -> f64 {
+        let total = self.index.v4_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut seen: HashSet<IpAddr> = HashSet::new();
+        for (_, contacts) in self
+            .contacts
+            .per_line
+            .iter()
+            .filter(|(_, s)| s.len() < threshold)
+        {
+            seen.extend(contacts.iter().filter(|ip| ip.is_ipv4()));
+        }
+        seen.len() as f64 / total as f64
+    }
+
+    /// IPv6 visibility from non-scanner lines.
+    pub fn v6_visibility(&self, threshold: usize) -> f64 {
+        let total = self.index.v6_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut seen: HashSet<IpAddr> = HashSet::new();
+        for (_, contacts) in self
+            .contacts
+            .per_line
+            .iter()
+            .filter(|(_, s)| s.len() < threshold)
+        {
+            seen.extend(contacts.iter().filter(|ip| ip.is_ipv6()));
+        }
+        seen.len() as f64 / total as f64
+    }
+
+    /// The Figure 5 curve over a threshold ladder.
+    pub fn curve(&self, thresholds: &[usize]) -> Vec<ScannerCurvePoint> {
+        thresholds
+            .iter()
+            .map(|&t| ScannerCurvePoint {
+                threshold: t,
+                lines_excluded: self.flagged_lines(t).len(),
+                v4_visibility: self.v4_visibility(t),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotmap_core::{DiscoveryResult, IpEvidence, ProviderDiscovery};
+    use iotmap_netflow::Direction;
+    use iotmap_nettypes::{Date, PortProto};
+
+    fn index(n_ips: usize) -> IpIndex {
+        let mut p = ProviderDiscovery {
+            name: "x".to_string(),
+            ..Default::default()
+        };
+        for i in 0..n_ips {
+            let ip: IpAddr = format!("10.0.{}.{}", i / 250, 1 + i % 250).parse().unwrap();
+            p.ips.insert(ip, IpEvidence::default());
+        }
+        IpIndex::build(
+            &DiscoveryResult::from_providers(vec![p]),
+            &HashMap::new(),
+            &HashSet::new(),
+        )
+    }
+
+    fn flow(line: u64, ip: &str) -> FlowRecord {
+        FlowRecord {
+            time: Date::new(2022, 3, 1).midnight(),
+            line: LineId(line),
+            remote: ip.parse().unwrap(),
+            port: PortProto::tcp(8883),
+            direction: Direction::Upstream,
+            bytes: 100,
+            packets: 1,
+        }
+    }
+
+    fn contact_ips(sink: &mut ContactSink<'_>, line: u64, n: usize) {
+        for i in 0..n {
+            sink.accept(&flow(line, &format!("10.0.{}.{}", i / 250, 1 + i % 250)));
+        }
+    }
+
+    #[test]
+    fn threshold_separates_scanners_from_households() {
+        let idx = index(500);
+        let mut sink = ContactSink::new(&idx);
+        contact_ips(&mut sink, 1, 3); // household
+        contact_ips(&mut sink, 2, 5); // bigger household
+        contact_ips(&mut sink, 3, 400); // scanner
+        let analysis = ScannerAnalysis::new(&idx, &sink);
+        assert_eq!(analysis.flagged_lines(100).len(), 1);
+        assert!(analysis.flagged_lines(100).contains(&LineId(3)));
+        assert_eq!(analysis.flagged_lines(4).len(), 2);
+    }
+
+    #[test]
+    fn visibility_excludes_scanner_contacts() {
+        let idx = index(100);
+        let mut sink = ContactSink::new(&idx);
+        contact_ips(&mut sink, 1, 10); // household contacting 10 of 100
+        contact_ips(&mut sink, 2, 90); // scanner
+        let analysis = ScannerAnalysis::new(&idx, &sink);
+        // With a high threshold the scanner is kept: full visibility.
+        assert!((analysis.v4_visibility(1000) - 0.9).abs() < 1e-9);
+        // With threshold 50 the scanner is dropped: only the household.
+        assert!((analysis.v4_visibility(50) - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_lines() {
+        let idx = index(300);
+        let mut sink = ContactSink::new(&idx);
+        for line in 0..20 {
+            contact_ips(&mut sink, line, 3 + (line as usize) * 10);
+        }
+        let analysis = ScannerAnalysis::new(&idx, &sink);
+        let curve = analysis.curve(&[10, 50, 100, 200]);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[0].lines_excluded >= w[1].lines_excluded);
+            assert!(w[0].v4_visibility <= w[1].v4_visibility + 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_backend_remotes_ignored() {
+        let idx = index(10);
+        let mut sink = ContactSink::new(&idx);
+        sink.accept(&flow(1, "99.99.99.99"));
+        assert!(sink.per_line.is_empty());
+    }
+}

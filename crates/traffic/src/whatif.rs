@@ -1,0 +1,114 @@
+//! What-if cascade analysis (§6's closing question: "outages that occur
+//! unexpectedly can have cascading effects").
+//!
+//! Six of the backends lease from public clouds; a full outage of one
+//! cloud operator would take down the corresponding share of each
+//! dependent backend's footprint. This extension experiment quantifies
+//! that dependency graph from the *measured* map: per provider, the
+//! fraction of discovered backend IPs announced by each cloud
+//! organization.
+
+use iotmap_core::{DataSources, DiscoveryResult};
+use std::collections::BTreeMap;
+
+/// One provider's dependence on cloud organizations.
+#[derive(Debug, Clone)]
+pub struct CloudDependence {
+    pub provider: String,
+    /// Cloud org → fraction of the provider's backend IPs it announces.
+    pub share_by_org: BTreeMap<String, f64>,
+}
+
+impl CloudDependence {
+    /// Fraction of this provider's footprint lost if `org` disappears.
+    pub fn loss_if_down(&self, org: &str) -> f64 {
+        self.share_by_org.get(org).copied().unwrap_or(0.0)
+    }
+}
+
+/// Compute every provider's cloud dependence from announcements.
+pub fn cascade_impact(
+    discovery: &DiscoveryResult,
+    sources: &DataSources<'_>,
+    cloud_orgs: &[&str],
+) -> Vec<CloudDependence> {
+    let mut out = Vec::new();
+    for (name, disc) in discovery.per_provider() {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for &ip in disc.ips.keys() {
+            let Some(origin) = sources.routeviews.origin(ip) else {
+                continue;
+            };
+            total += 1;
+            if cloud_orgs.contains(&origin.org.as_str()) {
+                *counts.entry(origin.org.clone()).or_default() += 1;
+            }
+        }
+        let share_by_org = counts
+            .into_iter()
+            .map(|(org, c)| (org, c as f64 / total.max(1) as f64))
+            .collect();
+        out.push(CloudDependence {
+            provider: name.to_string(),
+            share_by_org,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotmap_core::{IpEvidence, ProviderDiscovery};
+    use iotmap_dns::{PassiveDnsDb, ZoneDb};
+    use iotmap_nettypes::{Asn, BgpOrigin, BgpTable};
+
+    #[test]
+    fn dependence_fractions() {
+        let mut bgp = BgpTable::new();
+        bgp.announce_v4(
+            "52.0.0.0/13".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(16509),
+                org: "Amazon Web Services".into(),
+                location_label: String::new(),
+                location: None,
+            },
+        );
+        bgp.announce_v4(
+            "60.0.0.0/16".parse().unwrap(),
+            BgpOrigin {
+                asn: Asn(777),
+                org: "Own DC".into(),
+                location_label: String::new(),
+                location: None,
+            },
+        );
+        let pdns = PassiveDnsDb::new();
+        let zones = ZoneDb::new();
+        let sources = DataSources {
+            censys: &[],
+            zgrab_v6: &[],
+            passive_dns: &pdns,
+            zones: &zones,
+            routeviews: &bgp,
+            latency: None,
+        };
+        let mut p = ProviderDiscovery {
+            name: "mixedco".to_string(),
+            ..Default::default()
+        };
+        p.ips.insert("52.0.0.1".parse().unwrap(), IpEvidence::default());
+        p.ips.insert("52.0.0.2".parse().unwrap(), IpEvidence::default());
+        p.ips.insert("60.0.0.1".parse().unwrap(), IpEvidence::default());
+        p.ips.insert("60.0.0.2".parse().unwrap(), IpEvidence::default());
+        let disc = DiscoveryResult::from_providers(vec![p]);
+
+        let deps = cascade_impact(&disc, &sources, &["Amazon Web Services"]);
+        assert_eq!(deps.len(), 1);
+        let d = &deps[0];
+        assert!((d.loss_if_down("Amazon Web Services") - 0.5).abs() < 1e-9);
+        assert_eq!(d.loss_if_down("Microsoft Azure"), 0.0);
+    }
+}

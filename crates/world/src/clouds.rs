@@ -1,0 +1,320 @@
+//! Public cloud providers and CDNs.
+//!
+//! Six of the sixteen IoT backends lease their Internet-facing gateways
+//! from public clouds (§4.2): Bosch, Cisco and Sierra Wireless run on AWS;
+//! PTC on AWS + Azure; SAP and Siemens on AWS + Azure + Alibaba; Oracle
+//! extends its own infrastructure with Akamai. Cloud-hosted gateways are
+//! announced by the *cloud's* AS — that is exactly what the paper's DI/PR
+//! classification keys on — and live inside the cloud's regional address
+//! blocks, which is what ties the December 2021 us-east-1 outage to
+//! specific backend IPs.
+
+use crate::geodb::{CityId, GeoDb};
+use iotmap_nettypes::{Asn, Ipv4Prefix, Ipv6Prefix};
+
+/// One cloud region: a site with address blocks.
+#[derive(Debug, Clone)]
+pub struct CloudRegion {
+    /// Region code as it appears in domain names (`us-east-1`).
+    pub code: String,
+    /// Metro the region sits in.
+    pub city: CityId,
+    /// IPv4 block the region allocates gateway addresses from.
+    pub v4_block: Ipv4Prefix,
+    /// IPv6 block, if the region offers IPv6.
+    pub v6_block: Option<Ipv6Prefix>,
+}
+
+/// A public cloud / CDN operator.
+#[derive(Debug, Clone)]
+pub struct CloudProvider {
+    /// Operator name (`"aws"`, `"azure"`, `"alicloud"`, `"akamai"`).
+    pub name: &'static str,
+    /// Organization name as it would appear in WHOIS.
+    pub org: &'static str,
+    /// The AS announcing all of this cloud's blocks.
+    pub asn: Asn,
+    pub regions: Vec<CloudRegion>,
+}
+
+impl CloudProvider {
+    /// Find a region by code.
+    pub fn region(&self, code: &str) -> &CloudRegion {
+        self.regions
+            .iter()
+            .find(|r| r.code == code)
+            .unwrap_or_else(|| panic!("{}: unknown region {code:?}", self.name))
+    }
+}
+
+/// The catalog of cloud operators in the world.
+#[derive(Debug, Clone)]
+pub struct CloudCatalog {
+    pub clouds: Vec<CloudProvider>,
+}
+
+impl CloudCatalog {
+    /// Find a cloud by name.
+    pub fn cloud(&self, name: &str) -> &CloudProvider {
+        self.clouds
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("unknown cloud {name:?}"))
+    }
+
+    /// The standard catalog. Address plan (all synthetic, documentation
+    /// ranges deliberately *not* used so prefixes look realistic):
+    ///
+    /// | operator | AS(es) | IPv4 super-block |
+    /// |---|---|---|
+    /// | AWS | AS16509 + regional ASes | 52.0.0.0/8, one /13 per region |
+    /// | Azure | AS8075 | 40.0.0.0/8, one /13 per region |
+    /// | Alibaba Cloud | AS45102 | 47.0.0.0/8, one /14 per region |
+    /// | Akamai | AS20940 | 23.0.0.0/12, one /16 per region |
+    ///
+    /// AWS announces from several regional ASes (Amazon IoT's Table 1 row
+    /// lists 4 ASes): us-east-1 from AS14618, other American regions from
+    /// AS16509, European regions from AS8987, Asia-Pacific/ME/Africa from
+    /// AS7224. [`CloudCatalog::asn_for_region`] encodes that mapping.
+    pub fn standard(geo: &GeoDb) -> Self {
+        let mut clouds = Vec::new();
+
+        // AWS: 18 regions in 15 countries (drives Amazon IoT's Table 1 row).
+        let aws_regions = [
+            ("us-east-1", "Ashburn", true),
+            ("us-east-2", "Columbus", false),
+            ("us-west-1", "San Jose", false),
+            ("us-west-2", "Portland", true),
+            ("ca-central-1", "Montreal", false),
+            ("sa-east-1", "Sao Paulo", false),
+            ("eu-west-1", "Dublin", true),
+            ("eu-west-2", "London", false),
+            ("eu-west-3", "Paris", false),
+            ("eu-central-1", "Frankfurt", true),
+            ("eu-north-1", "Stockholm", false),
+            ("eu-south-1", "Milan", false),
+            ("ap-southeast-1", "Singapore", true),
+            ("ap-southeast-2", "Sydney", false),
+            ("ap-northeast-1", "Tokyo", true),
+            ("ap-south-1", "Mumbai", false),
+            ("me-south-1", "Dubai", false),
+            ("af-south-1", "Cape Town", false),
+        ];
+        clouds.push(Self::build_cloud(
+            geo,
+            "aws",
+            "Amazon Web Services",
+            Asn(16509),
+            0x34_00_00_00, // 52.0.0.0
+            13,
+            0x2a05,
+            &aws_regions,
+        ));
+
+        // Azure: the regions the PR backends lease (Microsoft's own IoT Hub
+        // sites are announced from Microsoft's DI AS, not listed here).
+        let azure_regions = [
+            ("eastus", "Ashburn", false),
+            ("centralus", "Dallas", false),
+            ("westus2", "Portland", false),
+            ("westeurope", "Amsterdam", false),
+            ("northeurope", "Dublin", false),
+            ("germanywestcentral", "Frankfurt", false),
+            ("southeastasia", "Singapore", false),
+            ("japaneast", "Tokyo", false),
+        ];
+        clouds.push(Self::build_cloud(
+            geo,
+            "azure",
+            "Microsoft Azure",
+            Asn(8075),
+            0x28_00_00_00, // 40.0.0.0
+            13,
+            0x2a06,
+            &azure_regions,
+        ));
+
+        // Alibaba Cloud (leased by SAP and Siemens for their Chinese sites;
+        // Alibaba IoT itself is DI on Alibaba's own AS).
+        let ali_regions = [
+            ("cn-shanghai", "Shanghai", true),
+            ("cn-beijing", "Beijing", false),
+            ("cn-hangzhou", "Hangzhou", true),
+            ("cn-shenzhen", "Shenzhen", false),
+            ("eu-central-1", "Frankfurt", false),
+            ("us-west-1", "San Jose", false),
+        ];
+        clouds.push(Self::build_cloud(
+            geo,
+            "alicloud",
+            "Alibaba Cloud",
+            Asn(45102),
+            0x2f_00_00_00, // 47.0.0.0
+            14,
+            0x2a07,
+            &ali_regions,
+        ));
+
+        // Akamai edge (fronts part of Oracle IoT).
+        let akamai_regions = [
+            ("edge-fra", "Frankfurt", false),
+            ("edge-ams", "Amsterdam", false),
+            ("edge-lon", "London", false),
+            ("edge-iad", "Ashburn", false),
+            ("edge-ord", "Chicago", false),
+            ("edge-sjc", "San Jose", false),
+            ("edge-gru", "Sao Paulo", false),
+            ("edge-sin", "Singapore", false),
+            ("edge-hnd", "Tokyo", false),
+            ("edge-syd", "Sydney", false),
+            ("edge-jnb", "Johannesburg", false),
+            ("edge-bom", "Mumbai", false),
+        ];
+        clouds.push(Self::build_cloud(
+            geo,
+            "akamai",
+            "Akamai Technologies",
+            Asn(20940),
+            0x17_00_00_00, // 23.0.0.0
+            16,
+            0x2a08,
+            &akamai_regions,
+        ));
+
+        CloudCatalog { clouds }
+    }
+
+    #[allow(clippy::too_many_arguments)] // catalog wiring, called 4 times
+    fn build_cloud(
+        geo: &GeoDb,
+        name: &'static str,
+        org: &'static str,
+        asn: Asn,
+        v4_base: u32,
+        region_prefix_len: u8,
+        v6_hi: u16,
+        regions: &[(&str, &str, bool)],
+    ) -> CloudProvider {
+        let step = 1u32 << (32 - region_prefix_len);
+        let regions = regions
+            .iter()
+            .enumerate()
+            .map(|(i, (code, city, v6))| CloudRegion {
+                code: code.to_string(),
+                city: geo.id_of(city),
+                v4_block: Ipv4Prefix::new((v4_base + (i as u32) * step).into(), region_prefix_len),
+                v6_block: v6.then(|| {
+                    let addr = ((v6_hi as u128) << 112) | ((i as u128) << 80);
+                    Ipv6Prefix::new(addr.into(), 48)
+                }),
+            })
+            .collect();
+        CloudProvider {
+            name,
+            org,
+            asn,
+            regions,
+        }
+    }
+
+    /// The AS a given cloud region announces from. For AWS this spreads
+    /// regions over Amazon's regional ASes; other clouds use a single AS.
+    pub fn asn_for_region(cloud: &CloudProvider, code: &str) -> Asn {
+        if cloud.name != "aws" {
+            return cloud.asn;
+        }
+        if code == "us-east-1" {
+            Asn(14618)
+        } else if code.starts_with("eu-") {
+            Asn(8987)
+        } else if code.starts_with("ap-") || code.starts_with("me-") || code.starts_with("af-") {
+            Asn(7224)
+        } else {
+            Asn(16509) // remaining Americas regions
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> CloudCatalog {
+        CloudCatalog::standard(&GeoDb::standard())
+    }
+
+    #[test]
+    fn aws_matches_amazon_table1_row() {
+        let geo = GeoDb::standard();
+        let aws = catalog().cloud("aws").clone();
+        assert_eq!(aws.regions.len(), 18, "Amazon IoT: 18 locations");
+        let countries: std::collections::BTreeSet<_> = aws
+            .regions
+            .iter()
+            .map(|r| geo.location(r.city).country)
+            .collect();
+        assert_eq!(countries.len(), 15, "Amazon IoT: 15 countries");
+    }
+
+    #[test]
+    fn region_blocks_are_disjoint() {
+        let cat = catalog();
+        let mut blocks = Vec::new();
+        for cloud in &cat.clouds {
+            for r in &cloud.regions {
+                blocks.push(r.v4_block);
+            }
+        }
+        for i in 0..blocks.len() {
+            for j in 0..blocks.len() {
+                if i != j {
+                    assert!(
+                        !blocks[i].covers(&blocks[j]),
+                        "{} overlaps {}",
+                        blocks[i],
+                        blocks[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_lookup() {
+        let cat = catalog();
+        let aws = cat.cloud("aws");
+        let use1 = aws.region("us-east-1");
+        assert_eq!(use1.v4_block.to_string(), "52.0.0.0/13");
+        assert!(use1.v6_block.is_some());
+        assert_eq!(
+            CloudCatalog::asn_for_region(aws, "us-east-1"),
+            Asn(14618)
+        );
+        assert_eq!(
+            CloudCatalog::asn_for_region(aws, "eu-central-1"),
+            Asn(8987)
+        );
+        assert_eq!(
+            CloudCatalog::asn_for_region(aws, "ap-south-1"),
+            Asn(7224)
+        );
+        assert_eq!(
+            CloudCatalog::asn_for_region(aws, "us-west-2"),
+            Asn(16509)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn unknown_region_panics() {
+        let cat = catalog();
+        cat.cloud("aws").region("mars-north-1");
+    }
+
+    #[test]
+    fn distinct_asns() {
+        let cat = catalog();
+        let asns: std::collections::BTreeSet<_> = cat.clouds.iter().map(|c| c.asn).collect();
+        assert_eq!(asns.len(), cat.clouds.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! World generation parameters.
+
+use iotmap_nettypes::StudyPeriod;
+
+/// Parameters controlling world generation. Everything downstream is a
+/// pure function of this struct.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Subscriber-line scale divisor: the ISP has `15_000_000 / scale`
+    /// lines. 1 = the paper's full scale (do not attempt on a laptop).
+    pub scale: u64,
+    /// Server-address scale divisor applied to Table 1 /24 targets.
+    /// 1 reproduces Table 1 counts exactly.
+    pub ip_scale: u32,
+    /// Probability that a given domain's resolutions are captured by the
+    /// passive-DNS sensor network at all (§3.6: DNSDB "does not have full
+    /// coverage").
+    pub passive_dns_coverage: f64,
+    /// Fraction of active IPv6 gateway addresses present on the hitlist
+    /// (§3.6: discovery "is directly influenced by the coverage of the
+    /// chosen IPv6 hitlists").
+    pub hitlist_coverage: f64,
+    /// Error rate of the scanners' geolocation database (§4.2 reconciles
+    /// sources disagreeing on <7% of IPs).
+    pub geo_error_rate: f64,
+    /// NetFlow packet-sampling rate (1:N). 1 disables sampling.
+    pub sampling_rate: u64,
+    /// Number of synthetic non-IoT background hosts (scan/DNS noise).
+    pub background_hosts: u32,
+    /// The main measurement window.
+    pub study_period: StudyPeriod,
+}
+
+impl WorldConfig {
+    /// Small world for unit/integration tests: ~5k lines, ~1/16 of the
+    /// paper's server-address space.
+    pub fn small(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 3000,
+            ip_scale: 16,
+            passive_dns_coverage: 0.92,
+            hitlist_coverage: 0.9,
+            geo_error_rate: 0.05,
+            sampling_rate: 1,
+            background_hosts: 400,
+            study_period: StudyPeriod::main_week(),
+        }
+    }
+
+    /// Medium world for examples: ~20k lines, 1/4 address space.
+    pub fn medium(seed: u64) -> Self {
+        WorldConfig {
+            scale: 750,
+            ip_scale: 4,
+            background_hosts: 1000,
+            ..Self::small(seed)
+        }
+    }
+
+    /// Experiment-grade world: full Table 1 address space, 1/500 of the
+    /// line population (30k lines).
+    pub fn paper(seed: u64) -> Self {
+        WorldConfig {
+            scale: 500,
+            ip_scale: 1,
+            background_hosts: 2000,
+            ..Self::small(seed)
+        }
+    }
+
+    /// Number of ISP subscriber lines at this scale.
+    pub fn line_count(&self) -> u64 {
+        15_000_000 / self.scale
+    }
+
+    /// Switch the study window to the December 2021 outage week.
+    pub fn with_outage_week(mut self) -> Self {
+        self.study_period = StudyPeriod::outage_week();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_sanely() {
+        let s = WorldConfig::small(1);
+        let m = WorldConfig::medium(1);
+        let p = WorldConfig::paper(1);
+        assert!(s.line_count() < m.line_count());
+        assert!(m.line_count() < p.line_count());
+        assert_eq!(p.ip_scale, 1);
+        assert_eq!(s.line_count(), 5000);
+    }
+
+    #[test]
+    fn outage_week_switch() {
+        let c = WorldConfig::small(1).with_outage_week();
+        assert_eq!(c.study_period, StudyPeriod::outage_week());
+    }
+}

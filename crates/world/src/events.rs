@@ -1,0 +1,346 @@
+//! Disruption events: the AWS outage, BGP incidents, and blocklists (§6).
+
+use iotmap_nettypes::interval::IntervalSet;
+use iotmap_nettypes::{Asn, Ipv4Prefix, SimRng, StudyPeriod};
+use std::collections::HashSet;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// The December 7, 2021 AWS us-east-1 outage (§6.1), as a parameterized
+/// event the traffic simulator honours.
+#[derive(Debug, Clone)]
+pub struct OutageEvent {
+    /// Cloud operator affected.
+    pub cloud: &'static str,
+    /// Region affected.
+    pub region: &'static str,
+    /// The outage window.
+    pub window: StudyPeriod,
+    /// Fraction of normal downstream bytes still delivered by affected
+    /// gateways (devices mostly see timeouts; some paths limp along).
+    pub downstream_residual: f64,
+    /// Fraction of normal upstream bytes: devices keep *retrying*, so
+    /// upstream shrinks less than downstream — which is why Fig. 16 shows
+    /// subscriber-line counts barely moving while Fig. 15 shows a >14.5%
+    /// volume drop.
+    pub upstream_residual: f64,
+    /// Probability an affected device goes fully silent during the window.
+    pub silence_prob: f64,
+    /// Relative dip applied to the *same provider's* other regions
+    /// (cross-region interdependencies; the paper observed a slight EU
+    /// dip).
+    pub spillover: f64,
+}
+
+impl OutageEvent {
+    /// The historical AWS us-east-1 event.
+    pub fn aws_dec_2021() -> Self {
+        OutageEvent {
+            cloud: "aws",
+            region: "us-east-1",
+            window: StudyPeriod::aws_outage_window(),
+            downstream_residual: 0.5,
+            upstream_residual: 0.65,
+            silence_prob: 0.08,
+            spillover: 0.05,
+        }
+    }
+}
+
+/// Kind of a BGPStream incident (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BgpStreamEventKind {
+    Leak,
+    PossibleHijack,
+    AsOutage,
+}
+
+/// One BGPStream incident record.
+#[derive(Debug, Clone)]
+pub struct BgpStreamEvent {
+    pub kind: BgpStreamEventKind,
+    /// Affected prefix (leaks/hijacks).
+    pub prefix: Option<Ipv4Prefix>,
+    /// Affected AS (outages, and the origin of leaks/hijacks).
+    pub asn: Asn,
+}
+
+/// One backend IP found on the FireHOL aggregate blocklist (§6.2), with
+/// the (non-exclusive) source-list categories.
+#[derive(Debug, Clone)]
+pub struct BlocklistHit {
+    pub ip: IpAddr,
+    /// Provider index in the catalog.
+    pub provider: usize,
+    pub categories: Vec<&'static str>,
+}
+
+/// The FireHOL-style aggregate: a huge interval set plus the individual
+/// backend hits planted in it.
+#[derive(Debug)]
+pub struct Firehol {
+    /// The full aggregate (hundreds of millions of addresses).
+    pub set: IntervalSet,
+    /// Number of source lists aggregated.
+    pub source_lists: u32,
+    /// Ground truth: the backend IPs that were planted.
+    pub planted: Vec<BlocklistHit>,
+}
+
+/// All disruption-related world state.
+#[derive(Debug)]
+pub struct Events {
+    pub outage: OutageEvent,
+    pub bgpstream: Vec<BgpStreamEvent>,
+    pub firehol: Firehol,
+}
+
+impl Events {
+    /// Generate events. `provider_asns` and `provider_prefixes` are the
+    /// ground-truth backend resources the BGPStream incidents must *miss*
+    /// (the paper found none of the 10 leaks / 40 hijacks / 166 outages
+    /// affected any backend); `blocklist_candidates[p]` are per-provider
+    /// IPv4 addresses eligible for blocklist planting.
+    pub fn generate(
+        rng: &mut SimRng,
+        provider_asns: &HashSet<Asn>,
+        blocklist_candidates: &[(usize, Vec<Ipv4Addr>)],
+        provider_name_of: impl Fn(usize) -> &'static str,
+    ) -> Events {
+        let mut rng = rng.fork("events");
+
+        // --- BGPStream incidents, §6.2: 10 leaks, 40 possible hijacks,
+        // 166 AS outages, all in unrelated address/AS space.
+        let mut bgpstream = Vec::new();
+        let random_unrelated_asn = |rng: &mut SimRng| loop {
+            let a = Asn(rng.gen_range(50_000, 64_000) as u32);
+            if !provider_asns.contains(&a) {
+                break a;
+            }
+        };
+        // Incident prefixes live in 130.0.0.0/7-ish academic space — far
+        // away from every backend block the world allocates.
+        let random_unrelated_prefix = |rng: &mut SimRng| {
+            let octet1 = 130 + rng.gen_below(8) as u32;
+            let addr = (octet1 << 24) | ((rng.gen_below(256) as u32) << 16);
+            Ipv4Prefix::new(Ipv4Addr::from(addr), rng.gen_range(16, 25) as u8)
+        };
+        for _ in 0..10 {
+            let asn = random_unrelated_asn(&mut rng);
+            bgpstream.push(BgpStreamEvent {
+                kind: BgpStreamEventKind::Leak,
+                prefix: Some(random_unrelated_prefix(&mut rng)),
+                asn,
+            });
+        }
+        for _ in 0..40 {
+            let asn = random_unrelated_asn(&mut rng);
+            bgpstream.push(BgpStreamEvent {
+                kind: BgpStreamEventKind::PossibleHijack,
+                prefix: Some(random_unrelated_prefix(&mut rng)),
+                asn,
+            });
+        }
+        for _ in 0..166 {
+            let asn = random_unrelated_asn(&mut rng);
+            bgpstream.push(BgpStreamEvent {
+                kind: BgpStreamEventKind::AsOutage,
+                prefix: None,
+                asn,
+            });
+        }
+
+        // --- FireHOL aggregate: >610M addresses from 67 lists. The bulk
+        // is large botnet/abuse ranges in address space the world does not
+        // use for backends.
+        let mut set = IntervalSet::new();
+        let bulk_octets: [u32; 37] = [
+            1, 2, 5, 14, 27, 31, 36, 37, 42, 49, 58, 59, 61, 77, 78, 79, 89, 91, 94, 101, 102,
+            103, 106, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121, 122, 123,
+        ];
+        for o in bulk_octets {
+            set.insert_prefix(Ipv4Prefix::new(Ipv4Addr::from(o << 24), 8));
+        }
+
+        // Plant blocklisted backend IPs with the paper's per-provider
+        // distribution (§6.2): Baidu 5, Microsoft 4, SAP 4, Google 3,
+        // Amazon 2, Alibaba 1. The inclusion reasons are non-exclusive:
+        // roughly four open-proxy/anonymizer, one malware, five network
+        // attacks/spam, and nine from a personal blocklist.
+        let per_provider: &[(&str, usize)] = &[
+            ("baidu", 5),
+            ("microsoft", 4),
+            ("sap", 4),
+            ("google", 3),
+            ("amazon", 2),
+            ("alibaba", 1),
+        ];
+        let primary = [
+            "open-proxy",
+            "open-proxy",
+            "open-proxy",
+            "anonymizer",
+            "malware",
+            "network-attacks",
+            "network-attacks",
+            "network-attacks",
+            "spam",
+            "spam",
+        ];
+        let mut planted = Vec::new();
+        let mut listings = 0usize;
+        for (name, want) in per_provider {
+            let Some((pidx, candidates)) = blocklist_candidates
+                .iter()
+                .find(|(p, _)| provider_name_of(*p) == *name)
+            else {
+                continue;
+            };
+            if candidates.is_empty() {
+                continue;
+            }
+            let take = (*want).min(candidates.len());
+            let picks = rng.sample_indices(candidates.len(), take);
+            for ci in picks {
+                let ip = candidates[ci];
+                // Nine listings come from the personal blocklist; the rest
+                // draw from the public categories, occasionally both.
+                let mut cats = if listings < 9 {
+                    vec!["personal-blocklist"]
+                } else {
+                    vec![primary[(listings - 9) % primary.len()]]
+                };
+                if listings.is_multiple_of(6) && cats[0] != "personal-blocklist" {
+                    cats.push("personal-blocklist");
+                }
+                listings += 1;
+                set.insert(u32::from(ip) as u64);
+                planted.push(BlocklistHit {
+                    ip: IpAddr::V4(ip),
+                    provider: *pidx,
+                    categories: cats,
+                });
+            }
+        }
+
+        Events {
+            outage: OutageEvent::aws_dec_2021(),
+            bgpstream,
+            firehol: Firehol {
+                set,
+                source_lists: 67,
+                planted,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider_names() -> Vec<&'static str> {
+        vec![
+            "alibaba", "amazon", "baidu", "bosch", "cisco", "fujitsu", "google", "huawei", "ibm",
+            "microsoft", "oracle", "ptc", "sap", "siemens", "sierra", "tencent",
+        ]
+    }
+
+    fn candidates() -> Vec<(usize, Vec<Ipv4Addr>)> {
+        provider_names()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                (
+                    i,
+                    (0..20u8)
+                        .map(|k| Ipv4Addr::new(60, i as u8, 0, k))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn gen() -> Events {
+        let names = provider_names();
+        let mut rng = SimRng::new(42);
+        let asns: HashSet<Asn> = [16509, 8075, 15169, 8068].iter().map(|&a| Asn(a)).collect();
+        Events::generate(&mut rng, &asns, &candidates(), move |i| names[i])
+    }
+
+    #[test]
+    fn bgpstream_counts_match_paper() {
+        let e = gen();
+        let count = |k| e.bgpstream.iter().filter(|ev| ev.kind == k).count();
+        assert_eq!(count(BgpStreamEventKind::Leak), 10);
+        assert_eq!(count(BgpStreamEventKind::PossibleHijack), 40);
+        assert_eq!(count(BgpStreamEventKind::AsOutage), 166);
+    }
+
+    #[test]
+    fn bgpstream_avoids_backend_asns() {
+        let e = gen();
+        for ev in &e.bgpstream {
+            assert!(![16509u32, 8075, 15169, 8068].contains(&ev.asn.value()));
+        }
+    }
+
+    #[test]
+    fn firehol_size_and_plants() {
+        let e = gen();
+        assert!(e.firehol.set.len() > 600_000_000, "{}", e.firehol.set.len());
+        assert_eq!(e.firehol.source_lists, 67);
+        assert_eq!(e.firehol.planted.len(), 19);
+        for hit in &e.firehol.planted {
+            match hit.ip {
+                IpAddr::V4(v4) => assert!(e.firehol.set.contains_v4(v4)),
+                IpAddr::V6(_) => panic!("v6 plant"),
+            }
+            assert!(!hit.categories.is_empty());
+        }
+    }
+
+    #[test]
+    fn firehol_per_provider_distribution() {
+        let e = gen();
+        let names = provider_names();
+        let count = |n: &str| {
+            e.firehol
+                .planted
+                .iter()
+                .filter(|h| names[h.provider] == n)
+                .count()
+        };
+        assert_eq!(count("baidu"), 5);
+        assert_eq!(count("microsoft"), 4);
+        assert_eq!(count("sap"), 4);
+        assert_eq!(count("google"), 3);
+        assert_eq!(count("amazon"), 2);
+        assert_eq!(count("alibaba"), 1);
+        assert_eq!(count("bosch"), 0);
+        // Planted IPs span exactly 6 providers.
+        let providers: HashSet<_> = e.firehol.planted.iter().map(|h| h.provider).collect();
+        assert_eq!(providers.len(), 6);
+    }
+
+    #[test]
+    fn outage_parameters() {
+        let e = gen();
+        assert_eq!(e.outage.cloud, "aws");
+        assert_eq!(e.outage.region, "us-east-1");
+        assert!(e.outage.downstream_residual < e.outage.upstream_residual);
+        assert!(e.outage.window.contains(
+            iotmap_nettypes::Date::new(2021, 12, 7).midnight() + iotmap_nettypes::SimDuration::hours(18)
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = gen();
+        let b = gen();
+        assert_eq!(a.firehol.planted.len(), b.firehol.planted.len());
+        for (x, y) in a.firehol.planted.iter().zip(b.firehol.planted.iter()) {
+            assert_eq!(x.ip, y.ip);
+        }
+        assert_eq!(a.bgpstream.len(), b.bgpstream.len());
+    }
+}

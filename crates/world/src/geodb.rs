@@ -1,0 +1,205 @@
+//! The world's geographic database.
+//!
+//! A catalog of datacenter metros across every continent, plus a *noisy*
+//! geolocation view: commercial geo databases (Censys metadata, §3.3) are
+//! right most of the time but not always — the paper reconciles
+//! disagreeing location sources by majority vote and reports <7%
+//! disagreement (§4.2).
+
+use iotmap_nettypes::{Continent, Location, SimRng};
+
+/// Index into the city catalog.
+pub type CityId = usize;
+
+/// The geographic database.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    cities: Vec<Location>,
+}
+
+impl GeoDb {
+    /// The standard catalog of datacenter metros.
+    pub fn standard() -> Self {
+        use Continent::*;
+        let mut cities = Vec::new();
+        let mut add = |city: &str, cc: &str, cont: Continent, lat: f64, lon: f64| {
+            cities.push(Location::new(city, cc, cont, lat, lon));
+        };
+        // Europe.
+        add("Frankfurt", "DE", Europe, 50.11, 8.68);
+        add("Berlin", "DE", Europe, 52.52, 13.40);
+        add("Amsterdam", "NL", Europe, 52.37, 4.90);
+        add("Dublin", "IE", Europe, 53.35, -6.26);
+        add("London", "GB", Europe, 51.51, -0.13);
+        add("Paris", "FR", Europe, 48.86, 2.35);
+        add("Stockholm", "SE", Europe, 59.33, 18.07);
+        add("Milan", "IT", Europe, 45.46, 9.19);
+        add("Madrid", "ES", Europe, 40.42, -3.70);
+        add("Warsaw", "PL", Europe, 52.23, 21.01);
+        add("Zurich", "CH", Europe, 47.38, 8.54);
+        add("Helsinki", "FI", Europe, 60.17, 24.94);
+        add("Brussels", "BE", Europe, 50.85, 4.35);
+        // North America.
+        add("Ashburn", "US", NorthAmerica, 39.04, -77.49);
+        add("Columbus", "US", NorthAmerica, 39.96, -83.00);
+        add("Dallas", "US", NorthAmerica, 32.78, -96.80);
+        add("Portland", "US", NorthAmerica, 45.52, -122.68);
+        add("San Jose", "US", NorthAmerica, 37.34, -121.89);
+        add("Chicago", "US", NorthAmerica, 41.88, -87.63);
+        add("Atlanta", "US", NorthAmerica, 33.75, -84.39);
+        add("Phoenix", "US", NorthAmerica, 33.45, -112.07);
+        add("Montreal", "CA", NorthAmerica, 45.50, -73.57);
+        add("Toronto", "CA", NorthAmerica, 43.65, -79.38);
+        add("Queretaro", "MX", NorthAmerica, 20.59, -100.39);
+        // South America.
+        add("Sao Paulo", "BR", SouthAmerica, -23.55, -46.63);
+        add("Santiago", "CL", SouthAmerica, -33.45, -70.67);
+        // Asia.
+        add("Beijing", "CN", Asia, 39.90, 116.41);
+        add("Shanghai", "CN", Asia, 31.23, 121.47);
+        add("Shenzhen", "CN", Asia, 22.54, 114.06);
+        add("Hangzhou", "CN", Asia, 30.27, 120.16);
+        add("Guangzhou", "CN", Asia, 23.13, 113.26);
+        add("Hong Kong", "HK", Asia, 22.32, 114.17);
+        add("Tokyo", "JP", Asia, 35.68, 139.69);
+        add("Osaka", "JP", Asia, 34.69, 135.50);
+        add("Seoul", "KR", Asia, 37.57, 126.98);
+        add("Singapore", "SG", Asia, 1.35, 103.82);
+        add("Mumbai", "IN", Asia, 19.08, 72.88);
+        add("Delhi", "IN", Asia, 28.61, 77.21);
+        add("Taipei", "TW", Asia, 25.03, 121.57);
+        add("Dubai", "AE", Asia, 25.20, 55.27);
+        add("Tel Aviv", "IL", Asia, 32.09, 34.78);
+        add("Jakarta", "ID", Asia, -6.21, 106.85);
+        // Africa.
+        add("Johannesburg", "ZA", Africa, -26.20, 28.05);
+        add("Cape Town", "ZA", Africa, -33.92, 18.42);
+        // Oceania.
+        add("Sydney", "AU", Oceania, -33.87, 151.21);
+        add("Melbourne", "AU", Oceania, -37.81, 144.96);
+        GeoDb { cities }
+    }
+
+    /// Number of catalogued cities.
+    pub fn len(&self) -> usize {
+        self.cities.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cities.is_empty()
+    }
+
+    /// Location of a city by id.
+    pub fn location(&self, id: CityId) -> &Location {
+        &self.cities[id]
+    }
+
+    /// Find a city id by name. Panics if unknown (catalog is static).
+    pub fn id_of(&self, city: &str) -> CityId {
+        self.cities
+            .iter()
+            .position(|c| c.city == city)
+            .unwrap_or_else(|| panic!("unknown city {city:?}"))
+    }
+
+    /// All city ids on a continent.
+    pub fn on_continent(&self, continent: Continent) -> Vec<CityId> {
+        (0..self.cities.len())
+            .filter(|&i| self.cities[i].continent == continent)
+            .collect()
+    }
+
+    /// All city ids in a country.
+    pub fn in_country(&self, cc: &str) -> Vec<CityId> {
+        (0..self.cities.len())
+            .filter(|&i| self.cities[i].country.as_str() == cc)
+            .collect()
+    }
+
+    /// A *noisy* geolocation of a city: with probability `error_rate`,
+    /// report some other city instead — the imperfection of commercial geo
+    /// databases that forces the majority-vote reconciliation of §4.2.
+    pub fn noisy_location(&self, truth: CityId, error_rate: f64, rng: &mut SimRng) -> Location {
+        if rng.chance(error_rate) && self.cities.len() > 1 {
+            // Wrong answers are usually *plausibly* wrong: same continent
+            // most of the time.
+            let truth_loc = &self.cities[truth];
+            let same_continent = self.on_continent(truth_loc.continent);
+            let pool = if same_continent.len() > 1 && rng.chance(0.7) {
+                same_continent
+            } else {
+                (0..self.cities.len()).collect()
+            };
+            loop {
+                let pick = *rng.choose(&pool);
+                if pick != truth {
+                    return self.cities[pick].clone();
+                }
+            }
+        } else {
+            self.cities[truth].clone()
+        }
+    }
+
+    /// Iterate over all locations.
+    pub fn iter(&self) -> impl Iterator<Item = &Location> {
+        self.cities.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_continents() {
+        let db = GeoDb::standard();
+        for cont in Continent::ALL {
+            assert!(
+                !db.on_continent(cont).is_empty(),
+                "no city on {cont}"
+            );
+        }
+        assert!(db.len() >= 40);
+    }
+
+    #[test]
+    fn lookup_by_name_and_country() {
+        let db = GeoDb::standard();
+        let fra = db.id_of("Frankfurt");
+        assert_eq!(db.location(fra).country.as_str(), "DE");
+        assert_eq!(db.in_country("DE").len(), 2);
+        assert!(db.in_country("US").len() >= 6);
+        assert!(db.in_country("CN").len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown city")]
+    fn unknown_city_panics() {
+        GeoDb::standard().id_of("Atlantis");
+    }
+
+    #[test]
+    fn noisy_location_error_rate() {
+        let db = GeoDb::standard();
+        let mut rng = SimRng::new(1);
+        let truth = db.id_of("Frankfurt");
+        let n = 10_000;
+        let wrong = (0..n)
+            .filter(|_| db.noisy_location(truth, 0.07, &mut rng).city != "Frankfurt")
+            .count();
+        let rate = wrong as f64 / n as f64;
+        assert!((0.05..0.09).contains(&rate), "error rate {rate}");
+    }
+
+    #[test]
+    fn zero_error_rate_is_exact() {
+        let db = GeoDb::standard();
+        let mut rng = SimRng::new(2);
+        let truth = db.id_of("Tokyo");
+        for _ in 0..100 {
+            assert_eq!(db.noisy_location(truth, 0.0, &mut rng).city, "Tokyo");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # iotmap-world — the synthetic Internet
+//!
+//! Every data source the paper consumes is proprietary (Censys, DNSDB, a
+//! 15M-line ISP's NetFlow) or *is* the Internet itself. This crate builds a
+//! deterministic replacement: a ground-truth world containing the sixteen
+//! IoT backend providers of Table 1 with their real-world structure —
+//! regions, ASes, address blocks, domain naming schemes, TLS behaviour,
+//! DNS policies, churn — plus the public clouds they lease from, a
+//! RouteViews-style BGP table, a residential ISP with subscriber lines and
+//! IoT devices, scanners, blocklists, BGP incidents, and the December 2021
+//! AWS us-east-1 outage.
+//!
+//! The measurement pipeline (`iotmap-core`, `iotmap-traffic`) never reads
+//! this crate's ground truth. It sees only the artifacts a real measurement
+//! study would see: certificate snapshots, passive-DNS entries, DNS
+//! answers, flow records. Ground truth is used exclusively by tests and by
+//! the experiment harness to evaluate the pipeline's accuracy — the same
+//! separation the paper has between "the Internet" and "our methodology".
+//!
+//! Everything is generated from a [`WorldConfig`] `(seed, scale)` pair and
+//! is bit-for-bit reproducible.
+
+pub mod build;
+pub mod collect;
+pub mod clouds;
+pub mod config;
+pub mod events;
+pub mod geodb;
+pub mod isp;
+pub mod providers;
+pub mod server;
+pub mod traffic;
+pub mod view;
+
+pub use iotmap_nettypes::bgp::{BgpOrigin, BgpTable};
+pub use build::World;
+pub use collect::CollectedScans;
+pub use clouds::{CloudCatalog, CloudProvider, CloudRegion};
+pub use config::WorldConfig;
+pub use events::{BgpStreamEvent, BgpStreamEventKind, BlocklistHit, Events, OutageEvent};
+pub use geodb::GeoDb;
+pub use isp::{Device, IspModel, SubscriberLine};
+pub use providers::{DeploymentStrategy, ProviderSpec, TrafficProfile, PROVIDER_COUNT};
+pub use server::{Server, ServerId};
+pub use traffic::TrafficSimulator;
+pub use view::WorldScanView;

@@ -1,0 +1,1275 @@
+//! The sixteen IoT backend providers of Table 1 — ground-truth
+//! specifications.
+//!
+//! Each [`ProviderSpec`] encodes what the real provider's public
+//! documentation and infrastructure looked like during the study period:
+//! sites (own datacenters or leased cloud regions), announcing ASes,
+//! address-space size (the Table 1 /24 and /56 targets), domain naming
+//! scheme, TLS behaviour (SNI, client certificates), DNS answer policies,
+//! churn, published ground truth, and the traffic profile its devices
+//! exhibit at a European residential ISP.
+
+use iotmap_nettypes::{Asn, PortProto};
+
+/// Number of providers in the study.
+pub const PROVIDER_COUNT: usize = 16;
+
+/// §4.2's deployment taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentStrategy {
+    /// Dedicated Infrastructure: all addresses announced by the backend's
+    /// own ASes.
+    Dedicated,
+    /// Public Cloud Resources / CDN.
+    PublicCloud,
+    /// Oracle: own infrastructure extended with a CDN (DI+PR).
+    Mixed,
+}
+
+impl DeploymentStrategy {
+    /// Table 1 label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeploymentStrategy::Dedicated => "DI",
+            DeploymentStrategy::PublicCloud => "PR",
+            DeploymentStrategy::Mixed => "DI+PR",
+        }
+    }
+}
+
+/// Where a site's addresses come from and who announces them.
+#[derive(Debug, Clone)]
+pub enum SiteHosting {
+    /// The provider's own datacenter, announced by one of its own ASes.
+    Own { asn: Asn },
+    /// Leased from a cloud region; announced by the cloud's AS for that
+    /// region.
+    Cloud {
+        cloud: &'static str,
+        region: &'static str,
+    },
+}
+
+/// One deployment site.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Location code as it appears in domain names / documentation
+    /// (`us-east-1`, `eu1`, `cn-north-4`, …).
+    pub code: String,
+    /// City (geo-catalog name). For cloud sites this must match the cloud
+    /// region's metro.
+    pub city: &'static str,
+    pub hosting: SiteHosting,
+    /// Share of the provider's IPv4 space at this site.
+    pub weight: f64,
+    /// Number of IPv6 /56 blocks at this site (0 = no IPv6 here).
+    pub v6_slash56: u32,
+}
+
+/// How the provider names its gateway domains (§3.2's
+/// `<subdomain>.<region>.<second-level-domain>` taxonomy).
+#[derive(Debug, Clone)]
+pub enum DomainStyle {
+    /// `<tenant>.<service>.<region>.<sld>` — Amazon, Alibaba, Baidu,
+    /// Oracle.
+    TenantServiceRegion {
+        service: &'static str,
+        sld: &'static str,
+    },
+    /// `<tenant>.<sld>` — Microsoft (`azure-devices.net`), Bosch, Cisco,
+    /// IBM, SAP, Tencent, PTC.
+    TenantSld { sld: &'static str },
+    /// `<tenant>.<region>.<sld>` — Siemens Mindsphere (`eu1.mindsphere.io`).
+    TenantRegion { sld: &'static str },
+    /// `<service>.<region>.<sld>` — Huawei (`iot-mqtts.cn-north-4…`),
+    /// Fujitsu; one name per (service, region), no tenant part.
+    ServiceRegion {
+        services: &'static [&'static str],
+        sld: &'static str,
+    },
+    /// Fixed FQDNs shared by all customers — Google
+    /// (`mqtt.googleapis.com`), Sierra Wireless (`eu.airvantage.net`).
+    Fixed { names: &'static [&'static str] },
+}
+
+/// Diurnal shape of device activity (Fig. 8's three behaviours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivityPattern {
+    /// Consumer/entertainment: peaks 6 pm – 10 pm.
+    Evening,
+    /// Enterprise/industrial: constant 8 am – 8 pm.
+    Daytime,
+    /// Machine telemetry: flat around the clock.
+    Constant,
+}
+
+impl ActivityPattern {
+    /// Relative activity weight for an hour of day (UTC≈local at the ISP).
+    pub fn hour_weight(&self, hour: u32) -> f64 {
+        match self {
+            ActivityPattern::Evening => match hour {
+                18..=21 => 3.0,
+                22 | 17 => 2.0,
+                7..=16 => 1.0,
+                23 | 6 => 0.7,
+                _ => 0.25,
+            },
+            ActivityPattern::Daytime => match hour {
+                8..=19 => 2.0,
+                7 | 20 => 1.0,
+                _ => 0.35,
+            },
+            ActivityPattern::Constant => 1.0,
+        }
+    }
+}
+
+/// A `(port, weight)` pair of the provider's traffic mix.
+#[derive(Debug, Clone, Copy)]
+pub struct PortShare {
+    pub port: PortProto,
+    pub weight: f64,
+}
+
+/// A heavy-tailed sub-population (Bosch's AMQP bulk transfers, §5.6:
+/// "around 18% of the subscriber lines exchange between 100 MB and 1 GB
+/// per day" on port 5671, observed at a single provider).
+#[derive(Debug, Clone, Copy)]
+pub struct HeavyTail {
+    /// Fraction of this provider's devices in the heavy class.
+    pub fraction: f64,
+    /// Median daily download bytes for the heavy class.
+    pub dn_bytes_median: f64,
+    /// Port carrying the heavy traffic.
+    pub port: PortProto,
+}
+
+/// Device behaviour at the European ISP.
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    /// Device-ownership weight among the ISP's IoT devices.
+    pub popularity: f64,
+    pub pattern: ActivityPattern,
+    /// Mean sessions per device per day.
+    pub sessions_per_day: f64,
+    /// Median daily *download* bytes per device (log-normal body).
+    pub dn_bytes_median: f64,
+    /// Log-space sigma of the daily volume.
+    pub sigma: f64,
+    /// Downstream/upstream byte ratio (>1 = download-heavy).
+    pub down_up_ratio: f64,
+    /// Port mix.
+    pub ports: Vec<PortShare>,
+    /// Optional heavy-tail sub-population.
+    pub heavy: Option<HeavyTail>,
+}
+
+/// What the provider publishes about its own addresses (§3.4 ground
+/// truth: Cisco and Siemens publish full IP lists, Microsoft publishes
+/// prefixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Published {
+    Nothing,
+    FullIpList,
+    Prefixes,
+}
+
+/// Ground-truth specification of one IoT backend provider.
+#[derive(Debug, Clone)]
+pub struct ProviderSpec {
+    /// Canonical key (`"amazon"`, `"google"`, …) — the join key between
+    /// world and methodology.
+    pub name: &'static str,
+    /// Display name as in Table 1.
+    pub display: &'static str,
+    pub strategy: DeploymentStrategy,
+    pub sites: Vec<SiteSpec>,
+    /// Table 1 target: number of IPv4 /24s covered by gateway addresses.
+    pub slash24_target: u32,
+    pub domain_style: DomainStyle,
+    /// Number of tenant/customer domains (for styles with a tenant part).
+    pub tenants: u32,
+    /// Serve the IoT certificate only when correct SNI is presented
+    /// (Google).
+    pub sni_required: bool,
+    /// Ports requiring a client certificate — handshake fails for scanners
+    /// (Amazon MQTT).
+    pub client_cert_ports: Vec<u16>,
+    /// Fraction of servers that additionally expose a plain HTTPS endpoint
+    /// with a revealing certificate (drives the Censys column of Fig. 3).
+    pub cert_exposed_frac: f64,
+    /// Uses an anycast front (Amazon Global Accelerator, Siemens).
+    pub anycast: bool,
+    /// Fraction of servers replaced per day (cloud churn — Fig. 4).
+    pub churn_daily: f64,
+    /// Published ground truth (§3.4).
+    pub published: Published,
+    /// Fraction of gateway servers with *no* DNS presence and a generic
+    /// certificate (devices reach them via baked-in IPs) — the Microsoft
+    /// "4 missed IPs" mechanic.
+    pub undocumented_frac: f64,
+    /// Whether part of the HTTPS infrastructure is shared with non-IoT
+    /// services (Google; also true for the Akamai-fronted share of
+    /// Oracle).
+    pub shared_https: bool,
+    pub profile: TrafficProfile,
+}
+
+impl ProviderSpec {
+    /// All of this provider's own ASes (empty for pure cloud tenants).
+    pub fn own_asns(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self
+            .sites
+            .iter()
+            .filter_map(|s| match s.hosting {
+                SiteHosting::Own { asn } => Some(asn),
+                SiteHosting::Cloud { .. } => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total IPv6 /56 target across sites.
+    pub fn v6_slash56_target(&self) -> u32 {
+        self.sites.iter().map(|s| s.v6_slash56).sum()
+    }
+
+    /// Does the provider offer IPv6 at all? (Seven of the sixteen do.)
+    pub fn has_ipv6(&self) -> bool {
+        self.v6_slash56_target() > 0
+    }
+}
+
+fn tcp(p: u16) -> PortProto {
+    PortProto::tcp(p)
+}
+
+fn udp(p: u16) -> PortProto {
+    PortProto::udp(p)
+}
+
+fn own(code: &str, city: &'static str, asn: u32, weight: f64, v6: u32) -> SiteSpec {
+    SiteSpec {
+        code: code.to_string(),
+        city,
+        hosting: SiteHosting::Own { asn: Asn(asn) },
+        weight,
+        v6_slash56: v6,
+    }
+}
+
+fn leased(
+    cloud: &'static str,
+    region: &'static str,
+    city: &'static str,
+    weight: f64,
+    v6: u32,
+) -> SiteSpec {
+    SiteSpec {
+        code: region.to_string(),
+        city,
+        hosting: SiteHosting::Cloud { cloud, region },
+        weight,
+        v6_slash56: v6,
+    }
+}
+
+/// The full provider catalog — one entry per Table 1 row, alphabetical.
+pub fn catalog() -> Vec<ProviderSpec> {
+    let mut v = Vec::with_capacity(PROVIDER_COUNT);
+
+    // ----- Alibaba IoT: DI, 2 AS, 73 /24s (2 v6 /56s), 27 loc / 13 ctry.
+    {
+        // Own infrastructure: Chinese sites on AS37963, international on
+        // AS45103. IPv6 only in China (per its documentation).
+        let cn = |code: &str, city, w, v6| own(code, city, 37963, w, v6);
+        let intl = |code: &str, city, w| own(code, city, 45103, w, 0);
+        let sites = vec![
+            cn("cn-beijing-a", "Beijing", 2.0, 1),
+            cn("cn-beijing-b", "Beijing", 1.0, 0),
+            cn("cn-shanghai-a", "Shanghai", 3.0, 1),
+            cn("cn-shanghai-b", "Shanghai", 1.0, 0),
+            cn("cn-hangzhou-a", "Hangzhou", 2.0, 0),
+            cn("cn-hangzhou-b", "Hangzhou", 1.0, 0),
+            cn("cn-shenzhen-a", "Shenzhen", 2.0, 0),
+            cn("cn-guangzhou-a", "Guangzhou", 1.0, 0),
+            intl("cn-hongkong-a", "Hong Kong", 1.0),
+            intl("cn-hongkong-b", "Hong Kong", 0.5),
+            intl("ap-southeast-1a", "Singapore", 1.5),
+            intl("ap-southeast-1b", "Singapore", 0.5),
+            intl("ap-northeast-1a", "Tokyo", 1.0),
+            intl("ap-northeast-1b", "Osaka", 0.5),
+            intl("ap-south-1a", "Mumbai", 0.8),
+            intl("ap-south-1b", "Delhi", 0.4),
+            intl("us-east-1a", "Ashburn", 1.5),
+            intl("us-west-1a", "San Jose", 1.0),
+            intl("us-west-1b", "San Jose", 0.5),
+            intl("eu-central-1a", "Frankfurt", 1.5),
+            intl("eu-central-1b", "Frankfurt", 0.5),
+            intl("eu-west-1a", "London", 0.8),
+            intl("ap-seoul-1a", "Seoul", 0.5),
+            intl("me-east-1a", "Dubai", 0.4),
+            intl("ap-jakarta-1a", "Jakarta", 0.4),
+            intl("eu-paris-1a", "Paris", 0.4),
+            intl("ap-sydney-1a", "Sydney", 0.4),
+        ];
+        v.push(ProviderSpec {
+            name: "alibaba",
+            display: "Alibaba IoT",
+            strategy: DeploymentStrategy::Dedicated,
+            sites,
+            slash24_target: 73,
+            domain_style: DomainStyle::TenantServiceRegion {
+                service: "iot-as-mqtt",
+                sld: "aliyuncs.com",
+            },
+            tenants: 150,
+            sni_required: false,
+            client_cert_ports: vec![],
+            // Plaintext MQTT 1883 carries no certificate: only the HTTPS
+            // side is cert-visible. (Fig. 7: T4 lines invisible to
+            // TLS-only discovery.)
+            cert_exposed_frac: 0.35,
+            anycast: false,
+            churn_daily: 0.0,
+            published: Published::Nothing,
+            undocumented_frac: 0.0,
+            shared_https: false,
+            profile: TrafficProfile {
+                popularity: 6.0,
+                pattern: ActivityPattern::Evening,
+                sessions_per_day: 20.0,
+                dn_bytes_median: 0.25e6,
+                sigma: 1.1,
+                down_up_ratio: 0.5, // camera-style upstream-heavy
+                ports: vec![
+                    PortShare { port: tcp(1883), weight: 0.5 },
+                    PortShare { port: tcp(443), weight: 0.4 },
+                    PortShare { port: udp(5682), weight: 0.1 },
+                ],
+                heavy: None,
+            },
+        });
+    }
+
+    // ----- Amazon IoT: DI (it *is* the cloud), 4 AS, 9000 /24s (20 v6),
+    // 18 loc / 15 ctry + anycast.
+    {
+        let aws = |region: &'static str, city, w, v6| leased("aws", region, city, w, v6);
+        // The US regions carry the bulk of the fleet (§5.7: ~65% of all
+        // discovered backends sit in the US).
+        let sites = vec![
+            aws("us-east-1", "Ashburn", 30.0, 5),
+            aws("us-east-2", "Columbus", 12.0, 0),
+            aws("us-west-1", "San Jose", 8.0, 0),
+            aws("us-west-2", "Portland", 16.0, 3),
+            aws("ca-central-1", "Montreal", 3.0, 0),
+            aws("sa-east-1", "Sao Paulo", 1.5, 0),
+            aws("eu-west-1", "Dublin", 6.0, 4),
+            aws("eu-west-2", "London", 2.5, 0),
+            aws("eu-west-3", "Paris", 1.5, 0),
+            aws("eu-central-1", "Frankfurt", 5.5, 4),
+            aws("eu-north-1", "Stockholm", 1.0, 0),
+            aws("eu-south-1", "Milan", 0.8, 0),
+            aws("ap-southeast-1", "Singapore", 1.2, 2),
+            aws("ap-southeast-2", "Sydney", 0.8, 0),
+            aws("ap-northeast-1", "Tokyo", 1.2, 2),
+            aws("ap-south-1", "Mumbai", 0.8, 0),
+            aws("me-south-1", "Dubai", 0.5, 0),
+            aws("af-south-1", "Cape Town", 0.5, 0),
+        ];
+        v.push(ProviderSpec {
+            name: "amazon",
+            display: "Amazon IoT",
+            strategy: DeploymentStrategy::Dedicated,
+            sites,
+            slash24_target: 9000,
+            domain_style: DomainStyle::TenantServiceRegion {
+                service: "iot",
+                sld: "amazonaws.com",
+            },
+            tenants: 800,
+            sni_required: false,
+            // MQTT endpoints demand mutual TLS: scanners learn nothing
+            // from 8883/443-MQTT (§3.3).
+            client_cert_ports: vec![8883],
+            // Only the HTTPS data-plane share of servers volunteers an
+            // identifying certificate.
+            cert_exposed_frac: 0.30,
+            anycast: true, // Global Accelerator
+            churn_daily: 0.04,
+            published: Published::Nothing,
+            undocumented_frac: 0.0,
+            shared_https: false,
+            profile: TrafficProfile {
+                popularity: 30.0,
+                pattern: ActivityPattern::Evening,
+                sessions_per_day: 30.0,
+                dn_bytes_median: 0.35e6,
+                sigma: 1.1,
+                down_up_ratio: 1.6,
+                ports: vec![
+                    PortShare { port: tcp(8883), weight: 0.55 },
+                    PortShare { port: tcp(443), weight: 0.35 },
+                    PortShare { port: tcp(8443), weight: 0.10 },
+                ],
+                heavy: None,
+            },
+        });
+    }
+
+    // ----- Baidu IoT: DI, 2 AS, 26 /24s (1 v6), 2 loc / 1 ctry (CN).
+    v.push(ProviderSpec {
+        name: "baidu",
+        display: "Baidu IoT",
+        strategy: DeploymentStrategy::Dedicated,
+        sites: vec![
+            own("cn-north-1", "Beijing", 38365, 3.0, 1),
+            own("cn-east-1", "Shanghai", 55967, 1.5, 0),
+        ],
+        slash24_target: 26,
+        domain_style: DomainStyle::TenantServiceRegion {
+            service: "iot",
+            sld: "baidubce.com",
+        },
+        tenants: 60,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 0.8,
+        anycast: false,
+        churn_daily: 0.0,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 0.03, // essentially no EU residential footprint (O5)
+            pattern: ActivityPattern::Evening,
+            sessions_per_day: 8.0,
+            dn_bytes_median: 0.1e6,
+            sigma: 1.0,
+            down_up_ratio: 1.0,
+            ports: vec![
+                PortShare { port: tcp(1883), weight: 0.3 },
+                PortShare { port: tcp(1884), weight: 0.2 },
+                PortShare { port: tcp(443), weight: 0.3 },
+                PortShare { port: udp(5682), weight: 0.1 },
+                PortShare { port: udp(5683), weight: 0.1 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- Bosch IoT Hub: PR (AWS), 1 AS, 290 /24s, 1 loc / 1 ctry.
+    v.push(ProviderSpec {
+        name: "bosch",
+        display: "Bosch IoT Hub",
+        strategy: DeploymentStrategy::PublicCloud,
+        sites: vec![leased("aws", "eu-central-1", "Frankfurt", 1.0, 0)],
+        slash24_target: 290,
+        domain_style: DomainStyle::TenantSld {
+            sld: "bosch-iot-hub.com",
+        },
+        tenants: 80,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 0.9,
+        anycast: false,
+        churn_daily: 0.05,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 4.0,
+            pattern: ActivityPattern::Constant,
+            sessions_per_day: 15.0,
+            dn_bytes_median: 0.4e6,
+            sigma: 1.1,
+            down_up_ratio: 3.0,
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.55 },
+                PortShare { port: tcp(443), weight: 0.32 },
+                PortShare { port: tcp(5671), weight: 0.05 },
+                PortShare { port: udp(5684), weight: 0.08 },
+            ],
+            // §5.6: ~18% of the *lines seen on TCP/5671* move 100 MB–1 GB
+            // per day, yet that volume is "a very small fraction of the
+            // overall traffic" — so the bulk-AMQP class is a thin slice of
+            // Bosch's device population, sharing the port with the much
+            // larger light-telemetry class.
+            heavy: Some(HeavyTail {
+                fraction: 0.08,
+                dn_bytes_median: 2.5e8,
+                port: tcp(5671),
+            }),
+        },
+    });
+
+    // ----- Cisco Kinetic: PR (AWS), 2 AS, 14 /24s, 4 loc / 2 ctry.
+    v.push(ProviderSpec {
+        name: "cisco",
+        display: "Cisco Kinetic",
+        strategy: DeploymentStrategy::PublicCloud,
+        sites: vec![
+            leased("aws", "us-east-1", "Ashburn", 2.0, 0),
+            leased("aws", "us-east-2", "Columbus", 1.0, 0),
+            leased("aws", "us-west-2", "Portland", 1.0, 0),
+            leased("aws", "ca-central-1", "Montreal", 1.0, 0),
+        ],
+        slash24_target: 14,
+        domain_style: DomainStyle::TenantSld {
+            sld: "ciscokinetic.io",
+        },
+        tenants: 50,
+        sni_required: false,
+        client_cert_ports: vec![],
+        // The Kinetic data plane runs on custom TCP 9123/9124 without TLS;
+        // only a minority of gateways expose a 443 certificate (D3 in
+        // Fig. 7 loses almost all lines under TLS-only discovery).
+        cert_exposed_frac: 0.30,
+        anycast: false,
+        churn_daily: 0.02,
+        published: Published::FullIpList,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 2.5,
+            pattern: ActivityPattern::Daytime,
+            sessions_per_day: 15.0,
+            dn_bytes_median: 0.3e6,
+            sigma: 1.0,
+            down_up_ratio: 0.7,
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.25 },
+                PortShare { port: tcp(443), weight: 0.20 },
+                PortShare { port: tcp(9123), weight: 0.35 },
+                PortShare { port: tcp(9124), weight: 0.20 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- Fujitsu IoT: DI, 1 AS, 2 /24s, 2 loc / 1 ctry (JP).
+    v.push(ProviderSpec {
+        name: "fujitsu",
+        display: "Fujitsu IoT",
+        strategy: DeploymentStrategy::Dedicated,
+        sites: vec![
+            own("jp-east-1", "Tokyo", 2510, 1.0, 0),
+            own("jp-west-1", "Osaka", 2510, 1.0, 0),
+        ],
+        slash24_target: 2,
+        domain_style: DomainStyle::ServiceRegion {
+            services: &["iot"],
+            sld: "paas.cloud.global.fujitsu.com",
+        },
+        tenants: 0,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 1.0,
+        anycast: false,
+        churn_daily: 0.0,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 0.4,
+            pattern: ActivityPattern::Daytime,
+            sessions_per_day: 10.0,
+            dn_bytes_median: 0.1e6,
+            sigma: 1.0,
+            down_up_ratio: 1.0,
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.7 },
+                PortShare { port: tcp(443), weight: 0.3 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- Google IoT Core: DI, 1 AS, 114 /24s (11 v6), 77 loc / 14 ctry.
+    {
+        // 77 zones across 14 countries, generated as (country plan ×
+        // zones) over the metro catalog; all announced by AS15169.
+        let plan: &[(&'static str, &[&'static str], usize)] = &[
+            ("us", &["Ashburn", "Columbus", "Dallas", "Portland", "San Jose", "Chicago", "Atlanta", "Phoenix"], 25),
+            ("de", &["Frankfurt", "Berlin"], 6),
+            ("nl", &["Amsterdam"], 6),
+            ("ie", &["Dublin"], 4),
+            ("gb", &["London"], 5),
+            ("fr", &["Paris"], 4),
+            ("it", &["Milan"], 3),
+            ("es", &["Madrid"], 3),
+            ("pl", &["Warsaw"], 3),
+            ("jp", &["Tokyo", "Osaka"], 5),
+            ("sg", &["Singapore"], 4),
+            ("in", &["Mumbai", "Delhi"], 3),
+            ("br", &["Sao Paulo"], 3),
+            ("au", &["Sydney", "Melbourne"], 3),
+        ];
+        let mut sites = Vec::new();
+        let mut v6_budget = 11u32;
+        for (cc, cities, zones) in plan {
+            for z in 0..*zones {
+                let city = cities[z % cities.len()];
+                let v6 = if v6_budget > 0 && z == 0 {
+                    v6_budget -= 1;
+                    1
+                } else {
+                    0
+                };
+                sites.push(own(
+                    &format!(
+                        "{cc}-{}{}-{}",
+                        city.to_lowercase().replace(' ', ""),
+                        z / cities.len() + 1,
+                        (b'a' + (z % 3) as u8) as char
+                    ),
+                    city,
+                    15169,
+                    if *cc == "us" { 2.0 } else { 1.0 },
+                    v6,
+                ));
+            }
+        }
+        v.push(ProviderSpec {
+            name: "google",
+            display: "Google IoT Core",
+            strategy: DeploymentStrategy::Dedicated,
+            sites,
+            slash24_target: 114,
+            domain_style: DomainStyle::Fixed {
+                names: &["mqtt.googleapis.com", "cloudiotdevice.googleapis.com"],
+            },
+            tenants: 0,
+            // §3.5: "Google is using TLS SNI. Thus, a majority of Google's
+            // IoT platform IPs are discovered using passive DNS" —
+            // certificate scans see <2%.
+            sni_required: true,
+            client_cert_ports: vec![],
+            cert_exposed_frac: 0.02, // the stray misconfigured fronts
+            anycast: false,
+            churn_daily: 0.0,
+            published: Published::Nothing,
+            undocumented_frac: 0.0,
+            // The HTTPS infrastructure is shared with other Google
+            // services (§3.4's Google split finding).
+            shared_https: true,
+            profile: TrafficProfile {
+                popularity: 18.0,
+                pattern: ActivityPattern::Constant,
+                sessions_per_day: 40.0,
+                dn_bytes_median: 0.15e6,
+                sigma: 1.0,
+                down_up_ratio: 1.2,
+                ports: vec![
+                    PortShare { port: tcp(8883), weight: 0.5 },
+                    PortShare { port: tcp(443), weight: 0.5 },
+                ],
+                heavy: None,
+            },
+        });
+    }
+
+    // ----- Huawei IoT: DI, 1 AS, 26 /24s, 2 loc / 1 ctry (CN).
+    v.push(ProviderSpec {
+        name: "huawei",
+        display: "Huawei IoT",
+        strategy: DeploymentStrategy::Dedicated,
+        sites: vec![
+            own("cn-north-4", "Beijing", 136907, 2.0, 0),
+            own("cn-east-3", "Shanghai", 136907, 1.0, 0),
+        ],
+        slash24_target: 26,
+        domain_style: DomainStyle::ServiceRegion {
+            services: &["iot-mqtts", "iot-https"],
+            sld: "myhuaweicloud.com",
+        },
+        tenants: 0,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 0.8,
+        anycast: false,
+        churn_daily: 0.0,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 0.05, // O3: hardly any EU residential activity
+            pattern: ActivityPattern::Evening,
+            sessions_per_day: 8.0,
+            dn_bytes_median: 0.1e6,
+            sigma: 1.0,
+            down_up_ratio: 1.0,
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.5 },
+                PortShare { port: tcp(443), weight: 0.3 },
+                PortShare { port: tcp(8943), weight: 0.2 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- IBM IoT (Watson): DI, 2 AS, 116 /24s, 12 loc / 8 ctry.
+    {
+        let us = |code: &str, city, w| own(code, city, 36351, w, 0);
+        let intl = |code: &str, city, w| own(code, city, 13884, w, 0);
+        v.push(ProviderSpec {
+            name: "ibm",
+            display: "IBM IoT",
+            strategy: DeploymentStrategy::Dedicated,
+            sites: vec![
+                us("us-south-1", "Dallas", 3.0),
+                us("us-south-2", "Dallas", 1.0),
+                us("us-east-1", "Ashburn", 2.0),
+                us("us-west-1", "San Jose", 1.0),
+                intl("eu-de-1", "Frankfurt", 2.0),
+                intl("eu-de-2", "Frankfurt", 1.0),
+                intl("eu-gb-1", "London", 1.5),
+                intl("eu-nl-1", "Amsterdam", 1.0),
+                intl("jp-tok-1", "Tokyo", 1.0),
+                intl("au-syd-1", "Sydney", 1.0),
+                intl("br-sao-1", "Sao Paulo", 0.8),
+                intl("in-che-1", "Mumbai", 0.8),
+            ],
+            slash24_target: 116,
+            domain_style: DomainStyle::TenantSld {
+                sld: "internetofthings.ibmcloud.com",
+            },
+            tenants: 100,
+            sni_required: false,
+            client_cert_ports: vec![],
+            cert_exposed_frac: 0.7,
+            anycast: false,
+            churn_daily: 0.0,
+            published: Published::Nothing,
+            undocumented_frac: 0.0,
+            shared_https: false,
+            profile: TrafficProfile {
+                popularity: 3.0,
+                pattern: ActivityPattern::Daytime,
+                sessions_per_day: 15.0,
+                dn_bytes_median: 0.4e6,
+                sigma: 1.1,
+                down_up_ratio: 1.4,
+                ports: vec![
+                    PortShare { port: tcp(8883), weight: 0.5 },
+                    PortShare { port: tcp(1883), weight: 0.2 },
+                    PortShare { port: tcp(443), weight: 0.3 },
+                ],
+                heavy: None,
+            },
+        });
+    }
+
+    // ----- Microsoft Azure IoT Hub: DI, 1 AS, 282 /24s, 39 loc / 16 ctry.
+    {
+        let plan: &[(&'static str, usize)] = &[
+            ("Ashburn", 3),
+            ("Dallas", 2),
+            ("San Jose", 2),
+            ("Chicago", 1),
+            ("Montreal", 2),
+            ("Sao Paulo", 2),
+            ("Frankfurt", 3),
+            ("Amsterdam", 3),
+            ("Dublin", 3),
+            ("London", 3),
+            ("Paris", 2),
+            ("Zurich", 1),
+            ("Stockholm", 1),
+            ("Warsaw", 1),
+            ("Tokyo", 3),
+            ("Singapore", 2),
+            ("Mumbai", 2),
+            ("Sydney", 2),
+            ("Seoul", 1),
+        ];
+        let mut sites = Vec::new();
+        for (city, n) in plan {
+            for z in 0..*n {
+                sites.push(own(
+                    &format!("{}-{}", city.to_lowercase().replace(' ', ""), z + 1),
+                    city,
+                    8068,
+                    1.0,
+                    0, // "Microsoft explicitly states … it does not yet support IPv6"
+                ));
+            }
+        }
+        v.push(ProviderSpec {
+            name: "microsoft",
+            display: "Microsoft Azure IoT Hub",
+            strategy: DeploymentStrategy::Dedicated,
+            sites,
+            slash24_target: 282,
+            domain_style: DomainStyle::TenantSld {
+                sld: "azure-devices.net",
+            },
+            tenants: 250,
+            sni_required: false,
+            client_cert_ports: vec![],
+            cert_exposed_frac: 1.0, // Fig. 3: Censys alone finds all IPs
+            anycast: false,
+            churn_daily: 0.0,
+            published: Published::Prefixes,
+            // A handful of gateways have no DNS presence (devices use
+            // baked-in addresses) — the §3.4 "missed 4 IPs" mechanic.
+            undocumented_frac: 0.035,
+            shared_https: false,
+            profile: TrafficProfile {
+                popularity: 12.0,
+                pattern: ActivityPattern::Daytime,
+                sessions_per_day: 25.0,
+                dn_bytes_median: 0.4e6,
+                sigma: 1.1,
+                down_up_ratio: 2.0,
+                ports: vec![
+                    PortShare { port: tcp(8883), weight: 0.75 },
+                    PortShare { port: tcp(443), weight: 0.23 },
+                    PortShare { port: tcp(5671), weight: 0.02 },
+                ],
+                heavy: None,
+            },
+        });
+    }
+
+    // ----- Oracle IoT: DI+PR (own + Akamai), 3 AS, 67 /24s,
+    // 10 loc / 8 ctry.
+    {
+        let orc = |code: &str, city, asn: u32, w| own(code, city, asn, w, 0);
+        let mut sites = vec![
+            orc("us-ashburn-1", "Ashburn", 31898, 2.0),
+            orc("us-phoenix-1", "Phoenix", 31898, 2.0),
+            orc("uk-london-1", "London", 31898, 1.0),
+            orc("eu-frankfurt-1", "Frankfurt", 792, 1.5),
+            orc("eu-amsterdam-1", "Amsterdam", 792, 1.0),
+            orc("ap-tokyo-1", "Tokyo", 792, 1.0),
+            orc("ap-mumbai-1", "Mumbai", 792, 0.8),
+            orc("sa-saopaulo-1", "Sao Paulo", 792, 0.8),
+            orc("ap-sydney-1", "Sydney", 792, 0.8),
+            orc("us-sanjose-1", "San Jose", 31898, 1.0),
+        ];
+        // The Akamai-fronted share (PR): announced by Akamai, shared with
+        // other Akamai customers.
+        sites.push(leased("akamai", "edge-fra", "Frankfurt", 1.0, 0));
+        sites.push(leased("akamai", "edge-iad", "Ashburn", 1.0, 0));
+        v.push(ProviderSpec {
+            name: "oracle",
+            display: "Oracle IoT",
+            strategy: DeploymentStrategy::Mixed,
+            sites,
+            slash24_target: 67,
+            domain_style: DomainStyle::TenantServiceRegion {
+                service: "iot",
+                sld: "oraclecloud.com",
+            },
+            tenants: 60,
+            sni_required: false,
+            client_cert_ports: vec![],
+            cert_exposed_frac: 0.7,
+            anycast: false,
+            churn_daily: 0.0,
+            published: Published::Nothing,
+            undocumented_frac: 0.0,
+            shared_https: true, // the Akamai share serves other customers
+            profile: TrafficProfile {
+                popularity: 1.0,
+                pattern: ActivityPattern::Daytime,
+                sessions_per_day: 10.0,
+                dn_bytes_median: 0.3e6,
+                sigma: 1.0,
+                down_up_ratio: 1.1,
+                ports: vec![
+                    PortShare { port: tcp(8883), weight: 0.6 },
+                    PortShare { port: tcp(443), weight: 0.4 },
+                ],
+                heavy: None,
+            },
+        });
+    }
+
+    // ----- PTC ThingWorx: PR (AWS + Azure), 3 AS, 881 /24s,
+    // 10 loc / 8 ctry.
+    v.push(ProviderSpec {
+        name: "ptc",
+        display: "PTC ThingWorx",
+        strategy: DeploymentStrategy::PublicCloud,
+        sites: vec![
+            leased("aws", "us-east-2", "Columbus", 3.0, 0),
+            leased("aws", "us-west-2", "Portland", 2.5, 0),
+            leased("aws", "sa-east-1", "Sao Paulo", 0.8, 0),
+            leased("aws", "eu-west-1", "Dublin", 1.2, 0),
+            leased("aws", "eu-west-2", "London", 0.8, 0),
+            leased("aws", "eu-central-1", "Frankfurt", 1.2, 0),
+            leased("azure", "eastus", "Ashburn", 2.5, 0),
+            leased("azure", "westeurope", "Amsterdam", 0.8, 0),
+            leased("azure", "southeastasia", "Singapore", 0.6, 0),
+            leased("azure", "japaneast", "Tokyo", 0.6, 0),
+        ],
+        slash24_target: 881,
+        domain_style: DomainStyle::TenantSld {
+            sld: "cloud.thingworx.com",
+        },
+        tenants: 80,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 0.8,
+        anycast: false,
+        churn_daily: 0.03,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 2.0,
+            pattern: ActivityPattern::Daytime,
+            sessions_per_day: 12.0,
+            dn_bytes_median: 0.4e6,
+            sigma: 1.1,
+            down_up_ratio: 0.9,
+            // "Protocol agnostic" platform: generic TLS plus a custom UDP
+            // channel above 10000 (§5.5 observes such ports).
+            ports: vec![
+                PortShare { port: tcp(443), weight: 0.6 },
+                PortShare { port: tcp(8883), weight: 0.25 },
+                PortShare { port: udp(10010), weight: 0.15 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- SAP IoT: PR (AWS + Azure + Alibaba), 6 AS, 2929 /24s,
+    // 7 loc / 5 ctry.
+    v.push(ProviderSpec {
+        name: "sap",
+        display: "SAP IoT",
+        strategy: DeploymentStrategy::PublicCloud,
+        sites: vec![
+            leased("aws", "eu-central-1", "Frankfurt", 2.0, 0),
+            leased("aws", "us-east-1", "Ashburn", 4.0, 0),
+            leased("aws", "us-west-2", "Portland", 2.0, 0),
+            leased("aws", "ap-southeast-1", "Singapore", 0.7, 0),
+            leased("azure", "westeurope", "Amsterdam", 1.2, 0),
+            leased("azure", "germanywestcentral", "Frankfurt", 1.2, 0),
+            leased("alicloud", "cn-shanghai", "Shanghai", 0.7, 0),
+        ],
+        slash24_target: 2929,
+        domain_style: DomainStyle::TenantSld { sld: "iot.sap" },
+        tenants: 120,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 1.0, // Fig. 3: Censys alone finds all SAP IPs
+        anycast: false,
+        churn_daily: 0.05,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 3.5,
+            pattern: ActivityPattern::Daytime,
+            sessions_per_day: 18.0,
+            dn_bytes_median: 0.6e6,
+            sigma: 1.1,
+            down_up_ratio: 1.8,
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.6 },
+                PortShare { port: tcp(443), weight: 0.4 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- Siemens Mindsphere: PR (AWS + Azure + Alibaba + own anycast),
+    // 4 AS, 126 /24s (1 v6), 3 loc / 3 ctry + anycast.
+    v.push(ProviderSpec {
+        name: "siemens",
+        display: "Siemens Mindsphere",
+        strategy: DeploymentStrategy::PublicCloud,
+        sites: vec![
+            leased("aws", "eu-central-1", "Frankfurt", 3.0, 1),
+            leased("azure", "eastus", "Ashburn", 1.5, 0),
+            leased("alicloud", "cn-shanghai", "Shanghai", 1.0, 0),
+            // A tiny own-AS anycast front (small enough that the
+            // strategy classifier still calls the deployment PR, as the
+            // paper does).
+            own("anycast", "Frankfurt", 15629, 0.08, 0),
+        ],
+        slash24_target: 126,
+        domain_style: DomainStyle::TenantRegion {
+            sld: "mindsphere.io",
+        },
+        tenants: 60,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 0.75,
+        anycast: true,
+        churn_daily: 0.03,
+        published: Published::FullIpList,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 2.5,
+            pattern: ActivityPattern::Daytime,
+            sessions_per_day: 20.0,
+            dn_bytes_median: 0.8e6,
+            sigma: 1.1,
+            down_up_ratio: 1.2,
+            // D4 in §5.5: substantial volume on TCP/61616 (ActiveMQ),
+            // plus OPC-UA.
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.30 },
+                PortShare { port: tcp(443), weight: 0.25 },
+                PortShare { port: tcp(61616), weight: 0.35 },
+                PortShare { port: tcp(4840), weight: 0.10 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- Sierra Wireless (AirVantage): PR (AWS), 4 AS, 7 /24s (2 v6),
+    // 4 loc / 4 ctry.
+    v.push(ProviderSpec {
+        name: "sierra",
+        display: "Sierra Wireless",
+        strategy: DeploymentStrategy::PublicCloud,
+        sites: vec![
+            leased("aws", "us-east-1", "Ashburn", 1.0, 1),
+            leased("aws", "ca-central-1", "Montreal", 1.0, 0),
+            leased("aws", "eu-west-1", "Dublin", 1.5, 1),
+            leased("aws", "ap-southeast-2", "Sydney", 0.5, 0),
+        ],
+        slash24_target: 7,
+        domain_style: DomainStyle::Fixed {
+            names: &[
+                "na.airvantage.net",
+                "ca.airvantage.net",
+                "eu.airvantage.net",
+                "ap.airvantage.net",
+            ],
+        },
+        tenants: 0,
+        // The AirVantage fronts are SNI-gated (one of Fig. 7's
+        // "relies on SNI" providers alongside Google).
+        sni_required: true,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 0.05,
+        anycast: false,
+        churn_daily: 0.02,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 2.0,
+            pattern: ActivityPattern::Constant,
+            sessions_per_day: 15.0,
+            dn_bytes_median: 0.15e6,
+            sigma: 1.0,
+            down_up_ratio: 0.4, // telemetry upload dominates
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.40 },
+                PortShare { port: tcp(1883), weight: 0.20 },
+                PortShare { port: tcp(443), weight: 0.25 },
+                PortShare { port: udp(5686), weight: 0.15 },
+            ],
+            heavy: None,
+        },
+    });
+
+    // ----- Tencent IoT: DI, 5 AS, 47 /24s (2 v6), 5 loc / 4 ctry.
+    v.push(ProviderSpec {
+        name: "tencent",
+        display: "Tencent IoT",
+        strategy: DeploymentStrategy::Dedicated,
+        sites: vec![
+            own("ap-shanghai", "Shanghai", 132203, 2.0, 1),
+            own("ap-guangzhou", "Guangzhou", 45090, 1.5, 1),
+            own("ap-hongkong", "Hong Kong", 132591, 1.0, 0),
+            own("ap-singapore", "Singapore", 133478, 0.8, 0),
+            own("na-ashburn", "Ashburn", 137876, 0.8, 0),
+        ],
+        slash24_target: 47,
+        domain_style: DomainStyle::TenantSld {
+            sld: "tencentdevices.com",
+        },
+        tenants: 80,
+        sni_required: false,
+        client_cert_ports: vec![],
+        cert_exposed_frac: 1.0, // Fig. 3: Censys alone finds all IPs
+        anycast: false,
+        churn_daily: 0.0,
+        published: Published::Nothing,
+        undocumented_frac: 0.0,
+        shared_https: false,
+        profile: TrafficProfile {
+            popularity: 1.5,
+            pattern: ActivityPattern::Evening,
+            sessions_per_day: 12.0,
+            dn_bytes_median: 0.2e6,
+            sigma: 1.0,
+            down_up_ratio: 0.6,
+            ports: vec![
+                PortShare { port: tcp(8883), weight: 0.5 },
+                PortShare { port: tcp(1883), weight: 0.25 },
+                PortShare { port: tcp(443), weight: 0.2 },
+                PortShare { port: udp(5684), weight: 0.05 },
+            ],
+            heavy: None,
+        },
+    });
+
+    v.sort_by_key(|p| p.name);
+    assert_eq!(v.len(), PROVIDER_COUNT);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_providers_alphabetical() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 16);
+        let names: Vec<_> = cat.iter().map(|p| p.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn as_counts_match_table1() {
+        let cat = catalog();
+        let as_count = |name: &str| {
+            let p = cat.iter().find(|p| p.name == name).unwrap();
+            // Own ASes plus distinct cloud-region ASes are counted by the
+            // build; here we check the own-AS part of the fiddly ones.
+            p.own_asns().len()
+        };
+        assert_eq!(as_count("alibaba"), 2);
+        assert_eq!(as_count("baidu"), 2);
+        assert_eq!(as_count("google"), 1);
+        assert_eq!(as_count("huawei"), 1);
+        assert_eq!(as_count("ibm"), 2);
+        assert_eq!(as_count("microsoft"), 1);
+        assert_eq!(as_count("fujitsu"), 1);
+        assert_eq!(as_count("tencent"), 5);
+        assert_eq!(as_count("oracle"), 2); // + Akamai = 3 total
+        assert_eq!(as_count("siemens"), 1); // + 3 clouds = 4 total
+    }
+
+    #[test]
+    fn location_counts_match_table1() {
+        let cat = catalog();
+        let locs = |name: &str| cat.iter().find(|p| p.name == name).unwrap().sites.len();
+        assert_eq!(locs("amazon"), 18);
+        assert_eq!(locs("google"), 77);
+        assert_eq!(locs("microsoft"), 39);
+        assert_eq!(locs("alibaba"), 27);
+        assert_eq!(locs("baidu"), 2);
+        assert_eq!(locs("bosch"), 1);
+        assert_eq!(locs("cisco"), 4);
+        assert_eq!(locs("fujitsu"), 2);
+        assert_eq!(locs("huawei"), 2);
+        assert_eq!(locs("ibm"), 12);
+        assert_eq!(locs("oracle"), 12); // 10 own + 2 Akamai edges
+        assert_eq!(locs("ptc"), 10);
+        assert_eq!(locs("sap"), 7);
+        assert_eq!(locs("sierra"), 4);
+        assert_eq!(locs("tencent"), 5);
+        assert_eq!(locs("siemens"), 4); // 3 sites + anycast front
+    }
+
+    #[test]
+    fn ipv6_offered_by_exactly_seven_providers() {
+        let cat = catalog();
+        let v6: Vec<_> = cat.iter().filter(|p| p.has_ipv6()).map(|p| p.name).collect();
+        assert_eq!(
+            v6,
+            vec!["alibaba", "amazon", "baidu", "google", "siemens", "sierra", "tencent"]
+        );
+        let t = |name: &str| {
+            cat.iter()
+                .find(|p| p.name == name)
+                .unwrap()
+                .v6_slash56_target()
+        };
+        assert_eq!(t("amazon"), 20);
+        assert_eq!(t("google"), 11);
+        assert_eq!(t("alibaba"), 2);
+        assert_eq!(t("microsoft"), 0);
+    }
+
+    #[test]
+    fn strategies_match_table1() {
+        let cat = catalog();
+        let strat = |name: &str| cat.iter().find(|p| p.name == name).unwrap().strategy;
+        let di = ["alibaba", "amazon", "baidu", "fujitsu", "google", "huawei", "ibm", "microsoft", "tencent"];
+        for p in di {
+            assert_eq!(strat(p), DeploymentStrategy::Dedicated, "{p}");
+        }
+        let pr = ["bosch", "cisco", "ptc", "sap", "siemens", "sierra"];
+        for p in pr {
+            assert_eq!(strat(p), DeploymentStrategy::PublicCloud, "{p}");
+        }
+        assert_eq!(strat("oracle"), DeploymentStrategy::Mixed);
+    }
+
+    #[test]
+    fn ground_truth_publishers() {
+        let cat = catalog();
+        let publ = |name: &str| cat.iter().find(|p| p.name == name).unwrap().published;
+        assert_eq!(publ("cisco"), Published::FullIpList);
+        assert_eq!(publ("siemens"), Published::FullIpList);
+        assert_eq!(publ("microsoft"), Published::Prefixes);
+        assert_eq!(publ("amazon"), Published::Nothing);
+    }
+
+    #[test]
+    fn sni_and_client_cert_flags() {
+        let cat = catalog();
+        let get = |name: &str| cat.iter().find(|p| p.name == name).unwrap();
+        assert!(get("google").sni_required);
+        assert!(get("sierra").sni_required);
+        assert!(!get("microsoft").sni_required);
+        assert_eq!(get("amazon").client_cert_ports, vec![8883]);
+    }
+
+    #[test]
+    fn port_mixes_are_normalized_enough() {
+        for p in catalog() {
+            let total: f64 = p.profile.ports.iter().map(|s| s.weight).sum();
+            assert!((0.99..=1.01).contains(&total), "{}: {total}", p.name);
+        }
+    }
+
+    #[test]
+    fn site_weights_positive() {
+        for p in catalog() {
+            assert!(!p.sites.is_empty(), "{} has no sites", p.name);
+            for s in &p.sites {
+                assert!(s.weight > 0.0, "{} site {} weight", p.name, s.code);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tail_only_bosch() {
+        for p in catalog() {
+            if p.name == "bosch" {
+                let h = p.profile.heavy.expect("bosch heavy tail");
+                assert!((0.02..=0.10).contains(&h.fraction));
+                assert_eq!(h.port, PortProto::tcp(5671));
+            } else {
+                assert!(p.profile.heavy.is_none(), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn activity_patterns_shapes() {
+        assert!(ActivityPattern::Evening.hour_weight(19) > ActivityPattern::Evening.hour_weight(3));
+        assert!(ActivityPattern::Daytime.hour_weight(12) > ActivityPattern::Daytime.hour_weight(23));
+        assert_eq!(ActivityPattern::Constant.hour_weight(0), ActivityPattern::Constant.hour_weight(12));
+    }
+}

@@ -1,0 +1,73 @@
+//! Gateway servers — the ground-truth objects the whole study is about.
+
+use iotmap_nettypes::{Asn, PortProto};
+use std::net::IpAddr;
+
+/// Index into [`crate::World::servers`].
+pub type ServerId = usize;
+
+/// One Internet-facing IoT gateway.
+#[derive(Debug, Clone)]
+pub struct Server {
+    pub id: ServerId,
+    pub ip: IpAddr,
+    /// Index into the provider catalog.
+    pub provider: usize,
+    /// Index into the provider's site list.
+    pub site: usize,
+    /// The AS announcing this address.
+    pub asn: Asn,
+    /// Open service ports.
+    pub ports: Vec<PortProto>,
+    /// Epoch-day bounds of this server's life `[born, died)` — cloud churn
+    /// (Fig. 4). Stable servers span the whole simulation range.
+    pub born_day: i64,
+    pub died_day: i64,
+    /// Appears in DNS answers / documentation. Undocumented servers are
+    /// reached via addresses baked into device firmware (the §3.4
+    /// Microsoft "missed IPs").
+    pub documented: bool,
+    /// Exposes an identifying certificate to anonymous scanners (a plain
+    /// HTTPS endpoint). When false, the server is certificate-invisible:
+    /// SNI-gated, client-cert-gated, or plaintext-only.
+    pub cert_exposed: bool,
+    /// Also serves non-IoT traffic/domains (Google's shared HTTPS set,
+    /// Akamai edges).
+    pub shared: bool,
+    /// Part of an anycast front.
+    pub anycast: bool,
+}
+
+impl Server {
+    /// Is the server alive on the given epoch day?
+    pub fn alive_on(&self, epoch_day: i64) -> bool {
+        (self.born_day..self.died_day).contains(&epoch_day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liveness_window() {
+        let s = Server {
+            id: 0,
+            ip: "192.0.2.1".parse().unwrap(),
+            provider: 0,
+            site: 0,
+            asn: Asn(1),
+            ports: vec![],
+            born_day: 100,
+            died_day: 105,
+            documented: true,
+            cert_exposed: true,
+            shared: false,
+            anycast: false,
+        };
+        assert!(!s.alive_on(99));
+        assert!(s.alive_on(100));
+        assert!(s.alive_on(104));
+        assert!(!s.alive_on(105));
+    }
+}

@@ -1,0 +1,670 @@
+//! The ISP traffic simulator: ground-truth flows → border router →
+//! analysis sinks.
+//!
+//! For every subscriber line, every device generates sessions according to
+//! its provider's traffic profile (diurnal shape, volume, port mix,
+//! down/up asymmetry), aimed at the gateway servers its DNS resolution
+//! returns that day. Scanner lines probe broad swaths of the backend
+//! address space. Everything passes through the ISP's
+//! [`iotmap_netflow::BorderRouter`] (sampling, BCP 38, anonymization)
+//! before it reaches any sink — the analyses only ever see what the paper's
+//! authors saw.
+
+use crate::build::World;
+use crate::isp::{Device, ScannerKind, SubscriberLine};
+use crate::providers::DomainStyle;
+use crate::server::ServerId;
+use iotmap_dns::{resolve, ResolutionContext, RrType};
+use iotmap_netflow::{BorderRouter, Direction, FlowRecord, FlowSink, LineId};
+use iotmap_nettypes::{dist, Continent, Date, DomainName, SimDuration, SimRng, StudyPeriod};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// Summary counters from one simulation pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrafficStats {
+    /// True flows generated (before sampling).
+    pub flows_generated: u64,
+    /// Flows exported by the border router.
+    pub flows_exported: u64,
+    /// Device-days simulated.
+    pub device_days: u64,
+}
+
+/// The simulator.
+pub struct TrafficSimulator<'a> {
+    world: &'a World,
+    /// Well-known endpoint per `(provider, site)` for tenant-less schemes.
+    service_domain: HashMap<(usize, usize), DomainName>,
+    /// Per-provider pools of US-site documented v4 servers (secondary-US
+    /// contacts).
+    us_pools: Vec<Vec<ServerId>>,
+    /// Per-provider undocumented (baked-in address) servers.
+    hidden_pools: Vec<Vec<ServerId>>,
+}
+
+impl<'a> TrafficSimulator<'a> {
+    /// Prepare a simulator for a world.
+    pub fn new(world: &'a World) -> Self {
+        let mut service_domain = HashMap::new();
+        for (pidx, spec) in world.providers.iter().enumerate() {
+            match &spec.domain_style {
+                DomainStyle::ServiceRegion { services, sld } => {
+                    for (sidx, site) in spec.sites.iter().enumerate() {
+                        let name = format!("{}.{}.{sld}", services[0], site.code);
+                        service_domain.insert(
+                            (pidx, sidx),
+                            name.parse().expect("valid service domain"),
+                        );
+                    }
+                }
+                DomainStyle::Fixed { names } => {
+                    for (sidx, _) in spec.sites.iter().enumerate() {
+                        let name = if spec.name == "google" {
+                            names[0]
+                        } else {
+                            names[sidx.min(names.len() - 1)]
+                        };
+                        service_domain
+                            .insert((pidx, sidx), name.parse().expect("valid fixed domain"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let us_pools = (0..world.providers.len())
+            .map(|p| {
+                world.site_pools[p]
+                    .iter()
+                    .enumerate()
+                    .filter(|(s, _)| {
+                        world.geo.location(world.site_city[p][*s]).continent
+                            == Continent::NorthAmerica
+                    })
+                    .flat_map(|(_, pool)| pool.iter().copied())
+                    .collect()
+            })
+            .collect();
+        let hidden_pools = (0..world.providers.len())
+            .map(|p| world.site_hidden[p].iter().flatten().copied().collect())
+            .collect();
+        TrafficSimulator {
+            world,
+            service_domain,
+            us_pools,
+            hidden_pools,
+        }
+    }
+
+    /// Simulate a period, pushing exported flows into `sink`.
+    pub fn run(&self, period: StudyPeriod, sink: &mut dyn FlowSink) -> TrafficStats {
+        let world = self.world;
+        let rng = SimRng::new(world.config.seed).fork("traffic");
+        let mut router = BorderRouter::new(
+            world.config.sampling_rate,
+            world.isp.lines.len() as u64 - 1,
+            world.config.seed ^ 0x0150_cafe,
+            rng.fork("router"),
+        );
+        let outage_relevant = period.overlaps(&world.events.outage.window);
+        let affected: HashSet<ServerId> = if outage_relevant {
+            world.outage_affected_servers()
+        } else {
+            HashSet::new()
+        };
+
+        let mut stats = TrafficStats::default();
+        for line in &world.isp.lines {
+            let mut line_rng = rng.fork_idx(line.id);
+            if let Some(kind) = line.scanner {
+                self.run_scanner(line, kind, period, &mut line_rng, &mut router, sink, &mut stats);
+            }
+            for (di, device) in line.devices.iter().enumerate() {
+                let mut dev_rng = line_rng.fork_idx(di as u64 + 1);
+                self.run_device(
+                    line, device, period, &affected, &mut dev_rng, &mut router, sink, &mut stats,
+                );
+            }
+        }
+        sink.finish();
+        stats.flows_exported = router.exported;
+        stats
+    }
+
+    /// One device over the whole period.
+    #[allow(clippy::too_many_arguments)]
+    fn run_device(
+        &self,
+        line: &SubscriberLine,
+        device: &Device,
+        period: StudyPeriod,
+        affected: &HashSet<ServerId>,
+        rng: &mut SimRng,
+        router: &mut BorderRouter,
+        sink: &mut dyn FlowSink,
+        stats: &mut TrafficStats,
+    ) {
+        let world = self.world;
+        let spec = &world.providers[device.provider];
+        let profile = &spec.profile;
+        let ev = &world.events.outage;
+        // Whether this device goes silent during an outage (rather than
+        // retrying) is a stable property of its firmware.
+        let silent_in_outage = rng.chance(ev.silence_prob);
+        // Devices speak one primary protocol (a camera does not alternate
+        // between CoAP and AMQP): pick it once, with occasional secondary
+        // channels. This is what concentrates §5.6's heavy AMQP volumes on
+        // a small line population instead of smearing them over everyone.
+        let affinity_weights: Vec<f64> = profile.ports.iter().map(|p| p.weight).collect();
+        let primary_port = profile.ports[rng.choose_weighted(&affinity_weights)].port;
+
+        for date in period.days() {
+            stats.device_days += 1;
+            // Devices are not all active every day.
+            if !rng.chance(0.75) {
+                continue;
+            }
+            let day = date.epoch_days();
+            let v4_servers = self.servers_for_device(line, device, date, RrType::A);
+            let v6_servers = if device.uses_v6 && line.v6_capable {
+                self.servers_for_device(line, device, date, RrType::Aaaa)
+            } else {
+                Vec::new()
+            };
+            if v4_servers.is_empty() && v6_servers.is_empty() {
+                continue;
+            }
+            // Long-lived MQTT connections: a device sticks to one gateway
+            // per resolution epoch (per family) rather than spraying the
+            // answer set.
+            let epoch = (day - day.rem_euclid(7)) as usize;
+            let v4_today: Vec<ServerId> = if v4_servers.is_empty() {
+                Vec::new()
+            } else {
+                vec![v4_servers[(line.id as usize ^ epoch) % v4_servers.len()]]
+            };
+            let v6_today: Vec<ServerId> = if v6_servers.is_empty() {
+                Vec::new()
+            } else {
+                vec![v6_servers[(line.id as usize ^ epoch) % v6_servers.len()]]
+            };
+
+            // Daily volume budget.
+            let heavy = device.heavy;
+            let dn_median = if heavy {
+                profile.heavy.expect("heavy device implies heavy tail").dn_bytes_median
+            } else {
+                profile.dn_bytes_median * device.volume_factor
+            };
+            let dn_total = dist::log_normal_median(rng, dn_median, profile.sigma);
+            let up_total = dn_total / profile.down_up_ratio * rng.f64_range(0.8, 1.25);
+
+            let sessions = dist::poisson(rng, profile.sessions_per_day).max(1);
+            let port_weights: Vec<f64> = profile.ports.iter().map(|p| p.weight).collect();
+            let hour_weights: Vec<f64> =
+                (0..24).map(|h| profile.pattern.hour_weight(h)).collect();
+
+            for s in 0..sessions {
+                let hour = rng.choose_weighted(&hour_weights) as u64;
+                let time = date.midnight()
+                    + SimDuration::hours(hour)
+                    + SimDuration::seconds(rng.gen_below(3600));
+
+                // Port: heavy devices put most bytes on the heavy port;
+                // everyone else mostly sticks to their primary protocol.
+                let port = if heavy && rng.chance(0.8) {
+                    profile.heavy.expect("heavy tail").port
+                } else if rng.chance(0.92) {
+                    primary_port
+                } else {
+                    profile.ports[rng.choose_weighted(&port_weights)].port
+                };
+
+                // Server: occasionally the weekly US sync or a baked-in
+                // undocumented gateway; normally today's DNS answer.
+                let server_id = self.pick_server(
+                    line, device, day, s, &v4_today, &v6_today, rng,
+                );
+                let Some(server_id) = server_id else { continue };
+                let server = &world.servers[server_id];
+
+                let mut dn = dn_total / sessions as f64 * rng.f64_range(0.4, 1.6);
+                let mut up = up_total / sessions as f64 * rng.f64_range(0.4, 1.6);
+
+                // Outage dynamics (§6.1).
+                if ev.window.contains(time) {
+                    if affected.contains(&server_id) {
+                        if silent_in_outage {
+                            continue;
+                        }
+                        dn *= ev.downstream_residual;
+                        up *= ev.upstream_residual;
+                    } else if self.same_cloud_as_outage(server.provider, server.site) {
+                        dn *= 1.0 - ev.spillover;
+                        up *= 1.0 - ev.spillover;
+                    }
+                }
+
+                self.emit_pair(line, server.ip, port, time, dn, up, router, sink, stats);
+            }
+        }
+    }
+
+    /// Pick the target server for one session.
+    #[allow(clippy::too_many_arguments)]
+    fn pick_server(
+        &self,
+        line: &SubscriberLine,
+        device: &Device,
+        day: i64,
+        session: u64,
+        v4: &[ServerId],
+        v6: &[ServerId],
+        rng: &mut SimRng,
+    ) -> Option<ServerId> {
+        let world = self.world;
+        // Weekly secondary sync with a US aggregation endpoint.
+        if device.secondary_us
+            && session == 0
+            && (day as u64 + line.id).is_multiple_of(7)
+            && !self.us_pools[device.provider].is_empty()
+        {
+            let pool = &self.us_pools[device.provider];
+            let pick = pool[((line.id ^ day as u64) % pool.len() as u64) as usize];
+            if world.servers[pick].alive_on(day) {
+                return Some(pick);
+            }
+        }
+        // Baked-in undocumented gateways (Microsoft): only a rare firmware
+        // line carries hardcoded addresses, so just a handful of hidden
+        // gateways ever see ISP traffic — the paper's "missed 4 IPs".
+        if !self.hidden_pools[device.provider].is_empty()
+            && line.id.is_multiple_of(977)
+            && rng.chance(0.3)
+        {
+            let pool = &self.hidden_pools[device.provider];
+            let pick = pool[(line.id % pool.len() as u64) as usize];
+            if world.servers[pick].alive_on(day) {
+                return Some(pick);
+            }
+        }
+        // IPv6 when available, ~25% of sessions.
+        if !v6.is_empty() && rng.chance(0.25) {
+            return Some(*rng.choose(v6));
+        }
+        if v4.is_empty() {
+            return None;
+        }
+        Some(*rng.choose(v4))
+    }
+
+    /// Today's DNS answer for a device, mapped to live server ids.
+    fn servers_for_device(
+        &self,
+        line: &SubscriberLine,
+        device: &Device,
+        date: Date,
+        rrtype: RrType,
+    ) -> Vec<ServerId> {
+        let world = self.world;
+        let domain = self.device_domain(device);
+        let Some(domain) = domain else {
+            return Vec::new();
+        };
+        // DNS caching / connection reuse: devices hold long-lived MQTT
+        // sessions and re-resolve roughly weekly — this keeps a
+        // household's weekly contact set small (the paper argues 10
+        // backend IPs per line is plausible, not typical).
+        let day = date.epoch_days();
+        let cached_day = day - day.rem_euclid(7);
+        let ctx = ResolutionContext {
+            client_continent: Continent::Europe,
+            time: Date::from_epoch_days(cached_day).midnight() + SimDuration::hours(6),
+            resolver_id: line.id % 97,
+        };
+        let mut out: Vec<ServerId> = resolve(&world.zones, domain, rrtype, &ctx)
+            .into_iter()
+            .filter_map(|ip| world.server_by_ip.get(&ip).copied())
+            .filter(|&sid| world.servers[sid].alive_on(day))
+            .collect();
+        if out.is_empty() && rrtype == RrType::A {
+            // Stale DNS / dead pool: fall back to any live documented
+            // gateway at the device's home site.
+            out = world.site_pools[device.provider][device.home_site]
+                .iter()
+                .copied()
+                .filter(|&sid| world.servers[sid].alive_on(day))
+                .take(3)
+                .collect();
+        }
+        out
+    }
+
+    /// The FQDN a device connects to.
+    fn device_domain(&self, device: &Device) -> Option<&DomainName> {
+        let world = self.world;
+        if device.tenant != u32::MAX {
+            return world.tenants[device.provider]
+                .get(device.tenant as usize)
+                .map(|t| &t.domain);
+        }
+        self.service_domain
+            .get(&(device.provider, device.home_site))
+    }
+
+    /// Is `(provider, site)` hosted in the outage-struck cloud (any
+    /// region)? Used for the cross-region spillover dip.
+    fn same_cloud_as_outage(&self, provider: usize, site: usize) -> bool {
+        use crate::providers::SiteHosting;
+        matches!(
+            &self.world.providers[provider].sites[site].hosting,
+            SiteHosting::Cloud { cloud, .. } if *cloud == self.world.events.outage.cloud
+        )
+    }
+
+    /// Scanner lines: probe flows to broad swaths of the address space.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scanner(
+        &self,
+        line: &SubscriberLine,
+        kind: ScannerKind,
+        period: StudyPeriod,
+        rng: &mut SimRng,
+        router: &mut BorderRouter,
+        sink: &mut dyn FlowSink,
+        stats: &mut TrafficStats,
+    ) {
+        let world = self.world;
+        for date in period.days() {
+            let day = date.epoch_days();
+            for server in &world.servers {
+                if !server.ip.is_ipv4() || !server.alive_on(day) {
+                    continue;
+                }
+                let probe = match kind {
+                    ScannerKind::Full => true,
+                    ScannerKind::Partial(f) => {
+                        // A stable pseudo-random subset of the space.
+                        let h = (line.id ^ (server.id as u64).wrapping_mul(0x9E37_79B9))
+                            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                        (h >> 40) as f64 / (1u64 << 24) as f64 % 1.0 < f
+                    }
+                };
+                if !probe {
+                    continue;
+                }
+                let time = date.midnight() + SimDuration::seconds(rng.gen_below(86_400));
+                let port = *rng.choose(&server.ports);
+                // A probe: one small upstream packet, sometimes answered.
+                let up = FlowRecord {
+                    time,
+                    line: LineId(line.id),
+                    remote: server.ip,
+                    port,
+                    direction: Direction::Upstream,
+                    bytes: 60,
+                    packets: 1,
+                };
+                stats.flows_generated += 1;
+                router.process(&up, sink);
+                if rng.chance(0.7) {
+                    let dn = FlowRecord {
+                        direction: Direction::Downstream,
+                        bytes: 60,
+                        ..up
+                    };
+                    stats.flows_generated += 1;
+                    router.process(&dn, sink);
+                }
+            }
+        }
+    }
+
+    /// Emit the down/up record pair for one session.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_pair(
+        &self,
+        line: &SubscriberLine,
+        remote: IpAddr,
+        port: iotmap_nettypes::PortProto,
+        time: iotmap_nettypes::SimTime,
+        dn_bytes: f64,
+        up_bytes: f64,
+        router: &mut BorderRouter,
+        sink: &mut dyn FlowSink,
+        stats: &mut TrafficStats,
+    ) {
+        let dn_bytes = dn_bytes.max(200.0) as u64;
+        let up_bytes = up_bytes.max(200.0) as u64;
+        let dn = FlowRecord {
+            time,
+            line: LineId(line.id),
+            remote,
+            port,
+            direction: Direction::Downstream,
+            bytes: dn_bytes,
+            packets: dn_bytes / 1200 + 1,
+        };
+        let up = FlowRecord {
+            direction: Direction::Upstream,
+            bytes: up_bytes,
+            packets: up_bytes / 1200 + 1,
+            ..dn
+        };
+        stats.flows_generated += 2;
+        router.process(&dn, sink);
+        router.process(&up, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use iotmap_netflow::StoringSink;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(42))
+    }
+
+    #[test]
+    fn week_of_traffic_has_sane_shape() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = StoringSink::new();
+        let stats = sim.run(w.config.study_period, &mut sink);
+        assert!(stats.flows_generated > 10_000, "{stats:?}");
+        assert_eq!(stats.flows_exported as usize, sink.records.len());
+
+        // Distinct active lines ≈ 15% of the population (2.32M of 15M in
+        // the paper).
+        let mut lines: HashSet<LineId> = HashSet::new();
+        for r in &sink.records {
+            lines.insert(r.line);
+        }
+        let frac = lines.len() as f64 / w.isp.lines.len() as f64;
+        assert!((0.10..0.25).contains(&frac), "active line fraction {frac}");
+
+        // All remotes are known servers.
+        for r in sink.records.iter().take(2000) {
+            assert!(w.server_by_ip.contains_key(&r.remote));
+        }
+    }
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let run = || {
+            let mut sink = StoringSink::new();
+            sim.run(w.config.study_period, &mut sink);
+            sink.records.len()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn downstream_and_upstream_both_present() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = StoringSink::new();
+        sim.run(w.config.study_period, &mut sink);
+        let dn: u64 = sink
+            .records
+            .iter()
+            .filter(|r| r.direction == Direction::Downstream)
+            .map(|r| r.bytes)
+            .sum();
+        let up: u64 = sink
+            .records
+            .iter()
+            .filter(|r| r.direction == Direction::Upstream)
+            .map(|r| r.bytes)
+            .sum();
+        assert!(dn > 0 && up > 0);
+        let ratio = dn as f64 / up as f64;
+        assert!((0.3..5.0).contains(&ratio), "global dn/up {ratio}");
+    }
+
+    #[test]
+    fn outage_reduces_us_east_downstream() {
+        let w = World::generate(&WorldConfig {
+            study_period: iotmap_nettypes::StudyPeriod::outage_week(),
+            ..WorldConfig::small(42)
+        });
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = StoringSink::new();
+        sim.run(w.config.study_period, &mut sink);
+        let affected = w.outage_affected_servers();
+        let affected_ips: HashSet<IpAddr> =
+            affected.iter().map(|&sid| w.servers[sid].ip).collect();
+        let window = w.events.outage.window;
+        // Downstream bytes per hour to affected servers, inside vs outside
+        // the outage window (same hours of other days).
+        let mut in_window = 0.0f64;
+        let mut in_hours = 0u32;
+        let mut out_window = 0.0f64;
+        let mut out_hours = 0u32;
+        let mut by_hour: HashMap<u64, u64> = HashMap::new();
+        for r in &sink.records {
+            if r.direction == Direction::Downstream && affected_ips.contains(&r.remote) {
+                *by_hour.entry(r.time.epoch_hours()).or_default() += r.bytes;
+            }
+        }
+        for h in w.config.study_period.hours() {
+            let hour_total: u64 = by_hour.get(&h.epoch_hours()).copied().unwrap_or(0);
+            let hod = h.hour_of_day();
+            // Compare like-for-like hours of day (15:30–22:30 UTC).
+            if !(15..=22).contains(&hod) {
+                continue;
+            }
+            if window.contains(h) {
+                in_window += hour_total as f64;
+                in_hours += 1;
+            } else {
+                out_window += hour_total as f64;
+                out_hours += 1;
+            }
+        }
+        assert!(in_hours > 0 && out_hours > 0);
+        let in_rate = in_window / in_hours as f64;
+        let out_rate = out_window / out_hours as f64;
+        assert!(
+            in_rate < out_rate * 0.6,
+            "outage should cut downstream: {in_rate} vs {out_rate}"
+        );
+    }
+
+    #[test]
+    fn scanners_touch_far_more_servers_than_households() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = StoringSink::new();
+        sim.run(w.config.study_period, &mut sink);
+        let mut per_line: HashMap<LineId, HashSet<IpAddr>> = HashMap::new();
+        for r in &sink.records {
+            per_line.entry(r.line).or_default().insert(r.remote);
+        }
+        let max_contact = per_line.values().map(|s| s.len()).max().unwrap_or(0);
+        let median = {
+            let mut v: Vec<usize> = per_line.values().map(|s| s.len()).collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(median <= 12, "median household contact set {median}");
+        if w.isp.scanner_count() > 0 {
+            assert!(
+                max_contact > 20 * median.max(1),
+                "max {max_contact} median {median}"
+            );
+        }
+    }
+
+    #[test]
+    fn v6_capable_devices_generate_v6_flows() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = StoringSink::new();
+        sim.run(w.config.study_period, &mut sink);
+        let v6_flows = sink.records.iter().filter(|r| r.remote.is_ipv6()).count();
+        assert!(v6_flows > 0, "dual-stack devices must produce AAAA traffic");
+        // …but v6 remains a small minority (§5.2: 202k v6 vs 2.32M v4
+        // daily lines).
+        let frac = v6_flows as f64 / sink.records.len() as f64;
+        assert!(frac < 0.2, "v6 flow share {frac}");
+    }
+
+    #[test]
+    fn secondary_us_devices_reach_us_servers() {
+        let w = world();
+        // Find a line hosting an EU-homed device with the weekly-US flag.
+        let has_secondary = w
+            .isp
+            .lines
+            .iter()
+            .any(|l| l.devices.iter().any(|d| d.secondary_us));
+        assert!(has_secondary, "population should contain secondary-US devices");
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = StoringSink::new();
+        sim.run(w.config.study_period, &mut sink);
+        // At least some flows must land on North-American servers.
+        let us_flows = sink
+            .records
+            .iter()
+            .filter(|r| {
+                w.server_by_ip.get(&r.remote).is_some_and(|&sid| {
+                    let s = &w.servers[sid];
+                    w.geo.location(w.site_city[s.provider][s.site]).continent
+                        == iotmap_nettypes::Continent::NorthAmerica
+                })
+            })
+            .count();
+        assert!(us_flows > 0);
+    }
+
+    #[test]
+    fn heavy_bosch_devices_move_big_volumes_on_5671() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = StoringSink::new();
+        sim.run(w.config.study_period, &mut sink);
+        let amqp_bytes: u64 = sink
+            .records
+            .iter()
+            .filter(|r| r.port.port == 5671 && r.direction == Direction::Downstream)
+            .map(|r| r.bytes)
+            .sum();
+        let total: u64 = sink
+            .records
+            .iter()
+            .filter(|r| r.direction == Direction::Downstream)
+            .map(|r| r.bytes)
+            .sum();
+        assert!(amqp_bytes > 0);
+        // The heavy AMQP class is a visible share of total downstream.
+        assert!(
+            amqp_bytes as f64 > total as f64 * 0.02,
+            "amqp {amqp_bytes} of {total}"
+        );
+    }
+}

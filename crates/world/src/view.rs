@@ -1,0 +1,390 @@
+//! The scanners' view of the world: [`iotmap_scan::ScanView`] implemented
+//! over ground truth, date-aware (churned servers appear and disappear),
+//! with noisy geolocation.
+
+use crate::build::World;
+use crate::providers::{DomainStyle, ProviderSpec, SiteHosting};
+use crate::server::Server;
+use iotmap_nettypes::{Date, Location, PortProto, SimRng, StudyPeriod, Transport};
+use iotmap_scan::ScanView;
+use iotmap_tls::{Certificate, ClientAuth, SanName, SniPolicy, TlsEndpoint};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// A dated view of the world, as scanners see it.
+pub struct WorldScanView<'a> {
+    world: &'a World,
+    date: Date,
+}
+
+impl World {
+    /// The scanner-visible Internet on a given date.
+    pub fn view_on(&self, date: Date) -> WorldScanView<'_> {
+        WorldScanView { world: self, date }
+    }
+
+    /// The SAN names a provider's gateway certificate carries at a site.
+    pub fn cert_sans(&self, spec: &ProviderSpec, site: usize) -> Vec<SanName> {
+        let site_spec = &spec.sites[site];
+        let names: Vec<String> = match &spec.domain_style {
+            DomainStyle::TenantServiceRegion { service, sld } => {
+                vec![format!("*.{service}.{}.{sld}", site_spec.code)]
+            }
+            DomainStyle::TenantSld { sld } => vec![format!("*.{sld}")],
+            DomainStyle::TenantRegion { sld } => {
+                let code = if spec.name == "siemens" {
+                    ["eu1", "us1", "cn1", "eu2"][site.min(3)].to_string()
+                } else {
+                    site_spec.code.clone()
+                };
+                vec![format!("*.{code}.{sld}")]
+            }
+            DomainStyle::ServiceRegion { services, sld } => services
+                .iter()
+                .map(|svc| format!("{svc}.{}.{sld}", site_spec.code))
+                .collect(),
+            DomainStyle::Fixed { names } => names.iter().map(|n| n.to_string()).collect(),
+        };
+        names
+            .iter()
+            .map(|n| SanName::parse(n).expect("valid SAN"))
+            .collect()
+    }
+
+    /// The TLS endpoint configuration of one server's TLS port.
+    fn endpoint_for(&self, server: &Server) -> TlsEndpoint {
+        let spec = &self.providers[server.provider];
+        let validity = certificate_validity();
+        let iot_cert = Certificate::new(
+            spec.display,
+            self.cert_sans(spec, server.site),
+            validity,
+        );
+        let generic_cert = Certificate::new(
+            "load-balancer",
+            vec![SanName::parse(&generic_front_name(spec, server)).expect("valid generic SAN")],
+            validity,
+        );
+        if server.cert_exposed && server.documented {
+            TlsEndpoint::plain(iot_cert)
+        } else {
+            // SNI-gated (or simply default-cert-generic) front: anonymous
+            // scanners harvest only the generic certificate; devices that
+            // present the right server name reach the IoT certificate.
+            TlsEndpoint::sni_gated(iot_cert, generic_cert)
+        }
+    }
+}
+
+/// Certificates in the world are valid over the whole simulated range.
+fn certificate_validity() -> StudyPeriod {
+    StudyPeriod::from_dates(Date::new(2021, 6, 1), Date::new(2022, 9, 1))
+}
+
+/// The uninformative certificate a hidden front presents.
+fn generic_front_name(spec: &ProviderSpec, server: &Server) -> String {
+    match &spec.sites[server.site].hosting {
+        SiteHosting::Cloud { cloud, region } => format!("*.{region}.{cloud}-elb.example"),
+        SiteHosting::Own { .. } => {
+            if spec.name == "google" {
+                "*.google-fe.example".to_string()
+            } else {
+                format!("*.fe.{}.example", spec.name)
+            }
+        }
+    }
+}
+
+impl ScanView for WorldScanView<'_> {
+    fn ipv4_hosts(&self) -> Vec<(Ipv4Addr, Vec<PortProto>)> {
+        let day = self.date.epoch_days();
+        let mut hosts = Vec::new();
+        for s in &self.world.servers {
+            if let IpAddr::V4(a) = s.ip {
+                if s.alive_on(day) {
+                    hosts.push((a, s.ports.clone()));
+                }
+            }
+        }
+        for b in &self.world.background {
+            hosts.push((b.ip, b.ports.clone()));
+        }
+        hosts
+    }
+
+    fn ipv6_ports(&self, addr: Ipv6Addr) -> Vec<PortProto> {
+        let day = self.date.epoch_days();
+        match self.world.server_by_ip.get(&IpAddr::V6(addr)) {
+            Some(&sid) => {
+                let s = &self.world.servers[sid];
+                if s.alive_on(day) {
+                    s.ports.clone()
+                } else {
+                    Vec::new()
+                }
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn tls_endpoint(&self, addr: IpAddr, port: PortProto) -> Option<TlsEndpoint> {
+        if port.transport != Transport::Tcp || is_plaintext_port(port.port) {
+            return None;
+        }
+        if let Some(&sid) = self.world.server_by_ip.get(&addr) {
+            let server = &self.world.servers[sid];
+            if !server.alive_on(self.date.epoch_days()) || !server.ports.contains(&port) {
+                return None;
+            }
+            let spec = &self.world.providers[server.provider];
+            let mut ep = self.world.endpoint_for(server);
+            if spec.client_cert_ports.contains(&port.port) {
+                ep.client_auth = ClientAuth::RequireClientCert;
+                // Mutual-TLS MQTT endpoints abort before the certificate.
+                ep.sni = SniPolicy::Ignore;
+            }
+            return Some(ep);
+        }
+        // Background hosts: boring certificates for their own domains.
+        if let IpAddr::V4(v4) = addr {
+            if let Some(b) = self.world.background.iter().find(|b| b.ip == v4) {
+                if b.ports.contains(&port) && port.port != 80 {
+                    let san = SanName::parse(&format!("*.{}", b.domain.second_level()))
+                        .expect("valid background SAN");
+                    return Some(TlsEndpoint::plain(Certificate::new(
+                        "background",
+                        vec![san],
+                        certificate_validity(),
+                    )));
+                }
+            }
+        }
+        None
+    }
+
+    fn geolocate(&self, addr: IpAddr) -> Option<Location> {
+        let world = self.world;
+        // Deterministic per-IP noise: the same IP always geolocates the
+        // same way in the scanner's database.
+        let mut rng = SimRng::new(world.geo_noise_seed ^ ip_hash(addr));
+        if let Some(&sid) = world.server_by_ip.get(&addr) {
+            let s = &world.servers[sid];
+            let city = world.site_city[s.provider][s.site];
+            return Some(world.geo.noisy_location(city, world.config.geo_error_rate, &mut rng));
+        }
+        if let IpAddr::V4(v4) = addr {
+            if let Some(b) = world.background.iter().find(|b| b.ip == v4) {
+                return Some(world.geo.noisy_location(b.city, world.config.geo_error_rate, &mut rng));
+            }
+        }
+        None
+    }
+}
+
+/// Ports that never speak TLS in this world.
+fn is_plaintext_port(port: u16) -> bool {
+    matches!(port, 80 | 1883 | 1884 | 9123 | 9124 | 61616)
+}
+
+fn ip_hash(addr: IpAddr) -> u64 {
+    match addr {
+        IpAddr::V4(a) => u32::from(a) as u64,
+        IpAddr::V6(a) => {
+            let v = u128::from(a);
+            (v as u64) ^ ((v >> 64) as u64)
+        }
+    }
+}
+
+/// Latency probing for looking glasses: geometry plus measurement noise.
+pub struct WorldLatencyProber<'a> {
+    pub world: &'a World,
+}
+
+impl iotmap_scan::LatencyProber for WorldLatencyProber<'_> {
+    fn rtt_ms(&self, site: &iotmap_scan::LookingGlassSite, target: IpAddr) -> Option<f64> {
+        let world = self.world;
+        let loc = if let Some(&sid) = world.server_by_ip.get(&target) {
+            let s = &world.servers[sid];
+            world.geo.location(world.site_city[s.provider][s.site]).clone()
+        } else if let IpAddr::V4(v4) = target {
+            let b = world.background.iter().find(|b| b.ip == v4)?;
+            world.geo.location(b.city).clone()
+        } else {
+            return None;
+        };
+        let km = site.location.distance_km(&loc);
+        let base = iotmap_nettypes::geo::rtt_ms_for_distance(km);
+        // Deterministic queueing/path noise of up to 20%.
+        let mut rng = SimRng::new(world.geo_noise_seed ^ ip_hash(target) ^ 0xA5A5);
+        Some(base * rng.f64_range(1.0, 1.2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use iotmap_scan::{CensysService, LatencyProber};
+    use iotmap_tls::{handshake, ClientHello};
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(42))
+    }
+
+    #[test]
+    fn censys_sweep_finds_microsoft_but_not_amazon_mqtt() {
+        let w = world();
+        let snap = CensysService::new().daily_sweep(&w.view_on(Date::new(2022, 2, 28)), Date::new(2022, 2, 28));
+        assert!(!snap.records.is_empty());
+        let azure = iotmap_dregex::query::CensysNameQuery::new("*.azure-devices.net").unwrap();
+        let found_ms = snap.search_names(&azure, StudyPeriod::main_week()).count();
+        let m = w.provider_index("microsoft");
+        let ms_total = w
+            .servers
+            .iter()
+            .filter(|s| s.provider == m && s.ip.is_ipv4() && s.documented)
+            .count();
+        // Fig. 3: Censys alone finds essentially all documented Microsoft
+        // IPs (each IP may carry records on several ports).
+        let distinct: std::collections::HashSet<_> = snap
+            .search_names(&azure, StudyPeriod::main_week())
+            .map(|r| r.ip)
+            .collect();
+        assert!(found_ms > 0);
+        assert!(
+            distinct.len() as f64 >= ms_total as f64 * 0.95,
+            "{} vs {}",
+            distinct.len(),
+            ms_total
+        );
+    }
+
+    #[test]
+    fn google_mqtt_ips_hidden_from_certificate_scans() {
+        let w = world();
+        let snap = CensysService::new().daily_sweep(&w.view_on(Date::new(2022, 2, 28)), Date::new(2022, 2, 28));
+        let q = iotmap_dregex::query::CensysNameQuery::new("mqtt.googleapis.com").unwrap();
+        let found: std::collections::HashSet<_> = snap
+            .search_names(&q, StudyPeriod::main_week())
+            .map(|r| r.ip)
+            .collect();
+        let g = w.provider_index("google");
+        let total = w
+            .servers
+            .iter()
+            .filter(|s| s.provider == g && !s.shared && s.ip.is_ipv4())
+            .count();
+        assert!(
+            (found.len() as f64) < total as f64 * 0.10,
+            "SNI should hide Google: {} of {}",
+            found.len(),
+            total
+        );
+    }
+
+    #[test]
+    fn devices_with_sni_reach_google_cert() {
+        let w = world();
+        let g = w.provider_index("google");
+        let server = w
+            .servers
+            .iter()
+            .find(|s| s.provider == g && !s.shared && s.ip.is_ipv4() && !s.cert_exposed)
+            .unwrap();
+        let view = w.view_on(Date::new(2022, 2, 28));
+        let ep = view.tls_endpoint(server.ip, PortProto::tcp(8883)).unwrap();
+        let hello = ClientHello::with_sni("mqtt.googleapis.com".parse().unwrap());
+        let out = handshake(&ep, &hello, Date::new(2022, 2, 28).midnight());
+        assert!(out
+            .observed_certificate()
+            .unwrap()
+            .covers(&"mqtt.googleapis.com".parse().unwrap()));
+    }
+
+    #[test]
+    fn amazon_mqtt_requires_client_cert() {
+        let w = world();
+        let a = w.provider_index("amazon");
+        let server = w
+            .servers
+            .iter()
+            .find(|s| s.provider == a && s.ip.is_ipv4())
+            .unwrap();
+        let view = w.view_on(Date::new(2022, 2, 28));
+        let ep = view.tls_endpoint(server.ip, PortProto::tcp(8883)).unwrap();
+        assert_eq!(ep.client_auth, ClientAuth::RequireClientCert);
+    }
+
+    #[test]
+    fn plaintext_ports_have_no_tls() {
+        let w = world();
+        let ali = w.provider_index("alibaba");
+        let server = w
+            .servers
+            .iter()
+            .find(|s| s.provider == ali && s.ip.is_ipv4())
+            .unwrap();
+        let view = w.view_on(Date::new(2022, 2, 28));
+        assert!(view.tls_endpoint(server.ip, PortProto::tcp(1883)).is_none());
+    }
+
+    #[test]
+    fn churned_servers_disappear_from_view() {
+        let w = world();
+        let (d0, _) = w.sim_days;
+        let eph = w
+            .servers
+            .iter()
+            .find(|s| s.ip.is_ipv4() && s.born_day > d0 + 10)
+            .expect("ephemeral server exists");
+        let before = Date::from_epoch_days(eph.born_day - 1);
+        let during = Date::from_epoch_days(eph.born_day);
+        let view_before = w.view_on(before);
+        let view_during = w.view_on(during);
+        let v4 = match eph.ip {
+            IpAddr::V4(a) => a,
+            _ => unreachable!(),
+        };
+        assert!(!view_before.ipv4_hosts().iter().any(|(a, _)| *a == v4));
+        assert!(view_during.ipv4_hosts().iter().any(|(a, _)| *a == v4));
+    }
+
+    #[test]
+    fn geolocation_mostly_right() {
+        let w = world();
+        let view = w.view_on(Date::new(2022, 2, 28));
+        let mut right = 0;
+        let mut total = 0;
+        for s in w.servers.iter().filter(|s| s.ip.is_ipv4()).take(500) {
+            let truth = w.geo.location(w.site_city[s.provider][s.site]);
+            let got = view.geolocate(s.ip).unwrap();
+            total += 1;
+            if got.city == truth.city {
+                right += 1;
+            }
+        }
+        let acc = right as f64 / total as f64;
+        assert!(acc > 0.90, "geo accuracy {acc}");
+        // And deterministic per IP.
+        let s = w.servers.iter().find(|s| s.ip.is_ipv4()).unwrap();
+        assert_eq!(view.geolocate(s.ip), view.geolocate(s.ip));
+    }
+
+    #[test]
+    fn latency_prober_reflects_geography() {
+        let w = world();
+        let prober = WorldLatencyProber { world: &w };
+        let sites = iotmap_scan::lookingglass::default_sites();
+        let m = w.provider_index("microsoft");
+        let fra_server = w
+            .servers
+            .iter()
+            .find(|s| {
+                s.provider == m && w.geo.location(w.site_city[s.provider][s.site]).city == "Frankfurt"
+            })
+            .unwrap();
+        let rtt_fra = prober.rtt_ms(&sites[0], fra_server.ip).unwrap(); // lg-frankfurt
+        let rtt_sin = prober.rtt_ms(&sites[2], fra_server.ip).unwrap(); // lg-singapore
+        assert!(rtt_fra < rtt_sin);
+    }
+}

@@ -1,0 +1,65 @@
+//! # iotmap — the IoT backend ecosystem, reproduced
+//!
+//! A full reproduction of *"Deep Dive into the IoT Backend Ecosystem"*
+//! (Saidi, Matic, Gasser, Smaragdakis, Feldmann — ACM IMC 2022) as a Rust
+//! workspace: the paper's multi-source IoT-backend discovery methodology,
+//! every substrate it depends on (TLS scanning, passive/active DNS, NetFlow,
+//! BGP, geolocation), and a deterministic synthetic Internet to run it
+//! against.
+//!
+//! This facade crate re-exports the workspace members under stable module
+//! names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`nettypes`] | `iotmap-nettypes` | addressing, prefixes, geo, time, RNG |
+//! | [`dregex`] | `iotmap-dregex` | the domain-pattern regex engine |
+//! | [`dns`] | `iotmap-dns` | zones, resolution, passive & active DNS |
+//! | [`tls`] | `iotmap-tls` | certificates and handshake behaviour |
+//! | [`scan`] | `iotmap-scan` | Censys-like scanning, hitlists, looking glasses |
+//! | [`netflow`] | `iotmap-netflow` | flow records, sampling, collectors |
+//! | [`stats`] | `iotmap-stats` | ECDFs, histograms, time series |
+//! | [`world`] | `iotmap-world` | the synthetic Internet ground truth |
+//! | [`core`] | `iotmap-core` | the paper's discovery & characterization pipeline |
+//! | [`traffic`] | `iotmap-traffic` | the ISP-side traffic analyses |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use iotmap::world::{World, WorldConfig};
+//! use iotmap::core::{DataSources, DiscoveryPipeline, PatternRegistry};
+//!
+//! // Build a deterministic synthetic Internet.
+//! let world = World::generate(&WorldConfig::small(42));
+//! let period = world.config.study_period;
+//!
+//! // Run the measurement instruments, then the paper's methodology.
+//! let scans = world.collect_scan_data(period);
+//! let sources = DataSources {
+//!     censys: &scans.censys,
+//!     zgrab_v6: &scans.zgrab_v6,
+//!     passive_dns: &world.passive_dns,
+//!     zones: &world.zones,
+//!     routeviews: &world.bgp,
+//!     latency: None,
+//! };
+//! let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
+//! let discovered = pipeline.run(&sources, period);
+//! for (provider, discovery) in discovered.per_provider() {
+//!     println!("{provider}: {} backend IPs", discovery.ips.len());
+//! }
+//! ```
+//!
+//! See `examples/` for complete, runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment-by-experiment reproduction notes.
+
+pub use iotmap_core as core;
+pub use iotmap_dns as dns;
+pub use iotmap_dregex as dregex;
+pub use iotmap_netflow as netflow;
+pub use iotmap_nettypes as nettypes;
+pub use iotmap_scan as scan;
+pub use iotmap_stats as stats;
+pub use iotmap_tls as tls;
+pub use iotmap_traffic as traffic;
+pub use iotmap_world as world;
