@@ -15,7 +15,12 @@ const AMAZON_PATTERN: &str = r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)(\.ama
 fn corpus(n: usize) -> Vec<String> {
     let mut rng = SimRng::new(7);
     let regions = ["us-east-1", "eu-west-1", "ap-southeast-2", "cn-north-4"];
-    let slds = ["amazonaws.com", "azure-devices.net", "example.org", "iot.sap"];
+    let slds = [
+        "amazonaws.com",
+        "azure-devices.net",
+        "example.org",
+        "iot.sap",
+    ];
     (0..n)
         .map(|i| {
             let region = regions[(rng.next_u64() % 4) as usize];

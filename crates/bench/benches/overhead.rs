@@ -1,0 +1,33 @@
+//! Overhead guard (bench form): `Experiment::prepare` at the small
+//! preset with no recorder installed vs with the no-op disabled path
+//! explicitly exercised. The assertion form of this guard lives in
+//! `tests/obs_overhead.rs`; this bench quantifies the margin.
+//!
+//! Gated behind the `bench-deps` feature (needs the `criterion`
+//! dev-dependency, which the offline tier-1 build cannot fetch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotmap_bench::Experiment;
+use iotmap_world::WorldConfig;
+
+fn prepare_uninstrumented(c: &mut Criterion) {
+    iotmap_obs::uninstall();
+    c.bench_function("prepare_small_no_recorder", |b| {
+        b.iter(|| Experiment::prepare(&WorldConfig::small(42)))
+    });
+}
+
+fn prepare_with_registry(c: &mut Criterion) {
+    c.bench_function("prepare_small_with_registry", |b| {
+        b.iter(|| {
+            let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
+            iotmap_obs::install(registry.clone());
+            let exp = Experiment::prepare(&WorldConfig::small(42));
+            iotmap_obs::uninstall();
+            (exp, registry.report())
+        })
+    });
+}
+
+criterion_group!(benches, prepare_uninstrumented, prepare_with_registry);
+criterion_main!(benches);

@@ -27,7 +27,9 @@ fn bench_lpm(c: &mut Criterion) {
         map.insert_v4(*p, *v);
     }
     let mut rng = SimRng::new(123);
-    let probes: Vec<Ipv4Addr> = (0..10_000).map(|_| Ipv4Addr::from(rng.next_u32())).collect();
+    let probes: Vec<Ipv4Addr> = (0..10_000)
+        .map(|_| Ipv4Addr::from(rng.next_u32()))
+        .collect();
 
     let mut group = c.benchmark_group("longest-prefix-match-20k-table");
     group.throughput(Throughput::Elements(probes.len() as u64));

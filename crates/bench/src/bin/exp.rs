@@ -11,20 +11,34 @@
 use iotmap_bench::{CliOptions, Experiment, SCANNER_THRESHOLD};
 use iotmap_core::disruptions::{BlocklistAudit, IncidentAudit, IncidentKind, RouteIncident};
 use iotmap_core::report::{pct, table1, TextTable};
-use iotmap_core::{Characterizer, GroundTruthReport, ObservedPorts, PatternRegistry, Source, StabilityAnalysis};
+use iotmap_core::{
+    Characterizer, GroundTruthReport, ObservedPorts, PatternRegistry, Source, StabilityAnalysis,
+};
 use iotmap_nettypes::{Date, StudyPeriod};
 use iotmap_traffic::{
-    analysis::BUCKET_LABELS, cascade_impact, source_ablation, visibility_per_provider,
-    RegionGroup, ScannerAnalysis,
+    analysis::BUCKET_LABELS, cascade_impact, source_ablation, visibility_per_provider, RegionGroup,
+    ScannerAnalysis,
 };
 use iotmap_world::{BgpStreamEventKind, WorldConfig};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::IpAddr;
 
-
 /// Optional artifact directory (`--out DIR`): tables are also written as
 /// CSV files there, one per experiment.
 static OUT_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
+/// Borrow the shared traffic pass, or exit with a clear error if the
+/// dispatch table and `needs_traffic` ever disagree (better than a bare
+/// `expect` panic deep in an experiment).
+fn require_traffic<'a, T>(traffic: &'a Option<T>, experiment: &str) -> &'a T {
+    traffic.as_ref().unwrap_or_else(|| {
+        eprintln!(
+            "internal error: experiment {experiment:?} needs the shared traffic pass, \
+             but it was not prepared — fix the `needs_traffic` experiment list in exp.rs"
+        );
+        std::process::exit(2);
+    })
+}
 
 /// Print a table and, when `--out` was given, persist it as CSV.
 fn emit_table(name: &str, t: &TextTable) {
@@ -59,12 +73,45 @@ fn main() {
         .set(opts.out_dir.clone().map(std::path::PathBuf::from))
         .expect("OUT_DIR set once");
 
+    // Observability: `--trace` and `--metrics` install a recorder for the
+    // whole run; the report is emitted just before exit.
+    let instrumented = opts.trace || opts.metrics.is_some();
+    let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
+    if instrumented {
+        iotmap_obs::install(registry.clone());
+    }
+
     let all = [
-        "table1", "fig3", "fig4", "vantage", "validation", "shared", "diversity",
-        "ports-observed", "consistency", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "fig15", "fig16",
-        "outage-deps", "sec62-bgp", "sec62-blocklist", "cascade", "monitor",
-        "ablation-coverage", "ablation-hitlist",
+        "table1",
+        "fig3",
+        "fig4",
+        "vantage",
+        "validation",
+        "shared",
+        "diversity",
+        "ports-observed",
+        "consistency",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12a",
+        "fig12b",
+        "fig12c",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "outage-deps",
+        "sec62-bgp",
+        "sec62-blocklist",
+        "cascade",
+        "monitor",
+        "ablation-coverage",
+        "ablation-hitlist",
     ];
     let selected: Vec<&str> = if opts.experiment == "all" {
         all.to_vec()
@@ -90,14 +137,29 @@ fn main() {
         exp.discovery.all_ips().len()
     );
 
-    // The main-week traffic analysis is shared by most figures.
-    let needs_traffic = selected.iter().any(|e| {
-        matches!(
-            *e,
-            "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12a" | "fig12b"
-                | "fig12c" | "fig13" | "fig14" | "validation"
-        )
-    });
+    // The main-week traffic analysis is shared by most figures. An
+    // instrumented run always performs it, so the emitted report covers a
+    // full reference pipeline (discovery → footprints → traffic analysis)
+    // regardless of which experiment was selected.
+    let needs_traffic = instrumented
+        || selected.iter().any(|e| {
+            matches!(
+                *e,
+                "fig5"
+                    | "fig6"
+                    | "fig7"
+                    | "fig8"
+                    | "fig9"
+                    | "fig10"
+                    | "fig11"
+                    | "fig12a"
+                    | "fig12b"
+                    | "fig12c"
+                    | "fig13"
+                    | "fig14"
+                    | "validation"
+            )
+        });
     let traffic = if needs_traffic {
         eprintln!("# simulating main-week ISP traffic…");
         let contacts = exp.contact_pass(config.study_period);
@@ -119,26 +181,26 @@ fn main() {
             "shared" => run_shared(&exp),
             "diversity" => run_diversity(&exp),
             "fig5" => {
-                let (contacts, _, _) = traffic.as_ref().expect("traffic pass");
+                let (contacts, _, _) = require_traffic(&traffic, name);
                 run_fig5(&exp, contacts);
             }
             "fig6" => {
-                let (contacts, excluded, _) = traffic.as_ref().expect("traffic pass");
+                let (contacts, excluded, _) = require_traffic(&traffic, name);
                 run_fig6(&exp, contacts, excluded);
             }
             "fig7" => {
-                let (contacts, excluded, _) = traffic.as_ref().expect("traffic pass");
+                let (contacts, excluded, _) = require_traffic(&traffic, name);
                 run_fig7(&exp, contacts, excluded);
             }
-            "fig8" => run_fig8(&exp, &traffic.as_ref().expect("traffic").2),
-            "fig9" => run_fig9(&exp, &traffic.as_ref().expect("traffic").2),
-            "fig10" => run_fig10(&exp, &traffic.as_ref().expect("traffic").2),
-            "fig11" => run_fig11(&exp, &traffic.as_ref().expect("traffic").2),
-            "fig12a" => run_fig12a(&traffic.as_ref().expect("traffic").2),
-            "fig12b" => run_fig12b(&exp, &traffic.as_ref().expect("traffic").2),
-            "fig12c" => run_fig12c(&traffic.as_ref().expect("traffic").2),
-            "fig13" => run_fig13(&traffic.as_ref().expect("traffic").2),
-            "fig14" => run_fig14(&traffic.as_ref().expect("traffic").2),
+            "fig8" => run_fig8(&exp, &require_traffic(&traffic, name).2),
+            "fig9" => run_fig9(&exp, &require_traffic(&traffic, name).2),
+            "fig10" => run_fig10(&exp, &require_traffic(&traffic, name).2),
+            "fig11" => run_fig11(&exp, &require_traffic(&traffic, name).2),
+            "fig12a" => run_fig12a(&require_traffic(&traffic, name).2),
+            "fig12b" => run_fig12b(&exp, &require_traffic(&traffic, name).2),
+            "fig12c" => run_fig12c(&require_traffic(&traffic, name).2),
+            "fig13" => run_fig13(&require_traffic(&traffic, name).2),
+            "fig14" => run_fig14(&require_traffic(&traffic, name).2),
             "fig15" | "fig16" | "outage-deps" => run_outage(&exp, name),
             "ports-observed" => run_ports_observed(&exp),
             "consistency" => run_consistency(&exp, &config),
@@ -149,6 +211,39 @@ fn main() {
             "sec62-blocklist" => run_sec62_blocklist(&exp),
             "cascade" => run_cascade(&exp),
             _ => unreachable!(),
+        }
+    }
+
+    if instrumented {
+        iotmap_obs::uninstall();
+        let report = registry.report();
+        if opts.trace {
+            eprintln!("\n# ---- span tree ----");
+            eprint!("{}", report.render_span_tree());
+        }
+        if let Some(path) = &opts.metrics {
+            let path = std::path::Path::new(path);
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("# failed to create {}: {e}", parent.display());
+                    std::process::exit(1);
+                }
+            }
+            if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+                eprintln!("# failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            // A human-readable companion next to the machine report.
+            let md_path = path.with_extension("md");
+            if let Err(e) = std::fs::write(&md_path, report.to_markdown()) {
+                eprintln!("# failed to write {}: {e}", md_path.display());
+                std::process::exit(1);
+            }
+            eprintln!(
+                "# wrote metrics to {} (+ {})",
+                path.display(),
+                md_path.display()
+            );
         }
     }
 }
@@ -171,7 +266,14 @@ fn run_table1(exp: &Experiment) {
 
 fn run_fig3(exp: &Experiment) {
     let mut t = TextTable::new(&[
-        "Provider", "Family", "Certs", "V6Scan", "PassiveDNS", "ActiveDNS", "Multiple", "Total",
+        "Provider",
+        "Family",
+        "Certs",
+        "V6Scan",
+        "PassiveDNS",
+        "ActiveDNS",
+        "Multiple",
+        "Total",
     ]);
     for (name, disc) in exp.discovery.per_provider() {
         for v6 in [false, true] {
@@ -183,10 +285,22 @@ fn run_fig3(exp: &Experiment) {
             t.row(vec![
                 name.to_string(),
                 if v6 { "IPv6" } else { "IPv4" }.to_string(),
-                excl.get(&Source::Certificate).copied().unwrap_or(0).to_string(),
-                excl.get(&Source::Ipv6Scan).copied().unwrap_or(0).to_string(),
-                excl.get(&Source::PassiveDns).copied().unwrap_or(0).to_string(),
-                excl.get(&Source::ActiveDns).copied().unwrap_or(0).to_string(),
+                excl.get(&Source::Certificate)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                excl.get(&Source::Ipv6Scan)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                excl.get(&Source::PassiveDns)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                excl.get(&Source::ActiveDns)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
                 multi.to_string(),
                 total.to_string(),
             ]);
@@ -318,8 +432,7 @@ fn run_shared(exp: &Experiment) {
     let period = exp.world.config.study_period;
     let mut t = TextTable::new(&["Provider", "Dedicated", "Shared"]);
     for (name, disc) in exp.discovery.per_provider() {
-        let (dedicated, shared) =
-            classifier.split_provider(disc, &exp.world.passive_dns, period);
+        let (dedicated, shared) = classifier.split_provider(disc, &exp.world.passive_dns, period);
         if dedicated.is_empty() && shared.is_empty() {
             continue;
         }
@@ -444,7 +557,11 @@ fn provider_groups(exp: &Experiment) -> Vec<(&'static str, Vec<String>)> {
             _ => rest.push(p.to_string()),
         }
     }
-    vec![("top-4", top4), ("cloud-dependent", cloud), ("others", rest)]
+    vec![
+        ("top-4", top4),
+        ("cloud-dependent", cloud),
+        ("others", rest),
+    ]
 }
 
 fn run_fig8(exp: &Experiment, report: &iotmap_traffic::AnalysisReport) {
@@ -452,7 +569,9 @@ fn run_fig8(exp: &Experiment, report: &iotmap_traffic::AnalysisReport) {
     for (group, providers) in provider_groups(exp) {
         println!("--- {group} ---");
         for p in providers {
-            let Some(series) = report.fig8_lines(&p) else { continue };
+            let Some(series) = report.fig8_lines(&p) else {
+                continue;
+            };
             if series.total() < 15.0 {
                 continue; // the paper's ≥15-lines-per-hour filter
             }
@@ -480,7 +599,9 @@ fn run_fig9(exp: &Experiment, report: &iotmap_traffic::AnalysisReport) {
     for (group, providers) in provider_groups(exp) {
         println!("--- {group} ---");
         for p in providers {
-            let Some(series) = report.fig9_downstream(&p) else { continue };
+            let Some(series) = report.fig9_downstream(&p) else {
+                continue;
+            };
             if series.total() <= 0.0 {
                 continue;
             }
@@ -557,7 +678,9 @@ fn run_fig12b(exp: &Experiment, report: &iotmap_traffic::AnalysisReport) {
     let mut rows: Vec<&String> = report.providers().iter().collect();
     rows.sort_by_key(|p| exp.label(p));
     for p in rows {
-        let Some(e) = report.fig12b_ecdf(p) else { continue };
+        let Some(e) = report.fig12b_ecdf(p) else {
+            continue;
+        };
         if e.is_empty() {
             continue;
         }
@@ -592,8 +715,13 @@ fn run_fig12c(report: &iotmap_traffic::AnalysisReport) {
 
 fn run_fig13(report: &iotmap_traffic::AnalysisReport) {
     let (eu_only, us_any, mix, other_only) = report.fig13_line_buckets();
-    println!("lines: EU-only {} | contact US {} | EU+US mix {} | Asia/other-only {}",
-        pct(eu_only), pct(us_any), pct(mix), pct(other_only));
+    println!(
+        "lines: EU-only {} | contact US {} | EU+US mix {} | Asia/other-only {}",
+        pct(eu_only),
+        pct(us_any),
+        pct(mix),
+        pct(other_only)
+    );
     let servers = report.fig13_server_buckets();
     let cells: Vec<String> = BUCKET_LABELS
         .iter()
@@ -698,7 +826,9 @@ fn run_outage(exp: &Experiment, which: &str) {
                 if !label.starts_with('D') {
                     continue;
                 }
-                let Some(series) = report.fig9_downstream(p) else { continue };
+                let Some(series) = report.fig9_downstream(p) else {
+                    continue;
+                };
                 if series.total() <= 0.0 {
                     continue;
                 }
@@ -752,12 +882,24 @@ fn run_ports_observed(exp: &Experiment) {
             .map(|(p, n)| format!("{p}:{n}"))
             .collect();
         let undoc: Vec<String> = obs.undocumented.iter().map(|p| p.to_string()).collect();
-        let blind: Vec<String> = obs.cert_blind_ports().iter().map(|p| p.to_string()).collect();
+        let blind: Vec<String> = obs
+            .cert_blind_ports()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
         t.row(vec![
             patterns.name.to_string(),
             listeners.join(" "),
-            if undoc.is_empty() { "-".into() } else { undoc.join(" ") },
-            if blind.is_empty() { "-".into() } else { blind.join(" ") },
+            if undoc.is_empty() {
+                "-".into()
+            } else {
+                undoc.join(" ")
+            },
+            if blind.is_empty() {
+                "-".into()
+            } else {
+                blind.join(" ")
+            },
         ]);
     }
     emit_table("ports-observed", &t);
@@ -829,7 +971,11 @@ fn run_ablation_coverage(config: &WorldConfig) {
             ..config.clone()
         };
         let (v4, v6) = coverage_point(cfg);
-        t.row(vec![format!("{coverage:.2}"), v4.to_string(), v6.to_string()]);
+        t.row(vec![
+            format!("{coverage:.2}"),
+            v4.to_string(),
+            v6.to_string(),
+        ]);
     }
     emit_table("ablation-coverage", &t);
     println!("(discovery degrades gracefully: certificates and active DNS backfill most losses)");
@@ -886,18 +1032,25 @@ fn run_monitor(exp: &Experiment) {
         routeviews: &exp.world.bgp,
         latency: None,
     };
-    let dec_result = iotmap_core::DiscoveryPipeline::new(PatternRegistry::paper_defaults())
-        .run(&sources, dec);
+    let dec_result =
+        iotmap_core::DiscoveryPipeline::new(PatternRegistry::paper_defaults()).run(&sources, dec);
     let mut dec_fps = BTreeMap::new();
     for (name, disc) in dec_result.per_provider() {
         dec_fps.insert(name.to_string(), FootprintInference::infer(disc, &sources));
     }
-    let feb_fps: BTreeMap<String, iotmap_core::Footprint> =
-        exp.footprints.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let feb_fps: BTreeMap<String, iotmap_core::Footprint> = exp
+        .footprints
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
 
     let mut monitor = Monitor::new();
     monitor.push(MonitoringWindow::capture("2021-12", &dec_result, &dec_fps));
-    monitor.push(MonitoringWindow::capture("2022-02", &exp.discovery, &feb_fps));
+    monitor.push(MonitoringWindow::capture(
+        "2022-02",
+        &exp.discovery,
+        &feb_fps,
+    ));
     let findings = monitor.latest_findings();
     if findings.is_empty() {
         println!("no findings: every backend footprint is stable across windows");
@@ -956,12 +1109,7 @@ fn run_sec62_blocklist(exp: &Experiment) {
     let categories: BTreeMap<IpAddr, Vec<String>> = firehol
         .planted
         .iter()
-        .map(|h| {
-            (
-                h.ip,
-                h.categories.iter().map(|c| c.to_string()).collect(),
-            )
-        })
+        .map(|h| (h.ip, h.categories.iter().map(|c| c.to_string()).collect()))
         .collect();
     let audit = BlocklistAudit::run(&exp.discovery, &firehol.set, &categories);
     println!(
@@ -969,7 +1117,10 @@ fn run_sec62_blocklist(exp: &Experiment) {
         firehol.set.len(),
         firehol.source_lists
     );
-    println!("backend IPs found on the blocklist: {}", audit.findings.len());
+    println!(
+        "backend IPs found on the blocklist: {}",
+        audit.findings.len()
+    );
     for (provider, n) in audit.per_provider() {
         println!("  {provider}: {n}");
     }

@@ -39,6 +39,7 @@ impl Experiment {
     /// the study (discovery, validation, footprints); traffic passes are
     /// separate because different experiments need different sinks.
     pub fn prepare(config: &WorldConfig) -> Experiment {
+        let _span = iotmap_obs::span!("experiment.prepare");
         let world = World::generate(config);
         let period = config.study_period;
         let scans = world.collect_scan_data(period);
@@ -57,6 +58,7 @@ impl Experiment {
         };
 
         // Footprints and shared-IP classification.
+        let fp_span = iotmap_obs::span!("experiment.footprints");
         let registry = PatternRegistry::paper_defaults();
         let classifier = SharedIpClassifier::new(&registry);
         let mut footprints = HashMap::new();
@@ -76,6 +78,7 @@ impl Experiment {
                 shared_ips.extend(shared.keys().copied());
             }
         }
+        fp_span.exit();
 
         let index = IpIndex::build(&discovery, &footprints, &shared_ips);
         Experiment {
@@ -103,6 +106,7 @@ impl Experiment {
 
     /// First traffic pass: per-line backend contact sets over a period.
     pub fn contact_pass(&self, period: StudyPeriod) -> ContactSink<'_> {
+        let _span = iotmap_obs::span!("traffic.contact_pass");
         let sim = TrafficSimulator::new(&self.world);
         let mut sink = ContactSink::new(&self.index);
         sim.run(period, &mut sink);
@@ -111,17 +115,17 @@ impl Experiment {
 
     /// Scanner exclusion at the paper's threshold.
     pub fn excluded_lines(&self, contacts: &ContactSink<'_>) -> HashSet<LineId> {
+        let _span = iotmap_obs::span!("traffic.scanner_exclusion");
         let analysis = ScannerAnalysis::new(&self.index, contacts);
-        analysis.flagged_lines(SCANNER_THRESHOLD)
+        let flagged = analysis.flagged_lines(SCANNER_THRESHOLD);
+        iotmap_obs::gauge!("traffic.scanner.lines_excluded", flagged.len() as i64);
+        flagged
     }
 
     /// Second traffic pass: the full analysis report with scanners
     /// excluded.
-    pub fn analysis_pass(
-        &self,
-        period: StudyPeriod,
-        excluded: &HashSet<LineId>,
-    ) -> AnalysisReport {
+    pub fn analysis_pass(&self, period: StudyPeriod, excluded: &HashSet<LineId>) -> AnalysisReport {
+        let _span = iotmap_obs::span!("traffic.analysis_pass");
         let sim = TrafficSimulator::new(&self.world);
         let mut sink = AnalysisSink::new(&self.index, excluded, period);
         sim.run(period, &mut sink);
@@ -156,6 +160,10 @@ pub struct CliOptions {
     pub experiment: String,
     /// Directory to persist CSV artifacts into (`--out DIR`).
     pub out_dir: Option<String>,
+    /// Print the instrumented span tree to stderr at exit (`--trace`).
+    pub trace: bool,
+    /// Write metrics as JSON-lines to this file at exit (`--metrics FILE`).
+    pub metrics: Option<String>,
 }
 
 impl CliOptions {
@@ -166,6 +174,8 @@ impl CliOptions {
         let mut preset = "paper".to_string();
         let mut experiment = None;
         let mut out_dir = None;
+        let mut trace = false;
+        let mut metrics = None;
         let mut it = args.skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -182,6 +192,12 @@ impl CliOptions {
                 "--out" => {
                     out_dir = Some(it.next().ok_or("--out needs a directory")?);
                 }
+                "--trace" => {
+                    trace = true;
+                }
+                "--metrics" => {
+                    metrics = Some(it.next().ok_or("--metrics needs a file path")?);
+                }
                 "--help" | "-h" => return Err(usage()),
                 other if experiment.is_none() && !other.starts_with('-') => {
                     experiment = Some(other.to_string());
@@ -194,6 +210,8 @@ impl CliOptions {
             preset,
             experiment: experiment.ok_or_else(usage)?,
             out_dir,
+            trace,
+            metrics,
         })
     }
 
@@ -210,6 +228,7 @@ impl CliOptions {
 
 fn usage() -> String {
     "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
+     \x20          [--trace] [--metrics FILE]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist"
@@ -232,17 +251,29 @@ mod tests {
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.preset, "small");
         assert!(opts.config().is_ok());
+        assert!(!opts.trace);
+        assert!(opts.metrics.is_none());
+
+        let opts = CliOptions::parse(
+            ["exp", "table1", "--trace", "--metrics", "m.jsonl"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(opts.trace);
+        assert_eq!(opts.metrics.as_deref(), Some("m.jsonl"));
     }
 
     #[test]
     fn cli_rejects_bad_input() {
         assert!(CliOptions::parse(["exp"].iter().map(|s| s.to_string())).is_err());
-        assert!(
-            CliOptions::parse(["exp", "x", "--bogus"].iter().map(|s| s.to_string())).is_err()
-        );
-        let opts =
-            CliOptions::parse(["exp", "x", "--preset", "huge"].iter().map(|s| s.to_string()))
-                .unwrap();
+        assert!(CliOptions::parse(["exp", "x", "--bogus"].iter().map(|s| s.to_string())).is_err());
+        let opts = CliOptions::parse(
+            ["exp", "x", "--preset", "huge"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
         assert!(opts.config().is_err());
     }
 

@@ -1,0 +1,110 @@
+//! Golden-file test for the `--metrics` JSON-lines report: a small-preset
+//! `exp table1 --metrics` run must emit well-formed JSON-lines covering
+//! every key listed in `tests/golden/metrics_keys.txt` (discovery
+//! per-source tallies, footprint inference, and the traffic analysis).
+
+use std::collections::HashSet;
+use std::process::Command;
+
+/// Minimal well-formedness check for one JSON-lines record. The writer is
+/// hand-rolled (no serde anywhere in the workspace), so the reader side
+/// stays deliberately simple: object braces, balanced quotes, and the
+/// key/value pairs we extract below.
+fn assert_wellformed(line: &str) {
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "not a JSON object: {line}"
+    );
+    assert_eq!(
+        line.matches('"').count() % 2,
+        0,
+        "unbalanced quotes: {line}"
+    );
+}
+
+/// Extract the string value of `"field":"..."` from a flat JSON object.
+fn str_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let end = start + line[start..].find('"')?;
+    Some(&line[start..end])
+}
+
+#[test]
+fn metrics_jsonl_covers_golden_keys() {
+    let out_file =
+        std::env::temp_dir().join(format!("iotmap-obs-metrics-{}.jsonl", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_exp"))
+        .args([
+            "table1",
+            "--preset",
+            "small",
+            "--metrics",
+            out_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run exp binary");
+    assert!(
+        output.status.success(),
+        "exp failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let jsonl = std::fs::read_to_string(&out_file).expect("metrics file written");
+    let md =
+        std::fs::read_to_string(out_file.with_extension("md")).expect("markdown companion written");
+    std::fs::remove_file(&out_file).ok();
+    std::fs::remove_file(out_file.with_extension("md")).ok();
+    assert!(
+        md.contains("## Span tree"),
+        "markdown companion has the tree"
+    );
+
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(
+        lines.len() > 50,
+        "expected a rich report, got {} lines",
+        lines.len()
+    );
+    assert_eq!(
+        lines[0], "{\"type\":\"meta\",\"format\":\"iotmap-obs.v1\"}",
+        "first line is the format header"
+    );
+
+    // Collect `(type, name)` pairs, checking well-formedness as we go.
+    let mut emitted: HashSet<(String, String)> = HashSet::new();
+    for line in &lines {
+        assert_wellformed(line);
+        let ty = str_field(line, "type").expect("every line has a type");
+        if ty == "meta" {
+            continue;
+        }
+        let name = str_field(line, "name").expect("every record has a name");
+        emitted.insert((ty.to_string(), name.to_string()));
+        if ty == "span" {
+            // Spans also carry a slash-joined path ending in their name.
+            let path = str_field(line, "path").expect("span has a path");
+            assert!(path.ends_with(name), "path {path:?} ends with {name:?}");
+        }
+    }
+
+    // Subset check against the golden key list.
+    let golden = include_str!("golden/metrics_keys.txt");
+    let mut missing = Vec::new();
+    for entry in golden.lines() {
+        let entry = entry.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        let (ty, name) = entry.split_once(' ').expect("golden line is `type name`");
+        if !emitted.contains(&(ty.to_string(), name.to_string())) {
+            missing.push(entry.to_string());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "metrics run is missing {} golden key(s):\n{}",
+        missing.len(),
+        missing.join("\n")
+    );
+}

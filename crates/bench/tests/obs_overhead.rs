@@ -1,0 +1,66 @@
+//! Overhead guard: instrumentation must cost ~nothing when no recorder is
+//! installed, and a no-op recorder must not slow the pipeline either.
+//!
+//! `Experiment::prepare` at the small preset runs the full world build,
+//! scan collection, discovery, and footprint inference — every span and
+//! counter site in the hot paths fires (or is skipped) here. We compare
+//! the disabled path against a literal no-op `Recorder` and assert the
+//! difference stays under 5% (plus a small absolute slack so scheduler
+//! jitter on a ~10s workload cannot flake the suite).
+
+use iotmap_bench::Experiment;
+use iotmap_obs::Recorder;
+use iotmap_world::WorldConfig;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// A recorder that pays the dispatch cost and drops everything.
+struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn span_enter(&self, _name: &str) -> usize {
+        0
+    }
+    fn span_exit(&self, _id: usize, _nanos: u64) {}
+    fn add(&self, _name: &str, _delta: u64) {}
+    fn gauge(&self, _name: &str, _value: i64) {}
+    fn observe(&self, _name: &str, _value: u64) {}
+}
+
+fn timed_prepare(config: &WorldConfig) -> Duration {
+    let t0 = Instant::now();
+    let exp = Experiment::prepare(config);
+    let elapsed = t0.elapsed();
+    // Keep the result alive until after the clock stops, and sanity-check
+    // that the run actually did the work.
+    assert!(exp.index.len() > 100);
+    elapsed
+}
+
+#[test]
+fn noop_recorder_overhead_is_bounded() {
+    let config = WorldConfig::small(42);
+
+    // Warm-up (page cache, allocator) outside the measurement.
+    iotmap_obs::uninstall();
+    let _ = timed_prepare(&config);
+
+    // Interleave the two configurations and keep the best of each, which
+    // cancels one-sided load spikes.
+    let mut disabled = Duration::MAX;
+    let mut noop = Duration::MAX;
+    for _ in 0..2 {
+        iotmap_obs::uninstall();
+        disabled = disabled.min(timed_prepare(&config));
+
+        iotmap_obs::install(Rc::new(NoopRecorder));
+        noop = noop.min(timed_prepare(&config));
+        iotmap_obs::uninstall();
+    }
+
+    let budget = disabled.mul_f64(1.05) + Duration::from_millis(300);
+    assert!(
+        noop <= budget,
+        "no-op recorder too expensive: disabled={disabled:?} noop={noop:?} budget={budget:?}"
+    );
+}

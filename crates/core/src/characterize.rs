@@ -73,6 +73,8 @@ impl Characterizer {
         footprint: &Footprint,
         sources: &DataSources<'_>,
     ) -> CharacterizationRow {
+        let _span = iotmap_obs::span!(format!("core.characterize.{}", discovery.name));
+        iotmap_obs::count!("characterize.rows");
         let mut asns = BTreeSet::new();
         let mut s24 = BTreeSet::new();
         let mut s56 = BTreeSet::new();
@@ -98,8 +100,8 @@ impl Characterizer {
             }
             if let Some(origin) = sources.routeviews.origin(ip) {
                 asns.insert(origin.asn);
-                let is_cloud_org = CLOUD_ORGS.iter().any(|o| origin.org == *o)
-                    && !origin.org.contains(self_cloud);
+                let is_cloud_org =
+                    CLOUD_ORGS.iter().any(|o| origin.org == *o) && !origin.org.contains(self_cloud);
                 if is_cloud_org {
                     cloud_announced += 1;
                 } else {
@@ -164,7 +166,13 @@ mod tests {
             asn: Asn(asn),
             org: org.to_string(),
             location_label: "x".into(),
-            location: Some(Location::new("Frankfurt", "DE", Continent::Europe, 50.1, 8.7)),
+            location: Some(Location::new(
+                "Frankfurt",
+                "DE",
+                Continent::Europe,
+                50.1,
+                8.7,
+            )),
         }
     }
 

@@ -47,6 +47,17 @@ impl Source {
         }
     }
 
+    /// Stable lowercase key used in metric names
+    /// (`discovery.<key>.ips_discovered`).
+    pub fn metric_key(&self) -> &'static str {
+        match self {
+            Source::Certificate => "certificates",
+            Source::Ipv6Scan => "ipv6_scan",
+            Source::PassiveDns => "passive_dns",
+            Source::ActiveDns => "active_dns",
+        }
+    }
+
     fn bit(&self) -> u8 {
         match self {
             Source::Certificate => 1,
@@ -206,12 +217,18 @@ impl DiscoveryResult {
 
     /// All discovered IPv4 addresses.
     pub fn all_v4(&self) -> HashSet<IpAddr> {
-        self.all_ips().into_iter().filter(|ip| ip.is_ipv4()).collect()
+        self.all_ips()
+            .into_iter()
+            .filter(|ip| ip.is_ipv4())
+            .collect()
     }
 
     /// All discovered IPv6 addresses.
     pub fn all_v6(&self) -> HashSet<IpAddr> {
-        self.all_ips().into_iter().filter(|ip| ip.is_ipv6()).collect()
+        self.all_ips()
+            .into_iter()
+            .filter(|ip| ip.is_ipv6())
+            .collect()
     }
 }
 
@@ -242,6 +259,7 @@ impl DiscoveryPipeline {
 
     /// Run all four instruments over a study period.
     pub fn run(&self, sources: &DataSources<'_>, period: StudyPeriod) -> DiscoveryResult {
+        let _span = iotmap_obs::span!("core.discovery");
         let mut result = DiscoveryResult {
             providers: self
                 .registry
@@ -258,6 +276,7 @@ impl DiscoveryPipeline {
         self.harvest_v6_scans(sources, period, &mut result);
         self.harvest_passive_dns(sources, period, &mut result);
         self.harvest_active_dns(sources, period, &mut result);
+        flush_discovery_totals(&result);
         result
     }
 
@@ -280,6 +299,7 @@ impl DiscoveryPipeline {
                 })
                 .collect(),
         };
+        let _span = iotmap_obs::span!("core.discovery.channels");
         if channels.contains(&Source::Certificate) {
             self.harvest_certificates(sources, period, &mut result);
         }
@@ -292,6 +312,7 @@ impl DiscoveryPipeline {
         if channels.contains(&Source::ActiveDns) {
             self.harvest_active_dns(sources, period, &mut result);
         }
+        flush_discovery_totals(&result);
         result
     }
 
@@ -301,6 +322,8 @@ impl DiscoveryPipeline {
         period: StudyPeriod,
         result: &mut DiscoveryResult,
     ) {
+        let _span = iotmap_obs::span!("discovery.certificates");
+        let mut matches = vec![0u64; result.providers.len()];
         for snapshot in sources.censys {
             let day = snapshot.date.epoch_days();
             let midnight = snapshot.date.midnight();
@@ -309,10 +332,8 @@ impl DiscoveryPipeline {
             }
             for (pi, patterns) in self.registry.providers().iter().enumerate() {
                 for record in snapshot.search_regex(&patterns.san_regex, period) {
-                    let entry = result.providers[pi]
-                        .ips
-                        .entry(record.ip)
-                        .or_default();
+                    matches[pi] += 1;
+                    let entry = result.providers[pi].ips.entry(record.ip).or_default();
                     entry.sources.insert(Source::Certificate);
                     entry.days.insert(day);
                     if entry.censys_location.is_none() {
@@ -329,6 +350,7 @@ impl DiscoveryPipeline {
                 }
             }
         }
+        flush_provider_matches(Source::Certificate, result, &matches);
     }
 
     fn harvest_v6_scans(
@@ -337,9 +359,12 @@ impl DiscoveryPipeline {
         period: StudyPeriod,
         result: &mut DiscoveryResult,
     ) {
+        let _span = iotmap_obs::span!("discovery.ipv6_scan");
+        let mut matches = vec![0u64; result.providers.len()];
         let first_day = period.start.epoch_days();
         for (pi, patterns) in self.registry.providers().iter().enumerate() {
             for record in filter_records(sources.zgrab_v6, &patterns.san_regex, period) {
+                matches[pi] += 1;
                 let entry = result.providers[pi]
                     .ips
                     .entry(IpAddr::V6(record.ip))
@@ -356,6 +381,7 @@ impl DiscoveryPipeline {
                 }
             }
         }
+        flush_provider_matches(Source::Ipv6Scan, result, &matches);
     }
 
     fn harvest_passive_dns(
@@ -364,15 +390,20 @@ impl DiscoveryPipeline {
         period: StudyPeriod,
         result: &mut DiscoveryResult,
     ) {
+        let _span = iotmap_obs::span!("discovery.passive_dns");
+        let mut matches = vec![0u64; result.providers.len()];
+        let mut rrsets_scanned = 0u64;
         let pdns = sources.passive_dns;
         for (pi, patterns) in self.registry.providers().iter().enumerate() {
             // Direct search: every entry whose owner matches the pattern.
             // (One linear scan per provider — DNSDB's flexible search.)
             let mut cname_targets: Vec<(DomainName, DomainName)> = Vec::new();
             for entry in pdns.entries() {
+                rrsets_scanned += 1;
                 if !entry.observed_in(&period) || !patterns.matches_owner(&entry.owner) {
                     continue;
                 }
+                matches[pi] += 1;
                 result.providers[pi].domains.insert(entry.owner.clone());
                 match &entry.rdata {
                     RData::Cname(target) => {
@@ -386,7 +417,10 @@ impl DiscoveryPipeline {
                                 ip,
                                 &entry.owner,
                                 entry.time_first.epoch_days().max(period.start.epoch_days()),
-                                entry.time_last.epoch_days().min(period.end.epoch_days() - 1),
+                                entry
+                                    .time_last
+                                    .epoch_days()
+                                    .min(period.end.epoch_days() - 1),
                             );
                         }
                     }
@@ -403,12 +437,17 @@ impl DiscoveryPipeline {
                             ip,
                             &owner,
                             entry.time_first.epoch_days().max(period.start.epoch_days()),
-                            entry.time_last.epoch_days().min(period.end.epoch_days() - 1),
+                            entry
+                                .time_last
+                                .epoch_days()
+                                .min(period.end.epoch_days() - 1),
                         );
                     }
                 }
             }
         }
+        iotmap_obs::count!("discovery.pdns.rrsets_scanned", rrsets_scanned);
+        flush_provider_matches(Source::PassiveDns, result, &matches);
     }
 
     fn note_pdns_ip(
@@ -438,6 +477,8 @@ impl DiscoveryPipeline {
     ) {
         // Seed: every matching domain seen in passive DNS during the
         // period (the paper resolves "all domains identified via DNSDB").
+        let _span = iotmap_obs::span!("discovery.active_dns");
+        let mut matches = vec![0u64; result.providers.len()];
         for (pi, patterns) in self.registry.providers().iter().enumerate() {
             let mut seeds: BTreeSet<DomainName> = result.providers[pi].domains.clone();
             for owner in sources.passive_dns.owners_in(period) {
@@ -451,6 +492,7 @@ impl DiscoveryPipeline {
             let domains: Vec<DomainName> = seeds.iter().cloned().collect();
             let campaign_result = self.campaign.run(sources.zones, &domains, &period);
             for obs in &campaign_result.observations {
+                matches[pi] += 1;
                 let entry = result.providers[pi].ips.entry(obs.ip).or_default();
                 entry.sources.insert(Source::ActiveDns);
                 entry.days.insert(obs.day);
@@ -461,7 +503,52 @@ impl DiscoveryPipeline {
             }
             result.providers[pi].domains = seeds;
         }
+        flush_provider_matches(Source::ActiveDns, result, &matches);
     }
+}
+
+/// Report per-provider pattern-match counts for one discovery channel
+/// (`discovery.<source>.matches.<provider>`), plus the channel total.
+fn flush_provider_matches(source: Source, result: &DiscoveryResult, matches: &[u64]) {
+    if !iotmap_obs::enabled() {
+        return;
+    }
+    let key = source.metric_key();
+    let mut total = 0u64;
+    for (provider, &n) in result.providers.iter().zip(matches) {
+        total += n;
+        if n > 0 {
+            iotmap_obs::count!(format!("discovery.{key}.matches.{}", provider.name), n);
+        }
+    }
+    iotmap_obs::count!(format!("discovery.{key}.matches"), total);
+}
+
+/// Report the per-source and total distinct-IP tallies once a discovery
+/// run has finished (`discovery.<source>.ips_discovered`).
+fn flush_discovery_totals(result: &DiscoveryResult) {
+    if !iotmap_obs::enabled() {
+        return;
+    }
+    let mut per_source = [0u64; Source::ALL.len()];
+    let mut total = 0u64;
+    for provider in &result.providers {
+        total += provider.ips.len() as u64;
+        for ev in provider.ips.values() {
+            for (i, s) in Source::ALL.iter().enumerate() {
+                if ev.sources.contains(*s) {
+                    per_source[i] += 1;
+                }
+            }
+        }
+    }
+    for (i, s) in Source::ALL.iter().enumerate() {
+        iotmap_obs::count!(
+            format!("discovery.{}.ips_discovered", s.metric_key()),
+            per_source[i]
+        );
+    }
+    iotmap_obs::count!("discovery.ips_discovered", total);
 }
 
 #[cfg(test)]

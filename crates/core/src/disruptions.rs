@@ -260,15 +260,16 @@ mod tests {
 
     #[test]
     fn blocklist_audit_finds_planted_ips() {
-        let disc = discovery(&[("baidu", "60.1.0.5"), ("baidu", "60.1.0.6"), ("sap", "40.0.0.9")]);
+        let disc = discovery(&[
+            ("baidu", "60.1.0.5"),
+            ("baidu", "60.1.0.6"),
+            ("sap", "40.0.0.9"),
+        ]);
         let mut agg = IntervalSet::new();
         agg.insert(u32::from("60.1.0.5".parse::<std::net::Ipv4Addr>().unwrap()) as u64);
         agg.insert(u32::from("40.0.0.9".parse::<std::net::Ipv4Addr>().unwrap()) as u64);
         let mut cats = BTreeMap::new();
-        cats.insert(
-            "60.1.0.5".parse().unwrap(),
-            vec!["open-proxy".to_string()],
-        );
+        cats.insert("60.1.0.5".parse().unwrap(), vec!["open-proxy".to_string()]);
         let audit = BlocklistAudit::run(&disc, &agg, &cats);
         assert_eq!(audit.findings.len(), 2);
         let per = audit.per_provider();

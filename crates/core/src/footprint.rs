@@ -84,6 +84,7 @@ pub struct FootprintInference;
 impl FootprintInference {
     /// Infer the footprint of one provider's discovery.
     pub fn infer(discovery: &ProviderDiscovery, sources: &DataSources<'_>) -> Footprint {
+        let _span = iotmap_obs::span!(format!("core.footprint.{}", discovery.name));
         let lg_sites = default_sites();
         let mut footprint = Footprint::default();
 
@@ -141,6 +142,12 @@ impl FootprintInference {
                 }
                 None => footprint.unlocated += 1,
             }
+        }
+        if iotmap_obs::enabled() {
+            let contested = footprint.per_ip.values().filter(|l| l.contested).count();
+            iotmap_obs::count!("footprint.ips_located", footprint.per_ip.len() as u64);
+            iotmap_obs::count!("footprint.ips_contested", contested as u64);
+            iotmap_obs::count!("footprint.ips_unlocated", footprint.unlocated);
         }
         footprint
     }
@@ -318,9 +325,12 @@ mod tests {
             name: "x".into(),
             ..Default::default()
         };
-        disc.ips.insert("10.0.0.1".parse().unwrap(), IpEvidence::default());
-        disc.ips.insert("10.0.0.2".parse().unwrap(), IpEvidence::default());
-        disc.ips.insert("10.1.0.1".parse().unwrap(), IpEvidence::default());
+        disc.ips
+            .insert("10.0.0.1".parse().unwrap(), IpEvidence::default());
+        disc.ips
+            .insert("10.0.0.2".parse().unwrap(), IpEvidence::default());
+        disc.ips
+            .insert("10.1.0.1".parse().unwrap(), IpEvidence::default());
         let fp = FootprintInference::infer(&disc, &sources);
         let by_cont = fp.per_continent();
         assert_eq!(by_cont[&Continent::Europe], 2);

@@ -35,7 +35,9 @@ pub mod stability;
 pub mod validate;
 
 pub use characterize::{CharacterizationRow, Characterizer, StrategyCall};
-pub use discovery::{DiscoveryPipeline, DiscoveryResult, IpEvidence, ProviderDiscovery, Source, SourceSet};
+pub use discovery::{
+    DiscoveryPipeline, DiscoveryResult, IpEvidence, ProviderDiscovery, Source, SourceSet,
+};
 pub use footprint::{Footprint, FootprintInference};
 pub use monitor::{Monitor, MonitoringWindow, TrendFinding, TrendKind};
 pub use patterns::{PatternRegistry, ProviderPatterns};

@@ -150,8 +150,7 @@ impl Monitor {
             let b = before.ips.len().max(1) as f64;
             let shift = now.ips.len() as f64 / b - 1.0;
             let stable = before.ips.intersection(&now.ips).count();
-            let churn = 1.0
-                - stable as f64 / before.ips.union(&now.ips).count().max(1) as f64;
+            let churn = 1.0 - stable as f64 / before.ips.union(&now.ips).count().max(1) as f64;
             if shift.abs() > self.size_shift_threshold {
                 findings.push(TrendFinding {
                     provider: name.clone(),
@@ -227,7 +226,10 @@ mod tests {
     #[test]
     fn country_removal_flagged() {
         let mut m = Monitor::new();
-        m.push(window("w1", &[("x", snapshot(&["10.0.0.1"], &["DE", "US"]))]));
+        m.push(window(
+            "w1",
+            &[("x", snapshot(&["10.0.0.1"], &["DE", "US"]))],
+        ));
         m.push(window("w2", &[("x", snapshot(&["10.0.0.1"], &["DE"]))]));
         let findings = m.latest_findings();
         assert!(findings
@@ -240,11 +242,23 @@ mod tests {
         let mut m = Monitor::new();
         m.push(window(
             "w1",
-            &[("x", snapshot(&["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.5"], &["DE"]))],
+            &[(
+                "x",
+                snapshot(
+                    &["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.5"],
+                    &["DE"],
+                ),
+            )],
         ));
         m.push(window(
             "w2",
-            &[("x", snapshot(&["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.6"], &["DE"]))],
+            &[(
+                "x",
+                snapshot(
+                    &["10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4", "10.0.0.6"],
+                    &["DE"],
+                ),
+            )],
         ));
         let findings = m.latest_findings();
         assert_eq!(findings.len(), 1);

@@ -381,7 +381,10 @@ mod tests {
         let r = registry();
         let cases = [
             ("amazon", "t0a1b2c3d.iot.us-east-1.amazonaws.com"),
-            ("alibaba", "t00ff00ff.iot-as-mqtt.cn-shanghai-a.aliyuncs.com"),
+            (
+                "alibaba",
+                "t00ff00ff.iot-as-mqtt.cn-shanghai-a.aliyuncs.com",
+            ),
             ("baidu", "tdeadbeef.iot.cn-north-1.baidubce.com"),
             ("bosch", "hub-00ab12.bosch-iot-hub.com"),
             ("cisco", "hub-123456.ciscokinetic.io"),
@@ -429,10 +432,14 @@ mod tests {
     fn san_patterns_match_wildcards() {
         let r = registry();
         assert_eq!(
-            r.classify_san("*.iot.eu-west-1.amazonaws.com").map(|p| p.name),
+            r.classify_san("*.iot.eu-west-1.amazonaws.com")
+                .map(|p| p.name),
             Some("amazon")
         );
-        assert_eq!(r.classify_san("*.azure-devices.net").map(|p| p.name), Some("microsoft"));
+        assert_eq!(
+            r.classify_san("*.azure-devices.net").map(|p| p.name),
+            Some("microsoft")
+        );
         assert_eq!(r.classify_san("*.iot.sap").map(|p| p.name), Some("sap"));
         assert!(r.classify_san("*.google.com").is_none());
         assert!(r.classify_san("*.eu-central-1.aws-elb.example").is_none());
@@ -493,6 +500,9 @@ mod tests {
         let baidu = r.get("baidu").unwrap();
         assert!(baidu.ports.iter().any(|d| d.port == PortProto::tcp(1884)));
         let siemens = r.get("siemens").unwrap();
-        assert!(siemens.ports.iter().any(|d| d.port == PortProto::tcp(61616)));
+        assert!(siemens
+            .ports
+            .iter()
+            .any(|d| d.port == PortProto::tcp(61616)));
     }
 }

@@ -55,8 +55,7 @@ impl ObservedPorts {
         }
         let documented: HashSet<PortProto> = patterns.ports.iter().map(|d| d.port).collect();
         let observed: HashSet<PortProto> = listeners.keys().copied().collect();
-        let mut undocumented: Vec<PortProto> =
-            observed.difference(&documented).copied().collect();
+        let mut undocumented: Vec<PortProto> = observed.difference(&documented).copied().collect();
         undocumented.sort();
         let mut unobserved_documented: Vec<PortProto> =
             documented.difference(&observed).copied().collect();
@@ -105,10 +104,8 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn snapshot(hosts: &[(&str, &[u16])], cert_on: &[(&str, u16)]) -> CensysSnapshot {
-        let validity = iotmap_nettypes::StudyPeriod::from_dates(
-            Date::new(2022, 1, 1),
-            Date::new(2023, 1, 1),
-        );
+        let validity =
+            iotmap_nettypes::StudyPeriod::from_dates(Date::new(2022, 1, 1), Date::new(2023, 1, 1));
         CensysSnapshot {
             date: Date::new(2022, 2, 28),
             records: cert_on

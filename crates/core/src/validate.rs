@@ -52,12 +52,7 @@ impl<'a> SharedIpClassifier<'a> {
     }
 
     /// Classify one IP by inverse passive-DNS lookup.
-    pub fn classify(
-        &self,
-        ip: IpAddr,
-        pdns: &PassiveDnsDb,
-        period: StudyPeriod,
-    ) -> SharedVerdict {
+    pub fn classify(&self, ip: IpAddr, pdns: &PassiveDnsDb, period: StudyPeriod) -> SharedVerdict {
         let mut non_iot = 0u32;
         let mut seen: HashSet<&str> = HashSet::new();
         for entry in pdns.domains_for_ip(ip, period) {
@@ -123,7 +118,10 @@ impl GroundTruthReport {
     ) -> Self {
         let published_set: HashSet<&IpAddr> = published.iter().collect();
         let discovered: HashSet<IpAddr> = discovery.ips.keys().copied().collect();
-        let inside = discovered.iter().filter(|ip| published_set.contains(ip)).count() as u64;
+        let inside = discovered
+            .iter()
+            .filter(|ip| published_set.contains(ip))
+            .count() as u64;
         GroundTruthReport {
             provider: provider.to_string(),
             published_total: published.len() as u64,
@@ -229,8 +227,16 @@ mod tests {
         let registry = PatternRegistry::paper_defaults();
         let mut pdns = PassiveDnsDb::new();
         let ip: IpAddr = "192.0.2.1".parse().unwrap();
-        pdns.observe(d("hub-1.azure-devices.net"), RData::A("192.0.2.1".parse().unwrap()), t());
-        pdns.observe(d("hub-2.azure-devices.net"), RData::A("192.0.2.1".parse().unwrap()), t());
+        pdns.observe(
+            d("hub-1.azure-devices.net"),
+            RData::A("192.0.2.1".parse().unwrap()),
+            t(),
+        );
+        pdns.observe(
+            d("hub-2.azure-devices.net"),
+            RData::A("192.0.2.1".parse().unwrap()),
+            t(),
+        );
         let c = SharedIpClassifier::new(&registry);
         assert_eq!(c.classify(ip, &pdns, week()), SharedVerdict::Dedicated);
     }
@@ -240,7 +246,11 @@ mod tests {
         let registry = PatternRegistry::paper_defaults();
         let mut pdns = PassiveDnsDb::new();
         let ip: IpAddr = "192.0.2.2".parse().unwrap();
-        pdns.observe(d("mqtt.googleapis.com"), RData::A("192.0.2.2".parse().unwrap()), t());
+        pdns.observe(
+            d("mqtt.googleapis.com"),
+            RData::A("192.0.2.2".parse().unwrap()),
+            t(),
+        );
         for i in 0..6 {
             pdns.observe(
                 d(&format!("svc{i}.google-web.example")),
@@ -257,7 +267,11 @@ mod tests {
         let registry = PatternRegistry::paper_defaults();
         let mut pdns = PassiveDnsDb::new();
         let ip: IpAddr = "192.0.2.3".parse().unwrap();
-        pdns.observe(d("hub-9.iot.sap"), RData::A("192.0.2.3".parse().unwrap()), t());
+        pdns.observe(
+            d("hub-9.iot.sap"),
+            RData::A("192.0.2.3".parse().unwrap()),
+            t(),
+        );
         for i in 0..3 {
             pdns.observe(
                 d(&format!("stray{i}.example.org")),

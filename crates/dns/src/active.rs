@@ -101,6 +101,7 @@ impl ActiveCampaign {
         domains: &[DomainName],
         period: &StudyPeriod,
     ) -> CampaignResult {
+        let _span = iotmap_obs::span!("dns.active.campaign");
         let mut observations = Vec::new();
         let mut queries = 0u64;
         for date in period.days() {
@@ -128,6 +129,8 @@ impl ActiveCampaign {
                 }
             }
         }
+        iotmap_obs::count!("dns.active.queries", queries);
+        iotmap_obs::count!("dns.active.observations", observations.len() as u64);
         CampaignResult {
             observations,
             queries,
@@ -241,7 +244,11 @@ mod tests {
         let result = campaign.run(&db, &[d("lb.iot.example")], &week());
         // 7 days × 3 vantages × window 2 — with rotation, far more than one
         // day's worth of records.
-        assert!(result.unique_ips().len() > 4, "got {}", result.unique_ips().len());
+        assert!(
+            result.unique_ips().len() > 4,
+            "got {}",
+            result.unique_ips().len()
+        );
     }
 
     #[test]
@@ -274,7 +281,10 @@ mod tests {
         let result = campaign.run(&db, &[d("x.iot.example")], &week());
         let first = Date::new(2022, 2, 28).epoch_days();
         let last = Date::new(2022, 3, 6).epoch_days();
-        assert!(result.observations.iter().all(|o| o.day >= first && o.day <= last));
+        assert!(result
+            .observations
+            .iter()
+            .all(|o| o.day >= first && o.day <= last));
         assert!(result.observations.iter().any(|o| o.day == first));
         assert!(result.observations.iter().any(|o| o.day == last));
     }

@@ -184,7 +184,11 @@ mod tests {
     }
 
     fn a(last: u8) -> RData {
-        RData::A(format!("192.0.2.{last}").parse::<std::net::Ipv4Addr>().unwrap())
+        RData::A(
+            format!("192.0.2.{last}")
+                .parse::<std::net::Ipv4Addr>()
+                .unwrap(),
+        )
     }
 
     fn week() -> StudyPeriod {
@@ -218,7 +222,11 @@ mod tests {
     #[test]
     fn search_respects_time_window() {
         let mut db = PassiveDnsDb::new();
-        db.observe(d("old.azure-devices.net"), a(1), Date::new(2021, 6, 1).midnight());
+        db.observe(
+            d("old.azure-devices.net"),
+            a(1),
+            Date::new(2021, 6, 1).midnight(),
+        );
         let q = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A").unwrap();
         assert_eq!(db.search(&q, week()).count(), 0);
         // Overlap: first seen before the window, last seen inside.

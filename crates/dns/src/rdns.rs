@@ -129,7 +129,12 @@ mod tests {
     fn registry_set_and_query() {
         let mut r = PtrRegistry::new();
         let prober: IpAddr = "198.51.100.77".parse().unwrap();
-        r.set(prober, "research-scanner.iotmap-experiment.example".parse().unwrap());
+        r.set(
+            prober,
+            "research-scanner.iotmap-experiment.example"
+                .parse()
+                .unwrap(),
+        );
         assert_eq!(
             r.lookup(prober).unwrap().as_str(),
             "research-scanner.iotmap-experiment.example"
@@ -142,17 +147,19 @@ mod tests {
             }
             other => panic!("expected PTR, got {other:?}"),
         }
-        assert!(r.query_arpa(&v4_arpa_name("8.8.8.8".parse().unwrap())).is_none());
+        assert!(r
+            .query_arpa(&v4_arpa_name("8.8.8.8".parse().unwrap()))
+            .is_none());
     }
 
     #[test]
     fn malformed_arpa_names_rejected() {
         for bad in [
-            "1.2.3.in-addr.arpa",            // too few labels
-            "300.2.3.4.in-addr.arpa",        // octet overflow
-            "x.2.3.4.in-addr.arpa",          // not a number
-            "1.2.3.4.example.com",           // wrong suffix
-            "ff.0.0.0.ip6.arpa",             // multi-char nibble
+            "1.2.3.in-addr.arpa",     // too few labels
+            "300.2.3.4.in-addr.arpa", // octet overflow
+            "x.2.3.4.in-addr.arpa",   // not a number
+            "1.2.3.4.example.com",    // wrong suffix
+            "ff.0.0.0.ip6.arpa",      // multi-char nibble
         ] {
             let owner: DomainName = bad.parse().unwrap();
             assert_eq!(parse_arpa(&owner), None, "{bad}");

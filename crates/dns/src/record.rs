@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn display_zone_file_style() {
-        let r = Record::new(d("host.example.com"), RData::A("192.0.2.1".parse().unwrap()));
+        let r = Record::new(
+            d("host.example.com"),
+            RData::A("192.0.2.1".parse().unwrap()),
+        );
         assert_eq!(r.to_string(), "host.example.com. 300 A 192.0.2.1");
     }
 

@@ -36,7 +36,12 @@ const MAX_CHAIN: usize = 8;
 ///
 /// Returns the final address set (possibly empty). Loops and over-long
 /// chains resolve to nothing, as a real resolver would SERVFAIL.
-pub fn resolve(db: &ZoneDb, name: &DomainName, rrtype: RrType, ctx: &ResolutionContext) -> Vec<IpAddr> {
+pub fn resolve(
+    db: &ZoneDb,
+    name: &DomainName,
+    rrtype: RrType,
+    ctx: &ResolutionContext,
+) -> Vec<IpAddr> {
     debug_assert!(matches!(rrtype, RrType::A | RrType::Aaaa));
     let mut current = name.clone();
     for _ in 0..MAX_CHAIN {
@@ -78,7 +83,10 @@ mod tests {
     #[test]
     fn direct_resolution() {
         let mut db = ZoneDb::new();
-        db.set_static(d("gw.example.com"), vec![RData::A("192.0.2.1".parse().unwrap())]);
+        db.set_static(
+            d("gw.example.com"),
+            vec![RData::A("192.0.2.1".parse().unwrap())],
+        );
         let ips = resolve(&db, &d("gw.example.com"), RrType::A, &ctx());
         assert_eq!(ips, vec!["192.0.2.1".parse::<IpAddr>().unwrap()]);
     }
@@ -86,9 +94,20 @@ mod tests {
     #[test]
     fn cname_chain_followed() {
         let mut db = ZoneDb::new();
-        db.set_policy(d("a.example.com"), RrType::Cname, Policy::Alias(d("b.example.com")));
-        db.set_policy(d("b.example.com"), RrType::Cname, Policy::Alias(d("c.example.com")));
-        db.set_static(d("c.example.com"), vec![RData::A("192.0.2.9".parse().unwrap())]);
+        db.set_policy(
+            d("a.example.com"),
+            RrType::Cname,
+            Policy::Alias(d("b.example.com")),
+        );
+        db.set_policy(
+            d("b.example.com"),
+            RrType::Cname,
+            Policy::Alias(d("c.example.com")),
+        );
+        db.set_static(
+            d("c.example.com"),
+            vec![RData::A("192.0.2.9".parse().unwrap())],
+        );
         let ips = resolve(&db, &d("a.example.com"), RrType::A, &ctx());
         assert_eq!(ips, vec!["192.0.2.9".parse::<IpAddr>().unwrap()]);
     }
@@ -96,15 +115,27 @@ mod tests {
     #[test]
     fn cname_loop_resolves_to_nothing() {
         let mut db = ZoneDb::new();
-        db.set_policy(d("x.example.com"), RrType::Cname, Policy::Alias(d("y.example.com")));
-        db.set_policy(d("y.example.com"), RrType::Cname, Policy::Alias(d("x.example.com")));
+        db.set_policy(
+            d("x.example.com"),
+            RrType::Cname,
+            Policy::Alias(d("y.example.com")),
+        );
+        db.set_policy(
+            d("y.example.com"),
+            RrType::Cname,
+            Policy::Alias(d("x.example.com")),
+        );
         assert!(resolve(&db, &d("x.example.com"), RrType::A, &ctx()).is_empty());
     }
 
     #[test]
     fn dangling_cname_resolves_to_nothing() {
         let mut db = ZoneDb::new();
-        db.set_policy(d("a.example.com"), RrType::Cname, Policy::Alias(d("gone.example.com")));
+        db.set_policy(
+            d("a.example.com"),
+            RrType::Cname,
+            Policy::Alias(d("gone.example.com")),
+        );
         assert!(resolve(&db, &d("a.example.com"), RrType::A, &ctx()).is_empty());
     }
 

@@ -229,11 +229,19 @@ mod tests {
     fn static_policy_always_answers_fully() {
         let mut db = ZoneDb::new();
         db.set_static(d("gw.example.com"), vec![a(1), a(2)]);
-        let ans = db.query(&d("gw.example.com"), RrType::A, &ctx(Continent::Europe, 1, 0));
+        let ans = db.query(
+            &d("gw.example.com"),
+            RrType::A,
+            &ctx(Continent::Europe, 1, 0),
+        );
         assert_eq!(ans.len(), 2);
         // No AAAA policy installed.
         assert!(db
-            .query(&d("gw.example.com"), RrType::Aaaa, &ctx(Continent::Europe, 1, 0))
+            .query(
+                &d("gw.example.com"),
+                RrType::Aaaa,
+                &ctx(Continent::Europe, 1, 0)
+            )
             .is_empty());
     }
 
@@ -252,13 +260,21 @@ mod tests {
         );
         let mut seen = std::collections::HashSet::new();
         for day in 1..=10 {
-            for r in db.query(&d("lb.example.com"), RrType::A, &ctx(Continent::Europe, day, 0)) {
+            for r in db.query(
+                &d("lb.example.com"),
+                RrType::A,
+                &ctx(Continent::Europe, day, 0),
+            ) {
                 seen.insert(r);
             }
         }
         // Several days of resolution expose more of the pool than one day.
         let one_day: std::collections::HashSet<_> = db
-            .query(&d("lb.example.com"), RrType::A, &ctx(Continent::Europe, 1, 0))
+            .query(
+                &d("lb.example.com"),
+                RrType::A,
+                &ctx(Continent::Europe, 1, 0),
+            )
             .into_iter()
             .collect();
         assert_eq!(one_day.len(), 2);
@@ -278,8 +294,16 @@ mod tests {
                 salt: 0,
             },
         );
-        let r0: Vec<_> = db.query(&d("lb.example.com"), RrType::A, &ctx(Continent::Europe, 1, 0));
-        let r2: Vec<_> = db.query(&d("lb.example.com"), RrType::A, &ctx(Continent::Europe, 1, 2));
+        let r0: Vec<_> = db.query(
+            &d("lb.example.com"),
+            RrType::A,
+            &ctx(Continent::Europe, 1, 0),
+        );
+        let r2: Vec<_> = db.query(
+            &d("lb.example.com"),
+            RrType::A,
+            &ctx(Continent::Europe, 1, 2),
+        );
         assert_ne!(r0, r2, "resolver groups see shifted slices");
     }
 
@@ -297,9 +321,21 @@ mod tests {
                 fallback: vec![a(30)],
             },
         );
-        let eu = db.query(&d("geo.example.com"), RrType::A, &ctx(Continent::Europe, 1, 0));
-        let us = db.query(&d("geo.example.com"), RrType::A, &ctx(Continent::NorthAmerica, 1, 0));
-        let asia = db.query(&d("geo.example.com"), RrType::A, &ctx(Continent::Asia, 1, 0));
+        let eu = db.query(
+            &d("geo.example.com"),
+            RrType::A,
+            &ctx(Continent::Europe, 1, 0),
+        );
+        let us = db.query(
+            &d("geo.example.com"),
+            RrType::A,
+            &ctx(Continent::NorthAmerica, 1, 0),
+        );
+        let asia = db.query(
+            &d("geo.example.com"),
+            RrType::A,
+            &ctx(Continent::Asia, 1, 0),
+        );
         assert_eq!(eu, vec![a(10)]);
         assert_eq!(us, vec![a(20)]);
         assert_eq!(asia, vec![a(30)]);
@@ -313,7 +349,11 @@ mod tests {
             RrType::Cname,
             Policy::Alias(d("real.example.com")),
         );
-        let ans = db.query(&d("alias.example.com"), RrType::A, &ctx(Continent::Europe, 1, 0));
+        let ans = db.query(
+            &d("alias.example.com"),
+            RrType::A,
+            &ctx(Continent::Europe, 1, 0),
+        );
         assert_eq!(ans, vec![RData::Cname(d("real.example.com"))]);
     }
 
@@ -337,7 +377,11 @@ mod tests {
     fn nonexistent_name_answers_empty() {
         let db = ZoneDb::new();
         assert!(db
-            .query(&d("nope.example.com"), RrType::A, &ctx(Continent::Europe, 1, 0))
+            .query(
+                &d("nope.example.com"),
+                RrType::A,
+                &ctx(Continent::Europe, 1, 0)
+            )
             .is_empty());
         assert!(!db.contains(&d("nope.example.com")));
     }

@@ -46,26 +46,17 @@ impl BacktrackRegex {
 fn match_node(node: &Ast, input: &[u8], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
     match node {
         Ast::Empty => k(pos),
-        Ast::Class(set) => {
-            pos < input.len() && set.contains(input[pos]) && k(pos + 1)
-        }
+        Ast::Class(set) => pos < input.len() && set.contains(input[pos]) && k(pos + 1),
         Ast::AnchorStart => pos == 0 && k(pos),
         Ast::AnchorEnd => pos == input.len() && k(pos),
         Ast::Group(inner) => match_node(inner, input, pos, k),
         Ast::Concat(parts) => match_concat(parts, input, pos, k),
-        Ast::Alternate(branches) => branches
-            .iter()
-            .any(|b| match_node(b, input, pos, k)),
+        Ast::Alternate(branches) => branches.iter().any(|b| match_node(b, input, pos, k)),
         Ast::Repeat { node, min, max } => match_repeat(node, *min, *max, input, pos, k),
     }
 }
 
-fn match_concat(
-    parts: &[Ast],
-    input: &[u8],
-    pos: usize,
-    k: &mut dyn FnMut(usize) -> bool,
-) -> bool {
+fn match_concat(parts: &[Ast], input: &[u8], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
     match parts.split_first() {
         None => k(pos),
         Some((head, tail)) => {

@@ -112,10 +112,8 @@ mod tests {
     #[test]
     fn paper_amazon_pattern() {
         // From the paper's Appendix A (trailing-dot form as used by DNSDB).
-        let re = Regex::new(
-            r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)?(\.amazonaws\.com\.$)",
-        )
-        .unwrap();
+        let re = Regex::new(r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)?(\.amazonaws\.com\.$)")
+            .unwrap();
         assert!(re.is_match("a3k7examplehash.iot.us-east-1.amazonaws.com."));
         assert!(re.is_match("device.iot.eu-west-1.amazonaws.com."));
         assert!(!re.is_match("a3k7examplehash.iot.us-east-1.amazonaws.com.evil.org."));
@@ -170,7 +168,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "heavy-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -22,7 +22,11 @@ impl ParseErr {
 
 impl fmt::Display for ParseErr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 
@@ -247,8 +251,9 @@ impl<'a> Parser<'a> {
                     if !(self.eat(b':') && self.eat(b']')) {
                         return Err(ParseErr::new(pos, "malformed POSIX class"));
                     }
-                    let cls = posix_class(name)
-                        .ok_or_else(|| ParseErr::new(pos, format!("unknown POSIX class [:{name}:]")))?;
+                    let cls = posix_class(name).ok_or_else(|| {
+                        ParseErr::new(pos, format!("unknown POSIX class [:{name}:]"))
+                    })?;
                     set.union_with(&cls);
                 }
                 b'\\' => {
@@ -360,7 +365,11 @@ mod tests {
         ));
         assert!(matches!(
             parse("a{2,}").unwrap(),
-            Ast::Repeat { min: 2, max: None, .. }
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,5}").unwrap(),
@@ -404,8 +413,20 @@ mod tests {
         // A grab-bag of hostile inputs; the parser must return Ok or Err,
         // never panic. (The proptest in tests/ widens this further.)
         for input in [
-            "(((((", ")))))", "[[[[[", "]]]]]", "a{999999999999}", "\\", "|||",
-            "[a-\\]", "(?:x)", "a**", "^^^$$$", "[[:alpha:]", "{1,2}", "\\Q\\E",
+            "(((((",
+            ")))))",
+            "[[[[[",
+            "]]]]]",
+            "a{999999999999}",
+            "\\",
+            "|||",
+            "[a-\\]",
+            "(?:x)",
+            "a**",
+            "^^^$$$",
+            "[[:alpha:]",
+            "{1,2}",
+            "\\Q\\E",
         ] {
             let _ = parse(input);
         }

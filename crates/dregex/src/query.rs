@@ -67,12 +67,10 @@ impl DnsdbQuery {
     /// Basic Search: `rrset/name/<owner>/<rrtype>`, where `<owner>` may use
     /// a single leading `*.` wildcard, e.g. `rrset/name/*.ciscokinetic.io./A`.
     pub fn basic(query: &str) -> Result<Self, ParseErr> {
-        let rest = query
-            .strip_prefix("rrset/name/")
-            .ok_or(ParseErr {
-                pos: 0,
-                message: "basic query must start with rrset/name/".to_string(),
-            })?;
+        let rest = query.strip_prefix("rrset/name/").ok_or(ParseErr {
+            pos: 0,
+            message: "basic query must start with rrset/name/".to_string(),
+        })?;
         let (owner, rrtype) = split_rrtype(rest);
         let pattern = wildcard_owner_to_regex(owner);
         Ok(DnsdbQuery {

@@ -42,13 +42,7 @@ impl ThreadList {
 
 /// Add a thread and transitively follow zero-width instructions.
 /// `at_start` / `at_end` describe the position for anchor assertions.
-fn add_thread(
-    prog: &Program,
-    list: &mut ThreadList,
-    pc: u32,
-    at_start: bool,
-    at_end: bool,
-) {
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: u32, at_start: bool, at_end: bool) {
     if list.contains(pc) {
         return;
     }
@@ -76,7 +70,17 @@ fn add_thread(
 /// Run the VM. `start_anywhere` injects a fresh thread at every input
 /// position (unanchored search). Returns the end position of the first
 /// discovered match (earliest end), or `None`.
-fn run(prog: &Program, input: &[u8], start_pos: usize, start_anywhere: bool) -> Option<usize> {
+///
+/// `steps` accumulates the number of thread-steps executed (one per live
+/// thread per input byte) so callers can report `dregex.vm.steps` once
+/// per exec instead of once per byte.
+fn run(
+    prog: &Program,
+    input: &[u8],
+    start_pos: usize,
+    start_anywhere: bool,
+    steps: &mut u64,
+) -> Option<usize> {
     let n = prog.insts.len();
     let mut clist = ThreadList::new(n);
     let mut nlist = ThreadList::new(n);
@@ -101,6 +105,7 @@ fn run(prog: &Program, input: &[u8], start_pos: usize, start_anywhere: bool) -> 
         nlist.clear();
         let next_at_start = false;
         let next_at_end = pos + 1 == input.len();
+        *steps += clist.dense.len() as u64;
         for i in 0..clist.dense.len() {
             let pc = clist.dense[i];
             if let Inst::Class(ref set) = prog.insts[pc as usize] {
@@ -123,13 +128,17 @@ fn run(prog: &Program, input: &[u8], start_pos: usize, start_anywhere: bool) -> 
 
 /// Unanchored search: does the pattern match anywhere?
 pub fn search(prog: &Program, input: &[u8]) -> bool {
-    run(prog, input, 0, true).is_some()
+    let mut steps = 0u64;
+    let matched = run(prog, input, 0, true, &mut steps).is_some();
+    flush_vm_metrics(steps);
+    matched
 }
 
 /// Anchored match: does the pattern match the entire input?
 pub fn match_anchored(prog: &Program, input: &[u8]) -> bool {
     // Full match = a match starting at 0 that ends exactly at input end.
     // Scan match ends from position 0 only.
+    let mut steps = 0u64;
     let n = prog.insts.len();
     let mut clist = ThreadList::new(n);
     let mut nlist = ThreadList::new(n);
@@ -139,6 +148,7 @@ pub fn match_anchored(prog: &Program, input: &[u8]) -> bool {
     for pos in 0..=input.len() {
         let at_end = pos == input.len();
         if at_end {
+            flush_vm_metrics(steps);
             return clist
                 .dense
                 .iter()
@@ -147,6 +157,7 @@ pub fn match_anchored(prog: &Program, input: &[u8]) -> bool {
         let byte = input[pos];
         nlist.clear();
         let next_at_end = pos + 1 == input.len();
+        steps += clist.dense.len() as u64;
         for i in 0..clist.dense.len() {
             let pc = clist.dense[i];
             if let Inst::Class(ref set) = prog.insts[pc as usize] {
@@ -157,24 +168,36 @@ pub fn match_anchored(prog: &Program, input: &[u8]) -> bool {
         }
         std::mem::swap(&mut clist, &mut nlist);
         if clist.dense.is_empty() {
+            flush_vm_metrics(steps);
             return false;
         }
     }
+    flush_vm_metrics(steps);
     false
+}
+
+/// Report one VM execution's accumulated step count.
+fn flush_vm_metrics(steps: u64) {
+    iotmap_obs::count!("dregex.vm.execs");
+    iotmap_obs::count!("dregex.vm.steps", steps);
 }
 
 /// Leftmost match: `(start, end)` of the first match, shortest end for the
 /// leftmost start.
 pub fn find(prog: &Program, input: &[u8]) -> Option<(usize, usize)> {
+    let mut steps = 0u64;
+    let mut found = None;
     for start in 0..=input.len() {
-        if let Some(end) = run(prog, input, start, false) {
-            return Some((start, end));
+        if let Some(end) = run(prog, input, start, false, &mut steps) {
+            found = Some((start, end));
+            break;
         }
         if prog.anchored_start {
             break;
         }
     }
-    None
+    flush_vm_metrics(steps);
+    found
 }
 
 #[cfg(test)]

@@ -60,9 +60,7 @@ mod tests {
         let a = Anonymizer::new(0xDEADBEEF);
         // The anonymized id should not equal (or trivially relate to) the
         // raw id for essentially all inputs.
-        let trivial = (0..1000)
-            .filter(|&i| a.anonymize(LineId(i)).0 == i)
-            .count();
+        let trivial = (0..1000).filter(|&i| a.anonymize(LineId(i)).0 == i).count();
         assert_eq!(trivial, 0);
     }
 

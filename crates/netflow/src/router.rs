@@ -60,6 +60,15 @@ impl BorderRouter {
             }
         }
     }
+
+    /// Report this router's lifetime tallies to the observability layer
+    /// (called once per simulation run, not per flow, so the per-flow hot
+    /// path stays uninstrumented).
+    pub fn flush_metrics(&self) {
+        iotmap_obs::count!("netflow.flows_spoofed_dropped", self.spoofed_dropped);
+        iotmap_obs::count!("netflow.flows_sampled_out", self.sampled_out);
+        iotmap_obs::count!("netflow.flows_exported", self.exported);
+    }
 }
 
 #[cfg(test)]

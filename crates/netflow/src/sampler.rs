@@ -41,7 +41,9 @@ impl PacketSampler {
         // cheaply: each packet sampled independently, but avoid a loop for
         // huge flows by using the normal approximation above a threshold.
         let sampled = if true_flow.packets <= 64 {
-            (0..true_flow.packets).filter(|_| self.rng.chance(p)).count() as u64
+            (0..true_flow.packets)
+                .filter(|_| self.rng.chance(p))
+                .count() as u64
         } else {
             let mean = true_flow.packets as f64 * p;
             let sd = (true_flow.packets as f64 * p * (1.0 - p)).sqrt();
@@ -88,7 +90,9 @@ mod tests {
     #[test]
     fn tiny_flows_often_missed() {
         let mut s = PacketSampler::new(1000, SimRng::new(2));
-        let missed = (0..1000).filter(|_| s.sample(&flow(100, 1)).is_none()).count();
+        let missed = (0..1000)
+            .filter(|_| s.sample(&flow(100, 1)).is_none())
+            .count();
         // P(missed) = 1 - 1/1000 → expect ~999.
         assert!(missed > 980, "missed {missed}");
     }

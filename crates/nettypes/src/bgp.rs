@@ -96,7 +96,10 @@ mod tests {
     fn longest_match_wins() {
         let mut t = BgpTable::new();
         t.announce_v4("52.0.0.0/13".parse().unwrap(), origin(14618, "us-east-1"));
-        t.announce_v4("52.0.16.0/20".parse().unwrap(), origin(14618, "us-east-1-zoneB"));
+        t.announce_v4(
+            "52.0.16.0/20".parse().unwrap(),
+            origin(14618, "us-east-1-zoneB"),
+        );
         let o = t.origin("52.0.17.1".parse().unwrap()).unwrap();
         assert_eq!(o.location_label, "us-east-1-zoneB");
         let o = t.origin("52.1.0.1".parse().unwrap()).unwrap();

@@ -116,7 +116,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.f64() * total;
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability mass of rank `k`.
@@ -155,7 +157,9 @@ mod tests {
     fn log_normal_median_matches() {
         let mut r = rng();
         let n = 100_000;
-        let mut samples: Vec<f64> = (0..n).map(|_| log_normal_median(&mut r, 5.0, 1.2)).collect();
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| log_normal_median(&mut r, 5.0, 1.2))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = samples[n / 2];
         assert!((med - 5.0).abs() < 0.3, "median {med}");
@@ -231,7 +235,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "heavy-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

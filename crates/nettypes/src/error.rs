@@ -39,11 +39,7 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid {} {:?}: {}",
-            self.kind, self.input, self.detail
-        )
+        write!(f, "invalid {} {:?}: {}", self.kind, self.input, self.detail)
     }
 }
 

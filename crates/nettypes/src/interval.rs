@@ -53,7 +53,8 @@ impl IntervalSet {
             new_start = new_start.min(self.ranges[lo].0);
             new_end = new_end.max(self.ranges[hi - 1].1);
         }
-        self.ranges.splice(lo..hi, std::iter::once((new_start, new_end)));
+        self.ranges
+            .splice(lo..hi, std::iter::once((new_start, new_end)));
     }
 
     /// Insert a single value.
@@ -70,9 +71,7 @@ impl IntervalSet {
     /// Membership test.
     pub fn contains(&self, value: u64) -> bool {
         let idx = self.ranges.partition_point(|&(_, e)| e <= value);
-        self.ranges
-            .get(idx)
-            .is_some_and(|&(s, _)| s <= value)
+        self.ranges.get(idx).is_some_and(|&(s, _)| s <= value)
     }
 
     /// Membership test for an IPv4 address.

@@ -42,7 +42,11 @@ impl DomainName {
                 return Err(ParseError::new("domain", input, "bad label character"));
             }
             if label.starts_with('-') || label.ends_with('-') {
-                return Err(ParseError::new("domain", input, "label starts/ends with '-'"));
+                return Err(ParseError::new(
+                    "domain",
+                    input,
+                    "label starts/ends with '-'",
+                ));
             }
         }
         Ok(DomainName {
@@ -173,6 +177,9 @@ mod tests {
     fn labels_iteration() {
         let n = d("device42.iot.eu-west-1.amazonaws.com");
         let labels: Vec<_> = n.labels().collect();
-        assert_eq!(labels, vec!["device42", "iot", "eu-west-1", "amazonaws", "com"]);
+        assert_eq!(
+            labels,
+            vec!["device42", "iot", "eu-west-1", "amazonaws", "com"]
+        );
     }
 }

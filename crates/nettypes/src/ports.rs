@@ -176,14 +176,23 @@ mod tests {
         // Baidu's 1884 still looks like MQTT by neighbourhood convention...
         assert_eq!(AppProtocol::classify(MQTT_ALT), AppProtocol::Mqtt);
         // ...but MQTT tunnelled over 443 is invisible: classified as HTTPS.
-        assert_eq!(AppProtocol::classify(PortProto::tcp(443)), AppProtocol::Https);
+        assert_eq!(
+            AppProtocol::classify(PortProto::tcp(443)),
+            AppProtocol::Https
+        );
     }
 
     #[test]
     fn classify_unknown_is_other() {
-        assert_eq!(AppProtocol::classify(PortProto::udp(12345)), AppProtocol::Other);
+        assert_eq!(
+            AppProtocol::classify(PortProto::udp(12345)),
+            AppProtocol::Other
+        );
         // CoAP is UDP; TCP/5683 is not CoAP.
-        assert_eq!(AppProtocol::classify(PortProto::tcp(5683)), AppProtocol::Other);
+        assert_eq!(
+            AppProtocol::classify(PortProto::tcp(5683)),
+            AppProtocol::Other
+        );
     }
 
     #[test]

@@ -386,7 +386,10 @@ mod tests {
 
     #[test]
     fn prefix_parse_dispatches_on_family() {
-        assert!(matches!("10.0.0.0/8".parse::<Prefix>().unwrap(), Prefix::V4(_)));
+        assert!(matches!(
+            "10.0.0.0/8".parse::<Prefix>().unwrap(),
+            Prefix::V4(_)
+        ));
         assert!(matches!(
             "2001:db8::/32".parse::<Prefix>().unwrap(),
             Prefix::V6(_)

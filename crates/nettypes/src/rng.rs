@@ -150,7 +150,10 @@ impl SimRng {
     /// weights are zero or the slice is empty.
     pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "choose_weighted requires positive total weight");
+        assert!(
+            total > 0.0,
+            "choose_weighted requires positive total weight"
+        );
         let mut x = self.f64() * total;
         for (i, w) in weights.iter().enumerate() {
             x -= w;

@@ -130,7 +130,10 @@ impl Date {
     /// Construct, panicking on out-of-range components.
     pub fn new(year: i32, month: u32, day: u32) -> Self {
         assert!((1..=12).contains(&month), "month out of range");
-        assert!(day >= 1 && day <= days_in_month(year, month), "day out of range");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day out of range"
+        );
         Date { year, month, day }
     }
 

@@ -174,12 +174,12 @@ impl<V> PrefixMap<V> {
 
     /// Insert an IPv6 prefix.
     pub fn insert_v6(&mut self, prefix: Ipv6Prefix, value: V) -> Option<V> {
-        self.v6
-            .insert(prefix.network_u128(), prefix.len(), value)
+        self.v6.insert(prefix.network_u128(), prefix.len(), value)
     }
 
     /// Longest-prefix match for an IPv4 address.
     pub fn lookup_v4(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, &V)> {
+        iotmap_obs::count!("nettypes.trie.lookups");
         let bits = (u32::from(addr) as u128) << 96;
         self.v4
             .longest_match(bits, 32)
@@ -188,6 +188,7 @@ impl<V> PrefixMap<V> {
 
     /// Longest-prefix match for an IPv6 address.
     pub fn lookup_v6(&self, addr: Ipv6Addr) -> Option<(Ipv6Prefix, &V)> {
+        iotmap_obs::count!("nettypes.trie.lookups");
         self.v6
             .longest_match(u128::from(addr), 128)
             .map(|(plen, v)| (Ipv6Prefix::new(addr, plen), v))

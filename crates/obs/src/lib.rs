@@ -1,0 +1,219 @@
+//! # iotmap-obs — the workspace's observability layer
+//!
+//! A std-only, zero-dependency tracing + metrics subsystem threaded
+//! through the whole measurement pipeline:
+//!
+//! * **Spans** — RAII-guarded, nesting, monotonic wall-clock timed
+//!   regions (`obs::span!("discovery.censys")`), collected into a tree;
+//! * **Metrics** — counters, gauges, and fixed-bucket histograms kept in
+//!   a [`Registry`] (`obs::count!("discovery.certs_parsed", n)`);
+//! * **Run reports** — the span tree + metrics serialised to a
+//!   human-readable markdown summary and a line-oriented JSON-lines
+//!   format (hand-rolled writer, no serde) via [`RunReport`].
+//!
+//! ## Recording model
+//!
+//! Instrumented code talks to a thread-local [`Recorder`]. By default
+//! none is installed, and every instrumentation point reduces to one
+//! thread-local flag check — the hot paths cost ~nothing when
+//! observability is off (see the overhead guard in `iotmap-bench`).
+//! A harness that wants a report installs a [`Registry`]:
+//!
+//! ```
+//! use std::rc::Rc;
+//!
+//! let registry = Rc::new(iotmap_obs::Registry::new());
+//! iotmap_obs::install(registry.clone());
+//! {
+//!     let _span = iotmap_obs::span!("demo.stage");
+//!     iotmap_obs::count!("demo.items", 3);
+//! }
+//! iotmap_obs::uninstall();
+//! let report = registry.report();
+//! assert_eq!(report.counters["demo.items"], 3);
+//! println!("{}", report.to_markdown());
+//! ```
+//!
+//! The thread-local design matches the workspace: the simulation is
+//! deterministic and single-threaded, and per-thread recorders keep
+//! parallel `cargo test` threads isolated from each other.
+
+mod metrics;
+mod report;
+mod span;
+
+pub use metrics::{Histogram, HistogramSnapshot, Registry, DEFAULT_BUCKETS};
+pub use report::{RunReport, SpanNode};
+pub use span::SpanGuard;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The sink instrumented code reports into.
+///
+/// Implementations record through `&self`: recorders are shared
+/// (`Rc<dyn Recorder>`) between the thread-local slot and the harness
+/// that will read the results back, so interior mutability is the
+/// implementor's responsibility. [`Registry`] is the standard
+/// implementation; tests may plug in their own.
+pub trait Recorder {
+    /// A named region opened; returns an id handed back to
+    /// [`Recorder::span_exit`]. Nesting is implied by call order.
+    fn span_enter(&self, name: &str) -> usize;
+    /// The region identified by `id` closed after `nanos` nanoseconds of
+    /// monotonic wall-clock time.
+    fn span_exit(&self, id: usize, nanos: u64);
+    /// Add `delta` to the named counter.
+    fn add(&self, name: &str, delta: u64);
+    /// Set the named gauge.
+    fn gauge(&self, name: &str, value: i64);
+    /// Record one observation into the named histogram.
+    fn observe(&self, name: &str, value: u64);
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<dyn Recorder>>> = const { RefCell::new(None) };
+}
+
+/// Install a recorder for the current thread. Replaces any previous one.
+pub fn install(recorder: Rc<dyn Recorder>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(recorder));
+}
+
+/// Remove the current thread's recorder, returning instrumentation to
+/// the ~free disabled path.
+pub fn uninstall() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Is a recorder installed on this thread? This is the only cost an
+/// instrumentation point pays when observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Run `f` against the installed recorder, if any.
+#[inline]
+pub fn with_recorder<R>(f: impl FnOnce(&dyn Recorder) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|r| f(r.as_ref())))
+}
+
+#[doc(hidden)]
+pub fn current_recorder() -> Option<Rc<dyn Recorder>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Open a span through the installed recorder (function form; prefer the
+/// [`span!`] macro, which skips evaluating a computed name when
+/// disabled).
+pub fn span(name: &str) -> SpanGuard {
+    if enabled() {
+        SpanGuard::enter_active(name)
+    } else {
+        SpanGuard::inactive()
+    }
+}
+
+/// Open an RAII span: `let _guard = obs::span!("discovery.censys");`.
+///
+/// The name expression is only evaluated when a recorder is installed,
+/// so `span!(format!("provider.{name}"))` allocates nothing on the
+/// disabled path.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter_active(::core::convert::AsRef::<str>::as_ref(&$name))
+        } else {
+            $crate::SpanGuard::inactive()
+        }
+    };
+}
+
+/// Bump a counter: `obs::count!("certs_parsed")` or
+/// `obs::count!("flows_sampled", n)`. Arguments are only evaluated when
+/// a recorder is installed.
+#[macro_export]
+macro_rules! count {
+    ($name:expr) => {
+        $crate::count!($name, 1u64)
+    };
+    ($name:expr, $delta:expr) => {
+        if $crate::enabled() {
+            $crate::with_recorder(|r| {
+                r.add(::core::convert::AsRef::<str>::as_ref(&$name), $delta as u64)
+            });
+        }
+    };
+}
+
+/// Set a gauge: `obs::gauge!("world.servers", n)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::with_recorder(|r| {
+                r.gauge(::core::convert::AsRef::<str>::as_ref(&$name), $value as i64)
+            });
+        }
+    };
+}
+
+/// Record a histogram observation: `obs::observe!("flow.bytes", b)`.
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::with_recorder(|r| {
+                r.observe(::core::convert::AsRef::<str>::as_ref(&$name), $value as u64)
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        uninstall();
+        assert!(!enabled());
+        // All of these must be harmless no-ops.
+        let _g = span("nothing");
+        count!("nothing");
+        gauge!("nothing", 1);
+        observe!("nothing", 1);
+        assert!(with_recorder(|_| ()).is_none());
+    }
+
+    #[test]
+    fn install_uninstall_roundtrip() {
+        let registry = Rc::new(Registry::new());
+        install(registry.clone());
+        assert!(enabled());
+        count!("x", 2);
+        uninstall();
+        assert!(!enabled());
+        count!("x", 40); // dropped: no recorder
+        assert_eq!(registry.report().counters["x"], 2);
+    }
+
+    #[test]
+    fn lazy_name_evaluation_when_disabled() {
+        uninstall();
+        let mut evaluated = false;
+        count!(
+            {
+                evaluated = true;
+                "side-effect"
+            },
+            1
+        );
+        assert!(
+            !evaluated,
+            "count! must not evaluate its name when disabled"
+        );
+    }
+}

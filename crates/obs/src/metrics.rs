@@ -1,0 +1,347 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and
+//! the span arena.
+
+use crate::report::{RunReport, SpanNode};
+use crate::Recorder;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds: powers of four from 1 to 4^15,
+/// covering counts-of-things and byte sizes alike with 16 fixed buckets
+/// (plus one overflow bucket).
+pub const DEFAULT_BUCKETS: &[u64] = &[
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864,
+    268435456, 1073741824,
+];
+
+/// A fixed-bucket histogram: observations are counted into the first
+/// bucket whose upper bound is `>=` the value, with an overflow bucket
+/// past the last bound. Bounds never change after construction.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// A histogram over [`DEFAULT_BUCKETS`].
+    pub fn new() -> Histogram {
+        Histogram::with_bounds(DEFAULT_BUCKETS)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Immutable snapshot for reports.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A read-only view of a [`Histogram`] at report time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SpanRec {
+    name: String,
+    nanos: u64,
+    children: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanRec>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+/// The standard [`Recorder`]: accumulates counters, gauges, histograms,
+/// and the span tree, and snapshots them into a [`RunReport`].
+///
+/// Single-threaded by design (interior `RefCell`, shared via `Rc`), like
+/// the simulation itself; each test thread installs its own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RefCell<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Pre-register a histogram with explicit bucket bounds (observations
+    /// to unknown names otherwise get [`DEFAULT_BUCKETS`]).
+    pub fn register_histogram(&self, name: &str, bounds: &[u64]) {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .insert(name.to_string(), Histogram::with_bounds(bounds));
+    }
+
+    /// Current value of a counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot everything recorded so far into a [`RunReport`]. Spans
+    /// still open keep their zero duration.
+    pub fn report(&self) -> RunReport {
+        let inner = self.inner.borrow();
+        fn build(spans: &[SpanRec], idx: usize) -> SpanNode {
+            SpanNode {
+                name: spans[idx].name.clone(),
+                nanos: spans[idx].nanos,
+                children: spans[idx]
+                    .children
+                    .iter()
+                    .map(|&c| build(spans, c))
+                    .collect(),
+            }
+        }
+        RunReport {
+            spans: inner
+                .roots
+                .iter()
+                .map(|&r| build(&inner.spans, r))
+                .collect(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for Registry {
+    fn span_enter(&self, name: &str) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.spans.len();
+        inner.spans.push(SpanRec {
+            name: name.to_string(),
+            nanos: 0,
+            children: Vec::new(),
+        });
+        match inner.stack.last().copied() {
+            Some(parent) => inner.spans[parent].children.push(id),
+            None => inner.roots.push(id),
+        }
+        inner.stack.push(id);
+        id
+    }
+
+    fn span_exit(&self, id: usize, nanos: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(rec) = inner.spans.get_mut(id) {
+            rec.nanos = nanos;
+        }
+        // Guards drop LIFO; tolerate a leaked guard by popping through it.
+        if let Some(pos) = inner.stack.iter().rposition(|&s| s == id) {
+            inner.stack.truncate(pos);
+        }
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge(&self, name: &str, value: i64) {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let r = Registry::new();
+        assert_eq!(r.counter("a"), 0);
+        r.add("a", 2);
+        r.add("a", 3);
+        r.add("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        r.add("a", u64::MAX);
+        assert_eq!(r.counter("a"), u64::MAX, "counters saturate");
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let r = Registry::new();
+        r.gauge("g", 10);
+        r.gauge("g", -3);
+        assert_eq!(r.report().gauges["g"], -3);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 2]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 5000);
+        assert_eq!(s.sum, 5222);
+        assert!((s.mean() - 5222.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_default_buckets_cover_everything() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(*s.counts.last().unwrap(), 1, "overflow bucket catches all");
+        assert_eq!(s.counts.len(), DEFAULT_BUCKETS.len() + 1);
+    }
+
+    #[test]
+    fn registered_bounds_are_respected() {
+        let r = Registry::new();
+        r.register_histogram("h", &[2, 4]);
+        r.observe("h", 3);
+        let s = &r.report().histograms["h"];
+        assert_eq!(s.bounds, vec![2, 4]);
+        assert_eq!(s.counts, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn span_tree_nesting_and_monotonic_timing() {
+        let r = Registry::new();
+        let outer = r.span_enter("outer");
+        let inner = r.span_enter("inner");
+        r.span_exit(inner, 5);
+        let sibling = r.span_enter("sibling");
+        r.span_exit(sibling, 7);
+        r.span_exit(outer, 20);
+        let root2 = r.span_enter("root2");
+        r.span_exit(root2, 1);
+
+        let report = r.report();
+        assert_eq!(report.spans.len(), 2);
+        let o = &report.spans[0];
+        assert_eq!(o.name, "outer");
+        assert_eq!(o.nanos, 20);
+        assert_eq!(
+            o.children
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            ["inner", "sibling"]
+        );
+        // A parent's recorded time always covers its children's.
+        assert!(o.nanos >= o.children.iter().map(|c| c.nanos).sum::<u64>());
+        assert_eq!(report.spans[1].name, "root2");
+    }
+
+    #[test]
+    fn leaked_inner_span_does_not_corrupt_stack() {
+        let r = Registry::new();
+        let outer = r.span_enter("outer");
+        let _leaked = r.span_enter("leaked");
+        r.span_exit(outer, 9); // pops through the leaked child
+        let next = r.span_enter("next");
+        r.span_exit(next, 1);
+        let report = r.report();
+        assert_eq!(report.spans.len(), 2, "next span is a root again");
+        assert_eq!(report.spans[1].name, "next");
+    }
+}

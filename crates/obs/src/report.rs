@@ -1,0 +1,243 @@
+//! Run reports: the span tree + metrics serialised to markdown (for
+//! humans) and JSON-lines (for machines; hand-rolled writer, no serde).
+
+use crate::metrics::HistogramSnapshot;
+use std::collections::BTreeMap;
+
+/// One node of the closed span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The name passed at `span_enter`.
+    pub name: String,
+    /// Monotonic wall-clock duration (0 if the span never closed).
+    pub nanos: u64,
+    /// Child spans, in entry order.
+    pub children: Vec<SpanNode>,
+}
+
+/// Everything one instrumented run recorded.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Root spans, in entry order.
+    pub spans: Vec<SpanNode>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Human-readable duration, scaled to ns/µs/ms/s.
+pub(crate) fn fmt_nanos(nanos: u64) -> String {
+    match nanos {
+        0..=999 => format!("{nanos}ns"),
+        1_000..=999_999 => format!("{:.1}µs", nanos as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", nanos as f64 / 1e6),
+        _ => format!("{:.2}s", nanos as f64 / 1e9),
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", cells.join(","))
+}
+
+impl RunReport {
+    /// Render the span tree alone (the `--trace` output of `exp`).
+    pub fn render_span_tree(&self) -> String {
+        let mut out = String::new();
+        fn walk(node: &SpanNode, depth: usize, parent_nanos: Option<u64>, out: &mut String) {
+            let share = match parent_nanos {
+                Some(p) if p > 0 => format!(" ({:.0}%)", node.nanos as f64 / p as f64 * 100.0),
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "{}{} — {}{}\n",
+                "  ".repeat(depth),
+                node.name,
+                fmt_nanos(node.nanos),
+                share
+            ));
+            for child in &node.children {
+                walk(child, depth + 1, Some(node.nanos), out);
+            }
+        }
+        for root in &self.spans {
+            walk(root, 0, None, &mut out);
+        }
+        out
+    }
+
+    /// The full markdown summary: span tree + metric tables.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# Run report\n\n## Span tree\n\n```\n");
+        out.push_str(&self.render_span_tree());
+        out.push_str("```\n");
+        if !self.counters.is_empty() {
+            out.push_str("\n## Counters\n\n| counter | value |\n|---|---:|\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("| {name} | {value} |\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n## Gauges\n\n| gauge | value |\n|---|---:|\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("| {name} | {value} |\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(
+                "\n## Histograms\n\n| histogram | count | sum | mean | min | max |\n\
+                 |---|---:|---:|---:|---:|---:|\n",
+            );
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "| {name} | {} | {} | {:.1} | {} | {} |\n",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// The machine-readable report: one JSON object per line.
+    ///
+    /// Line `type`s: `meta` (format version header), `span` (one per
+    /// span-tree node, with its `/`-joined `path` and `depth`),
+    /// `counter`, `gauge`, `histogram`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::from("{\"type\":\"meta\",\"format\":\"iotmap-obs.v1\"}\n");
+        fn walk(node: &SpanNode, path: &str, depth: usize, out: &mut String) {
+            let path = if path.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{path}/{}", node.name)
+            };
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"name\":\"{}\",\"path\":\"{}\",\"depth\":{},\"nanos\":{}}}\n",
+                json_escape(&node.name),
+                json_escape(&path),
+                depth,
+                node.nanos
+            ));
+            for child in &node.children {
+                walk(child, &path, depth + 1, out);
+            }
+        }
+        for root in &self.spans {
+            walk(root, "", 0, &mut out);
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+                json_escape(name)
+            ));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}\n",
+                json_escape(name)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\
+                 \"max\":{},\"bounds\":{},\"counts\":{}}}\n",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_u64_array(&h.bounds),
+                json_u64_array(&h.counts)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use crate::Registry;
+
+    fn sample_report() -> RunReport {
+        let r = Registry::new();
+        let a = r.span_enter("prepare");
+        let b = r.span_enter("discovery");
+        r.span_exit(b, 2_000_000);
+        r.span_exit(a, 5_000_000);
+        r.add("certs \"q\"", 7);
+        r.gauge("servers", 42);
+        r.register_histogram("bytes", &[10, 100]);
+        r.observe("bytes", 55);
+        r.report()
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_nanos(15), "15ns");
+        assert_eq!(fmt_nanos(1_500), "1.5µs");
+        assert_eq!(fmt_nanos(2_500_000), "2.5ms");
+        assert_eq!(fmt_nanos(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn markdown_contains_all_sections() {
+        let md = sample_report().to_markdown();
+        assert!(md.contains("## Span tree"));
+        assert!(md.contains("prepare — 5.0ms"));
+        assert!(md.contains("  discovery — 2.0ms (40%)"));
+        assert!(md.contains("| certs \"q\" | 7 |"));
+        assert!(md.contains("| servers | 42 |"));
+        assert!(md.contains("| bytes | 1 | 55 | 55.0 | 55 | 55 |"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let jsonl = sample_report().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], "{\"type\":\"meta\",\"format\":\"iotmap-obs.v1\"}");
+        assert!(lines[1].contains("\"path\":\"prepare\""));
+        assert!(lines[2].contains("\"path\":\"prepare/discovery\""));
+        assert!(lines[2].contains("\"depth\":1"));
+        assert!(lines[3].contains("\"name\":\"certs \\\"q\\\"\""));
+        assert!(lines[5].contains("\"bounds\":[10,100]"));
+        assert!(lines[5].contains("\"counts\":[0,1,0]"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            // Balanced quotes: every line must be standalone-parseable.
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -111,6 +111,7 @@ impl CensysService {
     /// does not know the right name). Record whatever certificate the
     /// server volunteers.
     pub fn daily_sweep(&self, view: &dyn ScanView, date: Date) -> CensysSnapshot {
+        let _span = iotmap_obs::span!("scan.censys.daily_sweep");
         // Handshakes happen over the course of the day; noon is
         // representative for validity checks.
         let when = date.midnight() + SimDuration::hours(12);
@@ -137,6 +138,7 @@ impl CensysService {
             }
             host_ports.push((addr, open_ports));
         }
+        iotmap_obs::count!("scan.censys.certs_parsed", records.len() as u64);
         CensysSnapshot {
             date,
             records,

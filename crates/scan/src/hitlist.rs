@@ -49,7 +49,10 @@ impl Ipv6Hitlist {
 
     /// Candidates within a prefix (e.g. one provider's announcement).
     pub fn in_prefix<'a>(&'a self, prefix: &'a Ipv6Prefix) -> impl Iterator<Item = Ipv6Addr> + 'a {
-        self.addrs.iter().copied().filter(move |a| prefix.contains(*a))
+        self.addrs
+            .iter()
+            .copied()
+            .filter(move |a| prefix.contains(*a))
     }
 
     /// Number of distinct /56 blocks covered — the Table 1 unit.

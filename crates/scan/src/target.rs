@@ -98,5 +98,4 @@ pub(crate) mod fixtures {
             self.locations.get(&addr).cloned()
         }
     }
-
 }

@@ -45,6 +45,7 @@ impl Zgrab2Scanner {
         when: SimTime,
         rng: &mut SimRng,
     ) -> Vec<ZgrabRecord> {
+        let _span = iotmap_obs::span!("scan.zgrab.v6_scan");
         let mut targets: Vec<(Ipv6Addr, PortProto)> = Vec::new();
         for addr in hitlist.iter() {
             if !self.policy.allows(IpAddr::V6(addr)) {
@@ -75,6 +76,7 @@ impl Zgrab2Scanner {
             }
         }
         records.sort_by_key(|r| (r.ip, r.port.port));
+        iotmap_obs::count!("scan.zgrab.certs_parsed", records.len() as u64);
         records
     }
 }
@@ -200,7 +202,11 @@ mod tests {
     fn output_is_sorted_and_deterministic() {
         let mut net = FakeInternet::new();
         for host in ["2001:db8::9", "2001:db8::3", "2001:db8::7"] {
-            net.add_v6(host, wk::HTTPS, TlsEndpoint::plain(cert(&["x.example.com"])));
+            net.add_v6(
+                host,
+                wk::HTTPS,
+                TlsEndpoint::plain(cert(&["x.example.com"])),
+            );
         }
         let mut hitlist = Ipv6Hitlist::new();
         for host in ["2001:db8::9", "2001:db8::3", "2001:db8::7"] {

@@ -67,7 +67,11 @@ impl HourlySeries {
 
     /// Minimum value (0 for an empty series).
     pub fn min(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
     }
 
     /// Sum of all buckets.

@@ -195,7 +195,9 @@ mod tests {
             sni: None,
             has_client_cert: true,
         };
-        assert!(handshake(&e, &device, now()).observed_certificate().is_some());
+        assert!(handshake(&e, &device, now())
+            .observed_certificate()
+            .is_some());
     }
 
     #[test]

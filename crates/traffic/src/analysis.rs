@@ -21,7 +21,11 @@ pub enum RegionGroup {
 }
 
 impl RegionGroup {
-    const ALL: [RegionGroup; 3] = [RegionGroup::UsEast1, RegionGroup::Europe, RegionGroup::Other];
+    const ALL: [RegionGroup; 3] = [
+        RegionGroup::UsEast1,
+        RegionGroup::Europe,
+        RegionGroup::Other,
+    ];
 
     fn of(meta: &crate::index::IpMeta) -> RegionGroup {
         if meta.region == "us-east-1" {
@@ -126,6 +130,7 @@ impl<'a> AnalysisSink<'a> {
 
     /// Consume the sink into a report.
     pub fn into_report(self) -> AnalysisReport {
+        let _span = iotmap_obs::span!("traffic.analysis.into_report");
         AnalysisReport {
             providers: self.index.providers().to_vec(),
             server_buckets: {
@@ -168,6 +173,8 @@ impl FlowSink for AnalysisSink<'_> {
         let Some(meta) = self.index.get(r.remote) else {
             return;
         };
+        iotmap_obs::count!("traffic.analysis.flows_analyzed");
+        iotmap_obs::observe!("traffic.analysis.flow_bytes", r.bytes);
         let p = meta.provider;
         let hour = r.time.epoch_hours();
         if hour < self.start_hour {
@@ -256,7 +263,10 @@ impl AnalysisReport {
         let p = self.pidx(provider)?;
         let mut s = HourlySeries::new(self.start_hour, self.hours);
         for h in 0..self.hours {
-            s.add(self.start_hour + h as u64, self.hourly_lines[p * self.hours + h]);
+            s.add(
+                self.start_hour + h as u64,
+                self.hourly_lines[p * self.hours + h],
+            );
         }
         Some(s)
     }
@@ -266,7 +276,10 @@ impl AnalysisReport {
         let p = self.pidx(provider)?;
         let mut s = HourlySeries::new(self.start_hour, self.hours);
         for h in 0..self.hours {
-            s.add(self.start_hour + h as u64, self.hourly_dn[p * self.hours + h]);
+            s.add(
+                self.start_hour + h as u64,
+                self.hourly_dn[p * self.hours + h],
+            );
         }
         Some(s)
     }
@@ -467,8 +480,10 @@ mod tests {
             name: "alpha".to_string(),
             ..Default::default()
         };
-        a.ips.insert("10.0.0.1".parse().unwrap(), IpEvidence::default());
-        a.ips.insert("10.0.0.2".parse().unwrap(), IpEvidence::default());
+        a.ips
+            .insert("10.0.0.1".parse().unwrap(), IpEvidence::default());
+        a.ips
+            .insert("10.0.0.2".parse().unwrap(), IpEvidence::default());
         let mut fp = Footprint::default();
         fp.per_ip.insert(
             "10.0.0.1".parse().unwrap(),

@@ -38,6 +38,8 @@ impl IpIndex {
         footprints: &HashMap<String, Footprint>,
         shared: &HashSet<IpAddr>,
     ) -> IpIndex {
+        let _span = iotmap_obs::span!("traffic.index_build");
+        let mut shared_excluded = 0u64;
         let mut index = IpIndex::default();
         for (name, disc) in discovery.per_provider() {
             let pidx = index.providers.len();
@@ -45,6 +47,7 @@ impl IpIndex {
             let fp = footprints.get(name);
             for &ip in disc.ips.keys() {
                 if shared.contains(&ip) {
+                    shared_excluded += 1;
                     continue;
                 }
                 let (continent, region) = fp
@@ -61,6 +64,8 @@ impl IpIndex {
                 );
             }
         }
+        iotmap_obs::count!("traffic.index.ips_indexed", index.map.len() as u64);
+        iotmap_obs::count!("traffic.index.shared_excluded", shared_excluded);
         index
     }
 
@@ -124,14 +129,18 @@ mod tests {
             name: "amazon".to_string(),
             ..Default::default()
         };
-        a.ips.insert("52.0.0.1".parse().unwrap(), IpEvidence::default());
-        a.ips.insert("52.0.0.2".parse().unwrap(), IpEvidence::default());
+        a.ips
+            .insert("52.0.0.1".parse().unwrap(), IpEvidence::default());
+        a.ips
+            .insert("52.0.0.2".parse().unwrap(), IpEvidence::default());
         let mut g = ProviderDiscovery {
             name: "google".to_string(),
             ..Default::default()
         };
-        g.ips.insert("60.0.0.1".parse().unwrap(), IpEvidence::default());
-        g.ips.insert("2a09::1".parse().unwrap(), IpEvidence::default());
+        g.ips
+            .insert("60.0.0.1".parse().unwrap(), IpEvidence::default());
+        g.ips
+            .insert("2a09::1".parse().unwrap(), IpEvidence::default());
         DiscoveryResult::from_providers(vec![a, g])
     }
 

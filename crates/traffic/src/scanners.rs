@@ -30,6 +30,7 @@ impl<'a> ContactSink<'a> {
 impl FlowSink for ContactSink<'_> {
     fn accept(&mut self, record: &FlowRecord) {
         if self.index.get(record.remote).is_some() {
+            iotmap_obs::count!("traffic.contact.flows_matched");
             self.per_line
                 .entry(record.line)
                 .or_default()

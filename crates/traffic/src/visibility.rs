@@ -123,15 +123,19 @@ mod tests {
             ..Default::default()
         };
         for i in 1..=4u8 {
-            a.ips
-                .insert(format!("10.0.0.{i}").parse().unwrap(), IpEvidence::default());
+            a.ips.insert(
+                format!("10.0.0.{i}").parse().unwrap(),
+                IpEvidence::default(),
+            );
         }
         let mut b = ProviderDiscovery {
             name: "beta".to_string(),
             ..Default::default()
         };
-        b.ips.insert("10.1.0.1".parse().unwrap(), IpEvidence::default());
-        b.ips.insert("2a09::1".parse().unwrap(), IpEvidence::default());
+        b.ips
+            .insert("10.1.0.1".parse().unwrap(), IpEvidence::default());
+        b.ips
+            .insert("2a09::1".parse().unwrap(), IpEvidence::default());
         IpIndex::build(
             &DiscoveryResult::from_providers(vec![a, b]),
             &HashMap::new(),
@@ -192,7 +196,9 @@ mod tests {
         let mut restricted = HashMap::new();
         restricted.insert(
             "alpha".to_string(),
-            [IpAddr::from([10, 0, 0, 1])].into_iter().collect::<HashSet<_>>(),
+            [IpAddr::from([10, 0, 0, 1])]
+                .into_iter()
+                .collect::<HashSet<_>>(),
         );
         let ablation = source_ablation(&idx, &sink, &HashSet::new(), &restricted);
         let alpha = ablation.iter().find(|(n, _)| n == "alpha").unwrap();

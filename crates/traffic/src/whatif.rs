@@ -99,10 +99,14 @@ mod tests {
             name: "mixedco".to_string(),
             ..Default::default()
         };
-        p.ips.insert("52.0.0.1".parse().unwrap(), IpEvidence::default());
-        p.ips.insert("52.0.0.2".parse().unwrap(), IpEvidence::default());
-        p.ips.insert("60.0.0.1".parse().unwrap(), IpEvidence::default());
-        p.ips.insert("60.0.0.2".parse().unwrap(), IpEvidence::default());
+        p.ips
+            .insert("52.0.0.1".parse().unwrap(), IpEvidence::default());
+        p.ips
+            .insert("52.0.0.2".parse().unwrap(), IpEvidence::default());
+        p.ips
+            .insert("60.0.0.1".parse().unwrap(), IpEvidence::default());
+        p.ips
+            .insert("60.0.0.2".parse().unwrap(), IpEvidence::default());
         let disc = DiscoveryResult::from_providers(vec![p]);
 
         let deps = cascade_impact(&disc, &sources, &["Amazon Web Services"]);

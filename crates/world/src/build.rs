@@ -1,7 +1,6 @@
 //! World generation: wiring providers, clouds, DNS, scans, ISP and events
 //! into one deterministic ground truth.
 
-use iotmap_nettypes::bgp::{BgpOrigin, BgpTable};
 use crate::clouds::{CloudCatalog, CloudRegion};
 use crate::config::WorldConfig;
 use crate::events::Events;
@@ -10,6 +9,7 @@ use crate::isp::{IspModel, TenantHomes};
 use crate::providers::{catalog, DomainStyle, ProviderSpec, SiteHosting};
 use crate::server::{Server, ServerId};
 use iotmap_dns::{PassiveDnsDb, Policy, RData, ResolutionContext, RrType, ZoneDb};
+use iotmap_nettypes::bgp::{BgpOrigin, BgpTable};
 use iotmap_nettypes::{
     Asn, Continent, Date, DomainName, Ipv4Prefix, Ipv6Prefix, PortProto, SimDuration, SimRng,
 };
@@ -80,6 +80,7 @@ pub struct World {
 impl World {
     /// Generate the world from a configuration. Fully deterministic.
     pub fn generate(config: &WorldConfig) -> World {
+        let _span = iotmap_obs::span!("world.generate");
         let rng = SimRng::new(config.seed);
         let geo = GeoDb::standard();
         let clouds = CloudCatalog::standard(&geo);
@@ -159,8 +160,7 @@ impl World {
         let names: Vec<&'static str> = b.providers.iter().map(|p| p.name).collect();
         let candidates: Vec<(usize, Vec<Ipv4Addr>)> = (0..b.providers.len())
             .map(|p| {
-                let ips: Vec<Ipv4Addr> = b
-                    .site_pools[p]
+                let ips: Vec<Ipv4Addr> = b.site_pools[p]
                     .iter()
                     .flatten()
                     .take(40)
@@ -175,6 +175,8 @@ impl World {
         let mut ev_rng = b.rng.fork("events");
         let events = Events::generate(&mut ev_rng, &provider_asns, &candidates, move |i| names[i]);
 
+        iotmap_obs::gauge!("world.servers", b.servers.len() as i64);
+        iotmap_obs::gauge!("world.isp_lines", isp.lines.len() as i64);
         World {
             geo_noise_seed: b.rng.fork("geonoise").next_u64(),
             config: b.config,
@@ -305,7 +307,8 @@ impl Builder {
         let mut rng = self.rng.fork("servers");
         for (pidx, spec) in providers.iter().enumerate() {
             let total_weight: f64 = spec.sites.iter().map(|s| s.weight).sum();
-            let total_24s = (spec.slash24_target / self.config.ip_scale).max(spec.sites.len() as u32);
+            let total_24s =
+                (spec.slash24_target / self.config.ip_scale).max(spec.sites.len() as u32);
             let ports = Self::provider_ports(spec);
 
             let mut cities = Vec::new();
@@ -420,7 +423,11 @@ impl Builder {
 
     /// Allocate `n24` /24 blocks for a site, returning the announcing ASN
     /// and the blocks.
-    fn site_blocks(&mut self, site: &crate::providers::SiteSpec, n24: u32) -> (Asn, Vec<Ipv4Prefix>) {
+    fn site_blocks(
+        &mut self,
+        site: &crate::providers::SiteSpec,
+        n24: u32,
+    ) -> (Asn, Vec<Ipv4Prefix>) {
         match &site.hosting {
             SiteHosting::Own { asn } => {
                 // Own /16 blocks carved from 60.0.0.0/8 (one per 256 /24s).
@@ -462,7 +469,12 @@ impl Builder {
     }
 
     /// The IPv6 /48 a site draws its /56s from.
-    fn site_v6_block(&mut self, pidx: usize, sidx: usize, site: &crate::providers::SiteSpec) -> Ipv6Prefix {
+    fn site_v6_block(
+        &mut self,
+        pidx: usize,
+        sidx: usize,
+        site: &crate::providers::SiteSpec,
+    ) -> Ipv6Prefix {
         match &site.hosting {
             SiteHosting::Cloud { cloud, region } => {
                 let c = self.clouds.cloud(cloud);
@@ -478,7 +490,9 @@ impl Builder {
                 })
             }
             SiteHosting::Own { .. } => Ipv6Prefix::new(
-                Ipv6Addr::from((0x2a09u128 << 112) | ((pidx as u128) << 96) | ((sidx as u128) << 80)),
+                Ipv6Addr::from(
+                    (0x2a09u128 << 112) | ((pidx as u128) << 96) | ((sidx as u128) << 80),
+                ),
                 48,
             ),
         }
@@ -532,7 +546,9 @@ impl Builder {
                                     org: spec.display.to_string(),
                                     location_label: site.code.clone(),
                                     location: Some(
-                                        self.geo.location(self.site_city[s.provider][s.site]).clone(),
+                                        self.geo
+                                            .location(self.site_city[s.provider][s.site])
+                                            .clone(),
                                     ),
                                 },
                             );
@@ -548,7 +564,9 @@ impl Builder {
                                     org: spec.display.to_string(),
                                     location_label: site.code.clone(),
                                     location: Some(
-                                        self.geo.location(self.site_city[s.provider][s.site]).clone(),
+                                        self.geo
+                                            .location(self.site_city[s.provider][s.site])
+                                            .clone(),
                                     ),
                                 },
                             );
@@ -570,7 +588,9 @@ impl Builder {
                             org: c.org.to_string(),
                             location_label: site.code.clone(),
                             location: Some(
-                                self.geo.location(self.site_city[s.provider][s.site]).clone(),
+                                self.geo
+                                    .location(self.site_city[s.provider][s.site])
+                                    .clone(),
                             ),
                         },
                     );
@@ -680,13 +700,19 @@ impl Builder {
                             let domain: DomainName = name.parse().expect("valid service domain");
                             let pool = self.site_rdata(pidx, sidx);
                             if !pool.is_empty() {
-                                self.zones
-                                    .set_policy(domain.clone(), RrType::A, Policy::Static(pool));
+                                self.zones.set_policy(
+                                    domain.clone(),
+                                    RrType::A,
+                                    Policy::Static(pool),
+                                );
                             }
                             let pool6 = self.site_rdata_v6(pidx, sidx);
                             if !pool6.is_empty() {
-                                self.zones
-                                    .set_policy(domain.clone(), RrType::Aaaa, Policy::Static(pool6));
+                                self.zones.set_policy(
+                                    domain.clone(),
+                                    RrType::Aaaa,
+                                    Policy::Static(pool6),
+                                );
                             }
                             self.pdns_domains.push((
                                 domain,
@@ -701,7 +727,8 @@ impl Builder {
                         self.install_google_zones(pidx, names);
                         // High-visibility domains: always in passive DNS.
                         for n in *names {
-                            self.pdns_domains.push((n.parse().expect("fixed name"), 0.97, true));
+                            self.pdns_domains
+                                .push((n.parse().expect("fixed name"), 0.97, true));
                         }
                     } else {
                         // Sierra: one regional front per site, in site order.
@@ -710,13 +737,19 @@ impl Builder {
                             let domain: DomainName = name.parse().expect("fixed name");
                             let pool = self.site_rdata(pidx, sidx);
                             if !pool.is_empty() {
-                                self.zones
-                                    .set_policy(domain.clone(), RrType::A, Policy::Static(pool));
+                                self.zones.set_policy(
+                                    domain.clone(),
+                                    RrType::A,
+                                    Policy::Static(pool),
+                                );
                             }
                             let pool6 = self.site_rdata_v6(pidx, sidx);
                             if !pool6.is_empty() {
-                                self.zones
-                                    .set_policy(domain.clone(), RrType::Aaaa, Policy::Static(pool6));
+                                self.zones.set_policy(
+                                    domain.clone(),
+                                    RrType::Aaaa,
+                                    Policy::Static(pool6),
+                                );
                             }
                             self.pdns_domains.push((
                                 domain,
@@ -901,8 +934,11 @@ impl Builder {
             if rng.chance(0.05) {
                 ports.push(PortProto::tcp(8883)); // non-IoT MQTT brokers exist
             }
-            self.zones
-                .set_policy(domain.clone(), RrType::A, Policy::Static(vec![RData::A(ip)]));
+            self.zones.set_policy(
+                domain.clone(),
+                RrType::A,
+                Policy::Static(vec![RData::A(ip)]),
+            );
             self.pdns_domains
                 .push((domain.clone(), 0.4, rng.chance(0.9)));
             self.background.push(BackgroundHost {
@@ -958,8 +994,7 @@ impl Builder {
                     let domain: DomainName = format!("www.brand{i:03}.example")
                         .parse()
                         .expect("valid akamai customer domain");
-                    let picks: Vec<RData> =
-                        vec![edge[i as usize % edge.len()].clone()];
+                    let picks: Vec<RData> = vec![edge[i as usize % edge.len()].clone()];
                     self.zones
                         .set_policy(domain.clone(), RrType::A, Policy::Static(picks));
                     self.pdns_domains.push((domain, 0.7, true));
@@ -979,8 +1014,9 @@ impl Builder {
         }
         // Hitlist noise: responsive hosts that are not IoT backends.
         for i in 0..64u64 {
-            self.hitlist
-                .add(Ipv6Addr::from((0x2001_0db8_0bad_u128 << 80) | (i as u128 + 1)));
+            self.hitlist.add(Ipv6Addr::from(
+                (0x2001_0db8_0bad_u128 << 80) | (i as u128 + 1),
+            ));
         }
     }
 
@@ -1165,7 +1201,12 @@ mod tests {
         let w = world();
         for s in &w.servers {
             let origin = w.bgp.origin(s.ip);
-            assert!(origin.is_some(), "no BGP origin for {} ({:?})", s.ip, s.provider);
+            assert!(
+                origin.is_some(),
+                "no BGP origin for {} ({:?})",
+                s.ip,
+                s.provider
+            );
             assert_eq!(origin.unwrap().asn, s.asn, "asn mismatch for {}", s.ip);
         }
     }
@@ -1220,7 +1261,10 @@ mod tests {
         let t = &w.tenants[b][0];
         // Direct query yields a CNAME...
         let direct = w.zones.query(&t.domain, RrType::A, &ctx);
-        assert!(matches!(direct.first(), Some(RData::Cname(_))), "{direct:?}");
+        assert!(
+            matches!(direct.first(), Some(RData::Cname(_))),
+            "{direct:?}"
+        );
         // ...and full resolution lands on Bosch's AWS servers.
         let ips = iotmap_dns::resolve(&w.zones, &t.domain, RrType::A, &ctx);
         assert!(!ips.is_empty());
@@ -1265,10 +1309,8 @@ mod tests {
     fn passive_dns_is_populated_for_study_week() {
         let w = world();
         let week = w.config.study_period;
-        let q = iotmap_dregex::query::DnsdbQuery::flexible(
-            r"(.+\.|^)(azure-devices\.net\.$)/A",
-        )
-        .unwrap();
+        let q = iotmap_dregex::query::DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A")
+            .unwrap();
         let hits = w.passive_dns.search(&q, week).count();
         assert!(hits > 50, "azure-devices hits {hits}");
     }
@@ -1301,11 +1343,7 @@ mod tests {
             .iter()
             .filter(|s| s.provider == m)
             .filter(|s| match s.ip {
-                IpAddr::V4(a) => w
-                    .published
-                    .microsoft_prefixes
-                    .iter()
-                    .any(|p| p.contains(a)),
+                IpAddr::V4(a) => w.published.microsoft_prefixes.iter().any(|p| p.contains(a)),
                 _ => false,
             })
             .count();
@@ -1314,7 +1352,10 @@ mod tests {
             .iter()
             .filter(|s| s.provider == m && s.ip.is_ipv4())
             .count();
-        assert!(inside > 0 && inside < total, "inside {inside} total {total}");
+        assert!(
+            inside > 0 && inside < total,
+            "inside {inside} total {total}"
+        );
         // Cisco and Siemens publish everything.
         assert!(!w.published.cisco_ips.is_empty());
         assert!(!w.published.siemens_ips.is_empty());

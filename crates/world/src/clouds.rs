@@ -286,22 +286,10 @@ mod tests {
         let use1 = aws.region("us-east-1");
         assert_eq!(use1.v4_block.to_string(), "52.0.0.0/13");
         assert!(use1.v6_block.is_some());
-        assert_eq!(
-            CloudCatalog::asn_for_region(aws, "us-east-1"),
-            Asn(14618)
-        );
-        assert_eq!(
-            CloudCatalog::asn_for_region(aws, "eu-central-1"),
-            Asn(8987)
-        );
-        assert_eq!(
-            CloudCatalog::asn_for_region(aws, "ap-south-1"),
-            Asn(7224)
-        );
-        assert_eq!(
-            CloudCatalog::asn_for_region(aws, "us-west-2"),
-            Asn(16509)
-        );
+        assert_eq!(CloudCatalog::asn_for_region(aws, "us-east-1"), Asn(14618));
+        assert_eq!(CloudCatalog::asn_for_region(aws, "eu-central-1"), Asn(8987));
+        assert_eq!(CloudCatalog::asn_for_region(aws, "ap-south-1"), Asn(7224));
+        assert_eq!(CloudCatalog::asn_for_region(aws, "us-west-2"), Asn(16509));
     }
 
     #[test]

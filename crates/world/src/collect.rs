@@ -21,6 +21,7 @@ pub struct CollectedScans {
 impl World {
     /// Run the scanning instruments over a study period.
     pub fn collect_scan_data(&self, period: StudyPeriod) -> CollectedScans {
+        let _span = iotmap_obs::span!("world.collect_scan_data");
         let svc = CensysService::new();
         let mut censys = Vec::new();
         for date in period.days() {
@@ -54,7 +55,10 @@ mod tests {
         let data = w.collect_scan_data(w.config.study_period);
         assert_eq!(data.censys.len(), 7);
         assert!(!data.censys[0].records.is_empty());
-        assert!(!data.zgrab_v6.is_empty(), "v6 backends exist and are on the hitlist");
+        assert!(
+            !data.zgrab_v6.is_empty(),
+            "v6 backends exist and are on the hitlist"
+        );
         // All grabbed IPs come from the hitlist.
         for r in &data.zgrab_v6 {
             assert!(w.hitlist.contains(r.ip));

@@ -154,8 +154,8 @@ impl Events {
         // use for backends.
         let mut set = IntervalSet::new();
         let bulk_octets: [u32; 37] = [
-            1, 2, 5, 14, 27, 31, 36, 37, 42, 49, 58, 59, 61, 77, 78, 79, 89, 91, 94, 101, 102,
-            103, 106, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121, 122, 123,
+            1, 2, 5, 14, 27, 31, 36, 37, 42, 49, 58, 59, 61, 77, 78, 79, 89, 91, 94, 101, 102, 103,
+            106, 110, 111, 112, 113, 114, 115, 116, 117, 118, 119, 120, 121, 122, 123,
         ];
         for o in bulk_octets {
             set.insert_prefix(Ipv4Prefix::new(Ipv4Addr::from(o << 24), 8));
@@ -240,8 +240,22 @@ mod tests {
 
     fn provider_names() -> Vec<&'static str> {
         vec![
-            "alibaba", "amazon", "baidu", "bosch", "cisco", "fujitsu", "google", "huawei", "ibm",
-            "microsoft", "oracle", "ptc", "sap", "siemens", "sierra", "tencent",
+            "alibaba",
+            "amazon",
+            "baidu",
+            "bosch",
+            "cisco",
+            "fujitsu",
+            "google",
+            "huawei",
+            "ibm",
+            "microsoft",
+            "oracle",
+            "ptc",
+            "sap",
+            "siemens",
+            "sierra",
+            "tencent",
         ]
     }
 
@@ -329,7 +343,8 @@ mod tests {
         assert_eq!(e.outage.region, "us-east-1");
         assert!(e.outage.downstream_residual < e.outage.upstream_residual);
         assert!(e.outage.window.contains(
-            iotmap_nettypes::Date::new(2021, 12, 7).midnight() + iotmap_nettypes::SimDuration::hours(18)
+            iotmap_nettypes::Date::new(2021, 12, 7).midnight()
+                + iotmap_nettypes::SimDuration::hours(18)
         ));
     }
 

@@ -156,10 +156,7 @@ mod tests {
     fn catalog_has_all_continents() {
         let db = GeoDb::standard();
         for cont in Continent::ALL {
-            assert!(
-                !db.on_continent(cont).is_empty(),
-                "no city on {cont}"
-            );
+            assert!(!db.on_continent(cont).is_empty(), "no city on {cont}");
         }
         assert!(db.len() >= 40);
     }

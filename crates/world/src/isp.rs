@@ -186,10 +186,7 @@ impl IspModel {
             (pick.0, pick.1)
         };
 
-        let heavy = spec
-            .profile
-            .heavy
-            .is_some_and(|h| rng.chance(h.fraction));
+        let heavy = spec.profile.heavy.is_some_and(|h| rng.chance(h.fraction));
         let uses_v6 = spec.has_ipv6() && rng.chance(0.3);
         // EU-homed devices occasionally talk to a US aggregation point.
         let secondary_us = continents[home_site] == Continent::Europe
@@ -236,7 +233,19 @@ fn site_of_continent(site: &crate::providers::SiteSpec, c: Continent) -> bool {
         Continent::NorthAmerica => {
             matches!(&site.hosting, SiteHosting::Cloud { region, .. } if region.starts_with("us"))
                 || site.code.contains("us-")
-                || matches!(site.city, "Ashburn" | "Columbus" | "Dallas" | "Portland" | "San Jose" | "Chicago" | "Atlanta" | "Phoenix" | "Montreal" | "Toronto")
+                || matches!(
+                    site.city,
+                    "Ashburn"
+                        | "Columbus"
+                        | "Dallas"
+                        | "Portland"
+                        | "San Jose"
+                        | "Chicago"
+                        | "Atlanta"
+                        | "Phoenix"
+                        | "Montreal"
+                        | "Toronto"
+                )
         }
         _ => false,
     }
@@ -247,7 +256,12 @@ mod tests {
     use super::*;
     use crate::providers::catalog;
 
-    fn setup() -> (WorldConfig, Vec<ProviderSpec>, Vec<TenantHomes>, Vec<Vec<Continent>>) {
+    fn setup() -> (
+        WorldConfig,
+        Vec<ProviderSpec>,
+        Vec<TenantHomes>,
+        Vec<Vec<Continent>>,
+    ) {
         let config = WorldConfig::small(7);
         let providers = catalog();
         // Synthesize tenant homes: 10 tenants per provider spread over its
@@ -258,7 +272,9 @@ mod tests {
                 tenants: if p.tenants == 0 {
                     Vec::new()
                 } else {
-                    (0..10u32).map(|t| (t, t as usize % p.sites.len())).collect()
+                    (0..10u32)
+                        .map(|t| (t, t as usize % p.sites.len()))
+                        .collect()
                 },
             })
             .collect();
@@ -322,7 +338,12 @@ mod tests {
         }
         let amazon = providers.iter().position(|p| p.name == "amazon").unwrap();
         let baidu = providers.iter().position(|p| p.name == "baidu").unwrap();
-        assert!(counts[amazon] > 50 * counts[baidu].max(1) / 10, "amazon {} baidu {}", counts[amazon], counts[baidu]);
+        assert!(
+            counts[amazon] > 50 * counts[baidu].max(1) / 10,
+            "amazon {} baidu {}",
+            counts[amazon],
+            counts[baidu]
+        );
     }
 
     #[test]

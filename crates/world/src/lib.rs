@@ -21,8 +21,8 @@
 //! is bit-for-bit reproducible.
 
 pub mod build;
-pub mod collect;
 pub mod clouds;
+pub mod collect;
 pub mod config;
 pub mod events;
 pub mod geodb;
@@ -32,13 +32,13 @@ pub mod server;
 pub mod traffic;
 pub mod view;
 
-pub use iotmap_nettypes::bgp::{BgpOrigin, BgpTable};
 pub use build::World;
-pub use collect::CollectedScans;
 pub use clouds::{CloudCatalog, CloudProvider, CloudRegion};
+pub use collect::CollectedScans;
 pub use config::WorldConfig;
 pub use events::{BgpStreamEvent, BgpStreamEventKind, BlocklistHit, Events, OutageEvent};
 pub use geodb::GeoDb;
+pub use iotmap_nettypes::bgp::{BgpOrigin, BgpTable};
 pub use isp::{Device, IspModel, SubscriberLine};
 pub use providers::{DeploymentStrategy, ProviderSpec, TrafficProfile, PROVIDER_COUNT};
 pub use server::{Server, ServerId};

@@ -345,9 +345,18 @@ pub fn catalog() -> Vec<ProviderSpec> {
                 sigma: 1.1,
                 down_up_ratio: 0.5, // camera-style upstream-heavy
                 ports: vec![
-                    PortShare { port: tcp(1883), weight: 0.5 },
-                    PortShare { port: tcp(443), weight: 0.4 },
-                    PortShare { port: udp(5682), weight: 0.1 },
+                    PortShare {
+                        port: tcp(1883),
+                        weight: 0.5,
+                    },
+                    PortShare {
+                        port: tcp(443),
+                        weight: 0.4,
+                    },
+                    PortShare {
+                        port: udp(5682),
+                        weight: 0.1,
+                    },
                 ],
                 heavy: None,
             },
@@ -411,9 +420,18 @@ pub fn catalog() -> Vec<ProviderSpec> {
                 sigma: 1.1,
                 down_up_ratio: 1.6,
                 ports: vec![
-                    PortShare { port: tcp(8883), weight: 0.55 },
-                    PortShare { port: tcp(443), weight: 0.35 },
-                    PortShare { port: tcp(8443), weight: 0.10 },
+                    PortShare {
+                        port: tcp(8883),
+                        weight: 0.55,
+                    },
+                    PortShare {
+                        port: tcp(443),
+                        weight: 0.35,
+                    },
+                    PortShare {
+                        port: tcp(8443),
+                        weight: 0.10,
+                    },
                 ],
                 heavy: None,
             },
@@ -451,11 +469,26 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.0,
             down_up_ratio: 1.0,
             ports: vec![
-                PortShare { port: tcp(1883), weight: 0.3 },
-                PortShare { port: tcp(1884), weight: 0.2 },
-                PortShare { port: tcp(443), weight: 0.3 },
-                PortShare { port: udp(5682), weight: 0.1 },
-                PortShare { port: udp(5683), weight: 0.1 },
+                PortShare {
+                    port: tcp(1883),
+                    weight: 0.3,
+                },
+                PortShare {
+                    port: tcp(1884),
+                    weight: 0.2,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.3,
+                },
+                PortShare {
+                    port: udp(5682),
+                    weight: 0.1,
+                },
+                PortShare {
+                    port: udp(5683),
+                    weight: 0.1,
+                },
             ],
             heavy: None,
         },
@@ -488,10 +521,22 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.1,
             down_up_ratio: 3.0,
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.55 },
-                PortShare { port: tcp(443), weight: 0.32 },
-                PortShare { port: tcp(5671), weight: 0.05 },
-                PortShare { port: udp(5684), weight: 0.08 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.55,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.32,
+                },
+                PortShare {
+                    port: tcp(5671),
+                    weight: 0.05,
+                },
+                PortShare {
+                    port: udp(5684),
+                    weight: 0.08,
+                },
             ],
             // §5.6: ~18% of the *lines seen on TCP/5671* move 100 MB–1 GB
             // per day, yet that volume is "a very small fraction of the
@@ -541,10 +586,22 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.0,
             down_up_ratio: 0.7,
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.25 },
-                PortShare { port: tcp(443), weight: 0.20 },
-                PortShare { port: tcp(9123), weight: 0.35 },
-                PortShare { port: tcp(9124), weight: 0.20 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.25,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.20,
+                },
+                PortShare {
+                    port: tcp(9123),
+                    weight: 0.35,
+                },
+                PortShare {
+                    port: tcp(9124),
+                    weight: 0.20,
+                },
             ],
             heavy: None,
         },
@@ -581,8 +638,14 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.0,
             down_up_ratio: 1.0,
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.7 },
-                PortShare { port: tcp(443), weight: 0.3 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.7,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.3,
+                },
             ],
             heavy: None,
         },
@@ -593,7 +656,14 @@ pub fn catalog() -> Vec<ProviderSpec> {
         // 77 zones across 14 countries, generated as (country plan ×
         // zones) over the metro catalog; all announced by AS15169.
         let plan: &[(&'static str, &[&'static str], usize)] = &[
-            ("us", &["Ashburn", "Columbus", "Dallas", "Portland", "San Jose", "Chicago", "Atlanta", "Phoenix"], 25),
+            (
+                "us",
+                &[
+                    "Ashburn", "Columbus", "Dallas", "Portland", "San Jose", "Chicago", "Atlanta",
+                    "Phoenix",
+                ],
+                25,
+            ),
             ("de", &["Frankfurt", "Berlin"], 6),
             ("nl", &["Amsterdam"], 6),
             ("ie", &["Dublin"], 4),
@@ -664,8 +734,14 @@ pub fn catalog() -> Vec<ProviderSpec> {
                 sigma: 1.0,
                 down_up_ratio: 1.2,
                 ports: vec![
-                    PortShare { port: tcp(8883), weight: 0.5 },
-                    PortShare { port: tcp(443), weight: 0.5 },
+                    PortShare {
+                        port: tcp(8883),
+                        weight: 0.5,
+                    },
+                    PortShare {
+                        port: tcp(443),
+                        weight: 0.5,
+                    },
                 ],
                 heavy: None,
             },
@@ -703,9 +779,18 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.0,
             down_up_ratio: 1.0,
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.5 },
-                PortShare { port: tcp(443), weight: 0.3 },
-                PortShare { port: tcp(8943), weight: 0.2 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.5,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.3,
+                },
+                PortShare {
+                    port: tcp(8943),
+                    weight: 0.2,
+                },
             ],
             heavy: None,
         },
@@ -754,9 +839,18 @@ pub fn catalog() -> Vec<ProviderSpec> {
                 sigma: 1.1,
                 down_up_ratio: 1.4,
                 ports: vec![
-                    PortShare { port: tcp(8883), weight: 0.5 },
-                    PortShare { port: tcp(1883), weight: 0.2 },
-                    PortShare { port: tcp(443), weight: 0.3 },
+                    PortShare {
+                        port: tcp(8883),
+                        weight: 0.5,
+                    },
+                    PortShare {
+                        port: tcp(1883),
+                        weight: 0.2,
+                    },
+                    PortShare {
+                        port: tcp(443),
+                        weight: 0.3,
+                    },
                 ],
                 heavy: None,
             },
@@ -826,9 +920,18 @@ pub fn catalog() -> Vec<ProviderSpec> {
                 sigma: 1.1,
                 down_up_ratio: 2.0,
                 ports: vec![
-                    PortShare { port: tcp(8883), weight: 0.75 },
-                    PortShare { port: tcp(443), weight: 0.23 },
-                    PortShare { port: tcp(5671), weight: 0.02 },
+                    PortShare {
+                        port: tcp(8883),
+                        weight: 0.75,
+                    },
+                    PortShare {
+                        port: tcp(443),
+                        weight: 0.23,
+                    },
+                    PortShare {
+                        port: tcp(5671),
+                        weight: 0.02,
+                    },
                 ],
                 heavy: None,
             },
@@ -882,8 +985,14 @@ pub fn catalog() -> Vec<ProviderSpec> {
                 sigma: 1.0,
                 down_up_ratio: 1.1,
                 ports: vec![
-                    PortShare { port: tcp(8883), weight: 0.6 },
-                    PortShare { port: tcp(443), weight: 0.4 },
+                    PortShare {
+                        port: tcp(8883),
+                        weight: 0.6,
+                    },
+                    PortShare {
+                        port: tcp(443),
+                        weight: 0.4,
+                    },
                 ],
                 heavy: None,
             },
@@ -931,9 +1040,18 @@ pub fn catalog() -> Vec<ProviderSpec> {
             // "Protocol agnostic" platform: generic TLS plus a custom UDP
             // channel above 10000 (§5.5 observes such ports).
             ports: vec![
-                PortShare { port: tcp(443), weight: 0.6 },
-                PortShare { port: tcp(8883), weight: 0.25 },
-                PortShare { port: udp(10010), weight: 0.15 },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.6,
+                },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.25,
+                },
+                PortShare {
+                    port: udp(10010),
+                    weight: 0.15,
+                },
             ],
             heavy: None,
         },
@@ -973,8 +1091,14 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.1,
             down_up_ratio: 1.8,
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.6 },
-                PortShare { port: tcp(443), weight: 0.4 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.6,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.4,
+                },
             ],
             heavy: None,
         },
@@ -1018,10 +1142,22 @@ pub fn catalog() -> Vec<ProviderSpec> {
             // D4 in §5.5: substantial volume on TCP/61616 (ActiveMQ),
             // plus OPC-UA.
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.30 },
-                PortShare { port: tcp(443), weight: 0.25 },
-                PortShare { port: tcp(61616), weight: 0.35 },
-                PortShare { port: tcp(4840), weight: 0.10 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.30,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.25,
+                },
+                PortShare {
+                    port: tcp(61616),
+                    weight: 0.35,
+                },
+                PortShare {
+                    port: tcp(4840),
+                    weight: 0.10,
+                },
             ],
             heavy: None,
         },
@@ -1067,10 +1203,22 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.0,
             down_up_ratio: 0.4, // telemetry upload dominates
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.40 },
-                PortShare { port: tcp(1883), weight: 0.20 },
-                PortShare { port: tcp(443), weight: 0.25 },
-                PortShare { port: udp(5686), weight: 0.15 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.40,
+                },
+                PortShare {
+                    port: tcp(1883),
+                    weight: 0.20,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.25,
+                },
+                PortShare {
+                    port: udp(5686),
+                    weight: 0.15,
+                },
             ],
             heavy: None,
         },
@@ -1109,10 +1257,22 @@ pub fn catalog() -> Vec<ProviderSpec> {
             sigma: 1.0,
             down_up_ratio: 0.6,
             ports: vec![
-                PortShare { port: tcp(8883), weight: 0.5 },
-                PortShare { port: tcp(1883), weight: 0.25 },
-                PortShare { port: tcp(443), weight: 0.2 },
-                PortShare { port: udp(5684), weight: 0.05 },
+                PortShare {
+                    port: tcp(8883),
+                    weight: 0.5,
+                },
+                PortShare {
+                    port: tcp(1883),
+                    weight: 0.25,
+                },
+                PortShare {
+                    port: tcp(443),
+                    weight: 0.2,
+                },
+                PortShare {
+                    port: udp(5684),
+                    weight: 0.05,
+                },
             ],
             heavy: None,
         },
@@ -1183,7 +1343,11 @@ mod tests {
     #[test]
     fn ipv6_offered_by_exactly_seven_providers() {
         let cat = catalog();
-        let v6: Vec<_> = cat.iter().filter(|p| p.has_ipv6()).map(|p| p.name).collect();
+        let v6: Vec<_> = cat
+            .iter()
+            .filter(|p| p.has_ipv6())
+            .map(|p| p.name)
+            .collect();
         assert_eq!(
             v6,
             vec!["alibaba", "amazon", "baidu", "google", "siemens", "sierra", "tencent"]
@@ -1204,7 +1368,17 @@ mod tests {
     fn strategies_match_table1() {
         let cat = catalog();
         let strat = |name: &str| cat.iter().find(|p| p.name == name).unwrap().strategy;
-        let di = ["alibaba", "amazon", "baidu", "fujitsu", "google", "huawei", "ibm", "microsoft", "tencent"];
+        let di = [
+            "alibaba",
+            "amazon",
+            "baidu",
+            "fujitsu",
+            "google",
+            "huawei",
+            "ibm",
+            "microsoft",
+            "tencent",
+        ];
         for p in di {
             assert_eq!(strat(p), DeploymentStrategy::Dedicated, "{p}");
         }
@@ -1269,7 +1443,12 @@ mod tests {
     #[test]
     fn activity_patterns_shapes() {
         assert!(ActivityPattern::Evening.hour_weight(19) > ActivityPattern::Evening.hour_weight(3));
-        assert!(ActivityPattern::Daytime.hour_weight(12) > ActivityPattern::Daytime.hour_weight(23));
-        assert_eq!(ActivityPattern::Constant.hour_weight(0), ActivityPattern::Constant.hour_weight(12));
+        assert!(
+            ActivityPattern::Daytime.hour_weight(12) > ActivityPattern::Daytime.hour_weight(23)
+        );
+        assert_eq!(
+            ActivityPattern::Constant.hour_weight(0),
+            ActivityPattern::Constant.hour_weight(12)
+        );
     }
 }

@@ -52,10 +52,8 @@ impl<'a> TrafficSimulator<'a> {
                 DomainStyle::ServiceRegion { services, sld } => {
                     for (sidx, site) in spec.sites.iter().enumerate() {
                         let name = format!("{}.{}.{sld}", services[0], site.code);
-                        service_domain.insert(
-                            (pidx, sidx),
-                            name.parse().expect("valid service domain"),
-                        );
+                        service_domain
+                            .insert((pidx, sidx), name.parse().expect("valid service domain"));
                     }
                 }
                 DomainStyle::Fixed { names } => {
@@ -98,6 +96,7 @@ impl<'a> TrafficSimulator<'a> {
 
     /// Simulate a period, pushing exported flows into `sink`.
     pub fn run(&self, period: StudyPeriod, sink: &mut dyn FlowSink) -> TrafficStats {
+        let _span = iotmap_obs::span!("world.traffic_simulation");
         let world = self.world;
         let rng = SimRng::new(world.config.seed).fork("traffic");
         let mut router = BorderRouter::new(
@@ -117,17 +116,35 @@ impl<'a> TrafficSimulator<'a> {
         for line in &world.isp.lines {
             let mut line_rng = rng.fork_idx(line.id);
             if let Some(kind) = line.scanner {
-                self.run_scanner(line, kind, period, &mut line_rng, &mut router, sink, &mut stats);
+                self.run_scanner(
+                    line,
+                    kind,
+                    period,
+                    &mut line_rng,
+                    &mut router,
+                    sink,
+                    &mut stats,
+                );
             }
             for (di, device) in line.devices.iter().enumerate() {
                 let mut dev_rng = line_rng.fork_idx(di as u64 + 1);
                 self.run_device(
-                    line, device, period, &affected, &mut dev_rng, &mut router, sink, &mut stats,
+                    line,
+                    device,
+                    period,
+                    &affected,
+                    &mut dev_rng,
+                    &mut router,
+                    sink,
+                    &mut stats,
                 );
             }
         }
         sink.finish();
         stats.flows_exported = router.exported;
+        router.flush_metrics();
+        iotmap_obs::count!("netflow.flows_generated", stats.flows_generated);
+        iotmap_obs::count!("world.device_days", stats.device_days);
         stats
     }
 
@@ -192,7 +209,10 @@ impl<'a> TrafficSimulator<'a> {
             // Daily volume budget.
             let heavy = device.heavy;
             let dn_median = if heavy {
-                profile.heavy.expect("heavy device implies heavy tail").dn_bytes_median
+                profile
+                    .heavy
+                    .expect("heavy device implies heavy tail")
+                    .dn_bytes_median
             } else {
                 profile.dn_bytes_median * device.volume_factor
             };
@@ -201,8 +221,7 @@ impl<'a> TrafficSimulator<'a> {
 
             let sessions = dist::poisson(rng, profile.sessions_per_day).max(1);
             let port_weights: Vec<f64> = profile.ports.iter().map(|p| p.weight).collect();
-            let hour_weights: Vec<f64> =
-                (0..24).map(|h| profile.pattern.hour_weight(h)).collect();
+            let hour_weights: Vec<f64> = (0..24).map(|h| profile.pattern.hour_weight(h)).collect();
 
             for s in 0..sessions {
                 let hour = rng.choose_weighted(&hour_weights) as u64;
@@ -222,9 +241,7 @@ impl<'a> TrafficSimulator<'a> {
 
                 // Server: occasionally the weekly US sync or a baked-in
                 // undocumented gateway; normally today's DNS answer.
-                let server_id = self.pick_server(
-                    line, device, day, s, &v4_today, &v6_today, rng,
-                );
+                let server_id = self.pick_server(line, device, day, s, &v4_today, &v6_today, rng);
                 let Some(server_id) = server_id else { continue };
                 let server = &world.servers[server_id];
 
@@ -536,8 +553,7 @@ mod tests {
         let mut sink = StoringSink::new();
         sim.run(w.config.study_period, &mut sink);
         let affected = w.outage_affected_servers();
-        let affected_ips: HashSet<IpAddr> =
-            affected.iter().map(|&sid| w.servers[sid].ip).collect();
+        let affected_ips: HashSet<IpAddr> = affected.iter().map(|&sid| w.servers[sid].ip).collect();
         let window = w.events.outage.window;
         // Downstream bytes per hour to affected servers, inside vs outside
         // the outage window (same hours of other days).
@@ -623,7 +639,10 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.devices.iter().any(|d| d.secondary_us));
-        assert!(has_secondary, "population should contain secondary-US devices");
+        assert!(
+            has_secondary,
+            "population should contain secondary-US devices"
+        );
         let sim = TrafficSimulator::new(&w);
         let mut sink = StoringSink::new();
         sim.run(w.config.study_period, &mut sink);

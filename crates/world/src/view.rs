@@ -54,11 +54,7 @@ impl World {
     fn endpoint_for(&self, server: &Server) -> TlsEndpoint {
         let spec = &self.providers[server.provider];
         let validity = certificate_validity();
-        let iot_cert = Certificate::new(
-            spec.display,
-            self.cert_sans(spec, server.site),
-            validity,
-        );
+        let iot_cert = Certificate::new(spec.display, self.cert_sans(spec, server.site), validity);
         let generic_cert = Certificate::new(
             "load-balancer",
             vec![SanName::parse(&generic_front_name(spec, server)).expect("valid generic SAN")],
@@ -169,11 +165,19 @@ impl ScanView for WorldScanView<'_> {
         if let Some(&sid) = world.server_by_ip.get(&addr) {
             let s = &world.servers[sid];
             let city = world.site_city[s.provider][s.site];
-            return Some(world.geo.noisy_location(city, world.config.geo_error_rate, &mut rng));
+            return Some(
+                world
+                    .geo
+                    .noisy_location(city, world.config.geo_error_rate, &mut rng),
+            );
         }
         if let IpAddr::V4(v4) = addr {
             if let Some(b) = world.background.iter().find(|b| b.ip == v4) {
-                return Some(world.geo.noisy_location(b.city, world.config.geo_error_rate, &mut rng));
+                return Some(world.geo.noisy_location(
+                    b.city,
+                    world.config.geo_error_rate,
+                    &mut rng,
+                ));
             }
         }
         None
@@ -205,7 +209,10 @@ impl iotmap_scan::LatencyProber for WorldLatencyProber<'_> {
         let world = self.world;
         let loc = if let Some(&sid) = world.server_by_ip.get(&target) {
             let s = &world.servers[sid];
-            world.geo.location(world.site_city[s.provider][s.site]).clone()
+            world
+                .geo
+                .location(world.site_city[s.provider][s.site])
+                .clone()
         } else if let IpAddr::V4(v4) = target {
             let b = world.background.iter().find(|b| b.ip == v4)?;
             world.geo.location(b.city).clone()
@@ -234,7 +241,8 @@ mod tests {
     #[test]
     fn censys_sweep_finds_microsoft_but_not_amazon_mqtt() {
         let w = world();
-        let snap = CensysService::new().daily_sweep(&w.view_on(Date::new(2022, 2, 28)), Date::new(2022, 2, 28));
+        let snap = CensysService::new()
+            .daily_sweep(&w.view_on(Date::new(2022, 2, 28)), Date::new(2022, 2, 28));
         assert!(!snap.records.is_empty());
         let azure = iotmap_dregex::query::CensysNameQuery::new("*.azure-devices.net").unwrap();
         let found_ms = snap.search_names(&azure, StudyPeriod::main_week()).count();
@@ -262,7 +270,8 @@ mod tests {
     #[test]
     fn google_mqtt_ips_hidden_from_certificate_scans() {
         let w = world();
-        let snap = CensysService::new().daily_sweep(&w.view_on(Date::new(2022, 2, 28)), Date::new(2022, 2, 28));
+        let snap = CensysService::new()
+            .daily_sweep(&w.view_on(Date::new(2022, 2, 28)), Date::new(2022, 2, 28));
         let q = iotmap_dregex::query::CensysNameQuery::new("mqtt.googleapis.com").unwrap();
         let found: std::collections::HashSet<_> = snap
             .search_names(&q, StudyPeriod::main_week())
@@ -380,7 +389,8 @@ mod tests {
             .servers
             .iter()
             .find(|s| {
-                s.provider == m && w.geo.location(w.site_city[s.provider][s.site]).city == "Frankfurt"
+                s.provider == m
+                    && w.geo.location(w.site_city[s.provider][s.site]).city == "Frankfurt"
             })
             .unwrap();
         let rtt_fra = prober.rtt_ms(&sites[0], fra_server.ip).unwrap(); // lg-frankfurt

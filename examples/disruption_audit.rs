@@ -27,8 +27,7 @@ fn main() {
         routeviews: &world.bgp,
         latency: None,
     };
-    let discovery =
-        DiscoveryPipeline::new(PatternRegistry::paper_defaults()).run(&sources, period);
+    let discovery = DiscoveryPipeline::new(PatternRegistry::paper_defaults()).run(&sources, period);
 
     // --- Routing incidents (BGPStream-style feed).
     let incidents: Vec<RouteIncident> = world

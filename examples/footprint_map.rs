@@ -48,7 +48,9 @@ fn main() {
                 footprint.contested_fraction() * 100.0
             );
         }
-        rows.push(Characterizer::row(patterns, discovery, &footprint, &sources));
+        rows.push(Characterizer::row(
+            patterns, discovery, &footprint, &sources,
+        ));
     }
 
     println!("\nTable 1 (as measured on the synthetic Internet):\n");
@@ -70,5 +72,7 @@ fn main() {
             diff.removed
         );
     }
-    println!("\ncloud-hosted fleets (Amazon, Bosch, SAP, PTC, Siemens) churn; the rest barely move.");
+    println!(
+        "\ncloud-hosted fleets (Amazon, Bosch, SAP, PTC, Siemens) churn; the rest barely move."
+    );
 }

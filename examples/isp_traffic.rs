@@ -94,7 +94,11 @@ fn main() {
     println!("\nFig. 10 — downstream/upstream asymmetry:");
     for p in report.providers() {
         if let Some(r) = report.fig10_ratio(p) {
-            let bar = if r > 1.0 { "download-heavy" } else { "upload-heavy" };
+            let bar = if r > 1.0 {
+                "download-heavy"
+            } else {
+                "upload-heavy"
+            };
             println!("  {}: {:.2} ({bar})", anon.label(p), r);
         }
     }

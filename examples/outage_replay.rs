@@ -36,8 +36,7 @@ fn main() {
         latency: None,
     };
     let registry = PatternRegistry::paper_defaults();
-    let discovery =
-        DiscoveryPipeline::new(PatternRegistry::paper_defaults()).run(&sources, period);
+    let discovery = DiscoveryPipeline::new(PatternRegistry::paper_defaults()).run(&sources, period);
     let classifier = SharedIpClassifier::new(&registry);
     let mut footprints = HashMap::new();
     let mut shared = HashSet::new();
@@ -86,7 +85,10 @@ fn main() {
                 .enumerate()
                 .map(|(i, v)| {
                     let mark = if i == outage_day { "*" } else { " " };
-                    format!("{mark}{:.2}", v / day_totals.iter().cloned().fold(0.0, f64::max))
+                    format!(
+                        "{mark}{:.2}",
+                        v / day_totals.iter().cloned().fold(0.0, f64::max)
+                    )
                 })
                 .collect();
             println!(

@@ -46,7 +46,10 @@ fn main() {
     println!("running discovery …");
     let result = pipeline.run(&sources, period);
 
-    println!("\n{:<12} {:>6} {:>6}  top source", "provider", "IPv4", "IPv6");
+    println!(
+        "\n{:<12} {:>6} {:>6}  top source",
+        "provider", "IPv4", "IPv6"
+    );
     println!("{}", "-".repeat(48));
     for (name, discovery) in result.per_provider() {
         let v4 = discovery.v4_ips().count();

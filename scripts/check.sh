@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Lint + format gate, the same commands CI runs (.github/workflows/ci.yml).
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disruption_audits-67716e70b68ce26a.d: tests/disruption_audits.rs
+
+/root/repo/target/debug/deps/disruption_audits-67716e70b68ce26a: tests/disruption_audits.rs
+
+tests/disruption_audits.rs:

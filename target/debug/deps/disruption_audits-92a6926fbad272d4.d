@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disruption_audits-92a6926fbad272d4.d: tests/disruption_audits.rs
+
+/root/repo/target/debug/deps/disruption_audits-92a6926fbad272d4: tests/disruption_audits.rs
+
+tests/disruption_audits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp-75b32de97fc3ee36.d: crates/bench/src/bin/exp.rs
+
+/root/repo/target/debug/deps/exp-75b32de97fc3ee36: crates/bench/src/bin/exp.rs
+
+crates/bench/src/bin/exp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp-eccd1fdb5e1f7cb1.d: crates/bench/src/bin/exp.rs
+
+/root/repo/target/debug/deps/exp-eccd1fdb5e1f7cb1: crates/bench/src/bin/exp.rs
+
+crates/bench/src/bin/exp.rs:

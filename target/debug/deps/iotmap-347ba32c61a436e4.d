@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iotmap-347ba32c61a436e4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap-347ba32c61a436e4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iotmap-81238cb3e0621e88.d: src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap-81238cb3e0621e88.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap-81238cb3e0621e88.rmeta: src/lib.rs
+
+src/lib.rs:

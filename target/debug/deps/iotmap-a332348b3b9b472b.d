@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iotmap-a332348b3b9b472b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap-a332348b3b9b472b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap-a332348b3b9b472b.rmeta: src/lib.rs
+
+src/lib.rs:

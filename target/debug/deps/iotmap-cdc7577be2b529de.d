@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iotmap-cdc7577be2b529de.d: src/lib.rs
+
+/root/repo/target/debug/deps/iotmap-cdc7577be2b529de: src/lib.rs
+
+src/lib.rs:

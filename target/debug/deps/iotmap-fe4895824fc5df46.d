@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iotmap-fe4895824fc5df46.d: src/lib.rs
+
+/root/repo/target/debug/deps/iotmap-fe4895824fc5df46: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iotmap_bench-ba93340f558866b9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/iotmap_bench-ba93340f558866b9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iotmap_bench-f37c2a98cc039e14.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap_bench-f37c2a98cc039e14.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap_bench-f37c2a98cc039e14.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

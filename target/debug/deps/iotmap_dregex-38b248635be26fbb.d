@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/iotmap_dregex-38b248635be26fbb.d: crates/dregex/src/lib.rs crates/dregex/src/ast.rs crates/dregex/src/backtrack.rs crates/dregex/src/classes.rs crates/dregex/src/compile.rs crates/dregex/src/parser.rs crates/dregex/src/prog.rs crates/dregex/src/query.rs crates/dregex/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_dregex-38b248635be26fbb.rmeta: crates/dregex/src/lib.rs crates/dregex/src/ast.rs crates/dregex/src/backtrack.rs crates/dregex/src/classes.rs crates/dregex/src/compile.rs crates/dregex/src/parser.rs crates/dregex/src/prog.rs crates/dregex/src/query.rs crates/dregex/src/vm.rs Cargo.toml
+
+crates/dregex/src/lib.rs:
+crates/dregex/src/ast.rs:
+crates/dregex/src/backtrack.rs:
+crates/dregex/src/classes.rs:
+crates/dregex/src/compile.rs:
+crates/dregex/src/parser.rs:
+crates/dregex/src/prog.rs:
+crates/dregex/src/query.rs:
+crates/dregex/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

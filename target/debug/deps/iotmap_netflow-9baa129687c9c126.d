@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/iotmap_netflow-9baa129687c9c126.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_netflow-9baa129687c9c126.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs Cargo.toml
+
+crates/netflow/src/lib.rs:
+crates/netflow/src/anonymize.rs:
+crates/netflow/src/record.rs:
+crates/netflow/src/router.rs:
+crates/netflow/src/sampler.rs:
+crates/netflow/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

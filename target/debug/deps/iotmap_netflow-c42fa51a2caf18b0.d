@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iotmap_netflow-c42fa51a2caf18b0.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+/root/repo/target/debug/deps/iotmap_netflow-c42fa51a2caf18b0: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+crates/netflow/src/lib.rs:
+crates/netflow/src/anonymize.rs:
+crates/netflow/src/record.rs:
+crates/netflow/src/router.rs:
+crates/netflow/src/sampler.rs:
+crates/netflow/src/sink.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/iotmap_nettypes-e88c74e1744aaa8d.d: crates/nettypes/src/lib.rs crates/nettypes/src/asn.rs crates/nettypes/src/bgp.rs crates/nettypes/src/dist.rs crates/nettypes/src/error.rs crates/nettypes/src/geo.rs crates/nettypes/src/interval.rs crates/nettypes/src/name.rs crates/nettypes/src/ports.rs crates/nettypes/src/prefix.rs crates/nettypes/src/rng.rs crates/nettypes/src/time.rs crates/nettypes/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_nettypes-e88c74e1744aaa8d.rmeta: crates/nettypes/src/lib.rs crates/nettypes/src/asn.rs crates/nettypes/src/bgp.rs crates/nettypes/src/dist.rs crates/nettypes/src/error.rs crates/nettypes/src/geo.rs crates/nettypes/src/interval.rs crates/nettypes/src/name.rs crates/nettypes/src/ports.rs crates/nettypes/src/prefix.rs crates/nettypes/src/rng.rs crates/nettypes/src/time.rs crates/nettypes/src/trie.rs Cargo.toml
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/asn.rs:
+crates/nettypes/src/bgp.rs:
+crates/nettypes/src/dist.rs:
+crates/nettypes/src/error.rs:
+crates/nettypes/src/geo.rs:
+crates/nettypes/src/interval.rs:
+crates/nettypes/src/name.rs:
+crates/nettypes/src/ports.rs:
+crates/nettypes/src/prefix.rs:
+crates/nettypes/src/rng.rs:
+crates/nettypes/src/time.rs:
+crates/nettypes/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

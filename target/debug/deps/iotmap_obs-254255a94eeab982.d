@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iotmap_obs-254255a94eeab982.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/iotmap_obs-254255a94eeab982: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

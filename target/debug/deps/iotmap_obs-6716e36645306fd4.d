@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iotmap_obs-6716e36645306fd4.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libiotmap_obs-6716e36645306fd4.rlib: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libiotmap_obs-6716e36645306fd4.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iotmap_obs-7c0a134f6089b9db.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_obs-7c0a134f6089b9db.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iotmap_scan-d5a7638f85b78676.d: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+/root/repo/target/debug/deps/iotmap_scan-d5a7638f85b78676: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/censys.rs:
+crates/scan/src/ethics.rs:
+crates/scan/src/hitlist.rs:
+crates/scan/src/lookingglass.rs:
+crates/scan/src/target.rs:
+crates/scan/src/zgrab.rs:

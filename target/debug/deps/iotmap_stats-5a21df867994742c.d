@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iotmap_stats-5a21df867994742c.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libiotmap_stats-5a21df867994742c.rlib: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libiotmap_stats-5a21df867994742c.rmeta: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/series.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iotmap_stats-915c5837d644e781.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_stats-915c5837d644e781.rmeta: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/series.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iotmap_stats-bf69c4065c7d00a6.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/iotmap_stats-bf69c4065c7d00a6: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/series.rs:
+crates/stats/src/summary.rs:

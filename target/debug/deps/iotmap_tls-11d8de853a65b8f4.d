@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iotmap_tls-11d8de853a65b8f4.d: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/debug/deps/libiotmap_tls-11d8de853a65b8f4.rlib: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/debug/deps/libiotmap_tls-11d8de853a65b8f4.rmeta: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+crates/tls/src/lib.rs:
+crates/tls/src/cert.rs:
+crates/tls/src/endpoint.rs:
+crates/tls/src/handshake.rs:

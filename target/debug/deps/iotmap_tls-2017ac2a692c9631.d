@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iotmap_tls-2017ac2a692c9631.d: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/debug/deps/iotmap_tls-2017ac2a692c9631: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+crates/tls/src/lib.rs:
+crates/tls/src/cert.rs:
+crates/tls/src/endpoint.rs:
+crates/tls/src/handshake.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iotmap_tls-37a4466d0157b10a.d: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_tls-37a4466d0157b10a.rmeta: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs Cargo.toml
+
+crates/tls/src/lib.rs:
+crates/tls/src/cert.rs:
+crates/tls/src/endpoint.rs:
+crates/tls/src/handshake.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

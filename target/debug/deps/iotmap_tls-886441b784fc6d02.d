@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iotmap_tls-886441b784fc6d02.d: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_tls-886441b784fc6d02.rmeta: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs Cargo.toml
+
+crates/tls/src/lib.rs:
+crates/tls/src/cert.rs:
+crates/tls/src/endpoint.rs:
+crates/tls/src/handshake.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

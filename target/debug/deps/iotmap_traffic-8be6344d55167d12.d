@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iotmap_traffic-8be6344d55167d12.d: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/debug/deps/libiotmap_traffic-8be6344d55167d12.rlib: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/debug/deps/libiotmap_traffic-8be6344d55167d12.rmeta: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/analysis.rs:
+crates/traffic/src/anonymize.rs:
+crates/traffic/src/index.rs:
+crates/traffic/src/scanners.rs:
+crates/traffic/src/visibility.rs:
+crates/traffic/src/whatif.rs:

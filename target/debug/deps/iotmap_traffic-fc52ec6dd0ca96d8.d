@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iotmap_traffic-fc52ec6dd0ca96d8.d: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/debug/deps/iotmap_traffic-fc52ec6dd0ca96d8: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/analysis.rs:
+crates/traffic/src/anonymize.rs:
+crates/traffic/src/index.rs:
+crates/traffic/src/scanners.rs:
+crates/traffic/src/visibility.rs:
+crates/traffic/src/whatif.rs:

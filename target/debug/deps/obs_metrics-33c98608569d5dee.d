@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/obs_metrics-33c98608569d5dee.d: crates/bench/tests/obs_metrics.rs crates/bench/tests/golden/metrics_keys.txt
+
+/root/repo/target/debug/deps/obs_metrics-33c98608569d5dee: crates/bench/tests/obs_metrics.rs crates/bench/tests/golden/metrics_keys.txt
+
+crates/bench/tests/obs_metrics.rs:
+crates/bench/tests/golden/metrics_keys.txt:
+
+# env-dep:CARGO_BIN_EXE_exp=/root/repo/target/debug/exp

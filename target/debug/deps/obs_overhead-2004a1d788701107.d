@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_overhead-2004a1d788701107.d: crates/bench/tests/obs_overhead.rs
+
+/root/repo/target/debug/deps/obs_overhead-2004a1d788701107: crates/bench/tests/obs_overhead.rs
+
+crates/bench/tests/obs_overhead.rs:

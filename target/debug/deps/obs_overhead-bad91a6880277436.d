@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_overhead-bad91a6880277436.d: crates/bench/tests/obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_overhead-bad91a6880277436.rmeta: crates/bench/tests/obs_overhead.rs Cargo.toml
+
+crates/bench/tests/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

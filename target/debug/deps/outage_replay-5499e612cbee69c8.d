@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/outage_replay-5499e612cbee69c8.d: tests/outage_replay.rs
+
+/root/repo/target/debug/deps/outage_replay-5499e612cbee69c8: tests/outage_replay.rs
+
+tests/outage_replay.rs:

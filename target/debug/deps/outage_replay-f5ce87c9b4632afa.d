@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/outage_replay-f5ce87c9b4632afa.d: tests/outage_replay.rs
+
+/root/repo/target/debug/deps/outage_replay-f5ce87c9b4632afa: tests/outage_replay.rs
+
+tests/outage_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-1ff30e3772c38f15.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-1ff30e3772c38f15: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-e898a33ced8ab36a.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-e898a33ced8ab36a: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

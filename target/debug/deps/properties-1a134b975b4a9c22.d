@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1a134b975b4a9c22.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1a134b975b4a9c22: tests/properties.rs
+
+tests/properties.rs:

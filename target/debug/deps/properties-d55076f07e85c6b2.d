@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d55076f07e85c6b2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d55076f07e85c6b2: tests/properties.rs
+
+tests/properties.rs:

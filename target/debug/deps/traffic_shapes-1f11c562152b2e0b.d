@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic_shapes-1f11c562152b2e0b.d: tests/traffic_shapes.rs
+
+/root/repo/target/debug/deps/traffic_shapes-1f11c562152b2e0b: tests/traffic_shapes.rs
+
+tests/traffic_shapes.rs:

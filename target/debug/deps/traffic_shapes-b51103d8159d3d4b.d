@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic_shapes-b51103d8159d3d4b.d: tests/traffic_shapes.rs
+
+/root/repo/target/debug/deps/traffic_shapes-b51103d8159d3d4b: tests/traffic_shapes.rs
+
+tests/traffic_shapes.rs:

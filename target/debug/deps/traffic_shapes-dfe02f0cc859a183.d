@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traffic_shapes-dfe02f0cc859a183.d: tests/traffic_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic_shapes-dfe02f0cc859a183.rmeta: tests/traffic_shapes.rs Cargo.toml
+
+tests/traffic_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

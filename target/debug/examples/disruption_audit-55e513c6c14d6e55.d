@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disruption_audit-55e513c6c14d6e55.d: examples/disruption_audit.rs
+
+/root/repo/target/debug/examples/disruption_audit-55e513c6c14d6e55: examples/disruption_audit.rs
+
+examples/disruption_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disruption_audit-d69d4ccea2b93404.d: examples/disruption_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisruption_audit-d69d4ccea2b93404.rmeta: examples/disruption_audit.rs Cargo.toml
+
+examples/disruption_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disruption_audit-efdaaa2f975e7527.d: examples/disruption_audit.rs
+
+/root/repo/target/debug/examples/disruption_audit-efdaaa2f975e7527: examples/disruption_audit.rs
+
+examples/disruption_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/footprint_map-4c0839a13e523ba6.d: examples/footprint_map.rs
+
+/root/repo/target/debug/examples/footprint_map-4c0839a13e523ba6: examples/footprint_map.rs
+
+examples/footprint_map.rs:

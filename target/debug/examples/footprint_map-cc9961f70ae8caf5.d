@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/footprint_map-cc9961f70ae8caf5.d: examples/footprint_map.rs
+
+/root/repo/target/debug/examples/footprint_map-cc9961f70ae8caf5: examples/footprint_map.rs
+
+examples/footprint_map.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isp_traffic-402a60cb6035cac8.d: examples/isp_traffic.rs
+
+/root/repo/target/debug/examples/isp_traffic-402a60cb6035cac8: examples/isp_traffic.rs
+
+examples/isp_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isp_traffic-d2625f5a0a2b6ec5.d: examples/isp_traffic.rs
+
+/root/repo/target/debug/examples/isp_traffic-d2625f5a0a2b6ec5: examples/isp_traffic.rs
+
+examples/isp_traffic.rs:

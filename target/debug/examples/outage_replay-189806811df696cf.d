@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/outage_replay-189806811df696cf.d: examples/outage_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboutage_replay-189806811df696cf.rmeta: examples/outage_replay.rs Cargo.toml
+
+examples/outage_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outage_replay-30984509fe467435.d: examples/outage_replay.rs
+
+/root/repo/target/debug/examples/outage_replay-30984509fe467435: examples/outage_replay.rs
+
+examples/outage_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outage_replay-9e1861930aebc435.d: examples/outage_replay.rs
+
+/root/repo/target/debug/examples/outage_replay-9e1861930aebc435: examples/outage_replay.rs
+
+examples/outage_replay.rs:

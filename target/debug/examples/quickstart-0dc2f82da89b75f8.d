@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0dc2f82da89b75f8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0dc2f82da89b75f8: examples/quickstart.rs
+
+examples/quickstart.rs:

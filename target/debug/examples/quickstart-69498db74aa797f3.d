@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-69498db74aa797f3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-69498db74aa797f3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp-2d52fb9aabeaaed7.d: crates/bench/src/bin/exp.rs
+
+/root/repo/target/release/deps/exp-2d52fb9aabeaaed7: crates/bench/src/bin/exp.rs
+
+crates/bench/src/bin/exp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iotmap-c17b4c3cb58f3379.d: src/lib.rs
+
+/root/repo/target/release/deps/libiotmap-c17b4c3cb58f3379.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libiotmap-c17b4c3cb58f3379.rmeta: src/lib.rs
+
+src/lib.rs:

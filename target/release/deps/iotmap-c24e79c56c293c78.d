@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iotmap-c24e79c56c293c78.d: src/lib.rs
+
+/root/repo/target/release/deps/libiotmap-c24e79c56c293c78.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libiotmap-c24e79c56c293c78.rmeta: src/lib.rs
+
+src/lib.rs:

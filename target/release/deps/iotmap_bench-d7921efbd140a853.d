@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iotmap_bench-d7921efbd140a853.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libiotmap_bench-d7921efbd140a853.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libiotmap_bench-d7921efbd140a853.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/iotmap_core-ee60cdb296758d7a.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/discovery.rs crates/core/src/disruptions.rs crates/core/src/footprint.rs crates/core/src/monitor.rs crates/core/src/patterns.rs crates/core/src/ports.rs crates/core/src/report.rs crates/core/src/sources.rs crates/core/src/stability.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libiotmap_core-ee60cdb296758d7a.rlib: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/discovery.rs crates/core/src/disruptions.rs crates/core/src/footprint.rs crates/core/src/monitor.rs crates/core/src/patterns.rs crates/core/src/ports.rs crates/core/src/report.rs crates/core/src/sources.rs crates/core/src/stability.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libiotmap_core-ee60cdb296758d7a.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/discovery.rs crates/core/src/disruptions.rs crates/core/src/footprint.rs crates/core/src/monitor.rs crates/core/src/patterns.rs crates/core/src/ports.rs crates/core/src/report.rs crates/core/src/sources.rs crates/core/src/stability.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/discovery.rs:
+crates/core/src/disruptions.rs:
+crates/core/src/footprint.rs:
+crates/core/src/monitor.rs:
+crates/core/src/patterns.rs:
+crates/core/src/ports.rs:
+crates/core/src/report.rs:
+crates/core/src/sources.rs:
+crates/core/src/stability.rs:
+crates/core/src/validate.rs:

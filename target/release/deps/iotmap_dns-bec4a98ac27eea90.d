@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iotmap_dns-bec4a98ac27eea90.d: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+/root/repo/target/release/deps/libiotmap_dns-bec4a98ac27eea90.rlib: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+/root/repo/target/release/deps/libiotmap_dns-bec4a98ac27eea90.rmeta: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/active.rs:
+crates/dns/src/passive.rs:
+crates/dns/src/rdns.rs:
+crates/dns/src/record.rs:
+crates/dns/src/resolver.rs:
+crates/dns/src/zone.rs:

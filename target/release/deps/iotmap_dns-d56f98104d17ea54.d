@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iotmap_dns-d56f98104d17ea54.d: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+/root/repo/target/release/deps/libiotmap_dns-d56f98104d17ea54.rlib: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+/root/repo/target/release/deps/libiotmap_dns-d56f98104d17ea54.rmeta: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/active.rs:
+crates/dns/src/passive.rs:
+crates/dns/src/rdns.rs:
+crates/dns/src/record.rs:
+crates/dns/src/resolver.rs:
+crates/dns/src/zone.rs:

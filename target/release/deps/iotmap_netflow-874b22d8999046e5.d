@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iotmap_netflow-874b22d8999046e5.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+/root/repo/target/release/deps/libiotmap_netflow-874b22d8999046e5.rlib: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+/root/repo/target/release/deps/libiotmap_netflow-874b22d8999046e5.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+crates/netflow/src/lib.rs:
+crates/netflow/src/anonymize.rs:
+crates/netflow/src/record.rs:
+crates/netflow/src/router.rs:
+crates/netflow/src/sampler.rs:
+crates/netflow/src/sink.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iotmap_netflow-903f0d4be9d871f4.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+/root/repo/target/release/deps/libiotmap_netflow-903f0d4be9d871f4.rlib: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+/root/repo/target/release/deps/libiotmap_netflow-903f0d4be9d871f4.rmeta: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+crates/netflow/src/lib.rs:
+crates/netflow/src/anonymize.rs:
+crates/netflow/src/record.rs:
+crates/netflow/src/router.rs:
+crates/netflow/src/sampler.rs:
+crates/netflow/src/sink.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/iotmap_nettypes-98178ec7c4b7d2a2.d: crates/nettypes/src/lib.rs crates/nettypes/src/asn.rs crates/nettypes/src/bgp.rs crates/nettypes/src/dist.rs crates/nettypes/src/error.rs crates/nettypes/src/geo.rs crates/nettypes/src/interval.rs crates/nettypes/src/name.rs crates/nettypes/src/ports.rs crates/nettypes/src/prefix.rs crates/nettypes/src/rng.rs crates/nettypes/src/time.rs crates/nettypes/src/trie.rs
+
+/root/repo/target/release/deps/libiotmap_nettypes-98178ec7c4b7d2a2.rlib: crates/nettypes/src/lib.rs crates/nettypes/src/asn.rs crates/nettypes/src/bgp.rs crates/nettypes/src/dist.rs crates/nettypes/src/error.rs crates/nettypes/src/geo.rs crates/nettypes/src/interval.rs crates/nettypes/src/name.rs crates/nettypes/src/ports.rs crates/nettypes/src/prefix.rs crates/nettypes/src/rng.rs crates/nettypes/src/time.rs crates/nettypes/src/trie.rs
+
+/root/repo/target/release/deps/libiotmap_nettypes-98178ec7c4b7d2a2.rmeta: crates/nettypes/src/lib.rs crates/nettypes/src/asn.rs crates/nettypes/src/bgp.rs crates/nettypes/src/dist.rs crates/nettypes/src/error.rs crates/nettypes/src/geo.rs crates/nettypes/src/interval.rs crates/nettypes/src/name.rs crates/nettypes/src/ports.rs crates/nettypes/src/prefix.rs crates/nettypes/src/rng.rs crates/nettypes/src/time.rs crates/nettypes/src/trie.rs
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/asn.rs:
+crates/nettypes/src/bgp.rs:
+crates/nettypes/src/dist.rs:
+crates/nettypes/src/error.rs:
+crates/nettypes/src/geo.rs:
+crates/nettypes/src/interval.rs:
+crates/nettypes/src/name.rs:
+crates/nettypes/src/ports.rs:
+crates/nettypes/src/prefix.rs:
+crates/nettypes/src/rng.rs:
+crates/nettypes/src/time.rs:
+crates/nettypes/src/trie.rs:

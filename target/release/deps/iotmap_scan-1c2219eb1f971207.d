@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iotmap_scan-1c2219eb1f971207.d: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+/root/repo/target/release/deps/libiotmap_scan-1c2219eb1f971207.rlib: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+/root/repo/target/release/deps/libiotmap_scan-1c2219eb1f971207.rmeta: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/censys.rs:
+crates/scan/src/ethics.rs:
+crates/scan/src/hitlist.rs:
+crates/scan/src/lookingglass.rs:
+crates/scan/src/target.rs:
+crates/scan/src/zgrab.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/iotmap_stats-e3dbe93d7ebd0df3.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libiotmap_stats-e3dbe93d7ebd0df3.rlib: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libiotmap_stats-e3dbe93d7ebd0df3.rmeta: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/series.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iotmap_tls-9fab3d71c6d65f5f.d: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/release/deps/libiotmap_tls-9fab3d71c6d65f5f.rlib: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/release/deps/libiotmap_tls-9fab3d71c6d65f5f.rmeta: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+crates/tls/src/lib.rs:
+crates/tls/src/cert.rs:
+crates/tls/src/endpoint.rs:
+crates/tls/src/handshake.rs:

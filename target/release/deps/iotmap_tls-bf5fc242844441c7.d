@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iotmap_tls-bf5fc242844441c7.d: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/release/deps/libiotmap_tls-bf5fc242844441c7.rlib: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/release/deps/libiotmap_tls-bf5fc242844441c7.rmeta: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+crates/tls/src/lib.rs:
+crates/tls/src/cert.rs:
+crates/tls/src/endpoint.rs:
+crates/tls/src/handshake.rs:

@@ -89,7 +89,9 @@ fn synthetic_hijack_of_backend_space_is_detected() {
         .iter()
         .next()
         .expect("discovered backends exist");
-    let IpAddr::V4(v4) = some_backend else { panic!() };
+    let IpAddr::V4(v4) = some_backend else {
+        panic!()
+    };
     let planted = vec![RouteIncident {
         kind: IncidentKind::PossibleHijack,
         prefix: Some(iotmap::nettypes::Ipv4Prefix::new(v4, 24)),
@@ -154,7 +156,12 @@ fn cascade_shows_cloud_dependencies() {
     let deps = iotmap::traffic::cascade_impact(
         &f.discovery,
         &sources(f),
-        &["Amazon Web Services", "Microsoft Azure", "Alibaba Cloud", "Akamai Technologies"],
+        &[
+            "Amazon Web Services",
+            "Microsoft Azure",
+            "Alibaba Cloud",
+            "Akamai Technologies",
+        ],
     );
     let dep = |n: &str, org: &str| {
         deps.iter()

@@ -6,7 +6,9 @@ use iotmap::core::{
     DataSources, DiscoveryPipeline, FootprintInference, PatternRegistry, SharedIpClassifier,
 };
 use iotmap::nettypes::StudyPeriod;
-use iotmap::traffic::{AnalysisReport, AnalysisSink, ContactSink, IpIndex, RegionGroup, ScannerAnalysis};
+use iotmap::traffic::{
+    AnalysisReport, AnalysisSink, ContactSink, IpIndex, RegionGroup, ScannerAnalysis,
+};
 use iotmap::world::{TrafficSimulator, World, WorldConfig};
 use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
@@ -50,7 +52,9 @@ fn report() -> &'static (World, AnalysisReport) {
 
 /// Day totals for one T1 region series.
 fn day_totals(report: &AnalysisReport, group: RegionGroup, lines: bool) -> Vec<f64> {
-    let series = report.region_series("amazon", group, lines).expect("series");
+    let series = report
+        .region_series("amazon", group, lines)
+        .expect("series");
     let mut out = vec![0.0; 7];
     for h in 0..series.len() {
         out[(h / 24).min(6)] += series.get(h);
@@ -109,7 +113,10 @@ fn eu_region_barely_moves_and_dominates() {
     // §6.1: the EU region serves a multiple of the US-East volume.
     let eu_total: f64 = eu.iter().sum();
     let us_total: f64 = us.iter().sum();
-    assert!(eu_total > 1.5 * us_total, "EU {eu_total} vs US-East {us_total}");
+    assert!(
+        eu_total > 1.5 * us_total,
+        "EU {eu_total} vs US-East {us_total}"
+    );
 }
 
 #[test]

@@ -74,8 +74,8 @@ fn pipeline_recovers_most_documented_ipv4_space() {
         let pidx = f.world.provider_index(name);
         let documented = f.world.documented_v4(pidx);
         let found: HashSet<IpAddr> = discovery.v4_ips().collect();
-        let recall = found.intersection(&documented).count() as f64
-            / documented.len().max(1) as f64;
+        let recall =
+            found.intersection(&documented).count() as f64 / documented.len().max(1) as f64;
         total_truth += documented.len();
         total_found += found.intersection(&documented).count();
         assert!(
@@ -154,9 +154,11 @@ fn google_nearly_invisible_to_certificates() {
 fn ipv6_discovered_for_v6_providers_only() {
     let f = fixture();
     let result = run_discovery(f);
-    let v6_providers: HashSet<&str> = ["alibaba", "amazon", "baidu", "google", "siemens", "sierra", "tencent"]
-        .into_iter()
-        .collect();
+    let v6_providers: HashSet<&str> = [
+        "alibaba", "amazon", "baidu", "google", "siemens", "sierra", "tencent",
+    ]
+    .into_iter()
+    .collect();
     for (name, discovery) in result.per_provider() {
         let v6 = discovery.v6_ips().count();
         if v6_providers.contains(name) {

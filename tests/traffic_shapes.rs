@@ -85,7 +85,11 @@ fn most_lines_exchange_under_10mb_daily() {
         let e = f.report.fig12a_ecdf(downstream);
         assert!(e.len() > 500, "need data, got {}", e.len());
         let frac = e.fraction_at_or_below(1e7);
-        assert!(frac > 0.93, "P(<=10MB) = {frac} ({})", if downstream { "dn" } else { "up" });
+        assert!(
+            frac > 0.93,
+            "P(<=10MB) = {frac} ({})",
+            if downstream { "dn" } else { "up" }
+        );
     }
 }
 
@@ -99,12 +103,28 @@ fn down_up_ratios_span_the_paper_range() {
         .iter()
         .filter_map(|p| f.report.fig10_ratio(p).map(|r| (p.clone(), r)))
         .collect();
-    assert!(ratios.iter().any(|(_, r)| *r > 2.0), "no download-heavy platform");
-    assert!(ratios.iter().any(|(_, r)| *r < 0.7), "no upload-heavy platform");
-    let bosch = ratios.iter().find(|(p, _)| p == "bosch").expect("bosch active");
+    assert!(
+        ratios.iter().any(|(_, r)| *r > 2.0),
+        "no download-heavy platform"
+    );
+    assert!(
+        ratios.iter().any(|(_, r)| *r < 0.7),
+        "no upload-heavy platform"
+    );
+    let bosch = ratios
+        .iter()
+        .find(|(p, _)| p == "bosch")
+        .expect("bosch active");
     assert!(bosch.1 > 1.8, "bosch should be download-heavy: {}", bosch.1);
-    let sierra = ratios.iter().find(|(p, _)| p == "sierra").expect("sierra active");
-    assert!(sierra.1 < 0.8, "sierra telemetry is upload-heavy: {}", sierra.1);
+    let sierra = ratios
+        .iter()
+        .find(|(p, _)| p == "sierra")
+        .expect("sierra active");
+    assert!(
+        sierra.1 < 0.8,
+        "sierra telemetry is upload-heavy: {}",
+        sierra.1
+    );
 }
 
 #[test]
@@ -196,7 +216,10 @@ fn daily_active_line_fraction_matches_scale() {
     let f = fixture();
     let (v4, v6) = f.report.daily_active_lines();
     let frac = v4 / f.world.isp.lines.len() as f64;
-    assert!((0.08..0.30).contains(&frac), "daily v4 active fraction {frac}");
+    assert!(
+        (0.08..0.30).contains(&frac),
+        "daily v4 active fraction {frac}"
+    );
     assert!(v6 > 0.0 && v6 < v4 / 3.0, "v6 {v6} vs v4 {v4}");
 }
 
@@ -254,7 +277,11 @@ fn tls_only_discovery_loses_sni_providers_lines() {
     let loss = |n: &str| ablation.iter().find(|(p, _)| p == n).unwrap().1;
     assert!(loss("google") > 0.85, "google loss {}", loss("google"));
     assert!(loss("sierra") > 0.85, "sierra loss {}", loss("sierra"));
-    assert!(loss("microsoft") < 0.15, "microsoft loss {}", loss("microsoft"));
+    assert!(
+        loss("microsoft") < 0.15,
+        "microsoft loss {}",
+        loss("microsoft")
+    );
     assert!(loss("sap") < 0.15, "sap loss {}", loss("sap"));
 }
 
@@ -266,5 +293,8 @@ fn shared_infrastructure_is_excluded_from_the_index() {
     let g = f.index.provider_index("google").unwrap();
     let indexed = f.index.ips_of(g).len();
     let discovered = f.discovery.get("google").unwrap().ips.len();
-    assert!(indexed < discovered, "indexed {indexed} vs discovered {discovered}");
+    assert!(
+        indexed < discovered,
+        "indexed {indexed} vs discovered {discovered}"
+    );
 }
