@@ -40,6 +40,16 @@ fn require_traffic<'a, T>(traffic: &'a Option<T>, experiment: &str) -> &'a T {
     })
 }
 
+/// Look up one provider's discovery, or exit with a clear error. Every
+/// registry provider gets a (possibly empty) entry, so a miss means the
+/// registry and the prepared discovery diverged — a bug, not user input.
+fn require_provider<'a>(exp: &'a Experiment, name: &str) -> &'a iotmap_core::ProviderDiscovery {
+    exp.discovery.require(name).unwrap_or_else(|e| {
+        eprintln!("internal error: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// Print a table and, when `--out` was given, persist it as CSV.
 fn emit_table(name: &str, t: &TextTable) {
     println!("{}", t.render());
@@ -72,6 +82,10 @@ fn main() {
     OUT_DIR
         .set(opts.out_dir.clone().map(std::path::PathBuf::from))
         .expect("OUT_DIR set once");
+
+    // Worker-thread budget for the parallel pipeline stages. Output is
+    // byte-identical at any value; this only moves wall-clock time.
+    iotmap_par::set_threads(opts.threads);
 
     // Observability: `--trace` and `--metrics` install a recorder for the
     // whole run; the report is emitted just before exit.
@@ -255,7 +269,7 @@ fn run_table1(exp: &Experiment) {
     let sources = exp.sources();
     let mut rows = Vec::new();
     for patterns in registry.providers() {
-        let disc = exp.discovery.get(patterns.name).expect("provider");
+        let disc = require_provider(exp, patterns.name);
         let fp = &exp.footprints[patterns.name];
         rows.push(Characterizer::row(patterns, disc, fp, &sources));
     }
@@ -387,7 +401,7 @@ fn run_validation(exp: &Experiment) {
         ("cisco", &pub_truth.cisco_ips),
         ("siemens", &pub_truth.siemens_ips),
     ] {
-        let disc = exp.discovery.get(name).unwrap();
+        let disc = require_provider(exp, name);
         let r = GroundTruthReport::against_ip_list(name, disc, published);
         println!(
             "{name}: published {} IPs; discovered {} inside + {} outside; recall of published {}",
@@ -397,7 +411,7 @@ fn run_validation(exp: &Experiment) {
             pct(r.recall_of_published(disc, published)),
         );
     }
-    let disc = exp.discovery.get("microsoft").unwrap();
+    let disc = require_provider(exp, "microsoft");
     let r = GroundTruthReport::against_prefixes("microsoft", disc, &pub_truth.microsoft_prefixes);
     println!(
         "microsoft: published prefixes cover {} addresses; discovered {} inside them (+{} outside)",
@@ -871,7 +885,7 @@ fn run_ports_observed(exp: &Experiment) {
         "Cert-blind",
     ]);
     for patterns in registry.providers() {
-        let disc = exp.discovery.get(patterns.name).expect("provider");
+        let disc = require_provider(exp, patterns.name);
         let obs = ObservedPorts::analyze(patterns, disc, &exp.scans.censys);
         if obs.listeners.is_empty() {
             continue;

@@ -1,142 +1,58 @@
 //! # iotmap-bench — the experiment harness
 //!
-//! Shared plumbing for regenerating every table and figure of the paper:
-//! build a world, run the measurement instruments and the discovery
-//! pipeline, assemble the traffic analyses, and hand each experiment
-//! binary exactly the inputs it needs. See `src/bin/exp.rs` for the
-//! experiment entry point and `benches/` for the Criterion
-//! micro-benchmarks.
+//! Shared plumbing for regenerating every table and figure of the paper.
+//! World-building, discovery, footprints, and the traffic passes all live
+//! behind [`iotmap::Pipeline`]; this crate wraps its [`RunArtifacts`] with
+//! the experiment-only extras (anonymized labels) and the tiny
+//! dependency-free CLI parser. See `src/bin/exp.rs` for the experiment
+//! entry point and `benches/` for the Criterion micro-benchmarks.
 
-use iotmap_core::{
-    DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, FootprintInference,
-    PatternRegistry, SharedIpClassifier,
-};
-use iotmap_netflow::{FlowSink, LineId};
-use iotmap_nettypes::StudyPeriod;
-use iotmap_traffic::{
-    AnalysisReport, AnalysisSink, Anonymization, ContactSink, IpIndex, ScannerAnalysis,
-};
-use iotmap_world::{CollectedScans, TrafficSimulator, World, WorldConfig};
-use std::collections::{HashMap, HashSet};
-use std::net::IpAddr;
+pub use iotmap::{Pipeline, RunArtifacts, SCANNER_THRESHOLD};
 
-/// The scanner-exclusion threshold the paper settles on (§5.2).
-pub const SCANNER_THRESHOLD: usize = 100;
+use iotmap_netflow::FlowSink;
+use iotmap_nettypes::Error;
+use iotmap_traffic::Anonymization;
+use iotmap_world::WorldConfig;
+use std::ops::Deref;
 
-/// A fully prepared experiment: world + collected data + pipeline output.
+/// A fully prepared experiment: the pipeline's [`RunArtifacts`] plus the
+/// paper's anonymization scheme. Derefs to [`RunArtifacts`], so the world,
+/// scans, discovery, index, and traffic passes are all reachable directly
+/// (`exp.discovery`, `exp.contact_pass(..)`, …).
 pub struct Experiment {
-    pub world: World,
-    pub scans: CollectedScans,
-    pub discovery: DiscoveryResult,
-    pub footprints: HashMap<String, Footprint>,
-    pub shared_ips: HashSet<IpAddr>,
-    pub index: IpIndex,
+    pub artifacts: RunArtifacts,
     pub anonymization: Anonymization,
 }
 
+impl Deref for Experiment {
+    type Target = RunArtifacts;
+
+    fn deref(&self) -> &RunArtifacts {
+        &self.artifacts
+    }
+}
+
 impl Experiment {
-    /// Build everything for a configuration. This is the §3 + §4 part of
-    /// the study (discovery, validation, footprints); traffic passes are
-    /// separate because different experiments need different sinks.
+    /// Build everything for a configuration, panicking on invalid built-in
+    /// patterns (which would be a bug, not an input error). This is the
+    /// §3 + §4 part of the study (discovery, validation, footprints);
+    /// traffic passes are separate because different experiments need
+    /// different sinks.
     pub fn prepare(config: &WorldConfig) -> Experiment {
-        let _span = iotmap_obs::span!("experiment.prepare");
-        let world = World::generate(config);
-        let period = config.study_period;
-        let scans = world.collect_scan_data(period);
-        let prober = iotmap_world::view::WorldLatencyProber { world: &world };
-        let discovery = {
-            let sources = DataSources {
-                censys: &scans.censys,
-                zgrab_v6: &scans.zgrab_v6,
-                passive_dns: &world.passive_dns,
-                zones: &world.zones,
-                routeviews: &world.bgp,
-                latency: Some(&prober),
-            };
-            let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
-            pipeline.run(&sources, period)
-        };
+        Self::try_prepare(config).unwrap_or_else(|e| panic!("experiment preparation failed: {e}"))
+    }
 
-        // Footprints and shared-IP classification.
-        let fp_span = iotmap_obs::span!("experiment.footprints");
-        let registry = PatternRegistry::paper_defaults();
-        let classifier = SharedIpClassifier::new(&registry);
-        let mut footprints = HashMap::new();
-        let mut shared_ips = HashSet::new();
-        {
-            let sources = DataSources {
-                censys: &scans.censys,
-                zgrab_v6: &scans.zgrab_v6,
-                passive_dns: &world.passive_dns,
-                zones: &world.zones,
-                routeviews: &world.bgp,
-                latency: Some(&prober),
-            };
-            for (name, disc) in discovery.per_provider() {
-                footprints.insert(name.to_string(), FootprintInference::infer(disc, &sources));
-                let (_, shared) = classifier.split_provider(disc, &world.passive_dns, period);
-                shared_ips.extend(shared.keys().copied());
-            }
-        }
-        fp_span.exit();
-
-        let index = IpIndex::build(&discovery, &footprints, &shared_ips);
-        Experiment {
-            world,
-            scans,
-            discovery,
-            footprints,
-            shared_ips,
-            index,
+    /// [`Experiment::prepare`], but surfacing pipeline errors. Runs on
+    /// the calling thread's current `iotmap_par` budget (the `exp` binary
+    /// sets it from `--threads` before preparing).
+    pub fn try_prepare(config: &WorldConfig) -> Result<Experiment, Error> {
+        let artifacts = Pipeline::new(config.clone())
+            .threads(iotmap_par::threads())
+            .run()?;
+        Ok(Experiment {
+            artifacts,
             anonymization: Anonymization::paper(),
-        }
-    }
-
-    /// Borrow fresh data sources (for analyses that need them later).
-    pub fn sources(&self) -> DataSources<'_> {
-        DataSources {
-            censys: &self.scans.censys,
-            zgrab_v6: &self.scans.zgrab_v6,
-            passive_dns: &self.world.passive_dns,
-            zones: &self.world.zones,
-            routeviews: &self.world.bgp,
-            latency: None,
-        }
-    }
-
-    /// First traffic pass: per-line backend contact sets over a period.
-    pub fn contact_pass(&self, period: StudyPeriod) -> ContactSink<'_> {
-        let _span = iotmap_obs::span!("traffic.contact_pass");
-        let sim = TrafficSimulator::new(&self.world);
-        let mut sink = ContactSink::new(&self.index);
-        sim.run(period, &mut sink);
-        sink
-    }
-
-    /// Scanner exclusion at the paper's threshold.
-    pub fn excluded_lines(&self, contacts: &ContactSink<'_>) -> HashSet<LineId> {
-        let _span = iotmap_obs::span!("traffic.scanner_exclusion");
-        let analysis = ScannerAnalysis::new(&self.index, contacts);
-        let flagged = analysis.flagged_lines(SCANNER_THRESHOLD);
-        iotmap_obs::gauge!("traffic.scanner.lines_excluded", flagged.len() as i64);
-        flagged
-    }
-
-    /// Second traffic pass: the full analysis report with scanners
-    /// excluded.
-    pub fn analysis_pass(&self, period: StudyPeriod, excluded: &HashSet<LineId>) -> AnalysisReport {
-        let _span = iotmap_obs::span!("traffic.analysis_pass");
-        let sim = TrafficSimulator::new(&self.world);
-        let mut sink = AnalysisSink::new(&self.index, excluded, period);
-        sim.run(period, &mut sink);
-        sink.into_report()
-    }
-
-    /// Convenience: contact pass → exclusion → analysis pass.
-    pub fn full_traffic_analysis(&self, period: StudyPeriod) -> (AnalysisReport, HashSet<LineId>) {
-        let contacts = self.contact_pass(period);
-        let excluded = self.excluded_lines(&contacts);
-        (self.analysis_pass(period, &excluded), excluded)
+        })
     }
 
     /// Anonymized label for a provider name.
@@ -164,6 +80,10 @@ pub struct CliOptions {
     pub trace: bool,
     /// Write metrics as JSON-lines to this file at exit (`--metrics FILE`).
     pub metrics: Option<String>,
+    /// Worker-thread budget for the parallel stages (`--threads N`, 0 =
+    /// all cores; defaults to `IOTMAP_THREADS` or 1). Output is
+    /// byte-identical at any value.
+    pub threads: usize,
 }
 
 impl CliOptions {
@@ -176,6 +96,10 @@ impl CliOptions {
         let mut out_dir = None;
         let mut trace = false;
         let mut metrics = None;
+        let mut threads = std::env::var("IOTMAP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1usize);
         let mut it = args.skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -198,6 +122,13 @@ impl CliOptions {
                 "--metrics" => {
                     metrics = Some(it.next().ok_or("--metrics needs a file path")?);
                 }
+                "--threads" => {
+                    threads = it
+                        .next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?;
+                }
                 "--help" | "-h" => return Err(usage()),
                 other if experiment.is_none() && !other.starts_with('-') => {
                     experiment = Some(other.to_string());
@@ -212,6 +143,7 @@ impl CliOptions {
             out_dir,
             trace,
             metrics,
+            threads,
         })
     }
 
@@ -228,7 +160,7 @@ impl CliOptions {
 
 fn usage() -> String {
     "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
-     \x20          [--trace] [--metrics FILE]\n\
+     \x20          [--trace] [--metrics FILE] [--threads N]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist"
@@ -253,21 +185,42 @@ mod tests {
         assert!(opts.config().is_ok());
         assert!(!opts.trace);
         assert!(opts.metrics.is_none());
+        // The default honours IOTMAP_THREADS (the CI matrix sets it).
+        let default_threads = std::env::var("IOTMAP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1usize);
+        assert_eq!(opts.threads, default_threads);
 
         let opts = CliOptions::parse(
-            ["exp", "table1", "--trace", "--metrics", "m.jsonl"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "exp",
+                "table1",
+                "--trace",
+                "--metrics",
+                "m.jsonl",
+                "--threads",
+                "4",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap();
         assert!(opts.trace);
         assert_eq!(opts.metrics.as_deref(), Some("m.jsonl"));
+        assert_eq!(opts.threads, 4);
     }
 
     #[test]
     fn cli_rejects_bad_input() {
         assert!(CliOptions::parse(["exp"].iter().map(|s| s.to_string())).is_err());
         assert!(CliOptions::parse(["exp", "x", "--bogus"].iter().map(|s| s.to_string())).is_err());
+        assert!(CliOptions::parse(
+            ["exp", "x", "--threads", "no"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
         let opts = CliOptions::parse(
             ["exp", "x", "--preset", "huge"]
                 .iter()

@@ -10,11 +10,16 @@
 //!   (`PassiveDns`),
 //! * **active DNS** — daily resolution of every passive-DNS-discovered
 //!   domain from three vantage points (`ActiveDns`).
+//!
+//! Each harvest fans out per provider through `iotmap-par`: one worker
+//! owns one provider's evidence (`&mut ProviderDiscovery`), running the
+//! exact serial per-provider code, and outputs merge in registry order —
+//! so a multi-threaded discovery run is byte-identical to a serial one.
 
 use crate::patterns::PatternRegistry;
 use crate::sources::DataSources;
 use iotmap_dns::{ActiveCampaign, RData};
-use iotmap_nettypes::{DomainName, Location, StudyPeriod};
+use iotmap_nettypes::{DomainName, Error, Location, StudyPeriod};
 use iotmap_scan::zgrab::filter_records;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::net::IpAddr;
@@ -207,6 +212,14 @@ impl DiscoveryResult {
         self.providers.iter().find(|p| p.name == name)
     }
 
+    /// Lookup one provider's discovery, failing with
+    /// [`Error::MissingProvider`] when absent — for callers that treat a
+    /// missing provider as a pipeline error rather than an option.
+    pub fn require(&self, name: &str) -> Result<&ProviderDiscovery, Error> {
+        self.get(name)
+            .ok_or_else(|| Error::MissingProvider(name.to_string()))
+    }
+
     /// All discovered IPs across providers.
     pub fn all_ips(&self) -> HashSet<IpAddr> {
         self.providers
@@ -323,17 +336,23 @@ impl DiscoveryPipeline {
         result: &mut DiscoveryResult,
     ) {
         let _span = iotmap_obs::span!("discovery.certificates");
-        let mut matches = vec![0u64; result.providers.len()];
-        for snapshot in sources.censys {
-            let day = snapshot.date.epoch_days();
-            let midnight = snapshot.date.midnight();
-            if !period.contains(midnight) {
-                continue;
-            }
-            for (pi, patterns) in self.registry.providers().iter().enumerate() {
+        // Per-provider fan-out: each worker owns exactly one provider's
+        // discovery (disjoint `&mut`), walking the snapshots in
+        // chronological order — the same per-provider event sequence as
+        // a serial run, so evidence accumulation is byte-identical.
+        let providers = self.registry.providers();
+        let matches = iotmap_par::shard_map_mut(&mut result.providers, |pi, prov| {
+            let patterns = &providers[pi];
+            let mut matched = 0u64;
+            for snapshot in sources.censys {
+                let day = snapshot.date.epoch_days();
+                let midnight = snapshot.date.midnight();
+                if !period.contains(midnight) {
+                    continue;
+                }
                 for record in snapshot.search_regex(&patterns.san_regex, period) {
-                    matches[pi] += 1;
-                    let entry = result.providers[pi].ips.entry(record.ip).or_default();
+                    matched += 1;
+                    let entry = prov.ips.entry(record.ip).or_default();
                     entry.sources.insert(Source::Certificate);
                     entry.days.insert(day);
                     if entry.censys_location.is_none() {
@@ -349,7 +368,8 @@ impl DiscoveryPipeline {
                     }
                 }
             }
-        }
+            matched
+        });
         flush_provider_matches(Source::Certificate, result, &matches);
     }
 
@@ -360,15 +380,14 @@ impl DiscoveryPipeline {
         result: &mut DiscoveryResult,
     ) {
         let _span = iotmap_obs::span!("discovery.ipv6_scan");
-        let mut matches = vec![0u64; result.providers.len()];
         let first_day = period.start.epoch_days();
-        for (pi, patterns) in self.registry.providers().iter().enumerate() {
+        let providers = self.registry.providers();
+        let matches = iotmap_par::shard_map_mut(&mut result.providers, |pi, prov| {
+            let patterns = &providers[pi];
+            let mut matched = 0u64;
             for record in filter_records(sources.zgrab_v6, &patterns.san_regex, period) {
-                matches[pi] += 1;
-                let entry = result.providers[pi]
-                    .ips
-                    .entry(IpAddr::V6(record.ip))
-                    .or_default();
+                matched += 1;
+                let entry = prov.ips.entry(IpAddr::V6(record.ip)).or_default();
                 entry.sources.insert(Source::Ipv6Scan);
                 entry.days.insert(first_day);
                 for name in record.certificate.all_names() {
@@ -380,7 +399,8 @@ impl DiscoveryPipeline {
                     }
                 }
             }
-        }
+            matched
+        });
         flush_provider_matches(Source::Ipv6Scan, result, &matches);
     }
 
@@ -391,31 +411,54 @@ impl DiscoveryPipeline {
         result: &mut DiscoveryResult,
     ) {
         let _span = iotmap_obs::span!("discovery.passive_dns");
-        let mut matches = vec![0u64; result.providers.len()];
-        let mut rrsets_scanned = 0u64;
         let pdns = sources.passive_dns;
-        for (pi, patterns) in self.registry.providers().iter().enumerate() {
-            // Direct search: every entry whose owner matches the pattern.
-            // (One linear scan per provider — DNSDB's flexible search.)
-            let mut cname_targets: Vec<(DomainName, DomainName)> = Vec::new();
-            for entry in pdns.entries() {
-                rrsets_scanned += 1;
-                if !entry.observed_in(&period) || !patterns.matches_owner(&entry.owner) {
-                    continue;
-                }
-                matches[pi] += 1;
-                result.providers[pi].domains.insert(entry.owner.clone());
-                match &entry.rdata {
-                    RData::Cname(target) => {
-                        cname_targets.push((entry.owner.clone(), target.clone()));
+        let providers = self.registry.providers();
+        let per_provider: Vec<(u64, u64)> =
+            iotmap_par::shard_map_mut(&mut result.providers, |pi, prov| {
+                let patterns = &providers[pi];
+                let mut matched = 0u64;
+                let mut rrsets_scanned = 0u64;
+                // Direct search: every entry whose owner matches the pattern.
+                // (One linear scan per provider — DNSDB's flexible search.)
+                let mut cname_targets: Vec<(DomainName, DomainName)> = Vec::new();
+                for entry in pdns.entries() {
+                    rrsets_scanned += 1;
+                    if !entry.observed_in(&period) || !patterns.matches_owner(&entry.owner) {
+                        continue;
                     }
-                    rdata => {
-                        if let Some(ip) = rdata.ip() {
+                    matched += 1;
+                    prov.domains.insert(entry.owner.clone());
+                    match &entry.rdata {
+                        RData::Cname(target) => {
+                            cname_targets.push((entry.owner.clone(), target.clone()));
+                        }
+                        rdata => {
+                            if let Some(ip) = rdata.ip() {
+                                Self::note_pdns_ip(
+                                    prov,
+                                    patterns,
+                                    ip,
+                                    &entry.owner,
+                                    entry.time_first.epoch_days().max(period.start.epoch_days()),
+                                    entry
+                                        .time_last
+                                        .epoch_days()
+                                        .min(period.end.epoch_days() - 1),
+                                );
+                            }
+                        }
+                    }
+                }
+                // CNAME chasing: A/AAAA records live under the alias target's
+                // owner name (cloud load balancers).
+                for (owner, target) in cname_targets {
+                    for entry in pdns.entries_for_owner(&target, period) {
+                        if let Some(ip) = entry.rdata.ip() {
                             Self::note_pdns_ip(
-                                &mut result.providers[pi],
+                                prov,
                                 patterns,
                                 ip,
-                                &entry.owner,
+                                &owner,
                                 entry.time_first.epoch_days().max(period.start.epoch_days()),
                                 entry
                                     .time_last
@@ -425,27 +468,10 @@ impl DiscoveryPipeline {
                         }
                     }
                 }
-            }
-            // CNAME chasing: A/AAAA records live under the alias target's
-            // owner name (cloud load balancers).
-            for (owner, target) in cname_targets {
-                for entry in pdns.entries_for_owner(&target, period) {
-                    if let Some(ip) = entry.rdata.ip() {
-                        Self::note_pdns_ip(
-                            &mut result.providers[pi],
-                            patterns,
-                            ip,
-                            &owner,
-                            entry.time_first.epoch_days().max(period.start.epoch_days()),
-                            entry
-                                .time_last
-                                .epoch_days()
-                                .min(period.end.epoch_days() - 1),
-                        );
-                    }
-                }
-            }
-        }
+                (matched, rrsets_scanned)
+            });
+        let matches: Vec<u64> = per_provider.iter().map(|(m, _)| *m).collect();
+        let rrsets_scanned: u64 = per_provider.iter().map(|(_, s)| *s).sum();
         iotmap_obs::count!("discovery.pdns.rrsets_scanned", rrsets_scanned);
         flush_provider_matches(Source::PassiveDns, result, &matches);
     }
@@ -478,22 +504,24 @@ impl DiscoveryPipeline {
         // Seed: every matching domain seen in passive DNS during the
         // period (the paper resolves "all domains identified via DNSDB").
         let _span = iotmap_obs::span!("discovery.active_dns");
-        let mut matches = vec![0u64; result.providers.len()];
-        for (pi, patterns) in self.registry.providers().iter().enumerate() {
-            let mut seeds: BTreeSet<DomainName> = result.providers[pi].domains.clone();
+        let providers = self.registry.providers();
+        let matches = iotmap_par::shard_map_mut(&mut result.providers, |pi, prov| {
+            let patterns = &providers[pi];
+            let mut seeds: BTreeSet<DomainName> = prov.domains.clone();
             for owner in sources.passive_dns.owners_in(period) {
                 if patterns.matches_owner(&owner) {
                     seeds.insert(owner);
                 }
             }
             if seeds.is_empty() {
-                continue;
+                return 0;
             }
             let domains: Vec<DomainName> = seeds.iter().cloned().collect();
             let campaign_result = self.campaign.run(sources.zones, &domains, &period);
+            let mut matched = 0u64;
             for obs in &campaign_result.observations {
-                matches[pi] += 1;
-                let entry = result.providers[pi].ips.entry(obs.ip).or_default();
+                matched += 1;
+                let entry = prov.ips.entry(obs.ip).or_default();
                 entry.sources.insert(Source::ActiveDns);
                 entry.days.insert(obs.day);
                 if entry.domain_hint.is_none() {
@@ -501,8 +529,9 @@ impl DiscoveryPipeline {
                 }
                 entry.note_name(obs.domain.as_str());
             }
-            result.providers[pi].domains = seeds;
-        }
+            prov.domains = seeds;
+            matched
+        });
         flush_provider_matches(Source::ActiveDns, result, &matches);
     }
 }

@@ -9,7 +9,7 @@
 //! (and the regex dialect) is exactly the paper's.
 
 use iotmap_dregex::Regex;
-use iotmap_nettypes::{DomainName, PortProto};
+use iotmap_nettypes::{DomainName, Error, PortProto};
 
 /// Where in a matched name the region code sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +70,9 @@ pub struct ProviderPatterns {
 }
 
 impl ProviderPatterns {
-    fn new(
+    /// Compile a provider's patterns, failing with [`Error::Pattern`]
+    /// instead of panicking when a regex does not compile.
+    pub fn try_new(
         name: &'static str,
         display: &'static str,
         owner_pattern: &str,
@@ -78,18 +80,18 @@ impl ProviderPatterns {
         region_hint: RegionHint,
         ports: Vec<DocumentedPort>,
         documented_anycast: bool,
-    ) -> Self {
-        ProviderPatterns {
+    ) -> Result<Self, Error> {
+        Ok(ProviderPatterns {
             name,
             display,
             owner_regex: Regex::with_options(owner_pattern, true)
-                .unwrap_or_else(|e| panic!("{name} owner pattern: {e}")),
+                .map_err(|e| Error::pattern(name, format!("owner pattern: {e}")))?,
             san_regex: Regex::with_options(san_pattern, true)
-                .unwrap_or_else(|e| panic!("{name} SAN pattern: {e}")),
+                .map_err(|e| Error::pattern(name, format!("SAN pattern: {e}")))?,
             region_hint,
             ports,
             documented_anycast,
-        }
+        })
     }
 
     /// Does a DNS owner name (any presentation) match this provider?
@@ -130,11 +132,19 @@ impl PatternRegistry {
     }
 
     /// The registry distilled from the providers' public documentation —
-    /// the analogue of the paper's Appendix A table.
+    /// the analogue of the paper's Appendix A table. Panics on a broken
+    /// built-in pattern (a bug, not an input error); fallible callers
+    /// should use [`PatternRegistry::try_paper_defaults`].
     pub fn paper_defaults() -> Self {
+        Self::try_paper_defaults().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PatternRegistry::paper_defaults`], returning
+    /// [`Error::Pattern`] if any provider's regex fails to compile.
+    pub fn try_paper_defaults() -> Result<Self, Error> {
         let region2 = RegionHint::LabelFromRight(2);
         let providers = vec![
-            ProviderPatterns::new(
+            ProviderPatterns::try_new(
                 "alibaba",
                 "Alibaba IoT",
                 r"(.+)\.(iot-as-mqtt|iot-as-http|iot-amqp)\.([[:alnum:]]+(-[[:alnum:]]+)*)\.aliyuncs\.com\.$",
@@ -142,8 +152,8 @@ impl PatternRegistry {
                 region2,
                 vec![tcp("MQTT", 1883), tcp("HTTPS", 443), udp("CoAP", 5682)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "amazon",
                 "Amazon IoT",
                 r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)(\.amazonaws\.com\.$)",
@@ -156,8 +166,8 @@ impl PatternRegistry {
                     tcp("HTTPS", 8443),
                 ],
                 true, // Global Accelerator
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "baidu",
                 "Baidu IoT",
                 r"(.+)\.(iot\.)([[:alnum:]]+(-[[:alnum:]]+)*)\.(baidubce\.com\.$)",
@@ -173,8 +183,8 @@ impl PatternRegistry {
                     udp("CoAP", 5683),
                 ],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "bosch",
                 "Bosch IoT Hub",
                 r"(.+\.|^)(bosch-iot-hub\.com\.$)",
@@ -187,8 +197,8 @@ impl PatternRegistry {
                     udp("CoAP", 5684),
                 ],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "cisco",
                 "Cisco Kinetic",
                 r"(.+\.|^)(ciscokinetic\.io\.$)",
@@ -201,8 +211,8 @@ impl PatternRegistry {
                     tcp("TCP", 9124),
                 ],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "fujitsu",
                 "Fujitsu IoT",
                 r"^(iot\.)([[:alnum:]]+(-[[:alnum:]]+)*)\.(paas\.cloud\.global\.fujitsu\.com\.$)",
@@ -210,8 +220,8 @@ impl PatternRegistry {
                 RegionHint::LabelFromRight(5),
                 vec![tcp("MQTT", 8883), tcp("HTTPS", 443)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "google",
                 "Google IoT Core",
                 r"^(mqtt|cloudiotdevice)\.googleapis\.com\.$",
@@ -219,8 +229,8 @@ impl PatternRegistry {
                 RegionHint::None,
                 vec![tcp("MQTT", 8883), tcp("MQTT", 443), tcp("HTTPS", 443)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "huawei",
                 "Huawei IoT",
                 r"^(iot-mqtts|iot-https)\.([[:alnum:]]+(-[[:alnum:]]+)*)\.(myhuaweicloud\.com\.$)",
@@ -228,8 +238,8 @@ impl PatternRegistry {
                 region2,
                 vec![tcp("MQTT", 8883), tcp("MQTT", 443), tcp("HTTPS", 8943)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "ibm",
                 "IBM IoT",
                 r"(.+\.|^)(internetofthings\.ibmcloud\.com\.$)",
@@ -242,8 +252,8 @@ impl PatternRegistry {
                     tcp("HTTPS", 443),
                 ],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "microsoft",
                 "Microsoft Azure IoT Hub",
                 r"(.+\.|^)(azure-devices\.net\.$)",
@@ -251,8 +261,8 @@ impl PatternRegistry {
                 RegionHint::None,
                 vec![tcp("MQTT", 8883), tcp("HTTPS", 443), tcp("AMQP", 5671)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "oracle",
                 "Oracle IoT",
                 r"(.+\.|^)(iot\.)([[:alnum:]]+(-[[:alnum:]]+)*\.)?(oraclecloud\.com\.$)",
@@ -260,8 +270,8 @@ impl PatternRegistry {
                 region2,
                 vec![tcp("MQTT", 8883), tcp("HTTPS", 443)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "ptc",
                 "PTC ThingWorx",
                 r"(.+\.|^)(cloud\.thingworx\.com\.$)",
@@ -269,8 +279,8 @@ impl PatternRegistry {
                 RegionHint::None,
                 vec![tcp("HTTPS", 443), tcp("MQTT", 8883), udp("UDP", 10010)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "sap",
                 "SAP IoT",
                 r"(.+\.|^)(iot\.sap\.$)",
@@ -278,8 +288,8 @@ impl PatternRegistry {
                 RegionHint::None,
                 vec![tcp("MQTT", 8883), tcp("HTTPS", 443)],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "siemens",
                 "Siemens Mindsphere",
                 r"(.+)\.(eu1|eu2|us1|cn1)\.(mindsphere\.io\.$)",
@@ -292,8 +302,8 @@ impl PatternRegistry {
                     tcp("ActiveMQ", 61616),
                 ],
                 true,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "sierra",
                 "Sierra Wireless",
                 r"^(na|ca|eu|ap)\.airvantage\.net\.$",
@@ -307,8 +317,8 @@ impl PatternRegistry {
                     udp("CoAP", 5686),
                 ],
                 false,
-            ),
-            ProviderPatterns::new(
+            )?,
+            ProviderPatterns::try_new(
                 "tencent",
                 "Tencent IoT",
                 r"(.+\.|^)(tencentdevices\.com\.$)",
@@ -322,9 +332,9 @@ impl PatternRegistry {
                     udp("CoAP", 5684),
                 ],
                 false,
-            ),
+            )?,
         ];
-        PatternRegistry::new(providers)
+        Ok(PatternRegistry::new(providers))
     }
 
     /// All providers, alphabetical (registry order).

@@ -159,6 +159,31 @@ impl PassiveDnsDb {
     pub fn entries(&self) -> impl Iterator<Item = &RrsetEntry> {
         self.entries.iter()
     }
+
+    /// The raw entry table as a slice, in observation-insertion order —
+    /// the unit the parallel scans shard over.
+    pub fn entries_slice(&self) -> &[RrsetEntry] {
+        &self.entries
+    }
+
+    /// [`PassiveDnsDb::search`], sharded over the entry table via
+    /// `iotmap-par`. Hits come back in table order — identical to the
+    /// serial iterator — because shards are contiguous and merged in
+    /// shard-index order.
+    pub fn par_search(&self, query: &DnsdbQuery, window: StudyPeriod) -> Vec<&RrsetEntry> {
+        iotmap_par::shard_fold(
+            &self.entries,
+            |_ctx| Vec::new(),
+            |hits: &mut Vec<&RrsetEntry>, _i, e| {
+                if e.observed_in(&window)
+                    && query.matches(&e.owner.fqdn(), rrtype_filter_of(&e.rdata))
+                {
+                    hits.push(e);
+                }
+            },
+            |a, b| a.extend(b),
+        )
+    }
 }
 
 fn rrtype_filter_of(rdata: &RData) -> RrTypeFilter {
@@ -272,6 +297,25 @@ mod tests {
         assert_eq!(db.search_rdata(&q, week()).count(), 1);
         let none = DnsdbRdataQuery::parse("rdata/ip/192.0.2.200").unwrap();
         assert_eq!(db.search_rdata(&none, week()).count(), 0);
+    }
+
+    #[test]
+    fn par_search_matches_serial_at_any_thread_count() {
+        let mut db = PassiveDnsDb::new();
+        for i in 0..200u8 {
+            let owner = if i % 3 == 0 {
+                format!("hub{i}.azure-devices.net")
+            } else {
+                format!("host{i}.example.com")
+            };
+            db.observe(d(&owner), a(i), t(1 + (i % 7) as u32));
+        }
+        let q = DnsdbQuery::flexible(r"(.+\.|^)(azure-devices\.net\.$)/A").unwrap();
+        let serial: Vec<_> = db.search(&q, week()).collect();
+        for threads in [1, 2, 4, 8] {
+            let parallel = iotmap_par::with_threads(threads, || db.par_search(&q, week()));
+            assert_eq!(parallel, serial, "threads {threads}");
+        }
     }
 
     #[test]

@@ -1,6 +1,89 @@
-//! Error types for parsing the textual forms used throughout the workspace.
+//! Error types shared across the workspace: [`ParseError`] for the
+//! textual forms, and the top-level [`Error`] enum that pipeline stages
+//! return instead of panicking.
 
 use std::fmt;
+
+/// Workspace-level error: everything `Pipeline::run()` and the stage
+/// APIs can fail with. Wraps [`ParseError`] (via `From`) alongside the
+/// non-parse failure modes of the pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A textual form failed to parse.
+    Parse(ParseError),
+    /// A provider's detection pattern failed to compile.
+    Pattern {
+        /// Provider whose pattern is broken.
+        provider: String,
+        /// Compiler diagnostic.
+        detail: String,
+    },
+    /// A provider name was looked up but is not in the discovery result.
+    MissingProvider(String),
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A pipeline stage failed.
+    Stage {
+        /// Stage name, e.g. `"discovery"`.
+        stage: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// A pattern-compilation error for `provider`.
+    pub fn pattern(provider: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Pattern {
+            provider: provider.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A stage failure for `stage`.
+    pub fn stage(stage: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Stage {
+            stage: stage.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A configuration error.
+    pub fn invalid_config(detail: impl Into<String>) -> Self {
+        Error::InvalidConfig(detail.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Pattern { provider, detail } => {
+                write!(f, "provider {provider:?}: pattern error: {detail}")
+            }
+            Error::MissingProvider(name) => {
+                write!(f, "provider {name:?} not present in discovery result")
+            }
+            Error::InvalidConfig(detail) => write!(f, "invalid configuration: {detail}"),
+            Error::Stage { stage, detail } => write!(f, "stage {stage} failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
 
 /// Error produced when parsing prefixes, domain names, dates, or other
 /// textual representations.
@@ -64,5 +147,30 @@ mod tests {
         assert_eq!(e.kind(), "date");
         assert_eq!(e.input(), "2022-13-01");
         assert_eq!(e.detail(), "month");
+    }
+
+    #[test]
+    fn workspace_error_wraps_parse_error() {
+        let parse = ParseError::new("prefix", "x/99", "length");
+        let err: Error = parse.clone().into();
+        assert_eq!(err, Error::Parse(parse));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("x/99"));
+    }
+
+    #[test]
+    fn workspace_error_variants_display() {
+        assert!(Error::pattern("acme", "unbalanced (")
+            .to_string()
+            .contains("acme"));
+        assert!(Error::MissingProvider("bosch".into())
+            .to_string()
+            .contains("bosch"));
+        assert!(Error::invalid_config("threads = 0")
+            .to_string()
+            .contains("threads"));
+        assert!(Error::stage("discovery", "empty source set")
+            .to_string()
+            .contains("discovery"));
     }
 }

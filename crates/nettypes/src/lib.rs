@@ -33,7 +33,7 @@ pub mod trie;
 
 pub use asn::Asn;
 pub use bgp::{BgpOrigin, BgpTable};
-pub use error::ParseError;
+pub use error::{Error, ParseError};
 pub use geo::{Continent, CountryCode, Location};
 pub use name::DomainName;
 pub use ports::{AppProtocol, PortProto, Transport};

@@ -34,9 +34,16 @@
 //! println!("{}", report.to_markdown());
 //! ```
 //!
-//! The thread-local design matches the workspace: the simulation is
-//! deterministic and single-threaded, and per-thread recorders keep
-//! parallel `cargo test` threads isolated from each other.
+//! The thread-local design matches the workspace: per-thread recorders
+//! keep parallel `cargo test` threads isolated from each other, and the
+//! pipeline's deterministic fan-out layer (`iotmap-par`) builds on it —
+//! each worker thread runs under its own child [`Registry`], and after
+//! the join the child [`RunReport`]s are folded back into the parent
+//! recorder **in shard order** via [`merge_child_report`]. Counters add,
+//! gauges are last-write-wins, histograms merge bucket-wise, and child
+//! span roots attach under the parent's currently open span, so an
+//! instrumented parallel run reports the same span tree and metric
+//! totals as a serial run — only the timings differ.
 
 mod metrics;
 mod report;
@@ -69,6 +76,40 @@ pub trait Recorder {
     fn gauge(&self, name: &str, value: i64);
     /// Record one observation into the named histogram.
     fn observe(&self, name: &str, value: u64);
+    /// Fold a child worker's finished [`RunReport`] into this recorder.
+    ///
+    /// Called by the parallel execution layer after joining a worker, in
+    /// shard order. The default implementation replays the report
+    /// through the generic interface: spans re-entered/exited in order,
+    /// counters re-added, gauges re-set, and histogram buckets replayed
+    /// at each bucket's upper bound (approximate when bounds differ).
+    /// [`Registry`] overrides this with an exact structural merge.
+    fn merge_child(&self, report: &RunReport) {
+        fn replay_span<R: Recorder + ?Sized>(rec: &R, node: &SpanNode) {
+            let id = rec.span_enter(&node.name);
+            for child in &node.children {
+                replay_span(rec, child);
+            }
+            rec.span_exit(id, node.nanos);
+        }
+        for root in &report.spans {
+            replay_span(self, root);
+        }
+        for (name, delta) in &report.counters {
+            self.add(name, *delta);
+        }
+        for (name, value) in &report.gauges {
+            self.gauge(name, *value);
+        }
+        for (name, snap) in &report.histograms {
+            for (i, &n) in snap.counts.iter().enumerate() {
+                let value = snap.bounds.get(i).copied().unwrap_or(snap.max);
+                for _ in 0..n {
+                    self.observe(name, value);
+                }
+            }
+        }
+    }
 }
 
 thread_local! {
@@ -102,6 +143,14 @@ pub fn with_recorder<R>(f: impl FnOnce(&dyn Recorder) -> R) -> Option<R> {
 #[doc(hidden)]
 pub fn current_recorder() -> Option<Rc<dyn Recorder>> {
     CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Fold a child worker's [`RunReport`] into this thread's recorder (a
+/// no-op when none is installed). The parallel execution layer calls
+/// this once per worker, in shard order, after the join — see
+/// [`Recorder::merge_child`] for the merge semantics.
+pub fn merge_child_report(report: &RunReport) {
+    with_recorder(|r| r.merge_child(report));
 }
 
 /// Open a span through the installed recorder (function form; prefer the
@@ -198,6 +247,68 @@ mod tests {
         assert!(!enabled());
         count!("x", 40); // dropped: no recorder
         assert_eq!(registry.report().counters["x"], 2);
+    }
+
+    #[test]
+    fn merge_child_report_targets_installed_recorder() {
+        let child = Registry::new();
+        child.add("merged", 4);
+        let report = child.report();
+        uninstall();
+        merge_child_report(&report); // no recorder installed: dropped
+        let parent = Rc::new(Registry::new());
+        install(parent.clone());
+        merge_child_report(&report);
+        uninstall();
+        assert_eq!(parent.counter("merged"), 4);
+    }
+
+    #[test]
+    fn default_merge_child_replays_through_the_generic_interface() {
+        use std::cell::RefCell;
+
+        #[derive(Default)]
+        struct Log(RefCell<Vec<String>>);
+        impl Recorder for Log {
+            fn span_enter(&self, name: &str) -> usize {
+                self.0.borrow_mut().push(format!("enter {name}"));
+                0
+            }
+            fn span_exit(&self, _id: usize, nanos: u64) {
+                self.0.borrow_mut().push(format!("exit {nanos}"));
+            }
+            fn add(&self, name: &str, delta: u64) {
+                self.0.borrow_mut().push(format!("add {name}={delta}"));
+            }
+            fn gauge(&self, name: &str, value: i64) {
+                self.0.borrow_mut().push(format!("gauge {name}={value}"));
+            }
+            fn observe(&self, name: &str, value: u64) {
+                self.0.borrow_mut().push(format!("observe {name}={value}"));
+            }
+        }
+
+        let child = Registry::new();
+        let outer = child.span_enter("outer");
+        let inner = child.span_enter("inner");
+        child.span_exit(inner, 2);
+        child.span_exit(outer, 9);
+        child.add("c", 3);
+        child.gauge("g", -1);
+
+        let log = Log::default();
+        log.merge_child(&child.report());
+        assert_eq!(
+            *log.0.borrow(),
+            vec![
+                "enter outer",
+                "enter inner",
+                "exit 2",
+                "exit 9",
+                "add c=3",
+                "gauge g=-1"
+            ]
+        );
     }
 
     #[test]

@@ -60,6 +60,56 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Rebuild a histogram from a snapshot (the inverse of
+    /// [`Histogram::snapshot`]), used when merging a child registry's
+    /// report into a parent that has no histogram under that name yet.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Histogram {
+        Histogram {
+            bounds: snap.bounds.clone(),
+            counts: snap.counts.clone(),
+            count: snap.count,
+            sum: snap.sum,
+            min: if snap.count == 0 { u64::MAX } else { snap.min },
+            max: snap.max,
+        }
+    }
+
+    /// Fold a child registry's snapshot into this histogram.
+    ///
+    /// Same bounds (the common case — both sides bucket with
+    /// [`DEFAULT_BUCKETS`] or the same registered bounds): exact
+    /// bucket-wise addition. Differing bounds: each foreign bucket's
+    /// count is re-bucketed at that bucket's upper bound (overflow at
+    /// the snapshot max), which preserves count/sum/min/max exactly and
+    /// bucket shape approximately.
+    pub fn merge_snapshot(&mut self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        if self.bounds == snap.bounds {
+            for (mine, theirs) in self.counts.iter_mut().zip(&snap.counts) {
+                *mine = mine.saturating_add(*theirs);
+            }
+        } else {
+            for (i, &n) in snap.counts.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let value = snap.bounds.get(i).copied().unwrap_or(snap.max);
+                let idx = self
+                    .bounds
+                    .iter()
+                    .position(|&b| value <= b)
+                    .unwrap_or(self.bounds.len());
+                self.counts[idx] = self.counts[idx].saturating_add(n);
+            }
+        }
+        self.count += snap.count;
+        self.sum = self.sum.saturating_add(snap.sum);
+        self.min = self.min.min(snap.min);
+        self.max = self.max.max(snap.max);
+    }
+
     /// Immutable snapshot for reports.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -154,6 +204,24 @@ impl Registry {
         self.inner.borrow().counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Append one report span node (and its subtree) into the arena,
+    /// under `parent` (`None` ⇒ a new root).
+    fn attach_span(inner: &mut Inner, parent: Option<usize>, node: &SpanNode) {
+        let id = inner.spans.len();
+        inner.spans.push(SpanRec {
+            name: node.name.clone(),
+            nanos: node.nanos,
+            children: Vec::new(),
+        });
+        match parent {
+            Some(p) => inner.spans[p].children.push(id),
+            None => inner.roots.push(id),
+        }
+        for child in &node.children {
+            Registry::attach_span(inner, Some(id), child);
+        }
+    }
+
     /// Snapshot everything recorded so far into a [`RunReport`]. Spans
     /// still open keep their zero duration.
     pub fn report(&self) -> RunReport {
@@ -240,6 +308,41 @@ impl Recorder for Registry {
                 h.record(value);
                 inner.histograms.insert(name.to_string(), h);
             }
+        }
+    }
+
+    /// Exact merge of a child worker's report (overriding the trait's
+    /// replay-based default): counters add saturating, gauges
+    /// last-write-wins, histograms merge bucket-wise, and each child
+    /// root span attaches under the currently open span (the span the
+    /// parallel stage was entered from), so the merged tree has the
+    /// same shape as a serial run — only the timings differ.
+    fn merge_child(&self, report: &RunReport) {
+        let mut inner = self.inner.borrow_mut();
+        for (name, delta) in &report.counters {
+            match inner.counters.get_mut(name) {
+                Some(v) => *v = v.saturating_add(*delta),
+                None => {
+                    inner.counters.insert(name.clone(), *delta);
+                }
+            }
+        }
+        for (name, value) in &report.gauges {
+            inner.gauges.insert(name.clone(), *value);
+        }
+        for (name, snap) in &report.histograms {
+            match inner.histograms.get_mut(name) {
+                Some(h) => h.merge_snapshot(snap),
+                None => {
+                    inner
+                        .histograms
+                        .insert(name.clone(), Histogram::from_snapshot(snap));
+                }
+            }
+        }
+        let parent = inner.stack.last().copied();
+        for root in &report.spans {
+            Registry::attach_span(&mut inner, parent, root);
         }
     }
 }
@@ -330,6 +433,73 @@ mod tests {
         // A parent's recorded time always covers its children's.
         assert!(o.nanos >= o.children.iter().map(|c| c.nanos).sum::<u64>());
         assert_eq!(report.spans[1].name, "root2");
+    }
+
+    #[test]
+    fn merge_child_combines_metrics_exactly() {
+        let child = Registry::new();
+        let s = child.span_enter("child.work");
+        child.span_exit(s, 10);
+        child.add("shared", 5);
+        child.add("child.only", 2);
+        child.gauge("g", 99);
+        child.observe("h", 7);
+
+        let parent = Registry::new();
+        parent.add("shared", 1);
+        parent.gauge("g", 1);
+        parent.observe("h", 3);
+        let outer = parent.span_enter("outer");
+        parent.merge_child(&child.report());
+        parent.span_exit(outer, 50);
+
+        let report = parent.report();
+        assert_eq!(report.counters["shared"], 6);
+        assert_eq!(report.counters["child.only"], 2);
+        assert_eq!(report.gauges["g"], 99, "gauges: last write wins");
+        let h = &report.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 10);
+        assert_eq!((h.min, h.max), (3, 7));
+        // Child roots attach under the span open at merge time.
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].children.len(), 1);
+        assert_eq!(report.spans[0].children[0].name, "child.work");
+    }
+
+    #[test]
+    fn merge_child_without_open_span_adds_roots() {
+        let child = Registry::new();
+        let s = child.span_enter("orphan");
+        child.span_exit(s, 1);
+        let parent = Registry::new();
+        parent.merge_child(&child.report());
+        assert_eq!(parent.report().spans[0].name, "orphan");
+    }
+
+    #[test]
+    fn histogram_merge_with_differing_bounds_rebuckets() {
+        let mut a = Histogram::with_bounds(&[10, 100]);
+        a.record(5);
+        let mut b = Histogram::with_bounds(&[50]);
+        b.record(40); // bucket ≤50
+        b.record(700); // overflow
+        a.merge_snapshot(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 745);
+        assert_eq!((s.min, s.max), (5, 700));
+        // 40 lands via its bucket bound 50 → bucket ≤100; 700 via max → overflow.
+        assert_eq!(s.counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn merging_empty_child_is_a_noop() {
+        let parent = Registry::new();
+        parent.add("c", 1);
+        parent.merge_child(&Registry::new().report());
+        assert_eq!(parent.counter("c"), 1);
+        assert!(parent.report().spans.is_empty());
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! # iotmap-par — deterministic, std-only parallel execution
+//!
+//! A tiny fan-out engine for the workspace's hot loops: scoped worker
+//! threads over [`std::thread::scope`], a `shard_*` API with **stable,
+//! index-ordered merges**, and zero dependencies outside `std` and the
+//! workspace's own `iotmap-obs`/`iotmap-nettypes`.
+//!
+//! ## Determinism contract
+//!
+//! Parallel output must be byte-identical to serial output at any thread
+//! count. The engine guarantees its half of that contract:
+//!
+//! - Items are split into **contiguous shards** (ZMap-style sharded
+//!   sweeping): shard `i` covers `items[offset .. offset + len]`, in the
+//!   original order.
+//! - Shard results are **merged in shard-index order**, regardless of
+//!   which worker finishes first.
+//! - A shard that needs randomness derives a sub-RNG from
+//!   `(parent seed, shard index)` via [`ShardCtx::rng`] — never from
+//!   wall-clock time or thread identity.
+//! - Observability is preserved: when the calling thread has an
+//!   `iotmap-obs` recorder installed, each worker runs under its own
+//!   child [`iotmap_obs::Registry`] and the child reports are merged
+//!   into the parent **in shard order** after the join, so `--trace`
+//!   and `--metrics` see the same counters and span tree as a serial
+//!   run (only the timings differ).
+//!
+//! The caller owns the other half: per-item work must not depend on
+//! *which* shard an item lands in (shard boundaries move with the thread
+//! count), and fold/merge steps must be associative with respect to
+//! concatenation in item order. [`ShardCtx::rng`] is shard-indexed, so
+//! code whose *output* consumes it is only stable at a fixed thread
+//! count — fine for probe pacing, not for payload content.
+//!
+//! ## Thread-count configuration
+//!
+//! The thread count is **thread-local** and defaults to 1 (serial),
+//! mirroring the thread-local recorder in `iotmap-obs`. `shard_*` calls
+//! run inline on the calling thread until [`set_threads`] /
+//! [`with_threads`] opts in. Worker threads start at the default of 1,
+//! so nested `shard_*` calls inside a worker are naturally serial — no
+//! thread explosion.
+//!
+//! ```
+//! let squares = iotmap_par::with_threads(4, || {
+//!     iotmap_par::shard_map(&[1u64, 2, 3, 4, 5], |_i, x| x * x)
+//! });
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use iotmap_nettypes::SimRng;
+use iotmap_obs::RunReport;
+use std::cell::Cell;
+use std::rc::Rc;
+
+thread_local! {
+    /// Worker-thread budget for `shard_*` calls issued from this thread.
+    static THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Current thread budget for this thread (≥ 1; 1 means serial/inline).
+pub fn threads() -> usize {
+    THREADS.with(|t| t.get())
+}
+
+/// Set the thread budget for `shard_*` calls issued from this thread.
+///
+/// `0` means "auto": [`std::thread::available_parallelism`], falling
+/// back to 1 if the platform cannot report it.
+pub fn set_threads(n: usize) {
+    let n = if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    };
+    THREADS.with(|t| t.set(n.max(1)));
+}
+
+/// Run `f` with the thread budget set to `n` (`0` = auto), restoring the
+/// previous budget afterwards — even if `f` panics.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS.with(|t| t.set(self.0));
+        }
+    }
+    let guard = Restore(threads());
+    set_threads(n);
+    let out = f();
+    drop(guard);
+    out
+}
+
+/// Identity of one shard within a sharded call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCtx {
+    /// Shard index, `0 .. shards`.
+    pub index: usize,
+    /// Total number of shards in this call.
+    pub shards: usize,
+    /// Index (into the original item slice) of this shard's first item.
+    pub offset: usize,
+}
+
+impl ShardCtx {
+    /// Deterministic sub-RNG for this shard: forked from the parent
+    /// stream by shard index, never from time or thread identity.
+    ///
+    /// Output-relevant randomness drawn from this stream is stable only
+    /// at a fixed thread count (shard boundaries move with `threads()`);
+    /// use it for shard-scoped concerns such as probe pacing.
+    pub fn rng(&self, parent: &SimRng) -> SimRng {
+        parent.fork_idx(self.index as u64)
+    }
+}
+
+/// Split `items` into contiguous shards, run `f` on each shard (in
+/// parallel when the thread budget allows), and return the shard results
+/// **in shard-index order**.
+///
+/// This is the primitive the other `shard_*` helpers build on. With a
+/// budget of 1 — or when there is at most one item — `f` runs inline on
+/// the calling thread as a single shard covering the whole slice.
+pub fn shard_chunks<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(ShardCtx, &'a [T]) -> R + Sync,
+{
+    let budget = threads();
+    if budget <= 1 || items.len() <= 1 {
+        let ctx = ShardCtx {
+            index: 0,
+            shards: 1,
+            offset: 0,
+        };
+        return vec![f(ctx, items)];
+    }
+
+    let shards = budget.min(items.len());
+    let chunk = items.len().div_ceil(shards);
+    let instrumented = iotmap_obs::enabled();
+
+    let mut results: Vec<(R, Option<RunReport>)> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(index, slice)| {
+                let ctx = ShardCtx {
+                    index,
+                    shards,
+                    offset: index * chunk,
+                };
+                let f = &f;
+                scope.spawn(move || run_shard(instrumented, move || f(ctx, slice)))
+            })
+            .collect();
+        // Join in shard order so merges below are index-ordered no
+        // matter which worker finished first.
+        for handle in handles {
+            match handle.join() {
+                Ok(out) => results.push(out),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|(out, report)| {
+            if let Some(report) = report {
+                iotmap_obs::merge_child_report(&report);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Run the shard body, capturing its observability into a child registry
+/// when the parent thread was instrumented.
+fn run_shard<R>(instrumented: bool, body: impl FnOnce() -> R) -> (R, Option<RunReport>) {
+    if !instrumented {
+        return (body(), None);
+    }
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let out = body();
+    iotmap_obs::uninstall();
+    (out, Some(registry.report()))
+}
+
+/// Apply `f` to every item and collect the outputs in item order.
+///
+/// `f` receives the item's index in the original slice, so labelling is
+/// stable across thread counts.
+pub fn shard_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    let per_shard = shard_chunks(items, |ctx, slice| {
+        slice
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(ctx.offset + i, item))
+            .collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for shard in per_shard {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Apply `f` to every item **in place** and collect the outputs in item
+/// order. Each worker owns a disjoint `&mut` chunk of the slice, so the
+/// per-item work is the exact serial code — no merge step at all. This
+/// is the shape the per-provider discovery fan-out uses.
+pub fn shard_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let budget = threads();
+    if budget <= 1 || items.len() <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let shards = budget.min(items.len());
+    let chunk = items.len().div_ceil(shards);
+    let instrumented = iotmap_obs::enabled();
+
+    let mut per_shard: Vec<(Vec<R>, Option<RunReport>)> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(index, slice)| {
+                let offset = index * chunk;
+                let f = &f;
+                scope.spawn(move || {
+                    run_shard(instrumented, move || {
+                        slice
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, item)| f(offset + i, item))
+                            .collect::<Vec<R>>()
+                    })
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(out) => per_shard.push(out),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut out = Vec::with_capacity(items.len());
+    for (shard, report) in per_shard {
+        if let Some(report) = report {
+            iotmap_obs::merge_child_report(&report);
+        }
+        out.extend(shard);
+    }
+    out
+}
+
+/// Sharded fold: each shard starts from `make(ctx)`, folds its items in
+/// order with `fold`, and the per-shard accumulators are combined with
+/// `merge` **in shard-index order**.
+///
+/// For the parallel result to match the serial one, `merge(a, b)` must
+/// equal "continue folding b's items into a" — true for the append-only
+/// and additive accumulators the scan stages use.
+pub fn shard_fold<'a, T, A, FM, FF, FG>(items: &'a [T], make: FM, fold: FF, mut merge: FG) -> A
+where
+    T: Sync,
+    A: Send,
+    FM: Fn(ShardCtx) -> A + Sync,
+    FF: Fn(&mut A, usize, &'a T) + Sync,
+    FG: FnMut(&mut A, A),
+{
+    let mut shards = shard_chunks(items, |ctx, slice| {
+        let mut acc = make(ctx);
+        for (i, item) in slice.iter().enumerate() {
+            fold(&mut acc, ctx.offset + i, item);
+        }
+        acc
+    })
+    .into_iter();
+    let mut acc = shards
+        .next()
+        .expect("shard_chunks yields at least one shard");
+    for shard in shards {
+        merge(&mut acc, shard);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotmap_obs::Registry;
+
+    #[test]
+    fn default_budget_is_serial() {
+        assert_eq!(threads(), 1);
+    }
+
+    #[test]
+    fn with_threads_restores_budget() {
+        set_threads(1);
+        with_threads(3, || assert_eq!(threads(), 3));
+        assert_eq!(threads(), 1);
+        let caught = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(threads(), 1, "budget restored after panic");
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        with_threads(0, || assert!(threads() >= 1));
+    }
+
+    #[test]
+    fn shard_map_preserves_order_at_any_budget() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = shard_map(&items, |i, x| (i as u64) * 1000 + x * x);
+        for budget in [2, 3, 4, 8, 64] {
+            let parallel = with_threads(budget, || {
+                shard_map(&items, |i, x| (i as u64) * 1000 + x * x)
+            });
+            assert_eq!(parallel, serial, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn shard_map_mut_mutates_in_place() {
+        let mut serial: Vec<u64> = (0..57).collect();
+        let serial_out = shard_map_mut(&mut serial, |i, x| {
+            *x += i as u64;
+            *x
+        });
+        for budget in [2, 4, 8] {
+            let mut par: Vec<u64> = (0..57).collect();
+            let par_out = with_threads(budget, || {
+                shard_map_mut(&mut par, |i, x| {
+                    *x += i as u64;
+                    *x
+                })
+            });
+            assert_eq!(par, serial, "budget {budget}");
+            assert_eq!(par_out, serial_out, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn shard_fold_matches_serial() {
+        let items: Vec<u64> = (1..=200).collect();
+        let serial = shard_fold(
+            &items,
+            |_| (0u64, Vec::new()),
+            |acc, i, x| {
+                acc.0 += x;
+                if x % 17 == 0 {
+                    acc.1.push((i, *x));
+                }
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1.extend(b.1);
+            },
+        );
+        for budget in [2, 4, 8] {
+            let parallel = with_threads(budget, || {
+                shard_fold(
+                    &items,
+                    |_| (0u64, Vec::new()),
+                    |acc, i, x| {
+                        acc.0 += x;
+                        if x % 17 == 0 {
+                            acc.1.push((i, *x));
+                        }
+                    },
+                    |a, b| {
+                        a.0 += b.0;
+                        a.1.extend(b.1);
+                    },
+                )
+            });
+            assert_eq!(parallel, serial, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_slices_run_inline() {
+        let empty: [u32; 0] = [];
+        assert!(with_threads(8, || shard_map(&empty, |_, x| *x)).is_empty());
+        let one = [7u32];
+        assert_eq!(
+            with_threads(8, || shard_map(&one, |i, x| (i, *x))),
+            vec![(0, 7)]
+        );
+    }
+
+    #[test]
+    fn shard_ctx_covers_slice_contiguously() {
+        let items: Vec<u32> = (0..37).collect();
+        let ctxs = with_threads(5, || shard_chunks(&items, |ctx, slice| (ctx, slice.len())));
+        assert_eq!(ctxs.len(), 5);
+        let mut next = 0usize;
+        for (i, (ctx, len)) in ctxs.iter().enumerate() {
+            assert_eq!(ctx.index, i);
+            assert_eq!(ctx.shards, 5);
+            assert_eq!(ctx.offset, next);
+            next += len;
+        }
+        assert_eq!(next, items.len());
+    }
+
+    #[test]
+    fn shard_rng_is_deterministic_per_index() {
+        let parent = SimRng::new(42);
+        let ctx = ShardCtx {
+            index: 3,
+            shards: 8,
+            offset: 30,
+        };
+        let mut a = ctx.rng(&parent);
+        let mut b = ctx.rng(&parent);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let other = ShardCtx { index: 4, ..ctx };
+        let mut c = other.rng(&parent);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn worker_metrics_merge_into_parent_in_shard_order() {
+        let registry = Rc::new(Registry::new());
+        iotmap_obs::install(registry.clone());
+        let items: Vec<u64> = (0..40).collect();
+        let sum: Vec<u64> = with_threads(4, || {
+            shard_map(&items, |_, x| {
+                iotmap_obs::count!("par.test.items", 1);
+                *x
+            })
+        });
+        iotmap_obs::uninstall();
+        assert_eq!(sum.len(), 40);
+        let report = registry.report();
+        assert_eq!(report.counters.get("par.test.items"), Some(&40));
+    }
+
+    #[test]
+    fn worker_spans_attach_under_parent_span() {
+        let registry = Rc::new(Registry::new());
+        iotmap_obs::install(registry.clone());
+        {
+            let _outer = iotmap_obs::span!("par.test.outer");
+            let items: Vec<u64> = (0..4).collect();
+            with_threads(2, || {
+                shard_map(&items, |i, _| {
+                    let _inner = iotmap_obs::span!("par.test.item");
+                    i
+                })
+            });
+        }
+        iotmap_obs::uninstall();
+        let report = registry.report();
+        assert_eq!(report.spans.len(), 1);
+        let outer = &report.spans[0];
+        assert_eq!(outer.name, "par.test.outer");
+        assert_eq!(outer.children.len(), 4);
+        assert!(outer.children.iter().all(|c| c.name == "par.test.item"));
+    }
+
+    #[test]
+    fn uninstrumented_workers_skip_child_registries() {
+        // No recorder installed: shard bodies run with obs disabled.
+        let items: Vec<u64> = (0..8).collect();
+        let flags = with_threads(4, || shard_map(&items, |_, _| iotmap_obs::enabled()));
+        assert!(flags.iter().all(|f| !f));
+    }
+
+    #[test]
+    fn nested_shard_calls_are_serial_inside_workers() {
+        let items: Vec<u64> = (0..8).collect();
+        let budgets = with_threads(4, || {
+            shard_map(&items, |_, _| {
+                // Worker thread-locals default to 1 ⇒ nested calls inline.
+                threads()
+            })
+        });
+        assert!(budgets.iter().all(|&b| b == 1));
+    }
+}

@@ -115,29 +115,41 @@ impl CensysService {
         // Handshakes happen over the course of the day; noon is
         // representative for validity checks.
         let when = date.midnight() + SimDuration::hours(12);
-        let mut records = Vec::new();
-        let mut host_ports = Vec::new();
-        for (addr, open_ports) in view.ipv4_hosts() {
-            let ip = IpAddr::V4(addr);
-            for port in &open_ports {
-                if !self.ports.contains(port) {
-                    continue;
+        // ZMap-style sharded sweep: the host list is split into contiguous
+        // shards probed by worker threads, and the shard outputs are
+        // concatenated in shard order, so the snapshot is byte-identical
+        // to a serial sweep at any thread count (handshake outcomes and
+        // geolocation depend only on the target, never on the shard).
+        let hosts = view.ipv4_hosts();
+        let (records, host_ports) = iotmap_par::shard_fold(
+            &hosts,
+            |_ctx| (Vec::new(), Vec::new()),
+            |(records, host_ports): &mut (Vec<CensysRecord>, Vec<_>), _i, (addr, open_ports)| {
+                let ip = IpAddr::V4(*addr);
+                for port in open_ports {
+                    if !self.ports.contains(port) {
+                        continue;
+                    }
+                    let Some(endpoint) = view.tls_endpoint(ip, *port) else {
+                        continue;
+                    };
+                    let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
+                    if let Some(cert) = outcome.observed_certificate() {
+                        records.push(CensysRecord {
+                            ip,
+                            port: *port,
+                            certificate: cert.clone(),
+                            location: view.geolocate(ip),
+                        });
+                    }
                 }
-                let Some(endpoint) = view.tls_endpoint(ip, *port) else {
-                    continue;
-                };
-                let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
-                if let Some(cert) = outcome.observed_certificate() {
-                    records.push(CensysRecord {
-                        ip,
-                        port: *port,
-                        certificate: cert.clone(),
-                        location: view.geolocate(ip),
-                    });
-                }
-            }
-            host_ports.push((addr, open_ports));
-        }
+                host_ports.push((*addr, open_ports.clone()));
+            },
+            |a, b| {
+                a.0.extend(b.0);
+                a.1.extend(b.1);
+            },
+        );
         iotmap_obs::count!("scan.censys.certs_parsed", records.len() as u64);
         CensysSnapshot {
             date,

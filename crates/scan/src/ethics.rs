@@ -47,7 +47,13 @@ impl ProbePolicy {
 
     /// Account for one probe.
     pub fn record_probe(&mut self) {
-        self.probes_sent += 1;
+        self.record_probes(1);
+    }
+
+    /// Account for a batch of probes at once (parallel scan shards report
+    /// their per-shard totals after the join).
+    pub fn record_probes(&mut self, n: u64) {
+        self.probes_sent += n;
     }
 
     /// Total probes sent under this policy.

@@ -19,8 +19,9 @@ pub struct LookingGlassSite {
 
 /// Something that can measure RTTs from looking-glass sites to hosts — the
 /// world implements this with geometry + noise; a real implementation would
-/// drive actual looking-glass APIs.
-pub trait LatencyProber {
+/// drive actual looking-glass APIs. `Sync` so a probe handle can be shared
+/// across the parallel pipeline's worker shards.
+pub trait LatencyProber: Sync {
     /// RTT in ms from `site` to `target`, or `None` if unreachable.
     fn rtt_ms(&self, site: &LookingGlassSite, target: IpAddr) -> Option<f64>;
 }

@@ -10,7 +10,11 @@ use iotmap_tls::TlsEndpoint;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// What scanning instruments can observe about the network.
-pub trait ScanView {
+///
+/// `Sync` because the parallel sweep shards (`iotmap-par`) probe one
+/// shared view from several worker threads; implementations answer
+/// through `&self` over plain data, so this costs them nothing.
+pub trait ScanView: Sync {
     /// All responsive IPv4 hosts and the TCP/UDP ports each listens on.
     /// (A real zmap sweep discovers exactly this, one SYN at a time.)
     fn ipv4_hosts(&self) -> Vec<(Ipv4Addr, Vec<PortProto>)>;

@@ -60,21 +60,33 @@ impl Zgrab2Scanner {
         }
         self.policy.randomize_order(rng, &mut targets);
 
-        let mut records = Vec::new();
-        for (addr, port) in targets {
-            self.policy.record_probe();
-            let Some(endpoint) = view.tls_endpoint(IpAddr::V6(addr), port) else {
-                continue;
-            };
-            let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
-            if let Some(cert) = outcome.observed_certificate() {
-                records.push(ZgrabRecord {
-                    ip: addr,
-                    port,
-                    certificate: cert.clone(),
-                });
-            }
-        }
+        // The grab itself shards over the (already shuffled) target list;
+        // the final sort makes the output independent of both the shuffle
+        // and the sharding, so parallel runs stay byte-identical. Probe
+        // accounting is summed per shard and applied after the join.
+        let (mut records, probes) = iotmap_par::shard_fold(
+            &targets,
+            |_ctx| (Vec::new(), 0u64),
+            |(records, probes): &mut (Vec<ZgrabRecord>, u64), _i, (addr, port)| {
+                *probes += 1;
+                let Some(endpoint) = view.tls_endpoint(IpAddr::V6(*addr), *port) else {
+                    return;
+                };
+                let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
+                if let Some(cert) = outcome.observed_certificate() {
+                    records.push(ZgrabRecord {
+                        ip: *addr,
+                        port: *port,
+                        certificate: cert.clone(),
+                    });
+                }
+            },
+            |a, b| {
+                a.0.extend(b.0);
+                a.1 += b.1;
+            },
+        );
+        self.policy.record_probes(probes);
         records.sort_by_key(|r| (r.ip, r.port.port));
         iotmap_obs::count!("scan.zgrab.certs_parsed", records.len() as u64);
         records

@@ -7,27 +7,22 @@
 //! ```
 
 use iotmap::core::disruptions::{BlocklistAudit, IncidentAudit, IncidentKind, RouteIncident};
-use iotmap::core::{DataSources, DiscoveryPipeline, PatternRegistry};
+use iotmap::prelude::*;
 use iotmap::traffic::cascade_impact;
-use iotmap::world::{BgpStreamEventKind, World, WorldConfig};
+use iotmap::world::BgpStreamEventKind;
 use std::collections::BTreeMap;
 use std::net::IpAddr;
 
 fn main() {
     let config = WorldConfig::small(42);
-    println!("generating world and running discovery …");
-    let world = World::generate(&config);
-    let period = world.config.study_period;
-    let scans = world.collect_scan_data(period);
-    let sources = DataSources {
-        censys: &scans.censys,
-        zgrab_v6: &scans.zgrab_v6,
-        passive_dns: &world.passive_dns,
-        zones: &world.zones,
-        routeviews: &world.bgp,
-        latency: None,
-    };
-    let discovery = DiscoveryPipeline::new(PatternRegistry::paper_defaults()).run(&sources, period);
+    println!("preparing pipeline …");
+    let artifacts = Pipeline::new(config)
+        .threads(0)
+        .run()
+        .expect("built-in patterns are valid");
+    let world = &artifacts.world;
+    let sources = artifacts.sources();
+    let discovery = &artifacts.discovery;
 
     // --- Routing incidents (BGPStream-style feed).
     let incidents: Vec<RouteIncident> = world
@@ -44,7 +39,7 @@ fn main() {
             asn: e.asn,
         })
         .collect();
-    let audit = IncidentAudit::run(&incidents, &discovery, &sources);
+    let audit = IncidentAudit::run(&incidents, discovery, &sources);
     println!(
         "\nBGP incidents this week: {} — backend prefixes hit: {}, backend ASes hit: {} → {}",
         audit.total_incidents,
@@ -64,7 +59,7 @@ fn main() {
         .iter()
         .map(|h| (h.ip, h.categories.iter().map(|c| c.to_string()).collect()))
         .collect();
-    let blocklist = BlocklistAudit::run(&discovery, &firehol.set, &categories);
+    let blocklist = BlocklistAudit::run(discovery, &firehol.set, &categories);
     println!(
         "\nFireHOL aggregate holds {} addresses; {} discovered backend IPs are on it:",
         firehol.set.len(),
@@ -83,7 +78,7 @@ fn main() {
         "Akamai Technologies",
     ];
     println!("\ncloud-dependency cascade (share of footprint lost if the operator fails):");
-    for dep in cascade_impact(&discovery, &sources, &orgs) {
+    for dep in cascade_impact(discovery, &sources, &orgs) {
         let shares: Vec<String> = orgs
             .iter()
             .filter_map(|o| {

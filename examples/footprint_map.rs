@@ -7,40 +7,28 @@
 //! ```
 
 use iotmap::core::report::table1;
-use iotmap::core::{
-    Characterizer, DataSources, DiscoveryPipeline, FootprintInference, PatternRegistry,
-    StabilityAnalysis,
-};
-use iotmap::nettypes::Date;
-use iotmap::world::{World, WorldConfig};
+use iotmap::core::{Characterizer, StabilityAnalysis};
+use iotmap::prelude::*;
 
 fn main() {
     let config = WorldConfig::small(42);
-    println!("generating world and collecting data …");
-    let world = World::generate(&config);
-    let period = world.config.study_period;
-    let scans = world.collect_scan_data(period);
-    let prober = iotmap::world::view::WorldLatencyProber { world: &world };
-    let sources = DataSources {
-        censys: &scans.censys,
-        zgrab_v6: &scans.zgrab_v6,
-        passive_dns: &world.passive_dns,
-        zones: &world.zones,
-        routeviews: &world.bgp,
-        latency: Some(&prober),
-    };
-
+    println!("preparing pipeline …");
+    let artifacts = Pipeline::new(config)
+        .threads(0)
+        .run()
+        .expect("built-in patterns are valid");
+    let sources = artifacts.sources();
+    let result = &artifacts.discovery;
     let registry = PatternRegistry::paper_defaults();
-    let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
-    let result = pipeline.run(&sources, period);
 
     // Per-provider footprints: majority vote across domain hints,
     // announcement geofeeds, scanner geolocation and looking-glass RTTs.
-    println!("inferring footprints …");
     let mut rows = Vec::new();
     for patterns in registry.providers() {
         let discovery = result.get(patterns.name).expect("provider discovered");
-        let footprint = FootprintInference::infer(discovery, &sources);
+        // The pipeline already inferred footprints (with the looking-glass
+        // prober wired in); reuse them instead of re-deriving.
+        let footprint = &artifacts.footprints[patterns.name];
         if footprint.contested_fraction() > 0.0 {
             println!(
                 "  {}: location sources disagreed on {:.1}% of IPs (majority vote applied)",
@@ -48,9 +36,7 @@ fn main() {
                 footprint.contested_fraction() * 100.0
             );
         }
-        rows.push(Characterizer::row(
-            patterns, discovery, &footprint, &sources,
-        ));
+        rows.push(Characterizer::row(patterns, discovery, footprint, &sources));
     }
 
     println!("\nTable 1 (as measured on the synthetic Internet):\n");

@@ -6,57 +6,30 @@
 //! cargo run --release --example isp_traffic
 //! ```
 
-use iotmap::core::{
-    DataSources, DiscoveryPipeline, FootprintInference, PatternRegistry, SharedIpClassifier,
-};
+use iotmap::prelude::*;
 use iotmap::traffic::{
-    analysis::BUCKET_LABELS, visibility_per_provider, AnalysisSink, Anonymization, ContactSink,
-    IpIndex, ScannerAnalysis,
+    analysis::BUCKET_LABELS, visibility_per_provider, Anonymization, ScannerAnalysis,
 };
-use iotmap::world::{TrafficSimulator, World, WorldConfig};
-use std::collections::{HashMap, HashSet};
 
 fn main() {
     let config = WorldConfig::small(42);
-    println!("generating world and running discovery …");
-    let world = World::generate(&config);
-    let period = world.config.study_period;
-    let scans = world.collect_scan_data(period);
-    let sources = DataSources {
-        censys: &scans.censys,
-        zgrab_v6: &scans.zgrab_v6,
-        passive_dns: &world.passive_dns,
-        zones: &world.zones,
-        routeviews: &world.bgp,
-        latency: None,
-    };
-    let registry = PatternRegistry::paper_defaults();
-    let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
-    let discovery = pipeline.run(&sources, period);
-
-    // §3.4: exclude shared infrastructure, then build the per-flow index
-    // with footprint locations attached.
-    let classifier = SharedIpClassifier::new(&registry);
-    let mut footprints = HashMap::new();
-    let mut shared = HashSet::new();
-    for (name, disc) in discovery.per_provider() {
-        footprints.insert(name.to_string(), FootprintInference::infer(disc, &sources));
-        let (_, s) = classifier.split_provider(disc, &world.passive_dns, period);
-        shared.extend(s.keys().copied());
-    }
-    let index = IpIndex::build(&discovery, &footprints, &shared);
+    println!("preparing pipeline (discovery, footprints, shared-IP pruning) …");
+    let artifacts = Pipeline::new(config)
+        .threads(0)
+        .run()
+        .expect("built-in patterns are valid");
+    let period = artifacts.world.config.study_period;
+    let index = &artifacts.index;
     println!(
         "  {} backend IPs indexed ({} shared IPs excluded per §3.4)",
         index.len(),
-        shared.len()
+        artifacts.shared_ips.len()
     );
 
     // Pass 1 (§5.2): per-line contact sets → scanner exclusion.
     println!("simulating a week of ISP traffic (pass 1: contacts) …");
-    let sim = TrafficSimulator::new(&world);
-    let mut contacts = ContactSink::new(&index);
-    sim.run(period, &mut contacts);
-    let scanner_analysis = ScannerAnalysis::new(&index, &contacts);
+    let contacts = artifacts.contact_pass(period);
+    let scanner_analysis = ScannerAnalysis::new(index, &contacts);
     println!("\nFig. 5 — scanner threshold vs excluded lines / visibility:");
     for point in scanner_analysis.curve(&[10, 50, 100, 500]) {
         println!(
@@ -70,7 +43,7 @@ fn main() {
 
     // Fig. 6 — per-platform visibility (anonymized per §3.7).
     let anon = Anonymization::paper();
-    let mut vis = visibility_per_provider(&index, &contacts, &excluded);
+    let mut vis = visibility_per_provider(index, &contacts, &excluded);
     vis.sort_by_key(|v| anon.label(&v.provider));
     println!("\nFig. 6 — visible share of each platform's backends:");
     for v in &vis {
@@ -87,9 +60,7 @@ fn main() {
 
     // Pass 2: the full analysis report.
     println!("\nsimulating the week again (pass 2: analyses) …");
-    let mut sink = AnalysisSink::new(&index, &excluded, period);
-    sim.run(period, &mut sink);
-    let report = sink.into_report();
+    let report = artifacts.analysis_pass(period, &excluded);
 
     println!("\nFig. 10 — downstream/upstream asymmetry:");
     for p in report.providers() {

@@ -7,55 +7,26 @@
 //! cargo run --release --example outage_replay
 //! ```
 
-use iotmap::core::{
-    DataSources, DiscoveryPipeline, FootprintInference, PatternRegistry, SharedIpClassifier,
-};
-use iotmap::nettypes::StudyPeriod;
-use iotmap::traffic::{AnalysisSink, ContactSink, IpIndex, RegionGroup, ScannerAnalysis};
-use iotmap::world::{TrafficSimulator, World, WorldConfig};
-use std::collections::{HashMap, HashSet};
+use iotmap::prelude::*;
+use iotmap::traffic::RegionGroup;
 
 fn main() {
     // The outage sits in the December 2021 preliminary week.
     let config = WorldConfig::small(42).with_outage_week();
-    println!("generating world; outage window: {:?} …", {
+    println!("preparing pipeline; outage window: {:?} …", {
         let w = StudyPeriod::aws_outage_window();
         (w.start.to_string(), w.end.to_string())
     });
-    let world = World::generate(&config);
-    let period = world.config.study_period;
-
     // Discovery as usual (the backend map does not care which week it is).
-    let scans = world.collect_scan_data(period);
-    let sources = DataSources {
-        censys: &scans.censys,
-        zgrab_v6: &scans.zgrab_v6,
-        passive_dns: &world.passive_dns,
-        zones: &world.zones,
-        routeviews: &world.bgp,
-        latency: None,
-    };
-    let registry = PatternRegistry::paper_defaults();
-    let discovery = DiscoveryPipeline::new(PatternRegistry::paper_defaults()).run(&sources, period);
-    let classifier = SharedIpClassifier::new(&registry);
-    let mut footprints = HashMap::new();
-    let mut shared = HashSet::new();
-    for (name, disc) in discovery.per_provider() {
-        footprints.insert(name.to_string(), FootprintInference::infer(disc, &sources));
-        let (_, s) = classifier.split_provider(disc, &world.passive_dns, period);
-        shared.extend(s.keys().copied());
-    }
-    let index = IpIndex::build(&discovery, &footprints, &shared);
+    let artifacts = Pipeline::new(config)
+        .threads(0)
+        .run()
+        .expect("built-in patterns are valid");
+    let period = artifacts.world.config.study_period;
 
     // Traffic passes over the outage week.
     println!("simulating the outage week …");
-    let sim = TrafficSimulator::new(&world);
-    let mut contacts = ContactSink::new(&index);
-    sim.run(period, &mut contacts);
-    let excluded = ScannerAnalysis::new(&index, &contacts).flagged_lines(100);
-    let mut sink = AnalysisSink::new(&index, &excluded, period);
-    sim.run(period, &mut sink);
-    let report = sink.into_report();
+    let (report, _excluded) = artifacts.full_traffic_analysis(period);
 
     // T1 = the platform of the affected cloud (Amazon IoT).
     let window = StudyPeriod::aws_outage_window();

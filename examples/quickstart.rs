@@ -1,57 +1,42 @@
 //! Quickstart: build a synthetic Internet, run the paper's discovery
-//! methodology against it, and print what was found.
+//! methodology against it, and print what was found — all through the
+//! `Pipeline` front door.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use iotmap::core::{DataSources, DiscoveryPipeline, PatternRegistry, Source};
-use iotmap::world::{World, WorldConfig};
+use iotmap::prelude::*;
 
 fn main() {
     // A small deterministic world: ~5k subscriber lines, 1/16 of the
     // paper's backend address space. Change the seed and everything
-    // changes; keep it and every run is identical.
+    // changes; keep it and every run is identical — on any thread count.
     let config = WorldConfig::small(42);
-    println!("generating world (seed {}) …", config.seed);
-    let world = World::generate(&config);
-    let period = world.config.study_period;
+    println!("preparing pipeline (seed {}) …", config.seed);
+    let artifacts = Pipeline::new(config)
+        .threads(0) // all cores; output is byte-identical to --threads 1
+        .run()
+        .expect("built-in patterns are valid");
+    let world = &artifacts.world;
     println!(
         "  {} gateway servers across {} providers; ISP with {} subscriber lines",
         world.servers.len(),
         world.providers.len(),
         world.isp.lines.len()
     );
-
-    // Run the measurement instruments: daily Censys-style sweeps and the
-    // IPv6 hitlist campaign (§3.3 of the paper).
-    println!("collecting scan data …");
-    let scans = world.collect_scan_data(period);
     println!(
         "  {} daily snapshots, {} IPv6 banner grabs",
-        scans.censys.len(),
-        scans.zgrab_v6.len()
+        artifacts.scans.censys.len(),
+        artifacts.scans.zgrab_v6.len()
     );
-
-    // Wire the data sources and run the discovery pipeline.
-    let sources = DataSources {
-        censys: &scans.censys,
-        zgrab_v6: &scans.zgrab_v6,
-        passive_dns: &world.passive_dns,
-        zones: &world.zones,
-        routeviews: &world.bgp,
-        latency: None,
-    };
-    let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
-    println!("running discovery …");
-    let result = pipeline.run(&sources, period);
 
     println!(
         "\n{:<12} {:>6} {:>6}  top source",
         "provider", "IPv4", "IPv6"
     );
     println!("{}", "-".repeat(48));
-    for (name, discovery) in result.per_provider() {
+    for (name, discovery) in artifacts.discovery.per_provider() {
         let v4 = discovery.v4_ips().count();
         let v6 = discovery.v6_ips().count();
         // Which single channel contributed the most exclusive discoveries?
@@ -68,7 +53,7 @@ fn main() {
     // ground truth — the pipeline itself never does.)
     let mut found = 0usize;
     let mut truth = 0usize;
-    for (name, discovery) in result.per_provider() {
+    for (name, discovery) in artifacts.discovery.per_provider() {
         let pidx = world.provider_index(name);
         let documented = world.documented_v4(pidx);
         truth += documented.len();

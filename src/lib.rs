@@ -22,32 +22,32 @@
 //! | [`world`] | `iotmap-world` | the synthetic Internet ground truth |
 //! | [`core`] | `iotmap-core` | the paper's discovery & characterization pipeline |
 //! | [`traffic`] | `iotmap-traffic` | the ISP-side traffic analyses |
+//! | [`par`] | `iotmap-par` | deterministic std-only parallel execution |
+//!
+//! and adds the front door itself: [`Pipeline`], which wires world-build →
+//! discovery → footprint inference → shared-IP classification behind one
+//! builder, and [`prelude`] for the types a typical caller needs.
 //!
 //! ## Quickstart
 //!
 //! ```no_run
-//! use iotmap::world::{World, WorldConfig};
-//! use iotmap::core::{DataSources, DiscoveryPipeline, PatternRegistry};
+//! use iotmap::prelude::*;
 //!
-//! // Build a deterministic synthetic Internet.
-//! let world = World::generate(&WorldConfig::small(42));
-//! let period = world.config.study_period;
-//!
-//! // Run the measurement instruments, then the paper's methodology.
-//! let scans = world.collect_scan_data(period);
-//! let sources = DataSources {
-//!     censys: &scans.censys,
-//!     zgrab_v6: &scans.zgrab_v6,
-//!     passive_dns: &world.passive_dns,
-//!     zones: &world.zones,
-//!     routeviews: &world.bgp,
-//!     latency: None,
-//! };
-//! let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
-//! let discovered = pipeline.run(&sources, period);
-//! for (provider, discovery) in discovered.per_provider() {
+//! // Build a deterministic synthetic Internet and run the paper's
+//! // methodology over it — on 4 worker threads, byte-identical to a
+//! // serial run.
+//! let artifacts = Pipeline::new(WorldConfig::small(42))
+//!     .threads(4)
+//!     .run()
+//!     .expect("pipeline");
+//! for (provider, discovery) in artifacts.discovery.per_provider() {
 //!     println!("{provider}: {} backend IPs", discovery.ips.len());
 //! }
+//! // Traffic passes ride on the prepared artifacts (§5).
+//! let period = artifacts.world.config.study_period;
+//! let (report, excluded) = artifacts.full_traffic_analysis(period);
+//! println!("{} scanner lines excluded", excluded.len());
+//! # let _ = report;
 //! ```
 //!
 //! See `examples/` for complete, runnable scenarios and `DESIGN.md` /
@@ -58,8 +58,201 @@ pub use iotmap_dns as dns;
 pub use iotmap_dregex as dregex;
 pub use iotmap_netflow as netflow;
 pub use iotmap_nettypes as nettypes;
+pub use iotmap_par as par;
 pub use iotmap_scan as scan;
 pub use iotmap_stats as stats;
 pub use iotmap_tls as tls;
 pub use iotmap_traffic as traffic;
 pub use iotmap_world as world;
+
+use iotmap_core::{
+    DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, FootprintInference,
+    PatternRegistry, SharedIpClassifier,
+};
+use iotmap_netflow::LineId;
+use iotmap_nettypes::{Error, StudyPeriod};
+use iotmap_traffic::{AnalysisReport, AnalysisSink, ContactSink, IpIndex, ScannerAnalysis};
+use iotmap_world::view::WorldLatencyProber;
+use iotmap_world::{CollectedScans, TrafficSimulator, World, WorldConfig};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// The scanner-exclusion threshold the paper settles on (§5.2).
+pub const SCANNER_THRESHOLD: usize = 100;
+
+/// The pipeline front door: configure once, run every prepared stage.
+///
+/// `Pipeline` wires the §3 + §4 part of the study — world generation,
+/// the measurement instruments, multi-source discovery, footprint
+/// inference, and shared-IP classification — behind one builder:
+///
+/// ```no_run
+/// # use iotmap::prelude::*;
+/// let artifacts = Pipeline::new(WorldConfig::small(42)).threads(4).run()?;
+/// # Ok::<(), Error>(())
+/// ```
+///
+/// The thread count feeds `iotmap-par`; any value produces byte-identical
+/// artifacts (the engine's determinism contract), so `threads(n)` is purely
+/// a wall-clock knob. `0` means "all available cores". The default comes
+/// from the `IOTMAP_THREADS` environment variable when set, otherwise from
+/// the calling thread's current `iotmap_par` budget (serial unless raised).
+pub struct Pipeline {
+    config: WorldConfig,
+    threads: usize,
+}
+
+impl Pipeline {
+    /// A pipeline over one world configuration.
+    pub fn new(config: WorldConfig) -> Pipeline {
+        let threads = std::env::var("IOTMAP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(iotmap_par::threads);
+        Pipeline { config, threads }
+    }
+
+    /// Set the worker-thread budget (`0` = all available cores).
+    pub fn threads(mut self, n: usize) -> Pipeline {
+        self.threads = n;
+        self
+    }
+
+    /// Run world-build → scan collection → discovery → footprints →
+    /// shared-IP classification, producing the [`RunArtifacts`] every
+    /// experiment and traffic pass builds on.
+    pub fn run(self) -> Result<RunArtifacts, Error> {
+        let registry = PatternRegistry::try_paper_defaults()?;
+        Ok(iotmap_par::with_threads(self.threads, || {
+            Pipeline::build(&self.config, registry)
+        }))
+    }
+
+    fn build(config: &WorldConfig, registry: PatternRegistry) -> RunArtifacts {
+        let _span = iotmap_obs::span!("experiment.prepare");
+        let world = World::generate(config);
+        let period = config.study_period;
+        let scans = world.collect_scan_data(period);
+        let prober = WorldLatencyProber { world: &world };
+        let pipeline = DiscoveryPipeline::new(registry);
+        let discovery = {
+            let sources = DataSources {
+                censys: &scans.censys,
+                zgrab_v6: &scans.zgrab_v6,
+                passive_dns: &world.passive_dns,
+                zones: &world.zones,
+                routeviews: &world.bgp,
+                latency: Some(&prober),
+            };
+            pipeline.run(&sources, period)
+        };
+
+        // Footprints and shared-IP classification.
+        let fp_span = iotmap_obs::span!("experiment.footprints");
+        let classifier = SharedIpClassifier::new(pipeline.registry());
+        let mut footprints = HashMap::new();
+        let mut shared_ips = HashSet::new();
+        {
+            let sources = DataSources {
+                censys: &scans.censys,
+                zgrab_v6: &scans.zgrab_v6,
+                passive_dns: &world.passive_dns,
+                zones: &world.zones,
+                routeviews: &world.bgp,
+                latency: Some(&prober),
+            };
+            for (name, disc) in discovery.per_provider() {
+                footprints.insert(name.to_string(), FootprintInference::infer(disc, &sources));
+                let (_, shared) = classifier.split_provider(disc, &world.passive_dns, period);
+                shared_ips.extend(shared.keys().copied());
+            }
+        }
+        fp_span.exit();
+
+        let index = IpIndex::build(&discovery, &footprints, &shared_ips);
+        RunArtifacts {
+            world,
+            scans,
+            discovery,
+            footprints,
+            shared_ips,
+            index,
+        }
+    }
+}
+
+/// Everything a [`Pipeline`] run produced: the world, the collected scan
+/// data, the discovery result, and the derived analyses. The traffic
+/// passes (§5) live here too, because they re-walk the prepared world.
+pub struct RunArtifacts {
+    pub world: World,
+    pub scans: CollectedScans,
+    pub discovery: DiscoveryResult,
+    pub footprints: HashMap<String, Footprint>,
+    pub shared_ips: HashSet<IpAddr>,
+    pub index: IpIndex,
+}
+
+impl RunArtifacts {
+    /// Borrow fresh data sources (for analyses that need them later).
+    pub fn sources(&self) -> DataSources<'_> {
+        DataSources {
+            censys: &self.scans.censys,
+            zgrab_v6: &self.scans.zgrab_v6,
+            passive_dns: &self.world.passive_dns,
+            zones: &self.world.zones,
+            routeviews: &self.world.bgp,
+            latency: None,
+        }
+    }
+
+    /// First traffic pass: per-line backend contact sets over a period.
+    pub fn contact_pass(&self, period: StudyPeriod) -> ContactSink<'_> {
+        let _span = iotmap_obs::span!("traffic.contact_pass");
+        let sim = TrafficSimulator::new(&self.world);
+        let mut sink = ContactSink::new(&self.index);
+        sim.run(period, &mut sink);
+        sink
+    }
+
+    /// Scanner exclusion at the paper's threshold.
+    pub fn excluded_lines(&self, contacts: &ContactSink<'_>) -> HashSet<LineId> {
+        let _span = iotmap_obs::span!("traffic.scanner_exclusion");
+        let analysis = ScannerAnalysis::new(&self.index, contacts);
+        let flagged = analysis.flagged_lines(SCANNER_THRESHOLD);
+        iotmap_obs::gauge!("traffic.scanner.lines_excluded", flagged.len() as i64);
+        flagged
+    }
+
+    /// Second traffic pass: the full analysis report with scanners
+    /// excluded.
+    pub fn analysis_pass(&self, period: StudyPeriod, excluded: &HashSet<LineId>) -> AnalysisReport {
+        let _span = iotmap_obs::span!("traffic.analysis_pass");
+        let sim = TrafficSimulator::new(&self.world);
+        let mut sink = AnalysisSink::new(&self.index, excluded, period);
+        sim.run(period, &mut sink);
+        sink.into_report()
+    }
+
+    /// Convenience: contact pass → exclusion → analysis pass.
+    pub fn full_traffic_analysis(&self, period: StudyPeriod) -> (AnalysisReport, HashSet<LineId>) {
+        let contacts = self.contact_pass(period);
+        let excluded = self.excluded_lines(&contacts);
+        (self.analysis_pass(period, &excluded), excluded)
+    }
+}
+
+/// The ~15 types a typical caller needs, in one import:
+/// `use iotmap::prelude::*;`.
+pub mod prelude {
+    pub use crate::{Pipeline, RunArtifacts, SCANNER_THRESHOLD};
+    pub use iotmap_core::{
+        DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, PatternRegistry,
+        ProviderDiscovery, Source,
+    };
+    pub use iotmap_nettypes::{Date, DomainName, Error, SimRng, StudyPeriod};
+    pub use iotmap_obs::{Recorder, Registry, RunReport};
+    pub use iotmap_par::{set_threads, with_threads};
+    pub use iotmap_traffic::AnalysisReport;
+    pub use iotmap_world::{CollectedScans, World, WorldConfig};
+}

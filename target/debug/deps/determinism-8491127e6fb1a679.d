@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8491127e6fb1a679.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8491127e6fb1a679: tests/determinism.rs
+
+tests/determinism.rs:

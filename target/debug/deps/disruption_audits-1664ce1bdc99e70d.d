@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disruption_audits-1664ce1bdc99e70d.d: tests/disruption_audits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisruption_audits-1664ce1bdc99e70d.rmeta: tests/disruption_audits.rs Cargo.toml
+
+tests/disruption_audits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp-0087c3bf52dad27b.d: crates/bench/src/bin/exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp-0087c3bf52dad27b.rmeta: crates/bench/src/bin/exp.rs Cargo.toml
+
+crates/bench/src/bin/exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

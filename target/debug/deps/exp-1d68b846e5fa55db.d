@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp-1d68b846e5fa55db.d: crates/bench/src/bin/exp.rs
+
+/root/repo/target/debug/deps/exp-1d68b846e5fa55db: crates/bench/src/bin/exp.rs
+
+crates/bench/src/bin/exp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp-e2fcd7fcafa53487.d: crates/bench/src/bin/exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp-e2fcd7fcafa53487.rmeta: crates/bench/src/bin/exp.rs Cargo.toml
+
+crates/bench/src/bin/exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

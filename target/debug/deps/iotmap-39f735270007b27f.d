@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iotmap-39f735270007b27f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap-39f735270007b27f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap-39f735270007b27f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iotmap_bench-3314215be643d455.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_bench-3314215be643d455.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iotmap_bench-9052133dd3b5d27e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap_bench-9052133dd3b5d27e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap_bench-9052133dd3b5d27e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

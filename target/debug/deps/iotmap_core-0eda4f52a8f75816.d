@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/iotmap_core-0eda4f52a8f75816.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/discovery.rs crates/core/src/disruptions.rs crates/core/src/footprint.rs crates/core/src/monitor.rs crates/core/src/patterns.rs crates/core/src/ports.rs crates/core/src/report.rs crates/core/src/sources.rs crates/core/src/stability.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_core-0eda4f52a8f75816.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/discovery.rs crates/core/src/disruptions.rs crates/core/src/footprint.rs crates/core/src/monitor.rs crates/core/src/patterns.rs crates/core/src/ports.rs crates/core/src/report.rs crates/core/src/sources.rs crates/core/src/stability.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/discovery.rs:
+crates/core/src/disruptions.rs:
+crates/core/src/footprint.rs:
+crates/core/src/monitor.rs:
+crates/core/src/patterns.rs:
+crates/core/src/ports.rs:
+crates/core/src/report.rs:
+crates/core/src/sources.rs:
+crates/core/src/stability.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

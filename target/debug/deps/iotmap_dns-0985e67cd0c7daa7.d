@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iotmap_dns-0985e67cd0c7daa7.d: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+/root/repo/target/debug/deps/libiotmap_dns-0985e67cd0c7daa7.rlib: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+/root/repo/target/debug/deps/libiotmap_dns-0985e67cd0c7daa7.rmeta: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/active.rs:
+crates/dns/src/passive.rs:
+crates/dns/src/rdns.rs:
+crates/dns/src/record.rs:
+crates/dns/src/resolver.rs:
+crates/dns/src/zone.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iotmap_dns-5c2e67aff152866d.d: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+/root/repo/target/debug/deps/iotmap_dns-5c2e67aff152866d: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/active.rs:
+crates/dns/src/passive.rs:
+crates/dns/src/rdns.rs:
+crates/dns/src/record.rs:
+crates/dns/src/resolver.rs:
+crates/dns/src/zone.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/iotmap_dns-80b3689ae69c3e61.d: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_dns-80b3689ae69c3e61.rmeta: crates/dns/src/lib.rs crates/dns/src/active.rs crates/dns/src/passive.rs crates/dns/src/rdns.rs crates/dns/src/record.rs crates/dns/src/resolver.rs crates/dns/src/zone.rs Cargo.toml
+
+crates/dns/src/lib.rs:
+crates/dns/src/active.rs:
+crates/dns/src/passive.rs:
+crates/dns/src/rdns.rs:
+crates/dns/src/record.rs:
+crates/dns/src/resolver.rs:
+crates/dns/src/zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

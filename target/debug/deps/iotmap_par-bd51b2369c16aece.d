@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iotmap_par-bd51b2369c16aece.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/iotmap_par-bd51b2369c16aece: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iotmap_par-e2f36bae76f579f0.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap_par-e2f36bae76f579f0.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libiotmap_par-e2f36bae76f579f0.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

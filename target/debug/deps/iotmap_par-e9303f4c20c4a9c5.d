@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iotmap_par-e9303f4c20c4a9c5.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_par-e9303f4c20c4a9c5.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iotmap_scan-4da121afcb411c1e.d: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+/root/repo/target/debug/deps/iotmap_scan-4da121afcb411c1e: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/censys.rs:
+crates/scan/src/ethics.rs:
+crates/scan/src/hitlist.rs:
+crates/scan/src/lookingglass.rs:
+crates/scan/src/target.rs:
+crates/scan/src/zgrab.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iotmap_scan-9ea2ecad1863e837.d: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+/root/repo/target/debug/deps/libiotmap_scan-9ea2ecad1863e837.rlib: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+/root/repo/target/debug/deps/libiotmap_scan-9ea2ecad1863e837.rmeta: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/censys.rs:
+crates/scan/src/ethics.rs:
+crates/scan/src/hitlist.rs:
+crates/scan/src/lookingglass.rs:
+crates/scan/src/target.rs:
+crates/scan/src/zgrab.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iotmap_traffic-3fb83404468ca2eb.d: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/debug/deps/libiotmap_traffic-3fb83404468ca2eb.rlib: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/debug/deps/libiotmap_traffic-3fb83404468ca2eb.rmeta: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/analysis.rs:
+crates/traffic/src/anonymize.rs:
+crates/traffic/src/index.rs:
+crates/traffic/src/scanners.rs:
+crates/traffic/src/visibility.rs:
+crates/traffic/src/whatif.rs:

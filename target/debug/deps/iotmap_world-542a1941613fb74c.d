@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/iotmap_world-542a1941613fb74c.d: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+/root/repo/target/debug/deps/libiotmap_world-542a1941613fb74c.rlib: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+/root/repo/target/debug/deps/libiotmap_world-542a1941613fb74c.rmeta: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+crates/world/src/lib.rs:
+crates/world/src/build.rs:
+crates/world/src/clouds.rs:
+crates/world/src/collect.rs:
+crates/world/src/config.rs:
+crates/world/src/events.rs:
+crates/world/src/geodb.rs:
+crates/world/src/isp.rs:
+crates/world/src/providers.rs:
+crates/world/src/server.rs:
+crates/world/src/traffic.rs:
+crates/world/src/view.rs:

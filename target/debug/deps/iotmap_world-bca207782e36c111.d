@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/iotmap_world-bca207782e36c111.d: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotmap_world-bca207782e36c111.rmeta: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs Cargo.toml
+
+crates/world/src/lib.rs:
+crates/world/src/build.rs:
+crates/world/src/clouds.rs:
+crates/world/src/collect.rs:
+crates/world/src/config.rs:
+crates/world/src/events.rs:
+crates/world/src/geodb.rs:
+crates/world/src/isp.rs:
+crates/world/src/providers.rs:
+crates/world/src/server.rs:
+crates/world/src/traffic.rs:
+crates/world/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/obs_metrics-9fc608ab0411ddca.d: crates/bench/tests/obs_metrics.rs crates/bench/tests/golden/metrics_keys.txt Cargo.toml
+
+/root/repo/target/debug/deps/libobs_metrics-9fc608ab0411ddca.rmeta: crates/bench/tests/obs_metrics.rs crates/bench/tests/golden/metrics_keys.txt Cargo.toml
+
+crates/bench/tests/obs_metrics.rs:
+crates/bench/tests/golden/metrics_keys.txt:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_exp=placeholder:exp
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

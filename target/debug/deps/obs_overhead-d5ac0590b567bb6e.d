@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_overhead-d5ac0590b567bb6e.d: crates/bench/tests/obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_overhead-d5ac0590b567bb6e.rmeta: crates/bench/tests/obs_overhead.rs Cargo.toml
+
+crates/bench/tests/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/outage_replay-89a9df10b4a3fd6a.d: tests/outage_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboutage_replay-89a9df10b4a3fd6a.rmeta: tests/outage_replay.rs Cargo.toml
+
+tests/outage_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-4157ec973dfe2ed0.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-4157ec973dfe2ed0: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

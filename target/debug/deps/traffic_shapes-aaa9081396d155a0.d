@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traffic_shapes-aaa9081396d155a0.d: tests/traffic_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic_shapes-aaa9081396d155a0.rmeta: tests/traffic_shapes.rs Cargo.toml
+
+tests/traffic_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disruption_audit-171d5a75c0cd64c5.d: examples/disruption_audit.rs
+
+/root/repo/target/debug/examples/disruption_audit-171d5a75c0cd64c5: examples/disruption_audit.rs
+
+examples/disruption_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disruption_audit-e0457832ad4c9f03.d: examples/disruption_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisruption_audit-e0457832ad4c9f03.rmeta: examples/disruption_audit.rs Cargo.toml
+
+examples/disruption_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/footprint_map-bdacdd102a30d3a6.d: examples/footprint_map.rs
+
+/root/repo/target/debug/examples/footprint_map-bdacdd102a30d3a6: examples/footprint_map.rs
+
+examples/footprint_map.rs:

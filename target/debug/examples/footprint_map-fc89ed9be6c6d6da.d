@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/footprint_map-fc89ed9be6c6d6da.d: examples/footprint_map.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfootprint_map-fc89ed9be6c6d6da.rmeta: examples/footprint_map.rs Cargo.toml
+
+examples/footprint_map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

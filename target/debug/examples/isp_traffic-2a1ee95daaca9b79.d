@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isp_traffic-2a1ee95daaca9b79.d: examples/isp_traffic.rs
+
+/root/repo/target/debug/examples/isp_traffic-2a1ee95daaca9b79: examples/isp_traffic.rs
+
+examples/isp_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/isp_traffic-e6e2c3bf269974f5.d: examples/isp_traffic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libisp_traffic-e6e2c3bf269974f5.rmeta: examples/isp_traffic.rs Cargo.toml
+
+examples/isp_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/outage_replay-0cb1f68f416fcdd4.d: examples/outage_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboutage_replay-0cb1f68f416fcdd4.rmeta: examples/outage_replay.rs Cargo.toml
+
+examples/outage_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/outage_replay-b38fae6e1df09982.d: examples/outage_replay.rs
+
+/root/repo/target/debug/examples/outage_replay-b38fae6e1df09982: examples/outage_replay.rs
+
+examples/outage_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3d19b15cf8829c88.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3d19b15cf8829c88: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libiotmap_obs.rlib: /root/repo/crates/obs/src/lib.rs /root/repo/crates/obs/src/metrics.rs /root/repo/crates/obs/src/report.rs /root/repo/crates/obs/src/span.rs

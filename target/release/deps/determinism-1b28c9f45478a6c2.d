@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-1b28c9f45478a6c2.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-1b28c9f45478a6c2: tests/determinism.rs
+
+tests/determinism.rs:

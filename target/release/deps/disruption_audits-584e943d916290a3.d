@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disruption_audits-584e943d916290a3.d: tests/disruption_audits.rs
+
+/root/repo/target/release/deps/disruption_audits-584e943d916290a3: tests/disruption_audits.rs
+
+tests/disruption_audits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp-40acb0c5378ac7d3.d: crates/bench/src/bin/exp.rs
+
+/root/repo/target/release/deps/exp-40acb0c5378ac7d3: crates/bench/src/bin/exp.rs
+
+crates/bench/src/bin/exp.rs:

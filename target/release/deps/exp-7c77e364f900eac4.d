@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp-7c77e364f900eac4.d: crates/bench/src/bin/exp.rs
+
+/root/repo/target/release/deps/exp-7c77e364f900eac4: crates/bench/src/bin/exp.rs
+
+crates/bench/src/bin/exp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iotmap-b625623002c8ee89.d: src/lib.rs
+
+/root/repo/target/release/deps/libiotmap-b625623002c8ee89.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libiotmap-b625623002c8ee89.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iotmap-bb59de0c1f925372.d: src/lib.rs
+
+/root/repo/target/release/deps/iotmap-bb59de0c1f925372: src/lib.rs
+
+src/lib.rs:

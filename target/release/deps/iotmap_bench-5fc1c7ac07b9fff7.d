@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iotmap_bench-5fc1c7ac07b9fff7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/iotmap_bench-5fc1c7ac07b9fff7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

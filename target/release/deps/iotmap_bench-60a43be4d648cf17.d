@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iotmap_bench-60a43be4d648cf17.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libiotmap_bench-60a43be4d648cf17.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libiotmap_bench-60a43be4d648cf17.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

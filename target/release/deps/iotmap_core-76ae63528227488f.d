@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/iotmap_core-76ae63528227488f.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/discovery.rs crates/core/src/disruptions.rs crates/core/src/footprint.rs crates/core/src/monitor.rs crates/core/src/patterns.rs crates/core/src/ports.rs crates/core/src/report.rs crates/core/src/sources.rs crates/core/src/stability.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/iotmap_core-76ae63528227488f: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/discovery.rs crates/core/src/disruptions.rs crates/core/src/footprint.rs crates/core/src/monitor.rs crates/core/src/patterns.rs crates/core/src/ports.rs crates/core/src/report.rs crates/core/src/sources.rs crates/core/src/stability.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/discovery.rs:
+crates/core/src/disruptions.rs:
+crates/core/src/footprint.rs:
+crates/core/src/monitor.rs:
+crates/core/src/patterns.rs:
+crates/core/src/ports.rs:
+crates/core/src/report.rs:
+crates/core/src/sources.rs:
+crates/core/src/stability.rs:
+crates/core/src/validate.rs:

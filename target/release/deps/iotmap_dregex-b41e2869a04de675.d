@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iotmap_dregex-b41e2869a04de675.d: crates/dregex/src/lib.rs crates/dregex/src/ast.rs crates/dregex/src/backtrack.rs crates/dregex/src/classes.rs crates/dregex/src/compile.rs crates/dregex/src/parser.rs crates/dregex/src/prog.rs crates/dregex/src/query.rs crates/dregex/src/vm.rs
+
+/root/repo/target/release/deps/iotmap_dregex-b41e2869a04de675: crates/dregex/src/lib.rs crates/dregex/src/ast.rs crates/dregex/src/backtrack.rs crates/dregex/src/classes.rs crates/dregex/src/compile.rs crates/dregex/src/parser.rs crates/dregex/src/prog.rs crates/dregex/src/query.rs crates/dregex/src/vm.rs
+
+crates/dregex/src/lib.rs:
+crates/dregex/src/ast.rs:
+crates/dregex/src/backtrack.rs:
+crates/dregex/src/classes.rs:
+crates/dregex/src/compile.rs:
+crates/dregex/src/parser.rs:
+crates/dregex/src/prog.rs:
+crates/dregex/src/query.rs:
+crates/dregex/src/vm.rs:

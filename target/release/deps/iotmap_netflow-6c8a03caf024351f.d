@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iotmap_netflow-6c8a03caf024351f.d: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+/root/repo/target/release/deps/iotmap_netflow-6c8a03caf024351f: crates/netflow/src/lib.rs crates/netflow/src/anonymize.rs crates/netflow/src/record.rs crates/netflow/src/router.rs crates/netflow/src/sampler.rs crates/netflow/src/sink.rs
+
+crates/netflow/src/lib.rs:
+crates/netflow/src/anonymize.rs:
+crates/netflow/src/record.rs:
+crates/netflow/src/router.rs:
+crates/netflow/src/sampler.rs:
+crates/netflow/src/sink.rs:

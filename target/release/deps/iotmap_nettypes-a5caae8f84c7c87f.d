@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/iotmap_nettypes-a5caae8f84c7c87f.d: crates/nettypes/src/lib.rs crates/nettypes/src/asn.rs crates/nettypes/src/bgp.rs crates/nettypes/src/dist.rs crates/nettypes/src/error.rs crates/nettypes/src/geo.rs crates/nettypes/src/interval.rs crates/nettypes/src/name.rs crates/nettypes/src/ports.rs crates/nettypes/src/prefix.rs crates/nettypes/src/rng.rs crates/nettypes/src/time.rs crates/nettypes/src/trie.rs
+
+/root/repo/target/release/deps/iotmap_nettypes-a5caae8f84c7c87f: crates/nettypes/src/lib.rs crates/nettypes/src/asn.rs crates/nettypes/src/bgp.rs crates/nettypes/src/dist.rs crates/nettypes/src/error.rs crates/nettypes/src/geo.rs crates/nettypes/src/interval.rs crates/nettypes/src/name.rs crates/nettypes/src/ports.rs crates/nettypes/src/prefix.rs crates/nettypes/src/rng.rs crates/nettypes/src/time.rs crates/nettypes/src/trie.rs
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/asn.rs:
+crates/nettypes/src/bgp.rs:
+crates/nettypes/src/dist.rs:
+crates/nettypes/src/error.rs:
+crates/nettypes/src/geo.rs:
+crates/nettypes/src/interval.rs:
+crates/nettypes/src/name.rs:
+crates/nettypes/src/ports.rs:
+crates/nettypes/src/prefix.rs:
+crates/nettypes/src/rng.rs:
+crates/nettypes/src/time.rs:
+crates/nettypes/src/trie.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iotmap_obs-a40359d8ebbfa9d4.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/iotmap_obs-a40359d8ebbfa9d4: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iotmap_par-a759c0850b8d8da1.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libiotmap_par-a759c0850b8d8da1.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libiotmap_par-a759c0850b8d8da1.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iotmap_par-ce7a614383024ee6.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/iotmap_par-ce7a614383024ee6: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/iotmap_scan-4671226de04007c4.d: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+/root/repo/target/release/deps/iotmap_scan-4671226de04007c4: crates/scan/src/lib.rs crates/scan/src/censys.rs crates/scan/src/ethics.rs crates/scan/src/hitlist.rs crates/scan/src/lookingglass.rs crates/scan/src/target.rs crates/scan/src/zgrab.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/censys.rs:
+crates/scan/src/ethics.rs:
+crates/scan/src/hitlist.rs:
+crates/scan/src/lookingglass.rs:
+crates/scan/src/target.rs:
+crates/scan/src/zgrab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iotmap_stats-14cf924de99fe54e.d: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/iotmap_stats-14cf924de99fe54e: crates/stats/src/lib.rs crates/stats/src/ecdf.rs crates/stats/src/hist.rs crates/stats/src/series.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/series.rs:
+crates/stats/src/summary.rs:

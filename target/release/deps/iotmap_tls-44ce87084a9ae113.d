@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iotmap_tls-44ce87084a9ae113.d: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+/root/repo/target/release/deps/iotmap_tls-44ce87084a9ae113: crates/tls/src/lib.rs crates/tls/src/cert.rs crates/tls/src/endpoint.rs crates/tls/src/handshake.rs
+
+crates/tls/src/lib.rs:
+crates/tls/src/cert.rs:
+crates/tls/src/endpoint.rs:
+crates/tls/src/handshake.rs:

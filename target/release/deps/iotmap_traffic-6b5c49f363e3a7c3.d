@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iotmap_traffic-6b5c49f363e3a7c3.d: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/release/deps/libiotmap_traffic-6b5c49f363e3a7c3.rlib: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/release/deps/libiotmap_traffic-6b5c49f363e3a7c3.rmeta: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/analysis.rs:
+crates/traffic/src/anonymize.rs:
+crates/traffic/src/index.rs:
+crates/traffic/src/scanners.rs:
+crates/traffic/src/visibility.rs:
+crates/traffic/src/whatif.rs:

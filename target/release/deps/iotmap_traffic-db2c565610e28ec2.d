@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/iotmap_traffic-db2c565610e28ec2.d: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+/root/repo/target/release/deps/iotmap_traffic-db2c565610e28ec2: crates/traffic/src/lib.rs crates/traffic/src/analysis.rs crates/traffic/src/anonymize.rs crates/traffic/src/index.rs crates/traffic/src/scanners.rs crates/traffic/src/visibility.rs crates/traffic/src/whatif.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/analysis.rs:
+crates/traffic/src/anonymize.rs:
+crates/traffic/src/index.rs:
+crates/traffic/src/scanners.rs:
+crates/traffic/src/visibility.rs:
+crates/traffic/src/whatif.rs:

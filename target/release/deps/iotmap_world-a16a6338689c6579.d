@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/iotmap_world-a16a6338689c6579.d: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+/root/repo/target/release/deps/iotmap_world-a16a6338689c6579: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+crates/world/src/lib.rs:
+crates/world/src/build.rs:
+crates/world/src/clouds.rs:
+crates/world/src/collect.rs:
+crates/world/src/config.rs:
+crates/world/src/events.rs:
+crates/world/src/geodb.rs:
+crates/world/src/isp.rs:
+crates/world/src/providers.rs:
+crates/world/src/server.rs:
+crates/world/src/traffic.rs:
+crates/world/src/view.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/iotmap_world-cea223682e84374e.d: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+/root/repo/target/release/deps/libiotmap_world-cea223682e84374e.rlib: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+/root/repo/target/release/deps/libiotmap_world-cea223682e84374e.rmeta: crates/world/src/lib.rs crates/world/src/build.rs crates/world/src/clouds.rs crates/world/src/collect.rs crates/world/src/config.rs crates/world/src/events.rs crates/world/src/geodb.rs crates/world/src/isp.rs crates/world/src/providers.rs crates/world/src/server.rs crates/world/src/traffic.rs crates/world/src/view.rs
+
+crates/world/src/lib.rs:
+crates/world/src/build.rs:
+crates/world/src/clouds.rs:
+crates/world/src/collect.rs:
+crates/world/src/config.rs:
+crates/world/src/events.rs:
+crates/world/src/geodb.rs:
+crates/world/src/isp.rs:
+crates/world/src/providers.rs:
+crates/world/src/server.rs:
+crates/world/src/traffic.rs:
+crates/world/src/view.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/obs_metrics-ee0e6b2e9f62472e.d: crates/bench/tests/obs_metrics.rs crates/bench/tests/golden/metrics_keys.txt
+
+/root/repo/target/release/deps/obs_metrics-ee0e6b2e9f62472e: crates/bench/tests/obs_metrics.rs crates/bench/tests/golden/metrics_keys.txt
+
+crates/bench/tests/obs_metrics.rs:
+crates/bench/tests/golden/metrics_keys.txt:
+
+# env-dep:CARGO_BIN_EXE_exp=/root/repo/target/release/exp

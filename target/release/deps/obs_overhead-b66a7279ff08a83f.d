@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-b66a7279ff08a83f.d: crates/bench/tests/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-b66a7279ff08a83f: crates/bench/tests/obs_overhead.rs
+
+crates/bench/tests/obs_overhead.rs:

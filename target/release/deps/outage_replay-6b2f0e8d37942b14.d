@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/outage_replay-6b2f0e8d37942b14.d: tests/outage_replay.rs
+
+/root/repo/target/release/deps/outage_replay-6b2f0e8d37942b14: tests/outage_replay.rs
+
+tests/outage_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_end_to_end-9db7f40c041dae63.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/release/deps/pipeline_end_to_end-9db7f40c041dae63: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

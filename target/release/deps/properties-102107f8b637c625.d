@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-102107f8b637c625.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-102107f8b637c625: tests/properties.rs
+
+tests/properties.rs:

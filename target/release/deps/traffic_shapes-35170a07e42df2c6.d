@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traffic_shapes-35170a07e42df2c6.d: tests/traffic_shapes.rs
+
+/root/repo/target/release/deps/traffic_shapes-35170a07e42df2c6: tests/traffic_shapes.rs
+
+tests/traffic_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/disruption_audit-8d6e44501ba035cf.d: examples/disruption_audit.rs
+
+/root/repo/target/release/examples/disruption_audit-8d6e44501ba035cf: examples/disruption_audit.rs
+
+examples/disruption_audit.rs:

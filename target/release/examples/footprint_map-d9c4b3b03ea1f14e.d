@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/footprint_map-d9c4b3b03ea1f14e.d: examples/footprint_map.rs
+
+/root/repo/target/release/examples/footprint_map-d9c4b3b03ea1f14e: examples/footprint_map.rs
+
+examples/footprint_map.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/isp_traffic-c417cf1556a812f1.d: examples/isp_traffic.rs
+
+/root/repo/target/release/examples/isp_traffic-c417cf1556a812f1: examples/isp_traffic.rs
+
+examples/isp_traffic.rs:

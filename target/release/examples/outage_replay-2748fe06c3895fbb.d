@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/outage_replay-2748fe06c3895fbb.d: examples/outage_replay.rs
+
+/root/repo/target/release/examples/outage_replay-2748fe06c3895fbb: examples/outage_replay.rs
+
+examples/outage_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f91d52a8b1aa6d33.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f91d52a8b1aa6d33: examples/quickstart.rs
+
+examples/quickstart.rs:

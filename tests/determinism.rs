@@ -1,0 +1,141 @@
+//! The parallel engine's determinism contract, end to end: running the
+//! full pipeline on 2/4/8 worker threads must produce artifacts — and an
+//! instrumented run report — identical to the serial run, down to metric
+//! values and span-tree structure. Only wall-clock timings may differ.
+
+use iotmap::prelude::*;
+use iotmap_obs::{RunReport, SpanNode};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A canonical text dump of everything a run produced. Hash-map contents
+/// are sorted, so two dumps are byte-identical iff the runs discovered
+/// the same facts.
+fn canonical_artifacts(a: &RunArtifacts) -> String {
+    let mut out = String::new();
+    for (name, disc) in a.discovery.per_provider() {
+        writeln!(out, "provider {name}").unwrap();
+        for d in &disc.domains {
+            writeln!(out, "  domain {d}").unwrap();
+        }
+        let mut ips: Vec<_> = disc.ips.iter().collect();
+        ips.sort_by_key(|(ip, _)| **ip);
+        for (ip, evidence) in ips {
+            writeln!(out, "  ip {ip} {evidence:?}").unwrap();
+        }
+    }
+    let mut footprints: Vec<_> = a.footprints.iter().collect();
+    footprints.sort_by_key(|(name, _)| name.as_str());
+    for (name, fp) in footprints {
+        writeln!(out, "footprint {name} {fp:?}").unwrap();
+    }
+    let mut shared: Vec<_> = a.shared_ips.iter().collect();
+    shared.sort();
+    writeln!(out, "shared {shared:?}").unwrap();
+    writeln!(out, "index len {}", a.index.len()).unwrap();
+    out
+}
+
+/// The timing-free shape of a run report: the span tree (names and
+/// structure, not durations) plus every counter, gauge, and histogram
+/// occupancy.
+fn canonical_report(r: &RunReport) -> String {
+    let mut out = String::new();
+    fn walk(node: &SpanNode, path: &str, out: &mut String) {
+        let path = if path.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{path}/{}", node.name)
+        };
+        writeln!(out, "span {path}").unwrap();
+        for child in &node.children {
+            walk(child, &path, out);
+        }
+    }
+    for root in &r.spans {
+        walk(root, "", &mut out);
+    }
+    for (name, value) in &r.counters {
+        writeln!(out, "counter {name} = {value}").unwrap();
+    }
+    for (name, value) in &r.gauges {
+        writeln!(out, "gauge {name} = {value}").unwrap();
+    }
+    for (name, h) in &r.histograms {
+        writeln!(
+            out,
+            "histogram {name} count {} buckets {:?}",
+            h.count, h.counts
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// One fully instrumented pipeline run at a given thread budget.
+fn run(threads: usize) -> (String, String, String) {
+    let registry = Rc::new(Registry::new());
+    iotmap_obs::install(registry.clone());
+    let artifacts = Pipeline::new(WorldConfig::small(42))
+        .threads(threads)
+        .run()
+        .expect("pipeline");
+    iotmap_obs::uninstall();
+    let report = registry.report();
+    // The JSON-lines export, with the (timing-dependent) nanos fields
+    // stripped, must match byte-for-byte too.
+    let jsonl: String = report
+        .to_jsonl()
+        .lines()
+        .map(|l| match l.split_once(",\"nanos\":") {
+            Some((head, _)) => format!("{head}}}\n"),
+            None => format!("{l}\n"),
+        })
+        .collect();
+    (
+        canonical_artifacts(&artifacts),
+        canonical_report(&report),
+        jsonl,
+    )
+}
+
+#[test]
+fn parallel_runs_match_serial_exactly() {
+    let (serial_artifacts, serial_report, serial_jsonl) = run(1);
+    assert!(serial_report.contains("span experiment.prepare"));
+    assert!(serial_artifacts.contains("provider microsoft"));
+    for threads in [2, 4, 8] {
+        let (artifacts, report, jsonl) = run(threads);
+        assert_eq!(
+            artifacts, serial_artifacts,
+            "artifacts diverge at {threads} threads"
+        );
+        assert_eq!(
+            report, serial_report,
+            "run report diverges at {threads} threads"
+        );
+        assert_eq!(
+            jsonl, serial_jsonl,
+            "jsonl export diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn uninstrumented_parallel_run_matches_serial() {
+    // Without a recorder installed the workers skip child registries
+    // entirely — output must still be identical.
+    let serial = canonical_artifacts(
+        &Pipeline::new(WorldConfig::small(7))
+            .threads(1)
+            .run()
+            .expect("pipeline"),
+    );
+    let parallel = canonical_artifacts(
+        &Pipeline::new(WorldConfig::small(7))
+            .threads(4)
+            .run()
+            .expect("pipeline"),
+    );
+    assert_eq!(parallel, serial);
+}

@@ -3,47 +3,31 @@
 //! gateway IPs, attribute them to the right providers, and show the
 //! per-source behaviours the paper reports.
 
-use iotmap::core::{DataSources, DiscoveryPipeline, PatternRegistry, Source};
-use iotmap::world::{CollectedScans, World, WorldConfig};
+use iotmap::prelude::*;
 use std::collections::HashSet;
 use std::net::IpAddr;
 use std::sync::OnceLock;
 
 struct Fixture {
-    world: World,
-    scans: CollectedScans,
-    discovery: OnceLock<iotmap::core::DiscoveryResult>,
+    artifacts: RunArtifacts,
 }
 
 fn fixture() -> &'static Fixture {
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
     FIXTURE.get_or_init(|| {
-        let world = World::generate(&WorldConfig::small(42));
-        let scans = world.collect_scan_data(world.config.study_period);
-        Fixture {
-            world,
-            scans,
-            discovery: OnceLock::new(),
-        }
+        let artifacts = Pipeline::new(WorldConfig::small(42))
+            .run()
+            .expect("pipeline");
+        Fixture { artifacts }
     })
 }
 
 fn sources(f: &Fixture) -> DataSources<'_> {
-    DataSources {
-        censys: &f.scans.censys,
-        zgrab_v6: &f.scans.zgrab_v6,
-        passive_dns: &f.world.passive_dns,
-        zones: &f.world.zones,
-        routeviews: &f.world.bgp,
-        latency: None,
-    }
+    f.artifacts.sources()
 }
 
-fn run_discovery(f: &'static Fixture) -> &'static iotmap::core::DiscoveryResult {
-    f.discovery.get_or_init(|| {
-        let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
-        pipeline.run(&sources(f), f.world.config.study_period)
-    })
+fn run_discovery(f: &'static Fixture) -> &'static DiscoveryResult {
+    &f.artifacts.discovery
 }
 
 #[test]
@@ -51,8 +35,8 @@ fn pipeline_attributes_ips_to_correct_providers() {
     let f = fixture();
     let result = run_discovery(f);
     for (name, discovery) in result.per_provider() {
-        let pidx = f.world.provider_index(name);
-        let truth = f.world.true_ips(pidx);
+        let pidx = f.artifacts.world.provider_index(name);
+        let truth = f.artifacts.world.true_ips(pidx);
         // Zero false attribution: every discovered IP belongs to the
         // provider in ground truth.
         for ip in discovery.ips.keys() {
@@ -71,8 +55,8 @@ fn pipeline_recovers_most_documented_ipv4_space() {
     let mut total_truth = 0usize;
     let mut total_found = 0usize;
     for (name, discovery) in result.per_provider() {
-        let pidx = f.world.provider_index(name);
-        let documented = f.world.documented_v4(pidx);
+        let pidx = f.artifacts.world.provider_index(name);
+        let documented = f.artifacts.world.documented_v4(pidx);
         let found: HashSet<IpAddr> = discovery.v4_ips().collect();
         let recall =
             found.intersection(&documented).count() as f64 / documented.len().max(1) as f64;
@@ -95,15 +79,16 @@ fn microsoft_sap_tencent_fully_visible_to_certificates_alone() {
     // backends for Microsoft, SAP, and Tencent."
     let f = fixture();
     let result = run_discovery(f);
-    let week = f.world.config.study_period;
+    let week = f.artifacts.world.config.study_period;
     let days: Vec<i64> = week.days().map(|d| d.epoch_days()).collect();
     for name in ["microsoft", "sap", "tencent"] {
         let discovery = result.get(name).unwrap();
-        let pidx = f.world.provider_index(name);
+        let pidx = f.artifacts.world.provider_index(name);
         // Denominator: documented gateways actually alive (scannable) on
         // at least one study day — churned-out cloud instances cannot
         // appear in any snapshot.
         let documented: HashSet<IpAddr> = f
+            .artifacts
             .world
             .servers
             .iter()
@@ -176,8 +161,9 @@ fn undocumented_microsoft_gateways_are_missed() {
     let f = fixture();
     let result = run_discovery(f);
     let discovery = result.get("microsoft").unwrap();
-    let pidx = f.world.provider_index("microsoft");
+    let pidx = f.artifacts.world.provider_index("microsoft");
     let hidden: Vec<IpAddr> = f
+        .artifacts
         .world
         .servers
         .iter()
@@ -197,7 +183,7 @@ fn undocumented_microsoft_gateways_are_missed() {
 fn discovery_is_deterministic() {
     let f = fixture();
     let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults());
-    let a = pipeline.run(&sources(f), f.world.config.study_period);
+    let a = pipeline.run(&sources(f), f.artifacts.world.config.study_period);
     let b = run_discovery(f);
     for ((na, da), (nb, db)) in a.per_provider().zip(b.per_provider()) {
         assert_eq!(na, nb);
@@ -211,7 +197,7 @@ fn multi_vantage_campaign_increases_coverage() {
     // world's geo-DNS reproduces a gain; assert it is visible (5%–40%).
     use iotmap::dns::{ActiveCampaign, VantagePoint};
     let f = fixture();
-    let period = f.world.config.study_period;
+    let period = f.artifacts.world.config.study_period;
 
     let single = DiscoveryPipeline::with_campaign(
         PatternRegistry::paper_defaults(),
