@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disruption_audits-9e5f7f7c927b3e36.d: tests/disruption_audits.rs
+
+/root/repo/target/debug/deps/disruption_audits-9e5f7f7c927b3e36: tests/disruption_audits.rs
+
+tests/disruption_audits.rs:

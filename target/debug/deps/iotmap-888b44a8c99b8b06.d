@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iotmap-888b44a8c99b8b06.d: src/lib.rs
+
+/root/repo/target/debug/deps/iotmap-888b44a8c99b8b06: src/lib.rs
+
+src/lib.rs:

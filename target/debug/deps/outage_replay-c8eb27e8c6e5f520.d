@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/outage_replay-c8eb27e8c6e5f520.d: tests/outage_replay.rs
+
+/root/repo/target/debug/deps/outage_replay-c8eb27e8c6e5f520: tests/outage_replay.rs
+
+tests/outage_replay.rs:

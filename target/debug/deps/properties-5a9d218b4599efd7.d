@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5a9d218b4599efd7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5a9d218b4599efd7: tests/properties.rs
+
+tests/properties.rs:

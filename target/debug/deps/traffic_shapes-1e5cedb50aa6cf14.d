@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic_shapes-1e5cedb50aa6cf14.d: tests/traffic_shapes.rs
+
+/root/repo/target/debug/deps/traffic_shapes-1e5cedb50aa6cf14: tests/traffic_shapes.rs
+
+tests/traffic_shapes.rs:
