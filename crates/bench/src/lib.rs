@@ -9,6 +9,7 @@
 
 pub use iotmap::{Pipeline, RunArtifacts, SCANNER_THRESHOLD};
 
+use iotmap_faults::FaultPlan;
 use iotmap_netflow::FlowSink;
 use iotmap_nettypes::Error;
 use iotmap_traffic::Anonymization;
@@ -42,12 +43,30 @@ impl Experiment {
         Self::try_prepare(config).unwrap_or_else(|e| panic!("experiment preparation failed: {e}"))
     }
 
+    /// [`Experiment::prepare`] under a fault plan: every synthetic data
+    /// source suffers the plan's seeded faults and the methodology
+    /// degrades gracefully ([`FaultPlan::none`] is byte-identical to
+    /// [`Experiment::prepare`]).
+    pub fn prepare_with_faults(config: &WorldConfig, faults: FaultPlan) -> Experiment {
+        Self::try_prepare_with_faults(config, faults)
+            .unwrap_or_else(|e| panic!("experiment preparation failed: {e}"))
+    }
+
     /// [`Experiment::prepare`], but surfacing pipeline errors. Runs on
     /// the calling thread's current `iotmap_par` budget (the `exp` binary
     /// sets it from `--threads` before preparing).
     pub fn try_prepare(config: &WorldConfig) -> Result<Experiment, Error> {
+        Self::try_prepare_with_faults(config, FaultPlan::none())
+    }
+
+    /// [`Experiment::prepare_with_faults`], surfacing pipeline errors.
+    pub fn try_prepare_with_faults(
+        config: &WorldConfig,
+        faults: FaultPlan,
+    ) -> Result<Experiment, Error> {
         let artifacts = Pipeline::new(config.clone())
             .threads(iotmap_par::threads())
+            .faults(faults)
             .run()?;
         Ok(Experiment {
             artifacts,
@@ -84,6 +103,9 @@ pub struct CliOptions {
     /// all cores; defaults to `IOTMAP_THREADS` or 1). Output is
     /// byte-identical at any value.
     pub threads: usize,
+    /// Fault plan selector (`--faults none|light|heavy|FILE`); a file is
+    /// parsed with [`FaultPlan::parse_config`].
+    pub faults: String,
 }
 
 impl CliOptions {
@@ -100,6 +122,7 @@ impl CliOptions {
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(1usize);
+        let mut faults = "none".to_string();
         let mut it = args.skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -129,6 +152,9 @@ impl CliOptions {
                         .parse()
                         .map_err(|e| format!("bad thread count: {e}"))?;
                 }
+                "--faults" => {
+                    faults = it.next().ok_or("--faults needs a value")?;
+                }
                 "--help" | "-h" => return Err(usage()),
                 other if experiment.is_none() && !other.starts_with('-') => {
                     experiment = Some(other.to_string());
@@ -144,6 +170,7 @@ impl CliOptions {
             trace,
             metrics,
             threads,
+            faults,
         })
     }
 
@@ -156,14 +183,30 @@ impl CliOptions {
             other => Err(format!("unknown preset {other:?} (small|medium|paper)")),
         }
     }
+
+    /// The fault plan the options select: a preset name
+    /// (`none`/`light`/`heavy`) or a path to a `key = value` config file
+    /// understood by [`FaultPlan::parse_config`].
+    pub fn fault_plan(&self) -> Result<FaultPlan, String> {
+        if let Some(plan) = FaultPlan::preset(&self.faults) {
+            return Ok(plan);
+        }
+        let text = std::fs::read_to_string(&self.faults).map_err(|e| {
+            format!(
+                "--faults {:?}: not a preset and unreadable: {e}",
+                self.faults
+            )
+        })?;
+        FaultPlan::parse_config(&text).map_err(|e| format!("--faults {:?}: {e}", self.faults))
+    }
 }
 
 fn usage() -> String {
     "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
-     \x20          [--trace] [--metrics FILE] [--threads N]\n\
+     \x20          [--trace] [--metrics FILE] [--threads N] [--faults none|light|heavy|FILE]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
-     outage-deps cascade monitor ablation-coverage ablation-hitlist"
+     outage-deps cascade monitor ablation-coverage ablation-hitlist robustness"
         .to_string()
 }
 
@@ -209,6 +252,29 @@ mod tests {
         assert!(opts.trace);
         assert_eq!(opts.metrics.as_deref(), Some("m.jsonl"));
         assert_eq!(opts.threads, 4);
+    }
+
+    #[test]
+    fn cli_fault_plans() {
+        let opts = CliOptions::parse(["exp", "table1"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(opts.faults, "none");
+        assert!(!opts.fault_plan().unwrap().is_active());
+
+        let opts = CliOptions::parse(
+            ["exp", "table1", "--faults", "heavy"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.fault_plan().unwrap(), FaultPlan::heavy());
+
+        let opts = CliOptions::parse(
+            ["exp", "table1", "--faults", "/no/such/file.conf"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(opts.fault_plan().is_err());
     }
 
     #[test]

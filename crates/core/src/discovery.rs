@@ -19,6 +19,7 @@
 use crate::patterns::PatternRegistry;
 use crate::sources::DataSources;
 use iotmap_dns::{ActiveCampaign, RData};
+use iotmap_faults::ActiveDnsFaults;
 use iotmap_nettypes::{DomainName, Error, Location, StudyPeriod};
 use iotmap_scan::zgrab::filter_records;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -249,6 +250,8 @@ impl DiscoveryResult {
 pub struct DiscoveryPipeline {
     registry: PatternRegistry,
     campaign: ActiveCampaign,
+    active_dns_faults: ActiveDnsFaults,
+    fault_seed: u64,
 }
 
 impl DiscoveryPipeline {
@@ -257,12 +260,30 @@ impl DiscoveryPipeline {
         DiscoveryPipeline {
             registry,
             campaign: ActiveCampaign::paper_defaults(),
+            active_dns_faults: ActiveDnsFaults::NONE,
+            fault_seed: 0,
         }
     }
 
     /// Pipeline with a custom campaign (e.g. single-vantage ablation).
     pub fn with_campaign(registry: PatternRegistry, campaign: ActiveCampaign) -> Self {
-        DiscoveryPipeline { registry, campaign }
+        DiscoveryPipeline {
+            registry,
+            campaign,
+            active_dns_faults: ActiveDnsFaults::NONE,
+            fault_seed: 0,
+        }
+    }
+
+    /// Apply an active-DNS fault plan: the resolution campaigns this
+    /// pipeline launches suffer the plan's vantage outages and query
+    /// timeouts. The other sources degrade upstream (the scan datasets
+    /// and passive-DNS database arrive already faulted), so this is the
+    /// only fault knob the discovery stage itself needs.
+    pub fn faults(mut self, fault_seed: u64, faults: ActiveDnsFaults) -> Self {
+        self.active_dns_faults = faults;
+        self.fault_seed = fault_seed;
+        self
     }
 
     /// The registry in use.
@@ -517,7 +538,13 @@ impl DiscoveryPipeline {
                 return 0;
             }
             let domains: Vec<DomainName> = seeds.iter().cloned().collect();
-            let campaign_result = self.campaign.run(sources.zones, &domains, &period);
+            let campaign_result = self.campaign.run_with_faults(
+                sources.zones,
+                &domains,
+                &period,
+                self.fault_seed,
+                &self.active_dns_faults,
+            );
             let mut matched = 0u64;
             for obs in &campaign_result.observations {
                 matched += 1;

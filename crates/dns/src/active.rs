@@ -11,6 +11,7 @@
 use crate::record::RrType;
 use crate::resolver::{resolve, ResolutionContext};
 use crate::zone::ZoneDb;
+use iotmap_faults::ActiveDnsFaults;
 use iotmap_nettypes::{Continent, DomainName, SimDuration, StudyPeriod};
 use std::collections::BTreeMap;
 use std::net::IpAddr;
@@ -78,9 +79,11 @@ impl ActiveCampaign {
         }
     }
 
-    /// Campaign with custom vantage points.
+    /// Campaign with custom vantage points. An empty vantage list is a
+    /// degenerate campaign that observes nothing — it runs and returns
+    /// empty results rather than aborting, matching the graceful-
+    /// degradation contract of the rest of the pipeline.
     pub fn new(vantages: Vec<VantagePoint>) -> Self {
-        assert!(!vantages.is_empty(), "campaign needs at least one vantage");
         ActiveCampaign {
             vantages,
             pacing: SimDuration::seconds(10),
@@ -101,14 +104,47 @@ impl ActiveCampaign {
         domains: &[DomainName],
         period: &StudyPeriod,
     ) -> CampaignResult {
+        self.run_with_faults(zones, domains, period, 0, &ActiveDnsFaults::NONE)
+    }
+
+    /// [`ActiveCampaign::run`] under a fault plan: a whole vantage point
+    /// can be down for a day (all of that vantage-day's queries are
+    /// lost — the §3.3 per-vantage coverage loss), and individual
+    /// resolutions can time out transiently, in which case they are
+    /// retried with seeded backoff up to `max_attempts` times before the
+    /// query is abandoned. Decisions are pure rolls on
+    /// `(day, vantage, domain, rrtype)`, so results are independent of
+    /// the provider fan-out that invokes the campaign.
+    pub fn run_with_faults(
+        &self,
+        zones: &ZoneDb,
+        domains: &[DomainName],
+        period: &StudyPeriod,
+        fault_seed: u64,
+        faults: &ActiveDnsFaults,
+    ) -> CampaignResult {
         let _span = iotmap_obs::span!("dns.active.campaign");
         let mut observations = Vec::new();
         let mut queries = 0u64;
+        let (mut vantage_days_lost, mut timed_out, mut retried, mut recovered) =
+            (0u64, 0u64, 0u64, 0u64);
+        let mut outage_queries_lost = 0u64;
         for date in period.days() {
             // Resolutions run during the day; exact second is irrelevant to
             // day-granular rotation policies.
             let when = date.midnight() + SimDuration::hours(2);
+            let day = date.epoch_days();
             for (vi, vp) in self.vantages.iter().enumerate() {
+                if iotmap_faults::drops(
+                    fault_seed,
+                    "adns.vantage_outage",
+                    iotmap_faults::key2(day as u64, vi as u64),
+                    faults.vantage_outage_rate,
+                ) {
+                    vantage_days_lost += 1;
+                    outage_queries_lost += domains.len() as u64 * 2;
+                    continue;
+                }
                 let ctx = ResolutionContext {
                     client_continent: vp.continent,
                     time: when,
@@ -116,13 +152,35 @@ impl ActiveCampaign {
                 };
                 for domain in domains {
                     for rrtype in [RrType::A, RrType::Aaaa] {
-                        queries += 1;
+                        let query_key = iotmap_faults::key3(
+                            iotmap_faults::hash_str(domain.as_str()),
+                            iotmap_faults::key2(day as u64, vi as u64),
+                            rrtype as u64,
+                        );
+                        let outcome = iotmap_faults::retry(
+                            fault_seed,
+                            "adns.timeout",
+                            query_key,
+                            faults.timeout_rate,
+                            faults.max_attempts,
+                        );
+                        queries += outcome.attempts as u64;
+                        if outcome.attempts > 1 {
+                            retried += 1;
+                            if outcome.succeeded {
+                                recovered += 1;
+                            }
+                        }
+                        if !outcome.succeeded {
+                            timed_out += 1;
+                            continue;
+                        }
                         for ip in resolve(zones, domain, rrtype, &ctx) {
                             observations.push(ActiveObservation {
                                 domain: domain.clone(),
                                 ip,
                                 vantage: vi,
-                                day: date.epoch_days(),
+                                day,
                             });
                         }
                     }
@@ -131,6 +189,16 @@ impl ActiveCampaign {
         }
         iotmap_obs::count!("dns.active.queries", queries);
         iotmap_obs::count!("dns.active.observations", observations.len() as u64);
+        if faults.is_active() {
+            iotmap_obs::count!("faults.active_dns.vantage_days_lost", vantage_days_lost);
+            iotmap_obs::count!("faults.active_dns.queries_timed_out", timed_out);
+            iotmap_obs::count!(
+                "faults.active_dns.records_dropped",
+                timed_out + outage_queries_lost
+            );
+            iotmap_obs::count!("faults.active_dns.records_retried", retried);
+            iotmap_obs::count!("faults.active_dns.records_recovered", recovered);
+        }
         CampaignResult {
             observations,
             queries,

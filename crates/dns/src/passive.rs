@@ -15,7 +15,8 @@
 
 use crate::record::{RData, RrType};
 use iotmap_dregex::query::{DnsdbQuery, DnsdbRdataQuery, RrTypeFilter};
-use iotmap_nettypes::{DomainName, SimTime, StudyPeriod};
+use iotmap_faults::PassiveDnsFaults;
+use iotmap_nettypes::{DomainName, SimDuration, SimTime, StudyPeriod};
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -164,6 +165,86 @@ impl PassiveDnsDb {
     /// the unit the parallel scans shard over.
     pub fn entries_slice(&self) -> &[RrsetEntry] {
         &self.entries
+    }
+
+    /// Re-insert an already-aggregated entry, preserving its times and
+    /// count while maintaining every index — the degraded-copy rebuild
+    /// path. Assumes the `(owner, rdata)` pair is not already present.
+    fn push_entry(&mut self, e: RrsetEntry) {
+        let idx = self.entries.len();
+        if let Some(ip) = e.rdata.ip() {
+            self.by_ip.entry(ip).or_default().push(idx);
+        }
+        self.by_owner.entry(e.owner.clone()).or_default().push(idx);
+        self.by_pair.insert((e.owner.clone(), e.rdata.clone()), idx);
+        self.entries.push(e);
+    }
+
+    /// A degraded copy of this database under a fault plan: sensor-side
+    /// record loss drops whole `(owner, rdata)` entries by a pure roll on
+    /// their identity, and sensor outage windows (days relative to
+    /// `period.start`) erase what was observed during them — an entry
+    /// wholly inside an outage disappears, an entry straddling one has
+    /// its first/last-seen times clipped to the outage boundary.
+    ///
+    /// Entry order, aggregates, and all three indexes are rebuilt
+    /// faithfully for the survivors, so consumers cannot tell a degraded
+    /// database from one that simply observed less. Emits
+    /// `faults.passive_dns.*` counters when the plan is active.
+    pub fn degraded(
+        &self,
+        fault_seed: u64,
+        faults: &PassiveDnsFaults,
+        period: &StudyPeriod,
+    ) -> PassiveDnsDb {
+        let outages: Vec<(SimTime, SimTime)> = faults
+            .outage_windows
+            .iter()
+            .map(|&(offset, len)| {
+                let start = period.start + SimDuration::hours(24 * offset as u64);
+                (start, start + SimDuration::hours(24 * len as u64))
+            })
+            .collect();
+        let inside = |t: SimTime| outages.iter().find(|(ws, we)| t >= *ws && t < *we);
+        let mut db = PassiveDnsDb::new();
+        let (mut lost, mut outage_dropped, mut clipped) = (0u64, 0u64, 0u64);
+        for e in &self.entries {
+            let key = iotmap_faults::key2(
+                iotmap_faults::hash_str(e.owner.as_str()),
+                iotmap_faults::hash_str(&format!("{:?}", e.rdata)),
+            );
+            if iotmap_faults::drops(fault_seed, "pdns.record_loss", key, faults.record_loss_rate) {
+                lost += 1;
+                continue;
+            }
+            let mut e = e.clone();
+            let mut was_clipped = false;
+            if let Some(&(_, we)) = inside(e.time_first) {
+                e.time_first = we;
+                was_clipped = true;
+            }
+            if let Some(&(ws, _)) = inside(e.time_last) {
+                e.time_last = ws;
+                was_clipped = true;
+            }
+            if e.time_first > e.time_last {
+                // The whole observed life of this entry fell inside
+                // outage windows: the sensors never saw it.
+                outage_dropped += 1;
+                continue;
+            }
+            if was_clipped {
+                clipped += 1;
+            }
+            db.push_entry(e);
+        }
+        if faults.is_active() {
+            iotmap_obs::count!("faults.passive_dns.entries_lost", lost);
+            iotmap_obs::count!("faults.passive_dns.entries_outage_dropped", outage_dropped);
+            iotmap_obs::count!("faults.passive_dns.entries_clipped", clipped);
+            iotmap_obs::count!("faults.passive_dns.records_dropped", lost + outage_dropped);
+        }
+        db
     }
 
     /// [`PassiveDnsDb::search`], sharded over the entry table via

@@ -126,19 +126,24 @@ impl ZoneDb {
     }
 
     /// Install a policy for `(owner, rrtype)`. Replaces any existing one.
+    /// PTR data lives in the reverse-DNS store, not here — a PTR policy
+    /// is silently ignored rather than aborting the run.
     pub fn set_policy(&mut self, owner: DomainName, rrtype: RrType, policy: Policy) {
-        let key = key_for(rrtype).expect("PTR policies are not stored in ZoneDb");
+        let Some(key) = key_for(rrtype) else {
+            return;
+        };
         self.entries.entry(owner).or_default().insert(key, policy);
     }
 
-    /// Convenience: install a static A/AAAA record set.
+    /// Convenience: install a static A/AAAA record set. Non-address
+    /// records are skipped (use [`ZoneDb::set_policy`] for CNAMEs).
     pub fn set_static(&mut self, owner: DomainName, records: Vec<RData>) {
         let (mut v4, mut v6) = (Vec::new(), Vec::new());
         for r in records {
             match r {
                 RData::A(_) => v4.push(r),
                 RData::Aaaa(_) => v6.push(r),
-                other => panic!("set_static expects address records, got {other:?}"),
+                _ => continue,
             }
         }
         if !v4.is_empty() {

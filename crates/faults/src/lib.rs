@@ -1,0 +1,684 @@
+//! # iotmap-faults — seeded, deterministic fault-injection plans
+//!
+//! Real measurement campaigns never see clean data: Censys sweeps skip
+//! hosts and publish truncated snapshots, ZGrab handshakes time out,
+//! passive-DNS sensors go dark for days, vantage points fall over, and
+//! NetFlow exporters drop or reset mid-stream (§3.3/§3.4 discuss exactly
+//! these blind spots). This crate describes such imperfections as a
+//! [`FaultPlan`]: a declarative, *seeded* set of per-source fault rates
+//! that every instrument in the workspace consults at its injection
+//! points.
+//!
+//! ## Determinism model
+//!
+//! Fault decisions are **pure hash functions**, never sequential RNG
+//! draws: [`roll`] maps `(plan seed, label, stable item identity)` to a
+//! uniform value in `[0, 1)`, and an item is faulted iff its roll falls
+//! below the configured rate. Three properties follow directly:
+//!
+//! * **Schedule independence** — a decision depends only on the item,
+//!   not on which worker thread or shard visits it, so faulted runs stay
+//!   byte-identical at any `iotmap-par` thread count.
+//! * **Monotonicity** — two plans sharing a seed make *nested* drop
+//!   sets: if `heavy` rates dominate `light` rates knob-for-knob (see
+//!   [`FaultPlan::dominates`]), every item dropped under `light` is also
+//!   dropped under `heavy`. Discovery and traffic volume are monotone in
+//!   their input record sets, so a strictly heavier plan can never
+//!   *increase* coverage — the property `tests/properties.rs` pins.
+//! * **Zero-cost zero plan** — an inactive plan ([`FaultPlan::none`])
+//!   takes no rolls and touches no shared RNG stream, so a zero-fault
+//!   run is byte-identical to a run with no fault layer at all.
+//!
+//! Transient faults (handshake and query timeouts) go through [`retry`],
+//! which models retry-with-seeded-backoff: attempts roll independently,
+//! the simulated exponential backoff cost is returned for the ethics /
+//! pacing budget, and an operation is lost only when every attempt times
+//! out. Persistent faults (sweep gaps, sensor outages, export drops)
+//! have no retry — the consuming methodology degrades gracefully
+//! instead, and reports what it lost through `iotmap-obs` counters
+//! (`faults.<source>.records_{dropped,retried,recovered}`), which the
+//! run report surfaces as its `degraded_sources` section.
+
+use std::net::IpAddr;
+
+/// Fault knobs for the Censys-like daily IPv4 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensysFaults {
+    /// Probability that one day's sweep misses a responsive host
+    /// entirely (ZMap-style sweep gap; keyed on `(host, day)`).
+    pub sweep_gap_rate: f64,
+    /// Probability that a harvested certificate record is lost to
+    /// snapshot truncation (keyed on `(host, port, day)`).
+    pub truncation_rate: f64,
+}
+
+/// Fault knobs for the ZGrab2-like IPv6 banner-grab campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZgrabFaults {
+    /// Probability that one handshake attempt times out (transient;
+    /// retried up to [`ZgrabFaults::max_attempts`] times).
+    pub timeout_rate: f64,
+    /// Handshake attempts per target, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Probability that a completed handshake yields a truncated,
+    /// unusable banner (the certificate cannot be parsed).
+    pub partial_banner_rate: f64,
+}
+
+/// Fault knobs for the passive-DNS (DNSDB-like) aggregation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassiveDnsFaults {
+    /// Probability that an aggregated rrset entry is lost outright
+    /// (sensor-side record loss; keyed on `(owner, rdata)`).
+    pub record_loss_rate: f64,
+    /// Sensor outage windows as `(offset_days, len_days)` pairs relative
+    /// to the start of the study period being queried. Observations made
+    /// inside an outage window were never recorded: entries wholly
+    /// contained in outage days are dropped, entries straddling one have
+    /// their first/last-seen times clipped.
+    pub outage_windows: Vec<(u32, u32)>,
+}
+
+/// Fault knobs for the active-DNS resolution campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveDnsFaults {
+    /// Probability that a vantage point is down for a whole day (all of
+    /// that vantage-day's queries are lost; keyed on `(day, vantage)`).
+    pub vantage_outage_rate: f64,
+    /// Probability that one resolution attempt times out (transient;
+    /// retried with seeded backoff).
+    pub timeout_rate: f64,
+    /// Resolution attempts per query, including the first (≥ 1).
+    pub max_attempts: u32,
+}
+
+/// Fault knobs for NetFlow export at the border router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetflowFaults {
+    /// Probability that an exported flow record is dropped on the wire
+    /// (keyed on the flow identity).
+    pub export_drop_rate: f64,
+    /// Probability that the exporter resets during a given hour,
+    /// dropping every record it would have exported in that hour
+    /// (keyed on the epoch hour).
+    pub reset_rate: f64,
+}
+
+/// A complete fault plan: one seed plus per-source knobs.
+///
+/// Construct with [`FaultPlan::none`] / [`FaultPlan::light`] /
+/// [`FaultPlan::heavy`], parse one from a config string with
+/// [`FaultPlan::parse_config`], or build a custom plan field-by-field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault roll. Two plans sharing a seed make nested
+    /// drop decisions (see the crate docs on monotonicity).
+    pub seed: u64,
+    pub censys: CensysFaults,
+    pub zgrab: ZgrabFaults,
+    pub passive_dns: PassiveDnsFaults,
+    pub active_dns: ActiveDnsFaults,
+    pub netflow: NetflowFaults,
+}
+
+/// Default seed for the built-in presets — shared so `light` and `heavy`
+/// make nested decisions out of the box.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA01_7BAD;
+
+impl CensysFaults {
+    /// No Censys faults.
+    pub const NONE: CensysFaults = CensysFaults {
+        sweep_gap_rate: 0.0,
+        truncation_rate: 0.0,
+    };
+
+    /// Does this source take any fault rolls?
+    pub fn is_active(&self) -> bool {
+        self.sweep_gap_rate > 0.0 || self.truncation_rate > 0.0
+    }
+}
+
+impl ZgrabFaults {
+    /// No ZGrab faults.
+    pub const NONE: ZgrabFaults = ZgrabFaults {
+        timeout_rate: 0.0,
+        max_attempts: 3,
+        partial_banner_rate: 0.0,
+    };
+
+    /// Does this source take any fault rolls?
+    pub fn is_active(&self) -> bool {
+        self.timeout_rate > 0.0 || self.partial_banner_rate > 0.0
+    }
+}
+
+impl PassiveDnsFaults {
+    /// No passive-DNS faults.
+    pub const NONE: PassiveDnsFaults = PassiveDnsFaults {
+        record_loss_rate: 0.0,
+        outage_windows: Vec::new(),
+    };
+
+    /// Does this source take any fault rolls or outage clipping?
+    pub fn is_active(&self) -> bool {
+        self.record_loss_rate > 0.0 || !self.outage_windows.is_empty()
+    }
+}
+
+impl ActiveDnsFaults {
+    /// No active-DNS faults.
+    pub const NONE: ActiveDnsFaults = ActiveDnsFaults {
+        vantage_outage_rate: 0.0,
+        timeout_rate: 0.0,
+        max_attempts: 3,
+    };
+
+    /// Does this source take any fault rolls?
+    pub fn is_active(&self) -> bool {
+        self.vantage_outage_rate > 0.0 || self.timeout_rate > 0.0
+    }
+}
+
+impl NetflowFaults {
+    /// No NetFlow faults.
+    pub const NONE: NetflowFaults = NetflowFaults {
+        export_drop_rate: 0.0,
+        reset_rate: 0.0,
+    };
+
+    /// Does this source take any fault rolls?
+    pub fn is_active(&self) -> bool {
+        self.export_drop_rate > 0.0 || self.reset_rate > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The zero plan: no rolls, no drops, byte-identical output to a run
+    /// with no fault layer at all.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            seed: DEFAULT_FAULT_SEED,
+            censys: CensysFaults {
+                sweep_gap_rate: 0.0,
+                truncation_rate: 0.0,
+            },
+            zgrab: ZgrabFaults {
+                timeout_rate: 0.0,
+                max_attempts: 3,
+                partial_banner_rate: 0.0,
+            },
+            passive_dns: PassiveDnsFaults {
+                record_loss_rate: 0.0,
+                outage_windows: Vec::new(),
+            },
+            active_dns: ActiveDnsFaults {
+                vantage_outage_rate: 0.0,
+                timeout_rate: 0.0,
+                max_attempts: 3,
+            },
+            netflow: NetflowFaults {
+                export_drop_rate: 0.0,
+                reset_rate: 0.0,
+            },
+        }
+    }
+
+    /// Mild, realistic background noise: occasional sweep gaps and
+    /// timeouts, no outage windows.
+    pub fn light() -> FaultPlan {
+        FaultPlan {
+            seed: DEFAULT_FAULT_SEED,
+            censys: CensysFaults {
+                sweep_gap_rate: 0.02,
+                truncation_rate: 0.01,
+            },
+            zgrab: ZgrabFaults {
+                timeout_rate: 0.05,
+                max_attempts: 3,
+                partial_banner_rate: 0.02,
+            },
+            passive_dns: PassiveDnsFaults {
+                record_loss_rate: 0.03,
+                outage_windows: Vec::new(),
+            },
+            active_dns: ActiveDnsFaults {
+                vantage_outage_rate: 0.02,
+                timeout_rate: 0.05,
+                max_attempts: 3,
+            },
+            netflow: NetflowFaults {
+                export_drop_rate: 0.01,
+                reset_rate: 0.0,
+            },
+        }
+    }
+
+    /// A bad measurement week: heavy packet loss, a one-day passive-DNS
+    /// sensor outage, flaky vantage points, exporter resets. Every rate
+    /// dominates [`FaultPlan::light`] and every `light` outage window is
+    /// included, so `heavy` drops a strict superset of what `light`
+    /// drops ([`FaultPlan::dominates`] holds).
+    pub fn heavy() -> FaultPlan {
+        FaultPlan {
+            seed: DEFAULT_FAULT_SEED,
+            censys: CensysFaults {
+                sweep_gap_rate: 0.15,
+                truncation_rate: 0.10,
+            },
+            zgrab: ZgrabFaults {
+                timeout_rate: 0.25,
+                max_attempts: 3,
+                partial_banner_rate: 0.10,
+            },
+            passive_dns: PassiveDnsFaults {
+                record_loss_rate: 0.20,
+                outage_windows: vec![(2, 1)],
+            },
+            active_dns: ActiveDnsFaults {
+                vantage_outage_rate: 0.15,
+                timeout_rate: 0.20,
+                max_attempts: 3,
+            },
+            netflow: NetflowFaults {
+                export_drop_rate: 0.08,
+                reset_rate: 0.02,
+            },
+        }
+    }
+
+    /// Does any source take fault rolls under this plan?
+    pub fn is_active(&self) -> bool {
+        self.censys.is_active()
+            || self.zgrab.is_active()
+            || self.passive_dns.is_active()
+            || self.active_dns.is_active()
+            || self.netflow.is_active()
+    }
+
+    /// Is `self` at least as faulty as `other` on every knob, with the
+    /// same seed and retry budgets? When this holds, `self` drops a
+    /// superset of the items `other` drops, so coverage under `self`
+    /// can never exceed coverage under `other` — the monotonicity
+    /// property the test suite relies on.
+    pub fn dominates(&self, other: &FaultPlan) -> bool {
+        let windows_cover = other.passive_dns.outage_windows.iter().all(|w| {
+            // Every day of `other`'s window is inside one of ours.
+            (w.0..w.0 + w.1).all(|d| {
+                self.passive_dns
+                    .outage_windows
+                    .iter()
+                    .any(|s| d >= s.0 && d < s.0 + s.1)
+            })
+        });
+        self.seed == other.seed
+            && self.zgrab.max_attempts == other.zgrab.max_attempts
+            && self.active_dns.max_attempts == other.active_dns.max_attempts
+            && self.censys.sweep_gap_rate >= other.censys.sweep_gap_rate
+            && self.censys.truncation_rate >= other.censys.truncation_rate
+            && self.zgrab.timeout_rate >= other.zgrab.timeout_rate
+            && self.zgrab.partial_banner_rate >= other.zgrab.partial_banner_rate
+            && self.passive_dns.record_loss_rate >= other.passive_dns.record_loss_rate
+            && windows_cover
+            && self.active_dns.vantage_outage_rate >= other.active_dns.vantage_outage_rate
+            && self.active_dns.timeout_rate >= other.active_dns.timeout_rate
+            && self.netflow.export_drop_rate >= other.netflow.export_drop_rate
+            && self.netflow.reset_rate >= other.netflow.reset_rate
+    }
+
+    /// Resolve a `--faults` CLI spec: `none`, `light`, or `heavy`.
+    /// Anything else is not a preset (the caller should treat it as a
+    /// config-file path and hand the contents to
+    /// [`FaultPlan::parse_config`]).
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        match name {
+            "none" => Some(FaultPlan::none()),
+            "light" => Some(FaultPlan::light()),
+            "heavy" => Some(FaultPlan::heavy()),
+            _ => None,
+        }
+    }
+
+    /// Parse a fault plan from a `key = value` config string (the
+    /// `--faults FILE` format). Unknown keys are errors; omitted keys
+    /// keep their [`FaultPlan::none`] defaults. `#` starts a comment.
+    ///
+    /// ```text
+    /// # a custom plan
+    /// seed = 7
+    /// censys.sweep_gap_rate = 0.05
+    /// zgrab.timeout_rate = 0.1
+    /// zgrab.max_attempts = 4
+    /// passive_dns.outage_windows = 1+2, 5+1   # (offset_days)+(len_days)
+    /// netflow.export_drop_rate = 0.02
+    /// ```
+    pub fn parse_config(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v
+                    .parse()
+                    .map_err(|e| format!("line {}: bad rate {v:?}: {e}", lineno + 1))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("line {}: rate {r} outside [0, 1]", lineno + 1));
+                }
+                Ok(r)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad seed: {e}", lineno + 1))?;
+                }
+                "censys.sweep_gap_rate" => plan.censys.sweep_gap_rate = rate(value)?,
+                "censys.truncation_rate" => plan.censys.truncation_rate = rate(value)?,
+                "zgrab.timeout_rate" => plan.zgrab.timeout_rate = rate(value)?,
+                "zgrab.partial_banner_rate" => plan.zgrab.partial_banner_rate = rate(value)?,
+                "zgrab.max_attempts" => {
+                    plan.zgrab.max_attempts = parse_attempts(value, lineno)?;
+                }
+                "passive_dns.record_loss_rate" => plan.passive_dns.record_loss_rate = rate(value)?,
+                "passive_dns.outage_windows" => {
+                    plan.passive_dns.outage_windows = parse_windows(value, lineno)?;
+                }
+                "active_dns.vantage_outage_rate" => {
+                    plan.active_dns.vantage_outage_rate = rate(value)?;
+                }
+                "active_dns.timeout_rate" => plan.active_dns.timeout_rate = rate(value)?,
+                "active_dns.max_attempts" => {
+                    plan.active_dns.max_attempts = parse_attempts(value, lineno)?;
+                }
+                "netflow.export_drop_rate" => plan.netflow.export_drop_rate = rate(value)?,
+                "netflow.reset_rate" => plan.netflow.reset_rate = rate(value)?,
+                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_attempts(value: &str, lineno: usize) -> Result<u32, String> {
+    let n: u32 = value
+        .parse()
+        .map_err(|e| format!("line {}: bad attempt count: {e}", lineno + 1))?;
+    if n == 0 {
+        return Err(format!("line {}: max_attempts must be >= 1", lineno + 1));
+    }
+    Ok(n)
+}
+
+fn parse_windows(value: &str, lineno: usize) -> Result<Vec<(u32, u32)>, String> {
+    value
+        .split(',')
+        .map(|w| w.trim())
+        .filter(|w| !w.is_empty())
+        .map(|w| {
+            let (off, len) = w
+                .split_once('+')
+                .ok_or_else(|| format!("line {}: window {w:?} is not `offset+len`", lineno + 1))?;
+            let off: u32 = off
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad window offset: {e}", lineno + 1))?;
+            let len: u32 = len
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad window length: {e}", lineno + 1))?;
+            if len == 0 {
+                return Err(format!("line {}: zero-length window", lineno + 1));
+            }
+            Ok((off, len))
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ pure rolls
+
+/// SplitMix64 finalizer — the avalanche step all rolls go through.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// FNV-1a over a string — for hashing labels and stable identities.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Combine two identity components into one roll key.
+#[inline]
+pub fn key2(a: u64, b: u64) -> u64 {
+    mix(a.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(b))
+}
+
+/// Combine three identity components into one roll key.
+#[inline]
+pub fn key3(a: u64, b: u64, c: u64) -> u64 {
+    key2(key2(a, b), c)
+}
+
+/// A stable 64-bit identity for an IP address.
+pub fn key_ip(ip: IpAddr) -> u64 {
+    match ip {
+        IpAddr::V4(a) => u32::from(a) as u64,
+        IpAddr::V6(a) => {
+            let v = u128::from(a);
+            mix((v >> 64) as u64 ^ (v as u64).rotate_left(1))
+        }
+    }
+}
+
+/// The fault roll: a pure, stateless map from `(seed, label, key)` to a
+/// uniform value in `[0, 1)`. An item is faulted iff
+/// `roll(seed, label, key) < rate` — heavier rates with the same seed
+/// therefore fault strict supersets, and the decision is independent of
+/// evaluation order, shard layout, and thread count.
+pub fn roll(seed: u64, label: &str, key: u64) -> f64 {
+    let stream = mix(seed ^ 0x5851_f42d_4c95_7f2d).wrapping_add(hash_str(label));
+    let v = mix(mix(stream) ^ key);
+    // Top 53 bits → [0, 1), the standard double construction.
+    (v >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Shorthand: should this item be dropped? Takes no roll when the rate
+/// is zero, so an inactive plan costs nothing and changes nothing.
+#[inline]
+pub fn drops(seed: u64, label: &str, key: u64, rate: f64) -> bool {
+    rate > 0.0 && roll(seed, label, key) < rate
+}
+
+/// Outcome of a transient-fault retry loop for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Attempts taken (1 when the first try succeeded).
+    pub attempts: u32,
+    /// Did any attempt get through?
+    pub succeeded: bool,
+    /// Total simulated exponential backoff spent between attempts, in
+    /// seconds (seeded jitter included) — charged to the pacing budget.
+    pub backoff_secs: u64,
+}
+
+/// Retry-with-seeded-backoff for transient faults: each attempt rolls
+/// independently (same seed/label, attempt index folded into the key),
+/// and the operation survives iff any attempt's roll clears the rate.
+/// Because the per-attempt rolls are fixed by `(seed, label, key)`, a
+/// heavier rate fails a superset of operations — the retry path
+/// preserves plan monotonicity.
+pub fn retry(seed: u64, label: &str, key: u64, rate: f64, max_attempts: u32) -> RetryOutcome {
+    let max = max_attempts.max(1);
+    if rate <= 0.0 {
+        return RetryOutcome {
+            attempts: 1,
+            succeeded: true,
+            backoff_secs: 0,
+        };
+    }
+    let mut backoff = 0u64;
+    for attempt in 0..max {
+        if roll(seed, label, key2(key, attempt as u64 + 1)) >= rate {
+            return RetryOutcome {
+                attempts: attempt + 1,
+                succeeded: true,
+                backoff_secs: backoff,
+            };
+        }
+        // Exponential backoff with seeded jitter: 2^attempt seconds plus
+        // up to the same again, decided by its own roll.
+        let base = 1u64 << attempt.min(16);
+        let jitter =
+            (roll(seed, "retry.backoff", key2(key, attempt as u64 + 1)) * base as f64) as u64;
+        backoff += base + jitter;
+    }
+    RetryOutcome {
+        attempts: max,
+        succeeded: false,
+        backoff_secs: backoff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_uniform_ish_and_stable() {
+        let r1 = roll(1, "censys.gap", 42);
+        let r2 = roll(1, "censys.gap", 42);
+        assert_eq!(r1, r2, "pure function");
+        assert!((0.0..1.0).contains(&r1));
+        // Different labels and keys decorrelate.
+        assert_ne!(roll(1, "censys.gap", 42), roll(1, "zgrab.timeout", 42));
+        assert_ne!(roll(1, "censys.gap", 42), roll(1, "censys.gap", 43));
+        assert_ne!(roll(1, "censys.gap", 42), roll(2, "censys.gap", 42));
+        // Mean over many keys is ~0.5.
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|k| roll(7, "uniformity", k)).sum();
+        let mean = sum / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn heavier_rates_drop_supersets() {
+        for key in 0..5_000u64 {
+            let light = drops(9, "x", key, 0.05);
+            let heavy = drops(9, "x", key, 0.30);
+            if light {
+                assert!(heavy, "key {key}: light dropped but heavy did not");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_takes_no_roll_and_never_drops() {
+        for key in 0..100 {
+            assert!(!drops(1, "x", key, 0.0));
+        }
+        let o = retry(1, "x", 5, 0.0, 3);
+        assert_eq!(o.attempts, 1);
+        assert!(o.succeeded);
+        assert_eq!(o.backoff_secs, 0);
+    }
+
+    #[test]
+    fn retry_survival_is_monotone_in_rate() {
+        let mut lost_light = 0;
+        let mut lost_heavy = 0;
+        for key in 0..5_000u64 {
+            let light = retry(3, "t", key, 0.2, 3);
+            let heavy = retry(3, "t", key, 0.6, 3);
+            if !light.succeeded {
+                lost_light += 1;
+                assert!(!heavy.succeeded, "key {key}: lost at 0.2 but fine at 0.6");
+            }
+            if !heavy.succeeded {
+                lost_heavy += 1;
+            }
+            if light.attempts > 1 && light.succeeded {
+                assert!(light.backoff_secs > 0, "retries cost backoff");
+            }
+        }
+        // Sanity on magnitudes: p^3 of each.
+        assert!(lost_light < 100, "{lost_light}");
+        assert!((700..1400).contains(&lost_heavy), "{lost_heavy}");
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        let none = FaultPlan::none();
+        let light = FaultPlan::light();
+        let heavy = FaultPlan::heavy();
+        assert!(!none.is_active());
+        assert!(light.is_active() && heavy.is_active());
+        assert!(light.dominates(&none));
+        assert!(heavy.dominates(&light));
+        assert!(heavy.dominates(&none));
+        assert!(!light.dominates(&heavy));
+        assert_eq!(FaultPlan::preset("heavy"), Some(heavy));
+        assert_eq!(FaultPlan::preset("bogus"), None);
+    }
+
+    #[test]
+    fn config_round_trip() {
+        let text = "
+            # custom plan
+            seed = 7
+            censys.sweep_gap_rate = 0.05   # gaps
+            zgrab.timeout_rate = 0.1
+            zgrab.max_attempts = 4
+            passive_dns.outage_windows = 1+2, 5+1
+            netflow.export_drop_rate = 0.02
+        ";
+        let plan = FaultPlan::parse_config(text).expect("parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.censys.sweep_gap_rate, 0.05);
+        assert_eq!(plan.zgrab.timeout_rate, 0.1);
+        assert_eq!(plan.zgrab.max_attempts, 4);
+        assert_eq!(plan.passive_dns.outage_windows, vec![(1, 2), (5, 1)]);
+        assert_eq!(plan.netflow.export_drop_rate, 0.02);
+        // Untouched knobs keep zero defaults.
+        assert_eq!(plan.active_dns.timeout_rate, 0.0);
+    }
+
+    #[test]
+    fn config_rejects_bad_input() {
+        assert!(FaultPlan::parse_config("censys.sweep_gap_rate = 1.5").is_err());
+        assert!(FaultPlan::parse_config("bogus.key = 0.1").is_err());
+        assert!(FaultPlan::parse_config("zgrab.max_attempts = 0").is_err());
+        assert!(FaultPlan::parse_config("passive_dns.outage_windows = nope").is_err());
+        assert!(FaultPlan::parse_config("just words").is_err());
+    }
+
+    #[test]
+    fn ip_keys_are_stable_and_distinct() {
+        let a = key_ip("192.0.2.1".parse().unwrap());
+        let b = key_ip("192.0.2.2".parse().unwrap());
+        let c = key_ip("2001:db8::1".parse().unwrap());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, key_ip("192.0.2.1".parse().unwrap()));
+    }
+}

@@ -16,6 +16,7 @@ use crate::record::FlowRecord;
 use crate::record::LineId;
 use crate::sampler::PacketSampler;
 use crate::sink::FlowSink;
+use iotmap_faults::NetflowFaults;
 use iotmap_nettypes::SimRng;
 
 /// A border router exporting sampled, anonymized NetFlow.
@@ -25,23 +26,52 @@ pub struct BorderRouter {
     /// Highest legitimate raw line id; anything above is treated as a
     /// spoofed source and dropped (BCP 38 stand-in).
     max_line: u64,
+    /// Export faults: wire drops and exporter resets, applied *after*
+    /// sampling so the sampler's RNG stream is identical with or without
+    /// a fault plan.
+    faults: NetflowFaults,
+    fault_seed: u64,
     /// Counters for drop accounting.
     pub spoofed_dropped: u64,
     pub sampled_out: u64,
     pub exported: u64,
+    /// Records lost to export faults (wire drops + reset hours).
+    pub export_dropped: u64,
+    /// Of those, records lost because the exporter was resetting.
+    pub reset_dropped: u64,
 }
 
 impl BorderRouter {
     /// Create a router with sampling rate 1:`rate` for an ISP with
     /// `max_line + 1` subscriber lines.
     pub fn new(rate: u64, max_line: u64, salt: u64, rng: SimRng) -> Self {
+        Self::with_faults(rate, max_line, salt, rng, 0, NetflowFaults::NONE)
+    }
+
+    /// [`BorderRouter::new`] with an export-fault plan: a record that
+    /// survives sampling can still be lost to a per-flow wire drop or to
+    /// an exporter reset that blacks out a whole epoch hour. Both are
+    /// pure rolls on the flow/hour identity, so export loss is
+    /// deterministic and independent of processing order.
+    pub fn with_faults(
+        rate: u64,
+        max_line: u64,
+        salt: u64,
+        rng: SimRng,
+        fault_seed: u64,
+        faults: NetflowFaults,
+    ) -> Self {
         BorderRouter {
             sampler: PacketSampler::new(rate, rng),
             anonymizer: Anonymizer::new(salt),
             max_line,
+            faults,
+            fault_seed,
             spoofed_dropped: 0,
             sampled_out: 0,
             exported: 0,
+            export_dropped: 0,
+            reset_dropped: 0,
         }
     }
 
@@ -54,6 +84,33 @@ impl BorderRouter {
         match self.sampler.sample(true_flow) {
             None => self.sampled_out += 1,
             Some(mut est) => {
+                // Export faults come after the sampler so its RNG stream —
+                // and therefore every surviving estimate — is unchanged by
+                // the fault layer.
+                if iotmap_faults::drops(
+                    self.fault_seed,
+                    "netflow.reset",
+                    true_flow.time.epoch_hours(),
+                    self.faults.reset_rate,
+                ) {
+                    self.export_dropped += 1;
+                    self.reset_dropped += 1;
+                    return;
+                }
+                let flow_key = iotmap_faults::key3(
+                    iotmap_faults::key2(true_flow.time.unix(), true_flow.line.0),
+                    iotmap_faults::key_ip(true_flow.remote),
+                    iotmap_faults::key2(true_flow.port.port as u64, true_flow.direction as u64),
+                );
+                if iotmap_faults::drops(
+                    self.fault_seed,
+                    "netflow.export_drop",
+                    flow_key,
+                    self.faults.export_drop_rate,
+                ) {
+                    self.export_dropped += 1;
+                    return;
+                }
                 est.line = self.anonymizer.anonymize(true_flow.line);
                 self.exported += 1;
                 sink.accept(&est);
@@ -68,6 +125,10 @@ impl BorderRouter {
         iotmap_obs::count!("netflow.flows_spoofed_dropped", self.spoofed_dropped);
         iotmap_obs::count!("netflow.flows_sampled_out", self.sampled_out);
         iotmap_obs::count!("netflow.flows_exported", self.exported);
+        if self.faults.is_active() {
+            iotmap_obs::count!("faults.netflow.reset_dropped", self.reset_dropped);
+            iotmap_obs::count!("faults.netflow.records_dropped", self.export_dropped);
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! accumulate exactly what they need (DESIGN.md decision #4).
 
 use crate::record::FlowRecord;
+use iotmap_faults::NetflowFaults;
 
 /// A consumer of flow records.
 pub trait FlowSink {
@@ -53,6 +54,63 @@ impl FlowSink for CountingSink {
     fn accept(&mut self, record: &FlowRecord) {
         self.records += 1;
         self.bytes += record.bytes;
+    }
+}
+
+/// Applies NetFlow export faults in front of another sink — the same
+/// pure-roll wire-drop/reset decisions a [`crate::router::BorderRouter`]
+/// makes, packaged as a wrapper for generators that feed a sink directly
+/// (collector-side loss rather than router-side loss).
+pub struct LossyExportSink<'a> {
+    inner: &'a mut dyn FlowSink,
+    faults: NetflowFaults,
+    fault_seed: u64,
+    /// Records lost to export faults so far.
+    pub dropped: u64,
+}
+
+impl<'a> LossyExportSink<'a> {
+    /// Wrap `inner` with the given export-fault plan.
+    pub fn new(inner: &'a mut dyn FlowSink, fault_seed: u64, faults: NetflowFaults) -> Self {
+        LossyExportSink {
+            inner,
+            faults,
+            fault_seed,
+            dropped: 0,
+        }
+    }
+}
+
+impl FlowSink for LossyExportSink<'_> {
+    fn accept(&mut self, record: &FlowRecord) {
+        if iotmap_faults::drops(
+            self.fault_seed,
+            "netflow.reset",
+            record.time.epoch_hours(),
+            self.faults.reset_rate,
+        ) {
+            self.dropped += 1;
+            return;
+        }
+        let flow_key = iotmap_faults::key3(
+            iotmap_faults::key2(record.time.unix(), record.line.0),
+            iotmap_faults::key_ip(record.remote),
+            iotmap_faults::key2(record.port.port as u64, record.direction as u64),
+        );
+        if iotmap_faults::drops(
+            self.fault_seed,
+            "netflow.export_drop",
+            flow_key,
+            self.faults.export_drop_rate,
+        ) {
+            self.dropped += 1;
+            return;
+        }
+        self.inner.accept(record);
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
     }
 }
 
@@ -115,6 +173,40 @@ mod tests {
         s.accept(&flow(20));
         assert_eq!(s.records, 2);
         assert_eq!(s.bytes, 30);
+    }
+
+    #[test]
+    fn lossy_sink_is_deterministic_and_monotone_in_rate() {
+        let mk = |i: u8| FlowRecord {
+            time: Date::new(2022, 3, 1).midnight(),
+            line: LineId(i as u64),
+            remote: format!("192.0.2.{i}").parse().unwrap(),
+            port: PortProto::tcp(443),
+            direction: Direction::Downstream,
+            bytes: 10,
+            packets: 1,
+        };
+        let run = |rate: f64| {
+            let mut inner = StoringSink::new();
+            let mut lossy = LossyExportSink::new(
+                &mut inner,
+                7,
+                NetflowFaults {
+                    export_drop_rate: rate,
+                    reset_rate: 0.0,
+                },
+            );
+            for i in 0..200 {
+                lossy.accept(&mk(i as u8));
+            }
+            inner.records.iter().map(|r| r.line.0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0.3), run(0.3), "pure rolls: identical reruns");
+        assert_eq!(run(0.0).len(), 200, "zero rate drops nothing");
+        let (light, heavy) = (run(0.1), run(0.5));
+        assert!(heavy.len() < light.len());
+        // Nested drops: every survivor of the heavy plan survived light.
+        assert!(heavy.iter().all(|l| light.contains(l)));
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod report;
 mod span;
 
 pub use metrics::{Histogram, HistogramSnapshot, Registry, DEFAULT_BUCKETS};
-pub use report::{RunReport, SpanNode};
+pub use report::{RunReport, SourceCompleteness, SpanNode};
 pub use span::SpanGuard;
 
 use std::cell::RefCell;

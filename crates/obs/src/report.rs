@@ -60,7 +60,54 @@ fn json_u64_array(values: &[u64]) -> String {
     format!("[{}]", cells.join(","))
 }
 
+/// Per-source completeness under a fault plan, derived from the
+/// `faults.<source>.*` counters the instruments emit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceCompleteness {
+    /// The source key (`censys`, `zgrab`, `passive_dns`, `active_dns`,
+    /// `netflow`).
+    pub source: String,
+    /// Records lost to persistent faults (`…records_dropped`).
+    pub dropped: u64,
+    /// Operations that needed at least one retry (`…records_retried`).
+    pub retried: u64,
+    /// Of those, operations that eventually succeeded
+    /// (`…records_recovered`).
+    pub recovered: u64,
+}
+
 impl RunReport {
+    /// The degraded-source summary: one row per source that emitted any
+    /// `faults.<source>.records_{dropped,retried,recovered}` counter,
+    /// in source-name order. Empty for an unfaulted run — fault-free
+    /// reports carry no trace of the fault layer at all.
+    pub fn fault_completeness(&self) -> Vec<SourceCompleteness> {
+        let mut by_source: BTreeMap<&str, SourceCompleteness> = BTreeMap::new();
+        for (name, &value) in &self.counters {
+            let Some(rest) = name.strip_prefix("faults.") else {
+                continue;
+            };
+            let Some((source, field)) = rest.split_once('.') else {
+                continue;
+            };
+            let row = by_source
+                .entry(source)
+                .or_insert_with(|| SourceCompleteness {
+                    source: source.to_string(),
+                    dropped: 0,
+                    retried: 0,
+                    recovered: 0,
+                });
+            match field {
+                "records_dropped" => row.dropped = value,
+                "records_retried" => row.retried = value,
+                "records_recovered" => row.recovered = value,
+                _ => {}
+            }
+        }
+        by_source.into_values().collect()
+    }
+
     /// Render the span tree alone (the `--trace` output of `exp`).
     pub fn render_span_tree(&self) -> String {
         let mut out = String::new();
@@ -119,6 +166,19 @@ impl RunReport {
                 ));
             }
         }
+        let degraded = self.fault_completeness();
+        if !degraded.is_empty() {
+            out.push_str(
+                "\n## Degraded sources\n\n| source | dropped | retried | recovered |\n\
+                 |---|---:|---:|---:|\n",
+            );
+            for row in &degraded {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    row.source, row.dropped, row.retried, row.recovered
+                ));
+            }
+        }
         out
     }
 
@@ -172,6 +232,16 @@ impl RunReport {
                 h.max,
                 json_u64_array(&h.bounds),
                 json_u64_array(&h.counts)
+            ));
+        }
+        for row in self.fault_completeness() {
+            out.push_str(&format!(
+                "{{\"type\":\"degraded_source\",\"source\":\"{}\",\"dropped\":{},\
+                 \"retried\":{},\"recovered\":{}}}\n",
+                json_escape(&row.source),
+                row.dropped,
+                row.retried,
+                row.recovered
             ));
         }
         out
@@ -233,6 +303,51 @@ mod tests {
             // Balanced quotes: every line must be standalone-parseable.
             assert_eq!(line.matches('"').count() % 2, 0);
         }
+    }
+
+    #[test]
+    fn fault_counters_surface_as_degraded_sources() {
+        let r = Registry::new();
+        r.add("faults.zgrab.records_dropped", 12);
+        r.add("faults.zgrab.records_retried", 30);
+        r.add("faults.zgrab.records_recovered", 25);
+        r.add("faults.zgrab.targets_timed_out", 12); // detail key: ignored
+        r.add("faults.censys.records_dropped", 4);
+        r.add("scan.censys.certs_parsed", 100); // unrelated counter
+        let report = r.report();
+        let rows = report.fault_completeness();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            SourceCompleteness {
+                source: "censys".to_string(),
+                dropped: 4,
+                retried: 0,
+                recovered: 0,
+            }
+        );
+        assert_eq!(rows[1].source, "zgrab");
+        assert_eq!(
+            (rows[1].dropped, rows[1].retried, rows[1].recovered),
+            (12, 30, 25)
+        );
+
+        let md = report.to_markdown();
+        assert!(md.contains("## Degraded sources"));
+        assert!(md.contains("| zgrab | 12 | 30 | 25 |"));
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(
+            "{\"type\":\"degraded_source\",\"source\":\"censys\",\"dropped\":4,\
+             \"retried\":0,\"recovered\":0}"
+        ));
+    }
+
+    #[test]
+    fn unfaulted_reports_carry_no_degraded_section() {
+        let report = sample_report();
+        assert!(report.fault_completeness().is_empty());
+        assert!(!report.to_markdown().contains("Degraded sources"));
+        assert!(!report.to_jsonl().contains("degraded_source"));
     }
 
     #[test]

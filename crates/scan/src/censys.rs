@@ -9,6 +9,7 @@
 use crate::target::ScanView;
 use iotmap_dregex::query::CensysNameQuery;
 use iotmap_dregex::Regex;
+use iotmap_faults::CensysFaults;
 use iotmap_nettypes::{Date, Location, PortProto, SimDuration, StudyPeriod};
 use iotmap_tls::{handshake, Certificate, ClientHello};
 use std::net::IpAddr;
@@ -111,21 +112,58 @@ impl CensysService {
     /// does not know the right name). Record whatever certificate the
     /// server volunteers.
     pub fn daily_sweep(&self, view: &dyn ScanView, date: Date) -> CensysSnapshot {
+        self.daily_sweep_with(view, date, 0, &CensysFaults::NONE)
+    }
+
+    /// [`CensysService::daily_sweep`] under a fault plan: a sweep-gap
+    /// roll per `(host, day)` may skip a responsive host entirely
+    /// (omitted from both the certificate records and the banner-level
+    /// host/port view, like a ZMap probe lost on the wire), and a
+    /// truncation roll per `(host, port, day)` may lose an individual
+    /// harvested certificate to daily-snapshot truncation. Fault
+    /// decisions are pure rolls keyed on the target identity, so the
+    /// snapshot stays byte-identical at any thread count, and an
+    /// inactive plan takes no rolls at all.
+    pub fn daily_sweep_with(
+        &self,
+        view: &dyn ScanView,
+        date: Date,
+        fault_seed: u64,
+        faults: &CensysFaults,
+    ) -> CensysSnapshot {
         let _span = iotmap_obs::span!("scan.censys.daily_sweep");
         // Handshakes happen over the course of the day; noon is
         // representative for validity checks.
         let when = date.midnight() + SimDuration::hours(12);
+        let day = date.epoch_days() as u64;
         // ZMap-style sharded sweep: the host list is split into contiguous
         // shards probed by worker threads, and the shard outputs are
         // concatenated in shard order, so the snapshot is byte-identical
         // to a serial sweep at any thread count (handshake outcomes and
         // geolocation depend only on the target, never on the shard).
         let hosts = view.ipv4_hosts();
-        let (records, host_ports) = iotmap_par::shard_fold(
+        let (records, host_ports, gapped, truncated) = iotmap_par::shard_fold(
             &hosts,
-            |_ctx| (Vec::new(), Vec::new()),
-            |(records, host_ports): &mut (Vec<CensysRecord>, Vec<_>), _i, (addr, open_ports)| {
+            |_ctx| (Vec::new(), Vec::new(), 0u64, 0u64),
+            |(records, host_ports, gapped, truncated): &mut (
+                Vec<CensysRecord>,
+                Vec<_>,
+                u64,
+                u64,
+            ),
+             _i,
+             (addr, open_ports)| {
                 let ip = IpAddr::V4(*addr);
+                let host_key = iotmap_faults::key2(iotmap_faults::key_ip(ip), day);
+                if iotmap_faults::drops(
+                    fault_seed,
+                    "censys.sweep_gap",
+                    host_key,
+                    faults.sweep_gap_rate,
+                ) {
+                    *gapped += 1;
+                    return;
+                }
                 for port in open_ports {
                     if !self.ports.contains(port) {
                         continue;
@@ -135,6 +173,15 @@ impl CensysService {
                     };
                     let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
                     if let Some(cert) = outcome.observed_certificate() {
+                        if iotmap_faults::drops(
+                            fault_seed,
+                            "censys.truncation",
+                            iotmap_faults::key2(host_key, port.port as u64),
+                            faults.truncation_rate,
+                        ) {
+                            *truncated += 1;
+                            continue;
+                        }
                         records.push(CensysRecord {
                             ip,
                             port: *port,
@@ -148,9 +195,16 @@ impl CensysService {
             |a, b| {
                 a.0.extend(b.0);
                 a.1.extend(b.1);
+                a.2 += b.2;
+                a.3 += b.3;
             },
         );
         iotmap_obs::count!("scan.censys.certs_parsed", records.len() as u64);
+        if faults.is_active() {
+            iotmap_obs::count!("faults.censys.hosts_gapped", gapped);
+            iotmap_obs::count!("faults.censys.records_truncated", truncated);
+            iotmap_obs::count!("faults.censys.records_dropped", gapped + truncated);
+        }
         CensysSnapshot {
             date,
             records,

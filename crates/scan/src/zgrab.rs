@@ -8,6 +8,7 @@ use crate::ethics::ProbePolicy;
 use crate::hitlist::Ipv6Hitlist;
 use crate::target::ScanView;
 use iotmap_dregex::Regex;
+use iotmap_faults::ZgrabFaults;
 use iotmap_nettypes::{PortProto, SimDuration, SimRng, SimTime, StudyPeriod};
 use iotmap_tls::{handshake, Certificate, ClientHello};
 use std::net::{IpAddr, Ipv6Addr};
@@ -45,6 +46,25 @@ impl Zgrab2Scanner {
         when: SimTime,
         rng: &mut SimRng,
     ) -> Vec<ZgrabRecord> {
+        self.scan_with(view, hitlist, when, rng, 0, &ZgrabFaults::NONE)
+    }
+
+    /// [`Zgrab2Scanner::scan`] under a fault plan: each target's
+    /// handshake may time out (transient — retried with seeded backoff up
+    /// to `max_attempts` times, every attempt counted against the probe
+    /// budget), and a completed handshake may still return a truncated
+    /// banner whose certificate cannot be parsed. All decisions are pure
+    /// rolls on the target identity, independent of the shuffle order and
+    /// shard layout.
+    pub fn scan_with(
+        &mut self,
+        view: &dyn ScanView,
+        hitlist: &Ipv6Hitlist,
+        when: SimTime,
+        rng: &mut SimRng,
+        fault_seed: u64,
+        faults: &ZgrabFaults,
+    ) -> Vec<ZgrabRecord> {
         let _span = iotmap_obs::span!("scan.zgrab.v6_scan");
         let mut targets: Vec<(Ipv6Addr, PortProto)> = Vec::new();
         for addr in hitlist.iter() {
@@ -63,17 +83,47 @@ impl Zgrab2Scanner {
         // The grab itself shards over the (already shuffled) target list;
         // the final sort makes the output independent of both the shuffle
         // and the sharding, so parallel runs stay byte-identical. Probe
-        // accounting is summed per shard and applied after the join.
-        let (mut records, probes) = iotmap_par::shard_fold(
+        // and fault accounting is summed per shard, applied after the
+        // join: (records, probes, timed_out, partial, retried, recovered).
+        let (mut records, probes, timed_out, partial, retried, recovered) = iotmap_par::shard_fold(
             &targets,
-            |_ctx| (Vec::new(), 0u64),
-            |(records, probes): &mut (Vec<ZgrabRecord>, u64), _i, (addr, port)| {
-                *probes += 1;
+            |_ctx| (Vec::new(), 0u64, 0u64, 0u64, 0u64, 0u64),
+            |acc: &mut (Vec<ZgrabRecord>, u64, u64, u64, u64, u64), _i, (addr, port)| {
+                let (records, probes, timed_out, partial, retried, recovered) = acc;
+                let target_key =
+                    iotmap_faults::key2(iotmap_faults::key_ip(IpAddr::V6(*addr)), port.port as u64);
+                let outcome = iotmap_faults::retry(
+                    fault_seed,
+                    "zgrab.timeout",
+                    target_key,
+                    faults.timeout_rate,
+                    faults.max_attempts,
+                );
+                *probes += outcome.attempts as u64;
+                if outcome.attempts > 1 {
+                    *retried += 1;
+                    if outcome.succeeded {
+                        *recovered += 1;
+                    }
+                }
+                if !outcome.succeeded {
+                    *timed_out += 1;
+                    return;
+                }
                 let Some(endpoint) = view.tls_endpoint(IpAddr::V6(*addr), *port) else {
                     return;
                 };
                 let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
                 if let Some(cert) = outcome.observed_certificate() {
+                    if iotmap_faults::drops(
+                        fault_seed,
+                        "zgrab.partial_banner",
+                        target_key,
+                        faults.partial_banner_rate,
+                    ) {
+                        *partial += 1;
+                        return;
+                    }
                     records.push(ZgrabRecord {
                         ip: *addr,
                         port: *port,
@@ -84,11 +134,22 @@ impl Zgrab2Scanner {
             |a, b| {
                 a.0.extend(b.0);
                 a.1 += b.1;
+                a.2 += b.2;
+                a.3 += b.3;
+                a.4 += b.4;
+                a.5 += b.5;
             },
         );
         self.policy.record_probes(probes);
         records.sort_by_key(|r| (r.ip, r.port.port));
         iotmap_obs::count!("scan.zgrab.certs_parsed", records.len() as u64);
+        if faults.is_active() {
+            iotmap_obs::count!("faults.zgrab.targets_timed_out", timed_out);
+            iotmap_obs::count!("faults.zgrab.banners_partial", partial);
+            iotmap_obs::count!("faults.zgrab.records_dropped", timed_out + partial);
+            iotmap_obs::count!("faults.zgrab.records_retried", retried);
+            iotmap_obs::count!("faults.zgrab.records_recovered", recovered);
+        }
         records
     }
 }

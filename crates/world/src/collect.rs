@@ -6,6 +6,7 @@
 //! ZGrab2 campaign (§3.3).
 
 use crate::build::World;
+use iotmap_faults::FaultPlan;
 use iotmap_nettypes::{SimDuration, SimRng, StudyPeriod};
 use iotmap_scan::hitlist::iot_probe_ports;
 use iotmap_scan::{CensysService, CensysSnapshot, Zgrab2Scanner, ZgrabRecord};
@@ -21,12 +22,24 @@ pub struct CollectedScans {
 impl World {
     /// Run the scanning instruments over a study period.
     pub fn collect_scan_data(&self, period: StudyPeriod) -> CollectedScans {
+        self.collect_scan_data_with(period, &FaultPlan::none())
+    }
+
+    /// [`World::collect_scan_data`] under a fault plan: the daily Censys
+    /// sweeps suffer the plan's gaps and truncation, and the ZGrab
+    /// campaign its timeouts and partial banners. An inactive plan takes
+    /// the exact unfaulted path.
+    pub fn collect_scan_data_with(
+        &self,
+        period: StudyPeriod,
+        faults: &FaultPlan,
+    ) -> CollectedScans {
         let _span = iotmap_obs::span!("world.collect_scan_data");
         let svc = CensysService::new();
         let mut censys = Vec::new();
         for date in period.days() {
             let view = self.view_on(date);
-            censys.push(svc.daily_sweep(&view, date));
+            censys.push(svc.daily_sweep_with(&view, date, faults.seed, &faults.censys));
         }
         // The IPv6 campaign runs from a European server early in the
         // study window (§3.3).
@@ -34,11 +47,13 @@ impl World {
         let mut rng = SimRng::new(self.config.seed).fork("zgrab-campaign");
         let first_day = period.start.date();
         let view = self.view_on(first_day);
-        let zgrab_v6 = scanner.scan(
+        let zgrab_v6 = scanner.scan_with(
             &view,
             &self.hitlist,
             period.start + SimDuration::hours(3),
             &mut rng,
+            faults.seed,
+            &faults.zgrab,
         );
         CollectedScans { censys, zgrab_v6 }
     }

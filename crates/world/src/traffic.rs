@@ -15,6 +15,7 @@ use crate::isp::{Device, ScannerKind, SubscriberLine};
 use crate::providers::DomainStyle;
 use crate::server::ServerId;
 use iotmap_dns::{resolve, ResolutionContext, RrType};
+use iotmap_faults::NetflowFaults;
 use iotmap_netflow::{BorderRouter, Direction, FlowRecord, FlowSink, LineId};
 use iotmap_nettypes::{dist, Continent, Date, DomainName, SimDuration, SimRng, StudyPeriod};
 use std::collections::{HashMap, HashSet};
@@ -41,9 +42,23 @@ pub struct TrafficSimulator<'a> {
     us_pools: Vec<Vec<ServerId>>,
     /// Per-provider undocumented (baked-in address) servers.
     hidden_pools: Vec<Vec<ServerId>>,
+    /// NetFlow export faults applied at the border router.
+    netflow_faults: NetflowFaults,
+    fault_seed: u64,
 }
 
 impl<'a> TrafficSimulator<'a> {
+    /// Simulator whose border router applies a NetFlow export-fault
+    /// plan. The faults act strictly after packet sampling, so the
+    /// sampler's RNG stream — and every flow that survives — is
+    /// identical to the unfaulted simulator's.
+    pub fn with_faults(world: &'a World, fault_seed: u64, faults: NetflowFaults) -> Self {
+        let mut sim = Self::new(world);
+        sim.netflow_faults = faults;
+        sim.fault_seed = fault_seed;
+        sim
+    }
+
     /// Prepare a simulator for a world.
     pub fn new(world: &'a World) -> Self {
         let mut service_domain = HashMap::new();
@@ -91,6 +106,8 @@ impl<'a> TrafficSimulator<'a> {
             service_domain,
             us_pools,
             hidden_pools,
+            netflow_faults: NetflowFaults::NONE,
+            fault_seed: 0,
         }
     }
 
@@ -99,11 +116,13 @@ impl<'a> TrafficSimulator<'a> {
         let _span = iotmap_obs::span!("world.traffic_simulation");
         let world = self.world;
         let rng = SimRng::new(world.config.seed).fork("traffic");
-        let mut router = BorderRouter::new(
+        let mut router = BorderRouter::with_faults(
             world.config.sampling_rate,
             world.isp.lines.len() as u64 - 1,
             world.config.seed ^ 0x0150_cafe,
             rng.fork("router"),
+            self.fault_seed,
+            self.netflow_faults.clone(),
         );
         let outage_relevant = period.overlaps(&world.events.outage.window);
         let affected: HashSet<ServerId> = if outage_relevant {

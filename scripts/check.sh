@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Lint + format gate, the same commands CI runs (.github/workflows/ci.yml).
+# Lint + format + fault-matrix gate, the same commands CI runs
+# (.github/workflows/ci.yml).
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -9,5 +10,17 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# The CI fault matrix, condensed: degraded runs must complete cleanly
+# at every point of (--faults × --threads).
+echo "==> fault matrix (--faults none|heavy x --threads 1|4)"
+for faults in none heavy; do
+  for threads in 1 4; do
+    echo "    exp table1 --faults $faults --threads $threads"
+    cargo run --release -q -p iotmap-bench --bin exp -- \
+      table1 --preset small --seed 42 \
+      --faults "$faults" --threads "$threads" >/dev/null
+  done
+done
 
 echo "OK"

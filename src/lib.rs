@@ -56,6 +56,7 @@
 pub use iotmap_core as core;
 pub use iotmap_dns as dns;
 pub use iotmap_dregex as dregex;
+pub use iotmap_faults as faults;
 pub use iotmap_netflow as netflow;
 pub use iotmap_nettypes as nettypes;
 pub use iotmap_par as par;
@@ -69,6 +70,7 @@ use iotmap_core::{
     DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, FootprintInference,
     PatternRegistry, SharedIpClassifier,
 };
+use iotmap_faults::FaultPlan;
 use iotmap_netflow::LineId;
 use iotmap_nettypes::{Error, StudyPeriod};
 use iotmap_traffic::{AnalysisReport, AnalysisSink, ContactSink, IpIndex, ScannerAnalysis};
@@ -100,6 +102,7 @@ pub const SCANNER_THRESHOLD: usize = 100;
 pub struct Pipeline {
     config: WorldConfig,
     threads: usize,
+    faults: FaultPlan,
 }
 
 impl Pipeline {
@@ -109,12 +112,28 @@ impl Pipeline {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or_else(iotmap_par::threads);
-        Pipeline { config, threads }
+        Pipeline {
+            config,
+            threads,
+            faults: FaultPlan::none(),
+        }
     }
 
     /// Set the worker-thread budget (`0` = all available cores).
     pub fn threads(mut self, n: usize) -> Pipeline {
         self.threads = n;
+        self
+    }
+
+    /// Run under a fault plan: every data source the methodology
+    /// consumes — Censys sweeps, the ZGrab campaign, passive DNS, the
+    /// active-DNS campaigns, and NetFlow export — suffers the plan's
+    /// seeded faults, and the run degrades gracefully instead of
+    /// failing (each source contributes what it has; the run report
+    /// gains a `degraded_sources` section). [`FaultPlan::none`] — the
+    /// default — is byte-identical to not calling this at all.
+    pub fn faults(mut self, plan: FaultPlan) -> Pipeline {
+        self.faults = plan;
         self
     }
 
@@ -124,17 +143,28 @@ impl Pipeline {
     pub fn run(self) -> Result<RunArtifacts, Error> {
         let registry = PatternRegistry::try_paper_defaults()?;
         Ok(iotmap_par::with_threads(self.threads, || {
-            Pipeline::build(&self.config, registry)
+            Pipeline::build(&self.config, registry, &self.faults)
         }))
     }
 
-    fn build(config: &WorldConfig, registry: PatternRegistry) -> RunArtifacts {
+    fn build(config: &WorldConfig, registry: PatternRegistry, faults: &FaultPlan) -> RunArtifacts {
         let _span = iotmap_obs::span!("experiment.prepare");
-        let world = World::generate(config);
+        let mut world = World::generate(config);
         let period = config.study_period;
-        let scans = world.collect_scan_data(period);
+        let scans = world.collect_scan_data_with(period, faults);
+        // The passive-DNS sensors degrade before anyone queries them:
+        // every consumer (discovery, shared-IP classification, CNAME
+        // chasing, later analyses) sees one consistent, already-faulted
+        // database. An inactive plan skips the rebuild entirely.
+        if faults.passive_dns.is_active() {
+            world.passive_dns =
+                world
+                    .passive_dns
+                    .degraded(faults.seed, &faults.passive_dns, &period);
+        }
         let prober = WorldLatencyProber { world: &world };
-        let pipeline = DiscoveryPipeline::new(registry);
+        let pipeline =
+            DiscoveryPipeline::new(registry).faults(faults.seed, faults.active_dns.clone());
         let discovery = {
             let sources = DataSources {
                 censys: &scans.censys,
@@ -177,6 +207,7 @@ impl Pipeline {
             footprints,
             shared_ips,
             index,
+            faults: faults.clone(),
         }
     }
 }
@@ -191,9 +222,18 @@ pub struct RunArtifacts {
     pub footprints: HashMap<String, Footprint>,
     pub shared_ips: HashSet<IpAddr>,
     pub index: IpIndex,
+    /// The fault plan the run was prepared under; the traffic passes
+    /// re-apply its NetFlow component so export loss persists into §5.
+    pub faults: FaultPlan,
 }
 
 impl RunArtifacts {
+    /// A traffic simulator over the prepared world, carrying the run's
+    /// NetFlow fault plan (a no-fault plan yields the plain simulator).
+    fn simulator(&self) -> TrafficSimulator<'_> {
+        TrafficSimulator::with_faults(&self.world, self.faults.seed, self.faults.netflow.clone())
+    }
+
     /// Borrow fresh data sources (for analyses that need them later).
     pub fn sources(&self) -> DataSources<'_> {
         DataSources {
@@ -209,7 +249,7 @@ impl RunArtifacts {
     /// First traffic pass: per-line backend contact sets over a period.
     pub fn contact_pass(&self, period: StudyPeriod) -> ContactSink<'_> {
         let _span = iotmap_obs::span!("traffic.contact_pass");
-        let sim = TrafficSimulator::new(&self.world);
+        let sim = self.simulator();
         let mut sink = ContactSink::new(&self.index);
         sim.run(period, &mut sink);
         sink
@@ -228,7 +268,7 @@ impl RunArtifacts {
     /// excluded.
     pub fn analysis_pass(&self, period: StudyPeriod, excluded: &HashSet<LineId>) -> AnalysisReport {
         let _span = iotmap_obs::span!("traffic.analysis_pass");
-        let sim = TrafficSimulator::new(&self.world);
+        let sim = self.simulator();
         let mut sink = AnalysisSink::new(&self.index, excluded, period);
         sim.run(period, &mut sink);
         sink.into_report()

@@ -3,6 +3,7 @@
 //! instrumented run report — identical to the serial run, down to metric
 //! values and span-tree structure. Only wall-clock timings may differ.
 
+use iotmap::faults::FaultPlan;
 use iotmap::prelude::*;
 use iotmap_obs::{RunReport, SpanNode};
 use std::fmt::Write as _;
@@ -74,10 +75,17 @@ fn canonical_report(r: &RunReport) -> String {
 
 /// One fully instrumented pipeline run at a given thread budget.
 fn run(threads: usize) -> (String, String, String) {
+    run_faulted(threads, FaultPlan::none())
+}
+
+/// Same, under a fault plan: fault decisions are pure seeded hashes, so
+/// the determinism contract must hold for degraded runs too.
+fn run_faulted(threads: usize, plan: FaultPlan) -> (String, String, String) {
     let registry = Rc::new(Registry::new());
     iotmap_obs::install(registry.clone());
     let artifacts = Pipeline::new(WorldConfig::small(42))
         .threads(threads)
+        .faults(plan)
         .run()
         .expect("pipeline");
     iotmap_obs::uninstall();
@@ -118,6 +126,30 @@ fn parallel_runs_match_serial_exactly() {
             jsonl, serial_jsonl,
             "jsonl export diverges at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn faulted_runs_are_thread_count_invariant() {
+    for plan in [FaultPlan::light(), FaultPlan::heavy()] {
+        let (serial_artifacts, serial_report, serial_jsonl) = run_faulted(1, plan.clone());
+        // The degraded-source accounting itself must be deterministic.
+        assert!(serial_report.contains("counter faults."));
+        for threads in [2, 4, 8] {
+            let (artifacts, report, jsonl) = run_faulted(threads, plan.clone());
+            assert_eq!(
+                artifacts, serial_artifacts,
+                "faulted artifacts diverge at {threads} threads"
+            );
+            assert_eq!(
+                report, serial_report,
+                "faulted run report diverges at {threads} threads"
+            );
+            assert_eq!(
+                jsonl, serial_jsonl,
+                "faulted jsonl export diverges at {threads} threads"
+            );
+        }
     }
 }
 

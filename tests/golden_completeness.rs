@@ -1,0 +1,104 @@
+//! The golden completeness report: a heavy-fault paper-preset run must
+//! degrade *predictably* — the per-source completeness accounting is
+//! pinned to a checked-in snapshot, and every Table 1 provider must
+//! still be discovered (degraded, never dropped).
+//!
+//! Fault decisions are pure seeded hashes, so this report is identical
+//! at any thread count (see `tests/determinism.rs`); the snapshot holds
+//! under the CI thread matrix. To regenerate after an intentional
+//! change to the fault layer or the synthetic world:
+//!
+//! ```text
+//! IOTMAP_BLESS=1 cargo test -q --test golden_completeness
+//! ```
+
+use iotmap::faults::FaultPlan;
+use iotmap::prelude::*;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// The 16 Table 1 providers, by registry key.
+const TABLE1_PROVIDERS: [&str; 16] = [
+    "alibaba",
+    "amazon",
+    "baidu",
+    "bosch",
+    "cisco",
+    "fujitsu",
+    "google",
+    "huawei",
+    "ibm",
+    "microsoft",
+    "oracle",
+    "ptc",
+    "sap",
+    "siemens",
+    "sierra",
+    "tencent",
+];
+
+#[test]
+fn heavy_fault_paper_run_matches_golden_completeness_report() {
+    let registry = Rc::new(Registry::new());
+    iotmap_obs::install(registry.clone());
+    let artifacts = Pipeline::new(WorldConfig::paper(42))
+        .faults(FaultPlan::heavy())
+        .run()
+        .expect("a heavy-fault run must complete, not panic");
+    // One traffic pass so the NetFlow export faults fire too — the
+    // completeness report must name *every* wrapped source.
+    let _contacts = artifacts.contact_pass(artifacts.world.config.study_period);
+    iotmap_obs::uninstall();
+    let report = registry.report();
+
+    // Graceful degradation: every Table 1 provider is still present.
+    for provider in TABLE1_PROVIDERS {
+        let disc = artifacts
+            .discovery
+            .get(provider)
+            .unwrap_or_else(|| panic!("provider {provider} missing from discovery"));
+        assert!(
+            !disc.ips.is_empty(),
+            "heavy faults dropped provider {provider} entirely (must degrade, not drop)"
+        );
+    }
+
+    // The completeness accounting itself, pinned byte-for-byte.
+    let mut got = String::from("# exp (seed 42, preset paper, faults heavy)\n");
+    for row in report.fault_completeness() {
+        writeln!(
+            got,
+            "{} dropped={} retried={} recovered={}",
+            row.source, row.dropped, row.retried, row.recovered
+        )
+        .unwrap();
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/completeness_heavy_paper.txt");
+    if std::env::var_os("IOTMAP_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).expect("read golden snapshot");
+    assert_eq!(
+        got,
+        want,
+        "completeness report diverged from {} — if the change is intentional, \
+         regenerate with IOTMAP_BLESS=1 cargo test -q --test golden_completeness",
+        path.display()
+    );
+
+    // Every wrapped source must actually have degraded under the heavy
+    // plan — an empty row set would mean the fault layer silently
+    // disconnected.
+    let sources: Vec<_> = report
+        .fault_completeness()
+        .into_iter()
+        .map(|r| r.source)
+        .collect();
+    assert_eq!(
+        sources,
+        ["active_dns", "censys", "netflow", "passive_dns", "zgrab"],
+        "expected every wrapped source to report completeness"
+    );
+}
