@@ -94,6 +94,16 @@ fn main() {
     // byte-identical at any value; this only moves wall-clock time.
     iotmap_par::set_threads(opts.threads);
 
+    // The discovery benchmark is its own mode: it times the single-pass
+    // matching engine against the per-provider fan-out reference, writes
+    // BENCH_pipeline.json, and (with --baseline) enforces the regression
+    // gate. It installs its own recorder for the stage breakdown, so it
+    // runs before the shared --trace/--metrics instrumentation.
+    if opts.experiment == "bench" {
+        run_bench(&opts, &config, &fault_plan);
+        return;
+    }
+
     // Observability: `--trace` and `--metrics` install a recorder for the
     // whole run; the report is emitted just before exit.
     let instrumented = opts.trace || opts.metrics.is_some();
@@ -1257,4 +1267,195 @@ fn run_cascade(exp: &Experiment) {
     }
     emit_table("cascade", &t);
     println!("(share of each backend's discovered footprint lost if the cloud operator fails)");
+}
+
+// ----------------------------------------------------------- exp bench
+
+/// Extract a numeric field from a bench report. The report is flat
+/// `"key": value` JSON written by [`run_bench`], so a scan is enough —
+/// no JSON parser dependency.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Collect every `discovery.*` span (at any depth) as `(name, ms)`.
+fn discovery_stages(nodes: &[iotmap_obs::SpanNode], out: &mut Vec<(String, f64)>) {
+    for n in nodes {
+        if n.name.starts_with("discovery.") {
+            out.push((n.name.clone(), n.nanos as f64 / 1e6));
+        }
+        discovery_stages(&n.children, out);
+    }
+}
+
+/// Time the discovery pass both ways over one prepared world — the
+/// single-pass matching engine (`run`) against the per-provider fan-out
+/// reference (`run_fanout`) — and write `BENCH_pipeline.json`.
+///
+/// The committed baseline makes the regression gate machine-independent:
+/// CI compares *speedups* (a ratio of two timings on the same machine),
+/// not wall-clock milliseconds, and fails when the current speedup falls
+/// below 75% of the baseline's.
+fn run_bench(
+    opts: &iotmap_bench::CliOptions,
+    config: &WorldConfig,
+    faults: &iotmap_faults::FaultPlan,
+) {
+    eprintln!(
+        "# bench: preparing world (seed {}, preset {}, faults {})…",
+        config.seed, opts.preset, opts.faults
+    );
+    let t0 = std::time::Instant::now();
+    let exp = Experiment::prepare_with_faults(config, faults.clone());
+    let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let sources = exp.sources();
+    let period = config.study_period;
+    let pipeline = iotmap_core::DiscoveryPipeline::new(PatternRegistry::paper_defaults())
+        .faults(faults.seed, faults.active_dns.clone());
+
+    // What one discovery pass scans: every certificate record in every
+    // snapshot, every IPv6 banner grab, every passive-DNS rrset.
+    let cert_records: usize = sources.censys.iter().map(|s| s.records.len()).sum();
+    let records = cert_records + sources.zgrab_v6.len() + sources.passive_dns.entries_slice().len();
+
+    let iters: usize = if opts.preset == "small" { 5 } else { 3 };
+    let mut engine_ms = f64::INFINITY;
+    let mut engine_ips = 0usize;
+    for i in 0..iters {
+        let t = std::time::Instant::now();
+        let r = pipeline.run(&sources, period);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        eprintln!("# bench: engine pass {}/{iters}: {ms:.1} ms", i + 1);
+        engine_ms = engine_ms.min(ms);
+        engine_ips = r.all_ips().len();
+    }
+    let mut fanout_ms = f64::INFINITY;
+    let mut fanout_ips = 0usize;
+    for i in 0..iters {
+        let t = std::time::Instant::now();
+        let r = pipeline.run_fanout(&sources, period);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        eprintln!("# bench: fanout pass {}/{iters}: {ms:.1} ms", i + 1);
+        fanout_ms = fanout_ms.min(ms);
+        fanout_ips = r.all_ips().len();
+    }
+    if engine_ips != fanout_ips {
+        eprintln!(
+            "# bench: engine and fan-out disagree ({engine_ips} vs {fanout_ips} IPs) — \
+             the equivalence tests should have caught this; aborting"
+        );
+        std::process::exit(1);
+    }
+
+    // One more instrumented engine pass for the per-stage breakdown and
+    // the candidate/verified counters (timed passes run uninstrumented).
+    let prev = iotmap_obs::current_recorder();
+    let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let _ = pipeline.run(&sources, period);
+    iotmap_obs::uninstall();
+    if let Some(r) = prev {
+        iotmap_obs::install(r);
+    }
+    let report = registry.report();
+    let mut stages = Vec::new();
+    discovery_stages(&report.spans, &mut stages);
+    let counters: Vec<(&String, &u64)> = report
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("discovery."))
+        .collect();
+
+    let speedup = fanout_ms / engine_ms;
+    let records_per_sec = records as f64 / (engine_ms / 1e3);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"iotmap-bench/pipeline-v1\",\n");
+    json.push_str(&format!("  \"preset\": \"{}\",\n", opts.preset));
+    json.push_str(&format!("  \"seed\": {},\n", config.seed));
+    json.push_str(&format!("  \"threads\": {},\n", opts.threads));
+    json.push_str(&format!("  \"faults\": \"{}\",\n", opts.faults));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"records\": {records},\n"));
+    json.push_str(&format!("  \"discovered_ips\": {engine_ips},\n"));
+    json.push_str(&format!("  \"prepare_ms\": {prepare_ms:.1},\n"));
+    json.push_str(&format!("  \"engine_ms\": {engine_ms:.3},\n"));
+    json.push_str(&format!("  \"fanout_ms\": {fanout_ms:.3},\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!("  \"records_per_sec\": {records_per_sec:.0},\n"));
+    json.push_str("  \"stages_ms\": {\n");
+    for (i, (name, ms)) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ms:.3}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"counters\": {\n");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = match &opts.out_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("# failed to create {dir}: {e}");
+                std::process::exit(1);
+            }
+            std::path::Path::new(dir).join("BENCH_pipeline.json")
+        }
+        None => std::path::PathBuf::from("BENCH_pipeline.json"),
+    };
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("# failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+
+    println!(
+        "discovery bench (preset {}, seed {}, threads {}, faults {})",
+        opts.preset, config.seed, opts.threads, opts.faults
+    );
+    println!("  records scanned      : {records}");
+    println!("  discovered IPs       : {engine_ips}");
+    println!("  engine (single-pass) : {engine_ms:9.1} ms  (best of {iters})");
+    println!("  fanout (per-provider): {fanout_ms:9.1} ms");
+    println!("  speedup              : {speedup:.2}x");
+    println!("  records/sec          : {records_per_sec:.0}");
+    for (name, ms) in &stages {
+        println!("    {name:<28} {ms:9.1} ms");
+    }
+    eprintln!("# wrote {}", path.display());
+
+    if let Some(bl) = &opts.baseline {
+        let base = std::fs::read_to_string(bl)
+            .ok()
+            .and_then(|t| json_f64(&t, "speedup"));
+        match base {
+            Some(base_speedup) => {
+                let floor = base_speedup * 0.75;
+                if speedup < floor {
+                    eprintln!(
+                        "# bench: REGRESSION — speedup {speedup:.2}x is below 75% of the \
+                         baseline's {base_speedup:.2}x (floor {floor:.2}x)"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "  baseline gate        : ok ({speedup:.2}x vs baseline {base_speedup:.2}x, \
+                     floor {floor:.2}x)"
+                );
+            }
+            None => {
+                eprintln!("# --baseline {bl:?}: unreadable or missing a \"speedup\" field");
+                std::process::exit(2);
+            }
+        }
+    }
 }

@@ -106,6 +106,9 @@ pub struct CliOptions {
     /// Fault plan selector (`--faults none|light|heavy|FILE`); a file is
     /// parsed with [`FaultPlan::parse_config`].
     pub faults: String,
+    /// Baseline `BENCH_pipeline.json` to compare against
+    /// (`--baseline FILE`, only meaningful for the `bench` experiment).
+    pub baseline: Option<String>,
 }
 
 impl CliOptions {
@@ -123,6 +126,7 @@ impl CliOptions {
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(1usize);
         let mut faults = "none".to_string();
+        let mut baseline = None;
         let mut it = args.skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -155,6 +159,9 @@ impl CliOptions {
                 "--faults" => {
                     faults = it.next().ok_or("--faults needs a value")?;
                 }
+                "--baseline" => {
+                    baseline = Some(it.next().ok_or("--baseline needs a file path")?);
+                }
                 "--help" | "-h" => return Err(usage()),
                 other if experiment.is_none() && !other.starts_with('-') => {
                     experiment = Some(other.to_string());
@@ -171,6 +178,7 @@ impl CliOptions {
             metrics,
             threads,
             faults,
+            baseline,
         })
     }
 
@@ -204,9 +212,11 @@ impl CliOptions {
 fn usage() -> String {
     "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
      \x20          [--trace] [--metrics FILE] [--threads N] [--faults none|light|heavy|FILE]\n\
+     \x20          [--baseline BENCH_pipeline.json]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
-     outage-deps cascade monitor ablation-coverage ablation-hitlist robustness"
+     outage-deps cascade monitor ablation-coverage ablation-hitlist robustness \
+     bench"
         .to_string()
 }
 

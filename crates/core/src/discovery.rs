@@ -11,17 +11,27 @@
 //! * **active DNS** — daily resolution of every passive-DNS-discovered
 //!   domain from three vantage points (`ActiveDns`).
 //!
-//! Each harvest fans out per provider through `iotmap-par`: one worker
-//! owns one provider's evidence (`&mut ProviderDiscovery`), running the
-//! exact serial per-provider code, and outputs merge in registry order —
-//! so a multi-threaded discovery run is byte-identical to a serial one.
+//! Each harvest is a **single pass over the records**: a
+//! [`crate::matcher::MatchEngine`] classifies every record against all
+//! sixteen providers at once (literal-suffix index lookups plus a combined
+//! fallback VM), then one `iotmap-par::shard_fold` over the records
+//! accumulates per-provider partial evidence which merges in shard order —
+//! so a multi-threaded run is byte-identical to a serial one, and the
+//! record corpus is walked once instead of once per provider.
+//!
+//! [`DiscoveryPipeline::run_fanout`] keeps the original per-provider
+//! fan-out (sixteen full scans, one worker per provider) as the reference
+//! implementation: the differential tests pin the engine's output to it
+//! byte-for-byte, and `exp bench` measures one against the other.
 
+use crate::matcher::MatchEngine;
 use crate::patterns::PatternRegistry;
 use crate::sources::DataSources;
 use iotmap_dns::{ActiveCampaign, RData};
 use iotmap_faults::ActiveDnsFaults;
-use iotmap_nettypes::{DomainName, Error, Location, StudyPeriod};
+use iotmap_nettypes::{DomainName, Error, Location, StudyPeriod, SuffixIndex};
 use iotmap_scan::zgrab::filter_records;
+use iotmap_scan::CensysRecord;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::net::IpAddr;
 
@@ -129,6 +139,119 @@ impl IpEvidence {
         if self.matched_names.len() < MAX_MATCHED_NAMES {
             self.matched_names.insert(name.to_string());
         }
+    }
+}
+
+/// Evidence for one IP accumulated by one shard of a single-pass harvest.
+///
+/// [`IpEvidence`] has two order-sensitive pieces that a shard-and-merge
+/// scheme must replay faithfully: `matched_names` keeps the *first*
+/// [`MAX_MATCHED_NAMES`] distinct names in encounter order, and the two
+/// options keep their first `Some`. So the partial stores names as an
+/// ordered deduplicated list and options as first-`Some`; merging
+/// partials **in shard order** and applying onto the shared evidence then
+/// reproduces the serial fan-out byte-for-byte at any thread count.
+///
+/// Capping the partial's list at [`MAX_MATCHED_NAMES`] is lossless: when
+/// applying onto an evidence set that already holds `k ≤ cap` names,
+/// at most `cap − k` list entries are inserted and at most `k` collide,
+/// so the first `cap` distinct names are always enough.
+#[derive(Debug, Clone, Default)]
+struct PartialEvidence {
+    days: BTreeSet<i64>,
+    domain_hint: Option<String>,
+    censys_location: Option<Location>,
+    matched_names: Vec<String>,
+}
+
+impl PartialEvidence {
+    fn note_name(&mut self, name: &str) {
+        if self.matched_names.len() < MAX_MATCHED_NAMES
+            && !self.matched_names.iter().any(|n| n == name)
+        {
+            self.matched_names.push(name.to_string());
+        }
+    }
+
+    /// Fold `later`'s evidence in; `later` came from a later shard, so
+    /// `self`'s names and options take precedence.
+    fn merge(&mut self, later: PartialEvidence) {
+        self.days.extend(later.days);
+        if self.domain_hint.is_none() {
+            self.domain_hint = later.domain_hint;
+        }
+        if self.censys_location.is_none() {
+            self.censys_location = later.censys_location;
+        }
+        for name in later.matched_names {
+            if self.matched_names.len() >= MAX_MATCHED_NAMES {
+                break;
+            }
+            if !self.matched_names.contains(&name) {
+                self.matched_names.push(name);
+            }
+        }
+    }
+
+    /// Replay onto the shared per-provider evidence, exactly as the
+    /// serial per-record loop would have.
+    fn apply(self, source: Source, entry: &mut IpEvidence) {
+        entry.sources.insert(source);
+        entry.days.extend(self.days);
+        if entry.domain_hint.is_none() {
+            entry.domain_hint = self.domain_hint;
+        }
+        if entry.censys_location.is_none() {
+            entry.censys_location = self.censys_location;
+        }
+        for name in self.matched_names {
+            if entry.matched_names.len() < MAX_MATCHED_NAMES {
+                entry.matched_names.insert(name);
+            }
+        }
+    }
+}
+
+/// Per-provider partial state for one shard of the certificate / IPv6
+/// harvests: just the per-IP evidence.
+type IpPartials = Vec<HashMap<IpAddr, PartialEvidence>>;
+
+fn merge_ip_partials(
+    a: &mut HashMap<IpAddr, PartialEvidence>,
+    b: HashMap<IpAddr, PartialEvidence>,
+) {
+    for (ip, pe) in b {
+        a.entry(ip).or_default().merge(pe);
+    }
+}
+
+/// Apply per-provider IP partials onto the result, one worker per
+/// provider (disjoint `&mut`, no merge step).
+fn apply_ip_partials(result: &mut DiscoveryResult, source: Source, partials: IpPartials) {
+    let mut work: Vec<(&mut ProviderDiscovery, HashMap<IpAddr, PartialEvidence>)> =
+        result.providers.iter_mut().zip(partials).collect();
+    iotmap_par::shard_map_mut(&mut work, |_i, (prov, partial)| {
+        for (ip, pe) in std::mem::take(partial) {
+            pe.apply(source, prov.ips.entry(ip).or_default());
+        }
+    });
+}
+
+/// Per-provider partial state for one shard of the passive-DNS harvest:
+/// direct per-IP evidence, matched owner domains, and the CNAME pairs to
+/// chase once the direct pass has been applied.
+#[derive(Debug, Clone, Default)]
+struct PdnsPartial {
+    ips: HashMap<IpAddr, PartialEvidence>,
+    domains: BTreeSet<DomainName>,
+    cnames: Vec<(DomainName, DomainName)>,
+}
+
+impl PdnsPartial {
+    fn merge(&mut self, later: PdnsPartial) {
+        merge_ip_partials(&mut self.ips, later.ips);
+        self.domains.extend(later.domains);
+        self.cnames.extend(later.cnames);
     }
 }
 
@@ -291,10 +414,8 @@ impl DiscoveryPipeline {
         &self.registry
     }
 
-    /// Run all four instruments over a study period.
-    pub fn run(&self, sources: &DataSources<'_>, period: StudyPeriod) -> DiscoveryResult {
-        let _span = iotmap_obs::span!("core.discovery");
-        let mut result = DiscoveryResult {
+    fn empty_result(&self) -> DiscoveryResult {
+        DiscoveryResult {
             providers: self
                 .registry
                 .providers()
@@ -304,12 +425,34 @@ impl DiscoveryPipeline {
                     ..Default::default()
                 })
                 .collect(),
-        };
+        }
+    }
 
+    /// Run all four instruments over a study period, using the single-pass
+    /// matching engine.
+    pub fn run(&self, sources: &DataSources<'_>, period: StudyPeriod) -> DiscoveryResult {
+        let _span = iotmap_obs::span!("core.discovery");
+        let mut result = self.empty_result();
         self.harvest_certificates(sources, period, &mut result);
         self.harvest_v6_scans(sources, period, &mut result);
         self.harvest_passive_dns(sources, period, &mut result);
         self.harvest_active_dns(sources, period, &mut result);
+        flush_discovery_totals(&result);
+        result
+    }
+
+    /// Run all four instruments with the original per-provider fan-out
+    /// (sixteen full scans over every corpus). Kept as the reference
+    /// implementation: [`DiscoveryPipeline::run`] must produce the exact
+    /// same [`DiscoveryResult`], and `exp bench` times the two against
+    /// each other.
+    pub fn run_fanout(&self, sources: &DataSources<'_>, period: StudyPeriod) -> DiscoveryResult {
+        let _span = iotmap_obs::span!("core.discovery.fanout");
+        let mut result = self.empty_result();
+        self.harvest_certificates_fanout(sources, period, &mut result);
+        self.harvest_v6_scans_fanout(sources, period, &mut result);
+        self.harvest_passive_dns_fanout(sources, period, &mut result);
+        self.harvest_active_dns_fanout(sources, period, &mut result);
         flush_discovery_totals(&result);
         result
     }
@@ -322,17 +465,7 @@ impl DiscoveryPipeline {
         period: StudyPeriod,
         channels: &[Source],
     ) -> DiscoveryResult {
-        let mut result = DiscoveryResult {
-            providers: self
-                .registry
-                .providers()
-                .iter()
-                .map(|p| ProviderDiscovery {
-                    name: p.name.to_string(),
-                    ..Default::default()
-                })
-                .collect(),
-        };
+        let mut result = self.empty_result();
         let _span = iotmap_obs::span!("core.discovery.channels");
         if channels.contains(&Source::Certificate) {
             self.harvest_certificates(sources, period, &mut result);
@@ -350,6 +483,9 @@ impl DiscoveryPipeline {
         result
     }
 
+    /// Single-pass certificate harvest: classify every in-period snapshot
+    /// record against all providers at once, then shard the records and
+    /// fan the evidence back in per provider.
     fn harvest_certificates(
         &self,
         sources: &DataSources<'_>,
@@ -357,6 +493,350 @@ impl DiscoveryPipeline {
         result: &mut DiscoveryResult,
     ) {
         let _span = iotmap_obs::span!("discovery.certificates");
+        let providers = self.registry.providers();
+        let engine = MatchEngine::sans(&self.registry);
+        // One flattened row list over the in-period snapshots, in source
+        // order — the same per-provider event sequence as the fan-out's
+        // snapshot walk.
+        let rows: Vec<(i64, &CensysRecord)> = sources
+            .censys
+            .iter()
+            .filter(|s| period.contains(s.date.midnight()))
+            .flat_map(|s| {
+                let day = s.date.epoch_days();
+                s.records.iter().map(move |r| (day, r))
+            })
+            .collect();
+        let index = iotmap_scan::censys::san_suffix_index(rows.iter().map(|&(_, r)| r), period);
+        let table = {
+            let mut buf = String::new();
+            engine.classify(
+                &index,
+                rows.len(),
+                |p, row| {
+                    let re = &providers[p].san_regex;
+                    rows[row as usize]
+                        .1
+                        .certificate
+                        .sans
+                        .iter()
+                        .any(|san| re.is_match(san.presentation_into(&mut buf)))
+                },
+                |row, emit| {
+                    let (_, record) = rows[row as usize];
+                    if record.certificate.valid_during(&period) {
+                        let mut name_buf = String::new();
+                        record.certificate.for_each_name(&mut name_buf, emit);
+                    }
+                },
+            )
+        };
+        let matches = table.matched_per_provider();
+        let partials = iotmap_par::shard_fold(
+            &rows,
+            |_ctx| {
+                providers
+                    .iter()
+                    .map(|_| HashMap::new())
+                    .collect::<IpPartials>()
+            },
+            |acc, i, &(day, record)| {
+                if !table.any(i) {
+                    return;
+                }
+                for p in table.providers(i) {
+                    let patterns = &providers[p];
+                    let pe = acc[p].entry(record.ip).or_default();
+                    pe.days.insert(day);
+                    if pe.censys_location.is_none() {
+                        pe.censys_location = record.location.clone();
+                    }
+                    let mut name_buf = String::new();
+                    record.certificate.for_each_name(&mut name_buf, |name| {
+                        if patterns.matches_san(name) {
+                            if pe.domain_hint.is_none() {
+                                pe.domain_hint = patterns.region_hint.extract(name);
+                            }
+                            pe.note_name(name);
+                        }
+                    });
+                }
+            },
+            |a, b| {
+                for (pa, pb) in a.iter_mut().zip(b) {
+                    merge_ip_partials(pa, pb);
+                }
+            },
+        );
+        apply_ip_partials(result, Source::Certificate, partials);
+        flush_provider_matches(Source::Certificate, result, &matches);
+    }
+
+    /// Single-pass IPv6 banner-grab harvest.
+    fn harvest_v6_scans(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        let _span = iotmap_obs::span!("discovery.ipv6_scan");
+        let first_day = period.start.epoch_days();
+        let providers = self.registry.providers();
+        let engine = MatchEngine::sans(&self.registry);
+        let records = sources.zgrab_v6;
+        let index = iotmap_scan::zgrab::san_suffix_index(records, period);
+        let table = {
+            let mut buf = String::new();
+            engine.classify(
+                &index,
+                records.len(),
+                |p, row| {
+                    let re = &providers[p].san_regex;
+                    records[row as usize]
+                        .certificate
+                        .sans
+                        .iter()
+                        .any(|san| re.is_match(san.presentation_into(&mut buf)))
+                },
+                |row, emit| {
+                    let record = &records[row as usize];
+                    if record.certificate.valid_during(&period) {
+                        let mut name_buf = String::new();
+                        record.certificate.for_each_name(&mut name_buf, emit);
+                    }
+                },
+            )
+        };
+        let matches = table.matched_per_provider();
+        let partials = iotmap_par::shard_fold(
+            records,
+            |_ctx| {
+                providers
+                    .iter()
+                    .map(|_| HashMap::new())
+                    .collect::<IpPartials>()
+            },
+            |acc, i, record| {
+                if !table.any(i) {
+                    return;
+                }
+                for p in table.providers(i) {
+                    let patterns = &providers[p];
+                    let pe = acc[p].entry(IpAddr::V6(record.ip)).or_default();
+                    pe.days.insert(first_day);
+                    let mut name_buf = String::new();
+                    record.certificate.for_each_name(&mut name_buf, |name| {
+                        if patterns.matches_san(name) {
+                            if pe.domain_hint.is_none() {
+                                pe.domain_hint = patterns.region_hint.extract(name);
+                            }
+                            pe.note_name(name);
+                        }
+                    });
+                }
+            },
+            |a, b| {
+                for (pa, pb) in a.iter_mut().zip(b) {
+                    merge_ip_partials(pa, pb);
+                }
+            },
+        );
+        apply_ip_partials(result, Source::Ipv6Scan, partials);
+        flush_provider_matches(Source::Ipv6Scan, result, &matches);
+    }
+
+    /// Single-pass passive-DNS harvest: one classification of the rrset
+    /// table via the database's owner suffix index, one sharded evidence
+    /// pass, then per-provider CNAME chasing over the merged pairs.
+    fn harvest_passive_dns(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        let _span = iotmap_obs::span!("discovery.passive_dns");
+        let pdns = sources.passive_dns;
+        let entries = pdns.entries_slice();
+        let providers = self.registry.providers();
+        let engine = MatchEngine::owners(&self.registry);
+        let table = {
+            let mut buf = String::new();
+            engine.classify(
+                pdns.owner_suffix_index(),
+                entries.len(),
+                |p, row| {
+                    let entry = &entries[row as usize];
+                    entry.observed_in(&period)
+                        && providers[p]
+                            .owner_regex
+                            .is_match(entry.owner.fqdn_into(&mut buf))
+                },
+                |row, emit| {
+                    let entry = &entries[row as usize];
+                    if entry.observed_in(&period) {
+                        let mut fqdn = String::new();
+                        emit(entry.owner.fqdn_into(&mut fqdn));
+                    }
+                },
+            )
+        };
+        iotmap_obs::count!("discovery.pdns.rrsets_scanned", entries.len() as u64);
+        let matches = table.matched_per_provider();
+        let partials = iotmap_par::shard_fold(
+            entries,
+            |_ctx| {
+                providers
+                    .iter()
+                    .map(|_| PdnsPartial::default())
+                    .collect::<Vec<_>>()
+            },
+            |acc, i, entry| {
+                if !table.any(i) {
+                    return;
+                }
+                for p in table.providers(i) {
+                    let partial = &mut acc[p];
+                    partial.domains.insert(entry.owner.clone());
+                    match &entry.rdata {
+                        RData::Cname(target) => {
+                            partial.cnames.push((entry.owner.clone(), target.clone()));
+                        }
+                        rdata => {
+                            if let Some(ip) = rdata.ip() {
+                                let pe = partial.ips.entry(ip).or_default();
+                                let first =
+                                    entry.time_first.epoch_days().max(period.start.epoch_days());
+                                let last = entry
+                                    .time_last
+                                    .epoch_days()
+                                    .min(period.end.epoch_days() - 1);
+                                for d in first..=last {
+                                    pe.days.insert(d);
+                                }
+                                if pe.domain_hint.is_none() {
+                                    pe.domain_hint =
+                                        providers[p].region_hint.extract(entry.owner.as_str());
+                                }
+                                pe.note_name(entry.owner.as_str());
+                            }
+                        }
+                    }
+                }
+            },
+            |a, b| {
+                for (pa, pb) in a.iter_mut().zip(b) {
+                    pa.merge(pb);
+                }
+            },
+        );
+        // Apply direct evidence, then chase the merged CNAME pairs —
+        // direct-before-chase per provider, exactly as the fan-out.
+        let mut work: Vec<(&mut ProviderDiscovery, PdnsPartial)> =
+            result.providers.iter_mut().zip(partials).collect();
+        iotmap_par::shard_map_mut(&mut work, |pi, (prov, partial)| {
+            let patterns = &providers[pi];
+            let partial = std::mem::take(partial);
+            prov.domains.extend(partial.domains);
+            for (ip, pe) in partial.ips {
+                pe.apply(Source::PassiveDns, prov.ips.entry(ip).or_default());
+            }
+            for (owner, target) in partial.cnames {
+                for entry in pdns.entries_for_owner(&target, period) {
+                    if let Some(ip) = entry.rdata.ip() {
+                        Self::note_pdns_ip(
+                            prov,
+                            patterns,
+                            ip,
+                            &owner,
+                            entry.time_first.epoch_days().max(period.start.epoch_days()),
+                            entry
+                                .time_last
+                                .epoch_days()
+                                .min(period.end.epoch_days() - 1),
+                        );
+                    }
+                }
+            }
+        });
+        flush_provider_matches(Source::PassiveDns, result, &matches);
+    }
+
+    /// Single-pass active-DNS seeding: the in-period owner corpus is
+    /// classified once for every provider, then each provider's campaign
+    /// runs exactly as in the fan-out.
+    fn harvest_active_dns(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        let _span = iotmap_obs::span!("discovery.active_dns");
+        let providers = self.registry.providers();
+        let owners = sources.passive_dns.owners_in(period);
+        let engine = MatchEngine::owners(&self.registry);
+        let mut index = SuffixIndex::new();
+        for (i, owner) in owners.iter().enumerate() {
+            index.insert(owner.as_str(), i as u32);
+        }
+        let table = {
+            let mut buf = String::new();
+            engine.classify(
+                &index,
+                owners.len(),
+                |p, row| {
+                    providers[p]
+                        .owner_regex
+                        .is_match(owners[row as usize].fqdn_into(&mut buf))
+                },
+                |row, emit| {
+                    let mut fqdn = String::new();
+                    emit(owners[row as usize].fqdn_into(&mut fqdn));
+                },
+            )
+        };
+        let matches = iotmap_par::shard_map_mut(&mut result.providers, |pi, prov| {
+            let patterns = &providers[pi];
+            let mut seeds: BTreeSet<DomainName> = prov.domains.clone();
+            for (i, owner) in owners.iter().enumerate() {
+                if table.contains(i, pi) {
+                    seeds.insert(owner.clone());
+                }
+            }
+            if seeds.is_empty() {
+                return 0;
+            }
+            let domains: Vec<DomainName> = seeds.iter().cloned().collect();
+            let campaign_result = self.campaign.run_with_faults(
+                sources.zones,
+                &domains,
+                &period,
+                self.fault_seed,
+                &self.active_dns_faults,
+            );
+            let mut matched = 0u64;
+            for obs in &campaign_result.observations {
+                matched += 1;
+                let entry = prov.ips.entry(obs.ip).or_default();
+                entry.sources.insert(Source::ActiveDns);
+                entry.days.insert(obs.day);
+                if entry.domain_hint.is_none() {
+                    entry.domain_hint = patterns.region_hint.extract(obs.domain.as_str());
+                }
+                entry.note_name(obs.domain.as_str());
+            }
+            prov.domains = seeds;
+            matched
+        });
+        flush_provider_matches(Source::ActiveDns, result, &matches);
+    }
+
+    fn harvest_certificates_fanout(
+        &self,
+        sources: &DataSources<'_>,
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
+        let _span = iotmap_obs::span!("discovery.certificates.fanout");
         // Per-provider fan-out: each worker owns exactly one provider's
         // discovery (disjoint `&mut`), walking the snapshots in
         // chronological order — the same per-provider event sequence as
@@ -394,13 +874,13 @@ impl DiscoveryPipeline {
         flush_provider_matches(Source::Certificate, result, &matches);
     }
 
-    fn harvest_v6_scans(
+    fn harvest_v6_scans_fanout(
         &self,
         sources: &DataSources<'_>,
         period: StudyPeriod,
         result: &mut DiscoveryResult,
     ) {
-        let _span = iotmap_obs::span!("discovery.ipv6_scan");
+        let _span = iotmap_obs::span!("discovery.ipv6_scan.fanout");
         let first_day = period.start.epoch_days();
         let providers = self.registry.providers();
         let matches = iotmap_par::shard_map_mut(&mut result.providers, |pi, prov| {
@@ -425,13 +905,13 @@ impl DiscoveryPipeline {
         flush_provider_matches(Source::Ipv6Scan, result, &matches);
     }
 
-    fn harvest_passive_dns(
+    fn harvest_passive_dns_fanout(
         &self,
         sources: &DataSources<'_>,
         period: StudyPeriod,
         result: &mut DiscoveryResult,
     ) {
-        let _span = iotmap_obs::span!("discovery.passive_dns");
+        let _span = iotmap_obs::span!("discovery.passive_dns.fanout");
         let pdns = sources.passive_dns;
         let providers = self.registry.providers();
         let per_provider: Vec<(u64, u64)> =
@@ -516,7 +996,7 @@ impl DiscoveryPipeline {
         entry.note_name(owner.as_str());
     }
 
-    fn harvest_active_dns(
+    fn harvest_active_dns_fanout(
         &self,
         sources: &DataSources<'_>,
         period: StudyPeriod,
@@ -524,7 +1004,7 @@ impl DiscoveryPipeline {
     ) {
         // Seed: every matching domain seen in passive DNS during the
         // period (the paper resolves "all domains identified via DNSDB").
-        let _span = iotmap_obs::span!("discovery.active_dns");
+        let _span = iotmap_obs::span!("discovery.active_dns.fanout");
         let providers = self.registry.providers();
         let matches = iotmap_par::shard_map_mut(&mut result.providers, |pi, prov| {
             let patterns = &providers[pi];

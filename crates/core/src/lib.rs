@@ -26,6 +26,7 @@ pub mod characterize;
 pub mod discovery;
 pub mod disruptions;
 pub mod footprint;
+pub mod matcher;
 pub mod monitor;
 pub mod patterns;
 pub mod ports;
@@ -39,6 +40,7 @@ pub use discovery::{
     DiscoveryPipeline, DiscoveryResult, IpEvidence, ProviderDiscovery, Source, SourceSet,
 };
 pub use footprint::{Footprint, FootprintInference};
+pub use matcher::{MatchEngine, MatchTable};
 pub use monitor::{Monitor, MonitoringWindow, TrendFinding, TrendKind};
 pub use patterns::{PatternRegistry, ProviderPatterns};
 pub use ports::ObservedPorts;

@@ -16,7 +16,8 @@
 use crate::record::{RData, RrType};
 use iotmap_dregex::query::{DnsdbQuery, DnsdbRdataQuery, RrTypeFilter};
 use iotmap_faults::PassiveDnsFaults;
-use iotmap_nettypes::{DomainName, SimDuration, SimTime, StudyPeriod};
+use iotmap_nettypes::{DomainName, SimDuration, SimTime, StudyPeriod, SuffixIndex};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -45,6 +46,9 @@ pub struct PassiveDnsDb {
     by_pair: HashMap<(DomainName, RData), usize>,
     by_ip: HashMap<IpAddr, Vec<usize>>,
     by_owner: HashMap<DomainName, Vec<usize>>,
+    /// Reversed-label index over owner names; postings are entry-table
+    /// indices, ascending because entries only ever append.
+    by_suffix: SuffixIndex,
 }
 
 impl PassiveDnsDb {
@@ -53,22 +57,26 @@ impl PassiveDnsDb {
         Self::default()
     }
 
-    /// Record one observation of `(owner, rdata)` at `time`.
+    /// Record one observation of `(owner, rdata)` at `time`. The common
+    /// (aggregation) case is a single hash lookup with no clones; the pair
+    /// is cloned only when a new entry is created.
     pub fn observe(&mut self, owner: DomainName, rdata: RData, time: SimTime) {
-        let key = (owner.clone(), rdata.clone());
-        match self.by_pair.get(&key) {
-            Some(&idx) => {
-                let e = &mut self.entries[idx];
+        match self.by_pair.entry((owner, rdata)) {
+            Entry::Occupied(o) => {
+                let e = &mut self.entries[*o.get()];
                 e.time_first = e.time_first.min(time);
                 e.time_last = e.time_last.max(time);
                 e.count += 1;
             }
-            None => {
+            Entry::Vacant(v) => {
                 let idx = self.entries.len();
+                let (owner, rdata) = v.key().clone();
+                v.insert(idx);
                 if let Some(ip) = rdata.ip() {
                     self.by_ip.entry(ip).or_default().push(idx);
                 }
                 self.by_owner.entry(owner.clone()).or_default().push(idx);
+                self.by_suffix.insert(owner.as_str(), idx as u32);
                 self.entries.push(RrsetEntry {
                     owner,
                     rdata,
@@ -76,7 +84,6 @@ impl PassiveDnsDb {
                     time_last: time,
                     count: 1,
                 });
-                self.by_pair.insert(key, idx);
             }
         }
     }
@@ -167,6 +174,13 @@ impl PassiveDnsDb {
         &self.entries
     }
 
+    /// The reversed-label suffix index over owner names. Postings are
+    /// indices into [`PassiveDnsDb::entries_slice`], ascending; candidates
+    /// still need the caller's own time-window and pattern verification.
+    pub fn owner_suffix_index(&self) -> &SuffixIndex {
+        &self.by_suffix
+    }
+
     /// Re-insert an already-aggregated entry, preserving its times and
     /// count while maintaining every index — the degraded-copy rebuild
     /// path. Assumes the `(owner, rdata)` pair is not already present.
@@ -176,6 +190,7 @@ impl PassiveDnsDb {
             self.by_ip.entry(ip).or_default().push(idx);
         }
         self.by_owner.entry(e.owner.clone()).or_default().push(idx);
+        self.by_suffix.insert(e.owner.as_str(), idx as u32);
         self.by_pair.insert((e.owner.clone(), e.rdata.clone()), idx);
         self.entries.push(e);
     }
@@ -397,6 +412,22 @@ mod tests {
             let parallel = iotmap_par::with_threads(threads, || db.par_search(&q, week()));
             assert_eq!(parallel, serial, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn suffix_index_tracks_observe_and_degraded_rebuilds() {
+        use iotmap_nettypes::SuffixQuery;
+        let mut db = PassiveDnsDb::new();
+        db.observe(d("hub1.azure-devices.net"), a(1), t(2));
+        db.observe(d("hub1.azure-devices.net"), a(1), t(4)); // aggregate, no new posting
+        db.observe(d("hub2.azure-devices.net"), a(2), t(3));
+        db.observe(d("unrelated.example.com"), a(3), t(3));
+        let q = SuffixQuery::parse(".azure-devices.net.").unwrap();
+        assert_eq!(db.owner_suffix_index().lookup(&q), vec![0, 1]);
+        // The degraded rebuild maintains the index for survivors too.
+        let copy = db.degraded(0, &PassiveDnsFaults::NONE, &week());
+        assert_eq!(copy.owner_suffix_index().lookup(&q), vec![0, 1]);
+        assert_eq!(copy.owner_suffix_index().len(), db.len());
     }
 
     #[test]

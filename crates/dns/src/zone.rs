@@ -406,7 +406,7 @@ mod tests {
         let c = ctx(Continent::Europe, 2, 0);
         let later = ResolutionContext {
             time: SimTime(c.time.unix() + 3600),
-            ..c.clone()
+            ..c
         };
         assert_eq!(
             db.query(&d("lb.example.com"), RrType::A, &c),

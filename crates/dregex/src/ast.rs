@@ -65,7 +65,7 @@ mod tests {
         }
         .matches_empty());
         assert!(Ast::Alternate(vec![a.clone(), Ast::Empty]).matches_empty());
-        assert!(!Ast::Concat(vec![a.clone(), Ast::Empty]).matches_empty());
+        assert!(!Ast::Concat(vec![a, Ast::Empty]).matches_empty());
         assert!(Ast::Group(Box::new(Ast::Empty)).matches_empty());
     }
 }

@@ -70,6 +70,21 @@ impl ByteSet {
         self.bits.iter().all(|&w| w == 0)
     }
 
+    /// The contained byte, if the set is a singleton.
+    pub fn as_single(&self) -> Option<u8> {
+        let mut found = None;
+        for (i, &w) in self.bits.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            if found.is_some() || !w.is_power_of_two() {
+                return None;
+            }
+            found = Some((i as u8) * 64 + w.trailing_zeros() as u8);
+        }
+        found
+    }
+
     /// Close the set under ASCII case folding: for every letter present,
     /// add the other case.
     pub fn case_fold(&mut self) {
@@ -239,6 +254,21 @@ mod tests {
         let mut a = ByteSet::single(b'x');
         a.union_with(&ByteSet::single(b'y'));
         assert!(a.contains(b'x') && a.contains(b'y'));
+    }
+
+    #[test]
+    fn as_single_only_on_singletons() {
+        assert_eq!(ByteSet::single(b'a').as_single(), Some(b'a'));
+        assert_eq!(ByteSet::single(0).as_single(), Some(0));
+        assert_eq!(ByteSet::single(255).as_single(), Some(255));
+        assert_eq!(ByteSet::empty().as_single(), None);
+        assert_eq!(ByteSet::full().as_single(), None);
+        let mut two = ByteSet::single(b'a');
+        two.insert(b'b');
+        assert_eq!(two.as_single(), None);
+        let mut far = ByteSet::single(1);
+        far.insert(200);
+        assert_eq!(far.as_single(), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! AST → NFA program compiler (Thompson construction).
 
 use crate::ast::Ast;
-use crate::prog::{Inst, Program};
+use crate::prog::{Inst, Program, SetEntry};
 
 /// Compile an AST into an NFA program, optionally case-folding all classes.
 pub fn compile(ast: &Ast, case_insensitive: bool) -> Program {
@@ -16,6 +16,36 @@ pub fn compile(ast: &Ast, case_insensitive: bool) -> Program {
         insts: c.insts,
         anchored_start,
     }
+}
+
+/// Compile several patterns into one combined program. Pattern `i`'s accept
+/// instruction is [`Inst::MatchId`]`(i)` and its instructions start at the
+/// returned entry's `start` pc, so a multi-pattern VM run (see
+/// [`crate::vm::search_set`]) can report *which* patterns hit in a single
+/// scan of the input.
+pub fn compile_set(asts: &[Ast], case_insensitive: bool) -> (Program, Vec<SetEntry>) {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        case_insensitive,
+    };
+    let mut entries = Vec::with_capacity(asts.len());
+    for (i, ast) in asts.iter().enumerate() {
+        let start = c.pc();
+        c.emit_node(ast);
+        c.insts.push(Inst::MatchId(i as u32));
+        entries.push(SetEntry {
+            start,
+            anchored_start: starts_anchored(ast),
+        });
+    }
+    let anchored_start = entries.iter().all(|e| e.anchored_start);
+    (
+        Program {
+            insts: c.insts,
+            anchored_start,
+        },
+        entries,
+    )
 }
 
 /// Conservatively determine whether every match must begin with `^`.

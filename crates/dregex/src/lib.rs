@@ -31,6 +31,7 @@ pub mod ast;
 pub mod backtrack;
 pub mod classes;
 pub mod compile;
+pub mod literal;
 pub mod parser;
 pub mod prog;
 pub mod query;
@@ -46,6 +47,10 @@ pub use prog::Program;
 pub struct Regex {
     pattern: String,
     program: Program,
+    /// Mandatory anchored literals (see [`literal`]), extracted once at
+    /// compile time so the discovery matcher can prefilter with them.
+    literal_prefix: Option<String>,
+    literal_suffix: Option<String>,
 }
 
 impl Regex {
@@ -62,6 +67,8 @@ impl Regex {
         Ok(Regex {
             pattern: pattern.to_string(),
             program,
+            literal_prefix: literal::literal_prefix(&ast, case_insensitive),
+            literal_suffix: literal::literal_suffix(&ast, case_insensitive),
         })
     }
 
@@ -90,6 +97,98 @@ impl Regex {
     }
 
     /// Number of compiled instructions (for diagnostics and benches).
+    pub fn program_len(&self) -> usize {
+        self.program.insts.len()
+    }
+
+    /// Text every match must start with, at the start of the input — or
+    /// `None` when the pattern is not `^`-anchored or has no mandatory
+    /// head literal. Lowercased for case-insensitive patterns.
+    pub fn literal_prefix(&self) -> Option<&str> {
+        self.literal_prefix.as_deref()
+    }
+
+    /// Text every match must end with, at the end of the input — or `None`
+    /// when the pattern is not `$`-anchored or has no mandatory tail
+    /// literal. Lowercased for case-insensitive patterns.
+    pub fn literal_suffix(&self) -> Option<&str> {
+        self.literal_suffix.as_deref()
+    }
+}
+
+/// Several patterns compiled into one combined Pike-VM program: a single
+/// scan of an input reports *which* patterns match it (see
+/// [`compile::compile_set`] and [`vm::search_set`]). The discovery pipeline
+/// uses this so one pass over a name answers all providers at once.
+#[derive(Debug, Clone)]
+pub struct PatternSet {
+    patterns: Vec<String>,
+    program: Program,
+    entries: Vec<prog::SetEntry>,
+}
+
+impl PatternSet {
+    /// Compile a set of patterns (case-sensitive).
+    pub fn new<S: AsRef<str>>(patterns: &[S]) -> Result<Self, ParseErr> {
+        Self::with_options(patterns, false)
+    }
+
+    /// Compile a set of patterns, case-insensitively if requested.
+    pub fn with_options<S: AsRef<str>>(
+        patterns: &[S],
+        case_insensitive: bool,
+    ) -> Result<Self, ParseErr> {
+        let mut asts = Vec::with_capacity(patterns.len());
+        for p in patterns {
+            asts.push(parser::parse(p.as_ref())?);
+        }
+        let (program, entries) = compile::compile_set(&asts, case_insensitive);
+        Ok(PatternSet {
+            patterns: patterns.iter().map(|p| p.as_ref().to_string()).collect(),
+            program,
+            entries,
+        })
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the set holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Source pattern `i`.
+    pub fn pattern(&self, i: usize) -> &str {
+        &self.patterns[i]
+    }
+
+    /// Unanchored multi-pattern search: OR a hit into `matched[i]` for every
+    /// pattern `i` that matches anywhere in `input`. Slots already `true`
+    /// are skipped, so repeated calls accumulate over several inputs.
+    pub fn matches_into(&self, input: &str, matched: &mut [bool]) {
+        vm::search_set(&self.program, &self.entries, input.as_bytes(), matched);
+    }
+
+    /// Which patterns match anywhere in `input`? One `bool` per pattern.
+    pub fn matches(&self, input: &str) -> Vec<bool> {
+        let mut matched = vec![false; self.len()];
+        self.matches_into(input, &mut matched);
+        matched
+    }
+
+    /// Indices of the patterns that match anywhere in `input`, ascending.
+    pub fn matched_ids(&self, input: &str) -> Vec<usize> {
+        self.matches(input)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i))
+            .collect()
+    }
+
+    /// Total compiled instructions across the set (diagnostics).
     pub fn program_len(&self) -> usize {
         self.program.insts.len()
     }
@@ -155,6 +254,76 @@ mod tests {
         let re = Regex::new("b+").unwrap();
         assert_eq!(re.find("aabbbcbb"), Some((2, 3))); // shortest-match end
         assert_eq!(re.find("zzz"), None);
+    }
+
+    #[test]
+    fn pattern_set_reports_every_hit() {
+        let set = PatternSet::new(&[
+            r"(.+)\.azure-devices\.net\.$",
+            r"^(mqtt|cloudiotdevice)\.googleapis\.com\.$",
+            "iot",
+            r"never\.matches\.example\.$",
+        ])
+        .unwrap();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.matched_ids("myhub.azure-devices.net."), vec![0]);
+        assert_eq!(set.matched_ids("mqtt.googleapis.com."), vec![1]);
+        assert_eq!(set.matched_ids("device.iot.example."), vec![2]);
+        // One input can hit several patterns at once.
+        assert_eq!(set.matched_ids("iot.azure-devices.net."), vec![0, 2]);
+        assert!(set.matched_ids("unrelated.example.").is_empty());
+    }
+
+    #[test]
+    fn pattern_set_agrees_with_individual_regexes() {
+        let patterns = [
+            r"(.+)(\.iot\.)([[:alnum:]]+(-[[:alnum:]]+)+)(\.amazonaws\.com\.$)",
+            r"(.+\.|^)(azure-devices\.net\.$)",
+            r"^(na|ca|eu|ap)\.airvantage\.net\.$",
+            r"(.+)\.(eu1|eu2|us1|cn1)\.(mindsphere\.io\.$)",
+            "a+b",
+            "",
+        ];
+        let set = PatternSet::with_options(&patterns, true).unwrap();
+        let singles: Vec<Regex> = patterns
+            .iter()
+            .map(|p| Regex::with_options(p, true).unwrap())
+            .collect();
+        for input in [
+            "device.iot.us-east-1.amazonaws.com.",
+            "MYHUB.AZURE-DEVICES.NET.",
+            "eu.airvantage.net.",
+            "na.airvantage.net.evil.",
+            "plant7.eu2.mindsphere.io.",
+            "aab",
+            "",
+            "x.y.z",
+        ] {
+            let got = set.matches(input);
+            for (i, re) in singles.iter().enumerate() {
+                assert_eq!(got[i], re.is_match(input), "pattern {i} on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_set_accumulates_across_inputs() {
+        let set = PatternSet::new(&["foo", "bar"]).unwrap();
+        let mut matched = vec![false; 2];
+        set.matches_into("a.foo.example", &mut matched);
+        assert_eq!(matched, vec![true, false]);
+        set.matches_into("b.bar.example", &mut matched);
+        assert_eq!(matched, vec![true, true]);
+    }
+
+    #[test]
+    fn regex_exposes_anchored_literals() {
+        let re = Regex::new(r"(.+)\.iot\.sap\.$").unwrap();
+        assert_eq!(re.literal_suffix(), Some(".iot.sap."));
+        assert_eq!(re.literal_prefix(), None);
+        let re = Regex::new(r"^iot-mqtts\.(.+)").unwrap();
+        assert_eq!(re.literal_prefix(), Some("iot-mqtts."));
+        assert_eq!(re.literal_suffix(), None);
     }
 
     #[test]

@@ -19,6 +19,18 @@ pub enum Inst {
     AssertEnd,
     /// Accept.
     Match,
+    /// Accept for pattern `id` of a combined multi-pattern program (see
+    /// [`crate::compile::compile_set`]).
+    MatchId(u32),
+}
+
+/// Per-pattern entry point of a combined multi-pattern program: where the
+/// pattern's instructions start and whether every one of its matches must
+/// begin at the start of input.
+#[derive(Debug, Clone, Copy)]
+pub struct SetEntry {
+    pub start: u32,
+    pub anchored_start: bool,
 }
 
 /// A compiled regex program.

@@ -6,7 +6,7 @@
 //! immune to the catastrophic backtracking that patterns like `(a+)+b`
 //! trigger in naive engines.
 
-use crate::prog::{Inst, Program};
+use crate::prog::{Inst, Program, SetEntry};
 
 /// A deduplicated list of thread program counters.
 struct ThreadList {
@@ -63,7 +63,7 @@ fn add_thread(prog: &Program, list: &mut ThreadList, pc: u32, at_start: bool, at
                 add_thread(prog, list, pc + 1, at_start, at_end);
             }
         }
-        Inst::Class(_) | Inst::Match => {}
+        Inst::Class(_) | Inst::Match | Inst::MatchId(_) => {}
     }
 }
 
@@ -174,6 +174,69 @@ pub fn match_anchored(prog: &Program, input: &[u8]) -> bool {
     }
     flush_vm_metrics(steps);
     false
+}
+
+/// Multi-pattern unanchored search over a combined program (see
+/// [`crate::compile::compile_set`]): one lock-step scan of `input` decides,
+/// for every pattern at once, whether it matches anywhere. `matched` must
+/// have one slot per pattern (parallel to `entries`); hits are OR-ed in, so
+/// callers can accumulate over several inputs. Patterns already `true` on
+/// entry are not re-searched.
+pub fn search_set(prog: &Program, entries: &[SetEntry], input: &[u8], matched: &mut [bool]) {
+    debug_assert_eq!(entries.len(), matched.len());
+    if matched.iter().all(|&m| m) {
+        return;
+    }
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    clist.clear();
+    nlist.clear();
+    let mut steps = 0u64;
+    let mut pos = 0usize;
+    for (e, &done) in entries.iter().zip(matched.iter()) {
+        if !done {
+            add_thread(prog, &mut clist, e.start, true, input.is_empty());
+        }
+    }
+    loop {
+        let at_end = pos == input.len();
+        // Harvest accepts at this position.
+        for &pc in &clist.dense {
+            if let Inst::MatchId(id) = prog.insts[pc as usize] {
+                matched[id as usize] = true;
+            }
+        }
+        if at_end || matched.iter().all(|&m| m) {
+            break;
+        }
+        let byte = input[pos];
+        nlist.clear();
+        let next_at_end = pos + 1 == input.len();
+        steps += clist.dense.len() as u64;
+        for i in 0..clist.dense.len() {
+            let pc = clist.dense[i];
+            if let Inst::Class(ref set) = prog.insts[pc as usize] {
+                if set.contains(byte) {
+                    add_thread(prog, &mut nlist, pc + 1, false, next_at_end);
+                }
+            }
+        }
+        pos += 1;
+        std::mem::swap(&mut clist, &mut nlist);
+        // Unanchored patterns restart at every position; anchored ones only
+        // ever start at position 0.
+        let now_at_end = pos == input.len();
+        for (e, &done) in entries.iter().zip(matched.iter()) {
+            if !done && !e.anchored_start {
+                add_thread(prog, &mut clist, e.start, false, now_at_end);
+            }
+        }
+        if clist.dense.is_empty() {
+            break;
+        }
+    }
+    flush_vm_metrics(steps);
 }
 
 /// Report one VM execution's accumulated step count.

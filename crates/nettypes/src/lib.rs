@@ -12,6 +12,8 @@
 //!   aggregation units (Table 1 counts backends in /24s and /56s).
 //! * [`trie::PrefixMap`] — longest-prefix matching, used for the
 //!   RouteViews-style IP→AS mapping of §4.3.
+//! * [`trie::SuffixIndex`] — reversed-label suffix lookups over domain
+//!   names, the prefilter behind §3.2's single-pass pattern matching.
 //! * [`geo`] — continent/country/city model used for footprints (§4.2) and
 //!   region-crossing analyses (§5.7).
 //! * [`time`] — civil-date simulated time; study periods of §3.1.
@@ -40,7 +42,7 @@ pub use ports::{AppProtocol, PortProto, Transport};
 pub use prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
 pub use rng::SimRng;
 pub use time::{Date, SimDuration, SimTime, StudyPeriod};
-pub use trie::PrefixMap;
+pub use trie::{PrefixMap, SuffixIndex, SuffixQuery};
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 

@@ -9,11 +9,18 @@
 use crate::error::ParseError;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// A normalized DNS domain name (lowercase, no trailing dot).
+///
+/// The text is reference-counted (`Arc<str>`), so cloning a name — which
+/// the discovery pipeline does for every evidence-map key and passive-DNS
+/// index entry — is a refcount bump, not a heap copy. Equality, ordering,
+/// and hashing all delegate to the text, so interning is invisible to
+/// callers.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DomainName {
-    name: String,
+    name: Arc<str>,
 }
 
 impl DomainName {
@@ -50,7 +57,7 @@ impl DomainName {
             }
         }
         Ok(DomainName {
-            name: trimmed.to_ascii_lowercase(),
+            name: trimmed.to_ascii_lowercase().into(),
         })
     }
 
@@ -62,6 +69,16 @@ impl DomainName {
     /// The name in DNSDB presentation form, with a trailing root dot.
     pub fn fqdn(&self) -> String {
         format!("{}.", self.name)
+    }
+
+    /// [`DomainName::fqdn`] into a reusable buffer — no allocation on hot
+    /// paths that render many names (the discovery matcher's per-candidate
+    /// verification).
+    pub fn fqdn_into<'b>(&self, buf: &'b mut String) -> &'b str {
+        buf.clear();
+        buf.push_str(&self.name);
+        buf.push('.');
+        buf
     }
 
     /// Labels, left to right.
@@ -80,15 +97,15 @@ impl DomainName {
             return true;
         }
         self.name.len() > suffix.name.len()
-            && self.name.ends_with(&suffix.name)
+            && self.name.ends_with(&*suffix.name)
             && self.name.as_bytes()[self.name.len() - suffix.name.len() - 1] == b'.'
     }
 
     /// The parent domain (one label stripped), if any.
     pub fn parent(&self) -> Option<DomainName> {
-        self.name.split_once('.').map(|(_, rest)| DomainName {
-            name: rest.to_string(),
-        })
+        self.name
+            .split_once('.')
+            .map(|(_, rest)| DomainName { name: rest.into() })
     }
 
     /// The registrable-ish second-level domain: the last two labels. (A real
@@ -98,8 +115,11 @@ impl DomainName {
         let labels: Vec<&str> = self.name.split('.').collect();
         let n = labels.len();
         let start = n.saturating_sub(2);
+        if start == 0 {
+            return self.clone();
+        }
         DomainName {
-            name: labels[start..].join("."),
+            name: labels[start..].join(".").into(),
         }
     }
 }
@@ -148,6 +168,22 @@ mod tests {
         assert!(DomainName::parse("exa mple.com").is_err());
         assert!(DomainName::parse(&"a".repeat(64)).is_err());
         assert!(DomainName::parse(&format!("{}.com", "a.".repeat(127))).is_err());
+    }
+
+    #[test]
+    fn fqdn_into_reuses_buffer() {
+        let mut buf = String::new();
+        assert_eq!(d("a.example.com").fqdn_into(&mut buf), "a.example.com.");
+        assert_eq!(d("b.io").fqdn_into(&mut buf), "b.io.");
+        assert_eq!(d("b.io").fqdn(), buf);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = d("shared.example.com");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(a, b);
     }
 
     #[test]

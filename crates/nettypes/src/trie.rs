@@ -1,12 +1,19 @@
-//! Longest-prefix-match tries.
+//! Longest-prefix-match tries — and their DNS mirror image, a
+//! reversed-label suffix index.
 //!
 //! §4.3 of the paper maps every discovered backend address to its covering
 //! BGP announcement ("We use the RouteViews Prefix to AS mapping dataset from
 //! CAIDA to map IP addresses to prefixes and AS numbers"). A binary trie
 //! keyed on prefix bits gives the longest-prefix match in `O(len)` and is the
 //! canonical data structure for this job.
+//!
+//! [`SuffixIndex`] applies the same idea to domain names: names are keyed by
+//! their labels *in reverse* (`com → amazonaws → iot → …`), so "every name
+//! under `.amazonaws.com`" is one trie walk instead of a scan — the lookup
+//! shape §3.2's literal-suffixed provider patterns need.
 
 use crate::prefix::{Ipv4Prefix, Ipv6Prefix};
+use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// A node of the binary trie. Children are indexed by the next bit.
@@ -229,6 +236,150 @@ impl<V> PrefixMap<V> {
     }
 }
 
+/// One node of the reversed-label trie. `ids` aggregates the whole subtree:
+/// every name inserted at or below this node, in insertion order.
+#[derive(Debug, Clone, Default)]
+struct SuffixNode {
+    children: HashMap<Box<str>, SuffixNode>,
+    ids: Vec<u32>,
+}
+
+/// A reversed-label suffix index over domain names.
+///
+/// Each name is inserted with a caller-chosen `u32` id (typically its row
+/// index in some corpus) and its id is recorded at every node along the
+/// reversed-label path, so a lookup returns the whole matching subtree's
+/// postings without walking it. Ids must be inserted in non-decreasing
+/// order; lookups then come back sorted ascending.
+///
+/// Keys are case-folded and a trailing root dot is ignored, so DNSDB
+/// presentation names (`host.example.com.`) and normalized names index
+/// identically. Wildcard SAN labels (`*`) are stored as ordinary labels.
+#[derive(Debug, Clone, Default)]
+pub struct SuffixIndex {
+    root: SuffixNode,
+    names: usize,
+}
+
+/// A parsed suffix-lookup key, derived from a pattern's mandatory literal
+/// tail (see `iotmap_dregex::Regex::literal_suffix`). Two shapes exist:
+///
+/// * label-aligned (`.amazonaws.com.`): the literal starts at a label
+///   boundary, so matching names are exactly one trie node's subtree;
+/// * partial first label (`azure-devices.net.`): the leading fragment may
+///   be the tail of a longer label (`x-azure-devices`), so the lookup
+///   unions the matching children of the walked node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixQuery {
+    /// Reversed full labels to walk (`["com", "amazonaws"]`).
+    labels_rev: Vec<Box<str>>,
+    /// Leading fragment that must end a further label, if not label-aligned.
+    partial: Option<Box<str>>,
+}
+
+impl SuffixQuery {
+    /// Parse a literal name suffix into a lookup key. The literal is
+    /// case-folded; one trailing root dot is ignored. Returns `None` for
+    /// literals that cannot constrain a name (empty, bare `.`, or
+    /// containing empty interior labels like `a..b`) — callers fall back
+    /// to a full scan.
+    pub fn parse(literal: &str) -> Option<SuffixQuery> {
+        let mut lit = literal.to_ascii_lowercase();
+        if let Some(stripped) = lit.strip_suffix('.') {
+            lit.truncate(stripped.len());
+        }
+        let aligned = lit.starts_with('.');
+        let body = if aligned { &lit[1..] } else { &lit[..] };
+        if body.is_empty() {
+            return None;
+        }
+        let mut fragments: Vec<&str> = body.split('.').collect();
+        if fragments.iter().any(|f| f.is_empty()) {
+            return None;
+        }
+        let partial = if aligned {
+            None
+        } else {
+            Some(Box::from(fragments.remove(0)))
+        };
+        Some(SuffixQuery {
+            labels_rev: fragments.iter().rev().map(|f| Box::from(*f)).collect(),
+            partial,
+        })
+    }
+}
+
+impl SuffixIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of names inserted.
+    pub fn len(&self) -> usize {
+        self.names
+    }
+
+    /// True if no names were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.names == 0
+    }
+
+    /// Insert `name` under `id`. Ids must be non-decreasing across calls
+    /// (insert corpus rows in order).
+    pub fn insert(&mut self, name: &str, id: u32) {
+        let name = name.strip_suffix('.').unwrap_or(name);
+        let mut node = &mut self.root;
+        node.ids.push(id);
+        for label in name.rsplit('.') {
+            let key = if label.bytes().any(|b| b.is_ascii_uppercase()) {
+                Box::from(label.to_ascii_lowercase())
+            } else {
+                Box::from(label)
+            };
+            node = node.children.entry(key).or_default();
+            node.ids.push(id);
+        }
+        self.names += 1;
+    }
+
+    /// All ids whose names end with the queried suffix, ascending and
+    /// deduplicated (a name inserted once appears once).
+    pub fn lookup(&self, query: &SuffixQuery) -> Vec<u32> {
+        let mut node = &self.root;
+        for label in &query.labels_rev {
+            match node.children.get(label) {
+                Some(child) => node = child,
+                None => return Vec::new(),
+            }
+        }
+        match &query.partial {
+            // Label-aligned: the node's aggregated subtree is the answer.
+            // (An id can appear several times when one record was inserted
+            // under several names sharing the suffix; the list is sorted by
+            // construction, so dedup is linear.)
+            None => {
+                let mut hits = node.ids.clone();
+                hits.dedup();
+                hits
+            }
+            // The fragment must end one more label: union the matching
+            // children's postings (each already sorted by insertion order).
+            Some(fragment) => {
+                let mut hits: Vec<u32> = node
+                    .children
+                    .iter()
+                    .filter(|(label, _)| label.ends_with(&**fragment))
+                    .flat_map(|(_, child)| child.ids.iter().copied())
+                    .collect();
+                hits.sort_unstable();
+                hits.dedup();
+                hits
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,5 +472,89 @@ mod tests {
         t.insert(0, 0, "root");
         assert_eq!(t.longest_match(u128::MAX, 128), Some((0, &"root")));
         assert_eq!(t.get(0, 0), Some(&"root"));
+    }
+
+    fn sample_index() -> SuffixIndex {
+        let mut idx = SuffixIndex::new();
+        for (id, name) in [
+            "device1.iot.us-east-1.amazonaws.com",
+            "a.azure-devices.net",
+            "x-azure-devices.net", // partial-label lookalike, distinct 2LD
+            "azure-devices.net",
+            "*.iot.eu-west-1.amazonaws.com.",
+            "plant7.eu1.mindsphere.io",
+            "unrelated.example.org",
+        ]
+        .iter()
+        .enumerate()
+        {
+            idx.insert(name, id as u32);
+        }
+        idx
+    }
+
+    #[test]
+    fn label_aligned_suffix_lookup() {
+        let idx = sample_index();
+        let q = SuffixQuery::parse(".amazonaws.com.").unwrap();
+        assert_eq!(idx.lookup(&q), vec![0, 4]);
+        let q = SuffixQuery::parse(".mindsphere.io").unwrap();
+        assert_eq!(idx.lookup(&q), vec![5]);
+        let q = SuffixQuery::parse(".nosuch.tld").unwrap();
+        assert!(idx.lookup(&q).is_empty());
+    }
+
+    #[test]
+    fn partial_first_label_unions_matching_children() {
+        let idx = sample_index();
+        // "azure-devices.net." is not label-aligned: both the exact 2LD and
+        // the "x-azure-devices" lookalike label end with the fragment.
+        let q = SuffixQuery::parse("azure-devices.net.").unwrap();
+        assert_eq!(idx.lookup(&q), vec![1, 2, 3]);
+        // A longer fragment excludes the exact label.
+        let q = SuffixQuery::parse("-azure-devices.net.").unwrap();
+        assert_eq!(idx.lookup(&q), vec![2]);
+    }
+
+    #[test]
+    fn suffix_index_case_folds_and_strips_root_dot() {
+        let mut idx = SuffixIndex::new();
+        idx.insert("Device.IoT.Example.COM.", 0);
+        let q = SuffixQuery::parse(".example.com").unwrap();
+        assert_eq!(idx.lookup(&q), vec![0]);
+        let q = SuffixQuery::parse(".EXAMPLE.COM.").unwrap();
+        assert_eq!(idx.lookup(&q), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_ids_from_multi_name_records_dedup() {
+        let mut idx = SuffixIndex::new();
+        // One record (id 7) carries two SANs under the same suffix.
+        idx.insert("a.example.com", 7);
+        idx.insert("b.example.com", 7);
+        idx.insert("c.example.com", 9);
+        let q = SuffixQuery::parse(".example.com").unwrap();
+        assert_eq!(idx.lookup(&q), vec![7, 9]);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_query_literals_are_rejected() {
+        assert_eq!(SuffixQuery::parse(""), None);
+        assert_eq!(SuffixQuery::parse("."), None);
+        assert_eq!(SuffixQuery::parse(".."), None);
+        assert_eq!(SuffixQuery::parse("a..b"), None);
+        assert!(SuffixQuery::parse("com").is_some());
+        assert!(SuffixQuery::parse(".com.").is_some());
+    }
+
+    #[test]
+    fn root_partial_query_scans_top_level_labels() {
+        let idx = sample_index();
+        // No full label at all: fragment matches top-level labels directly.
+        let q = SuffixQuery::parse("com").unwrap();
+        assert_eq!(idx.lookup(&q), vec![0, 4]);
+        let q = SuffixQuery::parse("et").unwrap();
+        assert_eq!(idx.lookup(&q), vec![1, 2, 3]);
     }
 }

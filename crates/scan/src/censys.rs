@@ -10,7 +10,7 @@ use crate::target::ScanView;
 use iotmap_dregex::query::CensysNameQuery;
 use iotmap_dregex::Regex;
 use iotmap_faults::CensysFaults;
-use iotmap_nettypes::{Date, Location, PortProto, SimDuration, StudyPeriod};
+use iotmap_nettypes::{Date, Location, PortProto, SimDuration, StudyPeriod, SuffixIndex};
 use iotmap_tls::{handshake, Certificate, ClientHello};
 use std::net::IpAddr;
 
@@ -69,6 +69,31 @@ impl CensysSnapshot {
     pub fn records_for_ip(&self, ip: IpAddr) -> impl Iterator<Item = &CensysRecord> {
         self.records.iter().filter(move |r| r.ip == ip)
     }
+}
+
+/// Build a reversed-label [`SuffixIndex`] over certificate names: one
+/// posting per `(record, SAN)` keyed by the record's position in the
+/// iteration order. Records whose certificate is not valid throughout
+/// `validity_window` are skipped entirely, so every posting already
+/// satisfies the §3.3 validity rule and index hits only need per-pattern
+/// verification. This is the prefilter behind the single-pass matcher: the
+/// provider patterns' literal suffixes become index lookups instead of
+/// per-provider scans over every record.
+pub fn san_suffix_index<'a>(
+    records: impl IntoIterator<Item = &'a CensysRecord>,
+    validity_window: StudyPeriod,
+) -> SuffixIndex {
+    let mut index = SuffixIndex::new();
+    let mut buf = String::new();
+    for (row, record) in records.into_iter().enumerate() {
+        if !record.certificate.valid_during(&validity_window) {
+            continue;
+        }
+        record
+            .certificate
+            .for_each_name(&mut buf, |name| index.insert(name, row as u32));
+    }
+    index
 }
 
 /// The scanning service itself.
@@ -318,6 +343,36 @@ mod tests {
             .find(|(a, _)| *a == "198.51.100.8".parse::<std::net::Ipv4Addr>().unwrap())
             .expect("host recorded");
         assert!(ports.contains(&PortProto::tcp(1883)));
+    }
+
+    #[test]
+    fn san_suffix_index_covers_valid_records_only() {
+        let mut net = FakeInternet::new();
+        net.add_v4(
+            "198.51.100.10",
+            wk::MQTT_TLS,
+            TlsEndpoint::plain(cert(&["*.azure-devices.net", "mgmt.example.com"])),
+        );
+        let mut expired = cert(&["*.iot.eu-west-1.amazonaws.com"]);
+        expired.not_after = Date::new(2022, 3, 2).midnight();
+        net.add_v4("198.51.100.11", wk::HTTPS, TlsEndpoint::plain(expired));
+        let snap = CensysService::new().daily_sweep(&net, Date::new(2022, 2, 28));
+        assert_eq!(snap.records.len(), 2);
+
+        let index = san_suffix_index(&snap.records, study_week());
+        let q = iotmap_nettypes::SuffixQuery::parse(".azure-devices.net").unwrap();
+        let azure_row = snap
+            .records
+            .iter()
+            .position(|r| {
+                r.certificate
+                    .covers(&"h.azure-devices.net".parse().unwrap())
+            })
+            .unwrap() as u32;
+        assert_eq!(index.lookup(&q), vec![azure_row]);
+        // The expired amazon certificate never made it into the index.
+        let amazon = iotmap_nettypes::SuffixQuery::parse(".amazonaws.com").unwrap();
+        assert!(index.lookup(&amazon).is_empty());
     }
 
     #[test]

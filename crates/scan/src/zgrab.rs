@@ -9,7 +9,7 @@ use crate::hitlist::Ipv6Hitlist;
 use crate::target::ScanView;
 use iotmap_dregex::Regex;
 use iotmap_faults::ZgrabFaults;
-use iotmap_nettypes::{PortProto, SimDuration, SimRng, SimTime, StudyPeriod};
+use iotmap_nettypes::{PortProto, SimDuration, SimRng, SimTime, StudyPeriod, SuffixIndex};
 use iotmap_tls::{handshake, Certificate, ClientHello};
 use std::net::{IpAddr, Ipv6Addr};
 
@@ -166,6 +166,25 @@ pub fn filter_records<'a>(
     })
 }
 
+/// Build a reversed-label [`SuffixIndex`] over grabbed certificate names:
+/// one posting per `(record, SAN)` keyed by the record's slice position.
+/// Records failing the validity window are skipped, mirroring
+/// [`filter_records`]'s first clause, so the single-pass matcher only has
+/// to verify the pattern clause on index hits.
+pub fn san_suffix_index(records: &[ZgrabRecord], validity_window: StudyPeriod) -> SuffixIndex {
+    let mut index = SuffixIndex::new();
+    let mut buf = String::new();
+    for (row, record) in records.iter().enumerate() {
+        if !record.certificate.valid_during(&validity_window) {
+            continue;
+        }
+        record
+            .certificate
+            .for_each_name(&mut buf, |name| index.insert(name, row as u32));
+    }
+    index
+}
+
 /// The simulated duration of a scan honouring single-probe pacing: one
 /// probe per destination, spread over the day.
 pub fn scan_duration(targets: usize) -> SimDuration {
@@ -269,6 +288,43 @@ mod tests {
         let hits: Vec<_> = filter_records(&records, &re, StudyPeriod::main_week()).collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].ip, "2001:db8::5".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn suffix_index_agrees_with_filter_records() {
+        let mut net = FakeInternet::new();
+        net.add_v6(
+            "2001:db8::5",
+            wk::MQTT_TLS,
+            TlsEndpoint::plain(cert(&["*.iot.tencentdevices.com"])),
+        );
+        net.add_v6(
+            "2001:db8::6",
+            wk::MQTT_TLS,
+            TlsEndpoint::plain(cert(&["www.unrelated.example"])),
+        );
+        let mut hitlist = Ipv6Hitlist::new();
+        hitlist.add("2001:db8::5".parse().unwrap());
+        hitlist.add("2001:db8::6".parse().unwrap());
+        let mut scanner = Zgrab2Scanner::new(iot_probe_ports());
+        let mut rng = SimRng::new(7);
+        let records = scanner.scan(&net, &hitlist, when(), &mut rng);
+
+        let index = san_suffix_index(&records, StudyPeriod::main_week());
+        let q = iotmap_nettypes::SuffixQuery::parse("tencentdevices.com").unwrap();
+        let re = Regex::new(r"tencentdevices\.com$").unwrap();
+        let via_filter: Vec<usize> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.certificate.valid_during(&StudyPeriod::main_week())
+                    && r.certificate.all_names().any(|n| re.is_match(&n))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let via_index: Vec<usize> = index.lookup(&q).into_iter().map(|i| i as usize).collect();
+        assert_eq!(via_index, via_filter);
+        assert!(!via_index.is_empty());
     }
 
     #[test]

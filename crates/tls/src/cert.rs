@@ -41,10 +41,25 @@ impl SanName {
 
     /// Presentation form (`*.example.com` for wildcards).
     pub fn presentation(&self) -> String {
-        match self {
-            SanName::Exact(n) => n.as_str().to_string(),
-            SanName::Wildcard(n) => format!("*.{}", n.as_str()),
-        }
+        let mut buf = String::new();
+        self.presentation_into(&mut buf);
+        buf
+    }
+
+    /// [`SanName::presentation`] into a reusable buffer — no allocation on
+    /// hot paths that render every SAN of every record (the discovery
+    /// matcher's candidate verification).
+    pub fn presentation_into<'b>(&self, buf: &'b mut String) -> &'b str {
+        buf.clear();
+        let n = match self {
+            SanName::Exact(n) => n,
+            SanName::Wildcard(n) => {
+                buf.push_str("*.");
+                n
+            }
+        };
+        buf.push_str(n.as_str());
+        buf
     }
 }
 
@@ -101,6 +116,14 @@ impl Certificate {
     pub fn all_names(&self) -> impl Iterator<Item = String> + '_ {
         self.sans.iter().map(|s| s.presentation())
     }
+
+    /// Visit every name in presentation form through one reusable buffer —
+    /// the allocation-free counterpart of [`Certificate::all_names`].
+    pub fn for_each_name(&self, buf: &mut String, mut f: impl FnMut(&str)) {
+        for san in &self.sans {
+            f(san.presentation_into(buf));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +164,7 @@ mod tests {
         assert!(c.valid_during(&StudyPeriod::main_week()));
         let expired = Certificate {
             not_after: Date::new(2022, 3, 2).midnight(),
-            ..c.clone()
+            ..c
         };
         assert!(!expired.valid_during(&StudyPeriod::main_week()));
     }
@@ -166,5 +189,19 @@ mod tests {
         for s in ["*.iot.sap", "mqtt.googleapis.com"] {
             assert_eq!(SanName::parse(s).unwrap().presentation(), s);
         }
+    }
+
+    #[test]
+    fn presentation_into_reuses_buffer() {
+        let mut buf = String::new();
+        let wild = SanName::parse("*.iot.sap").unwrap();
+        assert_eq!(wild.presentation_into(&mut buf), "*.iot.sap");
+        let exact = SanName::parse("mqtt.googleapis.com").unwrap();
+        assert_eq!(exact.presentation_into(&mut buf), "mqtt.googleapis.com");
+
+        let c = Certificate::new("gw", vec![wild, exact], validity());
+        let mut seen = Vec::new();
+        c.for_each_name(&mut buf, |n| seen.push(n.to_string()));
+        assert_eq!(seen, c.all_names().collect::<Vec<_>>());
     }
 }

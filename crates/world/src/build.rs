@@ -893,7 +893,7 @@ impl Builder {
         if !mqtt6.is_empty() {
             let w6 = (mqtt6.len() / 3).max(4);
             self.zones.set_policy(
-                mqtt.clone(),
+                mqtt,
                 RrType::Aaaa,
                 Policy::Rotating {
                     pool: mqtt6,
@@ -905,7 +905,7 @@ impl Builder {
         if !https_pool.is_empty() {
             let wh = (https_pool.len() / 4).max(8);
             self.zones.set_policy(
-                https.clone(),
+                https,
                 RrType::A,
                 Policy::Rotating {
                     pool: https_pool,

@@ -8,8 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets (allocation lints promoted)"
+cargo clippy --workspace --all-targets -- -D warnings \
+  -W clippy::redundant_clone -W clippy::inefficient_to_string
 
 # The CI fault matrix, condensed: degraded runs must complete cleanly
 # at every point of (--faults × --threads).
@@ -22,5 +23,15 @@ for faults in none heavy; do
       --faults "$faults" --threads "$threads" >/dev/null
   done
 done
+
+# The CI bench-smoke gate, condensed: the single-pass matching engine
+# must hold its speedup over the fan-out reference (≥75% of the
+# committed small-preset baseline; ratios, so machine-independent).
+echo "==> bench smoke (exp bench --preset small vs committed baseline)"
+tmp_bench="$(mktemp -d)"
+cargo run --release -q -p iotmap-bench --bin exp -- \
+  bench --preset small --seed 42 --threads 1 \
+  --out "$tmp_bench" --baseline scripts/bench-baseline-small.json >/dev/null
+rm -rf "$tmp_bench"
 
 echo "OK"

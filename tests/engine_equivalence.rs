@@ -1,0 +1,98 @@
+//! Engine-vs-fanout differential tests.
+//!
+//! PR 4 replaced the per-provider fan-out in `DiscoveryPipeline::run`
+//! with a single-pass matching engine (literal-suffix indexes + one
+//! combined Pike VM). The old path survives as
+//! [`DiscoveryPipeline::run_fanout`] precisely so this suite can pin
+//! the new path to it: over the same prepared world, the two must
+//! produce **byte-identical** discovery output — at every thread count
+//! and under every fault plan. Counters may differ (the engine scans
+//! each record once, not once per provider); facts may not.
+
+use iotmap::faults::FaultPlan;
+use iotmap::prelude::*;
+use std::fmt::Write as _;
+
+/// Canonical text dump of a [`DiscoveryResult`]: providers in registry
+/// order, domains in set order, IPs sorted, evidence debug-formatted.
+/// Two dumps are byte-identical iff the discovery facts agree exactly.
+fn canonical_discovery(d: &DiscoveryResult) -> String {
+    let mut out = String::new();
+    for (name, disc) in d.per_provider() {
+        writeln!(out, "provider {name}").unwrap();
+        for domain in &disc.domains {
+            writeln!(out, "  domain {domain}").unwrap();
+        }
+        let mut ips: Vec<_> = disc.ips.iter().collect();
+        ips.sort_by_key(|(ip, _)| **ip);
+        for (ip, evidence) in ips {
+            writeln!(out, "  ip {ip} {evidence:?}").unwrap();
+        }
+    }
+    out
+}
+
+/// Run both paths over one prepared world and assert byte-identity
+/// across thread counts. The fan-out reference is taken single-threaded;
+/// everything else (engine at 1/2/4/8 threads, fan-out re-run at 4) must
+/// reproduce it exactly.
+fn assert_engine_matches_fanout_on(config: WorldConfig, plan: FaultPlan) {
+    let artifacts = Pipeline::new(config)
+        .threads(1)
+        .faults(plan.clone())
+        .run()
+        .expect("pipeline");
+    let period = artifacts.world.config.study_period;
+    let sources = artifacts.sources();
+    let pipeline = DiscoveryPipeline::new(PatternRegistry::paper_defaults())
+        .faults(plan.seed, plan.active_dns);
+
+    let reference = with_threads(1, || pipeline.run_fanout(&sources, period));
+    let reference_dump = canonical_discovery(&reference);
+    assert!(
+        !reference_dump.is_empty(),
+        "fan-out reference discovered nothing; differential test would be vacuous"
+    );
+
+    for threads in [1, 2, 4, 8] {
+        let engine = with_threads(threads, || pipeline.run(&sources, period));
+        assert_eq!(
+            canonical_discovery(&engine),
+            reference_dump,
+            "engine diverged from fan-out at {threads} thread(s)"
+        );
+    }
+    let fanout4 = with_threads(4, || pipeline.run_fanout(&sources, period));
+    assert_eq!(
+        canonical_discovery(&fanout4),
+        reference_dump,
+        "fan-out reference itself is not thread-invariant"
+    );
+}
+
+#[test]
+fn engine_matches_fanout_without_faults() {
+    assert_engine_matches_fanout_on(WorldConfig::small(42), FaultPlan::none());
+}
+
+#[test]
+fn engine_matches_fanout_under_light_faults() {
+    assert_engine_matches_fanout_on(WorldConfig::small(42), FaultPlan::light());
+}
+
+#[test]
+fn engine_matches_fanout_under_heavy_faults() {
+    assert_engine_matches_fanout_on(WorldConfig::small(42), FaultPlan::heavy());
+}
+
+/// The acceptance bar verbatim: byte-identity on the *paper* preset at
+/// 1/2/4/8 threads under every fault plan. Several minutes of work, so
+/// ignored by default — run explicitly with
+/// `cargo test --release --test engine_equivalence -- --ignored`.
+#[test]
+#[ignore = "paper preset takes minutes; run with -- --ignored"]
+fn engine_matches_fanout_paper_preset() {
+    for plan in [FaultPlan::none(), FaultPlan::light(), FaultPlan::heavy()] {
+        assert_engine_matches_fanout_on(WorldConfig::paper(42), plan);
+    }
+}

@@ -115,7 +115,7 @@ fn fault_monotonicity_traffic_volume_never_increases() {
     let artifacts = run_with_plan(FaultPlan::none());
     let period = artifacts.world.config.study_period;
     let volume = |plan: FaultPlan| {
-        let sim = TrafficSimulator::with_faults(&artifacts.world, plan.seed, plan.netflow.clone());
+        let sim = TrafficSimulator::with_faults(&artifacts.world, plan.seed, plan.netflow);
         let mut sink = CountingSink {
             records: 0,
             bytes: 0,
@@ -130,6 +130,155 @@ fn fault_monotonicity_traffic_volume_never_increases() {
     assert!(heavy.0 > 0, "heavy faults must degrade, not destroy");
     assert!(light.0 <= none.0 && light.1 <= none.1);
     assert!(heavy.0 <= light.0 && heavy.1 <= light.1);
+}
+
+/// Randomized hostnames for the matching-engine differential: a mix of
+/// junk labels, genuine provider names, and adversarial lookalikes
+/// (provider suffixes glued without a label boundary, or buried before
+/// an extra tail), with random case flips to exercise case folding.
+fn random_hostnames(seed: u64, registry: &PatternRegistry, count: usize) -> Vec<String> {
+    let mut rng = SimRng::new(seed);
+    let labels = [
+        "device",
+        "mqtt",
+        "iot",
+        "cloud",
+        "a1b2",
+        "eu-west-1",
+        "x9",
+        "edge",
+    ];
+    let known = [
+        "a1b2.iot.eu-west-1.amazonaws.com",
+        "thing.iot.us-east-1.amazonaws.com",
+        "device.azure-devices.net",
+        "mqtt.googleapis.com",
+        "na.airvantage.net",
+    ];
+    let mut suffixes: Vec<String> = Vec::new();
+    for p in registry.providers() {
+        for re in [&p.owner_regex, &p.san_regex] {
+            if let Some(s) = re.literal_suffix() {
+                suffixes.push(s.trim_end_matches('.').to_string());
+            }
+        }
+    }
+    let mut names = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut name = match rng.gen_below(5) {
+            0 => {
+                let n = rng.gen_range(1, 5) as usize;
+                (0..n)
+                    .map(|_| *rng.choose(&labels))
+                    .collect::<Vec<_>>()
+                    .join(".")
+            }
+            1 => format!("{}{}", rng.choose(&labels), rng.choose(&suffixes)),
+            2 => {
+                let s = rng.choose(&suffixes);
+                if rng.chance(0.5) {
+                    format!("x{}", s.trim_start_matches('.'))
+                } else {
+                    format!("a{s}.evil.example")
+                }
+            }
+            3 => (*rng.choose(&known)).to_string(),
+            _ => format!("{}.{}", rng.choose(&labels), rng.choose(&known)),
+        };
+        if rng.chance(0.25) {
+            name = name
+                .chars()
+                .map(|c| {
+                    if rng.chance(0.3) {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// The single-pass matching engine (literal-suffix index prefilter +
+/// per-candidate Pike-VM verification, combined-set fallback) must agree
+/// with a naive oracle — every provider's pattern run as a backtracking
+/// regex over every name — on randomized hostnames. This pins both
+/// halves of the engine: the suffix index may never *drop* a true match
+/// (completeness) and verification may never *admit* a lookalike
+/// (soundness). Std-only and always on, unlike the proptest tier below.
+#[test]
+fn match_engine_agrees_with_backtracking_oracle() {
+    use iotmap::core::MatchEngine;
+    use iotmap::dregex::backtrack::BacktrackRegex;
+    use iotmap::nettypes::SuffixIndex;
+
+    let registry = PatternRegistry::paper_defaults();
+    let providers = registry.providers();
+    let mut positives = 0usize;
+
+    for seed in [1u64, 7, 42, 1337] {
+        let names = random_hostnames(seed, &registry, 250);
+
+        for owners in [false, true] {
+            // Owner rows are FQDNs (trailing dot), SAN rows are bare —
+            // mirroring how discovery feeds the engine.
+            let rows: Vec<String> = names
+                .iter()
+                .map(|n| if owners { format!("{n}.") } else { n.clone() })
+                .collect();
+            let engine = if owners {
+                MatchEngine::owners(&registry)
+            } else {
+                MatchEngine::sans(&registry)
+            };
+            let mut index = SuffixIndex::new();
+            for (row, name) in rows.iter().enumerate() {
+                index.insert(name, row as u32);
+            }
+            let table = engine.classify(
+                &index,
+                rows.len(),
+                |pi, row| {
+                    let re = if owners {
+                        &providers[pi].owner_regex
+                    } else {
+                        &providers[pi].san_regex
+                    };
+                    re.is_match(&rows[row as usize])
+                },
+                |row, f| f(&rows[row as usize]),
+            );
+
+            // Oracle: backtracking engine, case-folded by hand (the
+            // production regexes compile case-insensitive).
+            for (pi, provider) in providers.iter().enumerate() {
+                let pattern = if owners {
+                    provider.owner_regex.pattern()
+                } else {
+                    provider.san_regex.pattern()
+                };
+                let oracle = BacktrackRegex::new(pattern).expect("paper pattern");
+                for (row, name) in rows.iter().enumerate() {
+                    let expected = oracle.is_match(&name.to_ascii_lowercase());
+                    assert_eq!(
+                        table.contains(row, pi),
+                        expected,
+                        "engine vs backtracking oracle disagree: \
+                         name={name:?} provider={} owners={owners}",
+                        provider.name
+                    );
+                    positives += expected as usize;
+                }
+            }
+        }
+    }
+    assert!(
+        positives > 0,
+        "no generated name matched any provider; differential is vacuous"
+    );
 }
 
 #[cfg(feature = "heavy-tests")]
