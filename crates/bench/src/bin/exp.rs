@@ -50,6 +50,15 @@ fn require_provider<'a>(exp: &'a Experiment, name: &str) -> &'a iotmap_core::Pro
     })
 }
 
+/// Prepare an experiment, or exit(1) with a clear message when a pipeline
+/// stage fails — experiments must never leave via a panic's exit code.
+fn prepare_or_die(config: &WorldConfig, faults: iotmap_faults::FaultPlan) -> Experiment {
+    Experiment::try_prepare_with_faults(config, faults).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Print a table and, when `--out` was given, persist it as CSV.
 fn emit_table(name: &str, t: &TextTable) {
     println!("{}", t.render());
@@ -101,6 +110,15 @@ fn main() {
     // runs before the shared --trace/--metrics instrumentation.
     if opts.experiment == "bench" {
         run_bench(&opts, &config, &fault_plan);
+        return;
+    }
+
+    // The crash-recovery drill is also its own mode: it runs the pipeline
+    // several times (killed, resumed, uninterrupted) rather than preparing
+    // one shared experiment, and exits non-zero unless every resumed run
+    // is byte-identical to the uninterrupted baseline.
+    if opts.experiment == "crash-recovery" {
+        run_crash_recovery(&opts, &config, &fault_plan);
         return;
     }
 
@@ -167,7 +185,18 @@ fn main() {
         );
     }
     let t0 = std::time::Instant::now();
-    let exp = Experiment::prepare_with_faults(&config, fault_plan);
+    let exp = match Experiment::try_prepare_opts(
+        &config,
+        fault_plan,
+        opts.checkpoints.as_deref(),
+        opts.resume.as_deref(),
+    ) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "# world + discovery ready in {:.1}s ({} servers, {} discovered IPs)",
         t0.elapsed().as_secs_f64(),
@@ -993,7 +1022,7 @@ fn run_consistency(exp: &Experiment, config: &WorldConfig) {
 // -------------------------------------- §3.6 limitation ablation sweeps
 
 fn coverage_point(config: WorldConfig) -> (usize, usize) {
-    let exp = Experiment::prepare(&config);
+    let exp = prepare_or_die(&config, iotmap_faults::FaultPlan::none());
     let v4 = exp.discovery.all_v4().len();
     let v6 = exp.discovery.all_v6().len();
     (v4, v6)
@@ -1030,7 +1059,7 @@ fn run_ablation_hitlist(config: &WorldConfig) {
             hitlist_coverage: coverage,
             ..config.clone()
         };
-        let exp = Experiment::prepare(&cfg);
+        let exp = prepare_or_die(&cfg, iotmap_faults::FaultPlan::none());
         let v6 = exp.discovery.all_v6().len();
         let scan_only: usize = exp
             .discovery
@@ -1075,7 +1104,7 @@ fn run_robustness(config: &WorldConfig) {
         let plan = FaultPlan::preset(name).expect("built-in preset");
         let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
         iotmap_obs::install(registry.clone());
-        let exp = Experiment::prepare_with_faults(config, plan);
+        let exp = prepare_or_die(config, plan);
         let (report, _) = exp.full_traffic_analysis(config.study_period);
         iotmap_obs::uninstall();
         let down: u64 = report
@@ -1312,7 +1341,7 @@ fn run_bench(
         config.seed, opts.preset, opts.faults
     );
     let t0 = std::time::Instant::now();
-    let exp = Experiment::prepare_with_faults(config, faults.clone());
+    let exp = prepare_or_die(config, faults.clone());
     let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
     let sources = exp.sources();
     let period = config.study_period;
@@ -1458,4 +1487,121 @@ fn run_bench(
             }
         }
     }
+}
+
+/// The crash-recovery drill: for every stage boundary, run the pipeline
+/// with the supervisor's kill switch armed after that stage (checkpointing
+/// into a scratch run directory), resume from the checkpoints, and demand
+/// the resumed artifacts are byte-identical to an uninterrupted run. A
+/// final chaos pass injects seeded stage and shard crashes (no
+/// checkpoints) and demands the retries converge to the same bytes.
+/// Any divergence, failed resume, or unfired kill switch exits 1.
+fn run_crash_recovery(
+    opts: &iotmap_bench::CliOptions,
+    config: &WorldConfig,
+    faults: &iotmap_faults::FaultPlan,
+) {
+    use iotmap_bench::Pipeline;
+
+    if faults.crash.is_active() {
+        eprintln!(
+            "# crash-recovery: note — the plan's own crash settings are overridden per scenario"
+        );
+    }
+    let run = |plan: iotmap_faults::FaultPlan,
+               dir: Option<&std::path::Path>,
+               resume: bool|
+     -> Result<iotmap_bench::RunArtifacts, iotmap_nettypes::Error> {
+        let mut p = Pipeline::new(config.clone())
+            .threads(opts.threads)
+            .faults(plan);
+        if let Some(dir) = dir {
+            p = if resume {
+                p.resume(dir)
+            } else {
+                p.checkpoints(dir)
+            };
+        }
+        p.run()
+    };
+
+    eprintln!(
+        "# crash-recovery: uninterrupted baseline (seed {}, preset {}, faults {})…",
+        config.seed, opts.preset, opts.faults
+    );
+    let mut clean = faults.clone();
+    clean.crash = iotmap_faults::CrashFaults::NONE;
+    let baseline = match run(clean.clone(), None, false) {
+        Ok(a) => a.canonical_dump(),
+        Err(e) => {
+            eprintln!("crash-recovery: baseline run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let root = opts.out_dir.as_ref().map_or_else(
+        || std::env::temp_dir().join(format!("iotmap-crash-recovery-{}", std::process::id())),
+        |d| std::path::Path::new(d).join("crash-recovery"),
+    );
+    let stages = ["world", "scans", "discovery", "footprints", "shared-ip"];
+    let mut failures = 0usize;
+    for stage in stages {
+        let dir = root.join(stage);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut kill = clean.clone();
+        kill.crash.kill_after_stage = Some(stage.to_string());
+        match run(kill, Some(&dir), false) {
+            Err(_) => {}
+            Ok(_) => {
+                eprintln!("# {stage}: kill switch did not fire — nothing to resume from");
+                failures += 1;
+                continue;
+            }
+        }
+        match run(clean.clone(), Some(&dir), true) {
+            Ok(a) if a.canonical_dump() == baseline => {
+                println!("{stage:>10}: killed after stage, resumed, artifacts byte-identical");
+            }
+            Ok(_) => {
+                eprintln!("# {stage}: resumed artifacts DIVERGE from the uninterrupted run");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("# {stage}: resume failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // Chaos pass: seeded stage and shard crashes, contained by the
+    // supervisor's retries and the shard quarantine — no checkpoints.
+    let mut chaos = clean;
+    chaos.crash.stage_rate = 0.4;
+    chaos.crash.shard_rate = 0.02;
+    chaos.crash.max_crashes = 2;
+    match run(chaos, None, false) {
+        Ok(a) if a.canonical_dump() == baseline => {
+            println!(
+                "{:>10}: injected crashes contained, artifacts byte-identical",
+                "chaos"
+            );
+        }
+        Ok(_) => {
+            eprintln!("# chaos: artifacts DIVERGE after contained crashes");
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("# chaos: run failed despite retry budget: {e}");
+            failures += 1;
+        }
+    }
+
+    if opts.out_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    if failures > 0 {
+        eprintln!("# crash-recovery: {failures} scenario(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("crash-recovery: all scenarios recovered byte-identically");
 }

@@ -64,10 +64,27 @@ impl Experiment {
         config: &WorldConfig,
         faults: FaultPlan,
     ) -> Result<Experiment, Error> {
-        let artifacts = Pipeline::new(config.clone())
+        Self::try_prepare_opts(config, faults, None, None)
+    }
+
+    /// The full fallible constructor: faults plus optional checkpointing.
+    /// `resume` wins over `checkpoints` when both are given (a resumed run
+    /// re-checkpoints into the same directory anyway).
+    pub fn try_prepare_opts(
+        config: &WorldConfig,
+        faults: FaultPlan,
+        checkpoints: Option<&str>,
+        resume: Option<&str>,
+    ) -> Result<Experiment, Error> {
+        let mut pipeline = Pipeline::new(config.clone())
             .threads(iotmap_par::threads())
-            .faults(faults)
-            .run()?;
+            .faults(faults);
+        if let Some(dir) = resume {
+            pipeline = pipeline.resume(dir);
+        } else if let Some(dir) = checkpoints {
+            pipeline = pipeline.checkpoints(dir);
+        }
+        let artifacts = pipeline.run()?;
         Ok(Experiment {
             artifacts,
             anonymization: Anonymization::paper(),
@@ -109,6 +126,12 @@ pub struct CliOptions {
     /// Baseline `BENCH_pipeline.json` to compare against
     /// (`--baseline FILE`, only meaningful for the `bench` experiment).
     pub baseline: Option<String>,
+    /// Checkpoint each completed pipeline stage into this run directory
+    /// (`--checkpoints DIR`).
+    pub checkpoints: Option<String>,
+    /// Resume from checkpoints in this run directory (`--resume DIR`);
+    /// implies checkpointing the stages that still have to run.
+    pub resume: Option<String>,
 }
 
 impl CliOptions {
@@ -127,6 +150,8 @@ impl CliOptions {
             .unwrap_or(1usize);
         let mut faults = "none".to_string();
         let mut baseline = None;
+        let mut checkpoints = None;
+        let mut resume = None;
         let mut it = args.skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -162,6 +187,12 @@ impl CliOptions {
                 "--baseline" => {
                     baseline = Some(it.next().ok_or("--baseline needs a file path")?);
                 }
+                "--checkpoints" => {
+                    checkpoints = Some(it.next().ok_or("--checkpoints needs a directory")?);
+                }
+                "--resume" => {
+                    resume = Some(it.next().ok_or("--resume needs a directory")?);
+                }
                 "--help" | "-h" => return Err(usage()),
                 other if experiment.is_none() && !other.starts_with('-') => {
                     experiment = Some(other.to_string());
@@ -179,6 +210,8 @@ impl CliOptions {
             threads,
             faults,
             baseline,
+            checkpoints,
+            resume,
         })
     }
 
@@ -212,11 +245,11 @@ impl CliOptions {
 fn usage() -> String {
     "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
      \x20          [--trace] [--metrics FILE] [--threads N] [--faults none|light|heavy|FILE]\n\
-     \x20          [--baseline BENCH_pipeline.json]\n\
+     \x20          [--baseline BENCH_pipeline.json] [--checkpoints DIR] [--resume DIR]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist robustness \
-     bench"
+     bench crash-recovery"
         .to_string()
 }
 
@@ -285,6 +318,33 @@ mod tests {
         )
         .unwrap();
         assert!(opts.fault_plan().is_err());
+    }
+
+    #[test]
+    fn cli_checkpoint_flags() {
+        let opts = CliOptions::parse(["exp", "table1"].iter().map(|s| s.to_string())).unwrap();
+        assert!(opts.checkpoints.is_none());
+        assert!(opts.resume.is_none());
+
+        let opts = CliOptions::parse(
+            ["exp", "table1", "--checkpoints", "/tmp/run1"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.checkpoints.as_deref(), Some("/tmp/run1"));
+
+        let opts = CliOptions::parse(
+            ["exp", "table1", "--resume", "/tmp/run1"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.resume.as_deref(), Some("/tmp/run1"));
+
+        assert!(
+            CliOptions::parse(["exp", "table1", "--resume"].iter().map(|s| s.to_string())).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Exit-status contract of the `exp` binary: usage errors exit 2, stage
+//! failures exit 1 (a clean message, not a panic's 101), success exits 0.
+
+use std::process::Command;
+
+fn exp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exp"))
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iotmap-exit-codes-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = exp().arg("no-such-experiment").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = exp()
+        .args(["table1", "--faults", "/no/such/faults.conf"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--faults"));
+
+    let out = exp().args(["table1", "--preset", "huge"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stage_failures_exit_1_with_a_clear_message() {
+    // A fault plan whose kill switch fires right after the first stage:
+    // the pipeline returns a stage error and exp must exit 1 — not 0, and
+    // not a panic's 101.
+    let dir = scratch("kill");
+    let faults = dir.join("kill.conf");
+    std::fs::write(&faults, "crash.kill_after_stage = world\n").unwrap();
+    let out = exp()
+        .args(["table1", "--preset", "small"])
+        .args(["--faults", faults.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pipeline failed"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn successful_runs_exit_0_and_checkpoint_resume_works_end_to_end() {
+    let dir = scratch("ckpt");
+    let run_dir = dir.join("run");
+    let out = exp()
+        .args(["table1", "--preset", "small"])
+        .args(["--checkpoints", run_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        std::fs::read_dir(&run_dir).unwrap().count() > 0,
+        "checkpoints were written"
+    );
+    let first = String::from_utf8_lossy(&out.stdout).to_string();
+
+    let out = exp()
+        .args(["table1", "--preset", "small"])
+        .args(["--resume", run_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        first,
+        "a resumed run must print the same tables"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

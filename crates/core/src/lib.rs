@@ -39,7 +39,7 @@ pub use characterize::{CharacterizationRow, Characterizer, StrategyCall};
 pub use discovery::{
     DiscoveryPipeline, DiscoveryResult, IpEvidence, ProviderDiscovery, Source, SourceSet,
 };
-pub use footprint::{Footprint, FootprintInference};
+pub use footprint::{Footprint, FootprintInference, IpLocation};
 pub use matcher::{MatchEngine, MatchTable};
 pub use monitor::{Monitor, MonitoringWindow, TrendFinding, TrendKind};
 pub use patterns::{PatternRegistry, ProviderPatterns};

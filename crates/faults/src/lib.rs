@@ -104,6 +104,50 @@ pub struct NetflowFaults {
     pub reset_rate: f64,
 }
 
+/// Fault knobs for the *runtime* itself: seeded panic injection inside
+/// pipeline stages and `iotmap-par` shards. Unlike every other family in
+/// this crate, crash faults never change what a completed run computes —
+/// they only exercise the supervision path (containment, retry,
+/// checkpoint/resume). A run that survives a crash plan is byte-identical
+/// to one that never crashed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashFaults {
+    /// Probability that one stage *attempt* panics at entry (keyed on
+    /// `(stage, attempt)`; only the first [`CrashFaults::max_crashes`]
+    /// attempts ever roll, so a supervisor with enough retries always
+    /// makes progress).
+    pub stage_rate: f64,
+    /// Probability that one parallel shard panics at entry (keyed on
+    /// `(stage, shard, attempt)`; the engine's serial quarantine retry
+    /// runs with injection disarmed, so a contained shard always
+    /// recovers).
+    pub shard_rate: f64,
+    /// Attempt budget for injection: attempts `>= max_crashes` never
+    /// roll. This bounds injected failures per site, guaranteeing
+    /// termination under retry.
+    pub max_crashes: u32,
+    /// Hard kill switch modelling power loss: abort the run immediately
+    /// after the named stage completes (and its checkpoint, if any, is
+    /// written). Fires on every run that reaches the stage — resume the
+    /// run without this knob to get past it.
+    pub kill_after_stage: Option<String>,
+}
+
+impl CrashFaults {
+    /// No crash injection.
+    pub const NONE: CrashFaults = CrashFaults {
+        stage_rate: 0.0,
+        shard_rate: 0.0,
+        max_crashes: 2,
+        kill_after_stage: None,
+    };
+
+    /// Does this plan inject any crashes?
+    pub fn is_active(&self) -> bool {
+        self.stage_rate > 0.0 || self.shard_rate > 0.0 || self.kill_after_stage.is_some()
+    }
+}
+
 /// A complete fault plan: one seed plus per-source knobs.
 ///
 /// Construct with [`FaultPlan::none`] / [`FaultPlan::light`] /
@@ -119,6 +163,12 @@ pub struct FaultPlan {
     pub passive_dns: PassiveDnsFaults,
     pub active_dns: ActiveDnsFaults,
     pub netflow: NetflowFaults,
+    /// Runtime crash injection (stages/shards). Not a data source: it
+    /// never alters artifacts, is excluded from [`FaultPlan::dominates`]
+    /// and [`FaultPlan::data_fingerprint`], and does not make
+    /// [`FaultPlan::is_active`] true on its own — consult
+    /// `plan.crash.is_active()` separately.
+    pub crash: CrashFaults,
 }
 
 /// Default seed for the built-in presets — shared so `light` and `heavy`
@@ -226,6 +276,7 @@ impl FaultPlan {
                 export_drop_rate: 0.0,
                 reset_rate: 0.0,
             },
+            crash: CrashFaults::NONE,
         }
     }
 
@@ -256,6 +307,7 @@ impl FaultPlan {
                 export_drop_rate: 0.01,
                 reset_rate: 0.0,
             },
+            crash: CrashFaults::NONE,
         }
     }
 
@@ -289,6 +341,7 @@ impl FaultPlan {
                 export_drop_rate: 0.08,
                 reset_rate: 0.02,
             },
+            crash: CrashFaults::NONE,
         }
     }
 
@@ -329,6 +382,19 @@ impl FaultPlan {
             && self.active_dns.timeout_rate >= other.active_dns.timeout_rate
             && self.netflow.export_drop_rate >= other.netflow.export_drop_rate
             && self.netflow.reset_rate >= other.netflow.reset_rate
+    }
+
+    /// A canonical string over every *artifact-affecting* knob: the seed
+    /// and all data-source families, excluding [`FaultPlan::crash`]
+    /// (which only perturbs the execution path, never the output). Two
+    /// plans with equal fingerprints produce byte-identical artifacts
+    /// from the same world — this is what checkpoint headers embed, so a
+    /// crashy run's checkpoints stay valid for a crash-free resume.
+    pub fn data_fingerprint(&self) -> String {
+        format!(
+            "seed={};censys={:?};zgrab={:?};passive_dns={:?};active_dns={:?};netflow={:?}",
+            self.seed, self.censys, self.zgrab, self.passive_dns, self.active_dns, self.netflow
+        )
     }
 
     /// Resolve a `--faults` CLI spec: `none`, `light`, or `heavy`.
@@ -403,6 +469,16 @@ impl FaultPlan {
                 }
                 "netflow.export_drop_rate" => plan.netflow.export_drop_rate = rate(value)?,
                 "netflow.reset_rate" => plan.netflow.reset_rate = rate(value)?,
+                "crash.stage_rate" => plan.crash.stage_rate = rate(value)?,
+                "crash.shard_rate" => plan.crash.shard_rate = rate(value)?,
+                "crash.max_crashes" => {
+                    plan.crash.max_crashes = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad crash budget: {e}", lineno + 1))?;
+                }
+                "crash.kill_after_stage" => {
+                    plan.crash.kill_after_stage = Some(value.to_string());
+                }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
         }
@@ -560,6 +636,128 @@ pub fn retry(seed: u64, label: &str, key: u64, rate: f64, max_attempts: u32) -> 
     }
 }
 
+/// Seeded crash injection: the ambient context `iotmap-par` consults.
+///
+/// The supervisor *arms* the current thread with the plan's
+/// [`CrashFaults`] around each stage attempt; stage entry and shard entry
+/// then take pure-hash rolls exactly like every other fault family, and a
+/// hit raises a panic with a recognisable [`crash::InjectedCrash`]
+/// payload. Arming installs (once, process-wide) a panic hook that
+/// silences injected-crash payloads so deliberately-noisy recovery tests
+/// don't flood stderr — every other panic still reports through the
+/// previously installed hook.
+pub mod crash {
+    use super::{key2, key3, roll, CrashFaults};
+    use std::cell::RefCell;
+
+    /// Panic payload for injected crashes, so containment layers can
+    /// distinguish a drill from a genuine bug when counting.
+    #[derive(Debug, Clone)]
+    pub struct InjectedCrash {
+        /// Where the crash fired, e.g. `stage:discovery` or
+        /// `shard:discovery/3`.
+        pub site: String,
+    }
+
+    /// The armed injection context for the current thread.
+    #[derive(Debug, Clone)]
+    pub struct CrashCtx {
+        /// The plan seed (crash rolls share the plan's seed).
+        pub seed: u64,
+        /// The crash knobs.
+        pub faults: CrashFaults,
+        /// FNV hash of the armed stage's name (decorrelates sites).
+        pub stage: u64,
+        /// The stage name (for panic payloads).
+        pub stage_name: String,
+        /// The supervisor's attempt index for this stage (0-based).
+        pub attempt: u32,
+    }
+
+    thread_local! {
+        static ARMED: RefCell<Option<CrashCtx>> = const { RefCell::new(None) };
+    }
+
+    fn silence_injected_crash_reports() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<InjectedCrash>().is_some() {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+
+    /// Arm the current thread: shard entries reached from here (within
+    /// the same thread, or captured by `iotmap-par` at fan-out) roll for
+    /// injection. Call [`disarm`] when the attempt ends.
+    pub fn arm(seed: u64, faults: &CrashFaults, stage: &str, attempt: u32) {
+        if !faults.is_active() {
+            return;
+        }
+        silence_injected_crash_reports();
+        ARMED.with(|a| {
+            *a.borrow_mut() = Some(CrashCtx {
+                seed,
+                faults: faults.clone(),
+                stage: super::hash_str(stage),
+                stage_name: stage.to_string(),
+                attempt,
+            })
+        });
+    }
+
+    /// Disarm the current thread.
+    pub fn disarm() {
+        ARMED.with(|a| a.borrow_mut().take());
+    }
+
+    /// The context armed on this thread, if any.
+    pub fn armed() -> Option<CrashCtx> {
+        ARMED.with(|a| a.borrow().clone())
+    }
+
+    /// Raise an injected crash at `site`.
+    pub fn trip(site: String) -> ! {
+        silence_injected_crash_reports();
+        std::panic::panic_any(InjectedCrash { site })
+    }
+
+    /// Stage-entry injection: panics iff the plan's `stage_rate` roll
+    /// hits for `(stage, attempt)` and the attempt is within the
+    /// `max_crashes` budget.
+    pub fn maybe_crash_stage(seed: u64, faults: &CrashFaults, stage: &str, attempt: u32) {
+        if faults.stage_rate <= 0.0 || attempt >= faults.max_crashes {
+            return;
+        }
+        if roll(
+            seed,
+            "crash.stage",
+            key2(super::hash_str(stage), attempt as u64),
+        ) < faults.stage_rate
+        {
+            trip(format!("stage:{stage}"));
+        }
+    }
+
+    /// Shard-entry decision for `iotmap-par` workers: should shard
+    /// `shard` panic under this armed context? Pure-hash on
+    /// `(stage, shard, attempt)`, so the decision is independent of
+    /// worker scheduling.
+    pub fn shard_should_crash(ctx: &CrashCtx, shard: usize) -> bool {
+        ctx.faults.shard_rate > 0.0
+            && ctx.attempt < ctx.faults.max_crashes
+            && roll(
+                ctx.seed,
+                "crash.shard",
+                key3(ctx.stage, shard as u64, ctx.attempt as u64),
+            ) < ctx.faults.shard_rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +868,82 @@ mod tests {
         assert!(FaultPlan::parse_config("zgrab.max_attempts = 0").is_err());
         assert!(FaultPlan::parse_config("passive_dns.outage_windows = nope").is_err());
         assert!(FaultPlan::parse_config("just words").is_err());
+    }
+
+    #[test]
+    fn crash_family_parses_and_stays_out_of_fingerprint() {
+        let plan = FaultPlan::parse_config(
+            "crash.stage_rate = 0.5\n\
+             crash.shard_rate = 0.25\n\
+             crash.max_crashes = 3\n\
+             crash.kill_after_stage = discovery",
+        )
+        .expect("parses");
+        assert_eq!(plan.crash.stage_rate, 0.5);
+        assert_eq!(plan.crash.shard_rate, 0.25);
+        assert_eq!(plan.crash.max_crashes, 3);
+        assert_eq!(plan.crash.kill_after_stage.as_deref(), Some("discovery"));
+        assert!(plan.crash.is_active());
+        assert!(!plan.is_active(), "crash faults are not a data source");
+        // Crash knobs never reach the checkpoint fingerprint.
+        assert_eq!(
+            plan.data_fingerprint(),
+            FaultPlan::none().data_fingerprint()
+        );
+        assert_ne!(
+            plan.data_fingerprint(),
+            FaultPlan::heavy().data_fingerprint()
+        );
+        assert!(FaultPlan::parse_config("crash.stage_rate = 2.0").is_err());
+    }
+
+    #[test]
+    fn stage_crashes_respect_the_attempt_budget() {
+        let faults = CrashFaults {
+            stage_rate: 1.0,
+            max_crashes: 2,
+            ..CrashFaults::NONE
+        };
+        for attempt in 0..2 {
+            let hit = std::panic::catch_unwind(|| {
+                crash::maybe_crash_stage(7, &faults, "discovery", attempt)
+            });
+            let payload = hit.expect_err("attempts within budget crash");
+            let injected = payload
+                .downcast_ref::<crash::InjectedCrash>()
+                .expect("recognisable payload");
+            assert_eq!(injected.site, "stage:discovery");
+        }
+        // The attempt after the budget always gets through.
+        crash::maybe_crash_stage(7, &faults, "discovery", 2);
+    }
+
+    #[test]
+    fn shard_crash_decisions_are_pure_and_budgeted() {
+        crash::arm(
+            9,
+            &CrashFaults {
+                shard_rate: 0.5,
+                max_crashes: 1,
+                ..CrashFaults::NONE
+            },
+            "scans",
+            0,
+        );
+        let ctx = crash::armed().expect("armed");
+        crash::disarm();
+        assert!(crash::armed().is_none());
+        let first: Vec<bool> = (0..64)
+            .map(|s| crash::shard_should_crash(&ctx, s))
+            .collect();
+        let second: Vec<bool> = (0..64)
+            .map(|s| crash::shard_should_crash(&ctx, s))
+            .collect();
+        assert_eq!(first, second, "pure decision");
+        assert!(first.iter().any(|&c| c), "rate 0.5 hits some shard");
+        assert!(!first.iter().all(|&c| c), "rate 0.5 spares some shard");
+        let exhausted = crash::CrashCtx { attempt: 1, ..ctx };
+        assert!((0..64).all(|s| !crash::shard_should_crash(&exhausted, s)));
     }
 
     #[test]

@@ -76,7 +76,145 @@ pub struct SourceCompleteness {
     pub recovered: u64,
 }
 
+/// One supervised stage's recovery activity, derived from the
+/// `super.stage.<stage>.*` counters the supervisor emits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageRecovery {
+    /// The stage name.
+    pub stage: String,
+    /// Attempts taken (0 when the stage restored from a checkpoint).
+    pub attempts: u64,
+    /// Attempts that panicked (contained and retried).
+    pub panics: u64,
+    /// Attempts that completed past their deadline.
+    pub deadline_misses: u64,
+    /// Total seeded backoff scheduled between attempts.
+    pub backoff_ms: u64,
+    /// 1 if the stage was restored from a verified checkpoint.
+    pub restored: u64,
+    /// 1 if the stage was recomputed and verified against a stored
+    /// replay witness.
+    pub replayed: u64,
+}
+
+impl StageRecovery {
+    /// Whether anything beyond a clean single attempt happened.
+    pub fn noteworthy(&self) -> bool {
+        self.attempts > 1
+            || self.panics > 0
+            || self.deadline_misses > 0
+            || self.backoff_ms > 0
+            || self.restored > 0
+            || self.replayed > 0
+    }
+}
+
+/// Run-wide recovery activity: supervised stages plus checkpoint and
+/// shard-quarantine totals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoverySummary {
+    /// Per-stage rows, in stage-name order (only stages the supervisor
+    /// touched appear).
+    pub stages: Vec<StageRecovery>,
+    /// Checkpoints written (`super.checkpoints.written`).
+    pub checkpoints_written: u64,
+    /// Checkpoints rejected as corrupt (`super.checkpoints.corrupt`).
+    pub checkpoints_corrupt: u64,
+    /// Checkpoints rejected as belonging to a different run
+    /// (`super.checkpoints.mismatched`).
+    pub checkpoints_mismatched: u64,
+    /// Replay witnesses that failed verification
+    /// (`super.checkpoints.witness_mismatch`).
+    pub witness_mismatches: u64,
+    /// Checkpoint writes that failed (`super.checkpoints.write_failed`).
+    pub write_failures: u64,
+    /// Worker shards that panicked (`par.shard_panics`).
+    pub shard_panics: u64,
+    /// Poisoned shards retried serially (`par.shards_quarantined`).
+    pub shards_quarantined: u64,
+    /// Whether the injected post-stage kill switch fired
+    /// (`super.run.killed`).
+    pub killed: bool,
+}
+
+impl RecoverySummary {
+    /// True when the run had nothing to recover from: every stage took
+    /// one clean attempt, no checkpoints were touched, no shard
+    /// panicked. Trivial summaries render no report section, so
+    /// unsupervised (and uneventful supervised) reports look exactly
+    /// like before.
+    pub fn is_trivial(&self) -> bool {
+        self.stages.iter().all(|s| !s.noteworthy())
+            && self.checkpoints_written == 0
+            && self.checkpoints_corrupt == 0
+            && self.checkpoints_mismatched == 0
+            && self.witness_mismatches == 0
+            && self.write_failures == 0
+            && self.shard_panics == 0
+            && self.shards_quarantined == 0
+            && !self.killed
+    }
+}
+
 impl RunReport {
+    /// The recovery summary, derived from the `super.*` and
+    /// `par.shard*` counters the supervisor and the shard executor
+    /// emit.
+    pub fn recovery(&self) -> RecoverySummary {
+        let mut summary = RecoverySummary::default();
+        let mut stages: BTreeMap<&str, StageRecovery> = BTreeMap::new();
+        for (name, &value) in &self.counters {
+            if let Some(rest) = name.strip_prefix("super.stage.") {
+                // Stage names never contain dots, so the final segment
+                // is the field.
+                let Some((stage, field)) = rest.rsplit_once('.') else {
+                    continue;
+                };
+                let row = stages.entry(stage).or_insert_with(|| StageRecovery {
+                    stage: stage.to_string(),
+                    ..StageRecovery::default()
+                });
+                match field {
+                    "attempts" => row.attempts = value,
+                    "panics" => row.panics = value,
+                    "deadline_misses" => row.deadline_misses = value,
+                    "backoff_ms" => row.backoff_ms = value,
+                    "restored" => row.restored = value,
+                    "replayed" => row.replayed = value,
+                    _ => {}
+                }
+            } else {
+                match name.as_str() {
+                    "super.checkpoints.written" => summary.checkpoints_written = value,
+                    "super.checkpoints.corrupt" => summary.checkpoints_corrupt = value,
+                    "super.checkpoints.mismatched" => summary.checkpoints_mismatched = value,
+                    "super.checkpoints.witness_mismatch" => summary.witness_mismatches = value,
+                    "super.checkpoints.write_failed" => summary.write_failures = value,
+                    "par.shard_panics" => summary.shard_panics = value,
+                    "par.shards_quarantined" => summary.shards_quarantined = value,
+                    "super.run.killed" => summary.killed = value > 0,
+                    _ => {}
+                }
+            }
+        }
+        summary.stages = stages.into_values().collect();
+        summary
+    }
+
+    /// Operator-facing notes: every `notes.<key>` counter, with the
+    /// prefix stripped, in key order. Used for configuration surprises
+    /// (e.g. an unparsable `IOTMAP_THREADS`) that must reach the report
+    /// rather than vanish into a fallback.
+    pub fn notes(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(name, &value)| {
+                name.strip_prefix("notes.")
+                    .map(|key| (key.to_string(), value))
+            })
+            .collect()
+    }
+
     /// The degraded-source summary: one row per source that emitted any
     /// `faults.<source>.records_{dropped,retried,recovered}` counter,
     /// in source-name order. Empty for an unfaulted run — fault-free
@@ -179,6 +317,55 @@ impl RunReport {
                 ));
             }
         }
+        let recovery = self.recovery();
+        if !recovery.is_trivial() {
+            out.push_str("\n## Recovery\n");
+            let rows: Vec<&StageRecovery> =
+                recovery.stages.iter().filter(|s| s.noteworthy()).collect();
+            if !rows.is_empty() {
+                out.push_str(
+                    "\n| stage | attempts | panics | deadline misses | backoff ms | \
+                     restored | replayed |\n|---|---:|---:|---:|---:|---:|---:|\n",
+                );
+                for row in rows {
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {} | {} | {} | {} |\n",
+                        row.stage,
+                        row.attempts,
+                        row.panics,
+                        row.deadline_misses,
+                        row.backoff_ms,
+                        row.restored,
+                        row.replayed
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "\n- checkpoints: {} written, {} corrupt, {} mismatched, \
+                 {} witness mismatches, {} write failures\n",
+                recovery.checkpoints_written,
+                recovery.checkpoints_corrupt,
+                recovery.checkpoints_mismatched,
+                recovery.witness_mismatches,
+                recovery.write_failures
+            ));
+            if recovery.shard_panics > 0 || recovery.shards_quarantined > 0 {
+                out.push_str(&format!(
+                    "- shards: {} panicked, {} quarantined and retried serially\n",
+                    recovery.shard_panics, recovery.shards_quarantined
+                ));
+            }
+            if recovery.killed {
+                out.push_str("- run killed by the injected post-stage kill switch\n");
+            }
+        }
+        let notes = self.notes();
+        if !notes.is_empty() {
+            out.push_str("\n## Notes\n\n");
+            for (key, value) in &notes {
+                out.push_str(&format!("- {key}: {value}\n"));
+            }
+        }
         out
     }
 
@@ -242,6 +429,43 @@ impl RunReport {
                 row.dropped,
                 row.retried,
                 row.recovered
+            ));
+        }
+        let recovery = self.recovery();
+        if !recovery.is_trivial() {
+            for row in recovery.stages.iter().filter(|s| s.noteworthy()) {
+                out.push_str(&format!(
+                    "{{\"type\":\"recovery_stage\",\"stage\":\"{}\",\"attempts\":{},\
+                     \"panics\":{},\"deadline_misses\":{},\"backoff_ms\":{},\
+                     \"restored\":{},\"replayed\":{}}}\n",
+                    json_escape(&row.stage),
+                    row.attempts,
+                    row.panics,
+                    row.deadline_misses,
+                    row.backoff_ms,
+                    row.restored,
+                    row.replayed
+                ));
+            }
+            out.push_str(&format!(
+                "{{\"type\":\"recovery\",\"checkpoints_written\":{},\
+                 \"checkpoints_corrupt\":{},\"checkpoints_mismatched\":{},\
+                 \"witness_mismatches\":{},\"write_failures\":{},\
+                 \"shard_panics\":{},\"shards_quarantined\":{},\"killed\":{}}}\n",
+                recovery.checkpoints_written,
+                recovery.checkpoints_corrupt,
+                recovery.checkpoints_mismatched,
+                recovery.witness_mismatches,
+                recovery.write_failures,
+                recovery.shard_panics,
+                recovery.shards_quarantined,
+                recovery.killed
+            ));
+        }
+        for (key, value) in self.notes() {
+            out.push_str(&format!(
+                "{{\"type\":\"note\",\"key\":\"{}\",\"value\":{value}}}\n",
+                json_escape(&key)
             ));
         }
         out
@@ -348,6 +572,88 @@ mod tests {
         assert!(report.fault_completeness().is_empty());
         assert!(!report.to_markdown().contains("Degraded sources"));
         assert!(!report.to_jsonl().contains("degraded_source"));
+    }
+
+    #[test]
+    fn recovery_counters_surface_as_a_recovery_section() {
+        let r = Registry::new();
+        r.add("super.stage.discovery.attempts", 3);
+        r.add("super.stage.discovery.panics", 2);
+        r.add("super.stage.discovery.backoff_ms", 850);
+        r.add("super.stage.world.attempts", 1); // clean: not noteworthy
+        r.add("super.stage.footprints.restored", 1);
+        r.add("super.checkpoints.written", 5);
+        r.add("super.checkpoints.corrupt", 1);
+        r.add("par.shard_panics", 2);
+        r.add("par.shards_quarantined", 2);
+        let report = r.report();
+
+        let recovery = report.recovery();
+        assert!(!recovery.is_trivial());
+        assert_eq!(recovery.stages.len(), 3);
+        let discovery = &recovery.stages[0];
+        assert_eq!(
+            (
+                discovery.stage.as_str(),
+                discovery.attempts,
+                discovery.panics
+            ),
+            ("discovery", 3, 2)
+        );
+        assert!(discovery.noteworthy());
+        assert!(!recovery.stages[2].noteworthy(), "clean stage is trivial");
+        assert_eq!(recovery.checkpoints_written, 5);
+        assert_eq!(recovery.shards_quarantined, 2);
+
+        let md = report.to_markdown();
+        assert!(md.contains("## Recovery"));
+        assert!(md.contains("| discovery | 3 | 2 | 0 | 850 | 0 | 0 |"));
+        assert!(md.contains("| footprints | 0 | 0 | 0 | 0 | 1 | 0 |"));
+        assert!(!md.contains("| world |"), "clean stages stay out");
+        assert!(md.contains("5 written, 1 corrupt"));
+        assert!(md.contains("2 panicked, 2 quarantined"));
+
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"type\":\"recovery_stage\",\"stage\":\"discovery\""));
+        assert!(jsonl.contains("\"checkpoints_written\":5"));
+        assert!(jsonl.contains("\"killed\":false"));
+    }
+
+    #[test]
+    fn uneventful_reports_carry_no_recovery_or_notes_section() {
+        let report = sample_report();
+        assert!(report.recovery().is_trivial());
+        assert!(report.notes().is_empty());
+        let md = report.to_markdown();
+        assert!(!md.contains("## Recovery"));
+        assert!(!md.contains("## Notes"));
+        assert!(!report.to_jsonl().contains("\"type\":\"recovery\""));
+
+        // A supervised-but-clean run is also trivial: one attempt per
+        // stage, nothing checkpointed, nothing quarantined.
+        let r = Registry::new();
+        r.add("super.stage.world.attempts", 1);
+        r.add("super.stage.discovery.attempts", 1);
+        let clean = r.report();
+        assert!(clean.recovery().is_trivial());
+        assert!(!clean.to_markdown().contains("## Recovery"));
+    }
+
+    #[test]
+    fn notes_counters_surface_as_a_notes_section() {
+        let r = Registry::new();
+        r.add("notes.config.iotmap_threads_unparsable", 1);
+        let report = r.report();
+        assert_eq!(
+            report.notes(),
+            vec![("config.iotmap_threads_unparsable".to_string(), 1)]
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("## Notes"));
+        assert!(md.contains("- config.iotmap_threads_unparsable: 1"));
+        assert!(report.to_jsonl().contains(
+            "{\"type\":\"note\",\"key\":\"config.iotmap_threads_unparsable\",\"value\":1}"
+        ));
     }
 
     #[test]

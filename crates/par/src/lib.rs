@@ -32,6 +32,30 @@
 //! code whose *output* consumes it is only stable at a fixed thread
 //! count — fine for probe pacing, not for payload content.
 //!
+//! ## Panic containment
+//!
+//! A worker panic no longer tears down the whole call: every worker runs
+//! under `catch_unwind`, a poisoned shard is **quarantined** and retried
+//! serially on the calling thread (in shard order, after all workers
+//! joined), and only an over-budget quarantine — more than half the
+//! shards poisoned — aborts the call by re-raising the first payload.
+//! Shard bodies take `&[T]` and build fresh outputs, so a retry observes
+//! exactly the state the first attempt did; a shard that panics *again*
+//! during its serial retry is a genuine bug and propagates. The in-place
+//! variant [`shard_map_mut`] can tear its chunk mid-mutation, so it only
+//! quarantines crashes injected at shard entry (recognised by their
+//! `iotmap_faults::crash::InjectedCrash` payload, raised before the
+//! first item is touched) and propagates everything else.
+//!
+//! Containment is observable (`par.shard_panics`,
+//! `par.shards_quarantined`, `par.quarantine_over_budget` counters) but
+//! never changes results: a run with zero panics takes the exact same
+//! code path and produces byte-identical output and obs reports.
+//! Seeded crash injection (the `crash` fault family) is consulted at
+//! shard entry when the calling thread armed it via
+//! `iotmap_faults::crash::arm` — parallel fan-outs only; serial calls
+//! take no shard rolls.
+//!
 //! ## Thread-count configuration
 //!
 //! The thread count is **thread-local** and defaults to 1 (serial),
@@ -48,10 +72,30 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+use iotmap_faults::crash;
 use iotmap_nettypes::SimRng;
 use iotmap_obs::RunReport;
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+
+/// Quarantine budget for one sharded call: more than this many poisoned
+/// shards aborts the call instead of retrying them serially (systematic
+/// failure, not a stray fault).
+fn quarantine_budget(shards: usize) -> usize {
+    (shards / 2).max(1)
+}
+
+/// Shard-entry crash injection: roll the armed plan (if any) for this
+/// shard and panic with a recognisable payload on a hit.
+fn maybe_crash_shard(armed: &Option<crash::CrashCtx>, index: usize) {
+    if let Some(ctx) = armed {
+        if crash::shard_should_crash(ctx, index) {
+            crash::trip(format!("shard:{}/{index}", ctx.stage_name));
+        }
+    }
+}
 
 thread_local! {
     /// Worker-thread budget for `shard_*` calls issued from this thread.
@@ -143,8 +187,16 @@ where
     let shards = budget.min(items.len());
     let chunk = items.len().div_ceil(shards);
     let instrumented = iotmap_obs::enabled();
+    // Crash injection is armed via a thread-local, which workers cannot
+    // see — capture the calling thread's context before fanning out.
+    let armed = crash::armed();
 
-    let mut results: Vec<(R, Option<RunReport>)> = Vec::with_capacity(shards);
+    // `chunks()` can yield fewer pieces than `shards` when the ceiling
+    // division rounds up; size the result table by the real count.
+    let chunk_count = items.len().div_ceil(chunk);
+    let mut results: Vec<Option<(R, Option<RunReport>)>> = Vec::new();
+    results.resize_with(chunk_count, || None);
+    let mut poisoned: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
@@ -156,22 +208,58 @@ where
                     offset: index * chunk,
                 };
                 let f = &f;
-                scope.spawn(move || run_shard(instrumented, move || f(ctx, slice)))
+                let armed = armed.clone();
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(move || {
+                        run_shard(instrumented, move || {
+                            maybe_crash_shard(&armed, index);
+                            f(ctx, slice)
+                        })
+                    }))
+                })
             })
             .collect();
         // Join in shard order so merges below are index-ordered no
         // matter which worker finished first.
-        for handle in handles {
+        for (index, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(out) => results.push(out),
-                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Ok(out)) => results[index] = Some(out),
+                // A worker panic was caught inside the worker; a join
+                // error would mean it escaped the catch (impossible in
+                // practice) — quarantine both the same way.
+                Ok(Err(payload)) | Err(payload) => poisoned.push((index, payload)),
             }
         }
     });
 
+    if !poisoned.is_empty() {
+        iotmap_obs::count!("par.shard_panics", poisoned.len() as u64);
+        if poisoned.len() > quarantine_budget(chunk_count) {
+            iotmap_obs::count!("par.quarantine_over_budget", 1);
+            let (_, payload) = poisoned.swap_remove(0);
+            resume_unwind(payload);
+        }
+        // Serial quarantine retry, in shard order, injection disarmed:
+        // `f` only reads its `&[T]` slice, so the retry observes exactly
+        // what the poisoned worker did. A second panic here is a genuine
+        // bug and propagates.
+        for (index, _payload) in poisoned {
+            iotmap_obs::count!("par.shards_quarantined", 1);
+            let offset = index * chunk;
+            let slice = &items[offset..(offset + chunk).min(items.len())];
+            let ctx = ShardCtx {
+                index,
+                shards,
+                offset,
+            };
+            results[index] = Some(run_shard(instrumented, || f(ctx, slice)));
+        }
+    }
+
     results
         .into_iter()
-        .map(|(out, report)| {
+        .map(|entry| {
+            let (out, report) = entry.expect("every shard resolved or aborted");
             if let Some(report) = report {
                 iotmap_obs::merge_child_report(&report);
             }
@@ -186,10 +274,17 @@ fn run_shard<R>(instrumented: bool, body: impl FnOnce() -> R) -> (R, Option<RunR
     if !instrumented {
         return (body(), None);
     }
+    // Save and restore the caller's recorder: a quarantine retry runs on
+    // the calling thread, where the parent registry is installed (fresh
+    // worker threads have none, so this is a no-op for them).
+    let previous = iotmap_obs::current_recorder();
     let registry = Rc::new(iotmap_obs::Registry::new());
     iotmap_obs::install(registry.clone());
     let out = body();
-    iotmap_obs::uninstall();
+    match previous {
+        Some(prev) => iotmap_obs::install(prev),
+        None => iotmap_obs::uninstall(),
+    }
     (out, Some(registry.report()))
 }
 
@@ -239,8 +334,12 @@ where
     let shards = budget.min(items.len());
     let chunk = items.len().div_ceil(shards);
     let instrumented = iotmap_obs::enabled();
+    let armed = crash::armed();
 
-    let mut per_shard: Vec<(Vec<R>, Option<RunReport>)> = Vec::with_capacity(shards);
+    let chunk_count = items.len().div_ceil(chunk);
+    let mut per_shard: Vec<Option<(Vec<R>, Option<RunReport>)>> = Vec::new();
+    per_shard.resize_with(chunk_count, || None);
+    let mut poisoned: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
@@ -248,27 +347,65 @@ where
             .map(|(index, slice)| {
                 let offset = index * chunk;
                 let f = &f;
+                let armed = armed.clone();
                 scope.spawn(move || {
-                    run_shard(instrumented, move || {
-                        slice
-                            .iter_mut()
-                            .enumerate()
-                            .map(|(i, item)| f(offset + i, item))
-                            .collect::<Vec<R>>()
-                    })
+                    catch_unwind(AssertUnwindSafe(move || {
+                        run_shard(instrumented, move || {
+                            // Injection fires before the first item is
+                            // touched, so a quarantined injected crash
+                            // leaves a pristine chunk behind.
+                            maybe_crash_shard(&armed, index);
+                            slice
+                                .iter_mut()
+                                .enumerate()
+                                .map(|(i, item)| f(offset + i, item))
+                                .collect::<Vec<R>>()
+                        })
+                    }))
                 })
             })
             .collect();
-        for handle in handles {
+        for (index, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(out) => per_shard.push(out),
-                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Ok(out)) => per_shard[index] = Some(out),
+                Ok(Err(payload)) | Err(payload) => poisoned.push((index, payload)),
             }
         }
     });
 
+    if !poisoned.is_empty() {
+        iotmap_obs::count!("par.shard_panics", poisoned.len() as u64);
+        // A genuine panic may have torn its `&mut` chunk mid-mutation,
+        // so only entry-injected crashes (whose payload proves no item
+        // was touched) are safe to quarantine and retry here.
+        let real = poisoned
+            .iter()
+            .position(|(_, p)| p.downcast_ref::<crash::InjectedCrash>().is_none());
+        if real.is_some() || poisoned.len() > quarantine_budget(chunk_count) {
+            if real.is_none() {
+                iotmap_obs::count!("par.quarantine_over_budget", 1);
+            }
+            let (_, payload) = poisoned.swap_remove(real.unwrap_or(0));
+            resume_unwind(payload);
+        }
+        for (index, _payload) in poisoned {
+            iotmap_obs::count!("par.shards_quarantined", 1);
+            let offset = index * chunk;
+            let end = (offset + chunk).min(items.len());
+            let slice = &mut items[offset..end];
+            per_shard[index] = Some(run_shard(instrumented, || {
+                slice
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, item)| f(offset + i, item))
+                    .collect::<Vec<R>>()
+            }));
+        }
+    }
+
     let mut out = Vec::with_capacity(items.len());
-    for (shard, report) in per_shard {
+    for entry in per_shard {
+        let (shard, report) = entry.expect("every shard resolved or aborted");
         if let Some(report) = report {
             iotmap_obs::merge_child_report(&report);
         }
@@ -492,6 +629,109 @@ mod tests {
         let items: Vec<u64> = (0..8).collect();
         let flags = with_threads(4, || shard_map(&items, |_, _| iotmap_obs::enabled()));
         assert!(flags.iter().all(|f| !f));
+    }
+
+    #[test]
+    fn poisoned_shard_is_quarantined_and_retried() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let registry = Rc::new(Registry::new());
+        iotmap_obs::install(registry.clone());
+        let items: Vec<u64> = (0..40).collect();
+        let tripped = AtomicBool::new(false);
+        let out = with_threads(4, || {
+            shard_map(&items, |i, x| {
+                iotmap_obs::count!("par.test.seen", 1);
+                // Poison one worker's first visit to item 25; the serial
+                // quarantine retry then sees the flag already set.
+                if i == 25 && !tripped.swap(true, Ordering::SeqCst) {
+                    panic!("transient worker fault");
+                }
+                x * 2
+            })
+        });
+        iotmap_obs::uninstall();
+        let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected, "quarantine reproduces the serial result");
+        let report = registry.report();
+        assert_eq!(report.counters.get("par.shard_panics"), Some(&1));
+        assert_eq!(report.counters.get("par.shards_quarantined"), Some(&1));
+        assert!(!report.counters.contains_key("par.quarantine_over_budget"));
+        // Every item was eventually observed (the retried shard re-counts
+        // its own items exactly once — its poisoned report was dropped).
+        assert_eq!(report.counters.get("par.test.seen"), Some(&40));
+    }
+
+    #[test]
+    fn over_budget_quarantine_aborts_the_call() {
+        let items: Vec<u64> = (0..40).collect();
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                shard_map(&items, |_, x| {
+                    // Every shard poisons itself, far over the budget of
+                    // shards/2 — containment must give up.
+                    panic!("systematic failure {x}");
+                })
+            })
+        });
+        assert!(caught.is_err());
+        assert_eq!(threads(), 1, "budget restored after abort");
+    }
+
+    #[test]
+    fn injected_shard_crashes_are_contained() {
+        use iotmap_faults::{crash, CrashFaults};
+        // Find a seed whose rolls poison at least one but no more than
+        // budget (= 2 of 4) shards, so containment — not abort — runs.
+        let faults = CrashFaults {
+            shard_rate: 0.3,
+            max_crashes: 1,
+            ..CrashFaults::NONE
+        };
+        let seed = (0..200u64)
+            .find(|&seed| {
+                crash::arm(seed, &faults, "par.test", 0);
+                let ctx = crash::armed().expect("armed");
+                crash::disarm();
+                let hits = (0..4)
+                    .filter(|&s| crash::shard_should_crash(&ctx, s))
+                    .count();
+                (1..=2).contains(&hits)
+            })
+            .expect("some seed poisons 1-2 of 4 shards");
+
+        let items: Vec<u64> = (0..40).collect();
+        let serial = shard_map(&items, |i, x| (i as u64) ^ (x * 3));
+        crash::arm(seed, &faults, "par.test", 0);
+        let parallel = with_threads(4, || shard_map(&items, |i, x| (i as u64) ^ (x * 3)));
+        crash::disarm();
+        assert_eq!(parallel, serial, "contained crashes never change output");
+
+        // The in-place variant quarantines entry-injected crashes too.
+        let mut serial_items: Vec<u64> = (0..40).collect();
+        shard_map_mut(&mut serial_items, |i, x| *x += i as u64);
+        let mut par_items: Vec<u64> = (0..40).collect();
+        crash::arm(seed, &faults, "par.test", 0);
+        with_threads(4, || shard_map_mut(&mut par_items, |i, x| *x += i as u64));
+        crash::disarm();
+        assert_eq!(par_items, serial_items);
+    }
+
+    #[test]
+    fn genuine_panics_in_mut_shards_propagate() {
+        // shard_map_mut cannot prove a real panic left its chunk intact,
+        // so it must not retry — the panic propagates to the caller.
+        let mut items: Vec<u64> = (0..40).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                shard_map_mut(&mut items, |i, x| {
+                    *x += 1;
+                    if i == 25 {
+                        panic!("torn mutation");
+                    }
+                })
+            })
+        }));
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! On-disk checkpoint store: one file per completed stage, each carrying
+//! enough header to refuse everything it shouldn't be trusted with.
+//!
+//! ## File format (all integers little-endian)
+//!
+//! ```text
+//! magic     8 bytes   b"IOTCKPT1"
+//! fingerprint u64     FNV-1a over the run identity (config ⊕ data
+//!                     faults ⊕ seed) — a resume with any different
+//!                     artifact-affecting input rejects the file
+//! kind      u8        payload kind (bytes / replay witness)
+//! stage     u32+N     length-prefixed stage name
+//! payload   u64+N     length-prefixed stage payload
+//! checksum  u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! Writes go to a `.tmp` sibling first and rename into place, so a crash
+//! mid-write leaves no half-valid checkpoint behind. Loads verify magic,
+//! checksum, stage name, kind, and fingerprint — in that order — and
+//! classify failures as [`CkptError::Corrupt`] (damaged bytes) or
+//! [`CkptError::Mismatch`] (a valid file from a different run or stage),
+//! so the supervisor can report which happened.
+
+use crate::codec::fnv1a;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The format magic; bump the trailing digit on layout changes.
+pub const MAGIC: &[u8; 8] = b"IOTCKPT1";
+
+/// Payload kind: a full serialized artifact.
+pub const KIND_BYTES: u8 = 1;
+/// Payload kind: a replay witness (u64 digest of a recomputed artifact).
+pub const KIND_WITNESS: u8 = 2;
+
+/// Why a checkpoint could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// No checkpoint file for the stage.
+    Missing,
+    /// The file exists but its bytes cannot be trusted (bad magic,
+    /// failed checksum, truncation, undecodable payload).
+    Corrupt(String),
+    /// The file is intact but belongs to a different run, stage, or
+    /// payload kind.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Missing => write!(f, "missing"),
+            CkptError::Corrupt(detail) => write!(f, "corrupt: {detail}"),
+            CkptError::Mismatch(detail) => write!(f, "mismatch: {detail}"),
+        }
+    }
+}
+
+/// A run directory of per-stage checkpoints, bound to one run
+/// fingerprint.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory for a run with
+    /// the given identity fingerprint.
+    pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> std::io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, fingerprint })
+    }
+
+    /// The run fingerprint this store accepts.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file one stage's checkpoint lives in.
+    pub fn path(&self, index: usize, stage: &str) -> PathBuf {
+        self.dir.join(format!("{index:02}-{stage}.ckpt"))
+    }
+
+    /// Persist one stage's payload: header + payload + checksum, written
+    /// to a temp file and renamed into place.
+    pub fn save(&self, index: usize, stage: &str, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+        let mut bytes = Vec::with_capacity(payload.len() + stage.len() + 64);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&self.fingerprint.to_le_bytes());
+        bytes.push(kind);
+        bytes.extend_from_slice(&(stage.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(stage.as_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        let path = self.path(index, stage);
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Load and fully verify one stage's payload.
+    pub fn load(&self, index: usize, stage: &str, kind: u8) -> Result<Vec<u8>, CkptError> {
+        let path = self.path(index, stage);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CkptError::Missing),
+            Err(e) => return Err(CkptError::Corrupt(format!("unreadable: {e}"))),
+        };
+        // Fixed header (magic + fingerprint + kind + name length) plus
+        // the trailing checksum.
+        if bytes.len() < 8 + 8 + 1 + 4 + 8 + 8 {
+            return Err(CkptError::Corrupt(format!(
+                "{} bytes is too short for a checkpoint",
+                bytes.len()
+            )));
+        }
+        let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored_checksum = u64::from_le_bytes(checksum_bytes.try_into().unwrap());
+        if &body[..8] != MAGIC {
+            return Err(CkptError::Corrupt("bad magic".to_string()));
+        }
+        if fnv1a(body) != stored_checksum {
+            return Err(CkptError::Corrupt("checksum failed".to_string()));
+        }
+        let fingerprint = u64::from_le_bytes(body[8..16].try_into().unwrap());
+        let file_kind = body[16];
+        let name_len = u32::from_le_bytes(body[17..21].try_into().unwrap()) as usize;
+        let rest = &body[21..];
+        if rest.len() < name_len + 8 {
+            return Err(CkptError::Corrupt("truncated stage name".to_string()));
+        }
+        let name = &rest[..name_len];
+        let payload_len =
+            u64::from_le_bytes(rest[name_len..name_len + 8].try_into().unwrap()) as usize;
+        let payload = &rest[name_len + 8..];
+        if payload.len() != payload_len {
+            return Err(CkptError::Corrupt(format!(
+                "payload is {} bytes, header says {payload_len}",
+                payload.len()
+            )));
+        }
+        if name != stage.as_bytes() {
+            return Err(CkptError::Mismatch(format!(
+                "stage {:?} in a file named for {stage:?}",
+                String::from_utf8_lossy(name)
+            )));
+        }
+        if fingerprint != self.fingerprint {
+            return Err(CkptError::Mismatch(format!(
+                "run fingerprint {fingerprint:#018x} != expected {:#018x} \
+                 (different config, faults, or seed)",
+                self.fingerprint
+            )));
+        }
+        if file_kind != kind {
+            return Err(CkptError::Mismatch(format!(
+                "payload kind {file_kind} != expected {kind}"
+            )));
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Remove one stage's checkpoint file, ignoring absence.
+    pub fn discard(&self, index: usize, stage: &str) {
+        let _ = std::fs::remove_file(self.path(index, stage));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("iotmap-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::open(&dir, 0xABCD).unwrap();
+        store
+            .save(0, "world", KIND_BYTES, b"payload bytes")
+            .unwrap();
+        assert_eq!(
+            store.load(0, "world", KIND_BYTES).unwrap(),
+            b"payload bytes"
+        );
+        assert_eq!(store.load(1, "scans", KIND_BYTES), Err(CkptError::Missing));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_and_mismatch_are_distinguished() {
+        let dir = temp_dir("verify");
+        let store = CheckpointStore::open(&dir, 1).unwrap();
+        store.save(0, "world", KIND_BYTES, b"0123456789").unwrap();
+
+        // Truncation → corrupt.
+        let path = store.path(0, "world");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            store.load(0, "world", KIND_BYTES),
+            Err(CkptError::Corrupt(_))
+        ));
+
+        // Bit flip in the payload → corrupt (checksum catches it).
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            store.load(0, "world", KIND_BYTES),
+            Err(CkptError::Corrupt(_))
+        ));
+
+        // Intact file, wrong fingerprint → mismatch.
+        std::fs::write(&path, &bytes).unwrap();
+        let other = CheckpointStore::open(&dir, 2).unwrap();
+        assert!(matches!(
+            other.load(0, "world", KIND_BYTES),
+            Err(CkptError::Mismatch(_))
+        ));
+        // Intact file, wrong kind → mismatch.
+        assert!(matches!(
+            store.load(0, "world", KIND_WITNESS),
+            Err(CkptError::Mismatch(_))
+        ));
+        // And the original still verifies.
+        assert!(store.load(0, "world", KIND_BYTES).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,223 @@
+//! The std-only binary codec checkpoints use: length-prefixed,
+//! little-endian, no self-description — the stage that wrote a payload is
+//! the only one that reads it, and the checkpoint header pins the run
+//! fingerprint, so a schema is overkill. Every read is bounds-checked and
+//! returns an error string instead of panicking: corrupted checkpoints
+//! must be *detected*, never trusted.
+
+use std::net::IpAddr;
+
+/// FNV-1a over raw bytes — the checkpoint integrity checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only encoder for checkpoint payloads.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Exact bit pattern — round-trips NaN and signed zero.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Length-prefixed UTF-8.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Family tag (4/6) plus the raw octets.
+    pub fn put_ip(&mut self, ip: IpAddr) {
+        match ip {
+            IpAddr::V4(a) => {
+                self.put_u8(4);
+                self.buf.extend_from_slice(&a.octets());
+            }
+            IpAddr::V6(a) => {
+                self.put_u8(6);
+                self.buf.extend_from_slice(&a.octets());
+            }
+        }
+    }
+}
+
+/// Bounds-checked decoder over a checkpoint payload.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated payload: need {n} bytes at offset {}", self.pos))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, String> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("bad bool byte {other}")),
+        }
+    }
+
+    pub fn get_str(&mut self) -> Result<String, String> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid UTF-8 in payload: {e}"))
+    }
+
+    pub fn get_ip(&mut self) -> Result<IpAddr, String> {
+        match self.get_u8()? {
+            4 => {
+                let o: [u8; 4] = self.take(4)?.try_into().unwrap();
+                Ok(IpAddr::from(o))
+            }
+            6 => {
+                let o: [u8; 16] = self.take(16)?.try_into().unwrap();
+                Ok(IpAddr::from(o))
+            }
+            other => Err(format!("bad IP family tag {other}")),
+        }
+    }
+
+    /// Assert the payload was fully consumed — trailing garbage means the
+    /// encoder and decoder disagree, which must surface as corruption.
+    pub fn finish(self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        w.put_f64(-0.125);
+        w.put_bool(true);
+        w.put_str("grüße");
+        w.put_ip("192.0.2.7".parse().unwrap());
+        w.put_ip("2001:db8::7".parse().unwrap());
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "grüße");
+        assert_eq!(r.get_ip().unwrap(), "192.0.2.7".parse::<IpAddr>().unwrap());
+        assert_eq!(
+            r.get_ip().unwrap(),
+            "2001:db8::7".parse::<IpAddr>().unwrap()
+        );
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        let mut w = ByteWriter::new();
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..3]);
+        assert!(r.get_str().is_err(), "truncated string detected");
+        let mut r = ByteReader::new(&bytes);
+        r.get_str().unwrap();
+        let mut with_garbage = ByteReader::new(&bytes);
+        with_garbage.get_u32().unwrap();
+        assert!(with_garbage.finish().is_err(), "unconsumed bytes detected");
+        let mut bad_tag = ByteReader::new(&[9]);
+        assert!(bad_tag.get_ip().is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"iotmap"), fnv1a(b"iotmap"));
+        assert_ne!(fnv1a(b"iotmap"), fnv1a(b"iotmaq"));
+    }
+}

@@ -204,6 +204,15 @@ pub struct WorldLatencyProber<'a> {
     pub world: &'a World,
 }
 
+/// A `&World` is itself a latency prober (delegating to
+/// [`WorldLatencyProber`]), so artifact holders can lend one out without
+/// keeping a wrapper alive alongside the world it borrows.
+impl iotmap_scan::LatencyProber for World {
+    fn rtt_ms(&self, site: &iotmap_scan::LookingGlassSite, target: IpAddr) -> Option<f64> {
+        iotmap_scan::LatencyProber::rtt_ms(&WorldLatencyProber { world: self }, site, target)
+    }
+}
+
 impl iotmap_scan::LatencyProber for WorldLatencyProber<'_> {
     fn rtt_ms(&self, site: &iotmap_scan::LookingGlassSite, target: IpAddr) -> Option<f64> {
         let world = self.world;

@@ -24,6 +24,14 @@ for faults in none heavy; do
   done
 done
 
+# The CI crash-recovery gate, condensed: kill the run after every stage
+# boundary, resume from checkpoints, and demand byte-identical artifacts
+# (plus a chaos pass with contained stage/shard panics). The full
+# in-process matrix is tests/recovery.rs and crates/bench/tests/exit_codes.rs.
+echo "==> crash recovery (exp crash-recovery --preset small)"
+cargo run --release -q -p iotmap-bench --bin exp -- \
+  crash-recovery --preset small --seed 42 >/dev/null
+
 # The CI bench-smoke gate, condensed: the single-pass matching engine
 # must hold its speedup over the fan-out reference (≥75% of the
 # committed small-preset baseline; ratios, so machine-independent).

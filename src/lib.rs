@@ -23,6 +23,7 @@
 //! | [`core`] | `iotmap-core` | the paper's discovery & characterization pipeline |
 //! | [`traffic`] | `iotmap-traffic` | the ISP-side traffic analyses |
 //! | [`par`] | `iotmap-par` | deterministic std-only parallel execution |
+//! | [`supervisor`] | `iotmap-super` | supervised stage runtime: retries, deadlines, checkpoint/resume |
 //!
 //! and adds the front door itself: [`Pipeline`], which wires world-build →
 //! discovery → footprint inference → shared-IP classification behind one
@@ -65,6 +66,11 @@ pub use iotmap_stats as stats;
 pub use iotmap_tls as tls;
 pub use iotmap_traffic as traffic;
 pub use iotmap_world as world;
+// `super` is a keyword, so the supervised runtime re-exports as
+// `supervisor`.
+pub use iotmap_super as supervisor;
+
+pub mod recover;
 
 use iotmap_core::{
     DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, FootprintInference,
@@ -73,11 +79,12 @@ use iotmap_core::{
 use iotmap_faults::FaultPlan;
 use iotmap_netflow::LineId;
 use iotmap_nettypes::{Error, StudyPeriod};
+use iotmap_super::{CheckpointStore, StageArtifact, StagePolicy, Supervisor};
 use iotmap_traffic::{AnalysisReport, AnalysisSink, ContactSink, IpIndex, ScannerAnalysis};
-use iotmap_world::view::WorldLatencyProber;
 use iotmap_world::{CollectedScans, TrafficSimulator, World, WorldConfig};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
+use std::path::PathBuf;
 
 /// The scanner-exclusion threshold the paper settles on (§5.2).
 pub const SCANNER_THRESHOLD: usize = 100;
@@ -103,25 +110,76 @@ pub struct Pipeline {
     config: WorldConfig,
     threads: usize,
     faults: FaultPlan,
+    policy: StagePolicy,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    /// `IOTMAP_THREADS` was set but unparsable — surfaced in the run
+    /// report rather than silently falling back.
+    threads_env_unparsable: bool,
 }
 
 impl Pipeline {
     /// A pipeline over one world configuration.
     pub fn new(config: WorldConfig) -> Pipeline {
-        let threads = std::env::var("IOTMAP_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or_else(iotmap_par::threads);
+        let mut threads_env_unparsable = false;
+        let threads = match std::env::var("IOTMAP_THREADS") {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    // Fall back exactly as if unset, but leave a trace:
+                    // the run report gets a note, and operators see it
+                    // immediately instead of wondering why one thread
+                    // ran.
+                    eprintln!(
+                        "# IOTMAP_THREADS={raw:?} is not a thread count; \
+                         using the default ({})",
+                        iotmap_par::threads()
+                    );
+                    threads_env_unparsable = true;
+                    iotmap_par::threads()
+                }
+            },
+            Err(_) => iotmap_par::threads(),
+        };
         Pipeline {
             config,
             threads,
             faults: FaultPlan::none(),
+            policy: StagePolicy::default(),
+            checkpoint_dir: None,
+            resume: false,
+            threads_env_unparsable,
         }
     }
 
     /// Set the worker-thread budget (`0` = all available cores).
     pub fn threads(mut self, n: usize) -> Pipeline {
         self.threads = n;
+        self
+    }
+
+    /// Write a checkpoint into `dir` after each completed stage. The
+    /// directory is created if needed; files are bound to this run's
+    /// fingerprint (config + data faults + seed), so a different run
+    /// refuses them.
+    pub fn checkpoints(mut self, dir: impl Into<PathBuf>) -> Pipeline {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from (and keep checkpointing into) `dir`: stages whose
+    /// checkpoints verify against this run's fingerprint are restored
+    /// or replay-verified; corrupted or mismatched checkpoints are
+    /// reported, discarded, and recomputed.
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Pipeline {
+        self.checkpoint_dir = Some(dir.into());
+        self.resume = true;
+        self
+    }
+
+    /// Override the supervisor's retry/deadline policy.
+    pub fn stage_policy(mut self, policy: StagePolicy) -> Pipeline {
+        self.policy = policy;
         self
     }
 
@@ -140,67 +198,164 @@ impl Pipeline {
     /// Run world-build → scan collection → discovery → footprints →
     /// shared-IP classification, producing the [`RunArtifacts`] every
     /// experiment and traffic pass builds on.
+    ///
+    /// Every stage runs under a [`Supervisor`]: panics are contained
+    /// and retried under the stage policy, the fault plan's `crash`
+    /// family is armed around each attempt, and — when
+    /// [`checkpoints`](Pipeline::checkpoints) /
+    /// [`resume`](Pipeline::resume) are configured — completed stages
+    /// persist to disk and verified checkpoints short-circuit a rerun.
+    /// Without crashes or checkpoints the supervised run is
+    /// byte-identical to the unsupervised one.
     pub fn run(self) -> Result<RunArtifacts, Error> {
         let registry = PatternRegistry::try_paper_defaults()?;
-        Ok(iotmap_par::with_threads(self.threads, || {
-            Pipeline::build(&self.config, registry, &self.faults)
-        }))
+        let mut supervisor = Supervisor::new(self.faults.seed)
+            .policy(self.policy.clone())
+            .crash(self.faults.crash.clone());
+        if let Some(dir) = &self.checkpoint_dir {
+            let fingerprint = recover::run_fingerprint(&self.config, &self.faults);
+            let store = CheckpointStore::open(dir, fingerprint).map_err(|e| {
+                Error::stage("checkpoint", format!("cannot open {}: {e}", dir.display()))
+            })?;
+            supervisor = supervisor.store(store, self.resume);
+        }
+        iotmap_par::with_threads(self.threads, || {
+            Pipeline::build(
+                &self.config,
+                registry,
+                &self.faults,
+                &mut supervisor,
+                self.threads_env_unparsable,
+            )
+        })
     }
 
-    fn build(config: &WorldConfig, registry: PatternRegistry, faults: &FaultPlan) -> RunArtifacts {
+    /// Borrow fresh data sources over a prepared world + scan set —
+    /// the one place the source wiring (including the latency prober)
+    /// is spelled out.
+    fn data_sources<'a>(world: &'a World, scans: &'a CollectedScans) -> DataSources<'a> {
+        DataSources {
+            censys: &scans.censys,
+            zgrab_v6: &scans.zgrab_v6,
+            passive_dns: &world.passive_dns,
+            zones: &world.zones,
+            routeviews: &world.bgp,
+            latency: Some(world),
+        }
+    }
+
+    fn build(
+        config: &WorldConfig,
+        registry: PatternRegistry,
+        faults: &FaultPlan,
+        sup: &mut Supervisor,
+        threads_env_unparsable: bool,
+    ) -> Result<RunArtifacts, Error> {
         let _span = iotmap_obs::span!("experiment.prepare");
-        let mut world = World::generate(config);
+        if threads_env_unparsable {
+            iotmap_obs::count!("notes.config.iotmap_threads_unparsable");
+        }
         let period = config.study_period;
-        let scans = world.collect_scan_data_with(period, faults);
+
+        // Generative stages: pure functions of the fingerprinted config,
+        // checkpointed as replay witnesses (recomputed and verified on
+        // resume rather than serialized).
+        let mut world = sup.run_stage(
+            "world",
+            StageArtifact::Replay {
+                witness: recover::world_witness,
+            },
+            || World::generate(config),
+        )?;
+        let scans = {
+            let world = &world;
+            sup.run_stage(
+                "scans",
+                StageArtifact::Replay {
+                    witness: recover::scans_witness,
+                },
+                move || world.collect_scan_data_with(period, faults),
+            )?
+        };
         // The passive-DNS sensors degrade before anyone queries them:
         // every consumer (discovery, shared-IP classification, CNAME
         // chasing, later analyses) sees one consistent, already-faulted
-        // database. An inactive plan skips the rebuild entirely.
+        // database. An inactive plan skips the rebuild entirely. This
+        // runs outside any stage: rebuilding from an already-degraded
+        // database would not be retry-pure.
         if faults.passive_dns.is_active() {
             world.passive_dns =
                 world
                     .passive_dns
                     .degraded(faults.seed, &faults.passive_dns, &period);
         }
-        let prober = WorldLatencyProber { world: &world };
+
+        // Derived stages: fully serialized, skipped on a verified
+        // resume.
         let pipeline =
             DiscoveryPipeline::new(registry).faults(faults.seed, faults.active_dns.clone());
         let discovery = {
-            let sources = DataSources {
-                censys: &scans.censys,
-                zgrab_v6: &scans.zgrab_v6,
-                passive_dns: &world.passive_dns,
-                zones: &world.zones,
-                routeviews: &world.bgp,
-                latency: Some(&prober),
-            };
-            pipeline.run(&sources, period)
+            let sources = Pipeline::data_sources(&world, &scans);
+            sup.run_stage(
+                "discovery",
+                StageArtifact::Bytes {
+                    encode: recover::put_discovery,
+                    decode: recover::get_discovery,
+                },
+                || pipeline.run(&sources, period),
+            )?
         };
 
         // Footprints and shared-IP classification.
         let fp_span = iotmap_obs::span!("experiment.footprints");
-        let classifier = SharedIpClassifier::new(pipeline.registry());
-        let mut footprints = HashMap::new();
-        let mut shared_ips = HashSet::new();
-        {
-            let sources = DataSources {
-                censys: &scans.censys,
-                zgrab_v6: &scans.zgrab_v6,
-                passive_dns: &world.passive_dns,
-                zones: &world.zones,
-                routeviews: &world.bgp,
-                latency: Some(&prober),
-            };
-            for (name, disc) in discovery.per_provider() {
-                footprints.insert(name.to_string(), FootprintInference::infer(disc, &sources));
-                let (_, shared) = classifier.split_provider(disc, &world.passive_dns, period);
-                shared_ips.extend(shared.keys().copied());
-            }
-        }
+        let footprints = {
+            let sources = Pipeline::data_sources(&world, &scans);
+            let discovery = &discovery;
+            sup.run_stage(
+                "footprints",
+                StageArtifact::Bytes {
+                    encode: recover::put_footprints,
+                    decode: recover::get_footprints,
+                },
+                move || {
+                    discovery
+                        .per_provider()
+                        .map(|(name, disc)| {
+                            (name.to_string(), FootprintInference::infer(disc, &sources))
+                        })
+                        .collect::<HashMap<String, Footprint>>()
+                },
+            )?
+        };
+        let shared_ips = {
+            let classifier = SharedIpClassifier::new(pipeline.registry());
+            let discovery = &discovery;
+            let world = &world;
+            sup.run_stage(
+                "shared-ip",
+                StageArtifact::Bytes {
+                    encode: recover::put_shared_ips,
+                    decode: recover::get_shared_ips,
+                },
+                move || {
+                    let mut shared_ips = HashSet::new();
+                    for (_, disc) in discovery.per_provider() {
+                        let (_, shared) =
+                            classifier.split_provider(disc, &world.passive_dns, period);
+                        shared_ips.extend(shared.keys().copied());
+                    }
+                    shared_ips
+                },
+            )?
+        };
         fp_span.exit();
 
-        let index = IpIndex::build(&discovery, &footprints, &shared_ips);
-        RunArtifacts {
+        // The index borrows nothing and rebuilds in microseconds: never
+        // checkpointed.
+        let index = sup.run_stage("index", StageArtifact::Volatile, || {
+            IpIndex::build(&discovery, &footprints, &shared_ips)
+        })?;
+        Ok(RunArtifacts {
             world,
             scans,
             discovery,
@@ -208,7 +363,7 @@ impl Pipeline {
             shared_ips,
             index,
             faults: faults.clone(),
-        }
+        })
     }
 }
 
@@ -234,16 +389,28 @@ impl RunArtifacts {
         TrafficSimulator::with_faults(&self.world, self.faults.seed, self.faults.netflow.clone())
     }
 
-    /// Borrow fresh data sources (for analyses that need them later).
+    /// Borrow fresh data sources (for analyses that need them later) —
+    /// the same wiring the pipeline itself ran with, latency prober
+    /// included.
     pub fn sources(&self) -> DataSources<'_> {
-        DataSources {
-            censys: &self.scans.censys,
-            zgrab_v6: &self.scans.zgrab_v6,
-            passive_dns: &self.world.passive_dns,
-            zones: &self.world.zones,
-            routeviews: &self.world.bgp,
-            latency: None,
-        }
+        Pipeline::data_sources(&self.world, &self.scans)
+    }
+
+    /// A canonical byte encoding of everything the run computed:
+    /// witnesses for the generative stages plus the full serialized
+    /// derived artifacts, all in sorted order. Two runs are
+    /// artifact-identical iff their dumps are byte-equal — the
+    /// instrument the crash-recovery experiment and the resume tests
+    /// compare with.
+    pub fn canonical_dump(&self) -> Vec<u8> {
+        let mut w = iotmap_super::codec::ByteWriter::new();
+        w.put_u64(recover::world_witness(&self.world));
+        w.put_u64(recover::scans_witness(&self.scans));
+        recover::put_discovery(&self.discovery, &mut w);
+        recover::put_footprints(&self.footprints, &mut w);
+        recover::put_shared_ips(&self.shared_ips, &mut w);
+        w.put_u64(self.index.len() as u64);
+        w.into_bytes()
     }
 
     /// First traffic pass: per-line backend contact sets over a period.
@@ -293,6 +460,7 @@ pub mod prelude {
     pub use iotmap_nettypes::{Date, DomainName, Error, SimRng, StudyPeriod};
     pub use iotmap_obs::{Recorder, Registry, RunReport};
     pub use iotmap_par::{set_threads, with_threads};
+    pub use iotmap_super::{CheckpointStore, StagePolicy, Supervisor};
     pub use iotmap_traffic::AnalysisReport;
     pub use iotmap_world::{CollectedScans, World, WorldConfig};
 }

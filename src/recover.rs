@@ -1,0 +1,372 @@
+//! Checkpoint codecs for the pipeline's stage artifacts.
+//!
+//! The supervisor ([`iotmap_super`]) stores two kinds of stage
+//! checkpoints. The *generative* stages (world build, scan collection)
+//! produce artifacts far larger than the inputs they are a pure function
+//! of, so their checkpoints hold only a **replay witness** — a digest the
+//! recomputed artifact must match on resume. The *derived* stages
+//! (discovery, footprints, shared-IP) store their full artifact through
+//! the encoders here and are skipped entirely on resume.
+//!
+//! Encoding order is canonical everywhere a source container is
+//! unordered (`HashMap` iterates arbitrarily): maps are emitted sorted
+//! by key, sets sorted by element. That makes the encoded bytes — and
+//! therefore [`RunArtifacts::canonical_dump`](crate::RunArtifacts) — a
+//! deterministic function of artifact *content*, which the resume tests
+//! compare byte-for-byte.
+
+use iotmap_core::{DiscoveryResult, Footprint, IpEvidence, IpLocation, ProviderDiscovery, Source};
+use iotmap_faults::FaultPlan;
+use iotmap_nettypes::geo::{Continent, Location};
+use iotmap_nettypes::DomainName;
+use iotmap_super::codec::{fnv1a, ByteReader, ByteWriter};
+use iotmap_world::{CollectedScans, World, WorldConfig};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::net::IpAddr;
+
+/// The run identity checkpoints are bound to: FNV-1a over the world
+/// configuration and the artifact-affecting part of the fault plan
+/// (the `crash` family is deliberately excluded — a run that crashed
+/// and one that didn't compute the same artifacts, so their
+/// checkpoints are interchangeable).
+pub fn run_fingerprint(config: &WorldConfig, faults: &FaultPlan) -> u64 {
+    fnv1a(format!("{config:?}|{}", faults.data_fingerprint()).as_bytes())
+}
+
+/// Replay witness for the world-build stage: structure counts plus a
+/// fold over every server address — cheap, but sensitive to any drift
+/// in the generated topology.
+pub fn world_witness(world: &World) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_u64(world.config.seed);
+    w.put_u64(world.servers.len() as u64);
+    w.put_u64(world.server_by_ip.len() as u64);
+    w.put_u64(world.background.len() as u64);
+    w.put_u64(world.passive_dns.len() as u64);
+    for server in &world.servers {
+        w.put_ip(server.ip);
+        w.put_u32(server.ports.len() as u32);
+    }
+    fnv1a(&w.into_bytes())
+}
+
+/// Replay witness for the scan-collection stage: per-day record counts
+/// plus a fold over the ZGrab campaign's targets.
+pub fn scans_witness(scans: &CollectedScans) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_u64(scans.censys.len() as u64);
+    for snapshot in &scans.censys {
+        w.put_i64(snapshot.date.epoch_days());
+        w.put_u64(snapshot.records.len() as u64);
+        w.put_u64(snapshot.host_ports.len() as u64);
+    }
+    w.put_u64(scans.zgrab_v6.len() as u64);
+    for record in &scans.zgrab_v6 {
+        w.put_ip(IpAddr::V6(record.ip));
+        w.put_u32(record.port.port as u32);
+    }
+    fnv1a(&w.into_bytes())
+}
+
+fn put_location(w: &mut ByteWriter, loc: &Location) {
+    w.put_str(&loc.city);
+    w.put_str(loc.country.as_str());
+    let continent = Continent::ALL
+        .iter()
+        .position(|c| *c == loc.continent)
+        .expect("continent is one of ALL") as u8;
+    w.put_u8(continent);
+    w.put_f64(loc.lat);
+    w.put_f64(loc.lon);
+}
+
+fn get_location(r: &mut ByteReader) -> Result<Location, String> {
+    let city = r.get_str()?;
+    let country = r.get_str()?;
+    let continent_idx = r.get_u8()? as usize;
+    let continent = *Continent::ALL
+        .get(continent_idx)
+        .ok_or_else(|| format!("bad continent index {continent_idx}"))?;
+    let lat = r.get_f64()?;
+    let lon = r.get_f64()?;
+    let country = iotmap_nettypes::geo::CountryCode::new(&country)
+        .map_err(|e| format!("bad country code {country:?}: {e:?}"))?;
+    Ok(Location {
+        city,
+        country,
+        continent,
+        lat,
+        lon,
+    })
+}
+
+fn put_evidence(w: &mut ByteWriter, ev: &IpEvidence) {
+    // SourceSet is a private bitset; round-trip through the public API.
+    let mut mask = 0u8;
+    for (bit, source) in Source::ALL.iter().enumerate() {
+        if ev.sources.contains(*source) {
+            mask |= 1 << bit;
+        }
+    }
+    w.put_u8(mask);
+    w.put_u32(ev.days.len() as u32);
+    for day in &ev.days {
+        w.put_i64(*day);
+    }
+    match &ev.domain_hint {
+        Some(hint) => {
+            w.put_bool(true);
+            w.put_str(hint);
+        }
+        None => w.put_bool(false),
+    }
+    match &ev.censys_location {
+        Some(loc) => {
+            w.put_bool(true);
+            put_location(w, loc);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_u32(ev.matched_names.len() as u32);
+    for name in &ev.matched_names {
+        w.put_str(name);
+    }
+}
+
+fn get_evidence(r: &mut ByteReader) -> Result<IpEvidence, String> {
+    let mut ev = IpEvidence::default();
+    let mask = r.get_u8()?;
+    for (bit, source) in Source::ALL.iter().enumerate() {
+        if mask & (1 << bit) != 0 {
+            ev.sources.insert(*source);
+        }
+    }
+    for _ in 0..r.get_u32()? {
+        ev.days.insert(r.get_i64()?);
+    }
+    if r.get_bool()? {
+        ev.domain_hint = Some(r.get_str()?);
+    }
+    if r.get_bool()? {
+        ev.censys_location = Some(get_location(r)?);
+    }
+    for _ in 0..r.get_u32()? {
+        ev.matched_names.insert(r.get_str()?);
+    }
+    Ok(ev)
+}
+
+/// Encode a discovery result (providers in registry order, IPs sorted).
+pub fn put_discovery(value: &DiscoveryResult, w: &mut ByteWriter) {
+    let providers: Vec<_> = value.per_provider().collect();
+    w.put_u32(providers.len() as u32);
+    for (name, disc) in providers {
+        w.put_str(name);
+        w.put_u32(disc.domains.len() as u32);
+        for domain in &disc.domains {
+            w.put_str(&domain.fqdn());
+        }
+        let mut ips: Vec<_> = disc.ips.iter().collect();
+        ips.sort_by_key(|(ip, _)| **ip);
+        w.put_u32(ips.len() as u32);
+        for (ip, ev) in ips {
+            w.put_ip(*ip);
+            put_evidence(w, ev);
+        }
+    }
+}
+
+/// Decode a discovery result encoded by [`put_discovery`].
+pub fn get_discovery(r: &mut ByteReader) -> Result<DiscoveryResult, String> {
+    let mut providers = Vec::new();
+    for _ in 0..r.get_u32()? {
+        let name = r.get_str()?;
+        let mut domains = BTreeSet::new();
+        for _ in 0..r.get_u32()? {
+            let raw = r.get_str()?;
+            domains
+                .insert(DomainName::parse(&raw).map_err(|e| format!("bad domain {raw:?}: {e:?}"))?);
+        }
+        let mut ips = HashMap::new();
+        for _ in 0..r.get_u32()? {
+            let ip = r.get_ip()?;
+            ips.insert(ip, get_evidence(r)?);
+        }
+        providers.push(ProviderDiscovery { name, ips, domains });
+    }
+    Ok(DiscoveryResult::from_providers(providers))
+}
+
+/// Encode the per-provider footprints (providers and IPs sorted).
+pub fn put_footprints(value: &HashMap<String, Footprint>, w: &mut ByteWriter) {
+    let mut providers: Vec<_> = value.iter().collect();
+    providers.sort_by_key(|(name, _)| name.as_str());
+    w.put_u32(providers.len() as u32);
+    for (name, fp) in providers {
+        w.put_str(name);
+        w.put_u64(fp.unlocated);
+        w.put_u32(fp.per_ip.len() as u32);
+        for (ip, loc) in &fp.per_ip {
+            w.put_ip(*ip);
+            w.put_str(&loc.label);
+            put_location(w, &loc.location);
+            w.put_bool(loc.contested);
+        }
+    }
+}
+
+/// Decode footprints encoded by [`put_footprints`].
+pub fn get_footprints(r: &mut ByteReader) -> Result<HashMap<String, Footprint>, String> {
+    let mut out = HashMap::new();
+    for _ in 0..r.get_u32()? {
+        let name = r.get_str()?;
+        let mut fp = Footprint {
+            unlocated: r.get_u64()?,
+            ..Footprint::default()
+        };
+        for _ in 0..r.get_u32()? {
+            let ip = r.get_ip()?;
+            let label = r.get_str()?;
+            let location = get_location(r)?;
+            let contested = r.get_bool()?;
+            fp.per_ip.insert(
+                ip,
+                IpLocation {
+                    label,
+                    location,
+                    contested,
+                },
+            );
+        }
+        out.insert(name, fp);
+    }
+    Ok(out)
+}
+
+/// Encode the shared-IP set (sorted).
+pub fn put_shared_ips(value: &HashSet<IpAddr>, w: &mut ByteWriter) {
+    let mut ips: Vec<_> = value.iter().copied().collect();
+    ips.sort();
+    w.put_u32(ips.len() as u32);
+    for ip in ips {
+        w.put_ip(ip);
+    }
+}
+
+/// Decode the shared-IP set encoded by [`put_shared_ips`].
+pub fn get_shared_ips(r: &mut ByteReader) -> Result<HashSet<IpAddr>, String> {
+    let mut out = HashSet::new();
+    for _ in 0..r.get_u32()? {
+        out.insert(r.get_ip()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_round_trips_through_the_codec() {
+        let mut ips = HashMap::new();
+        let mut ev = IpEvidence::default();
+        ev.sources.insert(Source::Certificate);
+        ev.sources.insert(Source::PassiveDns);
+        ev.days.extend([18993i64, 18995]);
+        ev.domain_hint = Some("eu-1".to_string());
+        ev.censys_location = Some(Location::new(
+            "Frankfurt",
+            "DE",
+            Continent::Europe,
+            50.1,
+            8.7,
+        ));
+        ev.matched_names.insert("iot.example.com".to_string());
+        ips.insert("192.0.2.1".parse().unwrap(), ev);
+        ips.insert("2001:db8::5".parse().unwrap(), IpEvidence::default());
+        let mut domains = BTreeSet::new();
+        domains.insert(DomainName::parse("mqtt.example.com").unwrap());
+        let value = DiscoveryResult::from_providers(vec![ProviderDiscovery {
+            name: "example".to_string(),
+            ips,
+            domains,
+        }]);
+
+        let mut w = ByteWriter::new();
+        put_discovery(&value, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_discovery(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Same canonical encoding — the identity the resume tests use.
+        let mut again = ByteWriter::new();
+        put_discovery(&back, &mut again);
+        assert_eq!(bytes, again.into_bytes());
+        let ev = &back.get("example").unwrap().ips[&"192.0.2.1".parse::<IpAddr>().unwrap()];
+        assert!(ev.sources.contains(Source::PassiveDns));
+        assert!(!ev.sources.contains(Source::Ipv6Scan));
+        assert_eq!(ev.domain_hint.as_deref(), Some("eu-1"));
+    }
+
+    #[test]
+    fn footprints_and_shared_ips_round_trip() {
+        let mut footprints = HashMap::new();
+        let mut fp = Footprint {
+            unlocated: 3,
+            ..Footprint::default()
+        };
+        fp.per_ip.insert(
+            "198.51.100.9".parse().unwrap(),
+            IpLocation {
+                label: "us-east".to_string(),
+                location: Location::new("Ashburn", "US", Continent::NorthAmerica, 39.0, -77.5),
+                contested: true,
+            },
+        );
+        footprints.insert("example".to_string(), fp);
+        let mut w = ByteWriter::new();
+        put_footprints(&footprints, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_footprints(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back["example"].unlocated, 3);
+        assert!(back["example"].per_ip.values().next().unwrap().contested);
+
+        let shared: HashSet<IpAddr> = ["192.0.2.1", "192.0.2.9", "2001:db8::1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let mut w = ByteWriter::new();
+        put_shared_ips(&shared, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_shared_ips(&mut r).unwrap(), shared);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn fingerprints_track_data_inputs_but_not_crash_faults() {
+        let config = WorldConfig::small(42);
+        let base = run_fingerprint(&config, &FaultPlan::none());
+        assert_eq!(base, run_fingerprint(&config, &FaultPlan::none()));
+        assert_ne!(
+            base,
+            run_fingerprint(&WorldConfig::small(43), &FaultPlan::none())
+        );
+        assert_ne!(
+            base,
+            run_fingerprint(&config, &FaultPlan::heavy()),
+            "data faults change the artifacts, so they change the fingerprint"
+        );
+        let mut crashy = FaultPlan::none();
+        crashy.crash.stage_rate = 0.5;
+        crashy.crash.kill_after_stage = Some("discovery".to_string());
+        assert_eq!(
+            base,
+            run_fingerprint(&config, &crashy),
+            "crash faults never change artifacts, so checkpoints stay valid"
+        );
+    }
+}

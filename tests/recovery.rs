@@ -1,0 +1,167 @@
+//! Checkpoint/resume correctness, end to end: a run killed after any
+//! stage boundary and then resumed from its checkpoints must produce
+//! artifacts byte-identical to an uninterrupted run — at any thread
+//! count, with or without data faults. Corrupted checkpoints must be
+//! detected, discarded, and recomputed, never silently trusted.
+
+use iotmap::faults::FaultPlan;
+use iotmap::prelude::*;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// The supervised stage boundaries, in pipeline order.
+const STAGES: [&str; 5] = ["world", "scans", "discovery", "footprints", "shared-ip"];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iotmap-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Kill the pipeline after each stage in turn, resume, and pin the
+/// resumed artifacts byte-for-byte against an uninterrupted baseline.
+fn kill_resume_matrix(faults_name: &str, faults: fn() -> FaultPlan) {
+    let config = WorldConfig::small(42);
+    let baseline = Pipeline::new(config.clone())
+        .threads(1)
+        .faults(faults())
+        .run()
+        .unwrap()
+        .canonical_dump();
+    for threads in [1usize, 4] {
+        for stage in STAGES {
+            let dir = scratch(&format!("{faults_name}-{threads}-{stage}"));
+            let mut kill = faults();
+            kill.crash.kill_after_stage = Some(stage.to_string());
+            let killed = Pipeline::new(config.clone())
+                .threads(threads)
+                .faults(kill)
+                .checkpoints(&dir)
+                .run();
+            assert!(
+                killed.is_err(),
+                "{faults_name}/{threads}/{stage}: the kill switch must abort the run"
+            );
+            let resumed = Pipeline::new(config.clone())
+                .threads(threads)
+                .faults(faults())
+                .resume(&dir)
+                .run()
+                .unwrap_or_else(|e| panic!("{faults_name}/{threads}/{stage}: resume failed: {e}"));
+            assert_eq!(
+                resumed.canonical_dump(),
+                baseline,
+                "{faults_name}/{threads}/{stage}: resumed artifacts diverge"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+#[test]
+fn killed_runs_resume_byte_identically_without_faults() {
+    kill_resume_matrix("none", FaultPlan::none);
+}
+
+#[test]
+fn killed_runs_resume_byte_identically_under_heavy_faults() {
+    kill_resume_matrix("heavy", FaultPlan::heavy);
+}
+
+/// A complete checkpointed run, then resume with one checkpoint truncated
+/// and another bit-flipped: both must be detected as corrupt, recomputed,
+/// and the artifacts must still match — with the corruption visible in
+/// the run's counters.
+#[test]
+fn corrupted_checkpoints_are_detected_and_recomputed() {
+    let config = WorldConfig::small(42);
+    let dir = scratch("corrupt");
+    let baseline = Pipeline::new(config.clone())
+        .threads(1)
+        .checkpoints(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+
+    // Truncate the discovery checkpoint mid-payload.
+    let disc = dir.join("02-discovery.ckpt");
+    let bytes = std::fs::read(&disc).unwrap();
+    std::fs::write(&disc, &bytes[..bytes.len() / 2]).unwrap();
+    // Flip one payload bit in the footprints checkpoint (past the header,
+    // so the checksum — not the magic — catches it).
+    let fp = dir.join("03-footprints.ckpt");
+    let mut bytes = std::fs::read(&fp).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&fp, &bytes).unwrap();
+
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let resumed = Pipeline::new(config.clone())
+        .threads(1)
+        .resume(&dir)
+        .run()
+        .unwrap();
+    iotmap_obs::uninstall();
+
+    assert_eq!(resumed.canonical_dump(), baseline);
+    let report = registry.report();
+    assert_eq!(
+        report.counters.get("super.checkpoints.corrupt"),
+        Some(&2),
+        "both damaged checkpoints must be reported: {:?}",
+        report.counters
+    );
+    // The undamaged shared-ip checkpoint must still have been trusted.
+    assert_eq!(
+        report.counters.get("super.stage.shared-ip.restored"),
+        Some(&1)
+    );
+    // The recomputed stages overwrite the damaged checkpoints, so a
+    // second resume restores everything again.
+    let again = Pipeline::new(config)
+        .threads(1)
+        .resume(&dir)
+        .run()
+        .unwrap();
+    assert_eq!(again.canonical_dump(), baseline);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Resuming with a different configuration must not trust the store:
+/// every fingerprint-mismatched checkpoint is discarded and the run
+/// recomputes from scratch, matching a fresh run of the new config.
+#[test]
+fn fingerprint_mismatches_invalidate_the_store() {
+    let dir = scratch("fingerprint");
+    let old = WorldConfig::small(42);
+    Pipeline::new(old)
+        .threads(1)
+        .checkpoints(&dir)
+        .run()
+        .unwrap();
+
+    let new = WorldConfig::small(43);
+    let fresh = Pipeline::new(new.clone())
+        .threads(1)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let resumed = Pipeline::new(new).threads(1).resume(&dir).run().unwrap();
+    iotmap_obs::uninstall();
+    assert_eq!(resumed.canonical_dump(), fresh);
+    let report = registry.report();
+    assert!(
+        report
+            .counters
+            .get("super.checkpoints.mismatched")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "mismatched checkpoints must be counted: {:?}",
+        report.counters
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
