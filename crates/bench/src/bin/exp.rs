@@ -122,9 +122,16 @@ fn main() {
         return;
     }
 
-    // Observability: `--trace` and `--metrics` install a recorder for the
-    // whole run; the report is emitted just before exit.
-    let instrumented = opts.trace || opts.metrics.is_some();
+    // The profiler is its own mode too: it always instruments, and its
+    // output is the trace itself rather than an experiment's tables.
+    if opts.experiment == "profile" {
+        run_profile(&opts, &config, &fault_plan);
+        return;
+    }
+
+    // Observability: `--trace`, `--metrics`, and `--trace-out` install a
+    // recorder for the whole run; the report is emitted just before exit.
+    let instrumented = opts.trace || opts.metrics.is_some() || opts.trace_out.is_some();
     let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
     if instrumented {
         iotmap_obs::install(registry.clone());
@@ -194,6 +201,12 @@ fn main() {
         Ok(exp) => exp,
         Err(e) => {
             eprintln!("pipeline failed: {e}");
+            // Flush whatever the recorder captured before the failure:
+            // a partial trace/metrics file beats none when debugging.
+            if instrumented {
+                iotmap_obs::uninstall();
+                emit_observability(&opts, &registry.report());
+            }
             std::process::exit(1);
         }
     };
@@ -284,35 +297,51 @@ fn main() {
 
     if instrumented {
         iotmap_obs::uninstall();
-        let report = registry.report();
-        if opts.trace {
-            eprintln!("\n# ---- span tree ----");
-            eprint!("{}", report.render_span_tree());
+        emit_observability(&opts, &registry.report());
+    }
+}
+
+/// Write `content` to `path`, creating parent directories; exit 1 with a
+/// clear message on failure (the observability files are the run's
+/// deliverable when requested).
+fn write_text(path: &std::path::Path, content: &str) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("# failed to create {}: {e}", parent.display());
+            std::process::exit(1);
         }
-        if let Some(path) = &opts.metrics {
-            let path = std::path::Path::new(path);
-            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("# failed to create {}: {e}", parent.display());
-                    std::process::exit(1);
-                }
-            }
-            if let Err(e) = std::fs::write(path, report.to_jsonl()) {
-                eprintln!("# failed to write {}: {e}", path.display());
-                std::process::exit(1);
-            }
-            // A human-readable companion next to the machine report.
-            let md_path = path.with_extension("md");
-            if let Err(e) = std::fs::write(&md_path, report.to_markdown()) {
-                eprintln!("# failed to write {}: {e}", md_path.display());
-                std::process::exit(1);
-            }
-            eprintln!(
-                "# wrote metrics to {} (+ {})",
-                path.display(),
-                md_path.display()
-            );
-        }
+    }
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("# failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// Emit the recorded observability per the CLI flags: span tree to stderr
+/// (`--trace`), JSONL + markdown companion (`--metrics`), Chrome Trace
+/// Event Format JSON (`--trace-out`). Called on clean exits *and* on
+/// mid-run failures, so partial runs stay debuggable.
+fn emit_observability(opts: &iotmap_bench::CliOptions, report: &iotmap_obs::RunReport) {
+    if opts.trace {
+        eprintln!("\n# ---- span tree ----");
+        eprint!("{}", report.render_span_tree());
+    }
+    if let Some(path) = &opts.metrics {
+        let path = std::path::Path::new(path);
+        write_text(path, &report.to_jsonl());
+        // A human-readable companion next to the machine report.
+        let md_path = path.with_extension("md");
+        write_text(&md_path, &report.to_markdown());
+        eprintln!(
+            "# wrote metrics to {} (+ {})",
+            path.display(),
+            md_path.display()
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        let path = std::path::Path::new(path);
+        write_text(path, &report.to_chrome_trace());
+        eprintln!("# wrote Chrome trace to {}", path.display());
     }
 }
 
@@ -1313,6 +1342,25 @@ fn json_f64(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extract a string field from flat `"key": "value"` JSON.
+fn json_str(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let inner = rest.strip_prefix('"')?;
+    Some(inner[..inner.find('"')?].to_string())
+}
+
+/// Extract the body of a one-level `"key": { ... }` object. The bench
+/// stage maps hold only numeric values, so the first `}` closes it.
+fn json_obj<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let inner = rest.strip_prefix('{')?;
+    Some(&inner[..inner.find('}')?])
+}
+
 /// Collect every `discovery.*` span (at any depth) as `(name, ms)`.
 fn discovery_stages(nodes: &[iotmap_obs::SpanNode], out: &mut Vec<(String, f64)>) {
     for n in nodes {
@@ -1321,6 +1369,43 @@ fn discovery_stages(nodes: &[iotmap_obs::SpanNode], out: &mut Vec<(String, f64)>
         }
         discovery_stages(&n.children, out);
     }
+}
+
+/// Find the first span with `name`, depth-first.
+fn find_span<'a>(
+    nodes: &'a [iotmap_obs::SpanNode],
+    name: &str,
+) -> Option<&'a iotmap_obs::SpanNode> {
+    for n in nodes {
+        if n.name == name {
+            return Some(n);
+        }
+        if let Some(found) = find_span(&n.children, name) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Short key for a prepare-stage span: `super.stage.world` → `world`,
+/// `experiment.footprints` → `footprints`.
+fn stage_key(name: &str) -> &str {
+    name.strip_prefix("super.stage.")
+        .or_else(|| name.strip_prefix("experiment."))
+        .unwrap_or(name)
+}
+
+/// The working tree's abbreviated git revision, for perf-history lines.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Time the discovery pass both ways over one prepared world — the
@@ -1340,9 +1425,34 @@ fn run_bench(
         "# bench: preparing world (seed {}, preset {}, faults {})…",
         config.seed, opts.preset, opts.faults
     );
+    // The prepare pass runs instrumented: its span tree is the
+    // `prepare_stages_ms` breakdown. Span overhead is one flag check plus
+    // a clock read per stage, far below timing noise.
+    let prep_prev = iotmap_obs::current_recorder();
+    let prep_registry = std::rc::Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(prep_registry.clone());
     let t0 = std::time::Instant::now();
     let exp = prepare_or_die(config, faults.clone());
-    let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let wall_prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+    iotmap_obs::uninstall();
+    if let Some(r) = prep_prev {
+        iotmap_obs::install(r);
+    }
+    let prep_report = prep_registry.report();
+    // Report the span's own time (its children sum to it by construction);
+    // fall back to the wall clock if the span ever goes missing.
+    let prepare_span = find_span(&prep_report.spans, "experiment.prepare");
+    let prepare_ms = prepare_span
+        .map(|s| s.nanos as f64 / 1e6)
+        .unwrap_or(wall_prepare_ms);
+    let prepare_stages: Vec<(String, f64)> = prepare_span
+        .map(|s| {
+            s.children
+                .iter()
+                .map(|c| (stage_key(&c.name).to_string(), c.nanos as f64 / 1e6))
+                .collect()
+        })
+        .unwrap_or_default();
     let sources = exp.sources();
     let period = config.study_period;
     let pipeline = iotmap_core::DiscoveryPipeline::new(PatternRegistry::paper_defaults())
@@ -1406,7 +1516,7 @@ fn run_bench(
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"iotmap-bench/pipeline-v1\",\n");
+    json.push_str("  \"schema\": \"iotmap-bench/pipeline-v2\",\n");
     json.push_str(&format!("  \"preset\": \"{}\",\n", opts.preset));
     json.push_str(&format!("  \"seed\": {},\n", config.seed));
     json.push_str(&format!("  \"threads\": {},\n", opts.threads));
@@ -1415,6 +1525,16 @@ fn run_bench(
     json.push_str(&format!("  \"records\": {records},\n"));
     json.push_str(&format!("  \"discovered_ips\": {engine_ips},\n"));
     json.push_str(&format!("  \"prepare_ms\": {prepare_ms:.1},\n"));
+    json.push_str("  \"prepare_stages_ms\": {\n");
+    for (i, (name, ms)) in prepare_stages.iter().enumerate() {
+        let comma = if i + 1 < prepare_stages.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!("    \"{name}\": {ms:.3}{comma}\n"));
+    }
+    json.push_str("  },\n");
     json.push_str(&format!("  \"engine_ms\": {engine_ms:.3},\n"));
     json.push_str(&format!("  \"fanout_ms\": {fanout_ms:.3},\n"));
     json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
@@ -1453,6 +1573,10 @@ fn run_bench(
     );
     println!("  records scanned      : {records}");
     println!("  discovered IPs       : {engine_ips}");
+    println!("  prepare              : {prepare_ms:9.1} ms");
+    for (name, ms) in &prepare_stages {
+        println!("    prepare.{name:<20} {ms:9.1} ms");
+    }
     println!("  engine (single-pass) : {engine_ms:9.1} ms  (best of {iters})");
     println!("  fanout (per-provider): {fanout_ms:9.1} ms");
     println!("  speedup              : {speedup:.2}x");
@@ -1461,6 +1585,124 @@ fn run_bench(
         println!("    {name:<28} {ms:9.1} ms");
     }
     eprintln!("# wrote {}", path.display());
+
+    // Chrome trace: the instrumented prepare pass and the instrumented
+    // engine pass, concatenated into one timeline.
+    if let Some(out) = &opts.trace_out {
+        let mut combined = prep_report.clone();
+        combined.spans.extend(report.spans.iter().cloned());
+        write_text(std::path::Path::new(out), &combined.to_chrome_trace());
+        eprintln!("# wrote Chrome trace to {out}");
+    }
+
+    // Perf history: append one line per bench run, and (with --gate)
+    // compare against the last entry from an identical configuration.
+    let history_path = opts
+        .history
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| match &opts.out_dir {
+            Some(dir) => std::path::Path::new(dir).join("BENCH_history.jsonl"),
+            None => std::path::PathBuf::from("BENCH_history.jsonl"),
+        });
+    let previous = std::fs::read_to_string(&history_path).unwrap_or_default();
+    let comparable = previous.lines().rev().find(|line| {
+        json_str(line, "preset").as_deref() == Some(opts.preset.as_str())
+            && json_f64(line, "seed") == Some(config.seed as f64)
+            && json_f64(line, "threads") == Some(opts.threads as f64)
+            && json_str(line, "faults").as_deref() == Some(opts.faults.as_str())
+    });
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let fmt_map = |pairs: &[(String, f64)]| {
+        let cells: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v:.3}"))
+            .collect();
+        cells.join(",")
+    };
+    let line = format!(
+        "{{\"schema\":\"iotmap-bench/history-v1\",\"unix_time\":{unix_time},\
+         \"git\":\"{}\",\"preset\":\"{}\",\"seed\":{},\"threads\":{},\"faults\":\"{}\",\
+         \"records\":{records},\"discovered_ips\":{engine_ips},\
+         \"prepare_ms\":{prepare_ms:.1},\"engine_ms\":{engine_ms:.3},\
+         \"fanout_ms\":{fanout_ms:.3},\"speedup\":{speedup:.3},\
+         \"records_per_sec\":{records_per_sec:.0},\
+         \"prepare_stages_ms\":{{{}}},\"stages_ms\":{{{}}}}}\n",
+        git_rev(),
+        opts.preset,
+        config.seed,
+        opts.threads,
+        opts.faults,
+        fmt_map(&prepare_stages),
+        fmt_map(&stages),
+    );
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&history_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => eprintln!("# appended history to {}", history_path.display()),
+        Err(e) => {
+            eprintln!("# failed to append {}: {e}", history_path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if opts.gate {
+        match comparable {
+            None => println!(
+                "  history gate         : no comparable entry in {} — pass",
+                history_path.display()
+            ),
+            Some(prev) => {
+                // Tracked stages: prepare and engine always; per-stage
+                // entries only above a 10ms noise floor (sub-ms stages
+                // jitter past any ratio threshold).
+                let mut regressions: Vec<String> = Vec::new();
+                let mut check = |label: &str, prev_ms: Option<f64>, cur_ms: f64, floor: f64| {
+                    if let Some(p) = prev_ms {
+                        if p >= floor && cur_ms > p * 1.25 {
+                            regressions.push(format!(
+                                "{label}: {cur_ms:.1} ms vs {p:.1} ms ({:+.0}%)",
+                                (cur_ms / p - 1.0) * 100.0
+                            ));
+                        }
+                    }
+                };
+                check("prepare_ms", json_f64(prev, "prepare_ms"), prepare_ms, 0.0);
+                check("engine_ms", json_f64(prev, "engine_ms"), engine_ms, 0.0);
+                if let Some(obj) = json_obj(prev, "prepare_stages_ms") {
+                    for (name, cur) in &prepare_stages {
+                        check(&format!("prepare.{name}"), json_f64(obj, name), *cur, 10.0);
+                    }
+                }
+                if let Some(obj) = json_obj(prev, "stages_ms") {
+                    for (name, cur) in &stages {
+                        check(name, json_f64(obj, name), *cur, 10.0);
+                    }
+                }
+                let prev_git = json_str(prev, "git").unwrap_or_else(|| "?".to_string());
+                if regressions.is_empty() {
+                    println!("  history gate         : ok (vs entry at git {prev_git})");
+                } else {
+                    for r in &regressions {
+                        eprintln!("# bench: REGRESSION — {r}");
+                    }
+                    eprintln!(
+                        "# bench: history gate FAILED — {} tracked stage(s) regressed >25% \
+                         vs the entry at git {prev_git}",
+                        regressions.len()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 
     if let Some(bl) = &opts.baseline {
         let base = std::fs::read_to_string(bl)
@@ -1486,6 +1728,134 @@ fn run_bench(
                 std::process::exit(2);
             }
         }
+    }
+}
+
+/// `exp profile` — run the full pipeline instrumented and report where
+/// the time went: top-N spans by self-time, per-shard imbalance, and the
+/// busiest counters. `--smoke` skips the traffic passes (the fast path
+/// `scripts/check.sh` exercises); `--trace-out`/`--metrics` write the
+/// same artifacts as any instrumented run, including on failure.
+fn run_profile(
+    opts: &iotmap_bench::CliOptions,
+    config: &WorldConfig,
+    faults: &iotmap_faults::FaultPlan,
+) {
+    eprintln!(
+        "# profile: preparing world (seed {}, preset {}, faults {})…",
+        config.seed, opts.preset, opts.faults
+    );
+    let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let t0 = std::time::Instant::now();
+    let exp = match Experiment::try_prepare_opts(
+        config,
+        faults.clone(),
+        opts.checkpoints.as_deref(),
+        opts.resume.as_deref(),
+    ) {
+        Ok(exp) => exp,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            iotmap_obs::uninstall();
+            emit_observability(opts, &registry.report());
+            std::process::exit(1);
+        }
+    };
+    if !opts.smoke {
+        eprintln!("# profile: simulating main-week ISP traffic…");
+        let contacts = exp.contact_pass(config.study_period);
+        let excluded = exp.excluded_lines(&contacts);
+        let _ = exp.analysis_pass(config.study_period, &excluded);
+    }
+    let wall = t0.elapsed();
+    iotmap_obs::uninstall();
+    let report = registry.report();
+
+    println!(
+        "profile (preset {}, seed {}, threads {}, faults {}{})",
+        opts.preset,
+        config.seed,
+        opts.threads,
+        opts.faults,
+        if opts.smoke { ", smoke" } else { "" }
+    );
+    println!(
+        "  wall time            : {:9.1} ms",
+        wall.as_secs_f64() * 1e3
+    );
+    println!("  discovered IPs       : {}", exp.discovery.all_ips().len());
+
+    let total: u64 = report.spans.iter().map(|s| s.nanos).sum();
+    println!("\n  top {} spans by self-time:", opts.top);
+    for (path, self_nanos) in report.top_self_time(opts.top) {
+        println!(
+            "    {:>9.1} ms  {:>5.1}%  {path}",
+            self_nanos as f64 / 1e6,
+            self_nanos as f64 / total.max(1) as f64 * 100.0,
+        );
+    }
+
+    // Per-shard imbalance: group attributed spans by name, sum each
+    // shard's time, and compare the slowest shard to the mean.
+    let mut sharded: BTreeMap<String, BTreeMap<u64, (u64, u64, bool)>> = BTreeMap::new();
+    collect_sharded(&report.spans, &mut sharded);
+    println!("\n  per-shard imbalance:");
+    if sharded.is_empty() {
+        println!("    (no sharded spans recorded — single-shard run)");
+    }
+    for (name, shards) in &sharded {
+        let times: Vec<f64> = shards.values().map(|&(ns, _, _)| ns as f64 / 1e6).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let (max_shard, max_ms) = shards
+            .iter()
+            .map(|(&s, &(ns, _, _))| (s, ns as f64 / 1e6))
+            .fold((0u64, 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
+        let items: u64 = shards.values().map(|&(_, i, _)| i).sum();
+        let quarantined = shards.values().filter(|&&(_, _, q)| q).count();
+        print!(
+            "    {name}: {} shards, {items} items, mean {mean:.1} ms, \
+             max {max_ms:.1} ms (shard {max_shard}), imbalance {:.2}x",
+            shards.len(),
+            max_ms / mean.max(1e-9),
+        );
+        if quarantined > 0 {
+            print!(", {quarantined} quarantined");
+        }
+        println!();
+    }
+
+    // Counter deltas: the busiest counters of the whole run.
+    let mut counters: Vec<(&String, &u64)> = report.counters.iter().collect();
+    counters.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    println!("\n  top {} counters:", opts.top);
+    for (name, value) in counters.into_iter().take(opts.top) {
+        println!("    {value:>12}  {name}");
+    }
+
+    emit_observability(opts, &report);
+}
+
+/// Accumulate per-shard `(nanos, items, quarantined)` sums for every
+/// span name that carries shard attribution, at any depth.
+fn collect_sharded(
+    nodes: &[iotmap_obs::SpanNode],
+    out: &mut BTreeMap<String, BTreeMap<u64, (u64, u64, bool)>>,
+) {
+    for n in nodes {
+        if let Some(shard) = n.meta_value("shard") {
+            let entry = out
+                .entry(n.name.clone())
+                .or_default()
+                .entry(shard)
+                .or_insert((0, 0, false));
+            entry.0 += n.nanos;
+            // Every root merged from one shard carries the same item
+            // count — take it, don't sum it.
+            entry.1 = n.meta_value("items").unwrap_or(entry.1);
+            entry.2 |= n.meta_value("quarantined").is_some();
+        }
+        collect_sharded(&n.children, out);
     }
 }
 

@@ -39,6 +39,11 @@ impl Experiment {
     /// §3 + §4 part of the study (discovery, validation, footprints);
     /// traffic passes are separate because different experiments need
     /// different sinks.
+    ///
+    /// Binaries should reach for [`Experiment::try_prepare`] instead and
+    /// exit 1 with the error message (the `exp` contract for stage
+    /// failures); this panicking form is for tests and doc examples where
+    /// a preparation failure is a bug by construction.
     pub fn prepare(config: &WorldConfig) -> Experiment {
         Self::try_prepare(config).unwrap_or_else(|e| panic!("experiment preparation failed: {e}"))
     }
@@ -46,7 +51,8 @@ impl Experiment {
     /// [`Experiment::prepare`] under a fault plan: every synthetic data
     /// source suffers the plan's seeded faults and the methodology
     /// degrades gracefully ([`FaultPlan::none`] is byte-identical to
-    /// [`Experiment::prepare`]).
+    /// [`Experiment::prepare`]). Panics on failure — binaries should use
+    /// [`Experiment::try_prepare_with_faults`] and exit 1 instead.
     pub fn prepare_with_faults(config: &WorldConfig, faults: FaultPlan) -> Experiment {
         Self::try_prepare_with_faults(config, faults)
             .unwrap_or_else(|e| panic!("experiment preparation failed: {e}"))
@@ -116,6 +122,23 @@ pub struct CliOptions {
     pub trace: bool,
     /// Write metrics as JSON-lines to this file at exit (`--metrics FILE`).
     pub metrics: Option<String>,
+    /// Write the span tree as Chrome Trace Event Format JSON to this file
+    /// at exit (`--trace-out FILE`) — loadable in `chrome://tracing` and
+    /// Perfetto.
+    pub trace_out: Option<String>,
+    /// For `bench`: fail (exit 1) when any tracked stage regresses more
+    /// than 25% vs the last comparable `BENCH_history.jsonl` entry
+    /// (`--gate`).
+    pub gate: bool,
+    /// For `profile`: how many spans the self-time table lists
+    /// (`--top N`, default 15).
+    pub top: usize,
+    /// For `profile`: skip the traffic passes so the invocation stays
+    /// fast enough for `scripts/check.sh` (`--smoke`).
+    pub smoke: bool,
+    /// Perf-history file override (`--history FILE`); defaults to
+    /// `BENCH_history.jsonl` under `--out` (or the working directory).
+    pub history: Option<String>,
     /// Worker-thread budget for the parallel stages (`--threads N`, 0 =
     /// all cores; defaults to `IOTMAP_THREADS` or 1). Output is
     /// byte-identical at any value.
@@ -144,6 +167,11 @@ impl CliOptions {
         let mut out_dir = None;
         let mut trace = false;
         let mut metrics = None;
+        let mut trace_out = None;
+        let mut gate = false;
+        let mut top = 15usize;
+        let mut smoke = false;
+        let mut history = None;
         let mut threads = std::env::var("IOTMAP_THREADS")
             .ok()
             .and_then(|v| v.trim().parse().ok())
@@ -173,6 +201,25 @@ impl CliOptions {
                 }
                 "--metrics" => {
                     metrics = Some(it.next().ok_or("--metrics needs a file path")?);
+                }
+                "--trace-out" => {
+                    trace_out = Some(it.next().ok_or("--trace-out needs a file path")?);
+                }
+                "--gate" => {
+                    gate = true;
+                }
+                "--top" => {
+                    top = it
+                        .next()
+                        .ok_or("--top needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad top count: {e}"))?;
+                }
+                "--smoke" => {
+                    smoke = true;
+                }
+                "--history" => {
+                    history = Some(it.next().ok_or("--history needs a file path")?);
                 }
                 "--threads" => {
                     threads = it
@@ -207,6 +254,11 @@ impl CliOptions {
             out_dir,
             trace,
             metrics,
+            trace_out,
+            gate,
+            top,
+            smoke,
+            history,
             threads,
             faults,
             baseline,
@@ -244,12 +296,14 @@ impl CliOptions {
 
 fn usage() -> String {
     "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
-     \x20          [--trace] [--metrics FILE] [--threads N] [--faults none|light|heavy|FILE]\n\
-     \x20          [--baseline BENCH_pipeline.json] [--checkpoints DIR] [--resume DIR]\n\
+     \x20          [--trace] [--metrics FILE] [--trace-out FILE] [--threads N]\n\
+     \x20          [--faults none|light|heavy|FILE] [--baseline BENCH_pipeline.json]\n\
+     \x20          [--checkpoints DIR] [--resume DIR] [--history FILE] [--gate]\n\
+     \x20          [--top N] [--smoke]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist robustness \
-     bench crash-recovery"
+     bench crash-recovery profile"
         .to_string()
 }
 
@@ -295,6 +349,47 @@ mod tests {
         assert!(opts.trace);
         assert_eq!(opts.metrics.as_deref(), Some("m.jsonl"));
         assert_eq!(opts.threads, 4);
+    }
+
+    #[test]
+    fn cli_profiling_flags() {
+        let opts = CliOptions::parse(["exp", "profile"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(opts.experiment, "profile");
+        assert!(opts.trace_out.is_none());
+        assert!(!opts.gate);
+        assert_eq!(opts.top, 15);
+        assert!(!opts.smoke);
+        assert!(opts.history.is_none());
+
+        let opts = CliOptions::parse(
+            [
+                "exp",
+                "bench",
+                "--trace-out",
+                "t.json",
+                "--gate",
+                "--top",
+                "5",
+                "--smoke",
+                "--history",
+                "h.jsonl",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert!(opts.gate);
+        assert_eq!(opts.top, 5);
+        assert!(opts.smoke);
+        assert_eq!(opts.history.as_deref(), Some("h.jsonl"));
+
+        assert!(CliOptions::parse(
+            ["exp", "bench", "--top", "many"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn metrics_jsonl_covers_golden_keys() {
         lines.len()
     );
     assert_eq!(
-        lines[0], "{\"type\":\"meta\",\"format\":\"iotmap-obs.v1\"}",
+        lines[0], "{\"type\":\"meta\",\"format\":\"iotmap-obs.v2\"}",
         "first line is the format header"
     );
 

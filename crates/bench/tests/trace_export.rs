@@ -1,0 +1,137 @@
+//! Golden tests for the hierarchical trace tree and its Chrome Trace
+//! export: the prepare path's span shape is pinned on a fixed-seed small
+//! preset, the stage breakdown must account for the prepare span's time
+//! (the `prepare_stages_ms` contract), and installing a recorder must
+//! never change the pipeline's outputs.
+
+use iotmap_bench::Experiment;
+use iotmap_obs::{Registry, SpanNode};
+use iotmap_world::WorldConfig;
+use std::rc::Rc;
+
+fn traced_prepare(config: &WorldConfig) -> (Experiment, iotmap_obs::RunReport) {
+    let registry = Rc::new(Registry::new());
+    iotmap_obs::install(registry.clone());
+    let exp = Experiment::prepare(config);
+    iotmap_obs::uninstall();
+    (exp, registry.report())
+}
+
+fn find_span<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+    for n in nodes {
+        if n.name == name {
+            return Some(n);
+        }
+        if let Some(found) = find_span(&n.children, name) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+#[test]
+fn prepare_span_tree_matches_golden_shape() {
+    let (_exp, report) = traced_prepare(&WorldConfig::small(42));
+    let prepare = find_span(&report.spans, "experiment.prepare").expect("prepare span");
+
+    // The direct children ARE the `prepare_stages_ms` breakdown — pin
+    // them exactly so a refactor cannot silently drop a stage from the
+    // bench report.
+    let stages: Vec<&str> = prepare.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        stages,
+        [
+            "super.stage.world",
+            "super.stage.scans",
+            "super.stage.discovery",
+            "experiment.footprints",
+            "super.stage.index",
+        ],
+        "prepare stage spans changed — update exp bench's prepare_stages_ms docs"
+    );
+
+    // World generation's phase breakdown, pinned the same way.
+    let world = find_span(&prepare.children, "world.generate").expect("world.generate span");
+    let phases: Vec<&str> = world.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        phases,
+        [
+            "world.servers",
+            "world.bgp",
+            "world.tenants_zones",
+            "world.background",
+            "world.hitlist",
+            "world.passive_dns",
+            "world.published",
+            "world.isp",
+            "world.events",
+        ]
+    );
+
+    // Scan synthesis carries its two named campaigns.
+    let collect = find_span(&prepare.children, "world.collect_scan_data").expect("collect span");
+    let campaigns: Vec<&str> = collect.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(campaigns, ["world.censys_sweeps", "world.zgrab_campaign"]);
+
+    // A clean run's supervisor stages record exactly one attempt.
+    for child in prepare
+        .children
+        .iter()
+        .filter(|c| c.name.starts_with("super.stage."))
+    {
+        assert_eq!(child.meta_value("attempts"), Some(1), "{}", child.name);
+        assert_eq!(child.meta_value("panics"), None, "{}", child.name);
+    }
+}
+
+#[test]
+fn prepare_stage_times_sum_to_prepare_time() {
+    let (_exp, report) = traced_prepare(&WorldConfig::small(42));
+    let prepare = find_span(&report.spans, "experiment.prepare").expect("prepare span");
+    let children: u64 = prepare.children.iter().map(|c| c.nanos).sum();
+    assert!(
+        children <= prepare.nanos,
+        "children ({children}) exceed their parent ({})",
+        prepare.nanos
+    );
+    // The acceptance bar: the breakdown explains ≥90% of prepare time.
+    assert!(
+        children as f64 >= prepare.nanos as f64 * 0.9,
+        "prepare stages only cover {:.1}% of the prepare span",
+        children as f64 / prepare.nanos as f64 * 100.0
+    );
+}
+
+#[test]
+fn chrome_trace_export_is_loadable() {
+    let (_exp, report) = traced_prepare(&WorldConfig::small(42));
+    let trace = report.to_chrome_trace();
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(trace.trim_end().ends_with("]}"));
+    assert!(trace.contains("\"name\":\"experiment.prepare\""));
+    assert!(trace.contains("\"ph\":\"X\""));
+    // Every event must be standalone-parseable by a strict JSON loader.
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+    assert_eq!(trace.matches('"').count() % 2, 0);
+    // The synthesized timeline starts at zero and stays within the run.
+    assert!(trace.contains("\"ts\":0.000"));
+}
+
+#[test]
+fn tracing_does_not_change_outputs() {
+    let config = WorldConfig::small(42);
+    iotmap_obs::uninstall();
+    let untraced = Experiment::prepare(&config).artifacts.canonical_dump();
+    let (traced_exp, _) = traced_prepare(&config);
+    assert_eq!(
+        untraced,
+        traced_exp.artifacts.canonical_dump(),
+        "installing a recorder changed the pipeline's outputs"
+    );
+    // Sharded execution with attribution enabled must not change them
+    // either (the attributed merge only stamps metadata).
+    let parallel_traced =
+        iotmap_par::with_threads(4, || traced_prepare(&config).0.artifacts.canonical_dump());
+    assert_eq!(untraced, parallel_traced);
+}

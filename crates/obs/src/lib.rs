@@ -53,8 +53,25 @@ pub use metrics::{Histogram, HistogramSnapshot, Registry, DEFAULT_BUCKETS};
 pub use report::{RunReport, SourceCompleteness, SpanNode};
 pub use span::SpanGuard;
 
+/// JSONL report format version written by [`RunReport::to_jsonl`]. v2
+/// added per-span `self_nanos` and the optional `meta` attribution map.
+pub const JSONL_FORMAT: &str = "iotmap-obs.v2";
+
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// One worker shard's identity, attached to its merged span roots by
+/// [`Recorder::merge_child_attributed`] so a trace can show which shard
+/// did how much work (and whether it had to be quarantined and retried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardAttribution {
+    /// Shard index within the sharded call.
+    pub shard: u64,
+    /// Items the shard processed.
+    pub items: u64,
+    /// The shard panicked and was retried serially.
+    pub quarantined: bool,
+}
 
 /// The sink instrumented code reports into.
 ///
@@ -76,6 +93,11 @@ pub trait Recorder {
     fn gauge(&self, name: &str, value: i64);
     /// Record one observation into the named histogram.
     fn observe(&self, name: &str, value: u64);
+    /// Attach `key = value` metadata to the innermost open span —
+    /// per-shard attribution, retry counts, item totals. The default
+    /// drops it: plain recorders need no span metadata, and new trait
+    /// methods must not break existing implementations.
+    fn annotate(&self, _key: &str, _value: u64) {}
     /// Fold a child worker's finished [`RunReport`] into this recorder.
     ///
     /// Called by the parallel execution layer after joining a worker, in
@@ -87,6 +109,9 @@ pub trait Recorder {
     fn merge_child(&self, report: &RunReport) {
         fn replay_span<R: Recorder + ?Sized>(rec: &R, node: &SpanNode) {
             let id = rec.span_enter(&node.name);
+            for (key, value) in &node.meta {
+                rec.annotate(key, *value);
+            }
             for child in &node.children {
                 replay_span(rec, child);
             }
@@ -109,6 +134,15 @@ pub trait Recorder {
                 }
             }
         }
+    }
+    /// [`Recorder::merge_child`] with the merging shard's identity, so
+    /// recorders that keep a span tree can attribute each merged subtree
+    /// to the worker that produced it. The default ignores the
+    /// attribution and merges plainly; [`Registry`] overrides this to
+    /// stamp `shard` / `items` / `quarantined` metadata on the attached
+    /// child roots.
+    fn merge_child_attributed(&self, report: &RunReport, _attr: &ShardAttribution) {
+        self.merge_child(report);
     }
 }
 
@@ -151,6 +185,20 @@ pub fn current_recorder() -> Option<Rc<dyn Recorder>> {
 /// [`Recorder::merge_child`] for the merge semantics.
 pub fn merge_child_report(report: &RunReport) {
     with_recorder(|r| r.merge_child(report));
+}
+
+/// [`merge_child_report`] with shard attribution — the variant the
+/// parallel execution layer uses so each worker's merged span roots
+/// carry the shard index, item count, and quarantine marker.
+pub fn merge_child_report_attributed(report: &RunReport, attr: &ShardAttribution) {
+    with_recorder(|r| r.merge_child_attributed(report, attr));
+}
+
+/// Attach metadata to the innermost open span (function form; prefer the
+/// [`annotate!`] macro, which skips evaluating its arguments when
+/// disabled).
+pub fn annotate(key: &str, value: u64) {
+    with_recorder(|r| r.annotate(key, value));
 }
 
 /// Open a span through the installed recorder (function form; prefer the
@@ -204,6 +252,20 @@ macro_rules! gauge {
         if $crate::enabled() {
             $crate::with_recorder(|r| {
                 r.gauge(::core::convert::AsRef::<str>::as_ref(&$name), $value as i64)
+            });
+        }
+    };
+}
+
+/// Attach metadata to the innermost open span:
+/// `obs::annotate!("attempts", n)`. Arguments are only evaluated when a
+/// recorder is installed; without an open span the annotation is dropped.
+#[macro_export]
+macro_rules! annotate {
+    ($key:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::with_recorder(|r| {
+                r.annotate(::core::convert::AsRef::<str>::as_ref(&$key), $value as u64)
             });
         }
     };

@@ -2,7 +2,7 @@
 //! the span arena.
 
 use crate::report::{RunReport, SpanNode};
-use crate::Recorder;
+use crate::{Recorder, ShardAttribution};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
@@ -162,6 +162,17 @@ struct SpanRec {
     name: String,
     nanos: u64,
     children: Vec<usize>,
+    /// Attribution attached via [`Recorder::annotate`] or a shard merge:
+    /// last write wins per key, insertion-ordered.
+    meta: Vec<(String, u64)>,
+}
+
+/// Set `key` on a span's metadata, last-write-wins.
+fn set_meta(meta: &mut Vec<(String, u64)>, key: &str, value: u64) {
+    match meta.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => meta.push((key.to_string(), value)),
+    }
 }
 
 #[derive(Debug, Default)]
@@ -205,13 +216,14 @@ impl Registry {
     }
 
     /// Append one report span node (and its subtree) into the arena,
-    /// under `parent` (`None` ⇒ a new root).
-    fn attach_span(inner: &mut Inner, parent: Option<usize>, node: &SpanNode) {
+    /// under `parent` (`None` ⇒ a new root). Returns the new node's id.
+    fn attach_span(inner: &mut Inner, parent: Option<usize>, node: &SpanNode) -> usize {
         let id = inner.spans.len();
         inner.spans.push(SpanRec {
             name: node.name.clone(),
             nanos: node.nanos,
             children: Vec::new(),
+            meta: node.meta.clone(),
         });
         match parent {
             Some(p) => inner.spans[p].children.push(id),
@@ -219,6 +231,33 @@ impl Registry {
         }
         for child in &node.children {
             Registry::attach_span(inner, Some(id), child);
+        }
+        id
+    }
+
+    /// The metric half of a child merge: counters add saturating, gauges
+    /// last-write-wins, histograms merge bucket-wise.
+    fn merge_metrics(inner: &mut Inner, report: &RunReport) {
+        for (name, delta) in &report.counters {
+            match inner.counters.get_mut(name) {
+                Some(v) => *v = v.saturating_add(*delta),
+                None => {
+                    inner.counters.insert(name.clone(), *delta);
+                }
+            }
+        }
+        for (name, value) in &report.gauges {
+            inner.gauges.insert(name.clone(), *value);
+        }
+        for (name, snap) in &report.histograms {
+            match inner.histograms.get_mut(name) {
+                Some(h) => h.merge_snapshot(snap),
+                None => {
+                    inner
+                        .histograms
+                        .insert(name.clone(), Histogram::from_snapshot(snap));
+                }
+            }
         }
     }
 
@@ -230,6 +269,7 @@ impl Registry {
             SpanNode {
                 name: spans[idx].name.clone(),
                 nanos: spans[idx].nanos,
+                meta: spans[idx].meta.clone(),
                 children: spans[idx]
                     .children
                     .iter()
@@ -262,6 +302,7 @@ impl Recorder for Registry {
             name: name.to_string(),
             nanos: 0,
             children: Vec::new(),
+            meta: Vec::new(),
         });
         match inner.stack.last().copied() {
             Some(parent) => inner.spans[parent].children.push(id),
@@ -299,6 +340,15 @@ impl Recorder for Registry {
             .insert(name.to_string(), value);
     }
 
+    /// Attach `key = value` to the innermost open span (dropped when no
+    /// span is open — attribution without a span has nowhere to live).
+    fn annotate(&self, key: &str, value: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(id) = inner.stack.last().copied() {
+            set_meta(&mut inner.spans[id].meta, key, value);
+        }
+    }
+
     fn observe(&self, name: &str, value: u64) {
         let mut inner = self.inner.borrow_mut();
         match inner.histograms.get_mut(name) {
@@ -319,30 +369,30 @@ impl Recorder for Registry {
     /// same shape as a serial run — only the timings differ.
     fn merge_child(&self, report: &RunReport) {
         let mut inner = self.inner.borrow_mut();
-        for (name, delta) in &report.counters {
-            match inner.counters.get_mut(name) {
-                Some(v) => *v = v.saturating_add(*delta),
-                None => {
-                    inner.counters.insert(name.clone(), *delta);
-                }
-            }
-        }
-        for (name, value) in &report.gauges {
-            inner.gauges.insert(name.clone(), *value);
-        }
-        for (name, snap) in &report.histograms {
-            match inner.histograms.get_mut(name) {
-                Some(h) => h.merge_snapshot(snap),
-                None => {
-                    inner
-                        .histograms
-                        .insert(name.clone(), Histogram::from_snapshot(snap));
-                }
-            }
-        }
+        Registry::merge_metrics(&mut inner, report);
         let parent = inner.stack.last().copied();
         for root in &report.spans {
             Registry::attach_span(&mut inner, parent, root);
+        }
+    }
+
+    /// [`Recorder::merge_child`], plus shard attribution: every attached
+    /// child root is stamped with the worker's shard index, the number of
+    /// items it processed, and — when the shard was quarantined and
+    /// retried serially — a `quarantined` marker. The tree *shape* stays
+    /// exactly what a serial run records; attribution is metadata only.
+    fn merge_child_attributed(&self, report: &RunReport, attr: &ShardAttribution) {
+        let mut inner = self.inner.borrow_mut();
+        Registry::merge_metrics(&mut inner, report);
+        let parent = inner.stack.last().copied();
+        for root in &report.spans {
+            let id = Registry::attach_span(&mut inner, parent, root);
+            let meta = &mut inner.spans[id].meta;
+            set_meta(meta, "shard", attr.shard);
+            set_meta(meta, "items", attr.items);
+            if attr.quarantined {
+                set_meta(meta, "quarantined", 1);
+            }
         }
     }
 }
@@ -500,6 +550,128 @@ mod tests {
         parent.merge_child(&Registry::new().report());
         assert_eq!(parent.counter("c"), 1);
         assert!(parent.report().spans.is_empty());
+    }
+
+    #[test]
+    fn merging_an_empty_snapshot_into_a_histogram_is_a_noop() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        h.record(5);
+        h.merge_snapshot(&Histogram::with_bounds(&[7]).snapshot());
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max, s.sum), (5, 5, 5));
+        assert_eq!(s.counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn merging_into_an_empty_histogram_adopts_the_child_exactly() {
+        let mut child = Histogram::with_bounds(&[10, 100]);
+        child.record(3);
+        child.record(60);
+        let mut parent = Histogram::with_bounds(&[10, 100]);
+        parent.merge_snapshot(&child.snapshot());
+        let s = parent.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 0]);
+        assert_eq!((s.count, s.sum, s.min, s.max), (2, 63, 3, 60));
+        assert!((s.mean() - 31.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_child_with_disjoint_keys_keeps_both_sides() {
+        let child = Registry::new();
+        child.add("child.only", 7);
+        child.gauge("child.g", -2);
+        child.observe("child.h", 11);
+        let parent = Registry::new();
+        parent.add("parent.only", 3);
+        parent.observe("parent.h", 4);
+        parent.merge_child(&child.report());
+        let report = parent.report();
+        assert_eq!(report.counters["parent.only"], 3);
+        assert_eq!(report.counters["child.only"], 7);
+        assert_eq!(report.gauges["child.g"], -2);
+        // The child's histogram appears exactly — bounds, distribution,
+        // and summary stats — next to the untouched parent one.
+        let ch = &report.histograms["child.h"];
+        assert_eq!((ch.count, ch.sum, ch.min, ch.max), (1, 11, 11, 11));
+        assert_eq!(report.histograms["parent.h"].count, 1);
+    }
+
+    #[test]
+    fn histogram_distribution_survives_a_same_bounds_merge() {
+        // "Quantiles after merge": with equal bounds the merged bucket
+        // distribution is the exact bucket-wise sum, so any quantile read
+        // off the buckets matches a single histogram fed both streams.
+        let mut a = Histogram::with_bounds(&[10, 100, 1000]);
+        let mut b = Histogram::with_bounds(&[10, 100, 1000]);
+        let mut oracle = Histogram::with_bounds(&[10, 100, 1000]);
+        for v in [1, 5, 50] {
+            a.record(v);
+            oracle.record(v);
+        }
+        for v in [70, 500, 2000] {
+            b.record(v);
+            oracle.record(v);
+        }
+        a.merge_snapshot(&b.snapshot());
+        assert_eq!(a.snapshot(), oracle.snapshot());
+    }
+
+    #[test]
+    fn annotate_attaches_to_the_innermost_open_span() {
+        let r = Registry::new();
+        r.annotate("orphan", 1); // no open span: dropped
+        let outer = r.span_enter("outer");
+        let inner = r.span_enter("inner");
+        r.annotate("items", 5);
+        r.annotate("items", 9); // last write wins
+        r.span_exit(inner, 2);
+        r.annotate("outer.items", 3);
+        r.span_exit(outer, 10);
+        let report = r.report();
+        let o = &report.spans[0];
+        assert_eq!(o.meta, vec![("outer.items".to_string(), 3)]);
+        assert_eq!(o.children[0].meta, vec![("items".to_string(), 9)]);
+    }
+
+    #[test]
+    fn attributed_merge_stamps_shard_meta_on_child_roots_only() {
+        let child = Registry::new();
+        let outer = child.span_enter("work");
+        let inner = child.span_enter("work.step");
+        child.span_exit(inner, 1);
+        child.span_exit(outer, 3);
+        child.add("c", 2);
+
+        let parent = Registry::new();
+        let stage = parent.span_enter("stage");
+        parent.merge_child_attributed(
+            &child.report(),
+            &ShardAttribution {
+                shard: 3,
+                items: 17,
+                quarantined: true,
+            },
+        );
+        parent.span_exit(stage, 9);
+
+        let report = parent.report();
+        assert_eq!(report.counters["c"], 2);
+        let stage = &report.spans[0];
+        assert!(stage.meta.is_empty(), "the open parent span is untouched");
+        let root = &stage.children[0];
+        assert_eq!(
+            root.meta,
+            vec![
+                ("shard".to_string(), 3),
+                ("items".to_string(), 17),
+                ("quarantined".to_string(), 1)
+            ]
+        );
+        assert!(
+            root.children[0].meta.is_empty(),
+            "descendants carry no attribution"
+        );
     }
 
     #[test]

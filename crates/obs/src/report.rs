@@ -11,8 +11,27 @@ pub struct SpanNode {
     pub name: String,
     /// Monotonic wall-clock duration (0 if the span never closed).
     pub nanos: u64,
+    /// Attribution metadata, in insertion order: shard identity stamped
+    /// by the parallel layer's attributed merge, plus anything recorded
+    /// through `annotate!` while the span was open.
+    pub meta: Vec<(String, u64)>,
     /// Child spans, in entry order.
     pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Time spent in this span itself, excluding its children —
+    /// saturating, since a child recorded on another thread can
+    /// (rarely) overlap its parent's clock.
+    pub fn self_nanos(&self) -> u64 {
+        self.nanos
+            .saturating_sub(self.children.iter().map(|c| c.nanos).sum())
+    }
+
+    /// Look up one metadata value by key.
+    pub fn meta_value(&self, key: &str) -> Option<u64> {
+        self.meta.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
 }
 
 /// Everything one instrumented run recorded.
@@ -246,7 +265,9 @@ impl RunReport {
         by_source.into_values().collect()
     }
 
-    /// Render the span tree alone (the `--trace` output of `exp`).
+    /// Render the span tree alone (the `--trace` output of `exp`) as an
+    /// indented text flame summary: duration, share of the parent,
+    /// self-time for interior nodes, and any shard attribution.
     pub fn render_span_tree(&self) -> String {
         let mut out = String::new();
         fn walk(node: &SpanNode, depth: usize, parent_nanos: Option<u64>, out: &mut String) {
@@ -254,12 +275,26 @@ impl RunReport {
                 Some(p) if p > 0 => format!(" ({:.0}%)", node.nanos as f64 / p as f64 * 100.0),
                 _ => String::new(),
             };
+            let self_time = if node.children.is_empty() {
+                String::new()
+            } else {
+                format!(" · self {}", fmt_nanos(node.self_nanos()))
+            };
+            let meta = if node.meta.is_empty() {
+                String::new()
+            } else {
+                let cells: Vec<String> =
+                    node.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!(" [{}]", cells.join(" "))
+            };
             out.push_str(&format!(
-                "{}{} — {}{}\n",
+                "{}{} — {}{}{}{}\n",
                 "  ".repeat(depth),
                 node.name,
                 fmt_nanos(node.nanos),
-                share
+                share,
+                self_time,
+                meta
             ));
             for child in &node.children {
                 walk(child, depth + 1, Some(node.nanos), out);
@@ -269,6 +304,71 @@ impl RunReport {
             walk(root, 0, None, &mut out);
         }
         out
+    }
+
+    /// The top `n` spans by self-time, as `(path, self_nanos)` rows in
+    /// descending order (ties broken by path for determinism). Every
+    /// tree node is one candidate; paths are `/`-joined as in the JSONL
+    /// report.
+    pub fn top_self_time(&self, n: usize) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = Vec::new();
+        fn walk(node: &SpanNode, path: &str, rows: &mut Vec<(String, u64)>) {
+            let path = if path.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{path}/{}", node.name)
+            };
+            rows.push((path.clone(), node.self_nanos()));
+            for child in &node.children {
+                walk(child, &path, rows);
+            }
+        }
+        for root in &self.spans {
+            walk(root, "", &mut rows);
+        }
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Export the span tree as Chrome Trace Event Format JSON — loadable
+    /// in `chrome://tracing` and Perfetto.
+    ///
+    /// Spans record durations, not absolute timestamps, so the timeline
+    /// is synthesized: each root starts where the previous one ended,
+    /// and each child starts at its parent's start plus the preceding
+    /// siblings' durations. Events are complete (`"ph":"X"`) with
+    /// microsecond `ts`/`dur`; `args` carries the span's self-time and
+    /// its attribution metadata.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        fn walk(node: &SpanNode, start_ns: u64, events: &mut Vec<String>) {
+            let mut args = format!("\"self_us\":{:.3}", node.self_nanos() as f64 / 1e3);
+            for (key, value) in &node.meta {
+                args.push_str(&format!(",\"{}\":{value}", json_escape(key)));
+            }
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"iotmap\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{{args}}}}}",
+                json_escape(&node.name),
+                start_ns as f64 / 1e3,
+                node.nanos as f64 / 1e3,
+            ));
+            let mut cursor = start_ns;
+            for child in &node.children {
+                walk(child, cursor, events);
+                cursor = cursor.saturating_add(child.nanos);
+            }
+        }
+        let mut cursor = 0u64;
+        for root in &self.spans {
+            walk(root, cursor, &mut events);
+            cursor = cursor.saturating_add(root.nanos);
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+            events.join(",\n")
+        )
     }
 
     /// The full markdown summary: span tree + metric tables.
@@ -372,22 +472,38 @@ impl RunReport {
     /// The machine-readable report: one JSON object per line.
     ///
     /// Line `type`s: `meta` (format version header), `span` (one per
-    /// span-tree node, with its `/`-joined `path` and `depth`),
+    /// span-tree node, with its `/`-joined `path`, `depth`,
+    /// `self_nanos`, and — when attributed — a `meta` object),
     /// `counter`, `gauge`, `histogram`.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::from("{\"type\":\"meta\",\"format\":\"iotmap-obs.v1\"}\n");
+        let mut out = format!(
+            "{{\"type\":\"meta\",\"format\":\"{}\"}}\n",
+            crate::JSONL_FORMAT
+        );
         fn walk(node: &SpanNode, path: &str, depth: usize, out: &mut String) {
             let path = if path.is_empty() {
                 node.name.clone()
             } else {
                 format!("{path}/{}", node.name)
             };
+            let meta = if node.meta.is_empty() {
+                String::new()
+            } else {
+                let cells: Vec<String> = node
+                    .meta
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+                    .collect();
+                format!(",\"meta\":{{{}}}", cells.join(","))
+            };
             out.push_str(&format!(
-                "{{\"type\":\"span\",\"name\":\"{}\",\"path\":\"{}\",\"depth\":{},\"nanos\":{}}}\n",
+                "{{\"type\":\"span\",\"name\":\"{}\",\"path\":\"{}\",\"depth\":{},\
+                 \"nanos\":{},\"self_nanos\":{}{meta}}}\n",
                 json_escape(&node.name),
                 json_escape(&path),
                 depth,
-                node.nanos
+                node.nanos,
+                node.self_nanos()
             ));
             for child in &node.children {
                 walk(child, &path, depth + 1, out);
@@ -515,10 +631,12 @@ mod tests {
         let jsonl = sample_report().to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 6);
-        assert_eq!(lines[0], "{\"type\":\"meta\",\"format\":\"iotmap-obs.v1\"}");
+        assert_eq!(lines[0], "{\"type\":\"meta\",\"format\":\"iotmap-obs.v2\"}");
         assert!(lines[1].contains("\"path\":\"prepare\""));
+        assert!(lines[1].contains("\"self_nanos\":3000000"));
         assert!(lines[2].contains("\"path\":\"prepare/discovery\""));
         assert!(lines[2].contains("\"depth\":1"));
+        assert!(lines[2].contains("\"self_nanos\":2000000"));
         assert!(lines[3].contains("\"name\":\"certs \\\"q\\\"\""));
         assert!(lines[5].contains("\"bounds\":[10,100]"));
         assert!(lines[5].contains("\"counts\":[0,1,0]"));
@@ -527,6 +645,82 @@ mod tests {
             // Balanced quotes: every line must be standalone-parseable.
             assert_eq!(line.matches('"').count() % 2, 0);
         }
+    }
+
+    #[test]
+    fn span_tree_renders_self_time_and_attribution() {
+        let r = Registry::new();
+        let a = r.span_enter("prepare");
+        let b = r.span_enter("shard");
+        r.annotate("shard", 3);
+        r.annotate("items", 120);
+        r.span_exit(b, 2_000_000);
+        r.span_exit(a, 5_000_000);
+        let tree = r.report().render_span_tree();
+        assert!(tree.contains("prepare — 5.0ms · self 3.0ms"));
+        assert!(tree.contains("  shard — 2.0ms (40%) [shard=3 items=120]"));
+        // Leaves carry no redundant self-time suffix.
+        assert!(!tree.contains("shard — 2.0ms (40%) · self"));
+    }
+
+    #[test]
+    fn top_self_time_orders_descending_with_path_tiebreak() {
+        let r = Registry::new();
+        let a = r.span_enter("prepare");
+        let b = r.span_enter("world");
+        r.span_exit(b, 3_000_000);
+        let c = r.span_enter("scans");
+        r.span_exit(c, 3_000_000);
+        r.span_exit(a, 10_000_000);
+        let rows = r.report().top_self_time(2);
+        assert_eq!(
+            rows,
+            vec![
+                ("prepare".to_string(), 4_000_000),
+                ("prepare/scans".to_string(), 3_000_000),
+            ]
+        );
+        assert_eq!(r.report().top_self_time(10).len(), 3);
+    }
+
+    #[test]
+    fn jsonl_span_lines_carry_meta_objects() {
+        let r = Registry::new();
+        let a = r.span_enter("shard");
+        r.annotate("items", 7);
+        r.span_exit(a, 1_000);
+        let jsonl = r.report().to_jsonl();
+        assert!(jsonl.contains("\"meta\":{\"items\":7}"));
+    }
+
+    #[test]
+    fn chrome_trace_synthesizes_a_sequential_timeline() {
+        let trace = sample_report().to_chrome_trace();
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(trace.ends_with("]}\n"));
+        assert!(trace.contains(
+            "{\"name\":\"prepare\",\"cat\":\"iotmap\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+             \"ts\":0.000,\"dur\":5000.000,\"args\":{\"self_us\":3000.000}}"
+        ));
+        // Child starts at the parent's start and keeps its own duration.
+        assert!(trace.contains("{\"name\":\"discovery\",\"cat\":\"iotmap\",\"ph\":\"X\""));
+        assert!(trace.contains("\"ts\":0.000,\"dur\":2000.000"));
+        assert_eq!(
+            trace.matches('{').count(),
+            trace.matches('}').count(),
+            "chrome trace JSON must be brace-balanced"
+        );
+        assert_eq!(trace.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn chrome_trace_events_carry_attribution_args() {
+        let r = Registry::new();
+        let a = r.span_enter("shard");
+        r.annotate("shard", 2);
+        r.span_exit(a, 4_000);
+        let trace = r.report().to_chrome_trace();
+        assert!(trace.contains("\"args\":{\"self_us\":4.000,\"shard\":2}"));
     }
 
     #[test]

@@ -74,7 +74,7 @@
 
 use iotmap_faults::crash;
 use iotmap_nettypes::SimRng;
-use iotmap_obs::RunReport;
+use iotmap_obs::{RunReport, ShardAttribution};
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -232,6 +232,7 @@ where
         }
     });
 
+    let mut quarantined: Vec<usize> = Vec::new();
     if !poisoned.is_empty() {
         iotmap_obs::count!("par.shard_panics", poisoned.len() as u64);
         if poisoned.len() > quarantine_budget(chunk_count) {
@@ -245,6 +246,7 @@ where
         // bug and propagates.
         for (index, _payload) in poisoned {
             iotmap_obs::count!("par.shards_quarantined", 1);
+            quarantined.push(index);
             let offset = index * chunk;
             let slice = &items[offset..(offset + chunk).min(items.len())];
             let ctx = ShardCtx {
@@ -258,10 +260,17 @@ where
 
     results
         .into_iter()
-        .map(|entry| {
+        .enumerate()
+        .map(|(index, entry)| {
             let (out, report) = entry.expect("every shard resolved or aborted");
             if let Some(report) = report {
-                iotmap_obs::merge_child_report(&report);
+                let offset = index * chunk;
+                let attr = ShardAttribution {
+                    shard: index as u64,
+                    items: ((offset + chunk).min(items.len()) - offset) as u64,
+                    quarantined: quarantined.contains(&index),
+                };
+                iotmap_obs::merge_child_report_attributed(&report, &attr);
             }
             out
         })
@@ -373,6 +382,7 @@ where
         }
     });
 
+    let mut quarantined: Vec<usize> = Vec::new();
     if !poisoned.is_empty() {
         iotmap_obs::count!("par.shard_panics", poisoned.len() as u64);
         // A genuine panic may have torn its `&mut` chunk mid-mutation,
@@ -390,6 +400,7 @@ where
         }
         for (index, _payload) in poisoned {
             iotmap_obs::count!("par.shards_quarantined", 1);
+            quarantined.push(index);
             let offset = index * chunk;
             let end = (offset + chunk).min(items.len());
             let slice = &mut items[offset..end];
@@ -403,11 +414,18 @@ where
         }
     }
 
-    let mut out = Vec::with_capacity(items.len());
-    for entry in per_shard {
+    let total = items.len();
+    let mut out = Vec::with_capacity(total);
+    for (index, entry) in per_shard.into_iter().enumerate() {
         let (shard, report) = entry.expect("every shard resolved or aborted");
         if let Some(report) = report {
-            iotmap_obs::merge_child_report(&report);
+            let offset = index * chunk;
+            let attr = ShardAttribution {
+                shard: index as u64,
+                items: ((offset + chunk).min(total) - offset) as u64,
+                quarantined: quarantined.contains(&index),
+            };
+            iotmap_obs::merge_child_report_attributed(&report, &attr);
         }
         out.extend(shard);
     }
@@ -621,6 +639,41 @@ mod tests {
         assert_eq!(outer.name, "par.test.outer");
         assert_eq!(outer.children.len(), 4);
         assert!(outer.children.iter().all(|c| c.name == "par.test.item"));
+    }
+
+    #[test]
+    fn merged_worker_spans_carry_shard_attribution() {
+        let registry = Rc::new(Registry::new());
+        iotmap_obs::install(registry.clone());
+        {
+            let _outer = iotmap_obs::span!("par.test.outer");
+            let items: Vec<u64> = (0..4).collect();
+            with_threads(2, || {
+                shard_map(&items, |i, _| {
+                    let _inner = iotmap_obs::span!("par.test.item");
+                    i
+                })
+            });
+        }
+        iotmap_obs::uninstall();
+        let report = registry.report();
+        let outer = &report.spans[0];
+        // Two shards of two items each: child roots are stamped with the
+        // shard that produced them, in shard order.
+        let shards: Vec<u64> = outer
+            .children
+            .iter()
+            .map(|c| c.meta_value("shard").expect("shard attribution"))
+            .collect();
+        assert_eq!(shards, vec![0, 0, 1, 1]);
+        assert!(outer
+            .children
+            .iter()
+            .all(|c| c.meta_value("items") == Some(2)));
+        assert!(outer
+            .children
+            .iter()
+            .all(|c| c.meta_value("quarantined").is_none()));
     }
 
     #[test]

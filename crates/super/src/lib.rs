@@ -250,6 +250,7 @@ impl Supervisor {
                         outcome: StageOutcome::Restored,
                     });
                     iotmap_obs::count!(format!("super.stage.{name}.restored"));
+                    iotmap_obs::annotate!("restored", 1u64);
                     return Ok(value);
                 }
             }
@@ -314,6 +315,20 @@ impl Supervisor {
                 std::thread::sleep(Duration::from_millis(backoff.min(10_000)));
             }
         };
+
+        // Stamp the retry history onto the stage span so the trace tree
+        // shows recovery effort in place; clean runs stay unannotated
+        // beyond the attempt count.
+        iotmap_obs::annotate!("attempts", attempts);
+        if panics > 0 {
+            iotmap_obs::annotate!("panics", panics);
+        }
+        if deadline_misses > 0 {
+            iotmap_obs::annotate!("deadline_misses", deadline_misses);
+        }
+        if total_backoff_ms > 0 {
+            iotmap_obs::annotate!("backoff_ms", total_backoff_ms);
+        }
 
         // Replay verification: the recomputed artifact must match the
         // witness a previous run checkpointed. A mismatch means the

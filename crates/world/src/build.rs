@@ -116,15 +116,39 @@ impl World {
             pdns_domains: Vec::new(),
         };
 
-        b.build_servers();
-        b.build_bgp();
-        b.build_tenants_and_zones();
-        b.build_background();
-        b.build_hitlist();
-        b.fill_passive_dns();
-        b.build_published();
+        // Phase spans carry no RNG of their own (every stream below is
+        // name-forked), so tracing cannot perturb determinism.
+        {
+            let _s = iotmap_obs::span!("world.servers");
+            b.build_servers();
+        }
+        {
+            let _s = iotmap_obs::span!("world.bgp");
+            b.build_bgp();
+        }
+        {
+            let _s = iotmap_obs::span!("world.tenants_zones");
+            b.build_tenants_and_zones();
+        }
+        {
+            let _s = iotmap_obs::span!("world.background");
+            b.build_background();
+        }
+        {
+            let _s = iotmap_obs::span!("world.hitlist");
+            b.build_hitlist();
+        }
+        {
+            let _s = iotmap_obs::span!("world.passive_dns");
+            b.fill_passive_dns();
+        }
+        {
+            let _s = iotmap_obs::span!("world.published");
+            b.build_published();
+        }
 
         // ISP population.
+        let isp_span = iotmap_obs::span!("world.isp");
         let tenant_homes: Vec<TenantHomes> = b
             .tenants
             .iter()
@@ -154,8 +178,10 @@ impl World {
             &site_continent,
             &mut isp_rng,
         );
+        drop(isp_span);
 
         // Events.
+        let events_span = iotmap_obs::span!("world.events");
         let provider_asns: HashSet<Asn> = b.servers.iter().map(|s| s.asn).collect();
         let names: Vec<&'static str> = b.providers.iter().map(|p| p.name).collect();
         let candidates: Vec<(usize, Vec<Ipv4Addr>)> = (0..b.providers.len())
@@ -174,6 +200,7 @@ impl World {
             .collect();
         let mut ev_rng = b.rng.fork("events");
         let events = Events::generate(&mut ev_rng, &provider_asns, &candidates, move |i| names[i]);
+        drop(events_span);
 
         iotmap_obs::gauge!("world.servers", b.servers.len() as i64);
         iotmap_obs::gauge!("world.isp_lines", isp.lines.len() as i64);

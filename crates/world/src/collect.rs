@@ -35,26 +35,33 @@ impl World {
         faults: &FaultPlan,
     ) -> CollectedScans {
         let _span = iotmap_obs::span!("world.collect_scan_data");
-        let svc = CensysService::new();
-        let mut censys = Vec::new();
-        for date in period.days() {
-            let view = self.view_on(date);
-            censys.push(svc.daily_sweep_with(&view, date, faults.seed, &faults.censys));
-        }
+        let censys = {
+            let _s = iotmap_obs::span!("world.censys_sweeps");
+            let svc = CensysService::new();
+            let mut censys = Vec::new();
+            for date in period.days() {
+                let view = self.view_on(date);
+                censys.push(svc.daily_sweep_with(&view, date, faults.seed, &faults.censys));
+            }
+            censys
+        };
         // The IPv6 campaign runs from a European server early in the
         // study window (§3.3).
-        let mut scanner = Zgrab2Scanner::new(iot_probe_ports());
-        let mut rng = SimRng::new(self.config.seed).fork("zgrab-campaign");
-        let first_day = period.start.date();
-        let view = self.view_on(first_day);
-        let zgrab_v6 = scanner.scan_with(
-            &view,
-            &self.hitlist,
-            period.start + SimDuration::hours(3),
-            &mut rng,
-            faults.seed,
-            &faults.zgrab,
-        );
+        let zgrab_v6 = {
+            let _s = iotmap_obs::span!("world.zgrab_campaign");
+            let mut scanner = Zgrab2Scanner::new(iot_probe_ports());
+            let mut rng = SimRng::new(self.config.seed).fork("zgrab-campaign");
+            let first_day = period.start.date();
+            let view = self.view_on(first_day);
+            scanner.scan_with(
+                &view,
+                &self.hitlist,
+                period.start + SimDuration::hours(3),
+                &mut rng,
+                faults.seed,
+                &faults.zgrab,
+            )
+        };
         CollectedScans { censys, zgrab_v6 }
     }
 }

@@ -132,6 +132,7 @@ impl<'a> TrafficSimulator<'a> {
         };
 
         let mut stats = TrafficStats::default();
+        let flow_span = iotmap_obs::span!("netflow.flow_generation");
         for line in &world.isp.lines {
             let mut line_rng = rng.fork_idx(line.id);
             if let Some(kind) = line.scanner {
@@ -159,6 +160,7 @@ impl<'a> TrafficSimulator<'a> {
                 );
             }
         }
+        drop(flow_span);
         sink.finish();
         stats.flows_exported = router.exported;
         router.flush_metrics();

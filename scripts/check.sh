@@ -35,11 +35,22 @@ cargo run --release -q -p iotmap-bench --bin exp -- \
 # The CI bench-smoke gate, condensed: the single-pass matching engine
 # must hold its speedup over the fan-out reference (≥75% of the
 # committed small-preset baseline; ratios, so machine-independent).
+# --gate also exercises the perf-history regression path against a
+# scratch history file.
 echo "==> bench smoke (exp bench --preset small vs committed baseline)"
 tmp_bench="$(mktemp -d)"
 cargo run --release -q -p iotmap-bench --bin exp -- \
   bench --preset small --seed 42 --threads 1 \
-  --out "$tmp_bench" --baseline scripts/bench-baseline-small.json >/dev/null
+  --out "$tmp_bench" --baseline scripts/bench-baseline-small.json --gate >/dev/null
+
+# The profiler's smoke path: the full prepare pipeline instrumented, the
+# trace exported as Chrome Trace Event JSON, and the report printed —
+# the trace path runs on every check, not just when someone profiles.
+echo "==> profile smoke (exp profile --smoke --trace-out)"
+cargo run --release -q -p iotmap-bench --bin exp -- \
+  profile --smoke --preset small --seed 42 --threads 4 \
+  --trace-out "$tmp_bench/trace.json" >/dev/null
+test -s "$tmp_bench/trace.json" || { echo "trace.json missing or empty"; exit 1; }
 rm -rf "$tmp_bench"
 
 echo "OK"

@@ -284,6 +284,7 @@ impl Pipeline {
         // runs outside any stage: rebuilding from an already-degraded
         // database would not be retry-pure.
         if faults.passive_dns.is_active() {
+            let _dspan = iotmap_obs::span!("experiment.pdns_degrade");
             world.passive_dns =
                 world
                     .passive_dns

@@ -119,11 +119,7 @@ fn corrupted_checkpoints_are_detected_and_recomputed() {
     );
     // The recomputed stages overwrite the damaged checkpoints, so a
     // second resume restores everything again.
-    let again = Pipeline::new(config)
-        .threads(1)
-        .resume(&dir)
-        .run()
-        .unwrap();
+    let again = Pipeline::new(config).threads(1).resume(&dir).run().unwrap();
     assert_eq!(again.canonical_dump(), baseline);
     std::fs::remove_dir_all(&dir).unwrap();
 }
