@@ -52,8 +52,12 @@ fn require_provider<'a>(exp: &'a Experiment, name: &str) -> &'a iotmap_core::Pro
 
 /// Prepare an experiment, or exit(1) with a clear message when a pipeline
 /// stage fails — experiments must never leave via a panic's exit code.
-fn prepare_or_die(config: &WorldConfig, faults: iotmap_faults::FaultPlan) -> Experiment {
-    Experiment::try_prepare_with_faults(config, faults).unwrap_or_else(|e| {
+fn prepare_or_die(
+    config: &WorldConfig,
+    faults: iotmap_faults::FaultPlan,
+    cache: Option<&str>,
+) -> Experiment {
+    Experiment::try_prepare_opts(config, faults, None, None, cache).unwrap_or_else(|e| {
         eprintln!("pipeline failed: {e}");
         std::process::exit(1);
     })
@@ -191,12 +195,16 @@ fn main() {
             opts.faults, fault_plan.seed
         );
     }
+    if let Some(dir) = &opts.cache {
+        eprintln!("# world cache: {dir}");
+    }
     let t0 = std::time::Instant::now();
     let exp = match Experiment::try_prepare_opts(
         &config,
         fault_plan,
         opts.checkpoints.as_deref(),
         opts.resume.as_deref(),
+        opts.cache.as_deref(),
     ) {
         Ok(exp) => exp,
         Err(e) => {
@@ -285,9 +293,9 @@ fn main() {
             "ports-observed" => run_ports_observed(&exp),
             "consistency" => run_consistency(&exp, &config),
             "monitor" => run_monitor(&exp),
-            "ablation-coverage" => run_ablation_coverage(&config),
-            "ablation-hitlist" => run_ablation_hitlist(&config),
-            "robustness" => run_robustness(&config),
+            "ablation-coverage" => run_ablation_coverage(&config, opts.cache.as_deref()),
+            "ablation-hitlist" => run_ablation_hitlist(&config, opts.cache.as_deref()),
+            "robustness" => run_robustness(&config, opts.cache.as_deref()),
             "sec62-bgp" => run_sec62_bgp(&exp),
             "sec62-blocklist" => run_sec62_blocklist(&exp),
             "cascade" => run_cascade(&exp),
@@ -1050,14 +1058,14 @@ fn run_consistency(exp: &Experiment, config: &WorldConfig) {
 
 // -------------------------------------- §3.6 limitation ablation sweeps
 
-fn coverage_point(config: WorldConfig) -> (usize, usize) {
-    let exp = prepare_or_die(&config, iotmap_faults::FaultPlan::none());
+fn coverage_point(config: WorldConfig, cache: Option<&str>) -> (usize, usize) {
+    let exp = prepare_or_die(&config, iotmap_faults::FaultPlan::none(), cache);
     let v4 = exp.discovery.all_v4().len();
     let v6 = exp.discovery.all_v6().len();
     (v4, v6)
 }
 
-fn run_ablation_coverage(config: &WorldConfig) {
+fn run_ablation_coverage(config: &WorldConfig, cache: Option<&str>) {
     // §3.6: "even DNSDB has its own limitations, e.g., it does not have
     // full coverage of all DNS requests." Sweep the sensor coverage.
     let mut t = TextTable::new(&["Passive-DNS coverage", "Discovered v4", "Discovered v6"]);
@@ -1067,7 +1075,7 @@ fn run_ablation_coverage(config: &WorldConfig) {
             passive_dns_coverage: coverage,
             ..config.clone()
         };
-        let (v4, v6) = coverage_point(cfg);
+        let (v4, v6) = coverage_point(cfg, cache);
         t.row(vec![
             format!("{coverage:.2}"),
             v4.to_string(),
@@ -1078,7 +1086,7 @@ fn run_ablation_coverage(config: &WorldConfig) {
     println!("(discovery degrades gracefully: certificates and active DNS backfill most losses)");
 }
 
-fn run_ablation_hitlist(config: &WorldConfig) {
+fn run_ablation_hitlist(config: &WorldConfig, cache: Option<&str>) {
     // §3.6: "our ability to discover IPv6 addresses is directly influenced
     // by the coverage of the chosen IPv6 hitlists."
     let mut t = TextTable::new(&["Hitlist coverage", "Discovered v6", "v6 via scans only"]);
@@ -1088,7 +1096,7 @@ fn run_ablation_hitlist(config: &WorldConfig) {
             hitlist_coverage: coverage,
             ..config.clone()
         };
-        let exp = prepare_or_die(&cfg, iotmap_faults::FaultPlan::none());
+        let exp = prepare_or_die(&cfg, iotmap_faults::FaultPlan::none(), cache);
         let v6 = exp.discovery.all_v6().len();
         let scan_only: usize = exp
             .discovery
@@ -1112,7 +1120,7 @@ fn run_ablation_hitlist(config: &WorldConfig) {
     println!("(IPv6 discovery scales with hitlist quality — §3.6's stated limitation)");
 }
 
-fn run_robustness(config: &WorldConfig) {
+fn run_robustness(config: &WorldConfig, cache: Option<&str>) {
     use iotmap_faults::FaultPlan;
     // The §3.3/§3.4 blind spots made operational: rerun the complete
     // methodology (discovery → footprints → traffic) under seeded fault
@@ -1133,7 +1141,7 @@ fn run_robustness(config: &WorldConfig) {
         let plan = FaultPlan::preset(name).expect("built-in preset");
         let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
         iotmap_obs::install(registry.clone());
-        let exp = prepare_or_die(config, plan);
+        let exp = prepare_or_die(config, plan, cache);
         let (report, _) = exp.full_traffic_analysis(config.study_period);
         iotmap_obs::uninstall();
         let down: u64 = report
@@ -1432,27 +1440,41 @@ fn run_bench(
     let prep_registry = std::rc::Rc::new(iotmap_obs::Registry::new());
     iotmap_obs::install(prep_registry.clone());
     let t0 = std::time::Instant::now();
-    let exp = prepare_or_die(config, faults.clone());
+    let exp = prepare_or_die(config, faults.clone(), opts.cache.as_deref());
     let wall_prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
     iotmap_obs::uninstall();
     if let Some(r) = prep_prev {
         iotmap_obs::install(r);
     }
     let prep_report = prep_registry.report();
-    // Report the span's own time (its children sum to it by construction);
-    // fall back to the wall clock if the span ever goes missing.
-    let prepare_span = find_span(&prep_report.spans, "experiment.prepare");
-    let prepare_ms = prepare_span
-        .map(|s| s.nanos as f64 / 1e6)
-        .unwrap_or(wall_prepare_ms);
-    let prepare_stages: Vec<(String, f64)> = prepare_span
-        .map(|s| {
-            s.children
-                .iter()
-                .map(|c| (stage_key(&c.name).to_string(), c.nanos as f64 / 1e6))
-                .collect()
-        })
-        .unwrap_or_default();
+    // The pipeline's two phases each carry a span; report their summed
+    // own-time (children sum to each by construction) and merge both
+    // phases' stage children into one breakdown. Fall back to the wall
+    // clock if the spans ever go missing.
+    let phase_spans: Vec<_> = ["experiment.prepare", "experiment.execute"]
+        .iter()
+        .filter_map(|name| find_span(&prep_report.spans, name))
+        .collect();
+    let prepare_ms = if phase_spans.is_empty() {
+        wall_prepare_ms
+    } else {
+        phase_spans.iter().map(|s| s.nanos as f64 / 1e6).sum()
+    };
+    let prepare_stages: Vec<(String, f64)> = phase_spans
+        .iter()
+        .flat_map(|s| s.children.iter())
+        .map(|c| (stage_key(&c.name).to_string(), c.nanos as f64 / 1e6))
+        .collect();
+    // What the world cache actually did this run distinguishes otherwise
+    // identical configurations in the perf history: "none" (no cache),
+    // "cold" (cache directory given, nothing usable in it), or "warm"
+    // (at least one artifact came from the cache).
+    let cache_hits = prep_report.counters.get("cache.hit").copied().unwrap_or(0);
+    let cache_tag = match (&opts.cache, cache_hits) {
+        (None, _) => "none",
+        (Some(_), 0) => "cold",
+        (Some(_), _) => "warm",
+    };
     let sources = exp.sources();
     let period = config.study_period;
     let pipeline = iotmap_core::DiscoveryPipeline::new(PatternRegistry::paper_defaults())
@@ -1521,6 +1543,7 @@ fn run_bench(
     json.push_str(&format!("  \"seed\": {},\n", config.seed));
     json.push_str(&format!("  \"threads\": {},\n", opts.threads));
     json.push_str(&format!("  \"faults\": \"{}\",\n", opts.faults));
+    json.push_str(&format!("  \"cache\": \"{cache_tag}\",\n"));
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"records\": {records},\n"));
     json.push_str(&format!("  \"discovered_ips\": {engine_ips},\n"));
@@ -1568,7 +1591,7 @@ fn run_bench(
     }
 
     println!(
-        "discovery bench (preset {}, seed {}, threads {}, faults {})",
+        "discovery bench (preset {}, seed {}, threads {}, faults {}, cache {cache_tag})",
         opts.preset, config.seed, opts.threads, opts.faults
     );
     println!("  records scanned      : {records}");
@@ -1611,6 +1634,9 @@ fn run_bench(
             && json_f64(line, "seed") == Some(config.seed as f64)
             && json_f64(line, "threads") == Some(opts.threads as f64)
             && json_str(line, "faults").as_deref() == Some(opts.faults.as_str())
+            // Entries predating the world cache carry no tag — they were
+            // cache-less runs, so they compare against "none" only.
+            && json_str(line, "cache").unwrap_or_else(|| "none".to_string()) == cache_tag
     });
 
     let unix_time = std::time::SystemTime::now()
@@ -1627,6 +1653,7 @@ fn run_bench(
     let line = format!(
         "{{\"schema\":\"iotmap-bench/history-v1\",\"unix_time\":{unix_time},\
          \"git\":\"{}\",\"preset\":\"{}\",\"seed\":{},\"threads\":{},\"faults\":\"{}\",\
+         \"cache\":\"{cache_tag}\",\
          \"records\":{records},\"discovered_ips\":{engine_ips},\
          \"prepare_ms\":{prepare_ms:.1},\"engine_ms\":{engine_ms:.3},\
          \"fanout_ms\":{fanout_ms:.3},\"speedup\":{speedup:.3},\
@@ -1753,6 +1780,7 @@ fn run_profile(
         faults.clone(),
         opts.checkpoints.as_deref(),
         opts.resume.as_deref(),
+        opts.cache.as_deref(),
     ) {
         Ok(exp) => exp,
         Err(e) => {
@@ -1891,6 +1919,9 @@ fn run_crash_recovery(
             } else {
                 p.checkpoints(dir)
             };
+        }
+        if let Some(cache) = opts.cache.as_deref() {
+            p = p.cache(cache);
         }
         p.run()
     };

@@ -70,17 +70,20 @@ impl Experiment {
         config: &WorldConfig,
         faults: FaultPlan,
     ) -> Result<Experiment, Error> {
-        Self::try_prepare_opts(config, faults, None, None)
+        Self::try_prepare_opts(config, faults, None, None, None)
     }
 
-    /// The full fallible constructor: faults plus optional checkpointing.
-    /// `resume` wins over `checkpoints` when both are given (a resumed run
-    /// re-checkpoints into the same directory anyway).
+    /// The full fallible constructor: faults plus optional checkpointing
+    /// and the memoized world cache. `resume` wins over `checkpoints` when
+    /// both are given (a resumed run re-checkpoints into the same
+    /// directory anyway); see [`Pipeline::cache`] for how the cache
+    /// composes with both.
     pub fn try_prepare_opts(
         config: &WorldConfig,
         faults: FaultPlan,
         checkpoints: Option<&str>,
         resume: Option<&str>,
+        cache: Option<&str>,
     ) -> Result<Experiment, Error> {
         let mut pipeline = Pipeline::new(config.clone())
             .threads(iotmap_par::threads())
@@ -89,6 +92,9 @@ impl Experiment {
             pipeline = pipeline.resume(dir);
         } else if let Some(dir) = checkpoints {
             pipeline = pipeline.checkpoints(dir);
+        }
+        if let Some(dir) = cache {
+            pipeline = pipeline.cache(dir);
         }
         let artifacts = pipeline.run()?;
         Ok(Experiment {
@@ -155,6 +161,10 @@ pub struct CliOptions {
     /// Resume from checkpoints in this run directory (`--resume DIR`);
     /// implies checkpointing the stages that still have to run.
     pub resume: Option<String>,
+    /// Memoized world cache directory (`--cache DIR`; defaults to
+    /// `IOTMAP_CACHE` when set). See [`Pipeline::cache`] for how the
+    /// cache composes with checkpoints and resume.
+    pub cache: Option<String>,
 }
 
 impl CliOptions {
@@ -180,6 +190,9 @@ impl CliOptions {
         let mut baseline = None;
         let mut checkpoints = None;
         let mut resume = None;
+        let mut cache = std::env::var("IOTMAP_CACHE")
+            .ok()
+            .filter(|v| !v.trim().is_empty());
         let mut it = args.skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -240,6 +253,9 @@ impl CliOptions {
                 "--resume" => {
                     resume = Some(it.next().ok_or("--resume needs a directory")?);
                 }
+                "--cache" => {
+                    cache = Some(it.next().ok_or("--cache needs a directory")?);
+                }
                 "--help" | "-h" => return Err(usage()),
                 other if experiment.is_none() && !other.starts_with('-') => {
                     experiment = Some(other.to_string());
@@ -264,6 +280,7 @@ impl CliOptions {
             baseline,
             checkpoints,
             resume,
+            cache,
         })
     }
 
@@ -298,8 +315,8 @@ fn usage() -> String {
     "usage: exp <experiment|all> [--seed N] [--preset small|medium|paper] [--out DIR]\n\
      \x20          [--trace] [--metrics FILE] [--trace-out FILE] [--threads N]\n\
      \x20          [--faults none|light|heavy|FILE] [--baseline BENCH_pipeline.json]\n\
-     \x20          [--checkpoints DIR] [--resume DIR] [--history FILE] [--gate]\n\
-     \x20          [--top N] [--smoke]\n\
+     \x20          [--checkpoints DIR] [--resume DIR] [--cache DIR] [--history FILE]\n\
+     \x20          [--gate] [--top N] [--smoke]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist robustness \
@@ -439,6 +456,17 @@ mod tests {
 
         assert!(
             CliOptions::parse(["exp", "table1", "--resume"].iter().map(|s| s.to_string())).is_err()
+        );
+
+        let opts = CliOptions::parse(
+            ["exp", "table1", "--cache", "/tmp/wc"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.cache.as_deref(), Some("/tmp/wc"));
+        assert!(
+            CliOptions::parse(["exp", "table1", "--cache"].iter().map(|s| s.to_string())).is_err()
         );
     }
 

@@ -33,21 +33,26 @@ fn find_span<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
 fn prepare_span_tree_matches_golden_shape() {
     let (_exp, report) = traced_prepare(&WorldConfig::small(42));
     let prepare = find_span(&report.spans, "experiment.prepare").expect("prepare span");
+    let execute = find_span(&report.spans, "experiment.execute").expect("execute span");
 
-    // The direct children ARE the `prepare_stages_ms` breakdown — pin
-    // them exactly so a refactor cannot silently drop a stage from the
-    // bench report.
+    // The two phases' direct children ARE the `prepare_stages_ms`
+    // breakdown — pin them exactly so a refactor cannot silently drop a
+    // stage from the bench report.
     let stages: Vec<&str> = prepare.children.iter().map(|c| c.name.as_str()).collect();
     assert_eq!(
         stages,
+        ["super.stage.world", "super.stage.scans"],
+        "prepare stage spans changed — update exp bench's prepare_stages_ms docs"
+    );
+    let engine_stages: Vec<&str> = execute.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        engine_stages,
         [
-            "super.stage.world",
-            "super.stage.scans",
             "super.stage.discovery",
             "experiment.footprints",
             "super.stage.index",
         ],
-        "prepare stage spans changed — update exp bench's prepare_stages_ms docs"
+        "execute stage spans changed — update exp bench's prepare_stages_ms docs"
     );
 
     // World generation's phase breakdown, pinned the same way.
@@ -77,6 +82,7 @@ fn prepare_span_tree_matches_golden_shape() {
     for child in prepare
         .children
         .iter()
+        .chain(execute.children.iter())
         .filter(|c| c.name.starts_with("super.stage."))
     {
         assert_eq!(child.meta_value("attempts"), Some(1), "{}", child.name);
@@ -87,19 +93,21 @@ fn prepare_span_tree_matches_golden_shape() {
 #[test]
 fn prepare_stage_times_sum_to_prepare_time() {
     let (_exp, report) = traced_prepare(&WorldConfig::small(42));
-    let prepare = find_span(&report.spans, "experiment.prepare").expect("prepare span");
-    let children: u64 = prepare.children.iter().map(|c| c.nanos).sum();
-    assert!(
-        children <= prepare.nanos,
-        "children ({children}) exceed their parent ({})",
-        prepare.nanos
-    );
-    // The acceptance bar: the breakdown explains ≥90% of prepare time.
-    assert!(
-        children as f64 >= prepare.nanos as f64 * 0.9,
-        "prepare stages only cover {:.1}% of the prepare span",
-        children as f64 / prepare.nanos as f64 * 100.0
-    );
+    for phase in ["experiment.prepare", "experiment.execute"] {
+        let span = find_span(&report.spans, phase).unwrap_or_else(|| panic!("{phase} span"));
+        let children: u64 = span.children.iter().map(|c| c.nanos).sum();
+        assert!(
+            children <= span.nanos,
+            "{phase}: children ({children}) exceed their parent ({})",
+            span.nanos
+        );
+        // The acceptance bar: the breakdown explains ≥90% of phase time.
+        assert!(
+            children as f64 >= span.nanos as f64 * 0.9,
+            "{phase} stages only cover {:.1}% of the span",
+            children as f64 / span.nanos as f64 * 100.0
+        );
+    }
 }
 
 #[test]

@@ -117,7 +117,8 @@ mod tests {
                         "c",
                         vec![SanName::parse("*.iot.example").unwrap()],
                         validity,
-                    ),
+                    )
+                    .into(),
                     location: None,
                 })
                 .collect(),

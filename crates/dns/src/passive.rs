@@ -40,7 +40,7 @@ impl RrsetEntry {
 }
 
 /// The passive DNS store.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PassiveDnsDb {
     entries: Vec<RrsetEntry>,
     by_pair: HashMap<(DomainName, RData), usize>,
@@ -55,6 +55,20 @@ impl PassiveDnsDb {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a database from already-aggregated entries, preserving
+    /// their order, times, and counts while reconstructing every index —
+    /// the deserialization path for cached/checkpointed databases. Entries
+    /// must carry distinct `(owner, rdata)` pairs, which any dump of an
+    /// existing database satisfies.
+    pub fn from_entries(entries: Vec<RrsetEntry>) -> Self {
+        let mut db = PassiveDnsDb::new();
+        db.entries.reserve(entries.len());
+        for e in entries {
+            db.push_entry(e);
+        }
+        db
     }
 
     /// Record one observation of `(owner, rdata)` at `time`. The common

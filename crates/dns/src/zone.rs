@@ -97,7 +97,7 @@ impl Policy {
 /// Owner names map to per-rrtype policies. This is the structure the world
 /// builder fills in and both resolution paths (devices in the traffic
 /// simulator, the measurement pipeline's active campaigns) query.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ZoneDb {
     entries: HashMap<DomainName, HashMap<RrTypeKey, Policy>>,
 }

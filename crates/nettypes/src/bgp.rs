@@ -27,7 +27,7 @@ pub struct BgpOrigin {
 }
 
 /// The global routing table.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BgpTable {
     map: PrefixMap<BgpOrigin>,
     count: usize,

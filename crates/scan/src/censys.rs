@@ -13,13 +13,14 @@ use iotmap_faults::CensysFaults;
 use iotmap_nettypes::{Date, Location, PortProto, SimDuration, StudyPeriod, SuffixIndex};
 use iotmap_tls::{handshake, Certificate, ClientHello};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// One harvested certificate observation.
 #[derive(Debug, Clone)]
 pub struct CensysRecord {
     pub ip: IpAddr,
     pub port: PortProto,
-    pub certificate: Certificate,
+    pub certificate: Arc<Certificate>,
     /// Censys's geolocation of the host (its own database — may disagree
     /// with other sources).
     pub location: Option<Location>,
@@ -197,7 +198,7 @@ impl CensysService {
                         continue;
                     };
                     let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
-                    if let Some(cert) = outcome.observed_certificate() {
+                    if let Some(cert) = outcome.observed_certificate_shared() {
                         if iotmap_faults::drops(
                             fault_seed,
                             "censys.truncation",

@@ -12,13 +12,14 @@ use iotmap_faults::ZgrabFaults;
 use iotmap_nettypes::{PortProto, SimDuration, SimRng, SimTime, StudyPeriod, SuffixIndex};
 use iotmap_tls::{handshake, Certificate, ClientHello};
 use std::net::{IpAddr, Ipv6Addr};
+use std::sync::Arc;
 
 /// One grabbed banner.
 #[derive(Debug, Clone)]
 pub struct ZgrabRecord {
     pub ip: Ipv6Addr,
     pub port: PortProto,
-    pub certificate: Certificate,
+    pub certificate: Arc<Certificate>,
 }
 
 /// The ZGrab2-like scanner: hitlist × port set, one probe per target.
@@ -114,7 +115,7 @@ impl Zgrab2Scanner {
                     return;
                 };
                 let outcome = handshake(&endpoint, &ClientHello::anonymous(), when);
-                if let Some(cert) = outcome.observed_certificate() {
+                if let Some(cert) = outcome.observed_certificate_shared() {
                     if iotmap_faults::drops(
                         fault_seed,
                         "zgrab.partial_banner",

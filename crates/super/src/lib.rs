@@ -215,6 +215,23 @@ impl Supervisor {
         self
     }
 
+    /// Start numbering stages at `n` instead of 0, so a pipeline split
+    /// across several supervisors (e.g. a prepare phase and an execute
+    /// phase) keeps the stable `{index:02}-{stage}.ckpt` file names of the
+    /// single-supervisor layout.
+    pub fn start_index(mut self, n: usize) -> Supervisor {
+        self.next_index = n;
+        self
+    }
+
+    /// Whether checkpoint restoration is still trusted: `true` only if a
+    /// resume was requested and no witness mismatch has been detected so
+    /// far. A later supervisor continuing this run should resume only when
+    /// this still holds.
+    pub fn resume_trusted(&self) -> bool {
+        self.resume
+    }
+
     fn deadline_of(&self, stage: &str) -> Option<Duration> {
         self.deadlines
             .iter()

@@ -2,6 +2,7 @@
 
 use crate::cert::Certificate;
 use iotmap_nettypes::DomainName;
+use std::sync::Arc;
 
 /// How the endpoint reacts to the SNI extension.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,7 +15,7 @@ pub enum SniPolicy {
     /// which hides ~98% of its IoT IPs from certificate scans (§3.5).
     RequireSni {
         /// Certificate served when no/unknown SNI is presented.
-        fallback: Certificate,
+        fallback: Arc<Certificate>,
     },
     /// Without SNI the handshake is rejected outright.
     RejectWithoutSni,
@@ -31,10 +32,14 @@ pub enum ClientAuth {
 }
 
 /// A TLS endpoint: one `(ip, port)` service with certificates and policy.
+///
+/// Certificates are held behind [`Arc`] so one generated certificate can
+/// serve every endpoint of a site: cloning an endpoint (or completing a
+/// handshake) bumps a refcount instead of deep-copying the SAN list.
 #[derive(Debug, Clone)]
 pub struct TlsEndpoint {
     /// The default (IoT) certificate.
-    pub certificate: Certificate,
+    pub certificate: Arc<Certificate>,
     /// SNI behaviour.
     pub sni: SniPolicy,
     /// Client-certificate requirement.
@@ -43,27 +48,32 @@ pub struct TlsEndpoint {
 
 impl TlsEndpoint {
     /// A plain endpoint: default certificate, no SNI games, no client auth.
-    pub fn plain(certificate: Certificate) -> Self {
+    pub fn plain(certificate: impl Into<Arc<Certificate>>) -> Self {
         TlsEndpoint {
-            certificate,
+            certificate: certificate.into(),
             sni: SniPolicy::Ignore,
             client_auth: ClientAuth::None,
         }
     }
 
     /// Google-style: the IoT certificate only with correct SNI.
-    pub fn sni_gated(certificate: Certificate, fallback: Certificate) -> Self {
+    pub fn sni_gated(
+        certificate: impl Into<Arc<Certificate>>,
+        fallback: impl Into<Arc<Certificate>>,
+    ) -> Self {
         TlsEndpoint {
-            certificate,
-            sni: SniPolicy::RequireSni { fallback },
+            certificate: certificate.into(),
+            sni: SniPolicy::RequireSni {
+                fallback: fallback.into(),
+            },
             client_auth: ClientAuth::None,
         }
     }
 
     /// Amazon-MQTT-style: handshake fails without a client certificate.
-    pub fn mutual_tls(certificate: Certificate) -> Self {
+    pub fn mutual_tls(certificate: impl Into<Arc<Certificate>>) -> Self {
         TlsEndpoint {
-            certificate,
+            certificate: certificate.into(),
             sni: SniPolicy::Ignore,
             client_auth: ClientAuth::RequireClientCert,
         }

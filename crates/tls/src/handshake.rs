@@ -7,6 +7,7 @@
 use crate::cert::Certificate;
 use crate::endpoint::{ClientAuth, SniPolicy, TlsEndpoint};
 use iotmap_nettypes::{DomainName, SimTime};
+use std::sync::Arc;
 
 /// What the client presents.
 #[derive(Debug, Clone, Default)]
@@ -37,7 +38,7 @@ impl ClientHello {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HandshakeOutcome {
     /// Completed; the server presented this certificate.
-    Complete(Certificate),
+    Complete(Arc<Certificate>),
     /// The server presented a certificate but then required client
     /// authentication the client could not provide. The certificate **was
     /// observed** before the failure (TLS ≤1.2 sends Certificate before
@@ -45,7 +46,7 @@ pub enum HandshakeOutcome {
     /// paper's purposes, scanners like Censys record such certificates when
     /// the server sends them; strict-mTLS deployments that abort earlier
     /// are modelled with [`HandshakeOutcome::Failed`].
-    ClientAuthRequired(Certificate),
+    ClientAuthRequired(Arc<Certificate>),
     /// Aborted without any certificate.
     Failed(HandshakeFailure),
 }
@@ -66,6 +67,12 @@ pub enum HandshakeFailure {
 impl HandshakeOutcome {
     /// The certificate a *scanner* would record from this outcome, if any.
     pub fn observed_certificate(&self) -> Option<&Certificate> {
+        self.observed_certificate_shared().map(Arc::as_ref)
+    }
+
+    /// Shared handle on the observed certificate, for callers that store
+    /// it (scan records keep the `Arc` instead of copying the SAN list).
+    pub fn observed_certificate_shared(&self) -> Option<&Arc<Certificate>> {
         match self {
             HandshakeOutcome::Complete(c) => Some(c),
             HandshakeOutcome::ClientAuthRequired(_) => None,
@@ -214,7 +221,7 @@ mod tests {
     #[test]
     fn reject_without_sni_policy() {
         let e = TlsEndpoint {
-            certificate: cert(&["gw.iot.example"]),
+            certificate: cert(&["gw.iot.example"]).into(),
             sni: SniPolicy::RejectWithoutSni,
             client_auth: ClientAuth::None,
         };

@@ -46,6 +46,7 @@ pub struct PublishedTruth {
 }
 
 /// The generated world.
+#[derive(Clone)]
 pub struct World {
     pub config: WorldConfig,
     pub geo: GeoDb,
@@ -75,11 +76,24 @@ pub struct World {
     pub sim_days: (i64, i64),
     /// Seed for per-IP geolocation noise in scan views.
     pub geo_noise_seed: u64,
+    /// Lazily derived scan-view lookups (site certificates, background
+    /// index); never part of the generated identity.
+    pub(crate) view_cache: std::sync::OnceLock<crate::view::ViewCache>,
 }
 
 impl World {
     /// Generate the world from a configuration. Fully deterministic.
     pub fn generate(config: &WorldConfig) -> World {
+        World::generate_with_pdns(config, None)
+    }
+
+    /// [`World::generate`] with an optional pre-built passive-DNS
+    /// database (the facade's world cache stores one): when `Some`, the
+    /// expensive passive-DNS fill is skipped and the supplied database
+    /// installed in its place. Every generation phase forks the root RNG
+    /// by name, so substituting this one phase leaves every other stream
+    /// — and therefore every other artifact — byte-identical.
+    pub fn generate_with_pdns(config: &WorldConfig, pdns: Option<PassiveDnsDb>) -> World {
         let _span = iotmap_obs::span!("world.generate");
         let rng = SimRng::new(config.seed);
         let geo = GeoDb::standard();
@@ -140,7 +154,13 @@ impl World {
         }
         {
             let _s = iotmap_obs::span!("world.passive_dns");
-            b.fill_passive_dns();
+            match pdns {
+                Some(db) => {
+                    iotmap_obs::annotate!("restored", 1u64);
+                    b.passive_dns = db;
+                }
+                None => b.fill_passive_dns(),
+            }
         }
         {
             let _s = iotmap_obs::span!("world.published");
@@ -226,6 +246,7 @@ impl World {
             background: b.background,
             published: b.published,
             sim_days,
+            view_cache: std::sync::OnceLock::new(),
         }
     }
 

@@ -12,6 +12,7 @@ use iotmap_scan::hitlist::iot_probe_ports;
 use iotmap_scan::{CensysService, CensysSnapshot, Zgrab2Scanner, ZgrabRecord};
 
 /// Scan datasets covering one study period.
+#[derive(Debug, Clone)]
 pub struct CollectedScans {
     /// One snapshot per study day.
     pub censys: Vec<CensysSnapshot>,
@@ -38,12 +39,16 @@ impl World {
         let censys = {
             let _s = iotmap_obs::span!("world.censys_sweeps");
             let svc = CensysService::new();
-            let mut censys = Vec::new();
-            for date in period.days() {
-                let view = self.view_on(date);
-                censys.push(svc.daily_sweep_with(&view, date, faults.seed, &faults.censys));
-            }
-            censys
+            // Each day's sweep only reads the world through its dated view,
+            // so the days shard independently; index-ordered merge keeps
+            // the snapshot vector identical to the serial loop. (The
+            // per-host shard inside `daily_sweep_with` runs inline on
+            // worker threads — days are the outer unit of parallelism.)
+            let days: Vec<_> = period.days().collect();
+            iotmap_par::shard_map(&days, |_i, date| {
+                let view = self.view_on(*date);
+                svc.daily_sweep_with(&view, *date, faults.seed, &faults.censys)
+            })
         };
         // The IPv6 campaign runs from a European server early in the
         // study window (§3.3).

@@ -76,7 +76,7 @@ pub struct BlocklistHit {
 
 /// The FireHOL-style aggregate: a huge interval set plus the individual
 /// backend hits planted in it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Firehol {
     /// The full aggregate (hundreds of millions of addresses).
     pub set: IntervalSet,
@@ -87,7 +87,7 @@ pub struct Firehol {
 }
 
 /// All disruption-related world state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Events {
     pub outage: OutageEvent,
     pub bgpstream: Vec<BgpStreamEvent>,

@@ -55,7 +55,7 @@ pub struct SubscriberLine {
 }
 
 /// The full ISP model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IspModel {
     pub lines: Vec<SubscriberLine>,
 }
@@ -82,9 +82,13 @@ impl IspModel {
     ) -> IspModel {
         let n_lines = config.line_count();
         let popularity: Vec<f64> = providers.iter().map(|p| p.profile.popularity).collect();
-        let mut lines = Vec::with_capacity(n_lines as usize);
 
-        for id in 0..n_lines {
+        // Every line derives its randomness from a pure `fork_idx` of the
+        // parent RNG, so lines are independent: shard them and merge in id
+        // order for a population byte-identical to the serial loop.
+        let rng = &*rng;
+        let ids: Vec<u64> = (0..n_lines).collect();
+        let lines = iotmap_par::shard_map(&ids, |_i, &id| {
             let mut line_rng = rng.fork_idx(id);
             let mut devices = Vec::new();
             // ~20% of lines own IoT devices; ownership within those lines
@@ -126,13 +130,13 @@ impl IspModel {
                 None
             };
             let v6_capable = line_rng.chance(0.35);
-            lines.push(SubscriberLine {
+            SubscriberLine {
                 id,
                 devices,
                 scanner,
                 v6_capable,
-            });
-        }
+            }
+        });
         IspModel { lines }
     }
 

@@ -133,31 +133,50 @@ impl<'a> TrafficSimulator<'a> {
 
         let mut stats = TrafficStats::default();
         let flow_span = iotmap_obs::span!("netflow.flow_generation");
-        for line in &world.isp.lines {
-            let mut line_rng = rng.fork_idx(line.id);
-            if let Some(kind) = line.scanner {
-                self.run_scanner(
-                    line,
-                    kind,
-                    period,
-                    &mut line_rng,
-                    &mut router,
-                    sink,
-                    &mut stats,
-                );
-            }
-            for (di, device) in line.devices.iter().enumerate() {
-                let mut dev_rng = line_rng.fork_idx(di as u64 + 1);
-                self.run_device(
-                    line,
-                    device,
-                    period,
-                    &affected,
-                    &mut dev_rng,
-                    &mut router,
-                    sink,
-                    &mut stats,
-                );
+        // Flow generation is pure per line (every line forks its RNG by id),
+        // so lines shard freely; only the border router is a shared,
+        // order-sensitive stage (its sampler RNG advances per record). The
+        // lines are processed in fixed-size blocks: each block's true flows
+        // are generated in parallel into per-line buffers, then routed
+        // serially in line order — the router consumes the exact record
+        // sequence of the old serial loop, so exports stay byte-identical
+        // at any thread count while buffering stays bounded.
+        const BLOCK_LINES: usize = 2048;
+        for block in world.isp.lines.chunks(BLOCK_LINES) {
+            let buffers = iotmap_par::shard_map(block, |_i, line| {
+                let mut line_rng = rng.fork_idx(line.id);
+                let mut flows = Vec::new();
+                let mut line_stats = TrafficStats::default();
+                if let Some(kind) = line.scanner {
+                    self.run_scanner(
+                        line,
+                        kind,
+                        period,
+                        &mut line_rng,
+                        &mut flows,
+                        &mut line_stats,
+                    );
+                }
+                for (di, device) in line.devices.iter().enumerate() {
+                    let mut dev_rng = line_rng.fork_idx(di as u64 + 1);
+                    self.run_device(
+                        line,
+                        device,
+                        period,
+                        &affected,
+                        &mut dev_rng,
+                        &mut flows,
+                        &mut line_stats,
+                    );
+                }
+                (flows, line_stats)
+            });
+            for (flows, line_stats) in buffers {
+                stats.flows_generated += line_stats.flows_generated;
+                stats.device_days += line_stats.device_days;
+                for record in &flows {
+                    router.process(record, sink);
+                }
             }
         }
         drop(flow_span);
@@ -169,7 +188,7 @@ impl<'a> TrafficSimulator<'a> {
         stats
     }
 
-    /// One device over the whole period.
+    /// One device over the whole period, appending its true flows to `out`.
     #[allow(clippy::too_many_arguments)]
     fn run_device(
         &self,
@@ -178,8 +197,7 @@ impl<'a> TrafficSimulator<'a> {
         period: StudyPeriod,
         affected: &HashSet<ServerId>,
         rng: &mut SimRng,
-        router: &mut BorderRouter,
-        sink: &mut dyn FlowSink,
+        out: &mut Vec<FlowRecord>,
         stats: &mut TrafficStats,
     ) {
         let world = self.world;
@@ -283,7 +301,7 @@ impl<'a> TrafficSimulator<'a> {
                     }
                 }
 
-                self.emit_pair(line, server.ip, port, time, dn, up, router, sink, stats);
+                self.emit_pair(line, server.ip, port, time, dn, up, out, stats);
             }
         }
     }
@@ -408,8 +426,7 @@ impl<'a> TrafficSimulator<'a> {
         kind: ScannerKind,
         period: StudyPeriod,
         rng: &mut SimRng,
-        router: &mut BorderRouter,
-        sink: &mut dyn FlowSink,
+        out: &mut Vec<FlowRecord>,
         stats: &mut TrafficStats,
     ) {
         let world = self.world;
@@ -444,7 +461,6 @@ impl<'a> TrafficSimulator<'a> {
                     packets: 1,
                 };
                 stats.flows_generated += 1;
-                router.process(&up, sink);
                 if rng.chance(0.7) {
                     let dn = FlowRecord {
                         direction: Direction::Downstream,
@@ -452,7 +468,10 @@ impl<'a> TrafficSimulator<'a> {
                         ..up
                     };
                     stats.flows_generated += 1;
-                    router.process(&dn, sink);
+                    out.push(up);
+                    out.push(dn);
+                } else {
+                    out.push(up);
                 }
             }
         }
@@ -468,8 +487,7 @@ impl<'a> TrafficSimulator<'a> {
         time: iotmap_nettypes::SimTime,
         dn_bytes: f64,
         up_bytes: f64,
-        router: &mut BorderRouter,
-        sink: &mut dyn FlowSink,
+        out: &mut Vec<FlowRecord>,
         stats: &mut TrafficStats,
     ) {
         let dn_bytes = dn_bytes.max(200.0) as u64;
@@ -490,8 +508,8 @@ impl<'a> TrafficSimulator<'a> {
             ..dn
         };
         stats.flows_generated += 2;
-        router.process(&dn, sink);
-        router.process(&up, sink);
+        out.push(dn);
+        out.push(up);
     }
 }
 

@@ -8,7 +8,9 @@ use crate::server::Server;
 use iotmap_nettypes::{Date, Location, PortProto, SimRng, StudyPeriod, Transport};
 use iotmap_scan::ScanView;
 use iotmap_tls::{Certificate, ClientAuth, SanName, SniPolicy, TlsEndpoint};
+use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::sync::Arc;
 
 /// A dated view of the world, as scanners see it.
 pub struct WorldScanView<'a> {
@@ -16,10 +18,78 @@ pub struct WorldScanView<'a> {
     date: Date,
 }
 
+/// Derived lookups the scan views use on every probe, built once per
+/// world: the per-(provider, site) certificate pair (a site's servers all
+/// present the same certificates, so the sweep shares one `Arc` instead
+/// of re-deriving the SAN list per probe) and an index over background
+/// hosts (previously a linear scan per background lookup).
+#[derive(Debug, Clone)]
+pub(crate) struct ViewCache {
+    /// `[provider][site]` → (IoT certificate, generic front certificate).
+    site_certs: Vec<Vec<(Arc<Certificate>, Arc<Certificate>)>>,
+    /// Background host ip → index into `world.background`.
+    background_by_ip: HashMap<Ipv4Addr, usize>,
+    /// Per-background-host TLS certificate, same indexing.
+    background_certs: Vec<Arc<Certificate>>,
+}
+
 impl World {
     /// The scanner-visible Internet on a given date.
     pub fn view_on(&self, date: Date) -> WorldScanView<'_> {
         WorldScanView { world: self, date }
+    }
+
+    pub(crate) fn view_cache(&self) -> &ViewCache {
+        self.view_cache.get_or_init(|| {
+            let validity = certificate_validity();
+            let site_certs = self
+                .providers
+                .iter()
+                .map(|spec| {
+                    (0..spec.sites.len())
+                        .map(|site| {
+                            let iot = Certificate::new(
+                                spec.display,
+                                self.cert_sans(spec, site),
+                                validity,
+                            );
+                            let generic = Certificate::new(
+                                "load-balancer",
+                                vec![SanName::parse(&generic_front_name(spec, site))
+                                    .expect("valid generic SAN")],
+                                validity,
+                            );
+                            (Arc::new(iot), Arc::new(generic))
+                        })
+                        .collect()
+                })
+                .collect();
+            let background_by_ip = self
+                .background
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.ip, i))
+                .collect();
+            let background_certs = self
+                .background
+                .iter()
+                .map(|b| {
+                    let san = SanName::parse(&format!("*.{}", b.domain.second_level()))
+                        .expect("valid background SAN");
+                    Arc::new(Certificate::new("background", vec![san], validity))
+                })
+                .collect();
+            ViewCache {
+                site_certs,
+                background_by_ip,
+                background_certs,
+            }
+        })
+    }
+
+    /// Index of the background host owning `ip`, if any.
+    pub(crate) fn background_index(&self, ip: Ipv4Addr) -> Option<usize> {
+        self.view_cache().background_by_ip.get(&ip).copied()
     }
 
     /// The SAN names a provider's gateway certificate carries at a site.
@@ -52,21 +122,14 @@ impl World {
 
     /// The TLS endpoint configuration of one server's TLS port.
     fn endpoint_for(&self, server: &Server) -> TlsEndpoint {
-        let spec = &self.providers[server.provider];
-        let validity = certificate_validity();
-        let iot_cert = Certificate::new(spec.display, self.cert_sans(spec, server.site), validity);
-        let generic_cert = Certificate::new(
-            "load-balancer",
-            vec![SanName::parse(&generic_front_name(spec, server)).expect("valid generic SAN")],
-            validity,
-        );
+        let (iot_cert, generic_cert) = &self.view_cache().site_certs[server.provider][server.site];
         if server.cert_exposed && server.documented {
-            TlsEndpoint::plain(iot_cert)
+            TlsEndpoint::plain(iot_cert.clone())
         } else {
             // SNI-gated (or simply default-cert-generic) front: anonymous
             // scanners harvest only the generic certificate; devices that
             // present the right server name reach the IoT certificate.
-            TlsEndpoint::sni_gated(iot_cert, generic_cert)
+            TlsEndpoint::sni_gated(iot_cert.clone(), generic_cert.clone())
         }
     }
 }
@@ -77,8 +140,8 @@ fn certificate_validity() -> StudyPeriod {
 }
 
 /// The uninformative certificate a hidden front presents.
-fn generic_front_name(spec: &ProviderSpec, server: &Server) -> String {
-    match &spec.sites[server.site].hosting {
+fn generic_front_name(spec: &ProviderSpec, site: usize) -> String {
+    match &spec.sites[site].hosting {
         SiteHosting::Cloud { cloud, region } => format!("*.{region}.{cloud}-elb.example"),
         SiteHosting::Own { .. } => {
             if spec.name == "google" {
@@ -142,15 +205,11 @@ impl ScanView for WorldScanView<'_> {
         }
         // Background hosts: boring certificates for their own domains.
         if let IpAddr::V4(v4) = addr {
-            if let Some(b) = self.world.background.iter().find(|b| b.ip == v4) {
+            if let Some(i) = self.world.background_index(v4) {
+                let b = &self.world.background[i];
                 if b.ports.contains(&port) && port.port != 80 {
-                    let san = SanName::parse(&format!("*.{}", b.domain.second_level()))
-                        .expect("valid background SAN");
-                    return Some(TlsEndpoint::plain(Certificate::new(
-                        "background",
-                        vec![san],
-                        certificate_validity(),
-                    )));
+                    let cert = self.world.view_cache().background_certs[i].clone();
+                    return Some(TlsEndpoint::plain(cert));
                 }
             }
         }
@@ -172,9 +231,9 @@ impl ScanView for WorldScanView<'_> {
             );
         }
         if let IpAddr::V4(v4) = addr {
-            if let Some(b) = world.background.iter().find(|b| b.ip == v4) {
+            if let Some(i) = world.background_index(v4) {
                 return Some(world.geo.noisy_location(
-                    b.city,
+                    world.background[i].city,
                     world.config.geo_error_rate,
                     &mut rng,
                 ));
@@ -223,8 +282,8 @@ impl iotmap_scan::LatencyProber for WorldLatencyProber<'_> {
                 .location(world.site_city[s.provider][s.site])
                 .clone()
         } else if let IpAddr::V4(v4) = target {
-            let b = world.background.iter().find(|b| b.ip == v4)?;
-            world.geo.location(b.city).clone()
+            let i = world.background_index(v4)?;
+            world.geo.location(world.background[i].city).clone()
         } else {
             return None;
         };

@@ -36,11 +36,17 @@ cargo run --release -q -p iotmap-bench --bin exp -- \
 # must hold its speedup over the fan-out reference (≥75% of the
 # committed small-preset baseline; ratios, so machine-independent).
 # --gate also exercises the perf-history regression path against a
-# scratch history file.
-echo "==> bench smoke (exp bench --preset small vs committed baseline)"
+# scratch history file. Run twice against one cache directory — the
+# first run is cold and populates it, the second exercises the warm
+# memoized-prepare path (both append history; the cache tag separates
+# them).
+echo "==> bench smoke (exp bench --preset small, cold + warm cache)"
 tmp_bench="$(mktemp -d)"
 cargo run --release -q -p iotmap-bench --bin exp -- \
-  bench --preset small --seed 42 --threads 1 \
+  bench --preset small --seed 42 --threads 1 --cache "$tmp_bench/cache" \
+  --out "$tmp_bench" --baseline scripts/bench-baseline-small.json --gate >/dev/null
+cargo run --release -q -p iotmap-bench --bin exp -- \
+  bench --preset small --seed 42 --threads 1 --cache "$tmp_bench/cache" \
   --out "$tmp_bench" --baseline scripts/bench-baseline-small.json --gate >/dev/null
 
 # The profiler's smoke path: the full prepare pipeline instrumented, the

@@ -1,0 +1,217 @@
+//! The memoized on-disk world cache.
+//!
+//! Preparing a run is expensive — passive-DNS synthesis, seven daily
+//! Censys sweeps, discovery over every snapshot — yet every artifact is a
+//! pure function of the world configuration and the data-fault plan. The
+//! cache memoizes those artifacts on disk so a repeat run with the same
+//! inputs skips straight to them.
+//!
+//! Entries reuse the supervisor's checkpoint container
+//! ([`CheckpointStore`]): magic + fingerprint + checksum framing, atomic
+//! tmp-then-rename writes. On top of that, every entry's *file name*
+//! carries the fingerprint of the inputs it was computed from
+//! (`00-pdns-<fp>.ckpt`, `01-scans-<fp>.ckpt`, …), so entries for
+//! different configurations and fault plans coexist in one cache
+//! directory instead of evicting each other.
+//!
+//! Two fingerprints key the entries:
+//!
+//! * the **config fingerprint** ([`recover::config_fingerprint`]) keys the
+//!   pristine world's passive-DNS table — no fault plan touches it;
+//! * the **run fingerprint** ([`recover::run_fingerprint`]) — config plus
+//!   data faults — keys everything downstream of the measurement
+//!   instruments (scan datasets, discovery, footprints, shared IPs).
+//!
+//! A corrupted, truncated, or mismatched entry is never an error: it is
+//! counted (`cache.invalidated`), discarded, and silently regenerated.
+//! Fresh results are written back (`cache.written`); hits and misses are
+//! counted too, so a run report shows exactly what the cache did.
+
+use crate::recover;
+use iotmap_core::{DiscoveryResult, Footprint};
+use iotmap_dns::PassiveDnsDb;
+use iotmap_faults::FaultPlan;
+use iotmap_nettypes::Error;
+use iotmap_super::codec::{ByteReader, ByteWriter};
+use iotmap_super::{CheckpointStore, CkptError, KIND_BYTES};
+use iotmap_world::{CollectedScans, WorldConfig};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+use std::path::Path;
+
+/// Slot numbers give cache files stable, readable prefixes mirroring the
+/// stage order (`00-pdns-…`, `01-scans-…`, `02-discovery-…`, …).
+const SLOT_PDNS: usize = 0;
+const SLOT_SCANS: usize = 1;
+const SLOT_DISCOVERY: usize = 2;
+const SLOT_FOOTPRINTS: usize = 3;
+const SLOT_SHARED_IPS: usize = 4;
+
+/// One cache directory, opened for one `(config, fault plan)` identity.
+pub(crate) struct WorldCache {
+    /// Store for config-keyed entries (the pristine passive-DNS table).
+    config_store: CheckpointStore,
+    /// Store for run-keyed entries (scans and the derived artifacts).
+    run_store: CheckpointStore,
+    config_tag: String,
+    run_tag: String,
+}
+
+impl WorldCache {
+    /// Open (creating if needed) a cache directory for this run identity.
+    pub fn open(dir: &Path, config: &WorldConfig, faults: &FaultPlan) -> Result<WorldCache, Error> {
+        let config_fp = recover::config_fingerprint(config);
+        let run_fp = recover::run_fingerprint(config, faults);
+        let open = |fp: u64| {
+            CheckpointStore::open(dir, fp)
+                .map_err(|e| Error::stage("cache", format!("cannot open {}: {e}", dir.display())))
+        };
+        Ok(WorldCache {
+            config_store: open(config_fp)?,
+            run_store: open(run_fp)?,
+            config_tag: format!("{config_fp:016x}"),
+            run_tag: format!("{run_fp:016x}"),
+        })
+    }
+
+    /// Load and decode one entry. `None` means "regenerate": the entry is
+    /// missing (`cache.miss`) or failed verification — bad checksum,
+    /// truncation, foreign fingerprint, undecodable payload — in which
+    /// case it is counted as `cache.invalidated` and deleted so the
+    /// regenerated result can take its place.
+    fn load<T>(
+        store: &CheckpointStore,
+        slot: usize,
+        stage: &str,
+        decode: impl FnOnce(&mut ByteReader) -> Result<T, String>,
+    ) -> Option<T> {
+        match store.load(slot, stage, KIND_BYTES) {
+            Ok(bytes) => {
+                let mut r = ByteReader::new(&bytes);
+                match decode(&mut r).and_then(|v| r.finish().map(|()| v)) {
+                    Ok(value) => {
+                        iotmap_obs::count!("cache.hit");
+                        Some(value)
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "# cache: undecodable entry {slot:02}-{stage}: {e}; regenerating"
+                        );
+                        iotmap_obs::count!("cache.invalidated");
+                        store.discard(slot, stage);
+                        None
+                    }
+                }
+            }
+            Err(CkptError::Missing) => {
+                iotmap_obs::count!("cache.miss");
+                None
+            }
+            Err(CkptError::Corrupt(e)) | Err(CkptError::Mismatch(e)) => {
+                eprintln!("# cache: bad entry {slot:02}-{stage}: {e}; regenerating");
+                iotmap_obs::count!("cache.invalidated");
+                store.discard(slot, stage);
+                None
+            }
+        }
+    }
+
+    /// Encode and write one entry (atomic tmp-then-rename). A write
+    /// failure only costs the memoization, never the run.
+    fn save(
+        store: &CheckpointStore,
+        slot: usize,
+        stage: &str,
+        encode: impl FnOnce(&mut ByteWriter),
+    ) {
+        let mut w = ByteWriter::new();
+        encode(&mut w);
+        match store.save(slot, stage, KIND_BYTES, &w.into_bytes()) {
+            Ok(()) => iotmap_obs::count!("cache.written"),
+            Err(e) => {
+                eprintln!("# cache: write failed for {slot:02}-{stage}: {e}");
+                iotmap_obs::count!("cache.write_failed");
+            }
+        }
+    }
+
+    pub fn load_passive_dns(&self) -> Option<PassiveDnsDb> {
+        let stage = format!("pdns-{}", self.config_tag);
+        Self::load(
+            &self.config_store,
+            SLOT_PDNS,
+            &stage,
+            recover::get_passive_dns,
+        )
+    }
+
+    pub fn save_passive_dns(&self, db: &PassiveDnsDb) {
+        let stage = format!("pdns-{}", self.config_tag);
+        Self::save(&self.config_store, SLOT_PDNS, &stage, |w| {
+            recover::put_passive_dns(db, w)
+        });
+    }
+
+    pub fn load_scans(&self) -> Option<CollectedScans> {
+        let stage = format!("scans-{}", self.run_tag);
+        Self::load(&self.run_store, SLOT_SCANS, &stage, recover::get_scans)
+    }
+
+    pub fn save_scans(&self, scans: &CollectedScans) {
+        let stage = format!("scans-{}", self.run_tag);
+        Self::save(&self.run_store, SLOT_SCANS, &stage, |w| {
+            recover::put_scans(scans, w)
+        });
+    }
+
+    pub fn load_discovery(&self) -> Option<DiscoveryResult> {
+        let stage = format!("discovery-{}", self.run_tag);
+        Self::load(
+            &self.run_store,
+            SLOT_DISCOVERY,
+            &stage,
+            recover::get_discovery,
+        )
+    }
+
+    pub fn save_discovery(&self, discovery: &DiscoveryResult) {
+        let stage = format!("discovery-{}", self.run_tag);
+        Self::save(&self.run_store, SLOT_DISCOVERY, &stage, |w| {
+            recover::put_discovery(discovery, w)
+        });
+    }
+
+    pub fn load_footprints(&self) -> Option<HashMap<String, Footprint>> {
+        let stage = format!("footprints-{}", self.run_tag);
+        Self::load(
+            &self.run_store,
+            SLOT_FOOTPRINTS,
+            &stage,
+            recover::get_footprints,
+        )
+    }
+
+    pub fn save_footprints(&self, footprints: &HashMap<String, Footprint>) {
+        let stage = format!("footprints-{}", self.run_tag);
+        Self::save(&self.run_store, SLOT_FOOTPRINTS, &stage, |w| {
+            recover::put_footprints(footprints, w)
+        });
+    }
+
+    pub fn load_shared_ips(&self) -> Option<HashSet<IpAddr>> {
+        let stage = format!("shared-ips-{}", self.run_tag);
+        Self::load(
+            &self.run_store,
+            SLOT_SHARED_IPS,
+            &stage,
+            recover::get_shared_ips,
+        )
+    }
+
+    pub fn save_shared_ips(&self, shared: &HashSet<IpAddr>) {
+        let stage = format!("shared-ips-{}", self.run_tag);
+        Self::save(&self.run_store, SLOT_SHARED_IPS, &stage, |w| {
+            recover::put_shared_ips(shared, w)
+        });
+    }
+}

@@ -70,8 +70,10 @@ pub use iotmap_world as world;
 // `supervisor`.
 pub use iotmap_super as supervisor;
 
+mod cache;
 pub mod recover;
 
+use crate::cache::WorldCache;
 use iotmap_core::{
     DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, FootprintInference,
     PatternRegistry, SharedIpClassifier,
@@ -84,7 +86,7 @@ use iotmap_traffic::{AnalysisReport, AnalysisSink, ContactSink, IpIndex, Scanner
 use iotmap_world::{CollectedScans, TrafficSimulator, World, WorldConfig};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// The scanner-exclusion threshold the paper settles on (§5.2).
 pub const SCANNER_THRESHOLD: usize = 100;
@@ -113,6 +115,7 @@ pub struct Pipeline {
     policy: StagePolicy,
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
+    cache_dir: Option<PathBuf>,
     /// `IOTMAP_THREADS` was set but unparsable — surfaced in the run
     /// report rather than silently falling back.
     threads_env_unparsable: bool,
@@ -148,6 +151,7 @@ impl Pipeline {
             policy: StagePolicy::default(),
             checkpoint_dir: None,
             resume: false,
+            cache_dir: std::env::var_os("IOTMAP_CACHE").map(PathBuf::from),
             threads_env_unparsable,
         }
     }
@@ -177,6 +181,34 @@ impl Pipeline {
         self
     }
 
+    /// Memoize prepared artifacts in `dir`: the world's passive-DNS
+    /// table, the synthesized scan datasets, and the engine's derived
+    /// artifacts are written on first computation and reloaded —
+    /// fingerprint-verified — on every later run with the same config and
+    /// data-fault plan. Corrupted or stale entries are detected, counted
+    /// (`cache.invalidated`), and silently regenerated. Defaults to the
+    /// `IOTMAP_CACHE` environment variable when set; calling this wins
+    /// over the env var.
+    ///
+    /// **Precedence** when several run-reuse mechanisms are configured
+    /// together (this is the one place it's spelled out):
+    ///
+    /// 1. [`resume`](Pipeline::resume) checkpoints are consulted first —
+    ///    the supervisor restores a verified checkpoint before the stage
+    ///    body (and with it the cache lookup) ever runs;
+    /// 2. the cache fills any stage the checkpoints didn't;
+    /// 3. recomputed results are written back to *both* the cache and —
+    ///    when [`checkpoints`](Pipeline::checkpoints) is set — the
+    ///    checkpoint store.
+    ///
+    /// Checkpoints bind to one run's fingerprint in one directory; the
+    /// cache keys every entry by fingerprint in its file name, so many
+    /// configurations can share one cache directory.
+    pub fn cache(mut self, dir: impl Into<PathBuf>) -> Pipeline {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Override the supervisor's retry/deadline policy.
     pub fn stage_policy(mut self, policy: StagePolicy) -> Pipeline {
         self.policy = policy;
@@ -195,8 +227,10 @@ impl Pipeline {
         self
     }
 
-    /// Run world-build → scan collection → discovery → footprints →
-    /// shared-IP classification, producing the [`RunArtifacts`] every
+    /// Run the full study: [`prepare`](Pipeline::prepare) the world and
+    /// scan datasets, then [`execute`](PreparedWorld::execute) the engine
+    /// over them — world-build → scan collection → discovery → footprints
+    /// → shared-IP classification, producing the [`RunArtifacts`] every
     /// experiment and traffic pass builds on.
     ///
     /// Every stage runs under a [`Supervisor`]: panics are contained
@@ -208,7 +242,19 @@ impl Pipeline {
     /// Without crashes or checkpoints the supervised run is
     /// byte-identical to the unsupervised one.
     pub fn run(self) -> Result<RunArtifacts, Error> {
-        let registry = PatternRegistry::try_paper_defaults()?;
+        self.prepare()?.execute_owned()
+    }
+
+    /// Phase one of [`run`](Pipeline::run): generate the world and
+    /// synthesize the scan datasets, returning a [`PreparedWorld`] that
+    /// can be [executed](PreparedWorld::execute) — repeatedly — into full
+    /// [`RunArtifacts`].
+    ///
+    /// Preparation is the expensive half of a run and is a pure function
+    /// of the config and data-fault plan, which is what makes the
+    /// [`cache`](Pipeline::cache) effective: a warm prepare is mostly
+    /// deserialization.
+    pub fn prepare(self) -> Result<PreparedWorld, Error> {
         let mut supervisor = Supervisor::new(self.faults.seed)
             .policy(self.policy.clone())
             .crash(self.faults.crash.clone());
@@ -219,14 +265,31 @@ impl Pipeline {
             })?;
             supervisor = supervisor.store(store, self.resume);
         }
-        iotmap_par::with_threads(self.threads, || {
-            Pipeline::build(
+        let cache = match &self.cache_dir {
+            Some(dir) => Some(WorldCache::open(dir, &self.config, &self.faults)?),
+            None => None,
+        };
+        let (world, scans) = iotmap_par::with_threads(self.threads, || {
+            Pipeline::prepare_stages(
                 &self.config,
-                registry,
                 &self.faults,
                 &mut supervisor,
+                cache.as_ref(),
                 self.threads_env_unparsable,
             )
+        })?;
+        Ok(PreparedWorld {
+            world,
+            scans,
+            faults: self.faults,
+            policy: self.policy,
+            threads: self.threads,
+            checkpoint_dir: self.checkpoint_dir,
+            // A witness mismatch during prepare invalidates trust in the
+            // whole checkpoint directory; the execute phase then
+            // recomputes instead of restoring.
+            resume: supervisor.resume_trusted(),
+            cache_dir: self.cache_dir,
         })
     }
 
@@ -244,13 +307,18 @@ impl Pipeline {
         }
     }
 
-    fn build(
+    /// The generative stages: world build and scan synthesis. Cache
+    /// lookups happen *inside* the stage bodies, so the supervisor's
+    /// resume checkpoints keep precedence (a verified checkpoint restores
+    /// before the body runs) and a retried stage re-reads the same disk
+    /// state.
+    fn prepare_stages(
         config: &WorldConfig,
-        registry: PatternRegistry,
         faults: &FaultPlan,
         sup: &mut Supervisor,
+        cache: Option<&WorldCache>,
         threads_env_unparsable: bool,
-    ) -> Result<RunArtifacts, Error> {
+    ) -> Result<(World, CollectedScans), Error> {
         let _span = iotmap_obs::span!("experiment.prepare");
         if threads_env_unparsable {
             iotmap_obs::count!("notes.config.iotmap_threads_unparsable");
@@ -259,13 +327,25 @@ impl Pipeline {
 
         // Generative stages: pure functions of the fingerprinted config,
         // checkpointed as replay witnesses (recomputed and verified on
-        // resume rather than serialized).
-        let mut world = sup.run_stage(
+        // resume rather than serialized). The passive-DNS table — the
+        // single most expensive world phase — is the cacheable unit:
+        // every other phase forks the root RNG by name, so substituting a
+        // cached table leaves the rest of the build byte-identical.
+        let world = sup.run_stage(
             "world",
             StageArtifact::Replay {
                 witness: recover::world_witness,
             },
-            || World::generate(config),
+            || match cache.and_then(WorldCache::load_passive_dns) {
+                Some(db) => World::generate_with_pdns(config, Some(db)),
+                None => {
+                    let world = World::generate(config);
+                    if let Some(cache) = cache {
+                        cache.save_passive_dns(&world.passive_dns);
+                    }
+                    world
+                }
+            },
         )?;
         let scans = {
             let world = &world;
@@ -274,9 +354,34 @@ impl Pipeline {
                 StageArtifact::Replay {
                     witness: recover::scans_witness,
                 },
-                move || world.collect_scan_data_with(period, faults),
+                move || match cache.and_then(WorldCache::load_scans) {
+                    Some(scans) => scans,
+                    None => {
+                        let scans = world.collect_scan_data_with(period, faults);
+                        if let Some(cache) = cache {
+                            cache.save_scans(&scans);
+                        }
+                        scans
+                    }
+                },
             )?
         };
+        Ok((world, scans))
+    }
+
+    /// The engine: passive-DNS degradation, discovery, footprints,
+    /// shared-IP classification, and the IP index, over an
+    /// already-prepared world.
+    fn engine_stages(
+        mut world: World,
+        scans: CollectedScans,
+        registry: PatternRegistry,
+        faults: &FaultPlan,
+        sup: &mut Supervisor,
+        cache: Option<&WorldCache>,
+    ) -> Result<RunArtifacts, Error> {
+        let _span = iotmap_obs::span!("experiment.execute");
+        let period = world.config.study_period;
         // The passive-DNS sensors degrade before anyone queries them:
         // every consumer (discovery, shared-IP classification, CNAME
         // chasing, later analyses) sees one consistent, already-faulted
@@ -303,7 +408,16 @@ impl Pipeline {
                     encode: recover::put_discovery,
                     decode: recover::get_discovery,
                 },
-                || pipeline.run(&sources, period),
+                || match cache.and_then(WorldCache::load_discovery) {
+                    Some(discovery) => discovery,
+                    None => {
+                        let discovery = pipeline.run(&sources, period);
+                        if let Some(cache) = cache {
+                            cache.save_discovery(&discovery);
+                        }
+                        discovery
+                    }
+                },
             )?
         };
 
@@ -318,13 +432,20 @@ impl Pipeline {
                     encode: recover::put_footprints,
                     decode: recover::get_footprints,
                 },
-                move || {
-                    discovery
-                        .per_provider()
-                        .map(|(name, disc)| {
-                            (name.to_string(), FootprintInference::infer(disc, &sources))
-                        })
-                        .collect::<HashMap<String, Footprint>>()
+                move || match cache.and_then(WorldCache::load_footprints) {
+                    Some(footprints) => footprints,
+                    None => {
+                        let footprints = discovery
+                            .per_provider()
+                            .map(|(name, disc)| {
+                                (name.to_string(), FootprintInference::infer(disc, &sources))
+                            })
+                            .collect::<HashMap<String, Footprint>>();
+                        if let Some(cache) = cache {
+                            cache.save_footprints(&footprints);
+                        }
+                        footprints
+                    }
                 },
             )?
         };
@@ -338,14 +459,20 @@ impl Pipeline {
                     encode: recover::put_shared_ips,
                     decode: recover::get_shared_ips,
                 },
-                move || {
-                    let mut shared_ips = HashSet::new();
-                    for (_, disc) in discovery.per_provider() {
-                        let (_, shared) =
-                            classifier.split_provider(disc, &world.passive_dns, period);
-                        shared_ips.extend(shared.keys().copied());
+                move || match cache.and_then(WorldCache::load_shared_ips) {
+                    Some(shared_ips) => shared_ips,
+                    None => {
+                        let mut shared_ips = HashSet::new();
+                        for (_, disc) in discovery.per_provider() {
+                            let (_, shared) =
+                                classifier.split_provider(disc, &world.passive_dns, period);
+                            shared_ips.extend(shared.keys().copied());
+                        }
+                        if let Some(cache) = cache {
+                            cache.save_shared_ips(&shared_ips);
+                        }
+                        shared_ips
                     }
-                    shared_ips
                 },
             )?
         };
@@ -364,6 +491,155 @@ impl Pipeline {
             shared_ips,
             index,
             faults: faults.clone(),
+        })
+    }
+}
+
+/// A prepared run: the generated world and synthesized scan datasets,
+/// plus everything needed to execute the discovery engine over them.
+///
+/// Produced by [`Pipeline::prepare`]; consumed — repeatedly, if you like —
+/// by [`execute`](PreparedWorld::execute). Preparation is the expensive
+/// half of a run, so holding a `PreparedWorld` lets callers amortize it
+/// across engine runs with different fault plans or thread budgets:
+///
+/// ```no_run
+/// # use iotmap::prelude::*;
+/// # use iotmap::faults::FaultPlan;
+/// let prepared = Pipeline::new(WorldConfig::small(42)).prepare()?;
+/// let clean = prepared.execute()?;
+/// let faulted = prepared.execute_with(&FaultPlan::heavy())?;
+/// # let _ = (clean, faulted);
+/// # Ok::<(), Error>(())
+/// ```
+///
+/// The world here is **pristine**: passive-DNS degradation (a fault-plan
+/// effect) is applied by the engine, per execution, on a copy.
+pub struct PreparedWorld {
+    /// The generated world, passive DNS not yet degraded.
+    pub world: World,
+    /// The synthesized scan datasets.
+    pub scans: CollectedScans,
+    faults: FaultPlan,
+    policy: StagePolicy,
+    threads: usize,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    cache_dir: Option<PathBuf>,
+}
+
+impl PreparedWorld {
+    /// Change the worker-thread budget for subsequent executions
+    /// (`0` = all available cores).
+    pub fn threads(mut self, n: usize) -> PreparedWorld {
+        self.threads = n;
+        self
+    }
+
+    /// Run the engine — passive-DNS degradation, discovery, footprints,
+    /// shared-IP classification, index — under the fault plan the world
+    /// was prepared with. The prepared world is untouched; each call
+    /// works on its own copy, so `execute` can run any number of times.
+    pub fn execute(&self) -> Result<RunArtifacts, Error> {
+        self.engine(self.world.clone(), self.scans.clone(), &self.faults, true)
+    }
+
+    /// [`execute`](PreparedWorld::execute) under a different fault plan —
+    /// engine-side families only. The scan datasets were synthesized
+    /// under the *prepared* plan, so its Censys/ZGrab faults stay baked
+    /// in; the override governs passive-DNS degradation, the active-DNS
+    /// campaigns, NetFlow export, and crash injection. Checkpoints bind
+    /// to the prepared plan's fingerprint and are not consulted here.
+    pub fn execute_with(&self, faults: &FaultPlan) -> Result<RunArtifacts, Error> {
+        self.engine(self.world.clone(), self.scans.clone(), faults, false)
+    }
+
+    /// The consuming path [`Pipeline::run`] takes: no artifact clones.
+    fn execute_owned(self) -> Result<RunArtifacts, Error> {
+        let PreparedWorld {
+            world,
+            scans,
+            faults,
+            policy,
+            threads,
+            checkpoint_dir,
+            resume,
+            cache_dir,
+        } = self;
+        Self::engine_inner(
+            world,
+            scans,
+            &faults,
+            &policy,
+            threads,
+            checkpoint_dir.as_deref(),
+            resume,
+            cache_dir.as_deref(),
+        )
+    }
+
+    fn engine(
+        &self,
+        world: World,
+        scans: CollectedScans,
+        faults: &FaultPlan,
+        use_checkpoints: bool,
+    ) -> Result<RunArtifacts, Error> {
+        Self::engine_inner(
+            world,
+            scans,
+            faults,
+            &self.policy,
+            self.threads,
+            if use_checkpoints {
+                self.checkpoint_dir.as_deref()
+            } else {
+                None
+            },
+            self.resume,
+            self.cache_dir.as_deref(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn engine_inner(
+        world: World,
+        scans: CollectedScans,
+        faults: &FaultPlan,
+        policy: &StagePolicy,
+        threads: usize,
+        checkpoint_dir: Option<&Path>,
+        resume: bool,
+        cache_dir: Option<&Path>,
+    ) -> Result<RunArtifacts, Error> {
+        let registry = PatternRegistry::try_paper_defaults()?;
+        // The engine's stage numbering continues the prepare phase's
+        // (world = 00, scans = 01), so a split run writes the same
+        // checkpoint files as the old single-supervisor pipeline.
+        let mut supervisor = Supervisor::new(faults.seed)
+            .policy(policy.clone())
+            .crash(faults.crash.clone())
+            .start_index(2);
+        if let Some(dir) = checkpoint_dir {
+            let fingerprint = recover::run_fingerprint(&world.config, faults);
+            let store = CheckpointStore::open(dir, fingerprint).map_err(|e| {
+                Error::stage("checkpoint", format!("cannot open {}: {e}", dir.display()))
+            })?;
+            supervisor = supervisor.store(store, resume);
+        }
+        let cache = match cache_dir {
+            Some(dir) => Some(WorldCache::open(dir, &world.config, faults)?),
+            None => None,
+        };
+        iotmap_par::with_threads(threads, || {
+            Pipeline::engine_stages(
+                world,
+                scans,
+                registry,
+                faults,
+                &mut supervisor,
+                cache.as_ref(),
+            )
         })
     }
 }
@@ -453,7 +729,7 @@ impl RunArtifacts {
 /// The ~15 types a typical caller needs, in one import:
 /// `use iotmap::prelude::*;`.
 pub mod prelude {
-    pub use crate::{Pipeline, RunArtifacts, SCANNER_THRESHOLD};
+    pub use crate::{Pipeline, PreparedWorld, RunArtifacts, SCANNER_THRESHOLD};
     pub use iotmap_core::{
         DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, PatternRegistry,
         ProviderDiscovery, Source,

@@ -16,13 +16,17 @@
 //! compare byte-for-byte.
 
 use iotmap_core::{DiscoveryResult, Footprint, IpEvidence, IpLocation, ProviderDiscovery, Source};
+use iotmap_dns::{PassiveDnsDb, RData, RrsetEntry};
 use iotmap_faults::FaultPlan;
 use iotmap_nettypes::geo::{Continent, Location};
-use iotmap_nettypes::DomainName;
+use iotmap_nettypes::{DomainName, PortProto, SimTime, Transport};
+use iotmap_scan::{CensysRecord, CensysSnapshot, ZgrabRecord};
 use iotmap_super::codec::{fnv1a, ByteReader, ByteWriter};
+use iotmap_tls::{Certificate, SanName};
 use iotmap_world::{CollectedScans, World, WorldConfig};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// The run identity checkpoints are bound to: FNV-1a over the world
 /// configuration and the artifact-affecting part of the fault plan
@@ -31,6 +35,13 @@ use std::net::IpAddr;
 /// checkpoints are interchangeable).
 pub fn run_fingerprint(config: &WorldConfig, faults: &FaultPlan) -> u64 {
     fnv1a(format!("{config:?}|{}", faults.data_fingerprint()).as_bytes())
+}
+
+/// Cache identity for artifacts that depend on the world configuration
+/// alone — the pristine world's passive-DNS table, which no fault plan
+/// touches (sensors degrade a *copy* at engine time).
+pub fn config_fingerprint(config: &WorldConfig) -> u64 {
+    fnv1a(format!("{config:?}").as_bytes())
 }
 
 /// Replay witness for the world-build stage: structure counts plus a
@@ -241,6 +252,277 @@ pub fn get_footprints(r: &mut ByteReader) -> Result<HashMap<String, Footprint>, 
         out.insert(name, fp);
     }
     Ok(out)
+}
+
+fn put_port(w: &mut ByteWriter, p: PortProto) {
+    w.put_u8(match p.transport {
+        Transport::Tcp => 0,
+        Transport::Udp => 1,
+    });
+    w.put_u32(p.port as u32);
+}
+
+fn get_port(r: &mut ByteReader) -> Result<PortProto, String> {
+    let transport = match r.get_u8()? {
+        0 => Transport::Tcp,
+        1 => Transport::Udp,
+        t => return Err(format!("bad transport tag {t}")),
+    };
+    let port = r.get_u32()?;
+    let port = u16::try_from(port).map_err(|_| format!("port {port} out of range"))?;
+    Ok(PortProto { transport, port })
+}
+
+fn put_rdata(w: &mut ByteWriter, rdata: &RData) {
+    match rdata {
+        RData::A(a) => {
+            w.put_u8(0);
+            w.put_ip(IpAddr::V4(*a));
+        }
+        RData::Aaaa(a) => {
+            w.put_u8(1);
+            w.put_ip(IpAddr::V6(*a));
+        }
+        RData::Cname(name) => {
+            w.put_u8(2);
+            w.put_str(name.as_str());
+        }
+        RData::Ptr(name) => {
+            w.put_u8(3);
+            w.put_str(name.as_str());
+        }
+    }
+}
+
+fn get_rdata(r: &mut ByteReader) -> Result<RData, String> {
+    Ok(match r.get_u8()? {
+        0 => match r.get_ip()? {
+            IpAddr::V4(a) => RData::A(a),
+            ip => return Err(format!("A record with v6 address {ip}")),
+        },
+        1 => match r.get_ip()? {
+            IpAddr::V6(a) => RData::Aaaa(a),
+            ip => return Err(format!("AAAA record with v4 address {ip}")),
+        },
+        2 => RData::Cname(get_domain(r)?),
+        3 => RData::Ptr(get_domain(r)?),
+        t => return Err(format!("bad rdata tag {t}")),
+    })
+}
+
+fn get_domain(r: &mut ByteReader) -> Result<DomainName, String> {
+    let raw = r.get_str()?;
+    DomainName::parse(&raw).map_err(|e| format!("bad domain {raw:?}: {e:?}"))
+}
+
+/// Encode the passive-DNS table in insertion order: the entry list alone
+/// determines the rebuilt database (every index is derived from it), so
+/// the encoding round-trips byte-exactly.
+pub fn put_passive_dns(db: &PassiveDnsDb, w: &mut ByteWriter) {
+    let entries = db.entries_slice();
+    w.put_u32(entries.len() as u32);
+    for e in entries {
+        w.put_str(e.owner.as_str());
+        put_rdata(w, &e.rdata);
+        w.put_u64(e.time_first.unix());
+        w.put_u64(e.time_last.unix());
+        w.put_u64(e.count);
+    }
+}
+
+/// Decode a passive-DNS table encoded by [`put_passive_dns`].
+pub fn get_passive_dns(r: &mut ByteReader) -> Result<PassiveDnsDb, String> {
+    let n = r.get_u32()? as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let owner = get_domain(r)?;
+        let rdata = get_rdata(r)?;
+        let time_first = SimTime::from_unix(r.get_u64()?);
+        let time_last = SimTime::from_unix(r.get_u64()?);
+        let count = r.get_u64()?;
+        entries.push(RrsetEntry {
+            owner,
+            rdata,
+            time_first,
+            time_last,
+            count,
+        });
+    }
+    Ok(PassiveDnsDb::from_entries(entries))
+}
+
+fn put_certificate(w: &mut ByteWriter, cert: &Certificate) {
+    w.put_str(&cert.subject);
+    w.put_str(&cert.issuer);
+    w.put_u64(cert.not_before.unix());
+    w.put_u64(cert.not_after.unix());
+    w.put_u32(cert.sans.len() as u32);
+    for san in &cert.sans {
+        match san {
+            SanName::Exact(name) => {
+                w.put_u8(0);
+                w.put_str(name.as_str());
+            }
+            SanName::Wildcard(name) => {
+                w.put_u8(1);
+                w.put_str(name.as_str());
+            }
+        }
+    }
+}
+
+fn get_certificate(r: &mut ByteReader) -> Result<Certificate, String> {
+    let subject = r.get_str()?;
+    let issuer = r.get_str()?;
+    let not_before = SimTime::from_unix(r.get_u64()?);
+    let not_after = SimTime::from_unix(r.get_u64()?);
+    let mut sans = Vec::new();
+    for _ in 0..r.get_u32()? {
+        let tag = r.get_u8()?;
+        let name = get_domain(r)?;
+        sans.push(match tag {
+            0 => SanName::Exact(name),
+            1 => SanName::Wildcard(name),
+            t => return Err(format!("bad SAN tag {t}")),
+        });
+    }
+    Ok(Certificate {
+        subject,
+        sans,
+        issuer,
+        not_before,
+        not_after,
+    })
+}
+
+/// Encode the collected scan datasets. Certificates are shared across
+/// records via `Arc` (one per site); the encoding preserves that sharing
+/// with a table of distinct certificates in first-encounter order —
+/// records refer to table rows, and the decoder hands every referring
+/// record a clone of one shared `Arc`. Encounter order is a pure function
+/// of the record order, so re-encoding a decoded value is byte-identical.
+pub fn put_scans(scans: &CollectedScans, w: &mut ByteWriter) {
+    let mut rows: HashMap<usize, u32> = HashMap::new();
+    let mut certs: Vec<Arc<Certificate>> = Vec::new();
+    let mut row_of = |cert: &Arc<Certificate>| -> u32 {
+        *rows.entry(Arc::as_ptr(cert) as usize).or_insert_with(|| {
+            certs.push(cert.clone());
+            (certs.len() - 1) as u32
+        })
+    };
+    // First pass: assign table rows in encounter order.
+    let mut record_rows: Vec<u32> = Vec::new();
+    for snapshot in &scans.censys {
+        for record in &snapshot.records {
+            record_rows.push(row_of(&record.certificate));
+        }
+    }
+    for record in &scans.zgrab_v6 {
+        record_rows.push(row_of(&record.certificate));
+    }
+    w.put_u32(certs.len() as u32);
+    for cert in &certs {
+        put_certificate(w, cert);
+    }
+    let mut next_row = record_rows.into_iter();
+    w.put_u32(scans.censys.len() as u32);
+    for snapshot in &scans.censys {
+        w.put_i64(snapshot.date.epoch_days());
+        w.put_u32(snapshot.records.len() as u32);
+        for record in &snapshot.records {
+            w.put_ip(record.ip);
+            put_port(w, record.port);
+            w.put_u32(next_row.next().expect("row per record"));
+            match &record.location {
+                Some(loc) => {
+                    w.put_bool(true);
+                    put_location(w, loc);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u32(snapshot.host_ports.len() as u32);
+        for (addr, ports) in &snapshot.host_ports {
+            w.put_ip(IpAddr::V4(*addr));
+            w.put_u32(ports.len() as u32);
+            for port in ports {
+                put_port(w, *port);
+            }
+        }
+    }
+    w.put_u32(scans.zgrab_v6.len() as u32);
+    for record in &scans.zgrab_v6 {
+        w.put_ip(IpAddr::V6(record.ip));
+        put_port(w, record.port);
+        w.put_u32(next_row.next().expect("row per record"));
+    }
+}
+
+/// Decode scan datasets encoded by [`put_scans`].
+pub fn get_scans(r: &mut ByteReader) -> Result<CollectedScans, String> {
+    let mut certs: Vec<Arc<Certificate>> = Vec::new();
+    for _ in 0..r.get_u32()? {
+        certs.push(Arc::new(get_certificate(r)?));
+    }
+    let cert_at = |row: u32| -> Result<Arc<Certificate>, String> {
+        certs
+            .get(row as usize)
+            .cloned()
+            .ok_or_else(|| format!("certificate row {row} out of table"))
+    };
+    let mut censys = Vec::new();
+    for _ in 0..r.get_u32()? {
+        let date = iotmap_nettypes::Date::from_epoch_days(r.get_i64()?);
+        let mut records = Vec::new();
+        for _ in 0..r.get_u32()? {
+            let ip = r.get_ip()?;
+            let port = get_port(r)?;
+            let certificate = cert_at(r.get_u32()?)?;
+            let location = if r.get_bool()? {
+                Some(get_location(r)?)
+            } else {
+                None
+            };
+            records.push(CensysRecord {
+                ip,
+                port,
+                certificate,
+                location,
+            });
+        }
+        let mut host_ports = Vec::new();
+        for _ in 0..r.get_u32()? {
+            let addr = match r.get_ip()? {
+                IpAddr::V4(a) => a,
+                ip => return Err(format!("host-ports key with v6 address {ip}")),
+            };
+            let mut ports = Vec::new();
+            for _ in 0..r.get_u32()? {
+                ports.push(get_port(r)?);
+            }
+            host_ports.push((addr, ports));
+        }
+        censys.push(CensysSnapshot {
+            date,
+            records,
+            host_ports,
+        });
+    }
+    let mut zgrab_v6 = Vec::new();
+    for _ in 0..r.get_u32()? {
+        let ip = match r.get_ip()? {
+            IpAddr::V6(a) => a,
+            ip => return Err(format!("zgrab record with v4 address {ip}")),
+        };
+        let port = get_port(r)?;
+        let certificate = cert_at(r.get_u32()?)?;
+        zgrab_v6.push(ZgrabRecord {
+            ip,
+            port,
+            certificate,
+        });
+    }
+    Ok(CollectedScans { censys, zgrab_v6 })
 }
 
 /// Encode the shared-IP set (sorted).

@@ -1,0 +1,231 @@
+//! The memoized world cache, end to end: a warm run must be
+//! byte-identical to the cold run that populated the cache — at any
+//! thread count, with or without data faults. Entries are keyed by input
+//! fingerprints, so a config change must never reuse them; corrupted
+//! entries must be detected, counted, and silently regenerated.
+
+use iotmap::faults::FaultPlan;
+use iotmap::prelude::*;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iotmap-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Locate a cache entry by its slot/stage prefix (the file name's tail is
+/// the input fingerprint, which tests should not hard-code).
+fn find_entry(dir: &Path, prefix: &str) -> PathBuf {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cache dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".ckpt"))
+        })
+        .unwrap_or_else(|| panic!("no {prefix}*.ckpt entry in {}", dir.display()))
+}
+
+/// Cold run populates the cache, warm run must reproduce the exact same
+/// artifacts — and actually hit the cache while doing so.
+fn cold_warm_matrix(name: &str, faults: fn() -> FaultPlan) {
+    let config = WorldConfig::small(42);
+    let plain = Pipeline::new(config.clone())
+        .threads(1)
+        .faults(faults())
+        .run()
+        .unwrap()
+        .canonical_dump();
+    for threads in [1usize, 4] {
+        let dir = scratch(&format!("{name}-{threads}"));
+        let cold = Pipeline::new(config.clone())
+            .threads(threads)
+            .faults(faults())
+            .cache(&dir)
+            .run()
+            .unwrap()
+            .canonical_dump();
+        assert_eq!(cold, plain, "{name}/{threads}: cold cached run diverges");
+
+        let registry = Rc::new(iotmap_obs::Registry::new());
+        iotmap_obs::install(registry.clone());
+        let warm = Pipeline::new(config.clone())
+            .threads(threads)
+            .faults(faults())
+            .cache(&dir)
+            .run()
+            .unwrap()
+            .canonical_dump();
+        iotmap_obs::uninstall();
+        assert_eq!(warm, plain, "{name}/{threads}: warm cached run diverges");
+        let report = registry.report();
+        assert_eq!(
+            report.counters.get("cache.hit"),
+            Some(&5),
+            "{name}/{threads}: all five artifacts must come from the cache: {:?}",
+            report.counters
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn warm_runs_are_byte_identical_without_faults() {
+    cold_warm_matrix("none", FaultPlan::none);
+}
+
+#[test]
+fn warm_runs_are_byte_identical_under_heavy_faults() {
+    cold_warm_matrix("heavy", FaultPlan::heavy);
+}
+
+/// The acceptance matrix: one serial cold run fills the cache, and warm
+/// runs at every thread count must reproduce its bytes exactly.
+#[test]
+fn warm_runs_match_across_thread_counts() {
+    let config = WorldConfig::small(42);
+    let dir = scratch("threads");
+    let cold = Pipeline::new(config.clone())
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    for threads in [1usize, 2, 4, 8] {
+        let warm = Pipeline::new(config.clone())
+            .threads(threads)
+            .cache(&dir)
+            .run()
+            .unwrap()
+            .canonical_dump();
+        assert_eq!(warm, cold, "warm run at {threads} threads diverges");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A different configuration must never see the old config's entries:
+/// its fingerprints select different file names, so the run is simply
+/// cold (missing entries, no hits) and matches a cache-less run.
+#[test]
+fn config_change_invalidates_the_cache() {
+    let dir = scratch("config");
+    Pipeline::new(WorldConfig::small(42))
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap();
+
+    let new = WorldConfig::small(43);
+    let fresh = Pipeline::new(new.clone())
+        .threads(1)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let cached = Pipeline::new(new)
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    iotmap_obs::uninstall();
+    assert_eq!(cached, fresh);
+    let report = registry.report();
+    assert_eq!(
+        report.counters.get("cache.hit"),
+        None,
+        "no entry of the old config may be reused: {:?}",
+        report.counters
+    );
+    assert_eq!(report.counters.get("cache.miss"), Some(&5));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Damaged entries — one truncated mid-payload, one with a payload bit
+/// flipped — must be detected, counted as invalidated, regenerated, and
+/// the run's artifacts must still match the baseline exactly.
+#[test]
+fn corrupted_entries_are_detected_and_regenerated() {
+    let config = WorldConfig::small(42);
+    let dir = scratch("corrupt");
+    let baseline = Pipeline::new(config.clone())
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+
+    // Truncate the scans entry mid-payload.
+    let scans = find_entry(&dir, "01-scans-");
+    let bytes = std::fs::read(&scans).unwrap();
+    std::fs::write(&scans, &bytes[..bytes.len() / 2]).unwrap();
+    // Flip one payload bit in the discovery entry (past the header, so
+    // the checksum — not the magic — catches it).
+    let disc = find_entry(&dir, "02-discovery-");
+    let mut bytes = std::fs::read(&disc).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&disc, &bytes).unwrap();
+
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let rerun = Pipeline::new(config.clone())
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    iotmap_obs::uninstall();
+    assert_eq!(rerun, baseline, "regenerated artifacts diverge");
+    let report = registry.report();
+    assert_eq!(
+        report.counters.get("cache.invalidated"),
+        Some(&2),
+        "both damaged entries must be reported: {:?}",
+        report.counters
+    );
+    // The three undamaged entries were still served from the cache …
+    assert_eq!(report.counters.get("cache.hit"), Some(&3));
+    // … and the regenerated results written back, so a third run is warm
+    // again.
+    let again = Pipeline::new(config)
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    assert_eq!(again, baseline);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The two-phase API: one `prepare` amortizes across repeated `execute`
+/// calls, composes to exactly what `run` produces, and `execute_with`
+/// really applies a different engine-side fault plan.
+#[test]
+fn prepared_world_reuses_across_executions() {
+    let config = WorldConfig::small(42);
+    let baseline = Pipeline::new(config.clone())
+        .threads(1)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    let prepared = Pipeline::new(config).threads(1).prepare().unwrap();
+    let first = prepared.execute().unwrap().canonical_dump();
+    let second = prepared.execute().unwrap().canonical_dump();
+    assert_eq!(first, baseline, "prepare + execute must compose to run()");
+    assert_eq!(second, baseline, "a prepared world must be reusable");
+    // Heavy faults degrade passive DNS on the engine side, so the same
+    // prepared world must yield different artifacts.
+    let faulted = prepared
+        .execute_with(&FaultPlan::heavy())
+        .unwrap()
+        .canonical_dump();
+    assert_ne!(faulted, baseline);
+    // And the override must not have touched the prepared world.
+    assert_eq!(prepared.execute().unwrap().canonical_dump(), baseline);
+}
