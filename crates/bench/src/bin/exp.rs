@@ -133,6 +133,16 @@ fn main() {
         return;
     }
 
+    // The longitudinal study is its own mode: it rolls one prepared world
+    // forward day by day, checks every rolled state byte-identical to a
+    // from-scratch run over the merged corpus, and writes
+    // BENCH_longitudinal.json with the per-day incremental vs full-rerun
+    // cost.
+    if opts.experiment == "longitudinal" {
+        run_longitudinal(&opts, &config, &fault_plan);
+        return;
+    }
+
     // Observability: `--trace`, `--metrics`, and `--trace-out` install a
     // recorder for the whole run; the report is emitted just before exit.
     let instrumented = opts.trace || opts.metrics.is_some() || opts.trace_out.is_some();
@@ -1630,7 +1640,10 @@ fn run_bench(
         });
     let previous = std::fs::read_to_string(&history_path).unwrap_or_default();
     let comparable = previous.lines().rev().find(|line| {
-        json_str(line, "preset").as_deref() == Some(opts.preset.as_str())
+        // Longitudinal runs append to the same history file under an
+        // explicit "experiment" tag; untagged entries are bench lines.
+        json_str(line, "experiment").unwrap_or_else(|| "bench".to_string()) == "bench"
+            && json_str(line, "preset").as_deref() == Some(opts.preset.as_str())
             && json_f64(line, "seed") == Some(config.seed as f64)
             && json_f64(line, "threads") == Some(opts.threads as f64)
             && json_str(line, "faults").as_deref() == Some(opts.faults.as_str())
@@ -2005,4 +2018,283 @@ fn run_crash_recovery(
         std::process::exit(1);
     }
     println!("crash-recovery: all scenarios recovered byte-identically");
+}
+
+/// `exp longitudinal` — the paper's study as an incremental run: prepare
+/// the world once, then roll the artifacts forward one day at a time via
+/// `PreparedWorld::advance`, checking every rolled state byte-identical
+/// to a from-scratch re-run over the merged corpus and recording how much
+/// cheaper the incremental path is. Any divergence exits 1. Writes
+/// `BENCH_longitudinal.json` plus a tagged perf-history line; `--gate`
+/// additionally demands the mean per-day incremental cost stays below 25%
+/// of a full re-run and has not regressed >25% vs the last comparable
+/// history entry.
+fn run_longitudinal(
+    opts: &iotmap_bench::CliOptions,
+    config: &WorldConfig,
+    faults: &iotmap_faults::FaultPlan,
+) {
+    use iotmap_bench::Pipeline;
+
+    eprintln!(
+        "# longitudinal: preparing world (seed {}, preset {}, faults {}, {} days)…",
+        config.seed, opts.preset, opts.faults, opts.days
+    );
+    let mut pipeline = Pipeline::new(config.clone())
+        .threads(opts.threads)
+        .faults(faults.clone());
+    if let Some(dir) = opts.cache.as_deref() {
+        pipeline = pipeline.cache(dir);
+    }
+    let mut prepared = match pipeline.prepare() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Bootstrap the rolled run before the day loop, so each day's timing
+    // measures `advance`, not the initial full execution.
+    let t0 = std::time::Instant::now();
+    if let Err(e) = prepared.rolled() {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1);
+    }
+    let bootstrap_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("# longitudinal: day-0 bootstrap in {bootstrap_ms:.1} ms");
+
+    struct DayRow {
+        date: Date,
+        scan_records: u64,
+        certificates: u64,
+        pdns_rows: u64,
+        discovered_ips: usize,
+        incremental_ms: f64,
+        full_ms: f64,
+    }
+    let mut rows: Vec<DayRow> = Vec::with_capacity(opts.days);
+    for day in 1..=opts.days {
+        let delta = prepared.next_delta();
+        // Churn is counted against the pristine database: every row the
+        // widened window newly reveals, degraded or not downstream.
+        let churn = delta.summary(&prepared.world.passive_dns);
+        let date = Date::from_epoch_days((delta.to_end.unix() / 86_400) as i64 - 1);
+
+        let t = std::time::Instant::now();
+        let rolled_dump = match prepared.advance(&delta) {
+            Ok(artifacts) => artifacts.canonical_dump(),
+            Err(e) => {
+                eprintln!("# longitudinal: day {day}: advance failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let incremental_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // `advance` extends the pristine corpus in lockstep, so a plain
+        // execute IS the from-scratch run over the merged corpus.
+        let t = std::time::Instant::now();
+        let oracle = match prepared.execute() {
+            Ok(artifacts) => artifacts,
+            Err(e) => {
+                eprintln!("# longitudinal: day {day}: from-scratch re-run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let full_ms = t.elapsed().as_secs_f64() * 1e3;
+        if oracle.canonical_dump() != rolled_dump {
+            eprintln!(
+                "# longitudinal: day {day} ({date}): rolled artifacts DIVERGE from the \
+                 from-scratch re-run over the merged corpus"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# longitudinal: day {day}/{} ({date}): incremental {incremental_ms:.1} ms, \
+             full re-run {full_ms:.1} ms, byte-identical",
+            opts.days
+        );
+        rows.push(DayRow {
+            date,
+            scan_records: churn.scan_records,
+            certificates: churn.certificates,
+            pdns_rows: churn.pdns_rows_revealed,
+            discovered_ips: oracle.discovery.all_ips().len(),
+            incremental_ms,
+            full_ms,
+        });
+    }
+
+    let incremental_total_ms: f64 = rows.iter().map(|r| r.incremental_ms).sum();
+    let full_total_ms: f64 = rows.iter().map(|r| r.full_ms).sum();
+    let ratio = incremental_total_ms / full_total_ms;
+
+    println!(
+        "longitudinal (preset {}, seed {}, threads {}, faults {}, {} days)",
+        opts.preset, config.seed, opts.threads, opts.faults, opts.days
+    );
+    println!("  day-0 bootstrap      : {bootstrap_ms:9.1} ms");
+    println!(
+        "  {:<5} {:<12} {:>8} {:>7} {:>10} {:>8} {:>12} {:>10} {:>7}",
+        "day", "date", "records", "certs", "pdns-rows", "ips", "incr-ms", "full-ms", "ratio"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "  {:<5} {:<12} {:>8} {:>7} {:>10} {:>8} {:>12.1} {:>10.1} {:>6.1}%",
+            i + 1,
+            r.date.to_string(),
+            r.scan_records,
+            r.certificates,
+            r.pdns_rows,
+            r.discovered_ips,
+            r.incremental_ms,
+            r.full_ms,
+            r.incremental_ms / r.full_ms * 100.0,
+        );
+    }
+    println!(
+        "  total                : incremental {incremental_total_ms:.1} ms vs full re-runs \
+         {full_total_ms:.1} ms ({:.1}%)",
+        ratio * 100.0
+    );
+    println!(
+        "  byte-identity        : all {} days identical to from-scratch",
+        opts.days
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"iotmap-bench/longitudinal-v1\",\n");
+    json.push_str(&format!("  \"preset\": \"{}\",\n", opts.preset));
+    json.push_str(&format!("  \"seed\": {},\n", config.seed));
+    json.push_str(&format!("  \"threads\": {},\n", opts.threads));
+    json.push_str(&format!("  \"faults\": \"{}\",\n", opts.faults));
+    json.push_str(&format!("  \"days\": {},\n", opts.days));
+    json.push_str(&format!("  \"bootstrap_ms\": {bootstrap_ms:.1},\n"));
+    json.push_str("  \"per_day\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"day\": {}, \"date\": \"{}\", \"scan_records\": {}, \
+             \"certificates\": {}, \"pdns_rows_revealed\": {}, \"discovered_ips\": {}, \
+             \"incremental_ms\": {:.3}, \"full_ms\": {:.3}, \"ratio\": {:.4}}}{comma}\n",
+            i + 1,
+            r.date,
+            r.scan_records,
+            r.certificates,
+            r.pdns_rows,
+            r.discovered_ips,
+            r.incremental_ms,
+            r.full_ms,
+            r.incremental_ms / r.full_ms,
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"incremental_total_ms\": {incremental_total_ms:.3},\n"
+    ));
+    json.push_str(&format!("  \"full_total_ms\": {full_total_ms:.3},\n"));
+    json.push_str(&format!("  \"ratio\": {ratio:.4}\n"));
+    json.push_str("}\n");
+
+    let path = match &opts.out_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("# failed to create {dir}: {e}");
+                std::process::exit(1);
+            }
+            std::path::Path::new(dir).join("BENCH_longitudinal.json")
+        }
+        None => std::path::PathBuf::from("BENCH_longitudinal.json"),
+    };
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("# failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {}", path.display());
+
+    // Perf history: same file as bench, tagged so the two modes only ever
+    // compare against their own entries.
+    let history_path = opts
+        .history
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| match &opts.out_dir {
+            Some(dir) => std::path::Path::new(dir).join("BENCH_history.jsonl"),
+            None => std::path::PathBuf::from("BENCH_history.jsonl"),
+        });
+    let previous = std::fs::read_to_string(&history_path).unwrap_or_default();
+    let comparable = previous.lines().rev().find(|line| {
+        json_str(line, "experiment").as_deref() == Some("longitudinal")
+            && json_str(line, "preset").as_deref() == Some(opts.preset.as_str())
+            && json_f64(line, "seed") == Some(config.seed as f64)
+            && json_f64(line, "threads") == Some(opts.threads as f64)
+            && json_str(line, "faults").as_deref() == Some(opts.faults.as_str())
+            && json_f64(line, "days") == Some(opts.days as f64)
+    });
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"schema\":\"iotmap-bench/history-v1\",\"experiment\":\"longitudinal\",\
+         \"unix_time\":{unix_time},\"git\":\"{}\",\"preset\":\"{}\",\"seed\":{},\
+         \"threads\":{},\"faults\":\"{}\",\"days\":{},\"bootstrap_ms\":{bootstrap_ms:.1},\
+         \"incremental_ms\":{incremental_total_ms:.3},\"full_ms\":{full_total_ms:.3},\
+         \"ratio\":{ratio:.4}}}\n",
+        git_rev(),
+        opts.preset,
+        config.seed,
+        opts.threads,
+        opts.faults,
+        opts.days,
+    );
+    let appended = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&history_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match appended {
+        Ok(()) => eprintln!("# appended history to {}", history_path.display()),
+        Err(e) => {
+            eprintln!("# failed to append {}: {e}", history_path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if opts.gate {
+        // The tentpole's cost contract: rolling a day forward must cost
+        // less than a quarter of re-running the merged corpus.
+        if ratio >= 0.25 {
+            eprintln!(
+                "# longitudinal: gate FAILED — mean incremental cost is {:.1}% of a full \
+                 re-run (must stay below 25%)",
+                ratio * 100.0
+            );
+            std::process::exit(1);
+        }
+        match comparable {
+            None => println!(
+                "  history gate         : no comparable entry in {} — pass",
+                history_path.display()
+            ),
+            Some(prev) => {
+                let prev_git = json_str(prev, "git").unwrap_or_else(|| "?".to_string());
+                let prev_ms = json_f64(prev, "incremental_ms").unwrap_or(f64::INFINITY);
+                if incremental_total_ms > prev_ms * 1.25 {
+                    eprintln!(
+                        "# longitudinal: REGRESSION — incremental total {incremental_total_ms:.1} \
+                         ms vs {prev_ms:.1} ms ({:+.0}%) at git {prev_git}",
+                        (incremental_total_ms / prev_ms - 1.0) * 100.0
+                    );
+                    std::process::exit(1);
+                }
+                println!("  history gate         : ok (vs entry at git {prev_git})");
+            }
+        }
+        println!(
+            "  cost gate            : ok ({:.1}% of a full re-run, floor 25%)",
+            ratio * 100.0
+        );
+    }
 }

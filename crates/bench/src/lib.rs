@@ -142,6 +142,9 @@ pub struct CliOptions {
     /// For `profile`: skip the traffic passes so the invocation stays
     /// fast enough for `scripts/check.sh` (`--smoke`).
     pub smoke: bool,
+    /// For `longitudinal`: how many days to roll the run forward
+    /// (`--days N`, default 7).
+    pub days: usize,
     /// Perf-history file override (`--history FILE`); defaults to
     /// `BENCH_history.jsonl` under `--out` (or the working directory).
     pub history: Option<String>,
@@ -181,7 +184,11 @@ impl CliOptions {
         let mut gate = false;
         let mut top = 15usize;
         let mut smoke = false;
+        let mut days = 7usize;
         let mut history = None;
+        // Mode-specific flags actually given, for the post-parse check
+        // that they match the selected experiment.
+        let mut mode_flags: Vec<&'static str> = Vec::new();
         let mut threads = std::env::var("IOTMAP_THREADS")
             .ok()
             .and_then(|v| v.trim().parse().ok())
@@ -220,6 +227,7 @@ impl CliOptions {
                 }
                 "--gate" => {
                     gate = true;
+                    mode_flags.push("--gate");
                 }
                 "--top" => {
                     top = it
@@ -227,12 +235,26 @@ impl CliOptions {
                         .ok_or("--top needs a value")?
                         .parse()
                         .map_err(|e| format!("bad top count: {e}"))?;
+                    mode_flags.push("--top");
                 }
                 "--smoke" => {
                     smoke = true;
+                    mode_flags.push("--smoke");
+                }
+                "--days" => {
+                    days = it
+                        .next()
+                        .ok_or("--days needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad day count: {e}"))?;
+                    if days == 0 {
+                        return Err("--days must be at least 1".to_string());
+                    }
+                    mode_flags.push("--days");
                 }
                 "--history" => {
                     history = Some(it.next().ok_or("--history needs a file path")?);
+                    mode_flags.push("--history");
                 }
                 "--threads" => {
                     threads = it
@@ -246,6 +268,7 @@ impl CliOptions {
                 }
                 "--baseline" => {
                     baseline = Some(it.next().ok_or("--baseline needs a file path")?);
+                    mode_flags.push("--baseline");
                 }
                 "--checkpoints" => {
                     checkpoints = Some(it.next().ok_or("--checkpoints needs a directory")?);
@@ -263,10 +286,30 @@ impl CliOptions {
                 other => return Err(format!("unknown argument {other:?}\n{}", usage())),
             }
         }
+        let experiment = experiment.ok_or_else(usage)?;
+        // Mode-specific flags are rejected — not silently ignored — when
+        // the selected experiment cannot honour them.
+        for flag in mode_flags {
+            let allowed: &[&str] = match flag {
+                "--gate" | "--history" => &["bench", "longitudinal"],
+                "--baseline" => &["bench"],
+                "--top" | "--smoke" => &["profile"],
+                "--days" => &["longitudinal"],
+                _ => unreachable!("unlisted mode flag {flag}"),
+            };
+            if !allowed.contains(&experiment.as_str()) {
+                return Err(format!(
+                    "{flag} is only valid for the {} experiment{}, not {experiment:?}\n{}",
+                    allowed.join("/"),
+                    if allowed.len() > 1 { "s" } else { "" },
+                    usage()
+                ));
+            }
+        }
         Ok(CliOptions {
             seed,
             preset,
-            experiment: experiment.ok_or_else(usage)?,
+            experiment,
             out_dir,
             trace,
             metrics,
@@ -274,6 +317,7 @@ impl CliOptions {
             gate,
             top,
             smoke,
+            days,
             history,
             threads,
             faults,
@@ -316,11 +360,11 @@ fn usage() -> String {
      \x20          [--trace] [--metrics FILE] [--trace-out FILE] [--threads N]\n\
      \x20          [--faults none|light|heavy|FILE] [--baseline BENCH_pipeline.json]\n\
      \x20          [--checkpoints DIR] [--resume DIR] [--cache DIR] [--history FILE]\n\
-     \x20          [--gate] [--top N] [--smoke]\n\
+     \x20          [--gate] [--top N] [--smoke] [--days N]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist robustness \
-     bench crash-recovery profile"
+     bench crash-recovery profile longitudinal"
         .to_string()
 }
 
@@ -385,9 +429,6 @@ mod tests {
                 "--trace-out",
                 "t.json",
                 "--gate",
-                "--top",
-                "5",
-                "--smoke",
                 "--history",
                 "h.jsonl",
             ]
@@ -397,16 +438,86 @@ mod tests {
         .unwrap();
         assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
         assert!(opts.gate);
-        assert_eq!(opts.top, 5);
-        assert!(opts.smoke);
         assert_eq!(opts.history.as_deref(), Some("h.jsonl"));
 
+        let opts = CliOptions::parse(
+            ["exp", "profile", "--top", "5", "--smoke"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.top, 5);
+        assert!(opts.smoke);
+
         assert!(CliOptions::parse(
-            ["exp", "bench", "--top", "many"]
+            ["exp", "profile", "--top", "many"]
                 .iter()
                 .map(|s| s.to_string())
         )
         .is_err());
+    }
+
+    #[test]
+    fn cli_longitudinal_flags() {
+        let opts =
+            CliOptions::parse(["exp", "longitudinal"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(opts.days, 7);
+
+        let opts = CliOptions::parse(
+            ["exp", "longitudinal", "--days", "3", "--gate"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.days, 3);
+        assert!(opts.gate);
+
+        assert!(CliOptions::parse(
+            ["exp", "longitudinal", "--days", "0"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
+        assert!(CliOptions::parse(
+            ["exp", "longitudinal", "--days", "soon"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cli_rejects_mode_flags_on_other_experiments() {
+        // A mode-specific flag handed to an experiment that cannot honour
+        // it must be an error, not a silent no-op.
+        let cases: &[&[&str]] = &[
+            &["exp", "table1", "--days", "7"],
+            &["exp", "bench", "--days", "7"],
+            &["exp", "bench", "--top", "5"],
+            &["exp", "bench", "--smoke"],
+            &["exp", "table1", "--gate"],
+            &["exp", "profile", "--gate"],
+            &["exp", "profile", "--baseline", "b.json"],
+            &["exp", "longitudinal", "--baseline", "b.json"],
+            &["exp", "table1", "--history", "h.jsonl"],
+        ];
+        for case in cases {
+            let err = CliOptions::parse(case.iter().map(|s| s.to_string()))
+                .err()
+                .unwrap_or_else(|| panic!("{case:?} must be rejected"));
+            assert!(
+                err.contains(case[2]),
+                "{case:?}: error must name the offending flag, got: {err}"
+            );
+        }
+
+        // The universal flags stay universal.
+        assert!(CliOptions::parse(
+            ["exp", "table1", "--trace-out", "t.json", "--threads", "2"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_ok());
     }
 
     #[test]

@@ -28,6 +28,12 @@ fn usage_errors_exit_2() {
 
     let out = exp().args(["table1", "--preset", "huge"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+
+    // Mode flags are validated against the experiment they belong to:
+    // `--days` is longitudinal-only, and the message must name the flag.
+    let out = exp().args(["table1", "--days", "7"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--days"));
 }
 
 #[test]

@@ -119,6 +119,15 @@ impl SourceSet {
 }
 
 /// Evidence accumulated for one discovered IP.
+///
+/// Every field is a **join-semilattice**: accumulation is commutative,
+/// associative, and idempotent (`sources`/`days` are set unions,
+/// `matched_names` keeps the lexicographically smallest
+/// [`MAX_MATCHED_NAMES`] names, the two options keep their smallest
+/// `Some`). That is what lets sharded partials merge in any grouping,
+/// lets the incremental engine re-apply a record's evidence without
+/// drift, and makes a rolled-forward run byte-identical to a
+/// from-scratch one.
 #[derive(Debug, Clone, Default)]
 pub struct IpEvidence {
     pub sources: SourceSet,
@@ -135,79 +144,121 @@ pub struct IpEvidence {
 const MAX_MATCHED_NAMES: usize = 12;
 
 impl IpEvidence {
-    fn note_name(&mut self, name: &str) {
-        if self.matched_names.len() < MAX_MATCHED_NAMES {
-            self.matched_names.insert(name.to_string());
+    pub(crate) fn note_name(&mut self, name: &str) {
+        note_smallest(&mut self.matched_names, name);
+    }
+
+    pub(crate) fn note_hint(&mut self, hint: Option<String>) {
+        join_hint(&mut self.domain_hint, hint);
+    }
+
+    pub(crate) fn note_location(&mut self, location: Option<Location>) {
+        join_location(&mut self.censys_location, location);
+    }
+}
+
+/// Keep the [`MAX_MATCHED_NAMES`] lexicographically smallest distinct
+/// names: insert, then evict the largest when over the cap. The cap is
+/// lossless under joins — the smallest `cap` of a union depend only on
+/// the smallest `cap` of each side.
+fn note_smallest(names: &mut BTreeSet<String>, name: &str) {
+    if names.len() >= MAX_MATCHED_NAMES {
+        match names.last() {
+            Some(max) if name < max.as_str() => {}
+            _ => return,
+        }
+    }
+    names.insert(name.to_string());
+    if names.len() > MAX_MATCHED_NAMES {
+        names.pop_last();
+    }
+}
+
+/// Join for the hint slot: the smallest `Some` ever offered.
+fn join_hint(slot: &mut Option<String>, candidate: Option<String>) {
+    if let Some(c) = candidate {
+        match slot {
+            Some(cur) if *cur <= c => {}
+            _ => *slot = Some(c),
         }
     }
 }
 
-/// Evidence for one IP accumulated by one shard of a single-pass harvest.
-///
-/// [`IpEvidence`] has two order-sensitive pieces that a shard-and-merge
-/// scheme must replay faithfully: `matched_names` keeps the *first*
-/// [`MAX_MATCHED_NAMES`] distinct names in encounter order, and the two
-/// options keep their first `Some`. So the partial stores names as an
-/// ordered deduplicated list and options as first-`Some`; merging
-/// partials **in shard order** and applying onto the shared evidence then
-/// reproduces the serial fan-out byte-for-byte at any thread count.
-///
-/// Capping the partial's list at [`MAX_MATCHED_NAMES`] is lossless: when
-/// applying onto an evidence set that already holds `k ≤ cap` names,
-/// at most `cap − k` list entries are inserted and at most `k` collide,
-/// so the first `cap` distinct names are always enough.
+/// A total order over locations (floats via `total_cmp`), so the
+/// location slot has a deterministic min-join.
+fn location_cmp(a: &Location, b: &Location) -> std::cmp::Ordering {
+    a.city
+        .cmp(&b.city)
+        .then_with(|| a.country.as_str().cmp(b.country.as_str()))
+        .then_with(|| a.continent.cmp(&b.continent))
+        .then_with(|| a.lat.total_cmp(&b.lat))
+        .then_with(|| a.lon.total_cmp(&b.lon))
+}
+
+/// Join for the location slot: the smallest `Some` under [`location_cmp`].
+fn join_location(slot: &mut Option<Location>, candidate: Option<Location>) {
+    if let Some(c) = candidate {
+        match slot {
+            Some(cur) if location_cmp(cur, &c) != std::cmp::Ordering::Greater => {}
+            _ => *slot = Some(c),
+        }
+    }
+}
+
+/// Evidence for one IP accumulated by one shard of a single-pass harvest
+/// — the same semilattice as [`IpEvidence`] minus the source bit, so
+/// merging partials (in any grouping) and applying them onto the shared
+/// evidence reproduces the serial fan-out byte-for-byte at any thread
+/// count.
 #[derive(Debug, Clone, Default)]
 struct PartialEvidence {
     days: BTreeSet<i64>,
     domain_hint: Option<String>,
     censys_location: Option<Location>,
-    matched_names: Vec<String>,
+    matched_names: BTreeSet<String>,
 }
 
 impl PartialEvidence {
     fn note_name(&mut self, name: &str) {
-        if self.matched_names.len() < MAX_MATCHED_NAMES
-            && !self.matched_names.iter().any(|n| n == name)
-        {
-            self.matched_names.push(name.to_string());
-        }
+        note_smallest(&mut self.matched_names, name);
     }
 
-    /// Fold `later`'s evidence in; `later` came from a later shard, so
-    /// `self`'s names and options take precedence.
-    fn merge(&mut self, later: PartialEvidence) {
-        self.days.extend(later.days);
-        if self.domain_hint.is_none() {
-            self.domain_hint = later.domain_hint;
-        }
-        if self.censys_location.is_none() {
-            self.censys_location = later.censys_location;
-        }
-        for name in later.matched_names {
+    fn note_hint(&mut self, hint: Option<String>) {
+        join_hint(&mut self.domain_hint, hint);
+    }
+
+    fn note_location(&mut self, location: Option<Location>) {
+        join_location(&mut self.censys_location, location);
+    }
+
+    /// Fold another shard's evidence in (a lattice join, so the shard
+    /// grouping cannot matter).
+    fn merge(&mut self, other: PartialEvidence) {
+        self.days.extend(other.days);
+        join_hint(&mut self.domain_hint, other.domain_hint);
+        join_location(&mut self.censys_location, other.censys_location);
+        for name in other.matched_names {
             if self.matched_names.len() >= MAX_MATCHED_NAMES {
-                break;
+                match self.matched_names.last() {
+                    Some(max) if name < *max => {}
+                    _ => continue,
+                }
             }
-            if !self.matched_names.contains(&name) {
-                self.matched_names.push(name);
+            self.matched_names.insert(name);
+            if self.matched_names.len() > MAX_MATCHED_NAMES {
+                self.matched_names.pop_last();
             }
         }
     }
 
-    /// Replay onto the shared per-provider evidence, exactly as the
-    /// serial per-record loop would have.
+    /// Join onto the shared per-provider evidence.
     fn apply(self, source: Source, entry: &mut IpEvidence) {
         entry.sources.insert(source);
         entry.days.extend(self.days);
-        if entry.domain_hint.is_none() {
-            entry.domain_hint = self.domain_hint;
-        }
-        if entry.censys_location.is_none() {
-            entry.censys_location = self.censys_location;
-        }
+        join_hint(&mut entry.domain_hint, self.domain_hint);
+        join_location(&mut entry.censys_location, self.censys_location);
         for name in self.matched_names {
-            if entry.matched_names.len() < MAX_MATCHED_NAMES {
-                entry.matched_names.insert(name);
-            }
+            note_smallest(&mut entry.matched_names, &name);
         }
     }
 }
@@ -256,7 +307,7 @@ impl PdnsPartial {
 }
 
 /// Everything discovered for one provider.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ProviderDiscovery {
     pub name: String,
     pub ips: HashMap<IpAddr, IpEvidence>,
@@ -314,9 +365,9 @@ impl ProviderDiscovery {
 }
 
 /// Pipeline output: all providers.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DiscoveryResult {
-    providers: Vec<ProviderDiscovery>,
+    pub(crate) providers: Vec<ProviderDiscovery>,
 }
 
 impl DiscoveryResult {
@@ -414,6 +465,24 @@ impl DiscoveryPipeline {
         &self.registry
     }
 
+    /// Run this pipeline's resolution campaign (with its fault plan) over
+    /// an explicit seed set — the incremental engine replays campaigns for
+    /// delta periods and freshly matched owners.
+    pub(crate) fn run_campaign(
+        &self,
+        zones: &iotmap_dns::ZoneDb,
+        domains: &[DomainName],
+        period: &StudyPeriod,
+    ) -> iotmap_dns::CampaignResult {
+        self.campaign.run_with_faults(
+            zones,
+            domains,
+            period,
+            self.fault_seed,
+            &self.active_dns_faults,
+        )
+    }
+
     fn empty_result(&self) -> DiscoveryResult {
         DiscoveryResult {
             providers: self
@@ -492,14 +561,25 @@ impl DiscoveryPipeline {
         period: StudyPeriod,
         result: &mut DiscoveryResult,
     ) {
+        self.harvest_certificate_snapshots(sources.censys, period, result);
+    }
+
+    /// The certificate harvest over an explicit snapshot slice — the
+    /// incremental engine feeds it just the day's fresh snapshots, since
+    /// evidence joins make the per-snapshot contributions independent.
+    pub(crate) fn harvest_certificate_snapshots(
+        &self,
+        snapshots: &[iotmap_scan::CensysSnapshot],
+        period: StudyPeriod,
+        result: &mut DiscoveryResult,
+    ) {
         let _span = iotmap_obs::span!("discovery.certificates");
         let providers = self.registry.providers();
         let engine = MatchEngine::sans(&self.registry);
         // One flattened row list over the in-period snapshots, in source
         // order — the same per-provider event sequence as the fan-out's
         // snapshot walk.
-        let rows: Vec<(i64, &CensysRecord)> = sources
-            .censys
+        let rows: Vec<(i64, &CensysRecord)> = snapshots
             .iter()
             .filter(|s| period.contains(s.date.midnight()))
             .flat_map(|s| {
@@ -548,15 +628,11 @@ impl DiscoveryPipeline {
                     let patterns = &providers[p];
                     let pe = acc[p].entry(record.ip).or_default();
                     pe.days.insert(day);
-                    if pe.censys_location.is_none() {
-                        pe.censys_location = record.location.clone();
-                    }
+                    pe.note_location(record.location.clone());
                     let mut name_buf = String::new();
                     record.certificate.for_each_name(&mut name_buf, |name| {
                         if patterns.matches_san(name) {
-                            if pe.domain_hint.is_none() {
-                                pe.domain_hint = patterns.region_hint.extract(name);
-                            }
+                            pe.note_hint(patterns.region_hint.extract(name));
                             pe.note_name(name);
                         }
                     });
@@ -627,9 +703,7 @@ impl DiscoveryPipeline {
                     let mut name_buf = String::new();
                     record.certificate.for_each_name(&mut name_buf, |name| {
                         if patterns.matches_san(name) {
-                            if pe.domain_hint.is_none() {
-                                pe.domain_hint = patterns.region_hint.extract(name);
-                            }
+                            pe.note_hint(patterns.region_hint.extract(name));
                             pe.note_name(name);
                         }
                     });
@@ -713,10 +787,9 @@ impl DiscoveryPipeline {
                                 for d in first..=last {
                                     pe.days.insert(d);
                                 }
-                                if pe.domain_hint.is_none() {
-                                    pe.domain_hint =
-                                        providers[p].region_hint.extract(entry.owner.as_str());
-                                }
+                                pe.note_hint(
+                                    providers[p].region_hint.extract(entry.owner.as_str()),
+                                );
                                 pe.note_name(entry.owner.as_str());
                             }
                         }
@@ -819,9 +892,7 @@ impl DiscoveryPipeline {
                 let entry = prov.ips.entry(obs.ip).or_default();
                 entry.sources.insert(Source::ActiveDns);
                 entry.days.insert(obs.day);
-                if entry.domain_hint.is_none() {
-                    entry.domain_hint = patterns.region_hint.extract(obs.domain.as_str());
-                }
+                entry.note_hint(patterns.region_hint.extract(obs.domain.as_str()));
                 entry.note_name(obs.domain.as_str());
             }
             prov.domains = seeds;
@@ -856,14 +927,10 @@ impl DiscoveryPipeline {
                     let entry = prov.ips.entry(record.ip).or_default();
                     entry.sources.insert(Source::Certificate);
                     entry.days.insert(day);
-                    if entry.censys_location.is_none() {
-                        entry.censys_location = record.location.clone();
-                    }
+                    entry.note_location(record.location.clone());
                     for name in record.certificate.all_names() {
                         if patterns.matches_san(&name) {
-                            if entry.domain_hint.is_none() {
-                                entry.domain_hint = patterns.region_hint.extract(&name);
-                            }
+                            entry.note_hint(patterns.region_hint.extract(&name));
                             entry.note_name(&name);
                         }
                     }
@@ -893,9 +960,7 @@ impl DiscoveryPipeline {
                 entry.days.insert(first_day);
                 for name in record.certificate.all_names() {
                     if patterns.matches_san(&name) {
-                        if entry.domain_hint.is_none() {
-                            entry.domain_hint = patterns.region_hint.extract(&name);
-                        }
+                        entry.note_hint(patterns.region_hint.extract(&name));
                         entry.note_name(&name);
                     }
                 }
@@ -977,7 +1042,7 @@ impl DiscoveryPipeline {
         flush_provider_matches(Source::PassiveDns, result, &matches);
     }
 
-    fn note_pdns_ip(
+    pub(crate) fn note_pdns_ip(
         provider: &mut ProviderDiscovery,
         patterns: &crate::patterns::ProviderPatterns,
         ip: IpAddr,
@@ -990,9 +1055,7 @@ impl DiscoveryPipeline {
         for d in first_day..=last_day {
             entry.days.insert(d);
         }
-        if entry.domain_hint.is_none() {
-            entry.domain_hint = patterns.region_hint.extract(owner.as_str());
-        }
+        entry.note_hint(patterns.region_hint.extract(owner.as_str()));
         entry.note_name(owner.as_str());
     }
 
@@ -1031,9 +1094,7 @@ impl DiscoveryPipeline {
                 let entry = prov.ips.entry(obs.ip).or_default();
                 entry.sources.insert(Source::ActiveDns);
                 entry.days.insert(obs.day);
-                if entry.domain_hint.is_none() {
-                    entry.domain_hint = patterns.region_hint.extract(obs.domain.as_str());
-                }
+                entry.note_hint(patterns.region_hint.extract(obs.domain.as_str()));
                 entry.note_name(obs.domain.as_str());
             }
             prov.domains = seeds;
@@ -1045,7 +1106,7 @@ impl DiscoveryPipeline {
 
 /// Report per-provider pattern-match counts for one discovery channel
 /// (`discovery.<source>.matches.<provider>`), plus the channel total.
-fn flush_provider_matches(source: Source, result: &DiscoveryResult, matches: &[u64]) {
+pub(crate) fn flush_provider_matches(source: Source, result: &DiscoveryResult, matches: &[u64]) {
     if !iotmap_obs::enabled() {
         return;
     }
@@ -1062,7 +1123,7 @@ fn flush_provider_matches(source: Source, result: &DiscoveryResult, matches: &[u
 
 /// Report the per-source and total distinct-IP tallies once a discovery
 /// run has finished (`discovery.<source>.ips_discovered`).
-fn flush_discovery_totals(result: &DiscoveryResult) {
+pub(crate) fn flush_discovery_totals(result: &DiscoveryResult) {
     if !iotmap_obs::enabled() {
         return;
     }

@@ -26,6 +26,7 @@ pub mod characterize;
 pub mod discovery;
 pub mod disruptions;
 pub mod footprint;
+pub mod incremental;
 pub mod matcher;
 pub mod monitor;
 pub mod patterns;
@@ -40,6 +41,7 @@ pub use discovery::{
     DiscoveryPipeline, DiscoveryResult, IpEvidence, ProviderDiscovery, Source, SourceSet,
 };
 pub use footprint::{Footprint, FootprintInference, IpLocation};
+pub use incremental::IncrementalDiscovery;
 pub use matcher::{MatchEngine, MatchTable};
 pub use monitor::{Monitor, MonitoringWindow, TrendFinding, TrendKind};
 pub use patterns::{PatternRegistry, ProviderPatterns};

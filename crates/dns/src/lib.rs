@@ -24,7 +24,7 @@ pub mod record;
 pub mod resolver;
 pub mod zone;
 
-pub use active::{ActiveCampaign, ActiveObservation, VantagePoint};
+pub use active::{ActiveCampaign, ActiveObservation, CampaignResult, VantagePoint};
 pub use passive::{PassiveDnsDb, RrsetEntry};
 pub use rdns::PtrRegistry;
 pub use record::{RData, Record, RrType};

@@ -16,7 +16,7 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 /// One harvested certificate observation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CensysRecord {
     pub ip: IpAddr,
     pub port: PortProto,
@@ -27,7 +27,7 @@ pub struct CensysRecord {
 }
 
 /// One day's published scan results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CensysSnapshot {
     pub date: Date,
     pub records: Vec<CensysRecord>,

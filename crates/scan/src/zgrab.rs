@@ -15,7 +15,7 @@ use std::net::{IpAddr, Ipv6Addr};
 use std::sync::Arc;
 
 /// One grabbed banner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZgrabRecord {
     pub ip: Ipv6Addr,
     pub port: PortProto,

@@ -12,7 +12,7 @@ use iotmap_scan::hitlist::iot_probe_ports;
 use iotmap_scan::{CensysService, CensysSnapshot, Zgrab2Scanner, ZgrabRecord};
 
 /// Scan datasets covering one study period.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectedScans {
     /// One snapshot per study day.
     pub censys: Vec<CensysSnapshot>,

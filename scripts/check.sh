@@ -57,6 +57,18 @@ cargo run --release -q -p iotmap-bench --bin exp -- \
   profile --smoke --preset small --seed 42 --threads 4 \
   --trace-out "$tmp_bench/trace.json" >/dev/null
 test -s "$tmp_bench/trace.json" || { echo "trace.json missing or empty"; exit 1; }
+
+# The CI longitudinal-smoke gate, condensed: roll a prepared world three
+# days forward; every day is verified byte-identical against a full
+# from-scratch run before its timings count. No --gate — the 25% cost
+# floor is calibrated for realistic worlds, and fixed per-day overheads
+# dominate on the small preset. The full day/thread/fault matrix is
+# tests/incremental_equivalence.rs.
+echo "==> longitudinal smoke (exp longitudinal --preset small --days 3)"
+cargo run --release -q -p iotmap-bench --bin exp -- \
+  longitudinal --preset small --seed 42 --threads 1 --days 3 \
+  --out "$tmp_bench" >/dev/null
+test -s "$tmp_bench/BENCH_longitudinal.json" || { echo "BENCH_longitudinal.json missing or empty"; exit 1; }
 rm -rf "$tmp_bench"
 
 echo "OK"

@@ -55,6 +55,7 @@
 //! `EXPERIMENTS.md` for the experiment-by-experiment reproduction notes.
 
 pub use iotmap_core as core;
+pub use iotmap_delta as delta;
 pub use iotmap_dns as dns;
 pub use iotmap_dregex as dregex;
 pub use iotmap_faults as faults;
@@ -76,8 +77,10 @@ pub mod recover;
 use crate::cache::WorldCache;
 use iotmap_core::{
     DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, FootprintInference,
-    PatternRegistry, SharedIpClassifier,
+    IncrementalDiscovery, PatternRegistry, SharedIpClassifier,
 };
+use iotmap_delta::WorldDelta;
+use iotmap_dns::PassiveDnsDb;
 use iotmap_faults::FaultPlan;
 use iotmap_netflow::LineId;
 use iotmap_nettypes::{Error, StudyPeriod};
@@ -290,6 +293,7 @@ impl Pipeline {
             // recomputes instead of restoring.
             resume: supervisor.resume_trusted(),
             cache_dir: self.cache_dir,
+            rolled: None,
         })
     }
 
@@ -435,12 +439,7 @@ impl Pipeline {
                 move || match cache.and_then(WorldCache::load_footprints) {
                     Some(footprints) => footprints,
                     None => {
-                        let footprints = discovery
-                            .per_provider()
-                            .map(|(name, disc)| {
-                                (name.to_string(), FootprintInference::infer(disc, &sources))
-                            })
-                            .collect::<HashMap<String, Footprint>>();
+                        let footprints = Pipeline::derive_footprints(discovery, &sources);
                         if let Some(cache) = cache {
                             cache.save_footprints(&footprints);
                         }
@@ -450,7 +449,7 @@ impl Pipeline {
             )?
         };
         let shared_ips = {
-            let classifier = SharedIpClassifier::new(pipeline.registry());
+            let registry = pipeline.registry();
             let discovery = &discovery;
             let world = &world;
             sup.run_stage(
@@ -462,12 +461,12 @@ impl Pipeline {
                 move || match cache.and_then(WorldCache::load_shared_ips) {
                     Some(shared_ips) => shared_ips,
                     None => {
-                        let mut shared_ips = HashSet::new();
-                        for (_, disc) in discovery.per_provider() {
-                            let (_, shared) =
-                                classifier.split_provider(disc, &world.passive_dns, period);
-                            shared_ips.extend(shared.keys().copied());
-                        }
+                        let shared_ips = Pipeline::derive_shared_ips(
+                            registry,
+                            discovery,
+                            &world.passive_dns,
+                            period,
+                        );
                         if let Some(cache) = cache {
                             cache.save_shared_ips(&shared_ips);
                         }
@@ -493,6 +492,35 @@ impl Pipeline {
             faults: faults.clone(),
         })
     }
+
+    /// The footprint stage's body — shared between the supervised engine
+    /// run and the incremental roll-forward, so both derive the exact
+    /// same artifact from a given discovery result.
+    fn derive_footprints(
+        discovery: &DiscoveryResult,
+        sources: &DataSources<'_>,
+    ) -> HashMap<String, Footprint> {
+        discovery
+            .per_provider()
+            .map(|(name, disc)| (name.to_string(), FootprintInference::infer(disc, sources)))
+            .collect()
+    }
+
+    /// The shared-IP stage's body — see [`Pipeline::derive_footprints`].
+    fn derive_shared_ips(
+        registry: &PatternRegistry,
+        discovery: &DiscoveryResult,
+        passive_dns: &PassiveDnsDb,
+        period: StudyPeriod,
+    ) -> HashSet<IpAddr> {
+        let classifier = SharedIpClassifier::new(registry);
+        let mut shared_ips = HashSet::new();
+        for (_, disc) in discovery.per_provider() {
+            let (_, shared) = classifier.split_provider(disc, passive_dns, period);
+            shared_ips.extend(shared.keys().copied());
+        }
+        shared_ips
+    }
 }
 
 /// A prepared run: the generated world and synthesized scan datasets,
@@ -515,6 +543,14 @@ impl Pipeline {
 ///
 /// The world here is **pristine**: passive-DNS degradation (a fault-plan
 /// effect) is applied by the engine, per execution, on a copy.
+///
+/// A prepared world is also the anchor of a **longitudinal run**:
+/// [`next_delta`](PreparedWorld::next_delta) generates the next day's
+/// [`WorldDelta`], and [`advance`](PreparedWorld::advance) rolls the
+/// tracked artifacts forward at per-day cost. The pristine corpus is
+/// extended in lockstep, so a plain [`execute`](PreparedWorld::execute)
+/// at any point is the from-scratch oracle the rolled artifacts must be
+/// byte-identical to.
 pub struct PreparedWorld {
     /// The generated world, passive DNS not yet degraded.
     pub world: World,
@@ -526,6 +562,23 @@ pub struct PreparedWorld {
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     cache_dir: Option<PathBuf>,
+    /// The incrementally rolled-forward run, once
+    /// [`advance`](PreparedWorld::advance) (or
+    /// [`rolled`](PreparedWorld::rolled)) has bootstrapped it.
+    rolled: Option<RolledRun>,
+}
+
+/// The artifacts an incremental run rolls forward, plus the match state
+/// (`IncrementalDiscovery`) that makes the next day O(churn).
+struct RolledRun {
+    artifacts: RunArtifacts,
+    tracker: IncrementalDiscovery,
+    /// Discovered IPs currently classified dedicated (the complement,
+    /// within the discovered set, of `artifacts.shared_ips`). Window
+    /// growth only ever adds inverse-lookup rows, so verdicts are
+    /// monotone — dedicated can flip to shared, never back — and a day
+    /// only needs to re-classify the IPs it touched.
+    dedicated: HashSet<IpAddr>,
 }
 
 impl PreparedWorld {
@@ -565,6 +618,7 @@ impl PreparedWorld {
             checkpoint_dir,
             resume,
             cache_dir,
+            rolled: _,
         } = self;
         Self::engine_inner(
             world,
@@ -599,6 +653,154 @@ impl PreparedWorld {
             self.resume,
             self.cache_dir.as_deref(),
         )
+    }
+
+    /// Generate the [`WorldDelta`] for the day after the rolled run's
+    /// current end (or after the prepared period, before any advance):
+    /// the same seeded sweep a from-scratch collection over the extended
+    /// period would perform, under the prepared fault plan.
+    pub fn next_delta(&self) -> WorldDelta {
+        let period = self
+            .rolled
+            .as_ref()
+            .map(|r| r.tracker.period())
+            .unwrap_or(self.world.config.study_period);
+        iotmap_par::with_threads(self.threads, || {
+            WorldDelta::next_day(&self.world, period, &self.faults)
+        })
+    }
+
+    /// The incrementally rolled-forward artifacts, bootstrapping them
+    /// from a fresh [`execute`](PreparedWorld::execute) on first use.
+    pub fn rolled(&mut self) -> Result<&RunArtifacts, Error> {
+        self.ensure_rolled()?;
+        Ok(&self.rolled.as_ref().expect("just bootstrapped").artifacts)
+    }
+
+    fn ensure_rolled(&mut self) -> Result<(), Error> {
+        if self.rolled.is_some() {
+            return Ok(());
+        }
+        let artifacts = self.execute()?;
+        let registry = PatternRegistry::try_paper_defaults()?;
+        let pipeline = DiscoveryPipeline::new(registry)
+            .faults(self.faults.seed, self.faults.active_dns.clone());
+        // The tracker captures the match state of the run it will extend,
+        // so it reads the *degraded* database inside the artifacts, not
+        // the pristine prepared one.
+        let tracker = IncrementalDiscovery::bootstrap(
+            &pipeline,
+            &artifacts.world.passive_dns,
+            artifacts.world.config.study_period,
+        );
+        let mut dedicated = HashSet::new();
+        for (_, disc) in artifacts.discovery.per_provider() {
+            for &ip in disc.ips.keys() {
+                if !artifacts.shared_ips.contains(&ip) {
+                    dedicated.insert(ip);
+                }
+            }
+        }
+        self.rolled = Some(RolledRun {
+            artifacts,
+            tracker,
+            dedicated,
+        });
+        Ok(())
+    }
+
+    /// Ingest one [`WorldDelta`]: roll the tracked artifacts forward so
+    /// they cover the extended period, at a cost proportional to the
+    /// day's churn rather than the corpus. The pristine prepared corpus
+    /// is extended in lockstep, so a later
+    /// [`execute`](PreparedWorld::execute) re-runs the whole merged
+    /// corpus from scratch — the byte-identity oracle
+    /// (`tests/incremental_equivalence.rs`) the rolled artifacts are
+    /// pinned against.
+    pub fn advance(&mut self, delta: &WorldDelta) -> Result<&RunArtifacts, Error> {
+        self.ensure_rolled()?;
+        let old_period = self
+            .rolled
+            .as_ref()
+            .expect("just bootstrapped")
+            .tracker
+            .period();
+        if delta.from_end != old_period.end {
+            return Err(Error::stage(
+                "advance",
+                format!(
+                    "delta does not extend the rolled run: delta starts at {}, run ends at {}",
+                    delta.from_end, old_period.end
+                ),
+            ));
+        }
+        let new_period = StudyPeriod::new(old_period.start, delta.to_end);
+
+        // Pristine corpus first (short borrows), then the rolled run.
+        self.scans.censys.extend(delta.snapshots.iter().cloned());
+        self.world.config.study_period = new_period;
+        let threads = self.threads;
+        let fault_seed = self.faults.seed;
+        let active_dns = self.faults.active_dns.clone();
+
+        let registry = PatternRegistry::try_paper_defaults()?;
+        let pipeline = DiscoveryPipeline::new(registry).faults(fault_seed, active_dns);
+        let rolled = self.rolled.as_mut().expect("just bootstrapped");
+        let RunArtifacts {
+            world,
+            scans,
+            discovery,
+            footprints,
+            shared_ips,
+            index,
+            ..
+        } = &mut rolled.artifacts;
+        scans.censys.extend(delta.snapshots.iter().cloned());
+        world.config.study_period = new_period;
+        let tracker = &mut rolled.tracker;
+        let dedicated = &mut rolled.dedicated;
+        iotmap_par::with_threads(threads, || {
+            let _span = iotmap_obs::span!("experiment.advance");
+            let sources = Pipeline::data_sources(world, scans);
+            let fresh_ips = tracker.advance(
+                &pipeline,
+                discovery,
+                &sources,
+                new_period,
+                delta.snapshots.len(),
+            );
+            // The footprint stage is a pure function of the discovery
+            // result and sources: recompute it with the same body the
+            // supervised engine runs.
+            *footprints = Pipeline::derive_footprints(discovery, &sources);
+            // Shared-IP classification is per-IP and monotone under
+            // window growth, so only the touched IPs need a verdict: the
+            // rdata IPs of newly revealed rows (their inverse lookup
+            // changed — a dedicated IP may have flipped) and the newly
+            // discovered IPs (never classified).
+            let classifier = SharedIpClassifier::new(pipeline.registry());
+            let pdns = &world.passive_dns;
+            for ip in fresh_ips {
+                if dedicated.contains(&ip) && classifier.classify(ip, pdns, new_period).is_shared()
+                {
+                    dedicated.remove(&ip);
+                    shared_ips.insert(ip);
+                }
+            }
+            for (_, disc) in discovery.per_provider() {
+                for &ip in disc.ips.keys() {
+                    if !dedicated.contains(&ip) && !shared_ips.contains(&ip) {
+                        if classifier.classify(ip, pdns, new_period).is_shared() {
+                            shared_ips.insert(ip);
+                        } else {
+                            dedicated.insert(ip);
+                        }
+                    }
+                }
+            }
+            *index = IpIndex::build(discovery, footprints, shared_ips);
+        });
+        Ok(&self.rolled.as_ref().expect("just bootstrapped").artifacts)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -734,6 +936,7 @@ pub mod prelude {
         DataSources, DiscoveryPipeline, DiscoveryResult, Footprint, PatternRegistry,
         ProviderDiscovery, Source,
     };
+    pub use iotmap_delta::WorldDelta;
     pub use iotmap_nettypes::{Date, DomainName, Error, SimRng, StudyPeriod};
     pub use iotmap_obs::{Recorder, Registry, RunReport};
     pub use iotmap_par::{set_threads, with_threads};

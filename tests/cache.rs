@@ -203,6 +203,93 @@ fn corrupted_entries_are_detected_and_regenerated() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A warm cache combined with the incremental engine: rolling a prepared
+/// world forward must never let a later run see day-N entries under
+/// day-N+1 fingerprints. Every cache key embeds the configuration —
+/// including the study period — so the extended-period run is simply
+/// cold, matches the rolled artifacts byte-for-byte, and both periods'
+/// entries coexist warm side by side afterwards.
+#[test]
+fn warm_cache_plus_advance_never_serves_stale_day_entries() {
+    let config = WorldConfig::small(42);
+    let dir = scratch("advance");
+    // The day-N cold run fills the cache.
+    let day_n = Pipeline::new(config.clone())
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+
+    // Roll one day forward off the same cache directory (the bootstrap
+    // may legitimately hit day-N entries — same period).
+    let mut prepared = Pipeline::new(config.clone())
+        .threads(1)
+        .cache(&dir)
+        .prepare()
+        .unwrap();
+    let delta = prepared.next_delta();
+    let rolled = prepared.advance(&delta).unwrap().canonical_dump();
+    assert_ne!(rolled, day_n, "a day must change the artifacts");
+
+    // A from-scratch run over the extended period against the same cache:
+    // day-N+1 fingerprints select different entries, so nothing stale may
+    // be served — the run is fully cold and lands on the rolled bytes.
+    let mut extended = config.clone();
+    extended.study_period = StudyPeriod::new(config.study_period.start, delta.to_end);
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let from_scratch = Pipeline::new(extended.clone())
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    iotmap_obs::uninstall();
+    assert_eq!(
+        from_scratch, rolled,
+        "rolled artifacts must match a from-scratch day-N+1 run"
+    );
+    let report = registry.report();
+    assert_eq!(
+        report.counters.get("cache.hit"),
+        None,
+        "day-N entries were served for day-N+1 fingerprints: {:?}",
+        report.counters
+    );
+    assert_eq!(report.counters.get("cache.miss"), Some(&5));
+
+    // Both periods' entries now coexist: day N+1 is warm …
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let warm = Pipeline::new(extended)
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    iotmap_obs::uninstall();
+    assert_eq!(warm, rolled);
+    assert_eq!(
+        registry.report().counters.get("cache.hit"),
+        Some(&5),
+        "day-N+1 entries must be warm on the second run"
+    );
+    // … and the day-N entries were not clobbered.
+    let registry = Rc::new(iotmap_obs::Registry::new());
+    iotmap_obs::install(registry.clone());
+    let day_n_again = Pipeline::new(config)
+        .threads(1)
+        .cache(&dir)
+        .run()
+        .unwrap()
+        .canonical_dump();
+    iotmap_obs::uninstall();
+    assert_eq!(day_n_again, day_n);
+    assert_eq!(registry.report().counters.get("cache.hit"), Some(&5));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The two-phase API: one `prepare` amortizes across repeated `execute`
 /// calls, composes to exactly what `run` produces, and `execute_with`
 /// really applies a different engine-side fault plan.

@@ -1,0 +1,101 @@
+//! Golden snapshot of a 7-day longitudinal roll: the footprint-growth
+//! table — per day, per provider, how many IPs the inferred footprint
+//! covers and how many distinct locations they span — is pinned
+//! byte-for-byte under a light fault plan.
+//!
+//! The rolled artifacts are byte-identical to from-scratch runs at every
+//! day (`tests/incremental_equivalence.rs`) and thread count
+//! (`tests/determinism.rs`), so this snapshot holds under the CI thread
+//! matrix. To regenerate after an intentional change to the world, the
+//! fault layer, or footprint inference:
+//!
+//! ```text
+//! IOTMAP_BLESS=1 cargo test -q --test golden_longitudinal
+//! ```
+
+use iotmap::faults::FaultPlan;
+use iotmap::prelude::*;
+use std::fmt::Write as _;
+
+const DAYS: usize = 7;
+
+fn emit_day(out: &mut String, day: usize, artifacts: &RunArtifacts) {
+    let period = artifacts.world.config.study_period;
+    writeln!(
+        out,
+        "day {day} end={} discovered={} shared={}",
+        period.end,
+        artifacts.discovery.all_ips().len(),
+        artifacts.shared_ips.len()
+    )
+    .unwrap();
+    let mut names: Vec<&String> = artifacts.footprints.keys().collect();
+    names.sort();
+    for name in names {
+        let fp = &artifacts.footprints[name];
+        writeln!(
+            out,
+            "  {name} ips={} unlocated={} locations={}",
+            fp.per_ip.len(),
+            fp.unlocated,
+            fp.location_count()
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn seven_day_longitudinal_footprint_growth_matches_golden() {
+    // The medium preset is the smallest world whose daily churn actually
+    // reveals new infrastructure — on `small` every revealed row lands on
+    // an already-discovered IP and the table would pin a flat line.
+    let mut prepared = Pipeline::new(WorldConfig::medium(42))
+        .faults(FaultPlan::light())
+        .threads(1)
+        .prepare()
+        .expect("prepare");
+
+    let mut got = String::from(
+        "# 7-day longitudinal footprint growth (seed 42, preset medium, faults light)\n",
+    );
+    emit_day(&mut got, 0, prepared.rolled().expect("bootstrap"));
+    for day in 1..=DAYS {
+        let delta = prepared.next_delta();
+        let artifacts = prepared.advance(&delta).expect("advance");
+        emit_day(&mut got, day, artifacts);
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/longitudinal_growth.txt");
+    if std::env::var_os("IOTMAP_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).expect("read golden snapshot");
+    assert_eq!(
+        got,
+        want,
+        "footprint-growth table diverged from {} — if the change is intentional, \
+         regenerate with IOTMAP_BLESS=1 cargo test -q --test golden_longitudinal",
+        path.display()
+    );
+
+    // Growth sanity independent of the snapshot: a widening window never
+    // shrinks the discovered set.
+    let lines: Vec<&str> = want.lines().filter(|l| l.starts_with("day ")).collect();
+    assert_eq!(lines.len(), DAYS + 1);
+    let discovered: Vec<u64> = lines
+        .iter()
+        .map(|l| {
+            l.split(' ')
+                .find_map(|f| f.strip_prefix("discovered="))
+                .expect("discovered= field")
+                .parse()
+                .expect("count")
+        })
+        .collect();
+    assert!(
+        discovered.windows(2).all(|w| w[0] <= w[1]),
+        "discovered IPs must grow monotonically: {discovered:?}"
+    );
+}

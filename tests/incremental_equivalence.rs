@@ -1,0 +1,68 @@
+//! The incremental engine's correctness oracle (the longitudinal
+//! tentpole's contract): rolling `RunArtifacts` forward day by day via
+//! `PreparedWorld::advance` must be **byte-identical** — by
+//! `canonical_dump()` — to a from-scratch run over the merged corpus, at
+//! every day, thread count, and fault plan.
+//!
+//! Matrix: faults {none, heavy} × rolled-run threads {1, 4} × 7 days.
+//! The from-scratch oracle dump for a given (faults, day) is computed
+//! once, from the single-threaded prepared world — from-scratch runs are
+//! already pinned byte-identical across thread counts by
+//! `tests/determinism.rs`, so re-deriving the oracle per thread count
+//! would only re-prove that.
+
+use iotmap::faults::FaultPlan;
+use iotmap::prelude::*;
+
+const DAYS: usize = 7;
+
+fn prepared(faults: &FaultPlan, threads: usize) -> PreparedWorld {
+    Pipeline::new(WorldConfig::small(42))
+        .faults(faults.clone())
+        .threads(threads)
+        .prepare()
+        .expect("prepare")
+}
+
+fn roll_against_oracle(faults: FaultPlan) {
+    let mut rolled_1 = prepared(&faults, 1);
+    let mut rolled_4 = prepared(&faults, 4);
+    for day in 1..=DAYS {
+        // Both prepared worlds hold byte-identical corpora, so one delta
+        // (generated off the first) extends both.
+        let delta = rolled_1.next_delta();
+        let dump_1 = rolled_1
+            .advance(&delta)
+            .expect("advance threads=1")
+            .canonical_dump();
+        let dump_4 = rolled_4
+            .advance(&delta)
+            .expect("advance threads=4")
+            .canonical_dump();
+        // From-scratch over the merged corpus: `advance` extends the
+        // pristine prepared corpus in lockstep, so a plain execute IS the
+        // oracle run.
+        let oracle = rolled_1
+            .execute()
+            .expect("from-scratch oracle")
+            .canonical_dump();
+        assert_eq!(
+            oracle, dump_1,
+            "day {day}: rolled artifacts (threads=1) diverge from from-scratch"
+        );
+        assert_eq!(
+            oracle, dump_4,
+            "day {day}: rolled artifacts (threads=4) diverge from from-scratch"
+        );
+    }
+}
+
+#[test]
+fn rolled_equals_from_scratch_no_faults() {
+    roll_against_oracle(FaultPlan::none());
+}
+
+#[test]
+fn rolled_equals_from_scratch_heavy_faults() {
+    roll_against_oracle(FaultPlan::heavy());
+}

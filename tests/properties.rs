@@ -281,6 +281,96 @@ fn match_engine_agrees_with_backtracking_oracle() {
     );
 }
 
+/// The delta algebra's inverse law: applying a day's [`WorldDelta`] to a
+/// corpus and then unapplying it restores the corpus and the period
+/// byte-for-byte — and both directions reject a misaligned or tampered
+/// corpus instead of corrupting it. Std-only and always on.
+#[test]
+fn delta_apply_then_unapply_is_identity() {
+    use iotmap::delta::DeltaError;
+
+    let prepared = Pipeline::new(WorldConfig::small(42))
+        .threads(1)
+        .prepare()
+        .expect("prepare");
+    let period = prepared.world.config.study_period;
+    let faults = FaultPlan::none();
+    let delta = WorldDelta::next_day(&prepared.world, period, &faults);
+    assert_eq!(delta.from_end, period.end);
+    assert!(!delta.snapshots.is_empty());
+
+    let mut scans = prepared.scans.clone();
+    let extended = delta.apply(&mut scans, period).expect("apply");
+    assert_eq!(extended.start, period.start);
+    assert_eq!(extended.end, delta.to_end);
+    assert_ne!(scans, prepared.scans, "apply must extend the corpus");
+
+    // Re-applying to the already-extended corpus is misaligned.
+    assert!(matches!(
+        delta.apply(&mut scans.clone(), extended),
+        Err(DeltaError::Misaligned { .. })
+    ));
+    // Unapplying a tampered tail must be refused, corpus untouched.
+    let mut tampered = scans.clone();
+    tampered
+        .censys
+        .last_mut()
+        .expect("one appended snapshot")
+        .records
+        .clear();
+    assert!(matches!(
+        delta.unapply(&mut tampered, extended),
+        Err(DeltaError::TailMismatch)
+    ));
+
+    let restored = delta.unapply(&mut scans, extended).expect("unapply");
+    assert_eq!(restored.start, period.start);
+    assert_eq!(restored.end, period.end);
+    assert_eq!(scans, prepared.scans, "unapply must restore the corpus");
+    // Unapplying again: the corpus no longer ends at `to_end`.
+    assert!(matches!(
+        delta.unapply(&mut scans, restored),
+        Err(DeltaError::Misaligned { .. })
+    ));
+}
+
+/// The delta algebra's composition law: chaining the per-day deltas of a
+/// span equals the merged delta generated over that span in one shot —
+/// under an active fault plan too, because sweep faults key on the
+/// absolute date. Std-only and always on.
+#[test]
+fn composing_day_deltas_equals_the_merged_span() {
+    use iotmap::delta::DeltaError;
+
+    let prepared = Pipeline::new(WorldConfig::small(42))
+        .threads(1)
+        .prepare()
+        .expect("prepare");
+    let period = prepared.world.config.study_period;
+    let faults = FaultPlan::light();
+
+    let d1 = WorldDelta::next_day(&prepared.world, period, &faults);
+    let p1 = StudyPeriod::new(period.start, d1.to_end);
+    let d2 = WorldDelta::next_day(&prepared.world, p1, &faults);
+    let p2 = StudyPeriod::new(period.start, d2.to_end);
+    let d3 = WorldDelta::next_day(&prepared.world, p2, &faults);
+
+    // Out-of-order composition is rejected.
+    assert!(matches!(
+        d2.clone().compose(d1.clone()),
+        Err(DeltaError::Misaligned { .. })
+    ));
+
+    let composed = d1
+        .compose(d2)
+        .expect("adjacent compose")
+        .compose(d3)
+        .expect("adjacent compose");
+    let merged = WorldDelta::span(&prepared.world, period, 3, &faults);
+    assert_eq!(composed, merged);
+    assert_eq!(merged.snapshots.len(), 3);
+}
+
 #[cfg(feature = "heavy-tests")]
 mod proptests {
     use iotmap::dregex::{backtrack::BacktrackRegex, Regex};
