@@ -145,6 +145,11 @@ pub struct CliOptions {
     /// For `longitudinal`: how many days to roll the run forward
     /// (`--days N`, default 7).
     pub days: usize,
+    /// For `bench`: population multiplier for the scaled phases
+    /// (`--scale N`, default 1). Drives the out-of-core corpus
+    /// replication and the replicated ISP run; `1` keeps the bench at
+    /// the world's native size.
+    pub scale: u64,
     /// Perf-history file override (`--history FILE`); defaults to
     /// `BENCH_history.jsonl` under `--out` (or the working directory).
     pub history: Option<String>,
@@ -185,6 +190,7 @@ impl CliOptions {
         let mut top = 15usize;
         let mut smoke = false;
         let mut days = 7usize;
+        let mut scale = 1u64;
         let mut history = None;
         // Mode-specific flags actually given, for the post-parse check
         // that they match the selected experiment.
@@ -252,6 +258,17 @@ impl CliOptions {
                     }
                     mode_flags.push("--days");
                 }
+                "--scale" => {
+                    scale = it
+                        .next()
+                        .ok_or("--scale needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad scale factor: {e}"))?;
+                    if scale == 0 {
+                        return Err("--scale must be at least 1".to_string());
+                    }
+                    mode_flags.push("--scale");
+                }
                 "--history" => {
                     history = Some(it.next().ok_or("--history needs a file path")?);
                     mode_flags.push("--history");
@@ -295,6 +312,7 @@ impl CliOptions {
                 "--baseline" => &["bench"],
                 "--top" | "--smoke" => &["profile"],
                 "--days" => &["longitudinal"],
+                "--scale" => &["bench"],
                 _ => unreachable!("unlisted mode flag {flag}"),
             };
             if !allowed.contains(&experiment.as_str()) {
@@ -318,6 +336,7 @@ impl CliOptions {
             top,
             smoke,
             days,
+            scale,
             history,
             threads,
             faults,
@@ -360,7 +379,7 @@ fn usage() -> String {
      \x20          [--trace] [--metrics FILE] [--trace-out FILE] [--threads N]\n\
      \x20          [--faults none|light|heavy|FILE] [--baseline BENCH_pipeline.json]\n\
      \x20          [--checkpoints DIR] [--resume DIR] [--cache DIR] [--history FILE]\n\
-     \x20          [--gate] [--top N] [--smoke] [--days N]\n\
+     \x20          [--gate] [--top N] [--smoke] [--days N] [--scale N]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist robustness \
@@ -487,6 +506,35 @@ mod tests {
     }
 
     #[test]
+    fn cli_scale_flag() {
+        let opts = CliOptions::parse(["exp", "bench"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(opts.scale, 1, "native size by default");
+
+        let opts = CliOptions::parse(
+            ["exp", "bench", "--scale", "16"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.scale, 16);
+
+        // Zero and non-numeric factors are rejected with a message that
+        // names the flag.
+        for bad in [
+            &["exp", "bench", "--scale", "0"][..],
+            &["exp", "bench", "--scale", "lots"][..],
+        ] {
+            let err = CliOptions::parse(bad.iter().map(|s| s.to_string()))
+                .err()
+                .unwrap_or_else(|| panic!("{bad:?} must be rejected"));
+            assert!(err.contains("scale"), "{bad:?}: got: {err}");
+        }
+        assert!(
+            CliOptions::parse(["exp", "bench", "--scale"].iter().map(|s| s.to_string())).is_err()
+        );
+    }
+
+    #[test]
     fn cli_rejects_mode_flags_on_other_experiments() {
         // A mode-specific flag handed to an experiment that cannot honour
         // it must be an error, not a silent no-op.
@@ -500,6 +548,9 @@ mod tests {
             &["exp", "profile", "--baseline", "b.json"],
             &["exp", "longitudinal", "--baseline", "b.json"],
             &["exp", "table1", "--history", "h.jsonl"],
+            &["exp", "table1", "--scale", "4"],
+            &["exp", "profile", "--scale", "4"],
+            &["exp", "longitudinal", "--scale", "4"],
         ];
         for case in cases {
             let err = CliOptions::parse(case.iter().map(|s| s.to_string()))

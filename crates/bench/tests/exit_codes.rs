@@ -34,6 +34,17 @@ fn usage_errors_exit_2() {
     let out = exp().args(["table1", "--days", "7"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--days"));
+
+    // `--scale` is bench-only, and the factor must be a positive integer.
+    let out = exp().args(["table1", "--scale", "4"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scale"));
+    let out = exp().args(["bench", "--scale", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scale"));
+    let out = exp().args(["bench", "--scale", "lots"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("scale"));
 }
 
 #[test]

@@ -161,7 +161,7 @@ impl IpEvidence {
 /// names: insert, then evict the largest when over the cap. The cap is
 /// lossless under joins — the smallest `cap` of a union depend only on
 /// the smallest `cap` of each side.
-fn note_smallest(names: &mut BTreeSet<String>, name: &str) {
+pub(crate) fn note_smallest(names: &mut BTreeSet<String>, name: &str) {
     if names.len() >= MAX_MATCHED_NAMES {
         match names.last() {
             Some(max) if name < max.as_str() => {}
@@ -175,7 +175,7 @@ fn note_smallest(names: &mut BTreeSet<String>, name: &str) {
 }
 
 /// Join for the hint slot: the smallest `Some` ever offered.
-fn join_hint(slot: &mut Option<String>, candidate: Option<String>) {
+pub(crate) fn join_hint(slot: &mut Option<String>, candidate: Option<String>) {
     if let Some(c) = candidate {
         match slot {
             Some(cur) if *cur <= c => {}
@@ -588,19 +588,26 @@ impl DiscoveryPipeline {
             })
             .collect();
         let index = iotmap_scan::censys::san_suffix_index(rows.iter().map(|&(_, r)| r), period);
+        // Records share certificates heavily (one gateway cert behind
+        // thousands of IPs, and scaled corpora replicate rows): verify and
+        // harvest each distinct cert once, then replay per record.
+        let certs = crate::certid::CertSet::dedupe(rows.iter().map(|&(_, r)| &r.certificate));
+        let mut verify_memo = crate::certid::CertVerifyMemo::new(certs.unique(), providers.len());
         let table = {
             let mut buf = String::new();
             engine.classify(
                 &index,
                 rows.len(),
                 |p, row| {
-                    let re = &providers[p].san_regex;
-                    rows[row as usize]
-                        .1
-                        .certificate
-                        .sans
-                        .iter()
-                        .any(|san| re.is_match(san.presentation_into(&mut buf)))
+                    verify_memo.check(p, certs.cert_of_row(row as usize), || {
+                        let re = &providers[p].san_regex;
+                        rows[row as usize]
+                            .1
+                            .certificate
+                            .sans
+                            .iter()
+                            .any(|san| re.is_match(san.presentation_into(&mut buf)))
+                    })
                 },
                 |row, emit| {
                     let (_, record) = rows[row as usize];
@@ -612,6 +619,7 @@ impl DiscoveryPipeline {
             )
         };
         let matches = table.matched_per_provider();
+        let memos = crate::certid::evidence_memos(&certs, &table, providers);
         let partials = iotmap_par::shard_fold(
             &rows,
             |_ctx| {
@@ -624,18 +632,17 @@ impl DiscoveryPipeline {
                 if !table.any(i) {
                     return;
                 }
+                let cert = certs.cert_of_row(i);
                 for p in table.providers(i) {
-                    let patterns = &providers[p];
                     let pe = acc[p].entry(record.ip).or_default();
                     pe.days.insert(day);
                     pe.note_location(record.location.clone());
-                    let mut name_buf = String::new();
-                    record.certificate.for_each_name(&mut name_buf, |name| {
-                        if patterns.matches_san(name) {
-                            pe.note_hint(patterns.region_hint.extract(name));
+                    if let Some(memo) = memos.get(&(p, cert)) {
+                        pe.note_hint(memo.hint.clone());
+                        for name in &memo.names {
                             pe.note_name(name);
                         }
-                    });
+                    }
                 }
             },
             |a, b| {
@@ -661,18 +668,22 @@ impl DiscoveryPipeline {
         let engine = MatchEngine::sans(&self.registry);
         let records = sources.zgrab_v6;
         let index = iotmap_scan::zgrab::san_suffix_index(records, period);
+        let certs = crate::certid::CertSet::dedupe(records.iter().map(|r| &r.certificate));
+        let mut verify_memo = crate::certid::CertVerifyMemo::new(certs.unique(), providers.len());
         let table = {
             let mut buf = String::new();
             engine.classify(
                 &index,
                 records.len(),
                 |p, row| {
-                    let re = &providers[p].san_regex;
-                    records[row as usize]
-                        .certificate
-                        .sans
-                        .iter()
-                        .any(|san| re.is_match(san.presentation_into(&mut buf)))
+                    verify_memo.check(p, certs.cert_of_row(row as usize), || {
+                        let re = &providers[p].san_regex;
+                        records[row as usize]
+                            .certificate
+                            .sans
+                            .iter()
+                            .any(|san| re.is_match(san.presentation_into(&mut buf)))
+                    })
                 },
                 |row, emit| {
                     let record = &records[row as usize];
@@ -684,6 +695,7 @@ impl DiscoveryPipeline {
             )
         };
         let matches = table.matched_per_provider();
+        let memos = crate::certid::evidence_memos(&certs, &table, providers);
         let partials = iotmap_par::shard_fold(
             records,
             |_ctx| {
@@ -696,17 +708,16 @@ impl DiscoveryPipeline {
                 if !table.any(i) {
                     return;
                 }
+                let cert = certs.cert_of_row(i);
                 for p in table.providers(i) {
-                    let patterns = &providers[p];
                     let pe = acc[p].entry(IpAddr::V6(record.ip)).or_default();
                     pe.days.insert(first_day);
-                    let mut name_buf = String::new();
-                    record.certificate.for_each_name(&mut name_buf, |name| {
-                        if patterns.matches_san(name) {
-                            pe.note_hint(patterns.region_hint.extract(name));
+                    if let Some(memo) = memos.get(&(p, cert)) {
+                        pe.note_hint(memo.hint.clone());
+                        for name in &memo.names {
                             pe.note_name(name);
                         }
-                    });
+                    }
                 }
             },
             |a, b| {
@@ -886,15 +897,7 @@ impl DiscoveryPipeline {
                 self.fault_seed,
                 &self.active_dns_faults,
             );
-            let mut matched = 0u64;
-            for obs in &campaign_result.observations {
-                matched += 1;
-                let entry = prov.ips.entry(obs.ip).or_default();
-                entry.sources.insert(Source::ActiveDns);
-                entry.days.insert(obs.day);
-                entry.note_hint(patterns.region_hint.extract(obs.domain.as_str()));
-                entry.note_name(obs.domain.as_str());
-            }
+            let matched = Self::apply_campaign_observations(prov, patterns, &campaign_result);
             prov.domains = seeds;
             matched
         });
@@ -928,12 +931,7 @@ impl DiscoveryPipeline {
                     entry.sources.insert(Source::Certificate);
                     entry.days.insert(day);
                     entry.note_location(record.location.clone());
-                    for name in record.certificate.all_names() {
-                        if patterns.matches_san(&name) {
-                            entry.note_hint(patterns.region_hint.extract(&name));
-                            entry.note_name(&name);
-                        }
-                    }
+                    Self::note_cert_names(entry, patterns, &record.certificate);
                 }
             }
             matched
@@ -958,12 +956,7 @@ impl DiscoveryPipeline {
                 let entry = prov.ips.entry(IpAddr::V6(record.ip)).or_default();
                 entry.sources.insert(Source::Ipv6Scan);
                 entry.days.insert(first_day);
-                for name in record.certificate.all_names() {
-                    if patterns.matches_san(&name) {
-                        entry.note_hint(patterns.region_hint.extract(&name));
-                        entry.note_name(&name);
-                    }
-                }
+                Self::note_cert_names(entry, patterns, &record.certificate);
             }
             matched
         });
@@ -1042,6 +1035,42 @@ impl DiscoveryPipeline {
         flush_provider_matches(Source::PassiveDns, result, &matches);
     }
 
+    /// Join a matching certificate's names into one IP's evidence — the
+    /// shared inner loop of both fan-out certificate harvests.
+    fn note_cert_names(
+        entry: &mut IpEvidence,
+        patterns: &crate::patterns::ProviderPatterns,
+        certificate: &iotmap_tls::Certificate,
+    ) {
+        let mut buf = String::new();
+        certificate.for_each_name(&mut buf, |name| {
+            if patterns.matches_san(name) {
+                entry.note_hint(patterns.region_hint.extract(name));
+                entry.note_name(name);
+            }
+        });
+    }
+
+    /// Join a resolution campaign's observations into one provider's
+    /// discovery — shared by the single-pass and fan-out active-DNS
+    /// harvests. Returns the observation count for the match counters.
+    fn apply_campaign_observations(
+        prov: &mut ProviderDiscovery,
+        patterns: &crate::patterns::ProviderPatterns,
+        campaign_result: &iotmap_dns::CampaignResult,
+    ) -> u64 {
+        let mut matched = 0u64;
+        for obs in &campaign_result.observations {
+            matched += 1;
+            let entry = prov.ips.entry(obs.ip).or_default();
+            entry.sources.insert(Source::ActiveDns);
+            entry.days.insert(obs.day);
+            entry.note_hint(patterns.region_hint.extract(obs.domain.as_str()));
+            entry.note_name(obs.domain.as_str());
+        }
+        matched
+    }
+
     pub(crate) fn note_pdns_ip(
         provider: &mut ProviderDiscovery,
         patterns: &crate::patterns::ProviderPatterns,
@@ -1088,15 +1117,7 @@ impl DiscoveryPipeline {
                 self.fault_seed,
                 &self.active_dns_faults,
             );
-            let mut matched = 0u64;
-            for obs in &campaign_result.observations {
-                matched += 1;
-                let entry = prov.ips.entry(obs.ip).or_default();
-                entry.sources.insert(Source::ActiveDns);
-                entry.days.insert(obs.day);
-                entry.note_hint(patterns.region_hint.extract(obs.domain.as_str()));
-                entry.note_name(obs.domain.as_str());
-            }
+            let matched = Self::apply_campaign_observations(prov, patterns, &campaign_result);
             prov.domains = seeds;
             matched
         });

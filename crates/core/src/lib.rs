@@ -22,6 +22,7 @@
 //! truth. Run it against `iotmap-world`'s collected datasets, or adapt the
 //! same structs to real Censys/DNSDB exports.
 
+pub mod certid;
 pub mod characterize;
 pub mod discovery;
 pub mod disruptions;
@@ -36,6 +37,7 @@ pub mod sources;
 pub mod stability;
 pub mod validate;
 
+pub use certid::{cert_evidence, evidence_memos, CertEvidence, CertSet, CertVerifyMemo};
 pub use characterize::{CharacterizationRow, Characterizer, StrategyCall};
 pub use discovery::{
     DiscoveryPipeline, DiscoveryResult, IpEvidence, ProviderDiscovery, Source, SourceSet,

@@ -12,12 +12,14 @@
 //! simulations never need to materialize the full flow table.
 
 pub mod anonymize;
+pub mod fold;
 pub mod record;
 pub mod router;
 pub mod sampler;
 pub mod sink;
 
 pub use anonymize::Anonymizer;
+pub use fold::{CountingFold, FlowFold, FlowTotals};
 pub use record::{Direction, FlowRecord, LineId};
 pub use router::BorderRouter;
 pub use sampler::PacketSampler;

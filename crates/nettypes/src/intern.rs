@@ -1,0 +1,184 @@
+//! Deterministic string interning: compact `u32` symbols for the hot
+//! string-keyed tables (provider names, AS labels, domain and hostname
+//! sets).
+//!
+//! At paper scale the pipeline shuffles millions of records whose keys
+//! are a few hundred distinct strings; carrying owned `String`s through
+//! the hot paths costs allocation, hashing, and cache misses on every
+//! touch. An [`Interner`] assigns each distinct string a dense
+//! [`Sym`] in **first-insertion order**, so comparisons become integer
+//! equality and per-key state becomes a flat `Vec` indexed by
+//! [`Sym::index`].
+//!
+//! Determinism contract: ID assignment is a pure function of the
+//! *sequence* of first occurrences. Sharded construction stays
+//! byte-identical to serial construction because `iotmap-par` deals
+//! contiguous shards and merges in shard order — interning each chunk
+//! locally and [`Interner::merge`]-ing in chunk order reproduces the
+//! serial first-occurrence sequence exactly (pinned by the
+//! chunk-invariance tests below).
+
+use std::collections::HashMap;
+
+/// A compact handle to an interned string. Only meaningful together
+/// with the [`Interner`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense table index this symbol maps to (`0..interner.len()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw id, for serialization.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a symbol from a serialized raw id. The caller is
+    /// responsible for pairing it with the table that issued it.
+    pub fn from_raw(raw: u32) -> Sym {
+        Sym(raw)
+    }
+}
+
+/// A string table with dense, first-insertion-order ids.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// An empty table sized for `n` distinct strings.
+    pub fn with_capacity(n: usize) -> Interner {
+        Interner {
+            names: Vec::with_capacity(n),
+            ids: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Insert-or-get: the symbol for `name`, assigning the next dense id
+    /// on first sight.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&id) = self.ids.get(name) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow: > u32::MAX strings");
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        Sym(id)
+    }
+
+    /// The symbol for `name` if it has been interned.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.ids.get(name).copied().map(Sym)
+    }
+
+    /// The string a symbol was issued for.
+    ///
+    /// Panics if `sym` was issued by a different (larger) table.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned strings in id order (so `names()[sym.index()]`
+    /// resolves a symbol without borrowing the whole table).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// `(sym, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+
+    /// Absorb `other` (in *its* id order), returning the remap table:
+    /// `remap[other_sym.index()]` is the symbol in `self` for the same
+    /// string. Merging chunk tables in chunk order reproduces serial
+    /// first-occurrence ids — the law the determinism contract rests on.
+    pub fn merge(&mut self, other: &Interner) -> Vec<Sym> {
+        other.names.iter().map(|n| self.intern(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_dense_ids() {
+        let mut t = Interner::new();
+        let a = t.intern("aws");
+        let b = t.intern("azure");
+        let c = t.intern("tuya");
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
+        assert_eq!(t.resolve(b), "azure");
+        // Re-interning returns the original id, untouched table.
+        assert_eq!(t.intern("aws"), a);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get("tuya"), Some(c));
+        assert_eq!(t.get("absent"), None);
+        assert_eq!(Sym::from_raw(c.raw()), c);
+        let collected: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(collected, ["aws", "azure", "tuya"]);
+    }
+
+    #[test]
+    fn merge_remaps_into_issuing_order() {
+        let mut left = Interner::new();
+        left.intern("aws");
+        left.intern("azure");
+        let mut right = Interner::new();
+        let r_tuya = right.intern("tuya");
+        let r_aws = right.intern("aws");
+        let remap = right.merge(&left);
+        // "aws" already existed in `right`; "azure" got the next id.
+        assert_eq!(remap, vec![r_aws, Sym::from_raw(2)]);
+        assert_eq!(right.resolve(r_tuya), "tuya");
+        assert_eq!(right.resolve(Sym::from_raw(2)), "azure");
+    }
+
+    /// The thread-invariance law: interning contiguous chunks separately
+    /// and merging in chunk order assigns exactly the ids serial
+    /// interning would. Exercised over every chunk size of a stream with
+    /// heavy duplication, which is how `iotmap-par` shards look.
+    #[test]
+    fn chunked_build_matches_serial_for_every_chunk_size() {
+        let stream: Vec<String> = (0..97).map(|i| format!("name-{}", i * 7 % 13)).collect();
+        let mut serial = Interner::new();
+        let serial_syms: Vec<Sym> = stream.iter().map(|s| serial.intern(s)).collect();
+
+        for chunk in 1..=stream.len() {
+            let mut merged = Interner::new();
+            let mut remapped: Vec<Sym> = Vec::new();
+            for shard in stream.chunks(chunk) {
+                let mut local = Interner::new();
+                let local_syms: Vec<Sym> = shard.iter().map(|s| local.intern(s)).collect();
+                let remap = merged.merge(&local);
+                remapped.extend(local_syms.iter().map(|s| remap[s.index()]));
+            }
+            assert_eq!(merged.names(), serial.names(), "chunk size {chunk}");
+            assert_eq!(remapped, serial_syms, "chunk size {chunk}");
+        }
+    }
+}

@@ -25,6 +25,7 @@ pub mod bgp;
 pub mod dist;
 pub mod error;
 pub mod geo;
+pub mod intern;
 pub mod interval;
 pub mod name;
 pub mod ports;
@@ -37,6 +38,7 @@ pub use asn::Asn;
 pub use bgp::{BgpOrigin, BgpTable};
 pub use error::{Error, ParseError};
 pub use geo::{Continent, CountryCode, Location};
+pub use intern::{Interner, Sym};
 pub use name::DomainName;
 pub use ports::{AppProtocol, PortProto, Transport};
 pub use prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};

@@ -201,6 +201,22 @@ pub fn annotate(key: &str, value: u64) {
     with_recorder(|r| r.annotate(key, value));
 }
 
+/// Peak resident-set size of this process in bytes, read from Linux's
+/// `VmHWM` high-water mark in `/proc/self/status`; `None` on platforms
+/// without procfs. This is the number the scale bench gates on: a
+/// bounded-memory run must keep its *peak*, not just its current RSS,
+/// under the documented ceiling.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 /// Open a span through the installed recorder (function form; prefer the
 /// [`span!`] macro, which skips evaluating a computed name when
 /// disabled).
@@ -388,5 +404,14 @@ mod tests {
             !evaluated,
             "count! must not evaluate its name when disabled"
         );
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_reported_and_plausible() {
+        let rss = peak_rss_bytes().expect("procfs VmHWM available on linux");
+        // Any live process has megabytes resident but nowhere near a TB.
+        assert!(rss > 1 << 20, "peak RSS {rss} implausibly small");
+        assert!(rss < 1 << 40, "peak RSS {rss} implausibly large");
     }
 }

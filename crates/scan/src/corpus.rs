@@ -1,0 +1,262 @@
+//! Out-of-core scaled scan corpora.
+//!
+//! The 100×-scale harness needs certificate corpora far larger than the
+//! materialized world's snapshots — too large to keep resident. A
+//! [`ScaledCorpus`] replicates a base snapshot's records `scale` times
+//! into an [`iotmap_super::Spool`] (length-prefixed, checksummed
+//! batches), keeping only the **unique certificate pool** in memory:
+//! every spooled record is `(ip, cert id)`, a handle into that pool.
+//! Reading is strictly sequential through a reusable batch buffer, so
+//! peak RSS is one batch of decoded records plus the cert pool —
+//! independent of `scale`.
+//!
+//! The shape mirrors the discovery hot path's cert-identity interning
+//! (`iotmap_core::certid`): scan data shares certificates massively, so
+//! a corpus is "many cheap rows pointing at few expensive certs", and
+//! scaling multiplies rows, never certs.
+
+use crate::censys::CensysSnapshot;
+use iotmap_super::{ByteReader, ByteWriter, Spool, SpoolReader, SpoolWriter};
+use iotmap_tls::Certificate;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One decoded corpus row: an observation of a pooled certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusRecord {
+    pub ip: IpAddr,
+    /// Index into [`ScaledCorpus::certs`].
+    pub cert: u32,
+}
+
+/// A spooled, replicated scan corpus with an in-memory cert pool.
+#[derive(Debug)]
+pub struct ScaledCorpus {
+    spool: Spool,
+    certs: Vec<Arc<Certificate>>,
+    records: u64,
+}
+
+impl ScaledCorpus {
+    /// Spool `scale` replicas of `base`'s records to `path`, in
+    /// `batch_rows`-row batches. Record order is replica-major and
+    /// snapshot-ordered within each replica, so streaming consumers see
+    /// a deterministic sequence.
+    pub fn replicate(
+        base: &CensysSnapshot,
+        scale: u64,
+        path: &Path,
+        batch_rows: usize,
+    ) -> Result<ScaledCorpus, String> {
+        assert!(scale >= 1, "at least one replica");
+        assert!(batch_rows >= 1, "batches must hold rows");
+        let _span = iotmap_obs::span!("scan.corpus.replicate");
+        // Dedupe the base snapshot's certs by pointer identity.
+        let mut ids: HashMap<*const Certificate, u32> = HashMap::new();
+        let mut certs: Vec<Arc<Certificate>> = Vec::new();
+        let base_rows: Vec<(IpAddr, u32)> = base
+            .records
+            .iter()
+            .map(|r| {
+                let next = certs.len() as u32;
+                let id = *ids.entry(Arc::as_ptr(&r.certificate)).or_insert_with(|| {
+                    certs.push(Arc::clone(&r.certificate));
+                    next
+                });
+                (r.ip, id)
+            })
+            .collect();
+
+        let mut writer = SpoolWriter::create(path)
+            .map_err(|e| format!("corpus {}: create failed: {e}", path.display()))?;
+        let mut records = 0u64;
+        let mut enc = ByteWriter::new();
+        let mut pending = 0usize;
+        for _rep in 0..scale {
+            for &(ip, cert) in &base_rows {
+                enc.put_ip(ip);
+                enc.put_u32(cert);
+                pending += 1;
+                records += 1;
+                if pending == batch_rows {
+                    writer
+                        .append(&std::mem::take(&mut enc).into_bytes())
+                        .map_err(|e| format!("corpus {}: write failed: {e}", path.display()))?;
+                    pending = 0;
+                }
+            }
+        }
+        if pending > 0 {
+            writer
+                .append(&enc.into_bytes())
+                .map_err(|e| format!("corpus {}: write failed: {e}", path.display()))?;
+        }
+        let spool = writer
+            .finish()
+            .map_err(|e| format!("corpus {}: finish failed: {e}", path.display()))?;
+        iotmap_obs::count!("scan.corpus.records_spooled", records);
+        iotmap_obs::count!("scan.corpus.bytes_spooled", spool.bytes());
+        Ok(ScaledCorpus {
+            spool,
+            certs,
+            records,
+        })
+    }
+
+    /// Total spooled records (`scale × base records`).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Spooled batches.
+    pub fn batches(&self) -> u64 {
+        self.spool.batches()
+    }
+
+    /// On-disk size in bytes.
+    pub fn spool_bytes(&self) -> u64 {
+        self.spool.bytes()
+    }
+
+    /// The shared certificate pool, in first-observation order.
+    pub fn certs(&self) -> &[Arc<Certificate>] {
+        &self.certs
+    }
+
+    /// Open a sequential streaming reader.
+    pub fn stream(&self) -> Result<CorpusReader, String> {
+        Ok(CorpusReader {
+            reader: self.spool.reader()?,
+            buf: Vec::new(),
+            batch: Vec::new(),
+        })
+    }
+
+    /// Delete the backing spool file (the corpus is derived state).
+    pub fn remove(&self) {
+        self.spool.remove();
+    }
+}
+
+/// Sequential batch reader over a [`ScaledCorpus`]; both the raw and
+/// decoded buffers are reused across batches.
+#[derive(Debug)]
+pub struct CorpusReader {
+    reader: SpoolReader,
+    buf: Vec<u8>,
+    batch: Vec<CorpusRecord>,
+}
+
+impl CorpusReader {
+    /// Decode the next batch, replacing the previous one. Returns `None`
+    /// once the corpus is exhausted.
+    pub fn next_batch(&mut self) -> Result<Option<&[CorpusRecord]>, String> {
+        if !self.reader.next_batch(&mut self.buf)? {
+            return Ok(None);
+        }
+        self.batch.clear();
+        let mut dec = ByteReader::new(&self.buf);
+        while !dec.is_empty() {
+            let ip = dec.get_ip()?;
+            let cert = dec.get_u32()?;
+            self.batch.push(CorpusRecord { ip, cert });
+        }
+        Ok(Some(&self.batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::censys::CensysRecord;
+    use iotmap_nettypes::{Date, PortProto, StudyPeriod};
+    use iotmap_tls::SanName;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("iotmap-corpus-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn snapshot() -> CensysSnapshot {
+        let shared = Arc::new(Certificate::new(
+            "gw.example.com",
+            vec![SanName::parse("gw.example.com").unwrap()],
+            StudyPeriod::main_week(),
+        ));
+        let lone = Arc::new(Certificate::new(
+            "solo.example.com",
+            vec![SanName::parse("solo.example.com").unwrap()],
+            StudyPeriod::main_week(),
+        ));
+        let record = |i: u8, cert: &Arc<Certificate>| CensysRecord {
+            ip: format!("192.0.2.{i}").parse().unwrap(),
+            port: PortProto::tcp(8883),
+            certificate: Arc::clone(cert),
+            location: None,
+        };
+        CensysSnapshot {
+            date: Date::new(2022, 3, 1),
+            records: vec![
+                record(1, &shared),
+                record(2, &shared),
+                record(3, &lone),
+                record(4, &shared),
+            ],
+            host_ports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn replicates_and_streams_in_order() {
+        let path = temp_path("stream");
+        let base = snapshot();
+        let corpus = ScaledCorpus::replicate(&base, 5, &path, 3).unwrap();
+        assert_eq!(corpus.records(), 20);
+        assert_eq!(corpus.certs().len(), 2, "two unique certs pooled");
+        assert_eq!(corpus.batches(), 7, "ceil(20 / 3)");
+
+        let mut reader = corpus.stream().unwrap();
+        let mut seen: Vec<CorpusRecord> = Vec::new();
+        while let Some(batch) = reader.next_batch().unwrap() {
+            assert!(batch.len() <= 3);
+            seen.extend_from_slice(batch);
+        }
+        assert_eq!(seen.len(), 20);
+        // Replica-major, snapshot order within each replica.
+        for rep in 0..5 {
+            for (i, r) in base.records.iter().enumerate() {
+                assert_eq!(seen[rep * 4 + i].ip, r.ip);
+            }
+        }
+        // Cert ids are first-observation order: shared=0, solo=2nd.
+        assert_eq!(seen[0].cert, 0);
+        assert_eq!(seen[1].cert, 0);
+        assert_eq!(seen[2].cert, 1);
+        assert_eq!(
+            corpus.certs()[0].subject,
+            "gw.example.com",
+            "pool order is first observation"
+        );
+        corpus.remove();
+    }
+
+    #[test]
+    fn streaming_twice_yields_the_same_sequence() {
+        let path = temp_path("twice");
+        let corpus = ScaledCorpus::replicate(&snapshot(), 2, &path, 5).unwrap();
+        let collect = || {
+            let mut reader = corpus.stream().unwrap();
+            let mut all = Vec::new();
+            while let Some(batch) = reader.next_batch().unwrap() {
+                all.extend_from_slice(batch);
+            }
+            all
+        };
+        assert_eq!(collect(), collect());
+        corpus.remove();
+    }
+}

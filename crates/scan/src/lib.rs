@@ -21,6 +21,7 @@
 //! fallback in §4.2.
 
 pub mod censys;
+pub mod corpus;
 pub mod ethics;
 pub mod hitlist;
 pub mod lookingglass;
@@ -28,6 +29,7 @@ pub mod target;
 pub mod zgrab;
 
 pub use censys::{CensysRecord, CensysService, CensysSnapshot};
+pub use corpus::{CorpusReader, CorpusRecord, ScaledCorpus};
 pub use ethics::ProbePolicy;
 pub use hitlist::Ipv6Hitlist;
 pub use lookingglass::{estimate_location, LatencyProber, LookingGlassSite};

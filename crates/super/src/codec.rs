@@ -151,6 +151,16 @@ impl<'a> ByteReader<'a> {
         }
     }
 
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once the payload is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
     /// Assert the payload was fully consumed — trailing garbage means the
     /// encoder and decoder disagree, which must surface as corruption.
     pub fn finish(self) -> Result<(), String> {

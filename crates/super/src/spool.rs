@@ -1,0 +1,247 @@
+//! Out-of-core spill spool: bounded-memory sequential storage for
+//! corpora too large to hold resident.
+//!
+//! A spool is a single file of length-prefixed, FNV-1a-checksummed
+//! batches in the same spirit as the checkpoint format: little-endian,
+//! no self-description, every read bounds-checked, corruption
+//! *detected* rather than trusted. Callers encode each batch with
+//! [`ByteWriter`](crate::ByteWriter) and decode with
+//! [`ByteReader`](crate::ByteReader); the spool only frames and
+//! verifies the opaque payloads.
+//!
+//! Layout: `MAGIC (u32 LE)` then per batch `len (u64 LE) · fnv1a (u64
+//! LE) · payload bytes`. Reading is strictly sequential — the scaled
+//! scan corpus streams batches through a reusable buffer, so peak RSS
+//! is one batch plus the aggregate state, never the corpus.
+
+use crate::codec::fnv1a;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// `"SPL1"` — bumped if the framing ever changes.
+pub const SPOOL_MAGIC: u32 = 0x5350_4c31;
+
+/// Streaming writer: append batches, then [`SpoolWriter::finish`].
+pub struct SpoolWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    batches: u64,
+    bytes: u64,
+}
+
+impl SpoolWriter {
+    /// Create (truncating) a spool at `path` and write the header.
+    pub fn create(path: &Path) -> io::Result<SpoolWriter> {
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(&SPOOL_MAGIC.to_le_bytes())?;
+        Ok(SpoolWriter {
+            file,
+            path: path.to_path_buf(),
+            batches: 0,
+            bytes: 4,
+        })
+    }
+
+    /// Append one checksummed batch.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.file.write_all(&(payload.len() as u64).to_le_bytes())?;
+        self.file.write_all(&fnv1a(payload).to_le_bytes())?;
+        self.file.write_all(payload)?;
+        self.batches += 1;
+        self.bytes += 16 + payload.len() as u64;
+        Ok(())
+    }
+
+    /// Flush and seal the spool.
+    pub fn finish(mut self) -> io::Result<Spool> {
+        self.file.flush()?;
+        Ok(Spool {
+            path: self.path,
+            batches: self.batches,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// A sealed spool on disk; cheap handle, open readers as needed.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    path: PathBuf,
+    batches: u64,
+    bytes: u64,
+}
+
+impl Spool {
+    /// Number of batches written.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Total file size in bytes (header + framing + payloads).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open a sequential reader positioned at the first batch.
+    pub fn reader(&self) -> Result<SpoolReader, String> {
+        let file = File::open(&self.path)
+            .map_err(|e| format!("spool {}: open failed: {e}", self.path.display()))?;
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        reader
+            .read_exact(&mut magic)
+            .map_err(|e| format!("spool {}: truncated header: {e}", self.path.display()))?;
+        if u32::from_le_bytes(magic) != SPOOL_MAGIC {
+            return Err(format!("spool {}: bad magic", self.path.display()));
+        }
+        Ok(SpoolReader {
+            file: reader,
+            path: self.path.clone(),
+            remaining: self.batches,
+        })
+    }
+
+    /// Delete the backing file (best effort — the corpus is derived
+    /// state, a leftover file is waste, not corruption).
+    pub fn remove(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Sequential batch reader; verifies each batch's checksum before
+/// handing the payload to the caller.
+#[derive(Debug)]
+pub struct SpoolReader {
+    file: BufReader<File>,
+    path: PathBuf,
+    remaining: u64,
+}
+
+impl SpoolReader {
+    /// Read the next batch into `buf` (replacing its contents). Returns
+    /// `false` once all batches have been consumed. A short read or a
+    /// checksum mismatch is corruption and errors.
+    pub fn next_batch(&mut self, buf: &mut Vec<u8>) -> Result<bool, String> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        let mut frame = [0u8; 16];
+        self.file
+            .read_exact(&mut frame)
+            .map_err(|e| format!("spool {}: truncated batch frame: {e}", self.path.display()))?;
+        let len = u64::from_le_bytes(frame[..8].try_into().unwrap());
+        let want = u64::from_le_bytes(frame[8..].try_into().unwrap());
+        buf.clear();
+        buf.resize(len as usize, 0);
+        self.file.read_exact(buf).map_err(|e| {
+            format!(
+                "spool {}: truncated batch payload: {e}",
+                self.path.display()
+            )
+        })?;
+        let got = fnv1a(buf);
+        if got != want {
+            return Err(format!(
+                "spool {}: batch checksum mismatch (want {want:#x}, got {got:#x})",
+                self.path.display()
+            ));
+        }
+        self.remaining -= 1;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{ByteReader, ByteWriter};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("iotmap-spool-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_batches_in_order() {
+        let path = temp_path("roundtrip");
+        let mut w = SpoolWriter::create(&path).unwrap();
+        for i in 0..5u32 {
+            let mut enc = ByteWriter::new();
+            enc.put_u32(i);
+            enc.put_str(&format!("batch-{i}"));
+            w.append(&enc.into_bytes()).unwrap();
+        }
+        let spool = w.finish().unwrap();
+        assert_eq!(spool.batches(), 5);
+
+        let mut r = spool.reader().unwrap();
+        let mut buf = Vec::new();
+        let mut seen = 0u32;
+        while r.next_batch(&mut buf).unwrap() {
+            let mut dec = ByteReader::new(&buf);
+            assert_eq!(dec.get_u32().unwrap(), seen);
+            assert_eq!(dec.get_str().unwrap(), format!("batch-{seen}"));
+            dec.finish().unwrap();
+            seen += 1;
+        }
+        assert_eq!(seen, 5);
+        spool.remove();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_trusted() {
+        let path = temp_path("corrupt");
+        let mut w = SpoolWriter::create(&path).unwrap();
+        w.append(b"payload-zero").unwrap();
+        w.append(b"payload-one").unwrap();
+        let spool = w.finish().unwrap();
+
+        // Flip one payload byte of the second batch on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut r = spool.reader().unwrap();
+        let mut buf = Vec::new();
+        assert!(r.next_batch(&mut buf).unwrap());
+        let err = r.next_batch(&mut buf).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "unexpected error: {err}");
+        spool.remove();
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_error() {
+        let path = temp_path("magic");
+        std::fs::write(&path, [0u8; 2]).unwrap();
+        let spool = Spool {
+            path: path.clone(),
+            batches: 1,
+            bytes: 2,
+        };
+        assert!(spool.reader().unwrap_err().contains("truncated header"));
+
+        std::fs::write(&path, 0xdead_beefu32.to_le_bytes()).unwrap();
+        assert!(spool.reader().unwrap_err().contains("bad magic"));
+
+        let mut w = SpoolWriter::create(&path).unwrap();
+        w.append(b"whole").unwrap();
+        let sealed = w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let mut r = sealed.reader().unwrap();
+        let mut buf = Vec::new();
+        assert!(r
+            .next_batch(&mut buf)
+            .unwrap_err()
+            .contains("truncated batch payload"));
+        spool.remove();
+    }
+}

@@ -1,12 +1,21 @@
 //! The main flow-analysis pass: everything behind Figures 8–16.
 //!
-//! A single [`AnalysisSink`] consumes the (scanner-excluded) flow stream
-//! once and accumulates all per-provider, per-port, per-line-day, and
-//! per-region aggregates; [`AnalysisReport`] then answers each figure's
-//! question.
+//! The aggregation is expressed as a mergeable [`AnalysisFold`]
+//! (see [`iotmap_netflow::FlowFold`]): every accumulator in
+//! [`AnalysisPartial`] is a commutative join — integer adds, set
+//! unions, map-entry adds — so per-shard partials merged in shard order
+//! are byte-identical to a serial pass at any thread count, and the
+//! simulator can stream blocks of exported flows through it without
+//! ever materializing the full flow set. Byte volumes accumulate as
+//! exact `u64` sums and convert to `f64` only at report time, so no
+//! float-rounding order dependence can creep in.
+//!
+//! [`AnalysisSink`] remains the serial front: a thin wrapper folding
+//! into a single partial, for callers that drive a
+//! [`FlowSink`](iotmap_netflow::FlowSink).
 
 use crate::index::IpIndex;
-use iotmap_netflow::{Direction, FlowRecord, FlowSink, LineId};
+use iotmap_netflow::{Direction, FlowFold, FlowRecord, FlowSink, LineId};
 use iotmap_nettypes::{Continent, PortProto, StudyPeriod};
 use iotmap_stats::{Ecdf, HourlySeries};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -27,8 +36,8 @@ impl RegionGroup {
         RegionGroup::Other,
     ];
 
-    fn of(meta: &crate::index::IpMeta) -> RegionGroup {
-        if meta.region == "us-east-1" {
+    fn of(index: &IpIndex, meta: &crate::index::IpMeta) -> RegionGroup {
+        if index.is_us_east1(meta.region) {
             RegionGroup::UsEast1
         } else if meta.continent == Some(Continent::Europe) {
             RegionGroup::Europe
@@ -68,18 +77,18 @@ fn bucket_of(continent: Option<Continent>) -> usize {
 /// Bucket labels, ordinal order.
 pub const BUCKET_LABELS: [&str; 4] = ["EU", "US", "Asia", "Other"];
 
-/// The accumulating sink.
-pub struct AnalysisSink<'a> {
-    index: &'a IpIndex,
-    excluded: &'a HashSet<LineId>,
-    start_hour: u64,
-    hours: usize,
+/// One shard's accumulated aggregates. Every field joins commutatively
+/// under [`AnalysisPartial::merge`], which is what keeps sharded runs
+/// byte-identical to serial ones.
+#[derive(Debug, Clone)]
+pub struct AnalysisPartial {
     // Fig. 8: distinct lines per (provider, hour).
     hourly_lines: Vec<HashSet<LineId>>,
-    // Fig. 9 / 15: downstream bytes per (provider, hour).
-    hourly_dn: Vec<f64>,
+    // Fig. 9 / 15: downstream bytes per (provider, hour). Exact integer
+    // sums; the report converts to f64 once.
+    hourly_dn: Vec<u64>,
     // Fig. 15/16: per (provider, region group, hour).
-    hourly_dn_region: Vec<f64>,
+    hourly_dn_region: Vec<u64>,
     hourly_lines_region: Vec<HashSet<LineId>>,
     // Fig. 10.
     total_dn: Vec<u64>,
@@ -99,23 +108,15 @@ pub struct AnalysisSink<'a> {
     daily_v6: HashMap<i64, HashSet<LineId>>,
 }
 
-impl<'a> AnalysisSink<'a> {
-    /// Sink covering a study period.
-    pub fn new(index: &'a IpIndex, excluded: &'a HashSet<LineId>, period: StudyPeriod) -> Self {
-        let start_hour = period.start.epoch_hours();
-        let hours = period.hours().count();
-        let n = index.providers().len();
-        AnalysisSink {
-            index,
-            excluded,
-            start_hour,
-            hours,
-            hourly_lines: vec![HashSet::new(); n * hours],
-            hourly_dn: vec![0.0; n * hours],
-            hourly_dn_region: vec![0.0; n * 3 * hours],
-            hourly_lines_region: vec![HashSet::new(); n * 3 * hours],
-            total_dn: vec![0; n],
-            total_up: vec![0; n],
+impl AnalysisPartial {
+    fn new(providers: usize, hours: usize) -> AnalysisPartial {
+        AnalysisPartial {
+            hourly_lines: vec![HashSet::new(); providers * hours],
+            hourly_dn: vec![0; providers * hours],
+            hourly_dn_region: vec![0; providers * 3 * hours],
+            hourly_lines_region: vec![HashSet::new(); providers * 3 * hours],
+            total_dn: vec![0; providers],
+            total_up: vec![0; providers],
             port_bytes: HashMap::new(),
             line_day_dn: HashMap::new(),
             line_day_up: HashMap::new(),
@@ -128,9 +129,88 @@ impl<'a> AnalysisSink<'a> {
         }
     }
 
-    /// Consume the sink into a report.
-    pub fn into_report(self) -> AnalysisReport {
+    fn merge(&mut self, other: AnalysisPartial) {
+        for (a, b) in self.hourly_lines.iter_mut().zip(other.hourly_lines) {
+            a.extend(b);
+        }
+        for (a, b) in self.hourly_dn.iter_mut().zip(other.hourly_dn) {
+            *a += b;
+        }
+        for (a, b) in self.hourly_dn_region.iter_mut().zip(other.hourly_dn_region) {
+            *a += b;
+        }
+        for (a, b) in self
+            .hourly_lines_region
+            .iter_mut()
+            .zip(other.hourly_lines_region)
+        {
+            a.extend(b);
+        }
+        for (a, b) in self.total_dn.iter_mut().zip(other.total_dn) {
+            *a += b;
+        }
+        for (a, b) in self.total_up.iter_mut().zip(other.total_up) {
+            *a += b;
+        }
+        for (k, v) in other.port_bytes {
+            *self.port_bytes.entry(k).or_default() += v;
+        }
+        for (k, v) in other.line_day_dn {
+            *self.line_day_dn.entry(k).or_default() += v;
+        }
+        for (k, v) in other.line_day_up {
+            *self.line_day_up.entry(k).or_default() += v;
+        }
+        for (k, v) in other.line_day_prov_dn {
+            *self.line_day_prov_dn.entry(k).or_default() += v;
+        }
+        for (k, v) in other.line_day_port_dn {
+            *self.line_day_port_dn.entry(k).or_default() += v;
+        }
+        for (k, v) in other.line_buckets {
+            *self.line_buckets.entry(k).or_default() |= v;
+        }
+        for (a, b) in self.bucket_bytes.iter_mut().zip(other.bucket_bytes) {
+            *a += b;
+        }
+        for (k, v) in other.daily_v4 {
+            self.daily_v4.entry(k).or_default().extend(v);
+        }
+        for (k, v) in other.daily_v6 {
+            self.daily_v6.entry(k).or_default().extend(v);
+        }
+    }
+}
+
+/// The mergeable flow-analysis aggregation over a study period.
+pub struct AnalysisFold<'a> {
+    index: &'a IpIndex,
+    excluded: &'a HashSet<LineId>,
+    start_hour: u64,
+    hours: usize,
+}
+
+impl<'a> AnalysisFold<'a> {
+    /// Fold covering a study period.
+    pub fn new(index: &'a IpIndex, excluded: &'a HashSet<LineId>, period: StudyPeriod) -> Self {
+        AnalysisFold {
+            index,
+            excluded,
+            start_hour: period.start.epoch_hours(),
+            hours: period.hours().count(),
+        }
+    }
+
+    /// Consume a folded partial into a report.
+    pub fn into_report(&self, partial: AnalysisPartial) -> AnalysisReport {
         let _span = iotmap_obs::span!("traffic.analysis.into_report");
+        let p = partial;
+        // Per-day family counts, sorted by day so the report is a pure
+        // function of the flow stream (HashMap iteration order is not).
+        let day_counts = |m: &HashMap<i64, HashSet<LineId>>| {
+            let by_day: BTreeMap<i64, usize> = m.iter().map(|(d, s)| (*d, s.len())).collect();
+            by_day.into_values().collect::<Vec<usize>>()
+        };
         AnalysisReport {
             providers: self.index.providers().to_vec(),
             server_buckets: {
@@ -142,31 +222,37 @@ impl<'a> AnalysisSink<'a> {
             },
             start_hour: self.start_hour,
             hours: self.hours,
-            hourly_lines: self.hourly_lines.iter().map(|s| s.len() as f64).collect(),
-            hourly_dn: self.hourly_dn,
-            hourly_dn_region: self.hourly_dn_region,
-            hourly_lines_region: self
+            hourly_lines: p.hourly_lines.iter().map(|s| s.len() as f64).collect(),
+            hourly_dn: p.hourly_dn.iter().map(|&b| b as f64).collect(),
+            hourly_dn_region: p.hourly_dn_region.iter().map(|&b| b as f64).collect(),
+            hourly_lines_region: p
                 .hourly_lines_region
                 .iter()
                 .map(|s| s.len() as f64)
                 .collect(),
-            total_dn: self.total_dn,
-            total_up: self.total_up,
-            port_bytes: self.port_bytes,
-            line_day_dn: self.line_day_dn,
-            line_day_up: self.line_day_up,
-            line_day_prov_dn: self.line_day_prov_dn,
-            line_day_port_dn: self.line_day_port_dn,
-            line_buckets: self.line_buckets,
-            bucket_bytes: self.bucket_bytes,
-            daily_v4: self.daily_v4.values().map(|s| s.len()).collect(),
-            daily_v6: self.daily_v6.values().map(|s| s.len()).collect(),
+            daily_v4: day_counts(&p.daily_v4),
+            daily_v6: day_counts(&p.daily_v6),
+            total_dn: p.total_dn,
+            total_up: p.total_up,
+            port_bytes: p.port_bytes,
+            line_day_dn: p.line_day_dn,
+            line_day_up: p.line_day_up,
+            line_day_prov_dn: p.line_day_prov_dn,
+            line_day_port_dn: p.line_day_port_dn,
+            line_buckets: p.line_buckets,
+            bucket_bytes: p.bucket_bytes,
         }
     }
 }
 
-impl FlowSink for AnalysisSink<'_> {
-    fn accept(&mut self, r: &FlowRecord) {
+impl FlowFold for AnalysisFold<'_> {
+    type Partial = AnalysisPartial;
+
+    fn make(&self) -> AnalysisPartial {
+        AnalysisPartial::new(self.index.providers().len(), self.hours)
+    }
+
+    fn fold(&self, acc: &mut AnalysisPartial, r: &FlowRecord) {
         if self.excluded.contains(&r.line) {
             return;
         }
@@ -185,47 +271,77 @@ impl FlowSink for AnalysisSink<'_> {
             return;
         }
         let day = r.time.epoch_days();
-        let group = RegionGroup::of(meta);
+        let group = RegionGroup::of(self.index, meta);
 
-        self.hourly_lines[p * self.hours + h].insert(r.line);
+        acc.hourly_lines[p * self.hours + h].insert(r.line);
         let region_idx = (p * 3 + group.ordinal()) * self.hours + h;
-        self.hourly_lines_region[region_idx].insert(r.line);
+        acc.hourly_lines_region[region_idx].insert(r.line);
 
         match r.direction {
             Direction::Downstream => {
-                self.hourly_dn[p * self.hours + h] += r.bytes as f64;
-                self.hourly_dn_region[region_idx] += r.bytes as f64;
-                self.total_dn[p] += r.bytes;
-                *self.line_day_dn.entry((r.line, day)).or_default() += r.bytes;
-                *self
-                    .line_day_prov_dn
+                acc.hourly_dn[p * self.hours + h] += r.bytes;
+                acc.hourly_dn_region[region_idx] += r.bytes;
+                acc.total_dn[p] += r.bytes;
+                *acc.line_day_dn.entry((r.line, day)).or_default() += r.bytes;
+                *acc.line_day_prov_dn
                     .entry((r.line, day, p as u16))
                     .or_default() += r.bytes;
-                *self
-                    .line_day_port_dn
+                *acc.line_day_port_dn
                     .entry((r.line, day, r.port))
                     .or_default() += r.bytes;
             }
             Direction::Upstream => {
-                self.total_up[p] += r.bytes;
-                *self.line_day_up.entry((r.line, day)).or_default() += r.bytes;
+                acc.total_up[p] += r.bytes;
+                *acc.line_day_up.entry((r.line, day)).or_default() += r.bytes;
             }
         }
-        *self.port_bytes.entry((p, r.port)).or_default() += r.bytes;
+        *acc.port_bytes.entry((p, r.port)).or_default() += r.bytes;
 
         let bucket = bucket_of(meta.continent);
-        *self.line_buckets.entry(r.line).or_default() |= 1 << bucket;
-        self.bucket_bytes[bucket] += r.bytes;
+        *acc.line_buckets.entry(r.line).or_default() |= 1 << bucket;
+        acc.bucket_bytes[bucket] += r.bytes;
 
         if r.remote.is_ipv4() {
-            self.daily_v4.entry(day).or_default().insert(r.line);
+            acc.daily_v4.entry(day).or_default().insert(r.line);
         } else {
-            self.daily_v6.entry(day).or_default().insert(r.line);
+            acc.daily_v6.entry(day).or_default().insert(r.line);
         }
+    }
+
+    fn merge(&self, acc: &mut AnalysisPartial, other: AnalysisPartial) {
+        acc.merge(other);
+    }
+}
+
+/// The serial accumulating sink: one partial driven by a
+/// [`FlowSink`] stream.
+pub struct AnalysisSink<'a> {
+    fold: AnalysisFold<'a>,
+    partial: AnalysisPartial,
+}
+
+impl<'a> AnalysisSink<'a> {
+    /// Sink covering a study period.
+    pub fn new(index: &'a IpIndex, excluded: &'a HashSet<LineId>, period: StudyPeriod) -> Self {
+        let fold = AnalysisFold::new(index, excluded, period);
+        let partial = fold.make();
+        AnalysisSink { fold, partial }
+    }
+
+    /// Consume the sink into a report.
+    pub fn into_report(self) -> AnalysisReport {
+        self.fold.into_report(self.partial)
+    }
+}
+
+impl FlowSink for AnalysisSink<'_> {
+    fn accept(&mut self, r: &FlowRecord) {
+        self.fold.fold(&mut self.partial, r);
     }
 }
 
 /// The finished aggregates, with one accessor per figure.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisReport {
     providers: Vec<String>,
     server_buckets: [usize; 4],
@@ -652,5 +768,40 @@ mod tests {
         });
         let report = sink.into_report();
         assert_eq!(report.fig9_downstream("alpha").unwrap().total(), 0.0);
+    }
+
+    /// The fold law behind the streaming path: folding any split of the
+    /// stream into two partials and merging equals the serial pass, and
+    /// so does the resulting report.
+    #[test]
+    fn split_fold_and_merge_match_serial() {
+        let records = [
+            record(1, "10.0.0.1", 10, Direction::Downstream, 5000, 8883),
+            record(1, "10.0.0.2", 10, Direction::Upstream, 1000, 8883),
+            record(2, "10.0.0.1", 11, Direction::Downstream, 3000, 443),
+            record(3, "10.0.0.2", 30, Direction::Downstream, 700, 443),
+            record(1, "10.0.0.1", 31, Direction::Upstream, 50, 1883),
+        ];
+        let idx = index();
+        let excluded = HashSet::new();
+        let fold = AnalysisFold::new(&idx, &excluded, StudyPeriod::main_week());
+        let mut serial = fold.make();
+        for r in &records {
+            fold.fold(&mut serial, r);
+        }
+        let serial_report = fold.into_report(serial);
+        for split in 0..=records.len() {
+            let (a, b) = records.split_at(split);
+            let mut left = fold.make();
+            a.iter().for_each(|r| fold.fold(&mut left, r));
+            let mut right = fold.make();
+            b.iter().for_each(|r| fold.fold(&mut right, r));
+            fold.merge(&mut left, right);
+            assert_eq!(
+                fold.into_report(left),
+                serial_report,
+                "split at {split} must merge to the serial report"
+            );
+        }
     }
 }

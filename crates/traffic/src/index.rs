@@ -3,9 +3,16 @@
 //! §3.4: the traffic analysis uses only infrastructure "exclusively used
 //! for IoT" — shared IPs (Google's HTTPS set, Akamai edges) are excluded
 //! before any flow is attributed.
+//!
+//! Provider and region labels are **interned** ([`iotmap_nettypes::Interner`]):
+//! the per-IP metadata carries compact u32 symbols instead of owned
+//! strings, so the per-flow hot path (millions of lookups per simulated
+//! day) compares integers, and the region-group classification of the
+//! outage analysis is a symbol comparison instead of a string compare
+//! per record.
 
 use iotmap_core::{DiscoveryResult, Footprint};
-use iotmap_nettypes::Continent;
+use iotmap_nettypes::{Continent, Interner, Sym};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
@@ -16,14 +23,18 @@ pub struct IpMeta {
     pub provider: usize,
     /// Continent of the backend server (from footprint inference).
     pub continent: Option<Continent>,
-    /// Site/region label (e.g. `us-east-1`) from footprint inference.
-    pub region: String,
+    /// Site/region label (e.g. `us-east-1`) from footprint inference,
+    /// interned in the index's region table.
+    pub region: Sym,
 }
 
 /// The lookup table from remote address to backend metadata.
 #[derive(Debug, Default)]
 pub struct IpIndex {
-    providers: Vec<String>,
+    providers: Interner,
+    regions: Interner,
+    /// Symbol of the outage-struck region, when any indexed IP sits there.
+    us_east1: Option<Sym>,
     map: HashMap<IpAddr, IpMeta>,
 }
 
@@ -42,8 +53,7 @@ impl IpIndex {
         let mut shared_excluded = 0u64;
         let mut index = IpIndex::default();
         for (name, disc) in discovery.per_provider() {
-            let pidx = index.providers.len();
-            index.providers.push(name.to_string());
+            let pidx = index.providers.intern(name).index();
             let fp = footprints.get(name);
             for &ip in disc.ips.keys() {
                 if shared.contains(&ip) {
@@ -52,8 +62,9 @@ impl IpIndex {
                 }
                 let (continent, region) = fp
                     .and_then(|f| f.per_ip.get(&ip))
-                    .map(|l| (Some(l.location.continent), l.label.clone()))
-                    .unwrap_or((None, String::new()));
+                    .map(|l| (Some(l.location.continent), l.label.as_str()))
+                    .unwrap_or((None, ""));
+                let region = index.regions.intern(region);
                 index.map.insert(
                     ip,
                     IpMeta {
@@ -64,6 +75,7 @@ impl IpIndex {
                 );
             }
         }
+        index.us_east1 = index.regions.get("us-east-1");
         iotmap_obs::count!("traffic.index.ips_indexed", index.map.len() as u64);
         iotmap_obs::count!("traffic.index.shared_excluded", shared_excluded);
         index
@@ -71,7 +83,17 @@ impl IpIndex {
 
     /// Provider names, in index order.
     pub fn providers(&self) -> &[String] {
-        &self.providers
+        self.providers.names()
+    }
+
+    /// Resolve a region symbol back to its label.
+    pub fn region_name(&self, region: Sym) -> &str {
+        self.regions.resolve(region)
+    }
+
+    /// Is this the outage-struck `us-east-1` region?
+    pub fn is_us_east1(&self, region: Sym) -> bool {
+        self.us_east1 == Some(region)
     }
 
     /// Look up a remote address.
@@ -110,7 +132,7 @@ impl IpIndex {
 
     /// Index of a provider by name.
     pub fn provider_index(&self, name: &str) -> Option<usize> {
-        self.providers.iter().position(|p| p == name)
+        self.providers.get(name).map(|s| s.index())
     }
 
     /// Iterate over all `(ip, meta)` pairs.
@@ -164,5 +186,34 @@ mod tests {
         let idx = IpIndex::build(&disc, &HashMap::new(), &shared);
         assert_eq!(idx.len(), 3);
         assert!(idx.get("60.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn regions_are_interned_with_us_east1_cached() {
+        let disc = discovery();
+        let mut fp = Footprint::default();
+        fp.per_ip.insert(
+            "52.0.0.1".parse().unwrap(),
+            iotmap_core::footprint::IpLocation {
+                label: "us-east-1".into(),
+                location: iotmap_nettypes::Location::new(
+                    "Ashburn",
+                    "US",
+                    Continent::NorthAmerica,
+                    39.0,
+                    -77.5,
+                ),
+                contested: false,
+            },
+        );
+        let mut fps = HashMap::new();
+        fps.insert("amazon".to_string(), fp);
+        let idx = IpIndex::build(&disc, &fps, &HashSet::new());
+        let meta = idx.get("52.0.0.1".parse().unwrap()).unwrap();
+        assert_eq!(idx.region_name(meta.region), "us-east-1");
+        assert!(idx.is_us_east1(meta.region));
+        let unlocated = idx.get("52.0.0.2".parse().unwrap()).unwrap();
+        assert_eq!(idx.region_name(unlocated.region), "");
+        assert!(!idx.is_us_east1(unlocated.region));
     }
 }

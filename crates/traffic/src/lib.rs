@@ -21,9 +21,9 @@ pub mod scanners;
 pub mod visibility;
 pub mod whatif;
 
-pub use analysis::{AnalysisReport, AnalysisSink, RegionGroup};
+pub use analysis::{AnalysisFold, AnalysisPartial, AnalysisReport, AnalysisSink, RegionGroup};
 pub use anonymize::Anonymization;
 pub use index::{IpIndex, IpMeta};
-pub use scanners::{ContactSink, ScannerAnalysis, ScannerCurvePoint};
+pub use scanners::{ContactFold, ContactSink, ScannerAnalysis, ScannerCurvePoint};
 pub use visibility::{source_ablation, visibility_per_provider, ProviderVisibility};
 pub use whatif::{cascade_impact, CloudDependence};

@@ -6,13 +6,48 @@
 //! if it contacts more than a threshold of the server IPs."
 
 use crate::index::IpIndex;
-use iotmap_netflow::{FlowRecord, FlowSink, LineId};
+use iotmap_netflow::{FlowFold, FlowRecord, FlowSink, LineId};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
+/// The contact pass as a mergeable fold: per-line contact sets are
+/// pure set unions, so per-shard partials merged in any split of the
+/// stream equal the serial pass.
+pub struct ContactFold<'a> {
+    index: &'a IpIndex,
+}
+
+impl<'a> ContactFold<'a> {
+    /// New fold over an index.
+    pub fn new(index: &'a IpIndex) -> Self {
+        ContactFold { index }
+    }
+}
+
+impl FlowFold for ContactFold<'_> {
+    type Partial = HashMap<LineId, HashSet<IpAddr>>;
+
+    fn make(&self) -> Self::Partial {
+        HashMap::new()
+    }
+
+    fn fold(&self, acc: &mut Self::Partial, record: &FlowRecord) {
+        if self.index.get(record.remote).is_some() {
+            iotmap_obs::count!("traffic.contact.flows_matched");
+            acc.entry(record.line).or_default().insert(record.remote);
+        }
+    }
+
+    fn merge(&self, acc: &mut Self::Partial, other: Self::Partial) {
+        for (line, ips) in other {
+            acc.entry(line).or_default().extend(ips);
+        }
+    }
+}
+
 /// First pass over the flows: per-line backend contact sets.
 pub struct ContactSink<'a> {
-    index: &'a IpIndex,
+    fold: ContactFold<'a>,
     /// Per line: distinct backend IPs contacted (both families).
     pub per_line: HashMap<LineId, HashSet<IpAddr>>,
 }
@@ -21,21 +56,24 @@ impl<'a> ContactSink<'a> {
     /// New sink over an index.
     pub fn new(index: &'a IpIndex) -> Self {
         ContactSink {
-            index,
+            fold: ContactFold::new(index),
             per_line: HashMap::new(),
+        }
+    }
+
+    /// Wrap an already-folded contact partial (e.g. from a streaming
+    /// [`ContactFold`] pass) so the scanner analysis can consume it.
+    pub fn from_parts(index: &'a IpIndex, per_line: HashMap<LineId, HashSet<IpAddr>>) -> Self {
+        ContactSink {
+            fold: ContactFold::new(index),
+            per_line,
         }
     }
 }
 
 impl FlowSink for ContactSink<'_> {
     fn accept(&mut self, record: &FlowRecord) {
-        if self.index.get(record.remote).is_some() {
-            iotmap_obs::count!("traffic.contact.flows_matched");
-            self.per_line
-                .entry(record.line)
-                .or_default()
-                .insert(record.remote);
-        }
+        self.fold.fold(&mut self.per_line, record);
     }
 }
 
@@ -203,6 +241,26 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[0].lines_excluded >= w[1].lines_excluded);
             assert!(w[0].v4_visibility <= w[1].v4_visibility + 1e-12);
+        }
+    }
+
+    #[test]
+    fn contact_fold_merges_like_it_folds() {
+        let idx = index(50);
+        let records: Vec<FlowRecord> = (0..30)
+            .map(|i| flow(1 + i % 4, &format!("10.0.0.{}", 1 + i % 50)))
+            .collect();
+        let fold = ContactFold::new(&idx);
+        let mut serial = fold.make();
+        records.iter().for_each(|r| fold.fold(&mut serial, r));
+        for split in 0..=records.len() {
+            let (a, b) = records.split_at(split);
+            let mut left = fold.make();
+            a.iter().for_each(|r| fold.fold(&mut left, r));
+            let mut right = fold.make();
+            b.iter().for_each(|r| fold.fold(&mut right, r));
+            fold.merge(&mut left, right);
+            assert_eq!(left, serial, "split at {split}");
         }
     }
 

@@ -16,10 +16,24 @@ use crate::providers::DomainStyle;
 use crate::server::ServerId;
 use iotmap_dns::{resolve, ResolutionContext, RrType};
 use iotmap_faults::NetflowFaults;
-use iotmap_netflow::{BorderRouter, Direction, FlowRecord, FlowSink, LineId};
+use iotmap_netflow::{BorderRouter, Direction, FlowFold, FlowRecord, FlowSink, LineId};
 use iotmap_nettypes::{dist, Continent, Date, DomainName, SimDuration, SimRng, StudyPeriod};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
+
+/// Lines per generation block: bounds buffered flows regardless of
+/// population size.
+const BLOCK_LINES: usize = 2048;
+
+/// Adapter collecting routed exports into a block-local buffer so the
+/// streaming fold can shard over them.
+struct BufferSink<'v>(&'v mut Vec<FlowRecord>);
+
+impl FlowSink for BufferSink<'_> {
+    fn accept(&mut self, record: &FlowRecord) {
+        self.0.push(*record);
+    }
+}
 
 /// Summary counters from one simulation pass.
 #[derive(Debug, Default, Clone, Copy)]
@@ -124,53 +138,12 @@ impl<'a> TrafficSimulator<'a> {
             self.fault_seed,
             self.netflow_faults.clone(),
         );
-        let outage_relevant = period.overlaps(&world.events.outage.window);
-        let affected: HashSet<ServerId> = if outage_relevant {
-            world.outage_affected_servers()
-        } else {
-            HashSet::new()
-        };
+        let affected = self.affected_servers(period);
 
         let mut stats = TrafficStats::default();
         let flow_span = iotmap_obs::span!("netflow.flow_generation");
-        // Flow generation is pure per line (every line forks its RNG by id),
-        // so lines shard freely; only the border router is a shared,
-        // order-sensitive stage (its sampler RNG advances per record). The
-        // lines are processed in fixed-size blocks: each block's true flows
-        // are generated in parallel into per-line buffers, then routed
-        // serially in line order — the router consumes the exact record
-        // sequence of the old serial loop, so exports stay byte-identical
-        // at any thread count while buffering stays bounded.
-        const BLOCK_LINES: usize = 2048;
         for block in world.isp.lines.chunks(BLOCK_LINES) {
-            let buffers = iotmap_par::shard_map(block, |_i, line| {
-                let mut line_rng = rng.fork_idx(line.id);
-                let mut flows = Vec::new();
-                let mut line_stats = TrafficStats::default();
-                if let Some(kind) = line.scanner {
-                    self.run_scanner(
-                        line,
-                        kind,
-                        period,
-                        &mut line_rng,
-                        &mut flows,
-                        &mut line_stats,
-                    );
-                }
-                for (di, device) in line.devices.iter().enumerate() {
-                    let mut dev_rng = line_rng.fork_idx(di as u64 + 1);
-                    self.run_device(
-                        line,
-                        device,
-                        period,
-                        &affected,
-                        &mut dev_rng,
-                        &mut flows,
-                        &mut line_stats,
-                    );
-                }
-                (flows, line_stats)
-            });
+            let buffers = self.block_flows(block, period, &affected, &rng);
             for (flows, line_stats) in buffers {
                 stats.flows_generated += line_stats.flows_generated;
                 stats.device_days += line_stats.device_days;
@@ -186,6 +159,157 @@ impl<'a> TrafficSimulator<'a> {
         iotmap_obs::count!("netflow.flows_generated", stats.flows_generated);
         iotmap_obs::count!("world.device_days", stats.device_days);
         stats
+    }
+
+    /// Simulate a period, streaming exported flows through a mergeable
+    /// [`FlowFold`] instead of a serial sink. Peak memory is one block of
+    /// exported records plus the aggregate state — the full flow set is
+    /// never materialized. The fold consumes the exact export sequence of
+    /// [`TrafficSimulator::run`] (per-shard partials merge in shard
+    /// order), so the result is byte-identical to a serial sink pass at
+    /// any thread count.
+    pub fn run_fold<F>(&self, period: StudyPeriod, fold: &F) -> (F::Partial, TrafficStats)
+    where
+        F: FlowFold + Sync,
+    {
+        self.run_replicated_fold(period, 1, fold)
+    }
+
+    /// [`TrafficSimulator::run_fold`] over a subscriber population
+    /// replicated `replicas` times — the scale harness for ISP runs far
+    /// beyond the world's materialized line count.
+    ///
+    /// Replica `r` re-derives every line with id `line.id + r * n`
+    /// (forking fresh RNG streams, so replicas produce distinct
+    /// households, not copies) and the border router anonymizes over the
+    /// full `replicas * n` line space. Scanner lines are only simulated
+    /// in replica 0: the scanner *population* is a property of the
+    /// world's config, not of the scale factor.
+    pub fn run_replicated_fold<F>(
+        &self,
+        period: StudyPeriod,
+        replicas: u64,
+        fold: &F,
+    ) -> (F::Partial, TrafficStats)
+    where
+        F: FlowFold + Sync,
+    {
+        assert!(replicas >= 1, "at least one replica");
+        let _span = iotmap_obs::span!("world.traffic_simulation");
+        let world = self.world;
+        let n = world.isp.lines.len() as u64;
+        let rng = SimRng::new(world.config.seed).fork("traffic");
+        let mut router = BorderRouter::with_faults(
+            world.config.sampling_rate,
+            replicas * n - 1,
+            world.config.seed ^ 0x0150_cafe,
+            rng.fork("router"),
+            self.fault_seed,
+            self.netflow_faults.clone(),
+        );
+        let affected = self.affected_servers(period);
+
+        let mut stats = TrafficStats::default();
+        let mut acc = fold.make();
+        let flow_span = iotmap_obs::span!("netflow.flow_generation");
+        let mut exported: Vec<FlowRecord> = Vec::new();
+        for rep in 0..replicas {
+            for block in world.isp.lines.chunks(BLOCK_LINES) {
+                let replica_block: Vec<SubscriberLine>;
+                let block: &[SubscriberLine] = if rep == 0 {
+                    block
+                } else {
+                    replica_block = block
+                        .iter()
+                        .map(|l| {
+                            let mut l = l.clone();
+                            l.id += rep * n;
+                            l.scanner = None;
+                            l
+                        })
+                        .collect();
+                    &replica_block
+                };
+                let buffers = self.block_flows(block, period, &affected, &rng);
+                exported.clear();
+                let mut buffer_sink = BufferSink(&mut exported);
+                for (flows, line_stats) in buffers {
+                    stats.flows_generated += line_stats.flows_generated;
+                    stats.device_days += line_stats.device_days;
+                    for record in &flows {
+                        router.process(record, &mut buffer_sink);
+                    }
+                }
+                let partial = iotmap_par::shard_fold(
+                    &exported,
+                    |_| fold.make(),
+                    |acc, _i, r| fold.fold(acc, r),
+                    |a, b| fold.merge(a, b),
+                );
+                fold.merge(&mut acc, partial);
+            }
+        }
+        drop(flow_span);
+        stats.flows_exported = router.exported;
+        router.flush_metrics();
+        iotmap_obs::count!("netflow.flows_generated", stats.flows_generated);
+        iotmap_obs::count!("world.device_days", stats.device_days);
+        (acc, stats)
+    }
+
+    /// Outage-affected servers, when the period overlaps the event.
+    fn affected_servers(&self, period: StudyPeriod) -> HashSet<ServerId> {
+        if period.overlaps(&self.world.events.outage.window) {
+            self.world.outage_affected_servers()
+        } else {
+            HashSet::new()
+        }
+    }
+
+    /// Generate one block's true flows in parallel, one buffer per line.
+    ///
+    /// Flow generation is pure per line (every line forks its RNG by id),
+    /// so lines shard freely; only the border router is a shared,
+    /// order-sensitive stage (its sampler RNG advances per record). Each
+    /// block's buffers are then routed serially in line order — the
+    /// router consumes the exact record sequence of a serial loop, so
+    /// exports stay byte-identical at any thread count while buffering
+    /// stays bounded.
+    fn block_flows(
+        &self,
+        block: &[SubscriberLine],
+        period: StudyPeriod,
+        affected: &HashSet<ServerId>,
+        rng: &SimRng,
+    ) -> Vec<(Vec<FlowRecord>, TrafficStats)> {
+        iotmap_par::shard_map(block, |_i, line| {
+            let mut line_rng = rng.fork_idx(line.id);
+            let mut flows = Vec::new();
+            let mut line_stats = TrafficStats::default();
+            if let Some(kind) = line.scanner {
+                self.run_scanner(
+                    line,
+                    kind,
+                    period,
+                    &mut line_rng,
+                    &mut flows,
+                    &mut line_stats,
+                );
+            }
+            for (di, device) in line.devices.iter().enumerate() {
+                let mut dev_rng = line_rng.fork_idx(di as u64 + 1);
+                self.run_device(
+                    line,
+                    device,
+                    period,
+                    affected,
+                    &mut dev_rng,
+                    &mut flows,
+                    &mut line_stats,
+                );
+            }
+            (flows, line_stats)
+        })
     }
 
     /// One device over the whole period, appending its true flows to `out`.
@@ -698,6 +822,53 @@ mod tests {
             })
             .count();
         assert!(us_flows > 0);
+    }
+
+    #[test]
+    fn fold_run_matches_sink_run() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let mut sink = iotmap_netflow::CountingSink::default();
+        let sink_stats = sim.run(w.config.study_period, &mut sink);
+        let (totals, fold_stats) =
+            sim.run_fold(w.config.study_period, &iotmap_netflow::CountingFold);
+        assert_eq!(totals.records, sink.records);
+        assert_eq!(fold_stats.flows_generated, sink_stats.flows_generated);
+        assert_eq!(fold_stats.flows_exported, sink_stats.flows_exported);
+        assert_eq!(fold_stats.device_days, sink_stats.device_days);
+    }
+
+    #[test]
+    fn fold_run_is_thread_invariant() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let serial = iotmap_par::with_threads(1, || {
+            sim.run_fold(w.config.study_period, &iotmap_netflow::CountingFold)
+        });
+        let sharded = iotmap_par::with_threads(4, || {
+            sim.run_fold(w.config.study_period, &iotmap_netflow::CountingFold)
+        });
+        assert_eq!(serial.0, sharded.0);
+        assert_eq!(serial.1.flows_exported, sharded.1.flows_exported);
+    }
+
+    #[test]
+    fn replicated_fold_scales_the_population() {
+        let w = world();
+        let sim = TrafficSimulator::new(&w);
+        let (one, one_stats) =
+            sim.run_replicated_fold(w.config.study_period, 1, &iotmap_netflow::CountingFold);
+        let (three, three_stats) =
+            sim.run_replicated_fold(w.config.study_period, 3, &iotmap_netflow::CountingFold);
+        // Replicas 1..3 carry no scanner lines, so growth is roughly — not
+        // exactly — linear in the household population.
+        assert!(three.records > one.records * 2, "{three:?} vs {one:?}");
+        assert!(three_stats.device_days > one_stats.device_days * 2);
+        // Replica 0 is the unreplicated population: byte-identical stats.
+        assert_eq!(one_stats.flows_exported, {
+            let (_, s) = sim.run_fold(w.config.study_period, &iotmap_netflow::CountingFold);
+            s.flows_exported
+        });
     }
 
     #[test]

@@ -49,6 +49,18 @@ cargo run --release -q -p iotmap-bench --bin exp -- \
   bench --preset small --seed 42 --threads 1 --cache "$tmp_bench/cache" \
   --out "$tmp_bench" --baseline scripts/bench-baseline-small.json --gate >/dev/null
 
+# The CI scale-smoke gate, condensed: the --scale phases must spool the
+# replicated corpus out of core and stream the replicated ISP pass —
+# the binary itself enforces the documented peak-RSS ceiling and the
+# history gate; the grep re-asserts that a real (non-zero) RSS reading
+# landed in the report.
+echo "==> scale smoke (exp bench --preset small --scale 4 --gate)"
+cargo run --release -q -p iotmap-bench --bin exp -- \
+  bench --preset small --seed 42 --threads 1 --scale 4 \
+  --out "$tmp_bench" --history "$tmp_bench/scale_history.jsonl" --gate >/dev/null
+grep -q '"peak_rss_bytes": [1-9]' "$tmp_bench/BENCH_pipeline.json" \
+  || { echo "peak_rss_bytes missing from BENCH_pipeline.json"; exit 1; }
+
 # The profiler's smoke path: the full prepare pipeline instrumented, the
 # trace exported as Chrome Trace Event JSON, and the report printed —
 # the trace path runs on every check, not just when someone profiles.

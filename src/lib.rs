@@ -85,7 +85,9 @@ use iotmap_faults::FaultPlan;
 use iotmap_netflow::LineId;
 use iotmap_nettypes::{Error, StudyPeriod};
 use iotmap_super::{CheckpointStore, StageArtifact, StagePolicy, Supervisor};
-use iotmap_traffic::{AnalysisReport, AnalysisSink, ContactSink, IpIndex, ScannerAnalysis};
+use iotmap_traffic::{
+    AnalysisFold, AnalysisReport, ContactFold, ContactSink, IpIndex, ScannerAnalysis,
+};
 use iotmap_world::{CollectedScans, TrafficSimulator, World, WorldConfig};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
@@ -893,12 +895,14 @@ impl RunArtifacts {
     }
 
     /// First traffic pass: per-line backend contact sets over a period.
+    ///
+    /// Runs as a streaming fold: per-shard partials merged in shard
+    /// order, byte-identical to the serial sink at any thread count.
     pub fn contact_pass(&self, period: StudyPeriod) -> ContactSink<'_> {
         let _span = iotmap_obs::span!("traffic.contact_pass");
         let sim = self.simulator();
-        let mut sink = ContactSink::new(&self.index);
-        sim.run(period, &mut sink);
-        sink
+        let (per_line, _) = sim.run_fold(period, &ContactFold::new(&self.index));
+        ContactSink::from_parts(&self.index, per_line)
     }
 
     /// Scanner exclusion at the paper's threshold.
@@ -912,12 +916,34 @@ impl RunArtifacts {
 
     /// Second traffic pass: the full analysis report with scanners
     /// excluded.
+    ///
+    /// Runs as a streaming fold like [`contact_pass`](RunArtifacts::contact_pass).
     pub fn analysis_pass(&self, period: StudyPeriod, excluded: &HashSet<LineId>) -> AnalysisReport {
         let _span = iotmap_obs::span!("traffic.analysis_pass");
         let sim = self.simulator();
-        let mut sink = AnalysisSink::new(&self.index, excluded, period);
-        sim.run(period, &mut sink);
-        sink.into_report()
+        let fold = AnalysisFold::new(&self.index, excluded, period);
+        let (partial, _) = sim.run_fold(period, &fold);
+        fold.into_report(partial)
+    }
+
+    /// The analysis pass over a **replicated** subscriber population:
+    /// replica `r` clones every line with `id += r × n` (scanners
+    /// dropped from clones so exclusion stays a base-population
+    /// concept), and the flows stream through the fold block by block —
+    /// the §5 analysis at `replicas ×` the world's line count without
+    /// ever materializing the scaled flow set. `replicas == 1` is
+    /// byte-identical to [`analysis_pass`](RunArtifacts::analysis_pass).
+    pub fn scaled_analysis_pass(
+        &self,
+        period: StudyPeriod,
+        replicas: u64,
+        excluded: &HashSet<LineId>,
+    ) -> AnalysisReport {
+        let _span = iotmap_obs::span!("traffic.scaled_analysis_pass");
+        let sim = self.simulator();
+        let fold = AnalysisFold::new(&self.index, excluded, period);
+        let (partial, _) = sim.run_replicated_fold(period, replicas, &fold);
+        fold.into_report(partial)
     }
 
     /// Convenience: contact pass → exclusion → analysis pass.
