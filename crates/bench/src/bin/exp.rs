@@ -143,6 +143,14 @@ fn main() {
         return;
     }
 
+    // The scenario engine is its own mode: it runs an event-free baseline,
+    // then each declarative scenario file, measures per-event resilience
+    // deltas against the baseline, and writes BENCH_scenarios.json.
+    if opts.experiment == "scenario" {
+        run_scenario(&opts, &config, &fault_plan);
+        return;
+    }
+
     // Observability: `--trace`, `--metrics`, and `--trace-out` install a
     // recorder for the whole run; the report is emitted just before exit.
     let instrumented = opts.trace || opts.metrics.is_some() || opts.trace_out.is_some();
@@ -2578,5 +2586,296 @@ fn run_longitudinal(
             "  cost gate            : ok ({:.1}% of a full re-run, floor 25%)",
             ratio * 100.0
         );
+    }
+}
+
+/// `exp scenario` — run declarative world-event scenarios and measure
+/// graceful degradation. An event-free baseline runs first; then every
+/// scenario file runs over the same `(config, faults, threads)`, its
+/// engine phase executes twice as a byte-determinism oracle, and the
+/// per-event precision/recall/footprint-stability deltas against the
+/// baseline land in BENCH_scenarios.json.
+fn run_scenario(
+    opts: &iotmap_bench::CliOptions,
+    config: &WorldConfig,
+    faults: &iotmap_faults::FaultPlan,
+) {
+    use iotmap::scenario::{measure_resilience, Scenario};
+    use iotmap_bench::Pipeline;
+
+    // Collect (file, parsed scenario) pairs from --file / --matrix.
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    if let Some(f) = &opts.file {
+        files.push(std::path::PathBuf::from(f));
+    }
+    if let Some(dir) = &opts.matrix {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("--matrix {dir:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut found: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+            .collect();
+        found.sort();
+        if found.is_empty() {
+            eprintln!("--matrix {dir:?}: no *.scn files");
+            std::process::exit(2);
+        }
+        files.extend(found);
+    }
+    if files.is_empty() {
+        eprintln!("the scenario experiment needs --file SCENARIO.scn or --matrix DIR");
+        std::process::exit(2);
+    }
+    let scenarios: Vec<(std::path::PathBuf, Scenario)> = files
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let scenario = Scenario::parse(&text).unwrap_or_else(|e| {
+                eprintln!("{}: {e}", path.display());
+                std::process::exit(2);
+            });
+            (path, scenario)
+        })
+        .collect();
+
+    // `--trace`/`--metrics`/`--trace-out` instrument the whole matrix; the
+    // `scenario.*` gauges emitted by measure_resilience land in the run
+    // report, so the metrics markdown carries the `## Resilience` table.
+    let instrumented = opts.trace || opts.metrics.is_some() || opts.trace_out.is_some();
+    let registry = std::rc::Rc::new(iotmap_obs::Registry::new());
+    if instrumented {
+        iotmap_obs::install(registry.clone());
+    }
+
+    let prepare = |scenario: Option<&Scenario>| {
+        let mut pipeline = Pipeline::new(config.clone())
+            .threads(opts.threads)
+            .faults(faults.clone());
+        if let Some(dir) = opts.cache.as_deref() {
+            pipeline = pipeline.cache(dir);
+        }
+        if let Some(sc) = scenario {
+            pipeline = pipeline.scenario(sc.clone());
+        }
+        pipeline.prepare().unwrap_or_else(|e| {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let execute = |prepared: &iotmap::PreparedWorld, what: &str| {
+        prepared.execute().unwrap_or_else(|e| {
+            eprintln!("{what}: engine failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let discovered_providers = |artifacts: &iotmap::RunArtifacts| {
+        artifacts
+            .discovery
+            .per_provider()
+            .filter(|(_, d)| !d.ips.is_empty())
+            .count()
+    };
+
+    eprintln!(
+        "# scenario: event-free baseline (seed {}, preset {}, faults {}, threads {})…",
+        config.seed, opts.preset, opts.faults, opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    let baseline = execute(&prepare(None), "baseline");
+    let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "# scenario: baseline ready in {baseline_ms:.1} ms ({} providers, {} IPs)",
+        discovered_providers(&baseline),
+        baseline.discovery.all_ips().len()
+    );
+
+    struct ScenarioRow {
+        file: String,
+        name: String,
+        fingerprint: u64,
+        events: usize,
+        skipped: u64,
+        providers_discovered: usize,
+        discovered_ips: usize,
+        deterministic: bool,
+        run_ms: f64,
+        resilience: Vec<iotmap::scenario::EventResilience>,
+    }
+    let mut rows: Vec<ScenarioRow> = Vec::new();
+    let mut all_deterministic = true;
+    for (path, scenario) in &scenarios {
+        eprintln!(
+            "# scenario: {} ({} events)…",
+            scenario.name,
+            scenario.timeline.events.len()
+        );
+        let t = std::time::Instant::now();
+        let prepared = prepare(Some(scenario));
+        let artifacts = execute(&prepared, &scenario.name);
+        let run_ms = t.elapsed().as_secs_f64() * 1e3;
+        // Determinism oracle: a second engine execution over the same
+        // prepared world must produce byte-identical artifacts.
+        let deterministic =
+            execute(&prepared, &scenario.name).canonical_dump() == artifacts.canonical_dump();
+        all_deterministic &= deterministic;
+        let resilience = measure_resilience(
+            scenario,
+            &artifacts.world,
+            &baseline.discovery,
+            &baseline.footprints,
+            &artifacts.discovery,
+            &artifacts.footprints,
+        );
+        eprintln!(
+            "# scenario: {}: {} providers, {} IPs, {} skipped events, {}",
+            scenario.name,
+            discovered_providers(&artifacts),
+            artifacts.discovery.all_ips().len(),
+            artifacts.world.timeline.skipped,
+            if deterministic {
+                "deterministic"
+            } else {
+                "NON-DETERMINISTIC"
+            }
+        );
+        rows.push(ScenarioRow {
+            file: path.display().to_string(),
+            name: scenario.name.clone(),
+            fingerprint: scenario.fingerprint(),
+            events: scenario.timeline.events.len(),
+            skipped: artifacts.world.timeline.skipped,
+            providers_discovered: discovered_providers(&artifacts),
+            discovered_ips: artifacts.discovery.all_ips().len(),
+            deterministic,
+            run_ms,
+            resilience,
+        });
+    }
+
+    println!(
+        "scenario matrix (preset {}, seed {}, threads {}, faults {})",
+        opts.preset, config.seed, opts.threads, opts.faults
+    );
+    println!(
+        "  baseline             : {} providers, {} IPs, {baseline_ms:.1} ms",
+        discovered_providers(&baseline),
+        baseline.discovery.all_ips().len()
+    );
+    for row in &rows {
+        println!(
+            "  {:<20} : {} events, {} providers, {} IPs, {}, {:.1} ms",
+            row.name,
+            row.events,
+            row.providers_discovered,
+            row.discovered_ips,
+            if row.deterministic {
+                "deterministic"
+            } else {
+                "NON-DETERMINISTIC"
+            },
+            row.run_ms,
+        );
+        for ev in &row.resilience {
+            for p in &ev.providers {
+                println!(
+                    "    {:<40} {:<12} Δprecision {:+5}‰  Δrecall {:+5}‰  stability {:4}‰",
+                    ev.label,
+                    p.provider,
+                    p.precision_delta_pm,
+                    p.recall_delta_pm,
+                    p.footprint_stability_pm,
+                );
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"iotmap-bench/scenarios-v1\",\n");
+    json.push_str(&format!("  \"preset\": \"{}\",\n", opts.preset));
+    json.push_str(&format!("  \"seed\": {},\n", config.seed));
+    json.push_str(&format!("  \"threads\": {},\n", opts.threads));
+    json.push_str(&format!("  \"faults\": \"{}\",\n", opts.faults));
+    json.push_str(&format!(
+        "  \"baseline\": {{\"providers_discovered\": {}, \"discovered_ips\": {}, \
+         \"run_ms\": {baseline_ms:.3}}},\n",
+        discovered_providers(&baseline),
+        baseline.discovery.all_ips().len()
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"file\": \"{}\", \"fingerprint\": \"{:016x}\", \
+             \"events\": {}, \"skipped_events\": {}, \"providers_discovered\": {}, \
+             \"discovered_ips\": {}, \"deterministic\": {}, \"run_ms\": {:.3}, \
+             \"resilience\": [",
+            row.name,
+            row.file,
+            row.fingerprint,
+            row.events,
+            row.skipped,
+            row.providers_discovered,
+            row.discovered_ips,
+            row.deterministic,
+            row.run_ms,
+        ));
+        let mut first = true;
+        for ev in &row.resilience {
+            for p in &ev.providers {
+                if !first {
+                    json.push_str(", ");
+                }
+                first = false;
+                json.push_str(&format!(
+                    "{{\"event\": \"{}\", \"provider\": \"{}\", \"precision_delta_pm\": {}, \
+                     \"recall_delta_pm\": {}, \"footprint_stability_pm\": {}, \
+                     \"discovered\": {}}}",
+                    ev.label,
+                    p.provider,
+                    p.precision_delta_pm,
+                    p.recall_delta_pm,
+                    p.footprint_stability_pm,
+                    p.discovered,
+                ));
+            }
+        }
+        json.push_str(&format!("]}}{comma}\n"));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    let path = match &opts.out_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("# failed to create {dir}: {e}");
+                std::process::exit(1);
+            }
+            std::path::Path::new(dir).join("BENCH_scenarios.json")
+        }
+        None => std::path::PathBuf::from("BENCH_scenarios.json"),
+    };
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("# failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {}", path.display());
+
+    if instrumented {
+        iotmap_obs::uninstall();
+        emit_observability(opts, &registry.report());
+    }
+
+    if !all_deterministic {
+        eprintln!("# scenario: determinism oracle FAILED — see rows above");
+        std::process::exit(1);
     }
 }

@@ -173,6 +173,11 @@ pub struct CliOptions {
     /// `IOTMAP_CACHE` when set). See [`Pipeline::cache`] for how the
     /// cache composes with checkpoints and resume.
     pub cache: Option<String>,
+    /// For `scenario`: one scenario file to run (`--file F`).
+    pub file: Option<String>,
+    /// For `scenario`: run every `*.scn` file in a directory
+    /// (`--matrix DIR`).
+    pub matrix: Option<String>,
 }
 
 impl CliOptions {
@@ -206,6 +211,8 @@ impl CliOptions {
         let mut cache = std::env::var("IOTMAP_CACHE")
             .ok()
             .filter(|v| !v.trim().is_empty());
+        let mut file = None;
+        let mut matrix = None;
         let mut it = args.skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -296,6 +303,14 @@ impl CliOptions {
                 "--cache" => {
                     cache = Some(it.next().ok_or("--cache needs a directory")?);
                 }
+                "--file" => {
+                    file = Some(it.next().ok_or("--file needs a scenario file path")?);
+                    mode_flags.push("--file");
+                }
+                "--matrix" => {
+                    matrix = Some(it.next().ok_or("--matrix needs a directory")?);
+                    mode_flags.push("--matrix");
+                }
                 "--help" | "-h" => return Err(usage()),
                 other if experiment.is_none() && !other.starts_with('-') => {
                     experiment = Some(other.to_string());
@@ -313,6 +328,7 @@ impl CliOptions {
                 "--top" | "--smoke" => &["profile"],
                 "--days" => &["longitudinal"],
                 "--scale" => &["bench"],
+                "--file" | "--matrix" => &["scenario"],
                 _ => unreachable!("unlisted mode flag {flag}"),
             };
             if !allowed.contains(&experiment.as_str()) {
@@ -344,6 +360,8 @@ impl CliOptions {
             checkpoints,
             resume,
             cache,
+            file,
+            matrix,
         })
     }
 
@@ -380,10 +398,11 @@ fn usage() -> String {
      \x20          [--faults none|light|heavy|FILE] [--baseline BENCH_pipeline.json]\n\
      \x20          [--checkpoints DIR] [--resume DIR] [--cache DIR] [--history FILE]\n\
      \x20          [--gate] [--top N] [--smoke] [--days N] [--scale N]\n\
+     \x20          [--file SCENARIO.scn] [--matrix DIR]\n\
      experiments: table1 fig3 fig4 fig5..fig16 vantage validation shared \
      diversity ports-observed consistency sec62-bgp sec62-blocklist \
      outage-deps cascade monitor ablation-coverage ablation-hitlist robustness \
-     bench crash-recovery profile longitudinal"
+     bench crash-recovery profile longitudinal scenario"
         .to_string()
 }
 
@@ -535,6 +554,39 @@ mod tests {
     }
 
     #[test]
+    fn cli_scenario_flags() {
+        let opts = CliOptions::parse(["exp", "scenario"].iter().map(|s| s.to_string())).unwrap();
+        assert!(opts.file.is_none());
+        assert!(opts.matrix.is_none());
+
+        let opts = CliOptions::parse(
+            ["exp", "scenario", "--file", "scenarios/cert_storm.scn"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.file.as_deref(), Some("scenarios/cert_storm.scn"));
+
+        let opts = CliOptions::parse(
+            ["exp", "scenario", "--matrix", "scenarios"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.matrix.as_deref(), Some("scenarios"));
+
+        assert!(
+            CliOptions::parse(["exp", "scenario", "--file"].iter().map(|s| s.to_string())).is_err()
+        );
+        assert!(CliOptions::parse(
+            ["exp", "scenario", "--matrix"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .is_err());
+    }
+
+    #[test]
     fn cli_rejects_mode_flags_on_other_experiments() {
         // A mode-specific flag handed to an experiment that cannot honour
         // it must be an error, not a silent no-op.
@@ -551,6 +603,10 @@ mod tests {
             &["exp", "table1", "--scale", "4"],
             &["exp", "profile", "--scale", "4"],
             &["exp", "longitudinal", "--scale", "4"],
+            &["exp", "table1", "--file", "s.scn"],
+            &["exp", "bench", "--file", "s.scn"],
+            &["exp", "table1", "--matrix", "scenarios"],
+            &["exp", "longitudinal", "--matrix", "scenarios"],
         ];
         for case in cases {
             let err = CliOptions::parse(case.iter().map(|s| s.to_string()))

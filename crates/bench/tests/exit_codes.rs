@@ -45,6 +45,51 @@ fn usage_errors_exit_2() {
     let out = exp().args(["bench", "--scale", "lots"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("scale"));
+
+    // `--file` and `--matrix` are scenario-only.
+    let out = exp().args(["table1", "--file", "x.scn"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--file"));
+    let out = exp()
+        .args(["longitudinal", "--matrix", "scenarios"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--matrix"));
+
+    // The scenario experiment needs a source of scenarios, the file must
+    // parse, and a matrix directory must contain at least one *.scn.
+    let out = exp().arg("scenario").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--file") && stderr.contains("--matrix"),
+        "stderr: {stderr}"
+    );
+
+    let dir = scratch("scn");
+    let bad = dir.join("bad.scn");
+    std::fs::write(
+        &bad,
+        "[scenario]\nname = x\n[cert_storm]\nprovider = nope\nday = 1\nreissue = 0.5\n",
+    )
+    .unwrap();
+    let out = exp()
+        .args(["scenario", "--file", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown provider"));
+
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = exp()
+        .args(["scenario", "--matrix", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no *.scn"));
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -425,21 +425,23 @@ impl FaultPlan {
     /// ```
     pub fn parse_config(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
+        let sections = iotmap_nettypes::kvconf::parse(text)?;
+        for section in &sections {
+            if let Some(name) = &section.name {
+                return Err(format!(
+                    "line {}: fault plans have no sections (found [{name}])",
+                    section.line
+                ));
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
-            let (key, value) = (key.trim(), value.trim());
+        }
+        for entry in &sections[0].entries {
+            let (key, value, lineno) = (entry.key.as_str(), entry.value.as_str(), entry.line);
             let rate = |v: &str| -> Result<f64, String> {
                 let r: f64 = v
                     .parse()
-                    .map_err(|e| format!("line {}: bad rate {v:?}: {e}", lineno + 1))?;
+                    .map_err(|e| format!("line {lineno}: bad rate {v:?}: {e}"))?;
                 if !(0.0..=1.0).contains(&r) {
-                    return Err(format!("line {}: rate {r} outside [0, 1]", lineno + 1));
+                    return Err(format!("line {lineno}: rate {r} outside [0, 1]"));
                 }
                 Ok(r)
             };
@@ -447,7 +449,7 @@ impl FaultPlan {
                 "seed" => {
                     plan.seed = value
                         .parse()
-                        .map_err(|e| format!("line {}: bad seed: {e}", lineno + 1))?;
+                        .map_err(|e| format!("line {lineno}: bad seed: {e}"))?;
                 }
                 "censys.sweep_gap_rate" => plan.censys.sweep_gap_rate = rate(value)?,
                 "censys.truncation_rate" => plan.censys.truncation_rate = rate(value)?,
@@ -474,12 +476,12 @@ impl FaultPlan {
                 "crash.max_crashes" => {
                     plan.crash.max_crashes = value
                         .parse()
-                        .map_err(|e| format!("line {}: bad crash budget: {e}", lineno + 1))?;
+                        .map_err(|e| format!("line {lineno}: bad crash budget: {e}"))?;
                 }
                 "crash.kill_after_stage" => {
                     plan.crash.kill_after_stage = Some(value.to_string());
                 }
-                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+                other => return Err(format!("line {lineno}: unknown key {other:?}")),
             }
         }
         Ok(plan)
@@ -489,9 +491,9 @@ impl FaultPlan {
 fn parse_attempts(value: &str, lineno: usize) -> Result<u32, String> {
     let n: u32 = value
         .parse()
-        .map_err(|e| format!("line {}: bad attempt count: {e}", lineno + 1))?;
+        .map_err(|e| format!("line {lineno}: bad attempt count: {e}"))?;
     if n == 0 {
-        return Err(format!("line {}: max_attempts must be >= 1", lineno + 1));
+        return Err(format!("line {lineno}: max_attempts must be >= 1"));
     }
     Ok(n)
 }
@@ -504,17 +506,17 @@ fn parse_windows(value: &str, lineno: usize) -> Result<Vec<(u32, u32)>, String> 
         .map(|w| {
             let (off, len) = w
                 .split_once('+')
-                .ok_or_else(|| format!("line {}: window {w:?} is not `offset+len`", lineno + 1))?;
+                .ok_or_else(|| format!("line {lineno}: window {w:?} is not `offset+len`"))?;
             let off: u32 = off
                 .trim()
                 .parse()
-                .map_err(|e| format!("line {}: bad window offset: {e}", lineno + 1))?;
+                .map_err(|e| format!("line {lineno}: bad window offset: {e}"))?;
             let len: u32 = len
                 .trim()
                 .parse()
-                .map_err(|e| format!("line {}: bad window length: {e}", lineno + 1))?;
+                .map_err(|e| format!("line {lineno}: bad window length: {e}"))?;
             if len == 0 {
-                return Err(format!("line {}: zero-length window", lineno + 1));
+                return Err(format!("line {lineno}: zero-length window"));
             }
             Ok((off, len))
         })

@@ -1,0 +1,161 @@
+//! Minimal `key = value` config format with optional `[section]` headers.
+//!
+//! This is the shared syntax layer behind the `--faults FILE` plan format
+//! and the scenario-file format: `#` starts a comment, blank lines are
+//! skipped, a line is either a `[section]` header or a `key = value`
+//! entry. Semantic validation (known keys, value ranges) stays with the
+//! caller; this module only tokenizes and carries 1-based line numbers so
+//! callers can report errors against the source file.
+//!
+//! ```text
+//! # root entries come before any section header
+//! seed = 7
+//!
+//! [outage]
+//! cloud = aws
+//! region = us-east-1
+//! ```
+
+/// One `key = value` line, with its 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub key: String,
+    pub value: String,
+    /// 1-based line number in the source text.
+    pub line: usize,
+}
+
+/// A run of entries under one `[name]` header (or the implicit root
+/// section before the first header, whose `name` is `None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// `None` for the implicit root section, `Some(name)` for `[name]`.
+    pub name: Option<String>,
+    /// 1-based line number of the `[name]` header (0 for the root).
+    pub line: usize,
+    pub entries: Vec<Entry>,
+}
+
+impl Section {
+    /// Look up the last entry with the given key, if any.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().rev().find(|e| e.key == key)
+    }
+}
+
+/// Parse a config text into sections. The first element is always the
+/// implicit root section (possibly with no entries); named sections
+/// follow in source order and may repeat.
+pub fn parse(text: &str) -> Result<Vec<Section>, String> {
+    let mut sections = vec![Section {
+        name: None,
+        line: 0,
+        entries: Vec::new(),
+    }];
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unclosed section header {line:?}"))?
+                .trim();
+            if name.is_empty() {
+                return Err(format!("line {lineno}: empty section name"));
+            }
+            sections.push(Section {
+                name: Some(name.to_string()),
+                line: lineno,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        }
+        sections.last_mut().unwrap().entries.push(Entry {
+            key: key.to_string(),
+            value: value.trim().to_string(),
+            line: lineno,
+        });
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_root_and_sections() {
+        let text = "\
+# header comment
+seed = 7
+
+[outage]
+cloud = aws   # inline comment
+region = us-east-1
+
+[outage]
+cloud = azure
+";
+        let sections = parse(text).unwrap();
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].name, None);
+        assert_eq!(sections[0].entries.len(), 1);
+        assert_eq!(sections[0].entries[0].key, "seed");
+        assert_eq!(sections[0].entries[0].value, "7");
+        assert_eq!(sections[0].entries[0].line, 2);
+        assert_eq!(sections[1].name.as_deref(), Some("outage"));
+        assert_eq!(sections[1].line, 4);
+        assert_eq!(sections[1].get("cloud").unwrap().value, "aws");
+        assert_eq!(sections[1].get("region").unwrap().value, "us-east-1");
+        assert_eq!(sections[2].get("cloud").unwrap().value, "azure");
+    }
+
+    #[test]
+    fn empty_text_yields_bare_root() {
+        let sections = parse("").unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].name, None);
+        assert!(sections[0].entries.is_empty());
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let sections = parse("a = 1\nb = 2").unwrap();
+        assert_eq!(sections[0].entries[0].line, 1);
+        assert_eq!(sections[0].entries[1].line, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(
+            parse("not an entry").unwrap_err(),
+            "line 1: expected `key = value`"
+        );
+        assert_eq!(
+            parse("= value").unwrap_err(),
+            "line 1: expected `key = value`"
+        );
+        assert_eq!(
+            parse("seed = 1\n[open\n").unwrap_err(),
+            "line 2: unclosed section header \"[open\""
+        );
+        assert_eq!(parse("[ ]").unwrap_err(), "line 1: empty section name");
+    }
+
+    #[test]
+    fn get_returns_last_duplicate() {
+        let sections = parse("k = first\nk = second").unwrap();
+        assert_eq!(sections[0].get("k").unwrap().value, "second");
+        assert!(sections[0].get("missing").is_none());
+    }
+}

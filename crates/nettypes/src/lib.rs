@@ -27,6 +27,7 @@ pub mod error;
 pub mod geo;
 pub mod intern;
 pub mod interval;
+pub mod kvconf;
 pub mod name;
 pub mod ports;
 pub mod prefix;

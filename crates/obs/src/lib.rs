@@ -50,7 +50,7 @@ mod report;
 mod span;
 
 pub use metrics::{Histogram, HistogramSnapshot, Registry, DEFAULT_BUCKETS};
-pub use report::{RunReport, SourceCompleteness, SpanNode};
+pub use report::{EventResilienceRow, RunReport, SourceCompleteness, SpanNode};
 pub use span::SpanGuard;
 
 /// JSONL report format version written by [`RunReport::to_jsonl`]. v2

@@ -79,6 +79,20 @@ fn json_u64_array(values: &[u64]) -> String {
     format!("[{}]", cells.join(","))
 }
 
+/// One `(event, provider)` row of the scenario-resilience summary,
+/// derived from the `scenario.<event>.<provider>.*` gauges the
+/// resilience measurement publishes. Deltas are scenario-minus-baseline
+/// in permille; stability is a permille Jaccard similarity (1000 =
+/// footprint unchanged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventResilienceRow {
+    pub event: String,
+    pub provider: String,
+    pub precision_delta_pm: i64,
+    pub recall_delta_pm: i64,
+    pub footprint_stability_pm: i64,
+}
+
 /// Per-source completeness under a fault plan, derived from the
 /// `faults.<source>.*` counters the instruments emit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -265,6 +279,43 @@ impl RunReport {
         by_source.into_values().collect()
     }
 
+    /// The scenario-resilience summary: one row per `(event, provider)`
+    /// pair that published any `scenario.<event>.<provider>.*` gauge, in
+    /// `(event, provider)` order. Empty for a scenario-free run —
+    /// baseline reports carry no trace of the scenario layer at all.
+    pub fn resilience(&self) -> Vec<EventResilienceRow> {
+        let mut rows: BTreeMap<(String, String), EventResilienceRow> = BTreeMap::new();
+        for (name, &value) in &self.gauges {
+            let Some(rest) = name.strip_prefix("scenario.") else {
+                continue;
+            };
+            // Event labels and provider names never contain '.', so the
+            // last two dots delimit `<event>.<provider>.<field>`.
+            let mut parts = rest.rsplitn(3, '.');
+            let (Some(field), Some(provider), Some(event)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let row = rows
+                .entry((event.to_string(), provider.to_string()))
+                .or_insert_with(|| EventResilienceRow {
+                    event: event.to_string(),
+                    provider: provider.to_string(),
+                    precision_delta_pm: 0,
+                    recall_delta_pm: 0,
+                    footprint_stability_pm: 1000,
+                });
+            match field {
+                "precision_delta_pm" => row.precision_delta_pm = value,
+                "recall_delta_pm" => row.recall_delta_pm = value,
+                "footprint_stability_pm" => row.footprint_stability_pm = value,
+                _ => {}
+            }
+        }
+        rows.into_values().collect()
+    }
+
     /// Render the span tree alone (the `--trace` output of `exp`) as an
     /// indented text flame summary: duration, share of the parent,
     /// self-time for interior nodes, and any shard attribution.
@@ -417,6 +468,23 @@ impl RunReport {
                 ));
             }
         }
+        let resilience = self.resilience();
+        if !resilience.is_empty() {
+            out.push_str(
+                "\n## Resilience\n\n| event | provider | Δprecision (‰) | Δrecall (‰) | \
+                 footprint stability (‰) |\n|---|---|---:|---:|---:|\n",
+            );
+            for row in &resilience {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} |\n",
+                    row.event,
+                    row.provider,
+                    row.precision_delta_pm,
+                    row.recall_delta_pm,
+                    row.footprint_stability_pm
+                ));
+            }
+        }
         let recovery = self.recovery();
         if !recovery.is_trivial() {
             out.push_str("\n## Recovery\n");
@@ -545,6 +613,18 @@ impl RunReport {
                 row.dropped,
                 row.retried,
                 row.recovered
+            ));
+        }
+        for row in self.resilience() {
+            out.push_str(&format!(
+                "{{\"type\":\"scenario_event\",\"event\":\"{}\",\"provider\":\"{}\",\
+                 \"precision_delta_pm\":{},\"recall_delta_pm\":{},\
+                 \"footprint_stability_pm\":{}}}\n",
+                json_escape(&row.event),
+                json_escape(&row.provider),
+                row.precision_delta_pm,
+                row.recall_delta_pm,
+                row.footprint_stability_pm
             ));
         }
         let recovery = self.recovery();
@@ -766,6 +846,55 @@ mod tests {
         assert!(report.fault_completeness().is_empty());
         assert!(!report.to_markdown().contains("Degraded sources"));
         assert!(!report.to_jsonl().contains("degraded_source"));
+    }
+
+    #[test]
+    fn scenario_gauges_surface_as_resilience_rows() {
+        let r = Registry::new();
+        r.gauge("scenario.storm:microsoft@1.microsoft.recall_delta_pm", -250);
+        r.gauge("scenario.storm:microsoft@1.microsoft.precision_delta_pm", 0);
+        r.gauge(
+            "scenario.storm:microsoft@1.microsoft.footprint_stability_pm",
+            1000,
+        );
+        r.gauge(
+            "scenario.migration:bosch@2->aws/ap-southeast-1.bosch.recall_delta_pm",
+            -40,
+        );
+        r.gauge("traffic.scanner.lines_excluded", 3); // unrelated gauge
+        let report = r.report();
+        let rows = report.resilience();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            EventResilienceRow {
+                event: "migration:bosch@2->aws/ap-southeast-1".to_string(),
+                provider: "bosch".to_string(),
+                precision_delta_pm: 0,
+                recall_delta_pm: -40,
+                footprint_stability_pm: 1000,
+            }
+        );
+        assert_eq!(rows[1].event, "storm:microsoft@1");
+        assert_eq!(rows[1].recall_delta_pm, -250);
+
+        let md = report.to_markdown();
+        assert!(md.contains("## Resilience"));
+        assert!(md.contains("| storm:microsoft@1 | microsoft | 0 | -250 | 1000 |"));
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains(
+            "{\"type\":\"scenario_event\",\"event\":\"storm:microsoft@1\",\
+             \"provider\":\"microsoft\",\"precision_delta_pm\":0,\
+             \"recall_delta_pm\":-250,\"footprint_stability_pm\":1000}"
+        ));
+    }
+
+    #[test]
+    fn scenario_free_reports_carry_no_resilience_section() {
+        let report = sample_report();
+        assert!(report.resilience().is_empty());
+        assert!(!report.to_markdown().contains("## Resilience"));
+        assert!(!report.to_jsonl().contains("scenario_event"));
     }
 
     #[test]

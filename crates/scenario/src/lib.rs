@@ -1,0 +1,806 @@
+//! # iotmap-scenario — declarative world-event chaos
+//!
+//! A scenario file is a `key = value`-with-sections config (the same
+//! [`iotmap_nettypes::kvconf`] syntax the fault-plan format uses) that
+//! compiles into a seeded, deterministic [`EventTimeline`] of typed world
+//! events: provider region migrations, anycast/CDN fronting flips,
+//! certificate-rotation storms, plus the §6 outage/BGP/blocklist events
+//! re-expressed declaratively. The timeline installs into a generated
+//! [`World`] through [`World::install_timeline`]; scan views apply the
+//! transforms date-aware, so scenarios compose with the longitudinal
+//! day-advance machinery unchanged.
+//!
+//! The other half of the crate is *resilience measurement*: given the
+//! artifacts of an event-free baseline run and a scenario run over the
+//! same `(config, faults, threads)`, [`measure_resilience`] computes
+//! per-event precision/recall/footprint-stability deltas against ground
+//! truth — the evidence that the pipeline degraded gracefully instead of
+//! crashing — and publishes them as `scenario.*` gauges in the obs run
+//! report.
+//!
+//! ```text
+//! [scenario]
+//! name = cert-storm
+//! seed = 7
+//!
+//! [cert_storm]
+//! provider = microsoft
+//! day = 1
+//! reissue = 0.3
+//! expiry = 0.1
+//! ```
+
+use iotmap_core::{DiscoveryResult, Footprint};
+use iotmap_nettypes::kvconf::{self, Section};
+use iotmap_nettypes::{Asn, Date, Ipv4Prefix, SimDuration, StudyPeriod};
+use iotmap_world::{BgpStreamEventKind, EventTimeline, OutageEvent, ScheduledEvent, World};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::net::IpAddr;
+
+/// A parsed, validated scenario: a named, seeded event timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub name: String,
+    pub timeline: EventTimeline,
+}
+
+impl Scenario {
+    /// Parse a scenario file. Section and key errors carry 1-based line
+    /// numbers; provider, cloud, and region names are validated against
+    /// the static catalogs here so the pipeline's world stage never has
+    /// to fail on one.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let sections = kvconf::parse(text)?;
+        if let Some(entry) = sections[0].entries.first() {
+            return Err(format!(
+                "line {}: scenario entries belong in a section (expected [scenario], \
+                 [outage], [bgp_incident], [blocklist], [migration], [fronting_flip], \
+                 or [cert_storm] before {:?})",
+                entry.line, entry.key
+            ));
+        }
+        let mut name = None;
+        let mut seed = 0u64;
+        let mut events = Vec::new();
+        let providers = provider_names();
+        for section in &sections[1..] {
+            let sname = section.name.as_deref().unwrap_or_default();
+            match sname {
+                "scenario" => {
+                    for e in &section.entries {
+                        match e.key.as_str() {
+                            "name" => name = Some(e.value.clone()),
+                            "seed" => {
+                                seed = e
+                                    .value
+                                    .parse()
+                                    .map_err(|err| format!("line {}: bad seed: {err}", e.line))?;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "line {}: unknown key {other:?} in [scenario]",
+                                    e.line
+                                ))
+                            }
+                        }
+                    }
+                }
+                "outage" => events.push(parse_outage(section)?),
+                "bgp_incident" => events.push(parse_bgp_incident(section)?),
+                "blocklist" => events.push(parse_blocklist(section, &providers)?),
+                "migration" => events.push(parse_migration(section, &providers)?),
+                "fronting_flip" => events.push(parse_flip(section, &providers)?),
+                "cert_storm" => events.push(parse_storm(section, &providers)?),
+                other => return Err(format!("line {}: unknown section [{other}]", section.line)),
+            }
+        }
+        let name = name.ok_or("missing [scenario] section with a `name` key")?;
+        Ok(Scenario {
+            name,
+            timeline: EventTimeline { seed, events },
+        })
+    }
+
+    /// A stable identity over everything artifact-affecting: the seed and
+    /// the full event list. Folded into run fingerprints so scenario runs
+    /// never collide with baseline runs in caches or checkpoints.
+    pub fn fingerprint(&self) -> u64 {
+        iotmap_faults::hash_str(&format!(
+            "scenario;seed={};{:?}",
+            self.timeline.seed, self.timeline.events
+        ))
+    }
+
+    /// Short human labels for each event, in file order — the row keys of
+    /// the resilience report.
+    pub fn event_labels(&self) -> Vec<String> {
+        self.timeline.events.iter().map(event_label).collect()
+    }
+}
+
+/// Label one event: `migration:bosch@2`, `outage:aws/us-east-1`, ….
+pub fn event_label(event: &ScheduledEvent) -> String {
+    match event {
+        ScheduledEvent::Outage(ev) => format!("outage:{}/{}", ev.cloud, ev.region),
+        ScheduledEvent::BgpIncident { kind, asn, .. } => {
+            let k = match kind {
+                BgpStreamEventKind::Leak => "leak",
+                BgpStreamEventKind::PossibleHijack => "hijack",
+                BgpStreamEventKind::AsOutage => "as-outage",
+            };
+            format!("bgp:{k}:AS{}", asn.value())
+        }
+        ScheduledEvent::BlocklistPlant {
+            provider, count, ..
+        } => format!("blocklist:{provider}x{count}"),
+        ScheduledEvent::ProviderRegionMigration {
+            provider,
+            day,
+            to_cloud,
+            to_region,
+            ..
+        } => format!("migration:{provider}@{day}->{to_cloud}/{to_region}"),
+        ScheduledEvent::AnycastFrontingFlip {
+            provider,
+            day,
+            into_fronting,
+        } => {
+            let dir = if *into_fronting { "into" } else { "out" };
+            format!("flip:{provider}@{day}:{dir}")
+        }
+        ScheduledEvent::CertRotationStorm { provider, day, .. } => {
+            format!("storm:{provider}@{day}")
+        }
+    }
+}
+
+// ----------------------------------------------------------- section parsing
+
+fn provider_names() -> Vec<&'static str> {
+    iotmap_world::providers::catalog()
+        .iter()
+        .map(|p| p.name)
+        .collect()
+}
+
+fn required<'s>(section: &'s Section, key: &str) -> Result<&'s kvconf::Entry, String> {
+    section.get(key).ok_or_else(|| {
+        format!(
+            "line {}: [{}] is missing required key `{key}`",
+            section.line,
+            section.name.as_deref().unwrap_or_default()
+        )
+    })
+}
+
+fn known_keys(section: &Section, allowed: &[&str]) -> Result<(), String> {
+    for e in &section.entries {
+        if !allowed.contains(&e.key.as_str()) {
+            return Err(format!(
+                "line {}: unknown key {:?} in [{}]",
+                e.line,
+                e.key,
+                section.name.as_deref().unwrap_or_default()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_rate(e: &kvconf::Entry) -> Result<f64, String> {
+    let r: f64 = e
+        .value
+        .parse()
+        .map_err(|err| format!("line {}: bad rate {:?}: {err}", e.line, e.value))?;
+    if !(0.0..=1.0).contains(&r) {
+        return Err(format!("line {}: rate {r} outside [0, 1]", e.line));
+    }
+    Ok(r)
+}
+
+fn parse_day(e: &kvconf::Entry) -> Result<u32, String> {
+    e.value
+        .parse()
+        .map_err(|err| format!("line {}: bad day offset: {err}", e.line))
+}
+
+fn parse_provider(e: &kvconf::Entry, providers: &[&'static str]) -> Result<String, String> {
+    if !providers.contains(&e.value.as_str()) {
+        return Err(format!(
+            "line {}: unknown provider {:?} (catalog: {})",
+            e.line,
+            e.value,
+            providers.join(", ")
+        ));
+    }
+    Ok(e.value.clone())
+}
+
+/// Validate a `(cloud, region)` pair against the static cloud catalog.
+fn check_cloud_region(
+    cloud: &kvconf::Entry,
+    region: &kvconf::Entry,
+) -> Result<(String, String), String> {
+    let geo = iotmap_world::GeoDb::standard();
+    let clouds = iotmap_world::CloudCatalog::standard(&geo);
+    let Some(c) = clouds.clouds.iter().find(|c| c.name == cloud.value) else {
+        return Err(format!(
+            "line {}: unknown cloud {:?}",
+            cloud.line, cloud.value
+        ));
+    };
+    if !c.regions.iter().any(|r| r.code == region.value) {
+        return Err(format!(
+            "line {}: cloud {:?} has no region {:?}",
+            region.line, cloud.value, region.value
+        ));
+    }
+    Ok((cloud.value.clone(), region.value.clone()))
+}
+
+/// Parse `YYYY-MM-DDTHH:MM..YYYY-MM-DDTHH:MM` into a study period.
+fn parse_window(e: &kvconf::Entry) -> Result<StudyPeriod, String> {
+    let (a, b) = e
+        .value
+        .split_once("..")
+        .ok_or_else(|| format!("line {}: window is not `start..end`", e.line))?;
+    let point = |s: &str| -> Result<_, String> {
+        let (date, time) = s
+            .trim()
+            .split_once('T')
+            .ok_or_else(|| format!("line {}: expected YYYY-MM-DDTHH:MM in {s:?}", e.line))?;
+        let date: Date = date
+            .parse()
+            .map_err(|err| format!("line {}: {err}", e.line))?;
+        let (h, m) = time
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: expected HH:MM in {s:?}", e.line))?;
+        let h: u64 = h
+            .parse()
+            .map_err(|err| format!("line {}: bad hour: {err}", e.line))?;
+        let m: u64 = m
+            .parse()
+            .map_err(|err| format!("line {}: bad minute: {err}", e.line))?;
+        if h >= 24 || m >= 60 {
+            return Err(format!("line {}: time {s:?} out of range", e.line));
+        }
+        Ok(date.midnight() + SimDuration::minutes(h * 60 + m))
+    };
+    let (start, end) = (point(a)?, point(b)?);
+    if end <= start {
+        return Err(format!("line {}: window end must be after start", e.line));
+    }
+    Ok(StudyPeriod::new(start, end))
+}
+
+fn parse_outage(section: &Section) -> Result<ScheduledEvent, String> {
+    known_keys(
+        section,
+        &[
+            "cloud",
+            "region",
+            "window",
+            "downstream_residual",
+            "upstream_residual",
+            "silence_prob",
+            "spillover",
+        ],
+    )?;
+    let (cloud, region) =
+        check_cloud_region(required(section, "cloud")?, required(section, "region")?)?;
+    let defaults = OutageEvent::aws_dec_2021();
+    let mut ev = OutageEvent {
+        cloud,
+        region,
+        ..defaults
+    };
+    if let Some(e) = section.get("window") {
+        ev.window = parse_window(e)?;
+    }
+    if let Some(e) = section.get("downstream_residual") {
+        ev.downstream_residual = parse_rate(e)?;
+    }
+    if let Some(e) = section.get("upstream_residual") {
+        ev.upstream_residual = parse_rate(e)?;
+    }
+    if let Some(e) = section.get("silence_prob") {
+        ev.silence_prob = parse_rate(e)?;
+    }
+    if let Some(e) = section.get("spillover") {
+        ev.spillover = parse_rate(e)?;
+    }
+    Ok(ScheduledEvent::Outage(ev))
+}
+
+fn parse_bgp_incident(section: &Section) -> Result<ScheduledEvent, String> {
+    known_keys(section, &["kind", "asn", "prefix"])?;
+    let kind_entry = required(section, "kind")?;
+    let kind = match kind_entry.value.as_str() {
+        "leak" => BgpStreamEventKind::Leak,
+        "hijack" => BgpStreamEventKind::PossibleHijack,
+        "as-outage" => BgpStreamEventKind::AsOutage,
+        other => {
+            return Err(format!(
+                "line {}: unknown incident kind {other:?} (leak, hijack, as-outage)",
+                kind_entry.line
+            ))
+        }
+    };
+    let asn_entry = required(section, "asn")?;
+    let asn: u32 = asn_entry
+        .value
+        .parse()
+        .map_err(|err| format!("line {}: bad asn: {err}", asn_entry.line))?;
+    let prefix = match section.get("prefix") {
+        Some(e) => Some(
+            e.value
+                .parse::<Ipv4Prefix>()
+                .map_err(|err| format!("line {}: bad prefix: {err}", e.line))?,
+        ),
+        None => None,
+    };
+    Ok(ScheduledEvent::BgpIncident {
+        kind,
+        asn: Asn(asn),
+        prefix,
+    })
+}
+
+fn parse_blocklist(
+    section: &Section,
+    providers: &[&'static str],
+) -> Result<ScheduledEvent, String> {
+    known_keys(section, &["provider", "count", "category"])?;
+    let provider = parse_provider(required(section, "provider")?, providers)?;
+    let count_entry = required(section, "count")?;
+    let count: u32 = count_entry
+        .value
+        .parse()
+        .map_err(|err| format!("line {}: bad count: {err}", count_entry.line))?;
+    let category = section
+        .get("category")
+        .map(|e| e.value.clone())
+        .unwrap_or_else(|| "personal-blocklist".to_string());
+    Ok(ScheduledEvent::BlocklistPlant {
+        provider,
+        count,
+        category,
+    })
+}
+
+fn parse_migration(
+    section: &Section,
+    providers: &[&'static str],
+) -> Result<ScheduledEvent, String> {
+    known_keys(
+        section,
+        &["provider", "day", "fraction", "to_cloud", "to_region"],
+    )?;
+    let provider = parse_provider(required(section, "provider")?, providers)?;
+    let day = parse_day(required(section, "day")?)?;
+    let fraction = parse_rate(required(section, "fraction")?)?;
+    let (to_cloud, to_region) = check_cloud_region(
+        required(section, "to_cloud")?,
+        required(section, "to_region")?,
+    )?;
+    Ok(ScheduledEvent::ProviderRegionMigration {
+        provider,
+        day,
+        fraction,
+        to_cloud,
+        to_region,
+    })
+}
+
+fn parse_flip(section: &Section, providers: &[&'static str]) -> Result<ScheduledEvent, String> {
+    known_keys(section, &["provider", "day", "direction"])?;
+    let provider = parse_provider(required(section, "provider")?, providers)?;
+    let day = parse_day(required(section, "day")?)?;
+    let dir_entry = required(section, "direction")?;
+    let into_fronting = match dir_entry.value.as_str() {
+        "into" => true,
+        "out" => false,
+        other => {
+            return Err(format!(
+                "line {}: direction must be `into` or `out`, not {other:?}",
+                dir_entry.line
+            ))
+        }
+    };
+    Ok(ScheduledEvent::AnycastFrontingFlip {
+        provider,
+        day,
+        into_fronting,
+    })
+}
+
+fn parse_storm(section: &Section, providers: &[&'static str]) -> Result<ScheduledEvent, String> {
+    known_keys(section, &["provider", "day", "reissue", "expiry"])?;
+    let provider = parse_provider(required(section, "provider")?, providers)?;
+    let day = parse_day(required(section, "day")?)?;
+    let reissue_fraction = match section.get("reissue") {
+        Some(e) => parse_rate(e)?,
+        None => 0.0,
+    };
+    let expiry_fraction = match section.get("expiry") {
+        Some(e) => parse_rate(e)?,
+        None => 0.0,
+    };
+    if reissue_fraction == 0.0 && expiry_fraction == 0.0 {
+        return Err(format!(
+            "line {}: [cert_storm] needs a non-zero `reissue` or `expiry` fraction",
+            section.line
+        ));
+    }
+    Ok(ScheduledEvent::CertRotationStorm {
+        provider,
+        day,
+        reissue_fraction,
+        expiry_fraction,
+    })
+}
+
+// ------------------------------------------------------ resilience measures
+
+/// Per-provider degradation of one event, as deltas against the event-free
+/// baseline run. Permille units keep the values exact in JSON.
+#[derive(Debug, Clone)]
+pub struct ProviderDelta {
+    pub provider: String,
+    /// Scenario precision minus baseline precision, in permille.
+    pub precision_delta_pm: i64,
+    /// Scenario recall minus baseline recall, in permille.
+    pub recall_delta_pm: i64,
+    /// Jaccard similarity of the provider's footprint location labels
+    /// between baseline and scenario, in permille (1000 = unchanged).
+    pub footprint_stability_pm: i64,
+    /// IPs discovered for the provider in the scenario run.
+    pub discovered: usize,
+}
+
+/// The resilience rows of one scheduled event.
+#[derive(Debug, Clone)]
+pub struct EventResilience {
+    pub label: String,
+    pub providers: Vec<ProviderDelta>,
+}
+
+fn precision_recall(discovered: &HashSet<IpAddr>, truth: &HashSet<IpAddr>) -> (f64, f64) {
+    if discovered.is_empty() || truth.is_empty() {
+        return (0.0, 0.0);
+    }
+    let hit = discovered.intersection(truth).count() as f64;
+    (hit / discovered.len() as f64, hit / truth.len() as f64)
+}
+
+fn footprint_labels(fp: Option<&Footprint>) -> BTreeSet<String> {
+    fp.map(|f| {
+        f.per_ip
+            .values()
+            .map(|l| l.label.clone())
+            .collect::<BTreeSet<_>>()
+    })
+    .unwrap_or_default()
+}
+
+fn jaccard_pm(a: &BTreeSet<String>, b: &BTreeSet<String>) -> i64 {
+    if a.is_empty() && b.is_empty() {
+        return 1000;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    (inter / union * 1000.0).round() as i64
+}
+
+/// Ground truth for a provider under the scenario: every server IP, plus
+/// the post-migration addresses the timeline assigned.
+fn scenario_truth(world: &World, pidx: usize) -> HashSet<IpAddr> {
+    let mut truth = world.true_ips(pidx);
+    for (sid, m) in &world.timeline.migrations {
+        if world.servers[*sid].provider == pidx {
+            truth.insert(IpAddr::V4(m.new_ip));
+        }
+    }
+    truth
+}
+
+/// The providers an event touches; `None` means "measure across all of
+/// them" (outages hit every provider on the cloud; BGP incidents should
+/// hit none).
+fn event_providers(world: &World, event: &ScheduledEvent) -> Vec<String> {
+    match event {
+        ScheduledEvent::ProviderRegionMigration { provider, .. }
+        | ScheduledEvent::AnycastFrontingFlip { provider, .. }
+        | ScheduledEvent::CertRotationStorm { provider, .. }
+        | ScheduledEvent::BlocklistPlant { provider, .. } => vec![provider.clone()],
+        ScheduledEvent::Outage(ev) => {
+            let mut on_cloud: Vec<String> = world
+                .providers
+                .iter()
+                .filter(|p| {
+                    p.sites.iter().any(|s| {
+                        matches!(
+                            &s.hosting,
+                            iotmap_world::providers::SiteHosting::Cloud { cloud, .. }
+                                if *cloud == ev.cloud
+                        )
+                    })
+                })
+                .map(|p| p.name.to_string())
+                .collect();
+            on_cloud.sort();
+            on_cloud
+        }
+        ScheduledEvent::BgpIncident { .. } => {
+            world.providers.iter().map(|p| p.name.to_string()).collect()
+        }
+    }
+}
+
+/// Compare a scenario run against its event-free baseline, per event.
+///
+/// `world` is the *scenario* world (its installed timeline supplies the
+/// migrated ground truth); the baseline artifacts come from a run of the
+/// same `(config, faults, threads)` without a scenario. Results are also
+/// published as `scenario.<label>.<provider>.*` gauges so the obs run
+/// report can render its Resilience section.
+pub fn measure_resilience(
+    scenario: &Scenario,
+    world: &World,
+    baseline_discovery: &DiscoveryResult,
+    baseline_footprints: &HashMap<String, Footprint>,
+    run_discovery: &DiscoveryResult,
+    run_footprints: &HashMap<String, Footprint>,
+) -> Vec<EventResilience> {
+    let mut out = Vec::new();
+    for event in &scenario.timeline.events {
+        let label = event_label(event);
+        let mut providers = Vec::new();
+        for pname in event_providers(world, event) {
+            let Some(pidx) = world.providers.iter().position(|p| p.name == pname) else {
+                continue;
+            };
+            let baseline_ips: HashSet<IpAddr> = baseline_discovery
+                .get(&pname)
+                .map(|p| p.ips.keys().copied().collect())
+                .unwrap_or_default();
+            let run_ips: HashSet<IpAddr> = run_discovery
+                .get(&pname)
+                .map(|p| p.ips.keys().copied().collect())
+                .unwrap_or_default();
+            let (bp, br) = precision_recall(&baseline_ips, &world.true_ips(pidx));
+            let (sp, sr) = precision_recall(&run_ips, &scenario_truth(world, pidx));
+            let stability = jaccard_pm(
+                &footprint_labels(baseline_footprints.get(&pname)),
+                &footprint_labels(run_footprints.get(&pname)),
+            );
+            let delta = ProviderDelta {
+                provider: pname.clone(),
+                precision_delta_pm: ((sp - bp) * 1000.0).round() as i64,
+                recall_delta_pm: ((sr - br) * 1000.0).round() as i64,
+                footprint_stability_pm: stability,
+                discovered: run_ips.len(),
+            };
+            let prefix = format!("scenario.{label}.{pname}");
+            iotmap_obs::gauge!(
+                format!("{prefix}.precision_delta_pm"),
+                delta.precision_delta_pm
+            );
+            iotmap_obs::gauge!(format!("{prefix}.recall_delta_pm"), delta.recall_delta_pm);
+            iotmap_obs::gauge!(
+                format!("{prefix}.footprint_stability_pm"),
+                delta.footprint_stability_pm
+            );
+            providers.push(delta);
+        }
+        out.push(EventResilience { label, providers });
+    }
+    iotmap_obs::count!("scenario.events", scenario.timeline.events.len() as u64);
+    iotmap_obs::count!("scenario.compile_skipped", world.timeline.skipped);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CERT_STORM: &str = "\
+[scenario]
+name = cert-storm
+seed = 7
+
+[cert_storm]
+provider = microsoft
+day = 1
+reissue = 0.3
+expiry = 0.1
+";
+
+    #[test]
+    fn parses_full_scenario() {
+        let text = "\
+# full-surface scenario
+[scenario]
+name = everything
+seed = 99
+
+[outage]
+cloud = aws
+region = us-east-1
+window = 2021-12-07T15:30..2021-12-07T22:30
+
+[bgp_incident]
+kind = hijack
+asn = 64500
+prefix = 130.1.0.0/16
+
+[blocklist]
+provider = baidu
+count = 3
+category = malware
+
+[migration]
+provider = bosch
+day = 2
+fraction = 0.4
+to_cloud = aws
+to_region = ap-southeast-1
+
+[fronting_flip]
+provider = siemens
+day = 3
+direction = into
+
+[cert_storm]
+provider = microsoft
+day = 1
+reissue = 0.25
+expiry = 0.05
+";
+        let sc = Scenario::parse(text).unwrap();
+        assert_eq!(sc.name, "everything");
+        assert_eq!(sc.timeline.seed, 99);
+        assert_eq!(sc.timeline.events.len(), 6);
+        assert_eq!(
+            sc.event_labels(),
+            vec![
+                "outage:aws/us-east-1",
+                "bgp:hijack:AS64500",
+                "blocklist:baidux3",
+                "migration:bosch@2->aws/ap-southeast-1",
+                "flip:siemens@3:into",
+                "storm:microsoft@1",
+            ]
+        );
+        match &sc.timeline.events[0] {
+            ScheduledEvent::Outage(ev) => {
+                assert_eq!(ev.window, StudyPeriod::aws_outage_window());
+                assert_eq!(ev.downstream_residual, 0.5);
+            }
+            other => panic!("expected outage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aws_outage_file_matches_builtin_event() {
+        let text = "\
+[scenario]
+name = aws-dec-2021
+seed = 1
+
+[outage]
+cloud = aws
+region = us-east-1
+window = 2021-12-07T15:30..2021-12-07T22:30
+downstream_residual = 0.5
+upstream_residual = 0.65
+silence_prob = 0.08
+spillover = 0.05
+";
+        let sc = Scenario::parse(text).unwrap();
+        assert_eq!(
+            sc.timeline.events,
+            vec![ScheduledEvent::Outage(OutageEvent::aws_dec_2021())]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_names_with_line_numbers() {
+        let err = Scenario::parse(
+            "[scenario]\nname = x\n\n[migration]\nprovider = nonesuch\nday = 0\nfraction = 0.5\nto_cloud = aws\nto_region = us-east-1\n",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 5: unknown provider"), "{err}");
+        let err = Scenario::parse(
+            "[scenario]\nname = x\n\n[migration]\nprovider = bosch\nday = 0\nfraction = 0.5\nto_cloud = aws\nto_region = mars-central-7\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("no region \"mars-central-7\""), "{err}");
+        let err = Scenario::parse("[scenario]\nname = x\n\n[volcano]\n").unwrap_err();
+        assert_eq!(err, "line 4: unknown section [volcano]");
+        let err = Scenario::parse("stray = 1\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let err = Scenario::parse(
+            "[scenario]\nname = x\n\n[cert_storm]\nprovider = microsoft\nday = 1\nreissue = 1.5\n",
+        )
+        .unwrap_err();
+        assert_eq!(err, "line 7: rate 1.5 outside [0, 1]");
+        let err = Scenario::parse(
+            "[scenario]\nname = x\n\n[cert_storm]\nprovider = microsoft\nday = 1\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("non-zero"), "{err}");
+        let err = Scenario::parse(
+            "[scenario]\nname = x\n\n[fronting_flip]\nprovider = siemens\nday = 1\ndirection = sideways\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("`into` or `out`"), "{err}");
+        assert!(
+            Scenario::parse("[outage]\ncloud = aws\nregion = us-east-1\n")
+                .unwrap_err()
+                .contains("missing [scenario]")
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = Scenario::parse(CERT_STORM).unwrap();
+        let b = Scenario::parse(CERT_STORM).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Scenario::parse(&CERT_STORM.replace("seed = 7", "seed = 8")).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = Scenario::parse(&CERT_STORM.replace("reissue = 0.3", "reissue = 0.2")).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn measures_degradation_against_baseline() {
+        use iotmap_core::discovery::{IpEvidence, ProviderDiscovery};
+        use iotmap_world::WorldConfig;
+
+        let mut world = World::generate(&WorldConfig::small(42));
+        let sc = Scenario::parse(CERT_STORM).unwrap();
+        world.install_timeline(&sc.timeline, &sc.name);
+
+        let m = world.provider_index("microsoft");
+        let truth: Vec<IpAddr> = {
+            let mut v: Vec<IpAddr> = world.true_ips(m).into_iter().collect();
+            v.sort();
+            v
+        };
+        let discovery_over = |ips: &[IpAddr]| {
+            DiscoveryResult::from_providers(vec![ProviderDiscovery {
+                name: "microsoft".to_string(),
+                ips: ips.iter().map(|ip| (*ip, IpEvidence::default())).collect(),
+                domains: Default::default(),
+            }])
+        };
+        // Baseline finds everything; the scenario run lost a quarter.
+        let baseline = discovery_over(&truth);
+        let degraded = discovery_over(&truth[..truth.len() * 3 / 4]);
+        let rows = measure_resilience(
+            &sc,
+            &world,
+            &baseline,
+            &HashMap::new(),
+            &degraded,
+            &HashMap::new(),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "storm:microsoft@1");
+        let p = &rows[0].providers[0];
+        assert_eq!(p.provider, "microsoft");
+        assert!(
+            p.recall_delta_pm < -200,
+            "recall delta {}",
+            p.recall_delta_pm
+        );
+        assert_eq!(p.precision_delta_pm, 0);
+        assert_eq!(p.footprint_stability_pm, 1000);
+        assert_eq!(p.discovered, truth.len() * 3 / 4);
+    }
+}

@@ -70,6 +70,8 @@ pub struct World {
     pub bgp: BgpTable,
     pub isp: IspModel,
     pub events: Events,
+    /// Compiled scenario timeline (empty by default — a strict no-op).
+    pub timeline: crate::events::CompiledTimeline,
     pub background: Vec<BackgroundHost>,
     pub published: PublishedTruth,
     /// Epoch-day range servers may live in (covers both study windows).
@@ -243,6 +245,7 @@ impl World {
             bgp: b.bgp,
             isp,
             events,
+            timeline: crate::events::CompiledTimeline::default(),
             background: b.background,
             published: b.published,
             sim_days,

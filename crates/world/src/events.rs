@@ -1,18 +1,25 @@
-//! Disruption events: the AWS outage, BGP incidents, and blocklists (§6).
+//! Disruption events: the AWS outage, BGP incidents, and blocklists (§6),
+//! plus the scheduled scenario timeline (migrations, fronting flips, cert
+//! storms) that `iotmap-scenario` compiles into a [`CompiledTimeline`].
 
+use crate::build::World;
+use crate::geodb::CityId;
+use crate::server::ServerId;
 use iotmap_nettypes::interval::IntervalSet;
-use iotmap_nettypes::{Asn, Ipv4Prefix, SimRng, StudyPeriod};
-use std::collections::HashSet;
+use iotmap_nettypes::{Asn, Ipv4Prefix, SimRng, SimTime, StudyPeriod};
+use iotmap_tls::Certificate;
+use std::collections::{HashMap, HashSet};
 use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
 
 /// The December 7, 2021 AWS us-east-1 outage (§6.1), as a parameterized
 /// event the traffic simulator honours.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OutageEvent {
     /// Cloud operator affected.
-    pub cloud: &'static str,
+    pub cloud: String,
     /// Region affected.
-    pub region: &'static str,
+    pub region: String,
     /// The outage window.
     pub window: StudyPeriod,
     /// Fraction of normal downstream bytes still delivered by affected
@@ -35,13 +42,41 @@ impl OutageEvent {
     /// The historical AWS us-east-1 event.
     pub fn aws_dec_2021() -> Self {
         OutageEvent {
-            cloud: "aws",
-            region: "us-east-1",
+            cloud: "aws".to_string(),
+            region: "us-east-1".to_string(),
             window: StudyPeriod::aws_outage_window(),
             downstream_residual: 0.5,
             upstream_residual: 0.65,
             silence_prob: 0.08,
             spillover: 0.05,
+        }
+    }
+
+    /// Multiplicative `(downstream, upstream)` byte scaling for one device
+    /// session at `time`, given whether the target server sits in the
+    /// outage blast zone (`affected`), merely on the same cloud
+    /// (`same_cloud`), and whether this device's firmware goes fully
+    /// silent instead of retrying (`silent`). `None` means the session
+    /// never happens.
+    pub fn session_scaling(
+        &self,
+        time: SimTime,
+        affected: bool,
+        same_cloud: bool,
+        silent: bool,
+    ) -> Option<(f64, f64)> {
+        if !self.window.contains(time) {
+            return Some((1.0, 1.0));
+        }
+        if affected {
+            if silent {
+                return None;
+            }
+            Some((self.downstream_residual, self.upstream_residual))
+        } else if same_cloud {
+            Some((1.0 - self.spillover, 1.0 - self.spillover))
+        } else {
+            Some((1.0, 1.0))
         }
     }
 }
@@ -234,6 +269,340 @@ impl Events {
     }
 }
 
+// ------------------------------------------------------- scenario timeline
+
+/// One scheduled world event in a scenario timeline. Days are offsets from
+/// the start of the run's study period.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduledEvent {
+    /// Replace the built-in outage with a scenario-defined one.
+    Outage(OutageEvent),
+    /// Append a BGPStream-style incident record.
+    BgpIncident {
+        kind: BgpStreamEventKind,
+        asn: Asn,
+        prefix: Option<Ipv4Prefix>,
+    },
+    /// Plant `count` extra backend IPs of a provider on the blocklist.
+    BlocklistPlant {
+        provider: String,
+        count: u32,
+        category: String,
+    },
+    /// A fraction of a provider's IPv4 fleet moves to another cloud region
+    /// mid-study: old addresses go dark, new addresses (in the target
+    /// region's announced block) come up with the same certificates.
+    ProviderRegionMigration {
+        provider: String,
+        day: u32,
+        fraction: f64,
+        to_cloud: String,
+        to_region: String,
+    },
+    /// A provider flips behind (or out of) a generic CDN/anycast front:
+    /// anonymous scanners start (or stop) seeing the uninformative
+    /// load-balancer certificate instead of the IoT one.
+    AnycastFrontingFlip {
+        provider: String,
+        day: u32,
+        into_fronting: bool,
+    },
+    /// Mass certificate reissue/expiry burst: reissued certificates churn
+    /// the interned cert identity (new issuer), expired ones fall out of
+    /// the paper's §3.3 validity filter entirely.
+    CertRotationStorm {
+        provider: String,
+        day: u32,
+        reissue_fraction: f64,
+        expiry_fraction: f64,
+    },
+}
+
+/// A seeded, deterministic timeline of scheduled events — what a scenario
+/// file compiles into. Event selection (which servers migrate, which
+/// certificates rotate) uses pure hash rolls keyed on `seed`, so the
+/// timeline is thread- and schedule-invariant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventTimeline {
+    pub seed: u64,
+    pub events: Vec<ScheduledEvent>,
+}
+
+impl EventTimeline {
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One compiled migration: from `day` (epoch days) the server answers at
+/// `new_ip` in the target region and its old address goes dark.
+#[derive(Debug, Clone)]
+pub struct Migration {
+    pub day: i64,
+    pub new_ip: Ipv4Addr,
+    pub to_city: CityId,
+}
+
+/// One compiled fronting flip, applying to a whole provider from `day`.
+#[derive(Debug, Clone)]
+pub struct FrontingFlip {
+    pub day: i64,
+    pub into_fronting: bool,
+}
+
+/// One compiled certificate substitution, applying from `day`.
+#[derive(Debug, Clone)]
+pub struct StormCert {
+    pub day: i64,
+    pub cert: Arc<Certificate>,
+}
+
+/// An [`EventTimeline`] resolved against a concrete world: per-server
+/// address moves, per-provider flips, per-server certificate swaps. The
+/// default (empty) timeline is a strict no-op — scan views short-circuit
+/// on empty maps, so baseline runs stay byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledTimeline {
+    /// Scenario name (used as the obs counter prefix).
+    pub name: String,
+    /// ServerId → migration record.
+    pub migrations: HashMap<ServerId, Migration>,
+    /// New address → migrated server (reverse lookup for scan views).
+    pub migrated_by_ip: HashMap<IpAddr, ServerId>,
+    /// Provider index → fronting flip.
+    pub flips: HashMap<usize, FrontingFlip>,
+    /// ServerId → certificate substitution.
+    pub storm_certs: HashMap<ServerId, StormCert>,
+    /// Events/servers the compiler had to skip (unknown names, exhausted
+    /// address space) — degraded coverage, surfaced instead of panicking.
+    pub skipped: u64,
+}
+
+impl CompiledTimeline {
+    /// Does this timeline change anything a scan view can observe?
+    pub fn is_empty(&self) -> bool {
+        self.migrations.is_empty() && self.flips.is_empty() && self.storm_certs.is_empty()
+    }
+}
+
+impl World {
+    /// Compile and install a scenario timeline. Infallible by design: the
+    /// scenario layer validates names before a run; anything that still
+    /// fails to resolve here (or runs out of address space) is skipped and
+    /// counted in [`CompiledTimeline::skipped`] — the run degrades, it
+    /// never panics.
+    pub fn install_timeline(&mut self, timeline: &EventTimeline, name: &str) {
+        let mut compiled = CompiledTimeline {
+            name: name.to_string(),
+            ..CompiledTimeline::default()
+        };
+        let day0 = self.config.study_period.start.epoch_days();
+        let validity = crate::view::certificate_validity();
+        for (eidx, event) in timeline.events.iter().enumerate() {
+            match event {
+                ScheduledEvent::Outage(ev) => {
+                    self.events.outage = ev.clone();
+                }
+                ScheduledEvent::BgpIncident { kind, asn, prefix } => {
+                    self.events.bgpstream.push(BgpStreamEvent {
+                        kind: *kind,
+                        prefix: *prefix,
+                        asn: *asn,
+                    });
+                }
+                ScheduledEvent::BlocklistPlant {
+                    provider,
+                    count,
+                    category,
+                } => {
+                    let Some(pidx) = self.providers.iter().position(|p| p.name == provider) else {
+                        compiled.skipped += 1;
+                        continue;
+                    };
+                    let mut taken = 0u32;
+                    for s in &self.servers {
+                        if taken >= *count {
+                            break;
+                        }
+                        let IpAddr::V4(v4) = s.ip else { continue };
+                        if s.provider != pidx || self.events.firehol.set.contains_v4(v4) {
+                            continue;
+                        }
+                        self.events.firehol.set.insert(u32::from(v4) as u64);
+                        self.events.firehol.planted.push(BlocklistHit {
+                            ip: s.ip,
+                            provider: pidx,
+                            categories: vec![leak_category(category)],
+                        });
+                        taken += 1;
+                    }
+                }
+                ScheduledEvent::ProviderRegionMigration {
+                    provider,
+                    day,
+                    fraction,
+                    to_cloud,
+                    to_region,
+                } => {
+                    let Some(pidx) = self.providers.iter().position(|p| p.name == provider) else {
+                        compiled.skipped += 1;
+                        continue;
+                    };
+                    let Some(region) = self
+                        .clouds
+                        .clouds
+                        .iter()
+                        .find(|c| c.name == to_cloud)
+                        .and_then(|c| c.regions.iter().find(|r| &r.code == to_region))
+                    else {
+                        compiled.skipped += 1;
+                        continue;
+                    };
+                    // Allocate target addresses from the TOP of the target
+                    // region's block: site /24s are carved from the bottom,
+                    // so the two ends only meet when the region is full.
+                    let block = region.v4_block;
+                    let base = block.network_u32();
+                    let mut cursor = base.wrapping_add((block.size() - 2) as u32);
+                    let move_day = day0 + *day as i64;
+                    for sid in 0..self.servers.len() {
+                        let s = &self.servers[sid];
+                        if s.provider != pidx
+                            || !s.ip.is_ipv4()
+                            || compiled.migrations.contains_key(&sid)
+                            || !iotmap_faults::drops(
+                                timeline.seed,
+                                "scenario.migration",
+                                iotmap_faults::key2(eidx as u64, sid as u64),
+                                *fraction,
+                            )
+                        {
+                            continue;
+                        }
+                        let mut new_ip = None;
+                        while cursor > base {
+                            let cand = IpAddr::V4(Ipv4Addr::from(cursor));
+                            cursor -= 1;
+                            if !self.server_by_ip.contains_key(&cand)
+                                && !compiled.migrated_by_ip.contains_key(&cand)
+                            {
+                                new_ip = Some(cand);
+                                break;
+                            }
+                        }
+                        let Some(new_ip) = new_ip else {
+                            // Region exhausted: the rest of the fleet
+                            // stays put.
+                            compiled.skipped += 1;
+                            continue;
+                        };
+                        let IpAddr::V4(v4) = new_ip else {
+                            unreachable!()
+                        };
+                        compiled.migrated_by_ip.insert(new_ip, sid);
+                        compiled.migrations.insert(
+                            sid,
+                            Migration {
+                                day: move_day,
+                                new_ip: v4,
+                                to_city: region.city,
+                            },
+                        );
+                    }
+                }
+                ScheduledEvent::AnycastFrontingFlip {
+                    provider,
+                    day,
+                    into_fronting,
+                } => {
+                    let Some(pidx) = self.providers.iter().position(|p| p.name == provider) else {
+                        compiled.skipped += 1;
+                        continue;
+                    };
+                    compiled.flips.insert(
+                        pidx,
+                        FrontingFlip {
+                            day: day0 + *day as i64,
+                            into_fronting: *into_fronting,
+                        },
+                    );
+                }
+                ScheduledEvent::CertRotationStorm {
+                    provider,
+                    day,
+                    reissue_fraction,
+                    expiry_fraction,
+                } => {
+                    let Some(pidx) = self.providers.iter().position(|p| p.name == provider) else {
+                        compiled.skipped += 1;
+                        continue;
+                    };
+                    let storm_day = day0 + *day as i64;
+                    let storm_time = SimTime((storm_day.max(0) as u64) * 86_400);
+                    for sid in 0..self.servers.len() {
+                        if self.servers[sid].provider != pidx {
+                            continue;
+                        }
+                        let key = iotmap_faults::key2(eidx as u64, sid as u64);
+                        let reissued = iotmap_faults::drops(
+                            timeline.seed,
+                            "scenario.storm.reissue",
+                            key,
+                            *reissue_fraction,
+                        );
+                        let expired = !reissued
+                            && iotmap_faults::drops(
+                                timeline.seed,
+                                "scenario.storm.expire",
+                                key,
+                                *expiry_fraction,
+                            );
+                        if !reissued && !expired {
+                            continue;
+                        }
+                        let spec = &self.providers[pidx];
+                        let site = self.servers[sid].site;
+                        let mut cert =
+                            Certificate::new(spec.display, self.cert_sans(spec, site), validity);
+                        if reissued {
+                            // A fresh issuing intermediate per server:
+                            // same SANs, new interned identity.
+                            let gen =
+                                2 + iotmap_faults::key3(timeline.seed, eidx as u64, sid as u64) % 7;
+                            cert.issuer = format!("SimTrust Public CA G{gen}");
+                        } else {
+                            // The old certificate simply runs out mid-study
+                            // and falls to the §3.3 validity filter.
+                            cert.not_after = storm_time;
+                        }
+                        compiled.storm_certs.insert(
+                            sid,
+                            StormCert {
+                                day: storm_day,
+                                cert: Arc::new(cert),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.timeline = compiled;
+    }
+}
+
+/// Scenario blocklist categories are free-form; map them onto the static
+/// category vocabulary the paper uses, defaulting to the personal list.
+fn leak_category(cat: &str) -> &'static str {
+    match cat {
+        "open-proxy" => "open-proxy",
+        "anonymizer" => "anonymizer",
+        "malware" => "malware",
+        "network-attacks" => "network-attacks",
+        "spam" => "spam",
+        _ => "personal-blocklist",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +726,200 @@ mod tests {
             assert_eq!(x.ip, y.ip);
         }
         assert_eq!(a.bgpstream.len(), b.bgpstream.len());
+    }
+
+    #[test]
+    fn session_scaling_outside_window_is_identity() {
+        let ev = OutageEvent::aws_dec_2021();
+        let before = ev.window.start + iotmap_nettypes::SimDuration::seconds(0);
+        let outside = SimTime(ev.window.end.unix() + 1);
+        assert_eq!(
+            ev.session_scaling(outside, true, true, true),
+            Some((1.0, 1.0))
+        );
+        // Window start is inclusive: an affected, silent device drops out.
+        assert_eq!(ev.session_scaling(before, true, false, true), None);
+    }
+
+    #[test]
+    fn session_scaling_residuals_and_spillover() {
+        let ev = OutageEvent::aws_dec_2021();
+        let t = ev.window.start + iotmap_nettypes::SimDuration::hours(1);
+        // Affected, retrying: residual multipliers, downstream < upstream.
+        let (dn, up) = ev.session_scaling(t, true, false, false).unwrap();
+        assert_eq!((dn, up), (ev.downstream_residual, ev.upstream_residual));
+        assert!(dn < up);
+        // Same cloud, other region: symmetric spillover dip.
+        let (dn, up) = ev.session_scaling(t, false, true, false).unwrap();
+        assert_eq!(dn, 1.0 - ev.spillover);
+        assert_eq!(up, 1.0 - ev.spillover);
+        // Unrelated provider: untouched, even for silent-firmware devices.
+        assert_eq!(ev.session_scaling(t, false, false, true), Some((1.0, 1.0)));
+        // Silence only applies to affected servers in the window.
+        assert_eq!(ev.session_scaling(t, true, true, true), None);
+    }
+
+    #[test]
+    fn bgpstream_membership_by_kind_and_prefix() {
+        let e = gen();
+        for ev in &e.bgpstream {
+            match ev.kind {
+                BgpStreamEventKind::Leak | BgpStreamEventKind::PossibleHijack => {
+                    let p = ev.prefix.expect("leaks/hijacks carry a prefix");
+                    // Incident space is 130.0.0.0/7-ish, never backend space.
+                    let first = p.network_u32() >> 24;
+                    assert!((130..138).contains(&first), "prefix {p:?}");
+                }
+                BgpStreamEventKind::AsOutage => assert!(ev.prefix.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn firehol_membership_excludes_unplanted_space() {
+        let e = gen();
+        // Bulk /8s are in; the backend-ish 60/8 space only via plants.
+        assert!(e.firehol.set.contains_v4(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!e.firehol.set.contains_v4(Ipv4Addr::new(60, 200, 0, 1)));
+        for hit in &e.firehol.planted {
+            let IpAddr::V4(v4) = hit.ip else {
+                panic!("v6 plant")
+            };
+            assert!(e.firehol.set.contains_v4(v4));
+        }
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(42))
+    }
+
+    fn timeline(events: Vec<ScheduledEvent>) -> EventTimeline {
+        EventTimeline { seed: 7, events }
+    }
+
+    #[test]
+    fn empty_timeline_is_noop() {
+        let mut w = world();
+        assert!(w.timeline.is_empty());
+        w.install_timeline(&timeline(vec![]), "empty");
+        assert!(w.timeline.is_empty());
+        assert_eq!(w.timeline.skipped, 0);
+    }
+
+    #[test]
+    fn migration_allocates_unique_targets_in_region_block() {
+        let mut w = world();
+        w.install_timeline(
+            &timeline(vec![ScheduledEvent::ProviderRegionMigration {
+                provider: "bosch".to_string(),
+                day: 2,
+                fraction: 0.5,
+                to_cloud: "aws".to_string(),
+                to_region: "ap-southeast-1".to_string(),
+            }]),
+            "mig",
+        );
+        assert!(!w.timeline.migrations.is_empty());
+        let block = w.clouds.cloud("aws").region("ap-southeast-1").v4_block;
+        let mut seen = HashSet::new();
+        for (sid, m) in &w.timeline.migrations {
+            assert!(block.contains(m.new_ip), "{} outside block", m.new_ip);
+            assert!(seen.insert(m.new_ip), "duplicate target {}", m.new_ip);
+            assert!(
+                !w.server_by_ip.contains_key(&IpAddr::V4(m.new_ip)),
+                "target collides with an existing server"
+            );
+            assert_eq!(w.timeline.migrated_by_ip[&IpAddr::V4(m.new_ip)], *sid);
+        }
+        // Deterministic: recompiling yields the identical assignment.
+        let mut w2 = world();
+        w2.install_timeline(
+            &timeline(vec![ScheduledEvent::ProviderRegionMigration {
+                provider: "bosch".to_string(),
+                day: 2,
+                fraction: 0.5,
+                to_cloud: "aws".to_string(),
+                to_region: "ap-southeast-1".to_string(),
+            }]),
+            "mig",
+        );
+        for (sid, m) in &w.timeline.migrations {
+            assert_eq!(w2.timeline.migrations[sid].new_ip, m.new_ip);
+        }
+    }
+
+    #[test]
+    fn unknown_names_degrade_to_skips() {
+        let mut w = world();
+        w.install_timeline(
+            &timeline(vec![
+                ScheduledEvent::ProviderRegionMigration {
+                    provider: "nonesuch".to_string(),
+                    day: 0,
+                    fraction: 1.0,
+                    to_cloud: "aws".to_string(),
+                    to_region: "us-east-1".to_string(),
+                },
+                ScheduledEvent::AnycastFrontingFlip {
+                    provider: "alsonot".to_string(),
+                    day: 0,
+                    into_fronting: true,
+                },
+                ScheduledEvent::CertRotationStorm {
+                    provider: "missing".to_string(),
+                    day: 0,
+                    reissue_fraction: 1.0,
+                    expiry_fraction: 0.0,
+                },
+            ]),
+            "bad",
+        );
+        assert_eq!(w.timeline.skipped, 3);
+        assert!(w.timeline.is_empty());
+    }
+
+    #[test]
+    fn outage_event_replaces_builtin() {
+        let mut w = world();
+        let mut ev = OutageEvent::aws_dec_2021();
+        ev.cloud = "azure".to_string();
+        ev.region = "westeurope".to_string();
+        w.install_timeline(&timeline(vec![ScheduledEvent::Outage(ev.clone())]), "out");
+        assert_eq!(w.events.outage, ev);
+    }
+
+    #[test]
+    fn cert_storm_reissues_and_expires() {
+        let mut w = world();
+        w.install_timeline(
+            &timeline(vec![ScheduledEvent::CertRotationStorm {
+                provider: "microsoft".to_string(),
+                day: 1,
+                reissue_fraction: 0.5,
+                expiry_fraction: 0.5,
+            }]),
+            "storm",
+        );
+        assert!(!w.timeline.storm_certs.is_empty());
+        let validity = crate::view::certificate_validity();
+        let mut reissued = 0;
+        let mut expired = 0;
+        for storm in w.timeline.storm_certs.values() {
+            if storm.cert.issuer.starts_with("SimTrust Public CA G") {
+                assert!(storm.cert.valid_during(&validity));
+                reissued += 1;
+            } else {
+                assert!(!storm.cert.valid_during(&w.config.study_period));
+                expired += 1;
+            }
+        }
+        assert!(reissued > 0, "some certificates should be reissued");
+        assert!(expired > 0, "some certificates should expire");
     }
 }

@@ -36,7 +36,10 @@ pub use build::World;
 pub use clouds::{CloudCatalog, CloudProvider, CloudRegion};
 pub use collect::CollectedScans;
 pub use config::WorldConfig;
-pub use events::{BgpStreamEvent, BgpStreamEventKind, BlocklistHit, Events, OutageEvent};
+pub use events::{
+    BgpStreamEvent, BgpStreamEventKind, BlocklistHit, CompiledTimeline, EventTimeline, Events,
+    OutageEvent, ScheduledEvent,
+};
 pub use geodb::GeoDb;
 pub use iotmap_nettypes::bgp::{BgpOrigin, BgpTable};
 pub use isp::{Device, IspModel, SubscriberLine};

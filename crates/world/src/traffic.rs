@@ -412,16 +412,16 @@ impl<'a> TrafficSimulator<'a> {
                 let mut up = up_total / sessions as f64 * rng.f64_range(0.4, 1.6);
 
                 // Outage dynamics (§6.1).
-                if ev.window.contains(time) {
-                    if affected.contains(&server_id) {
-                        if silent_in_outage {
-                            continue;
-                        }
-                        dn *= ev.downstream_residual;
-                        up *= ev.upstream_residual;
-                    } else if self.same_cloud_as_outage(server.provider, server.site) {
-                        dn *= 1.0 - ev.spillover;
-                        up *= 1.0 - ev.spillover;
+                match ev.session_scaling(
+                    time,
+                    affected.contains(&server_id),
+                    self.same_cloud_as_outage(server.provider, server.site),
+                    silent_in_outage,
+                ) {
+                    None => continue,
+                    Some((dn_mul, up_mul)) => {
+                        dn *= dn_mul;
+                        up *= up_mul;
                     }
                 }
 

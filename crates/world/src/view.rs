@@ -135,7 +135,7 @@ impl World {
 }
 
 /// Certificates in the world are valid over the whole simulated range.
-fn certificate_validity() -> StudyPeriod {
+pub(crate) fn certificate_validity() -> StudyPeriod {
     StudyPeriod::from_dates(Date::new(2021, 6, 1), Date::new(2022, 9, 1))
 }
 
@@ -153,14 +153,36 @@ fn generic_front_name(spec: &ProviderSpec, site: usize) -> String {
     }
 }
 
+impl WorldScanView<'_> {
+    /// Resolve `addr` to a server, honouring scenario migrations: from the
+    /// move day the old address is dark and the new one answers.
+    fn server_at(&self, addr: IpAddr) -> Option<crate::server::ServerId> {
+        let tl = &self.world.timeline;
+        let day = self.date.epoch_days();
+        if let Some(&sid) = self.world.server_by_ip.get(&addr) {
+            return match tl.migrations.get(&sid) {
+                Some(m) if day >= m.day => None,
+                _ => Some(sid),
+            };
+        }
+        let &sid = tl.migrated_by_ip.get(&addr)?;
+        (day >= tl.migrations[&sid].day).then_some(sid)
+    }
+}
+
 impl ScanView for WorldScanView<'_> {
     fn ipv4_hosts(&self) -> Vec<(Ipv4Addr, Vec<PortProto>)> {
         let day = self.date.epoch_days();
+        let tl = &self.world.timeline;
         let mut hosts = Vec::new();
         for s in &self.world.servers {
             if let IpAddr::V4(a) = s.ip {
                 if s.alive_on(day) {
-                    hosts.push((a, s.ports.clone()));
+                    let addr = match tl.migrations.get(&s.id) {
+                        Some(m) if day >= m.day => m.new_ip,
+                        _ => a,
+                    };
+                    hosts.push((addr, s.ports.clone()));
                 }
             }
         }
@@ -189,13 +211,33 @@ impl ScanView for WorldScanView<'_> {
         if port.transport != Transport::Tcp || is_plaintext_port(port.port) {
             return None;
         }
-        if let Some(&sid) = self.world.server_by_ip.get(&addr) {
+        if let Some(sid) = self.server_at(addr) {
             let server = &self.world.servers[sid];
             if !server.alive_on(self.date.epoch_days()) || !server.ports.contains(&port) {
                 return None;
             }
             let spec = &self.world.providers[server.provider];
             let mut ep = self.world.endpoint_for(server);
+            let tl = &self.world.timeline;
+            let day = self.date.epoch_days();
+            if let Some(flip) = tl.flips.get(&server.provider) {
+                if day >= flip.day {
+                    let (iot, generic) =
+                        &self.world.view_cache().site_certs[server.provider][server.site];
+                    ep = if flip.into_fronting {
+                        TlsEndpoint::sni_gated(iot.clone(), generic.clone())
+                    } else {
+                        TlsEndpoint::plain(iot.clone())
+                    };
+                }
+            }
+            if let Some(storm) = tl.storm_certs.get(&sid) {
+                if day >= storm.day {
+                    // Swap the IoT certificate in place; the SNI policy
+                    // (and its generic fallback) is unchanged.
+                    ep.certificate = storm.cert.clone();
+                }
+            }
             if spec.client_cert_ports.contains(&port.port) {
                 ep.client_auth = ClientAuth::RequireClientCert;
                 // Mutual-TLS MQTT endpoints abort before the certificate.
@@ -221,6 +263,14 @@ impl ScanView for WorldScanView<'_> {
         // Deterministic per-IP noise: the same IP always geolocates the
         // same way in the scanner's database.
         let mut rng = SimRng::new(world.geo_noise_seed ^ ip_hash(addr));
+        if let Some(&sid) = world.timeline.migrated_by_ip.get(&addr) {
+            let city = world.timeline.migrations[&sid].to_city;
+            return Some(
+                world
+                    .geo
+                    .noisy_location(city, world.config.geo_error_rate, &mut rng),
+            );
+        }
         if let Some(&sid) = world.server_by_ip.get(&addr) {
             let s = &world.servers[sid];
             let city = world.site_city[s.provider][s.site];

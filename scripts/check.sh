@@ -81,6 +81,17 @@ cargo run --release -q -p iotmap-bench --bin exp -- \
   longitudinal --preset small --seed 42 --threads 1 --days 3 \
   --out "$tmp_bench" >/dev/null
 test -s "$tmp_bench/BENCH_longitudinal.json" || { echo "BENCH_longitudinal.json missing or empty"; exit 1; }
+
+# The CI scenario-smoke gate, condensed: a declarative chaos scenario
+# must run deterministically (exp scenario re-executes and compares
+# canonical dumps) with the per-event resilience deltas written to
+# BENCH_scenarios.json. The byte-identity and graceful-degradation pins
+# are tests/scenario_engine.rs.
+echo "==> scenario smoke (exp scenario --file scenarios/cert_storm.scn)"
+cargo run --release -q -p iotmap-bench --bin exp -- \
+  scenario --preset small --seed 42 --threads 1 \
+  --file scenarios/cert_storm.scn --out "$tmp_bench" >/dev/null
+test -s "$tmp_bench/BENCH_scenarios.json" || { echo "BENCH_scenarios.json missing or empty"; exit 1; }
 rm -rf "$tmp_bench"
 
 echo "OK"

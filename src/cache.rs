@@ -59,9 +59,19 @@ pub(crate) struct WorldCache {
 
 impl WorldCache {
     /// Open (creating if needed) a cache directory for this run identity.
-    pub fn open(dir: &Path, config: &WorldConfig, faults: &FaultPlan) -> Result<WorldCache, Error> {
+    /// The scenario fingerprint keys only the **run** store: a timeline
+    /// rewrites everything downstream of the instruments, but the
+    /// pristine passive-DNS table is generated before any timeline
+    /// installs, so the config-keyed entry stays shared with event-free
+    /// runs.
+    pub fn open(
+        dir: &Path,
+        config: &WorldConfig,
+        faults: &FaultPlan,
+        scenario: Option<u64>,
+    ) -> Result<WorldCache, Error> {
         let config_fp = recover::config_fingerprint(config);
-        let run_fp = recover::run_fingerprint(config, faults);
+        let run_fp = recover::run_fingerprint_with(config, faults, scenario);
         let open = |fp: u64| {
             CheckpointStore::open(dir, fp)
                 .map_err(|e| Error::stage("cache", format!("cannot open {}: {e}", dir.display())))

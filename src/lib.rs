@@ -63,6 +63,7 @@ pub use iotmap_netflow as netflow;
 pub use iotmap_nettypes as nettypes;
 pub use iotmap_par as par;
 pub use iotmap_scan as scan;
+pub use iotmap_scenario as scenario;
 pub use iotmap_stats as stats;
 pub use iotmap_tls as tls;
 pub use iotmap_traffic as traffic;
@@ -84,6 +85,7 @@ use iotmap_dns::PassiveDnsDb;
 use iotmap_faults::FaultPlan;
 use iotmap_netflow::LineId;
 use iotmap_nettypes::{Error, StudyPeriod};
+use iotmap_scenario::Scenario;
 use iotmap_super::{CheckpointStore, StageArtifact, StagePolicy, Supervisor};
 use iotmap_traffic::{
     AnalysisFold, AnalysisReport, ContactFold, ContactSink, IpIndex, ScannerAnalysis,
@@ -121,6 +123,7 @@ pub struct Pipeline {
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     cache_dir: Option<PathBuf>,
+    with_scenario: Option<Scenario>,
     /// `IOTMAP_THREADS` was set but unparsable — surfaced in the run
     /// report rather than silently falling back.
     threads_env_unparsable: bool,
@@ -157,6 +160,7 @@ impl Pipeline {
             checkpoint_dir: None,
             resume: false,
             cache_dir: std::env::var_os("IOTMAP_CACHE").map(PathBuf::from),
+            with_scenario: None,
             threads_env_unparsable,
         }
     }
@@ -220,6 +224,20 @@ impl Pipeline {
         self
     }
 
+    /// Run under a declarative scenario: the compiled event timeline
+    /// installs into the generated world (inside the world stage, before
+    /// any scan is synthesized), so migrations, fronting flips, cert
+    /// storms, planted blocklist entries, and re-declared outages shape
+    /// everything the instruments observe — and every longitudinal
+    /// [`advance`](PreparedWorld::advance), since day deltas read the
+    /// same world views. The scenario's fingerprint is folded into the
+    /// run identity, so caches and checkpoints never alias an
+    /// event-free run.
+    pub fn scenario(mut self, scenario: Scenario) -> Pipeline {
+        self.with_scenario = Some(scenario);
+        self
+    }
+
     /// Run under a fault plan: every data source the methodology
     /// consumes — Censys sweeps, the ZGrab campaign, passive DNS, the
     /// active-DNS campaigns, and NetFlow export — suffers the plan's
@@ -263,21 +281,29 @@ impl Pipeline {
         let mut supervisor = Supervisor::new(self.faults.seed)
             .policy(self.policy.clone())
             .crash(self.faults.crash.clone());
+        let scenario_fp = self.with_scenario.as_ref().map(Scenario::fingerprint);
         if let Some(dir) = &self.checkpoint_dir {
-            let fingerprint = recover::run_fingerprint(&self.config, &self.faults);
+            let fingerprint =
+                recover::run_fingerprint_with(&self.config, &self.faults, scenario_fp);
             let store = CheckpointStore::open(dir, fingerprint).map_err(|e| {
                 Error::stage("checkpoint", format!("cannot open {}: {e}", dir.display()))
             })?;
             supervisor = supervisor.store(store, self.resume);
         }
         let cache = match &self.cache_dir {
-            Some(dir) => Some(WorldCache::open(dir, &self.config, &self.faults)?),
+            Some(dir) => Some(WorldCache::open(
+                dir,
+                &self.config,
+                &self.faults,
+                scenario_fp,
+            )?),
             None => None,
         };
         let (world, scans) = iotmap_par::with_threads(self.threads, || {
             Pipeline::prepare_stages(
                 &self.config,
                 &self.faults,
+                self.with_scenario.as_ref(),
                 &mut supervisor,
                 cache.as_ref(),
                 self.threads_env_unparsable,
@@ -287,6 +313,7 @@ impl Pipeline {
             world,
             scans,
             faults: self.faults,
+            with_scenario: self.with_scenario,
             policy: self.policy,
             threads: self.threads,
             checkpoint_dir: self.checkpoint_dir,
@@ -321,6 +348,7 @@ impl Pipeline {
     fn prepare_stages(
         config: &WorldConfig,
         faults: &FaultPlan,
+        scenario: Option<&Scenario>,
         sup: &mut Supervisor,
         cache: Option<&WorldCache>,
         threads_env_unparsable: bool,
@@ -342,15 +370,26 @@ impl Pipeline {
             StageArtifact::Replay {
                 witness: recover::world_witness,
             },
-            || match cache.and_then(WorldCache::load_passive_dns) {
-                Some(db) => World::generate_with_pdns(config, Some(db)),
-                None => {
-                    let world = World::generate(config);
-                    if let Some(cache) = cache {
-                        cache.save_passive_dns(&world.passive_dns);
+            || {
+                let mut world = match cache.and_then(WorldCache::load_passive_dns) {
+                    Some(db) => World::generate_with_pdns(config, Some(db)),
+                    None => {
+                        let world = World::generate(config);
+                        if let Some(cache) = cache {
+                            cache.save_passive_dns(&world.passive_dns);
+                        }
+                        world
                     }
-                    world
+                };
+                // The timeline installs after generation (so the cached
+                // pristine passive-DNS table stays scenario-independent)
+                // but before any scan synthesis, so every instrument
+                // observes the post-event world. Installation never
+                // fails: unknown names degrade to a skip counter.
+                if let Some(sc) = scenario {
+                    world.install_timeline(&sc.timeline, &sc.name);
                 }
+                world
             },
         )?;
         let scans = {
@@ -559,6 +598,7 @@ pub struct PreparedWorld {
     /// The synthesized scan datasets.
     pub scans: CollectedScans,
     faults: FaultPlan,
+    with_scenario: Option<Scenario>,
     policy: StagePolicy,
     threads: usize,
     checkpoint_dir: Option<PathBuf>,
@@ -591,6 +631,12 @@ impl PreparedWorld {
         self
     }
 
+    /// The scenario the run was prepared under, if any — its timeline is
+    /// already installed in [`world`](PreparedWorld::world).
+    pub fn scenario(&self) -> Option<&Scenario> {
+        self.with_scenario.as_ref()
+    }
+
     /// Run the engine — passive-DNS degradation, discovery, footprints,
     /// shared-IP classification, index — under the fault plan the world
     /// was prepared with. The prepared world is untouched; each call
@@ -615,6 +661,7 @@ impl PreparedWorld {
             world,
             scans,
             faults,
+            with_scenario,
             policy,
             threads,
             checkpoint_dir,
@@ -626,6 +673,7 @@ impl PreparedWorld {
             world,
             scans,
             &faults,
+            with_scenario.as_ref().map(Scenario::fingerprint),
             &policy,
             threads,
             checkpoint_dir.as_deref(),
@@ -645,6 +693,7 @@ impl PreparedWorld {
             world,
             scans,
             faults,
+            self.with_scenario.as_ref().map(Scenario::fingerprint),
             &self.policy,
             self.threads,
             if use_checkpoints {
@@ -810,6 +859,7 @@ impl PreparedWorld {
         world: World,
         scans: CollectedScans,
         faults: &FaultPlan,
+        scenario_fp: Option<u64>,
         policy: &StagePolicy,
         threads: usize,
         checkpoint_dir: Option<&Path>,
@@ -825,14 +875,14 @@ impl PreparedWorld {
             .crash(faults.crash.clone())
             .start_index(2);
         if let Some(dir) = checkpoint_dir {
-            let fingerprint = recover::run_fingerprint(&world.config, faults);
+            let fingerprint = recover::run_fingerprint_with(&world.config, faults, scenario_fp);
             let store = CheckpointStore::open(dir, fingerprint).map_err(|e| {
                 Error::stage("checkpoint", format!("cannot open {}: {e}", dir.display()))
             })?;
             supervisor = supervisor.store(store, resume);
         }
         let cache = match cache_dir {
-            Some(dir) => Some(WorldCache::open(dir, &world.config, faults)?),
+            Some(dir) => Some(WorldCache::open(dir, &world.config, faults, scenario_fp)?),
             None => None,
         };
         iotmap_par::with_threads(threads, || {
@@ -966,6 +1016,7 @@ pub mod prelude {
     pub use iotmap_nettypes::{Date, DomainName, Error, SimRng, StudyPeriod};
     pub use iotmap_obs::{Recorder, Registry, RunReport};
     pub use iotmap_par::{set_threads, with_threads};
+    pub use iotmap_scenario::Scenario;
     pub use iotmap_super::{CheckpointStore, StagePolicy, Supervisor};
     pub use iotmap_traffic::AnalysisReport;
     pub use iotmap_world::{CollectedScans, World, WorldConfig};

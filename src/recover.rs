@@ -34,7 +34,29 @@ use std::sync::Arc;
 /// and one that didn't compute the same artifacts, so their
 /// checkpoints are interchangeable).
 pub fn run_fingerprint(config: &WorldConfig, faults: &FaultPlan) -> u64 {
-    fnv1a(format!("{config:?}|{}", faults.data_fingerprint()).as_bytes())
+    run_fingerprint_with(config, faults, None)
+}
+
+/// [`run_fingerprint`] with an optional scenario fingerprint folded in.
+/// A scenario rewrites world state the artifacts are computed from, so a
+/// scenario run must never share checkpoints or cache entries with the
+/// event-free run of the same `(config, faults)` — `None` reproduces the
+/// historical fingerprint byte-for-byte.
+pub fn run_fingerprint_with(
+    config: &WorldConfig,
+    faults: &FaultPlan,
+    scenario: Option<u64>,
+) -> u64 {
+    match scenario {
+        None => fnv1a(format!("{config:?}|{}", faults.data_fingerprint()).as_bytes()),
+        Some(fp) => fnv1a(
+            format!(
+                "{config:?}|{}|scenario={fp:016x}",
+                faults.data_fingerprint()
+            )
+            .as_bytes(),
+        ),
+    }
 }
 
 /// Cache identity for artifacts that depend on the world configuration

@@ -1,0 +1,120 @@
+//! Golden snapshot of the scenario resilience report: the paper preset
+//! under a two-event chaos scenario (a Bosch region migration plus a
+//! Microsoft certificate-rotation storm), measured against the
+//! event-free baseline. Pinned byte-for-byte: per-event per-provider
+//! precision/recall deltas and footprint stability in permille, plus the
+//! discovery counts of both runs.
+//!
+//! Scenario artifacts are byte-identical at every thread count and
+//! fault plan (`tests/scenario_engine.rs`), so this snapshot holds under
+//! the CI thread matrix. To regenerate after an intentional change to
+//! the world, the event transforms, or the resilience arithmetic:
+//!
+//! ```text
+//! IOTMAP_BLESS=1 cargo test -q --test golden_scenario
+//! ```
+
+use iotmap::prelude::*;
+use iotmap::scenario::measure_resilience;
+use std::fmt::Write as _;
+
+const SCENARIO: &str = "\
+[scenario]
+name = golden-chaos
+seed = 5
+
+[migration]
+provider = bosch
+day = 2
+fraction = 0.4
+to_cloud = aws
+to_region = ap-southeast-1
+
+[cert_storm]
+provider = microsoft
+day = 1
+reissue = 0.3
+expiry = 0.1
+";
+
+fn run(config: &WorldConfig, scenario: Option<&Scenario>) -> RunArtifacts {
+    let mut pipeline = Pipeline::new(config.clone()).threads(1);
+    if let Some(sc) = scenario {
+        pipeline = pipeline.scenario(sc.clone());
+    }
+    pipeline.run().expect("pipeline")
+}
+
+#[test]
+fn chaos_scenario_resilience_report_matches_golden() {
+    let scenario = Scenario::parse(SCENARIO).expect("parse scenario");
+    let config = WorldConfig::paper(42);
+    let baseline = run(&config, None);
+    let chaos = run(&config, Some(&scenario));
+
+    let resilience = measure_resilience(
+        &scenario,
+        &chaos.world,
+        &baseline.discovery,
+        &baseline.footprints,
+        &chaos.discovery,
+        &chaos.footprints,
+    );
+
+    let mut got = String::from(
+        "# scenario resilience report (seed 42, preset paper, scenario golden-chaos)\n",
+    );
+    writeln!(
+        got,
+        "baseline providers={} ips={}",
+        baseline
+            .discovery
+            .per_provider()
+            .filter(|(_, d)| !d.ips.is_empty())
+            .count(),
+        baseline.discovery.all_ips().len()
+    )
+    .unwrap();
+    writeln!(
+        got,
+        "scenario providers={} ips={} timeline_skipped={}",
+        chaos
+            .discovery
+            .per_provider()
+            .filter(|(_, d)| !d.ips.is_empty())
+            .count(),
+        chaos.discovery.all_ips().len(),
+        chaos.world.timeline.skipped
+    )
+    .unwrap();
+    for event in &resilience {
+        writeln!(got, "event {}", event.label).unwrap();
+        for p in &event.providers {
+            writeln!(
+                got,
+                "  {} precision_delta_pm={} recall_delta_pm={} footprint_stability_pm={} discovered={}",
+                p.provider,
+                p.precision_delta_pm,
+                p.recall_delta_pm,
+                p.footprint_stability_pm,
+                p.discovered
+            )
+            .unwrap();
+        }
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/scenario_resilience.txt");
+    if std::env::var_os("IOTMAP_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).expect("read golden snapshot");
+    assert_eq!(
+        got,
+        want,
+        "scenario resilience report diverged from {} — if the change is intentional, \
+         regenerate with IOTMAP_BLESS=1 cargo test -q --test golden_scenario",
+        path.display()
+    );
+}
